@@ -1,0 +1,222 @@
+//! A second model PDE: the 2D heat (diffusion) equation
+//! `∂u/∂t = ν ∇²u` with periodic boundary conditions, solved with the
+//! explicit FTCS scheme.
+//!
+//! The sparse grid combination technique is PDE-agnostic — the paper's
+//! framework targets "PDE solvers" generally — and this module is the
+//! second data point: the same grids, coefficients, and combination code
+//! paths work unchanged (see `examples/diffusion_combination.rs`).
+//!
+//! For the `sin(2πk_x x) sin(2πk_y y)` initial condition the exact
+//! solution decays as `exp(−4π²ν(k_x² + k_y²) t)`, giving a closed-form
+//! reference for error measurement.
+
+use sparsegrid::Grid2;
+
+/// The 2D diffusion problem on the periodic unit square.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffusionProblem {
+    /// Diffusivity ν > 0.
+    pub nu: f64,
+    /// x wavenumber of the sine initial condition.
+    pub kx: u32,
+    /// y wavenumber of the sine initial condition.
+    pub ky: u32,
+}
+
+impl DiffusionProblem {
+    /// ν = 0.05, fundamental mode.
+    pub fn standard() -> Self {
+        DiffusionProblem { nu: 0.05, kx: 1, ky: 1 }
+    }
+
+    /// The initial condition `sin(2πk_x x) sin(2πk_y y)`.
+    pub fn initial(&self) -> impl Fn(f64, f64) -> f64 + '_ {
+        use std::f64::consts::TAU;
+        move |x, y| (TAU * self.kx as f64 * x).sin() * (TAU * self.ky as f64 * y).sin()
+    }
+
+    /// The exact solution at time `t`.
+    pub fn exact(&self, x: f64, y: f64, t: f64) -> f64 {
+        use std::f64::consts::TAU;
+        let lambda = self.nu * (TAU * TAU) * (self.kx * self.kx + self.ky * self.ky) as f64;
+        (-lambda * t).exp()
+            * (TAU * self.kx as f64 * x).sin()
+            * (TAU * self.ky as f64 * y).sin()
+    }
+
+    /// The exact solution at a fixed time as a closure of `(x, y)`.
+    pub fn exact_at(&self, t: f64) -> impl Fn(f64, f64) -> f64 + '_ {
+        move |x, y| self.exact(x, y, t)
+    }
+
+    /// A stable explicit timestep for the finest grid of size `2^n`:
+    /// FTCS needs `ν Δt (1/hx² + 1/hy²) ≤ 1/2`; `safety ∈ (0, 1]` scales
+    /// below the limit.
+    pub fn stable_dt(&self, n: u32, safety: f64) -> f64 {
+        let h = 1.0 / (1u64 << n) as f64;
+        safety * 0.25 * h * h / self.nu
+    }
+}
+
+/// One periodic FTCS step on a whole grid (single owner).
+pub fn ftcs_step(
+    problem: &DiffusionProblem,
+    grid: &mut Grid2,
+    dt: f64,
+    scratch: &mut Vec<f64>,
+) {
+    let nx = grid.nx() - 1;
+    let ny = grid.ny() - 1;
+    let (hx, hy) = grid.spacing();
+    let rx = problem.nu * dt / (hx * hx);
+    let ry = problem.nu * dt / (hy * hy);
+    scratch.clear();
+    scratch.resize(nx * ny, 0.0);
+    let wrap = |k: isize, n: usize| -> usize { k.rem_euclid(n as isize) as usize };
+    for m in 0..ny {
+        for k in 0..nx {
+            let c = grid.at(k, m);
+            let e = grid.at(wrap(k as isize + 1, nx), m);
+            let w = grid.at(wrap(k as isize - 1, nx), m);
+            let n_ = grid.at(k, wrap(m as isize + 1, ny));
+            let s = grid.at(k, wrap(m as isize - 1, ny));
+            scratch[m * nx + k] = c + rx * (e - 2.0 * c + w) + ry * (n_ - 2.0 * c + s);
+        }
+    }
+    for m in 0..ny {
+        for k in 0..nx {
+            *grid.at_mut(k, m) = scratch[m * nx + k];
+        }
+    }
+    // Periodic seam.
+    for m in 0..ny {
+        let v = grid.at(0, m);
+        *grid.at_mut(nx, m) = v;
+    }
+    for k in 0..grid.nx() {
+        let v = grid.at(k, 0);
+        *grid.at_mut(k, ny) = v;
+    }
+}
+
+/// Single-owner diffusion solver mirroring
+/// [`crate::laxwendroff::LocalSolver`].
+#[derive(Debug, Clone)]
+pub struct DiffusionSolver {
+    problem: DiffusionProblem,
+    grid: Grid2,
+    dt: f64,
+    steps_done: u64,
+    scratch: Vec<f64>,
+}
+
+impl DiffusionSolver {
+    /// Initialize from the sine initial condition.
+    pub fn new(problem: DiffusionProblem, level: sparsegrid::LevelPair, dt: f64) -> Self {
+        let grid = Grid2::from_fn(level, problem.initial());
+        DiffusionSolver { problem, grid, dt, steps_done: 0, scratch: Vec::new() }
+    }
+
+    /// Advance one timestep.
+    pub fn step(&mut self) {
+        let p = self.problem;
+        let dt = self.dt;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        ftcs_step(&p, &mut self.grid, dt, &mut scratch);
+        self.scratch = scratch;
+        self.steps_done += 1;
+    }
+
+    /// Advance `n` timesteps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Simulated time reached.
+    pub fn time(&self) -> f64 {
+        self.steps_done as f64 * self.dt
+    }
+
+    /// The current solution grid.
+    pub fn grid(&self) -> &Grid2 {
+        &self.grid
+    }
+
+    /// The problem.
+    pub fn problem(&self) -> &DiffusionProblem {
+        &self.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsegrid::{l1_error_vs, linf_error_vs, LevelPair};
+
+    #[test]
+    fn amplitude_decays_at_the_analytic_rate() {
+        let p = DiffusionProblem::standard();
+        let dt = p.stable_dt(5, 0.8);
+        let mut s = DiffusionSolver::new(p, LevelPair::new(5, 5), dt);
+        s.run(120);
+        let t = s.time();
+        let err = l1_error_vs(s.grid(), p.exact_at(t));
+        // Analytic amplitude at t.
+        let amp = p.exact(0.25, 0.25, t);
+        assert!(amp > 0.05, "don't let it decay to nothing: {amp}");
+        assert!(err < 0.01 * amp.max(0.1), "decay rate wrong: err {err}, amp {amp}");
+    }
+
+    #[test]
+    fn second_order_spatial_convergence() {
+        let p = DiffusionProblem::standard();
+        let err_at = |lev: u32| {
+            // Fixed final time; dt scaled with h² (FTCS stability), so the
+            // spatial error dominates.
+            let dt = p.stable_dt(lev, 0.5);
+            let t_final = 0.05;
+            let steps = (t_final / dt).round() as u64;
+            let mut s = DiffusionSolver::new(p, LevelPair::new(lev, lev), dt);
+            s.run(steps);
+            l1_error_vs(s.grid(), p.exact_at(s.time()))
+        };
+        let e4 = err_at(4);
+        let e5 = err_at(5);
+        assert!(e5 < e4 / 3.0, "e4={e4}, e5={e5}");
+    }
+
+    #[test]
+    fn constant_zero_is_a_fixed_point() {
+        let p = DiffusionProblem { nu: 0.1, kx: 1, ky: 1 };
+        let mut g = Grid2::zeros(LevelPair::new(4, 4));
+        let mut scratch = Vec::new();
+        ftcs_step(&p, &mut g, 1e-4, &mut scratch);
+        assert_eq!(linf_error_vs(&g, |_, _| 0.0), 0.0);
+    }
+
+    #[test]
+    fn maximum_principle_holds_within_stability() {
+        // Diffusion never amplifies extrema.
+        let p = DiffusionProblem::standard();
+        let dt = p.stable_dt(5, 0.9);
+        let mut s = DiffusionSolver::new(p, LevelPair::new(5, 5), dt);
+        let max0 = s.grid().values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        s.run(100);
+        let max1 = s.grid().values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max1 <= max0 + 1e-12, "amplified: {max0} -> {max1}");
+    }
+
+    #[test]
+    fn anisotropic_grid_still_converges() {
+        let p = DiffusionProblem::standard();
+        // Stability set by the finer direction.
+        let dt = p.stable_dt(6, 0.5);
+        let mut s = DiffusionSolver::new(p, LevelPair::new(6, 3), dt);
+        s.run(100);
+        let e = l1_error_vs(s.grid(), p.exact_at(s.time()));
+        assert!(e < 0.05, "anisotropic diffusion error {e}");
+    }
+}

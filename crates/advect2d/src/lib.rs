@@ -1,0 +1,26 @@
+//! # advect2d — the paper's model PDE
+//!
+//! The scalar advection equation in two spatial dimensions,
+//!
+//! ```text
+//! ∂u/∂t + a·∇u = 0   on  [0,1]² (periodic),
+//! ```
+//!
+//! solved on regular (anisotropic) grids with an unsplit **Lax–Wendroff**
+//! scheme [Lax & Wendroff 1960], exactly as the paper's sparse-grid
+//! combination solver does on every sub-grid. The problem has a closed-form
+//! solution (`u(x, t) = u₀(x − a t)` wrapped periodically), "which can be
+//! calculated for advection from the initial conditions" — that is the
+//! reference all error measurements compare against.
+
+pub mod diffusion;
+pub mod laxwendroff;
+pub mod problem;
+pub mod stepper;
+pub mod upwind;
+
+pub use diffusion::{DiffusionProblem, DiffusionSolver};
+pub use laxwendroff::{lax_wendroff_step, LocalSolver};
+pub use problem::{AdvectionProblem, InitialCondition};
+pub use stepper::TimeGrid;
+pub use upwind::UpwindSolver;

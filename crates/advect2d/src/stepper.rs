@@ -1,0 +1,74 @@
+//! Timestep selection.
+//!
+//! "As we use a fixed simulation timestep (Δt) across all grids for
+//! stability purposes" — the timestep is set once, from the *finest*
+//! resolution in the whole grid system (`h = 2⁻ⁿ`), and every component
+//! grid advances with it.
+
+use crate::problem::AdvectionProblem;
+
+/// The shared time discretization of a combination solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeGrid {
+    /// Fixed timestep used by every component grid.
+    pub dt: f64,
+    /// Number of timesteps to run (the paper runs `2^13`).
+    pub steps: u64,
+}
+
+impl TimeGrid {
+    /// Choose `Δt` from the CFL condition on the finest mesh width of a
+    /// system with full grid size `n`: `Δt = cfl / ((|aₓ| + |a_y|) · 2ⁿ)`.
+    pub fn for_system(problem: &AdvectionProblem, n: u32, steps: u64, cfl: f64) -> Self {
+        assert!(cfl > 0.0 && cfl <= 1.0, "CFL must be in (0, 1], got {cfl}");
+        let h_min = 1.0 / (1u64 << n) as f64;
+        let speed = problem.ax.abs() + problem.ay.abs();
+        assert!(speed > 0.0, "advection velocity must be nonzero");
+        let dt = cfl * h_min / speed;
+        TimeGrid { dt, steps }
+    }
+
+    /// The paper's configuration: CFL 0.4 and `2^13` steps (scaled down to
+    /// `2^k` for smaller reproductions).
+    pub fn paper_like(problem: &AdvectionProblem, n: u32, log2_steps: u32) -> Self {
+        Self::for_system(problem, n, 1u64 << log2_steps, 0.4)
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> f64 {
+        self.dt * self.steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::AdvectionProblem;
+
+    #[test]
+    fn dt_respects_cfl_on_finest_grid() {
+        let p = AdvectionProblem::standard(); // speed 2
+        let tg = TimeGrid::for_system(&p, 10, 100, 0.5);
+        // dt = 0.5 * 2^-10 / 2
+        assert!((tg.dt - 0.5 / 2048.0).abs() < 1e-18);
+        // CFL on the finest grid: (|ax|/h + |ay|/h) dt = 0.5.
+        let h = 1.0 / 1024.0;
+        let cfl = (p.ax.abs() + p.ay.abs()) * tg.dt / h;
+        assert!((cfl - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_like_runs_pow2_steps() {
+        let p = AdvectionProblem::standard();
+        let tg = TimeGrid::paper_like(&p, 13, 13);
+        assert_eq!(tg.steps, 8192);
+        assert!(tg.total_time() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CFL")]
+    fn rejects_silly_cfl() {
+        let p = AdvectionProblem::standard();
+        let _ = TimeGrid::for_system(&p, 5, 10, 1.5);
+    }
+}

@@ -1,0 +1,227 @@
+//! First-order upwind scheme — the classical baseline the Lax–Wendroff
+//! solver is measured against.
+//!
+//! Not used by the paper's application (which is pure Lax–Wendroff), but
+//! indispensable as a numerical cross-check: upwind converges at first
+//! order and is monotone; Lax–Wendroff at second order with dispersive
+//! ripples. The convergence-order tests in this crate pin both down.
+
+use sparsegrid::Grid2;
+
+use crate::problem::AdvectionProblem;
+
+/// Precomputed upwind coefficients for one `(Δt, hx, hy, a)` combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpwindCoef {
+    /// `aₓ Δt / hx`
+    pub cx: f64,
+    /// `a_y Δt / hy`
+    pub cy: f64,
+}
+
+impl UpwindCoef {
+    /// Coefficients for a given problem, mesh widths and timestep.
+    pub fn new(p: &AdvectionProblem, hx: f64, hy: f64, dt: f64) -> Self {
+        UpwindCoef { cx: p.ax * dt / hx, cy: p.ay * dt / hy }
+    }
+
+    /// The CFL number `|cx| + |cy|` (stability needs ≤ 1).
+    pub fn cfl(&self) -> f64 {
+        self.cx.abs() + self.cy.abs()
+    }
+}
+
+/// One upwind update on a halo-padded block (same layout contract as
+/// [`crate::laxwendroff::lax_wendroff_kernel`]).
+pub fn upwind_kernel(padded: &[f64], nx: usize, ny: usize, coef: &UpwindCoef, out: &mut [f64]) {
+    let pnx = nx + 2;
+    debug_assert_eq!(padded.len(), pnx * (ny + 2));
+    debug_assert_eq!(out.len(), nx * ny);
+    for m in 0..ny {
+        let row_s = m * pnx;
+        let row_c = (m + 1) * pnx;
+        let row_n = (m + 2) * pnx;
+        for k in 0..nx {
+            let c = padded[row_c + k + 1];
+            let w = padded[row_c + k];
+            let e = padded[row_c + k + 2];
+            let s = padded[row_s + k + 1];
+            let n = padded[row_n + k + 1];
+            // Difference against the upwind neighbour in each direction.
+            let dx = if coef.cx >= 0.0 { c - w } else { e - c };
+            let dy = if coef.cy >= 0.0 { c - s } else { n - c };
+            out[m * nx + k] = c - coef.cx * dx - coef.cy * dy;
+        }
+    }
+}
+
+/// Single-owner periodic upwind solver, mirroring
+/// [`crate::laxwendroff::LocalSolver`].
+#[derive(Debug, Clone)]
+pub struct UpwindSolver {
+    problem: AdvectionProblem,
+    grid: Grid2,
+    coef: UpwindCoef,
+    dt: f64,
+    steps_done: u64,
+    padded: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl UpwindSolver {
+    /// Initialize from the problem's initial condition.
+    pub fn new(problem: AdvectionProblem, level: sparsegrid::LevelPair, dt: f64) -> Self {
+        let grid = Grid2::from_fn(level, problem.initial());
+        let (hx, hy) = grid.spacing();
+        let coef = UpwindCoef::new(&problem, hx, hy, dt);
+        UpwindSolver {
+            problem,
+            grid,
+            coef,
+            dt,
+            steps_done: 0,
+            padded: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Advance one timestep.
+    pub fn step(&mut self) {
+        let nx = self.grid.nx() - 1;
+        let ny = self.grid.ny() - 1;
+        let pnx = nx + 2;
+        self.padded.clear();
+        self.padded.resize(pnx * (ny + 2), 0.0);
+        let wrapx = |k: isize| -> usize { k.rem_euclid(nx as isize) as usize };
+        let wrapy = |m: isize| -> usize { m.rem_euclid(ny as isize) as usize };
+        for pm in 0..ny + 2 {
+            let gm = wrapy(pm as isize - 1);
+            for pk in 0..pnx {
+                let gk = wrapx(pk as isize - 1);
+                self.padded[pm * pnx + pk] = self.grid.at(gk, gm);
+            }
+        }
+        self.scratch.clear();
+        self.scratch.resize(nx * ny, 0.0);
+        upwind_kernel(&self.padded, nx, ny, &self.coef, &mut self.scratch);
+        for m in 0..ny {
+            for k in 0..nx {
+                *self.grid.at_mut(k, m) = self.scratch[m * nx + k];
+            }
+        }
+        for m in 0..ny {
+            let v = self.grid.at(0, m);
+            *self.grid.at_mut(nx, m) = v;
+        }
+        for k in 0..self.grid.nx() {
+            let v = self.grid.at(k, 0);
+            *self.grid.at_mut(k, ny) = v;
+        }
+        self.steps_done += 1;
+    }
+
+    /// Advance `n` timesteps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Simulated time reached.
+    pub fn time(&self) -> f64 {
+        self.steps_done as f64 * self.dt
+    }
+
+    /// The current solution grid.
+    pub fn grid(&self) -> &Grid2 {
+        &self.grid
+    }
+
+    /// The PDE.
+    pub fn problem(&self) -> &AdvectionProblem {
+        &self.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laxwendroff::LocalSolver;
+    use crate::problem::InitialCondition;
+    use sparsegrid::{l1_error_vs, linf_error_vs, LevelPair};
+
+    #[test]
+    fn constant_state_is_a_fixed_point() {
+        let p = AdvectionProblem { ax: 1.0, ay: -0.5, ic: InitialCondition::Constant(2.0) };
+        let mut s = UpwindSolver::new(p, LevelPair::new(4, 4), 0.01);
+        s.run(30);
+        assert_eq!(linf_error_vs(s.grid(), |_, _| 2.0), 0.0);
+    }
+
+    #[test]
+    fn first_order_convergence() {
+        let p = AdvectionProblem::standard();
+        let err_at = |lev: u32| {
+            let dt = 0.2 / (1u64 << lev) as f64;
+            let steps = (0.25 / dt).round() as u64;
+            let mut s = UpwindSolver::new(p, LevelPair::new(lev, lev), dt);
+            s.run(steps);
+            l1_error_vs(s.grid(), p.exact_at(s.time()))
+        };
+        let e4 = err_at(4);
+        let e5 = err_at(5);
+        // First order: halving h roughly halves the error.
+        assert!(e5 < e4 / 1.6, "e4={e4}, e5={e5}");
+        assert!(e5 > e4 / 3.0, "suspiciously fast convergence for upwind");
+    }
+
+    #[test]
+    fn lax_wendroff_beats_upwind_on_smooth_data() {
+        let p = AdvectionProblem::standard();
+        let lev = 6;
+        let dt = 0.2 / 64.0;
+        let steps = 64;
+        let mut up = UpwindSolver::new(p, LevelPair::new(lev, lev), dt);
+        let mut lw = LocalSolver::new(p, LevelPair::new(lev, lev), dt);
+        up.run(steps);
+        lw.run(steps);
+        let e_up = l1_error_vs(up.grid(), p.exact_at(up.time()));
+        let e_lw = l1_error_vs(lw.grid(), p.exact_at(lw.time()));
+        assert!(
+            e_lw < e_up / 5.0,
+            "second order must beat first order: LW {e_lw} vs upwind {e_up}"
+        );
+    }
+
+    #[test]
+    fn upwind_is_monotone_no_overshoot() {
+        // Upwind never creates new extrema; values stay within the IC range.
+        let p = AdvectionProblem { ax: 1.0, ay: 1.0, ic: InitialCondition::CosHill };
+        let mut s = UpwindSolver::new(p, LevelPair::new(5, 5), 0.2 / 32.0);
+        s.run(64);
+        for &v in s.grid().values() {
+            assert!((-1e-12..=1.0 + 1e-12).contains(&v), "overshoot: {v}");
+        }
+    }
+
+    #[test]
+    fn negative_velocity_upwinds_the_other_way() {
+        let p = AdvectionProblem {
+            ax: -1.0,
+            ay: -1.0,
+            ic: InitialCondition::SinProduct { kx: 1, ky: 1 },
+        };
+        let dt = 0.2 / 32.0;
+        let mut s = UpwindSolver::new(p, LevelPair::new(5, 5), dt);
+        s.run(32);
+        let e = l1_error_vs(s.grid(), p.exact_at(s.time()));
+        assert!(e < 0.2, "negative-velocity transport broken: {e}");
+    }
+
+    #[test]
+    fn cfl_reporting() {
+        let p = AdvectionProblem::standard();
+        let c = UpwindCoef::new(&p, 0.1, 0.1, 0.02);
+        assert!((c.cfl() - 0.4).abs() < 1e-12);
+    }
+}

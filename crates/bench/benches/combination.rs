@@ -1,0 +1,65 @@
+//! Real-time performance of the sparse grid machinery: coefficient
+//! computation (classical and robust) and combination evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparsegrid::{
+    combine_onto, gcp_coefficients, robust_coefficients, CombinationTerm, Grid2, GridSystem,
+    Layout, LevelPair,
+};
+
+fn bench_coefficients(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coefficients");
+    for &(n, l) in &[(9u32, 4u32), (13, 4), (16, 6)] {
+        let sys = GridSystem::new(n, l, Layout::ExtraLayers);
+        let downset = sys.classical_downset();
+        g.bench_with_input(
+            BenchmarkId::new("gcp_classical", format!("n{n}_l{l}")),
+            &downset,
+            |b, ds| b.iter(|| gcp_coefficients(ds)),
+        );
+        // Robust recomputation after losing a middle diagonal grid.
+        let lost = vec![LevelPair::new(n - l + 2, n - 1)];
+        let avail = sys.available_levels();
+        g.bench_function(BenchmarkId::new("robust_one_loss", format!("n{n}_l{l}")), |b| {
+            b.iter(|| robust_coefficients(&downset, &lost, &avail))
+        });
+    }
+    g.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combine_onto");
+    for &n in &[7u32, 9] {
+        let l = 4;
+        let sys = GridSystem::new(n, l, Layout::Plain);
+        let grids: Vec<(f64, Grid2)> = sys
+            .grids()
+            .iter()
+            .map(|sg| {
+                (
+                    sys.classical_coefficient(sg.id) as f64,
+                    Grid2::from_fn(sg.level, |x, y| (x * 3.0).sin() * (y * 2.0).cos()),
+                )
+            })
+            .collect();
+        let terms: Vec<CombinationTerm> = grids
+            .iter()
+            .map(|(c, gr)| CombinationTerm { coeff: *c, grid: gr })
+            .collect();
+        let target = sys.min_level();
+        g.throughput(Throughput::Elements((terms.len() * target.points()) as u64));
+        g.bench_function(BenchmarkId::new("injection_target", format!("n{n}")), |b| {
+            b.iter(|| combine_onto(target, &terms))
+        });
+        // Interpolating target (finer than some components).
+        let fine = LevelPair::new(n, n);
+        g.bench_function(
+            BenchmarkId::new("interpolating_target", format!("n{n}")),
+            |b| b.iter(|| combine_onto(fine, &terms)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coefficients, bench_combine);
+criterion_main!(benches);

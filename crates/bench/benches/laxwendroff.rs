@@ -1,0 +1,45 @@
+//! Real-time throughput of the Lax–Wendroff stencil (cells/second), the
+//! hot loop of every solve.
+
+use advect2d::laxwendroff::{lax_wendroff_kernel, LwCoef};
+use advect2d::{AdvectionProblem, LocalSolver};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparsegrid::LevelPair;
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lw_kernel");
+    let p = AdvectionProblem::standard();
+    for &(i, j) in &[(6u32, 6u32), (8, 8), (6, 10)] {
+        let nx = 1usize << i;
+        let ny = 1usize << j;
+        let coef = LwCoef::new(&p, 1.0 / nx as f64, 1.0 / ny as f64, 1e-4);
+        let padded: Vec<f64> = (0..(nx + 2) * (ny + 2)).map(|k| (k as f64).sin()).collect();
+        let mut out = vec![0.0; nx * ny];
+        g.throughput(Throughput::Elements((nx * ny) as u64));
+        g.bench_function(BenchmarkId::new("cells", format!("{i}x{j}")), |b| {
+            b.iter(|| lax_wendroff_kernel(&padded, nx, ny, &coef, &mut out))
+        });
+    }
+    g.finish();
+}
+
+fn bench_local_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_solver");
+    g.sample_size(20);
+    let p = AdvectionProblem::standard();
+    for &lev in &[6u32, 8] {
+        g.bench_function(BenchmarkId::new("steps_x16", lev), |b| {
+            b.iter_with_setup(
+                || LocalSolver::new(p, LevelPair::new(lev, lev), 1e-4),
+                |mut s| {
+                    s.run(16);
+                    s
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel, bench_local_solver);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end real-time cost of one full application run per technique —
+//! the unit of work every paper experiment repeats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftsg_core::{run_app, AppConfig, ProcLayout, Technique};
+use ulfm_sim::{run, FaultPlan, RunConfig};
+
+fn bench_full_app(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_app");
+    g.sample_size(10);
+    for technique in [
+        Technique::CheckpointRestart,
+        Technique::ResamplingCopying,
+        Technique::AlternateCombination,
+    ] {
+        let world = ProcLayout::new(7, 4, technique.layout(), 1).world_size();
+        g.bench_function(BenchmarkId::new("healthy", technique.label()), |b| {
+            b.iter(|| {
+                let cfg = AppConfig::paper_shaped(technique, 7, 1, 4);
+                let r = run(RunConfig::local(world), move |ctx| run_app(&cfg, ctx));
+                r.assert_no_app_errors();
+                r
+            })
+        });
+        g.bench_function(BenchmarkId::new("one_failure", technique.label()), |b| {
+            b.iter(|| {
+                let base = AppConfig::paper_shaped(technique, 7, 1, 4);
+                let steps = base.steps();
+                let layout = ProcLayout::new(7, 4, technique.layout(), 1);
+                let victim = layout.group(2).first;
+                let when = if technique == Technique::CheckpointRestart { 3 } else { steps };
+                let cfg = base.with_plan(FaultPlan::single(victim, when));
+                let r = run(RunConfig::local(world), move |ctx| run_app(&cfg, ctx));
+                r.assert_no_app_errors();
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_app);
+criterion_main!(benches);

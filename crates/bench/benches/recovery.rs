@@ -1,0 +1,47 @@
+//! Real-time performance of the data-recovery building blocks:
+//! checkpoint write/read, restriction (resampling), and recovered-grid
+//! materialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftsg_core::checkpoint::CheckpointStore;
+use sparsegrid::{Grid2, LevelPair};
+
+fn bench_checkpoint_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(20);
+    for &(i, j) in &[(6u32, 9u32), (8, 8)] {
+        let grid = Grid2::from_fn(LevelPair::new(i, j), |x, y| x * y);
+        let store =
+            CheckpointStore::new(std::env::temp_dir().join(format!("ftsg-bench-ckpt-{i}-{j}")))
+                .unwrap();
+        g.throughput(Throughput::Bytes(grid.byte_size() as u64));
+        g.bench_function(BenchmarkId::new("write", format!("{i}x{j}")), |b| {
+            b.iter(|| store.write(0, 42, &grid).unwrap())
+        });
+        store.write(0, 42, &grid).unwrap();
+        g.bench_function(BenchmarkId::new("read", format!("{i}x{j}")), |b| {
+            b.iter(|| store.read(0).unwrap().unwrap())
+        });
+        store.clear().unwrap();
+    }
+    g.finish();
+}
+
+fn bench_resample(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resample");
+    // RC's lower-diagonal recovery: restrict a finer diagonal grid.
+    let fine = Grid2::from_fn(LevelPair::new(7, 9), |x, y| (x * 4.0).sin() + y);
+    g.throughput(Throughput::Elements(LevelPair::new(6, 9).points() as u64));
+    g.bench_function("restrict_7x9_to_6x9", |b| {
+        b.iter(|| fine.restrict_to(LevelPair::new(6, 9)))
+    });
+    // AC's recovered-grid materialization: bilinear sampling.
+    let coarse = Grid2::from_fn(LevelPair::new(6, 6), |x, y| x - y * y);
+    g.bench_function("sample_6x6_to_7x9", |b| {
+        b.iter(|| coarse.sample_to(LevelPair::new(7, 9)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_io, bench_resample);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Real-time (wall-clock) performance of the simulated MPI runtime's
+//! primitives — how fast the *simulator itself* is, as opposed to the
+//! virtual times the experiments report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ulfm_sim::{run, ReduceOp, RunConfig};
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p");
+    for &len in &[64usize, 4096, 262_144] {
+        g.throughput(Throughput::Bytes((len * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("ping_pong_f64", len), &len, |b, &len| {
+            b.iter(|| {
+                run(RunConfig::local(2), move |ctx| {
+                    let w = ctx.initial_world().unwrap();
+                    let data = vec![1.0f64; len];
+                    for _ in 0..8 {
+                        if w.rank() == 0 {
+                            w.send(ctx, 1, 1, &data).unwrap();
+                            let _: Vec<f64> = w.recv(ctx, 1, 2).unwrap();
+                        } else {
+                            let got: Vec<f64> = w.recv(ctx, 0, 1).unwrap();
+                            w.send(ctx, 0, 2, &got).unwrap();
+                        }
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    for &p in &[4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("barrier_x8", p), &p, |b, &p| {
+            b.iter(|| {
+                run(RunConfig::local(p), |ctx| {
+                    let w = ctx.initial_world().unwrap();
+                    for _ in 0..8 {
+                        w.barrier(ctx).unwrap();
+                    }
+                })
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("allreduce_x8", p), &p, |b, &p| {
+            b.iter(|| {
+                run(RunConfig::local(p), |ctx| {
+                    let w = ctx.initial_world().unwrap();
+                    let mine = vec![w.rank() as f64; 128];
+                    for _ in 0..8 {
+                        let _ = w.allreduce(ctx, ReduceOp::Sum, &mine).unwrap();
+                    }
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_spawn_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    for &p in &[19usize, 76, 304] {
+        g.bench_with_input(BenchmarkId::new("spinup_teardown", p), &p, |b, &p| {
+            b.iter(|| {
+                run(RunConfig::local(p), |ctx| {
+                    let w = ctx.initial_world().unwrap();
+                    let _ = w.allreduce_sum(ctx, 1u64).unwrap();
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_p2p, bench_collectives, bench_spawn_world);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablation studies: respawn placement policies (same-host / spare-node /
+//! naive first-host) and ULFM implementation maturity (beta vs ideal).
+
+use ftsg_bench::{experiments::ablation, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    let tables = ablation::run(&opts);
+    tables[0].emit("results/ablation_respawn.csv");
+    tables[1].emit("results/ablation_ulfm.csv");
+    tables[2].emit("results/ablation_buddy.csv");
+}

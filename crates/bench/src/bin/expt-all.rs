@@ -1,0 +1,39 @@
+//! Run every paper experiment in sequence and save all CSVs under
+//! `results/`. `--quick` smoke-tests the whole harness in seconds.
+
+use ftsg_bench::{experiments, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    println!(
+        "ftsg experiment suite: n={}, l={}, 2^{} steps, scales {:?}, {} reps{}\n",
+        opts.n,
+        opts.l,
+        opts.log2_steps,
+        opts.scales,
+        opts.reps,
+        if opts.quick { " (quick)" } else { "" }
+    );
+
+    let t0 = std::time::Instant::now();
+    for t in experiments::fig8::run(&opts) {
+        t.emit("results/fig8.csv");
+    }
+    for t in experiments::table1::run(&opts) {
+        t.emit("results/table1.csv");
+    }
+    let f9 = experiments::fig9::run(&opts);
+    f9[0].emit("results/fig9a.csv");
+    f9[1].emit("results/fig9b.csv");
+    for t in experiments::fig10::run(&opts) {
+        t.emit("results/fig10.csv");
+    }
+    let f11 = experiments::fig11::run(&opts);
+    f11[0].emit("results/fig11a.csv");
+    f11[1].emit("results/fig11b.csv");
+    let abl = experiments::ablation::run(&opts);
+    abl[0].emit("results/ablation_respawn.csv");
+    abl[1].emit("results/ablation_ulfm.csv");
+    abl[2].emit("results/ablation_buddy.csv");
+    println!("all experiments finished in {:.1?} (real time)", t0.elapsed());
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's Fig. 10 (average approximation error of the
+//! combined solution vs number of lost grids).
+
+use ftsg_bench::{experiments::fig10, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    for t in fig10::run(&opts) {
+        t.emit("results/fig10.csv");
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's Fig. 11 (overall execution time and parallel
+//! efficiency vs cores, 0/1/2 failures × three techniques).
+
+use ftsg_bench::{experiments::fig11, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    let tables = fig11::run(&opts);
+    tables[0].emit("results/fig11a.csv");
+    tables[1].emit("results/fig11b.csv");
+}

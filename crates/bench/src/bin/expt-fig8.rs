@@ -1,0 +1,11 @@
+//! Regenerate the paper's Fig. 8 (failed-list creation and communicator
+//! reconstruction times vs cores, 1 and 2 failures).
+
+use ftsg_bench::{experiments::fig8, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    for t in fig8::run(&opts) {
+        t.emit("results/fig8.csv");
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's Fig. 9 (data recovery overheads, raw and
+//! process-time-normalized, on OPL and Raijin).
+
+use ftsg_bench::{experiments::fig9, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    let tables = fig9::run(&opts);
+    tables[0].emit("results/fig9a.csv");
+    tables[1].emit("results/fig9b.csv");
+}

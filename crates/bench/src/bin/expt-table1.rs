@@ -1,0 +1,12 @@
+//! Regenerate the paper's Table I (ULFM operation wall times with two
+//! failed processes, 19–304 cores) with the paper's published values
+//! alongside.
+
+use ftsg_bench::{experiments::table1, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    for t in table1::run(&opts) {
+        t.emit("results/table1.csv");
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per paper artifact. Every module exposes
+//! `run(&Opts) -> Vec<Table>`; the binaries print and save the tables.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

@@ -1,0 +1,76 @@
+//! Table I — beta Open MPI 3.1 performance with two failed processes:
+//! wall times of `MPI_Comm_spawn_multiple`, `OMPI_Comm_shrink`,
+//! `OMPI_Comm_agree` and `MPI_Intercomm_merge` at 19–304 cores.
+//!
+//! The measured columns come from the application's repair path
+//! (timed per operation in `ftsg_core::reconstruct`); the paper's
+//! published values are shown alongside for direct comparison — by
+//! construction the beta-ULFM cost model was calibrated against them, so
+//! agreement here validates the calibration end-to-end *through the whole
+//! recovery protocol*, not just the model functions.
+
+use ftsg_core::app::keys;
+use ftsg_core::{AppConfig, ProcLayout, Technique};
+use ulfm_sim::{ClusterProfile, FaultPlan};
+
+use crate::opts::Opts;
+use crate::runner::{launch_on, random_victims, ModelKind};
+use crate::table::{sig3, Table};
+
+/// The paper's measurements: (cores, spawn, shrink, agree, merge).
+pub const PAPER: &[(usize, f64, f64, f64, f64)] = &[
+    (19, 0.01, 0.01, 0.49, 0.01),
+    (38, 4.19, 2.46, 0.51, 0.01),
+    (76, 60.75, 43.35, 1.03, 0.02),
+    (152, 86.45, 50.80, 2.36, 0.03),
+    (304, 112.61, 55.57, 12.83, 0.03),
+];
+
+/// Run the two-failure sweep.
+pub fn run(opts: &Opts) -> Vec<Table> {
+    let technique = Technique::ResamplingCopying;
+    let mut t = Table::new(
+        format!(
+            "Table I: ULFM operation wall times, two process failures (n={}, l={})",
+            opts.n, opts.l
+        ),
+        &[
+            "cores",
+            "spawn(s)",
+            "paper",
+            "shrink(s)",
+            "paper",
+            "agree(s)",
+            "paper",
+            "merge(s)",
+            "paper",
+        ],
+    );
+    for &s in &opts.scales {
+        let layout = ProcLayout::new(opts.n, opts.l, technique.layout(), s);
+        let cores = layout.world_size();
+        let seed = opts.seed ^ (s as u64) << 20;
+        let cfg = AppConfig::paper_shaped(technique, opts.n, s, opts.log2_steps);
+        let steps = cfg.steps();
+        let victims = random_victims(&layout, 2, true, seed);
+        let plan = FaultPlan::new(victims.into_iter().map(|r| (r, steps)).collect());
+        let report = launch_on(ClusterProfile::opl(), ModelKind::Beta, cfg.with_plan(plan), seed);
+        let paper = PAPER
+            .iter()
+            .find(|&&(c, ..)| c == cores)
+            .copied()
+            .unwrap_or((cores, f64::NAN, f64::NAN, f64::NAN, f64::NAN));
+        t.row(vec![
+            cores.to_string(),
+            sig3(report.get_f64(keys::T_SPAWN).unwrap()),
+            sig3(paper.1),
+            sig3(report.get_f64(keys::T_SHRINK).unwrap()),
+            sig3(paper.2),
+            sig3(report.get_f64(keys::T_AGREE).unwrap()),
+            sig3(paper.3),
+            sig3(report.get_f64(keys::T_MERGE).unwrap()),
+            sig3(paper.4),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,109 @@
+//! Command-line options shared by the experiment binaries.
+
+/// Experiment sizing knobs. The defaults keep every experiment
+//  laptop-scale; `--paper` pushes the structural parameters to the
+/// paper's (n = 13 still requires substantial memory — see
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Full grid size `n` (paper: 13; default 9).
+    pub n: u32,
+    /// Combination level `l` (paper and default: 4).
+    pub l: u32,
+    /// `log2` of the timestep count (paper: 13; default 6).
+    pub log2_steps: u32,
+    /// Process scales to sweep (paper: 1, 2, 4, 8, 16 → 19–304 cores).
+    pub scales: Vec<usize>,
+    /// Repetitions for averaged quantities (paper: 5 for times, 20 for
+    /// errors).
+    pub reps: usize,
+    /// Quick mode: tiny sweep for smoke-testing the harness.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            n: 9,
+            l: 4,
+            log2_steps: 6,
+            scales: vec![1, 2, 4, 8, 16],
+            reps: 5,
+            quick: false,
+            seed: 2014,
+        }
+    }
+}
+
+impl Opts {
+    /// Parse `--n V --l V --steps V --scales a,b,c --reps V --seed V
+    /// --quick` from `std::env::args`. Unknown flags abort with usage.
+    pub fn from_args() -> Self {
+        let mut o = Opts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        let usage = || -> ! {
+            eprintln!(
+                "usage: [--n N] [--l L] [--steps LOG2] [--scales a,b,c] [--reps R] [--seed S] [--quick]"
+            );
+            std::process::exit(2);
+        };
+        while i < args.len() {
+            let take = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i).cloned().unwrap_or_else(|| usage())
+            };
+            match args[i].as_str() {
+                "--n" => o.n = take(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--l" => o.l = take(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--steps" => o.log2_steps = take(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--reps" => o.reps = take(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--seed" => o.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--scales" => {
+                    o.scales = take(&mut i)
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                        .collect();
+                }
+                "--quick" => o.quick = true,
+                _ => usage(),
+            }
+            i += 1;
+        }
+        if o.quick {
+            o.apply_quick();
+        }
+        o
+    }
+
+    /// Shrink the sweep for smoke tests.
+    pub fn apply_quick(&mut self) {
+        self.n = self.n.min(7);
+        self.log2_steps = self.log2_steps.min(4);
+        self.scales = vec![1, 2];
+        self.reps = 2;
+        self.quick = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_shaped() {
+        let o = Opts::default();
+        assert_eq!(o.l, 4);
+        assert_eq!(o.scales, vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn quick_shrinks() {
+        let mut o = Opts::default();
+        o.apply_quick();
+        assert!(o.n <= 7);
+        assert_eq!(o.scales, vec![1, 2]);
+    }
+}

@@ -1,0 +1,469 @@
+//! The end-to-end fault-tolerant application (§II): solve the 2D advection
+//! equation on every sub-grid for `2^k` timesteps, suffer injected
+//! process failures, detect them, reconstruct the world communicator at
+//! its original size and rank order, recover the lost sub-grid data with
+//! the configured technique, combine, and measure the error against the
+//! analytic solution.
+//!
+//! Every rank — original or respawned — executes [`run_app`]; respawned
+//! children are routed through the child branch of the reconstruction
+//! protocol exactly as a re-executed `main()` would be in the paper's MPI
+//! code.
+
+use advect2d::TimeGrid;
+use sparsegrid::{combine_onto, l1_error_vs, robust_coefficients, CombinationTerm, Grid2, LevelPair, LevelSet};
+use ulfm_sim::{Comm, Ctx, Error, Result};
+
+use crate::checkpoint::CheckpointStore;
+use crate::config::{AppConfig, Technique};
+use crate::gather::{gather_grid, recv_grid, send_grid};
+use crate::layout::{Assignment, ProcLayout};
+use crate::psolve::DistributedSolver;
+use crate::reconstruct::{communicator_reconstruct_with, ReconstructTimings};
+use crate::recovery;
+
+/// World tag base for shipping combining grids to the controller.
+const TAG_COMBINE: i32 = 9000;
+
+/// Report keys the application deposits (see [`AppOutcome`]).
+pub mod keys {
+    /// Virtual makespan of the whole run (max over ranks), seconds.
+    pub const T_TOTAL: &str = "t_total";
+    /// Data recovery overhead (paper Fig. 9a component), max over ranks.
+    pub const T_RECOVERY: &str = "t_recovery";
+    /// Total checkpoint-writing time (CR; part of Fig. 9a's CR bar).
+    pub const T_CKPT: &str = "t_ckpt_total";
+    /// Failed-list creation time, cumulative over repairs (Fig. 8a).
+    pub const T_LIST: &str = "t_list";
+    /// Whole communicator-reconstruction time (Fig. 8b).
+    pub const T_RECONSTRUCT: &str = "t_reconstruct";
+    /// `OMPI_Comm_shrink` time (Table I).
+    pub const T_SHRINK: &str = "t_shrink";
+    /// `MPI_Comm_spawn_multiple` time (Table I).
+    pub const T_SPAWN: &str = "t_spawn";
+    /// `MPI_Intercomm_merge` time (Table I).
+    pub const T_MERGE: &str = "t_merge";
+    /// `OMPI_Comm_agree` time during repair (Table I).
+    pub const T_AGREE: &str = "t_agree";
+    /// Average l1 error of the combined solution vs the analytic solution
+    /// (Fig. 10).
+    pub const ERR_L1: &str = "err_l1";
+    /// Number of process failures repaired.
+    pub const N_FAILED: &str = "n_failed";
+    /// World size of the run.
+    pub const WORLD: &str = "world";
+    /// Solve-phase time (max over ranks), excluding recovery/combination.
+    pub const T_SOLVE: &str = "t_solve";
+}
+
+/// Marker type documenting the report-key contract of [`run_app`]: results
+/// are deposited on the run blackboard under [`keys`].
+#[derive(Debug, Clone, Copy)]
+pub struct AppOutcome;
+
+/// Detection points: for Checkpoint/Restart, every checkpoint period and
+/// the end; otherwise just the end ("the 2D-advection solver is run for
+/// 2^13 timesteps at which point failure detection is tested", §III).
+fn detection_points(cfg: &AppConfig) -> Vec<u64> {
+    let steps = cfg.steps();
+    let mut v = Vec::new();
+    if cfg.technique.has_periodic_protection() {
+        let p = cfg.ckpt_period();
+        let mut s = p;
+        while s < steps {
+            v.push(s);
+            s += p;
+        }
+    }
+    v.push(steps);
+    v
+}
+
+fn build_group(ctx: &Ctx, world: &Comm, my: Assignment) -> Result<Comm> {
+    world
+        .split(ctx, Some(my.grid as i64), world.rank() as i64)?
+        .ok_or_else(|| Error::InvalidArg("every rank belongs to a grid group".into()))
+}
+
+/// Post-reconstruction phase, collective over the (repaired) world:
+/// broadcast the failure metadata, rebuild the per-grid group
+/// communicators, and run the technique's data recovery. Returns the
+/// detection step, the new group communicator, and this rank's recovery
+/// time.
+#[allow(clippy::too_many_arguments)]
+fn post_recovery(
+    ctx: &Ctx,
+    cfg: &AppConfig,
+    layout: &ProcLayout,
+    world: &Comm,
+    my: Assignment,
+    solver: &mut DistributedSolver,
+    store: &CheckpointStore,
+    buddy_store: &mut recovery::BuddyStore,
+    known: Option<(u64, Vec<usize>)>,
+) -> Result<(u64, Comm, f64, Vec<usize>)> {
+    // Rank 0 (never failed, by the paper's constraint) broadcasts the
+    // detection step and the failed-rank list so respawned children learn
+    // the global state.
+    let meta: Option<Vec<u64>> = if world.rank() == 0 {
+        let (d, failed) = known.expect("rank 0 survived and knows the failure metadata");
+        let mut v = vec![d];
+        v.extend(failed.iter().map(|&r| r as u64));
+        Some(v)
+    } else {
+        None
+    };
+    let meta = world.bcast(ctx, 0, meta.as_deref())?;
+    let at_step = meta[0];
+    let failed: Vec<usize> = meta[1..].iter().map(|&r| r as usize).collect();
+
+    let group = build_group(ctx, world, my)?;
+    let stats = recovery::recover(
+        ctx, cfg, layout, world, &group, my, solver, store, buddy_store, &failed, at_step,
+    )?;
+    Ok((at_step, group, stats.t_recovery, failed))
+}
+
+/// Execute the fault-tolerant application on this rank. Panics (recording
+/// an app error in the run report) on unrecoverable protocol failures;
+/// deposits results under [`keys`] via the rank-0 controller.
+pub fn run_app(cfg: &AppConfig, ctx: &mut Ctx) {
+    if let Err(e) = run_app_inner(cfg, ctx) {
+        panic!("ftsg application failed: {e}");
+    }
+}
+
+/// Attach a protocol-stage label to an error so an unrecoverable failure
+/// reports *where* in the application flow it happened.
+fn stage<T>(r: Result<T>, which: &str, _ctx: &Ctx) -> Result<T> {
+    r.map_err(|e| match e {
+        Error::InvalidArg(msg) => Error::InvalidArg(format!("[{which}] {msg}")),
+        other => Error::InvalidArg(format!("[{which}] {other}")),
+    })
+}
+
+fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
+    let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
+    let steps = cfg.steps();
+    let tg = TimeGrid::for_system(&cfg.problem, cfg.n, steps, 0.4);
+    let store = CheckpointStore::new(&cfg.ckpt_dir)
+        .map_err(|e| Error::InvalidArg(format!("checkpoint dir: {e}")))?;
+
+    let child = ctx.is_spawned();
+    let mut repair_timings = ReconstructTimings::default();
+    // In-memory buddy checkpoints this rank holds for partner grids
+    // (Buddy Checkpoint technique only; respawned ranks start empty).
+    let mut buddy_store: recovery::BuddyStore = Default::default();
+    // Grids that lost data at the *final* detection point; the Alternate
+    // Combination's final solution is the robust combination over the
+    // survivors ("all the surviving sub-grids, including those on the
+    // extra layers, are assigned new coefficients for the combination").
+    let mut final_lost: Vec<usize> = Vec::new();
+    let mut t_rec_local = 0.0_f64;
+    let mut t_ckpt_local = 0.0_f64;
+    let mut t_solve_local = 0.0_f64;
+
+    // ---- world acquisition (original vs respawned child). ----
+    let mut world: Comm;
+    let mut current_step: u64;
+    let my: Assignment;
+    let mut solver: DistributedSolver;
+    let mut group: Comm;
+
+    if child {
+        let parent = ctx.parent().expect("spawned process has a parent intercommunicator");
+        world = stage(
+            communicator_reconstruct_with(ctx, None, Some(parent), cfg.respawn_policy, &mut repair_timings),
+            "child-reconstruct",
+            ctx,
+        )?;
+        my = layout.assignment(world.rank());
+        solver = DistributedSolver::new(
+            cfg.problem,
+            layout.system().grid(my.grid).level,
+            tg.dt,
+            layout.group(my.grid),
+            my.local,
+        );
+        let (d, g, trec, failed) =
+            stage(post_recovery(ctx, cfg, &layout, &world, my, &mut solver, &store, &mut buddy_store, None), "child-post-recovery", ctx)?;
+        group = g;
+        current_step = d;
+        t_rec_local += trec;
+        if d == steps {
+            final_lost = layout.broken_grids(&failed);
+        }
+    } else {
+        world = ctx.initial_world().expect("original process has a world");
+        if world.size() != layout.world_size() {
+            return Err(Error::InvalidArg(format!(
+                "world size {} does not match layout size {}",
+                world.size(),
+                layout.world_size()
+            )));
+        }
+        my = layout.assignment(world.rank());
+        solver = DistributedSolver::new(
+            cfg.problem,
+            layout.system().grid(my.grid).level,
+            tg.dt,
+            layout.group(my.grid),
+            my.local,
+        );
+        group = stage(build_group(ctx, &world, my), "initial-split", ctx)?;
+        current_step = 0;
+    }
+
+    // ---- main loop over detection segments. ----
+    let dpoints = detection_points(cfg);
+    let mut group_broken = false;
+    while current_step < steps {
+        let dp = dpoints
+            .iter()
+            .copied()
+            .find(|&d| d > current_step)
+            .expect("detection points end at `steps`");
+
+        // Solve this segment. A broken group sits the stepping out (its
+        // data will be recovered wholesale), but the failure generator
+        // keeps firing: a planned kill strikes at its step regardless of
+        // what the rank is doing, like a real SIGKILL.
+        let t_solve0 = ctx.now();
+        for s in current_step..dp {
+            if cfg.plan.strikes(world.rank(), s) {
+                ctx.die();
+            }
+            if group_broken {
+                continue;
+            }
+            match solver.step(ctx, &group) {
+                Ok(()) => {}
+                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                    // Propagate the failure to the rest of the group:
+                    // members whose halo partners are alive would
+                    // otherwise wait forever on neighbours that have
+                    // stopped stepping. This is exactly what
+                    // `OMPI_Comm_revoke` exists for.
+                    group.revoke(ctx);
+                    group_broken = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        t_solve_local += ctx.now() - t_solve0;
+        current_step = dp;
+        // Failures injected "at some point before the combination": a plan
+        // entry at `steps` strikes right before the final detection.
+        if dp == steps && cfg.plan.strikes(world.rank(), steps) {
+            ctx.die();
+        }
+
+        // Detection + (if needed) reconstruction — the Fig. 3 protocol.
+        let mut round = ReconstructTimings::default();
+        world = stage(
+            communicator_reconstruct_with(ctx, Some(world), None, cfg.respawn_policy, &mut round),
+            "detect-reconstruct",
+            ctx,
+        )?;
+        let repaired = !round.failed_ranks.is_empty();
+        if repaired {
+            merge_timings(&mut repair_timings, &round);
+            let known = Some((dp, round.failed_ranks.clone()));
+            let (d, g, trec, failed) =
+                stage(post_recovery(ctx, cfg, &layout, &world, my, &mut solver, &store, &mut buddy_store, known), "post-recovery", ctx)?;
+            debug_assert_eq!(d, dp);
+            group = g;
+            t_rec_local += trec;
+            group_broken = false;
+            if d == steps {
+                final_lost = layout.broken_grids(&failed);
+            }
+        } else if cfg.technique == Technique::CheckpointRestart && dp < steps {
+            // Healthy checkpoint write ("failure detection is tested prior
+            // to initiating the checkpoint write").
+            let t0 = ctx.now();
+            let full = stage(gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &solver.local_block()), "ckpt-gather", ctx)?;
+            if let Some(g) = full {
+                let bytes = store
+                    .write(my.grid, current_step, &g)
+                    .map_err(|e| Error::InvalidArg(format!("checkpoint write: {e}")))?;
+                ctx.disk_write(bytes);
+            }
+            t_ckpt_local += ctx.now() - t0;
+        } else if cfg.technique == Technique::BuddyCheckpoint && dp < steps {
+            // Healthy buddy exchange: the in-memory, diskless analogue.
+            let t0 = ctx.now();
+            stage(
+                recovery::buddy_exchange(
+                    ctx, &layout, &world, &group, my, &solver, current_step, &mut buddy_store,
+                ),
+                "buddy-exchange",
+                ctx,
+            )?;
+            t_ckpt_local += ctx.now() - t0;
+        }
+    }
+
+    // ---- simulated grid losses (paper Figs. 9 and 10): run the data
+    // recovery path as if each listed grid had lost a process — no real
+    // kill, no communicator reconstruction ("non-real (simulated)",
+    // §III). ----
+    if !cfg.simulated_lost_grids.is_empty() {
+        let fabricated: Vec<usize> = cfg
+            .simulated_lost_grids
+            .iter()
+            .map(|&g| {
+                let info = layout.group(g);
+                // Never fabricate rank 0 as failed (controller constraint).
+                info.first + info.size - 1
+            })
+            .collect();
+        debug_assert!(!fabricated.contains(&0), "rank 0 cannot be a (simulated) victim");
+        let stats = recovery::recover(
+            ctx, cfg, &layout, &world, &group, my, &mut solver, &store, &mut buddy_store, &fabricated, steps,
+        )?;
+        t_rec_local += stats.t_recovery;
+        for g in layout.broken_grids(&fabricated) {
+            if !final_lost.contains(&g) {
+                final_lost.push(g);
+            }
+        }
+        final_lost.sort_unstable();
+    }
+
+    // ---- combination & measurement. ----
+    // Under Alternate Combination with end-of-run losses, the final
+    // combination *is* the robust combination over the survivors (the
+    // "compulsory stage" whose sample also served as recovered data);
+    // otherwise it is the classical Eq.-1 combination, using recovered
+    // data where grids were restored.
+    let sys = layout.system();
+    let use_robust =
+        cfg.technique == Technique::AlternateCombination && !final_lost.is_empty();
+    let (combine_ids, combine_coeffs): (Vec<usize>, Vec<f64>) = if use_robust {
+        let lost_levels: Vec<LevelPair> =
+            final_lost.iter().map(|&b| sys.grid(b).level).collect();
+        let surviving: LevelSet = sys
+            .grids()
+            .iter()
+            .filter(|g| !final_lost.contains(&g.id))
+            .map(|g| g.level)
+            .collect();
+        let cmap = robust_coefficients(&sys.classical_downset(), &lost_levels, &surviving);
+        let ids: Vec<usize> = sys
+            .grids()
+            .iter()
+            .filter(|g| {
+                !final_lost.contains(&g.id)
+                    && cmap.get(&g.level).copied().unwrap_or(0) != 0
+            })
+            .map(|g| g.id)
+            .collect();
+        let coeffs = ids.iter().map(|&i| cmap[&sys.grid(i).level] as f64).collect();
+        (ids, coeffs)
+    } else {
+        let ids = sys.combination_ids();
+        let coeffs = ids.iter().map(|&i| sys.classical_coefficient(i) as f64).collect();
+        (ids, coeffs)
+    };
+    let combining = combine_ids.contains(&my.grid);
+    let mut my_full: Option<Grid2> = None;
+    if combining {
+        my_full = stage(gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &solver.local_block()), "combine-gather", ctx)?;
+        if let Some(g) = &my_full {
+            if world.rank() != 0 {
+                stage(send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g), "combine-send", ctx)?;
+            }
+        }
+    }
+    let mut err = f64::NAN;
+    if world.rank() == 0 {
+        let mut sources: Vec<(f64, Grid2)> = Vec::new();
+        for (&gid, &coeff) in combine_ids.iter().zip(&combine_coeffs) {
+            let grid = if layout.root_of(gid) == world.rank() {
+                my_full.clone().expect("controller gathered its own grid")
+            } else {
+                stage(recv_grid(ctx, &world, layout.root_of(gid), TAG_COMBINE + gid as i32), "combine-recv", ctx)?
+            };
+            sources.push((coeff, grid));
+        }
+        let terms: Vec<CombinationTerm> = sources
+            .iter()
+            .map(|(c, g)| CombinationTerm { coeff: *c, grid: g })
+            .collect();
+        let target = sys.min_level();
+        let combined = combine_onto(target, &terms);
+        ctx.compute_cells((terms.len() * target.points()) as u64);
+        let t_final = tg.dt * steps as f64;
+        err = l1_error_vs(&combined, cfg.problem.exact_at(t_final));
+        if let Some(prefix) = &cfg.output_prefix {
+            let base = prefix.display();
+            crate::output::write_csv(&combined, format!("{base}.csv"))
+                .map_err(|e| Error::InvalidArg(format!("solution csv: {e}")))?;
+            crate::output::write_pgm(&combined, format!("{base}.pgm"))
+                .map_err(|e| Error::InvalidArg(format!("solution pgm: {e}")))?;
+        }
+    }
+
+    // ---- aggregate and report (controller writes the blackboard). ----
+    let t_rec_max = stage(world.allreduce_max(ctx, t_rec_local), "final-allreduce", ctx)?;
+    let t_ckpt_max = stage(world.allreduce_max(ctx, t_ckpt_local), "allreduce-ckpt", ctx)?;
+    let t_solve_max = stage(world.allreduce_max(ctx, t_solve_local), "allreduce-solve", ctx)?;
+    let t_end = stage(world.allreduce_max(ctx, ctx.now()), "allreduce-end", ctx)?;
+    if world.rank() == 0 {
+        ctx.report_f64(keys::T_TOTAL, t_end);
+        ctx.report_f64(keys::T_RECOVERY, t_rec_max);
+        ctx.report_f64(keys::T_CKPT, t_ckpt_max);
+        ctx.report_f64(keys::T_SOLVE, t_solve_max);
+        ctx.report_f64(keys::ERR_L1, err);
+        ctx.report_f64(keys::T_LIST, repair_timings.t_list);
+        ctx.report_f64(keys::T_RECONSTRUCT, repair_timings.t_total);
+        ctx.report_f64(keys::T_SHRINK, repair_timings.t_shrink);
+        ctx.report_f64(keys::T_SPAWN, repair_timings.t_spawn);
+        ctx.report_f64(keys::T_MERGE, repair_timings.t_merge);
+        ctx.report_f64(keys::T_AGREE, repair_timings.t_agree);
+        ctx.report_f64(keys::N_FAILED, repair_timings.failed_ranks.len() as f64);
+        ctx.report_f64(keys::WORLD, world.size() as f64);
+        // Best-effort cleanup of the checkpoint directory.
+        let _ = store.clear();
+    }
+    Ok(())
+}
+
+fn merge_timings(acc: &mut ReconstructTimings, round: &ReconstructTimings) {
+    acc.t_list += round.t_list;
+    acc.t_shrink += round.t_shrink;
+    acc.t_spawn += round.t_spawn;
+    acc.t_merge += round.t_merge;
+    acc.t_agree += round.t_agree;
+    acc.t_split += round.t_split;
+    acc.t_total += round.t_total;
+    acc.rounds += round.rounds;
+    for &r in &round.failed_ranks {
+        if !acc.failed_ranks.contains(&r) {
+            acc.failed_ranks.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_points_cr_vs_others() {
+        let mut cfg = AppConfig::small(Technique::CheckpointRestart); // 32 steps, C=2
+        assert_eq!(detection_points(&cfg), vec![10, 20, 30, 32]);
+        cfg.technique = Technique::AlternateCombination;
+        assert_eq!(detection_points(&cfg), vec![32]);
+        cfg.technique = Technique::ResamplingCopying;
+        assert_eq!(detection_points(&cfg), vec![32]);
+    }
+
+    #[test]
+    fn detection_points_period_divides_steps() {
+        let cfg = AppConfig::small(Technique::CheckpointRestart).with_checkpoints(3);
+        // period = 32 / 4 = 8 → checkpoints at 8, 16, 24; end at 32.
+        assert_eq!(detection_points(&cfg), vec![8, 16, 24, 32]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Application configuration: problem size, technique, scale, failures.
+
+use std::path::PathBuf;
+
+use advect2d::AdvectionProblem;
+use sparsegrid::Layout;
+use ulfm_sim::FaultPlan;
+
+use crate::reconstruct::RespawnPolicy;
+
+/// The three data recovery techniques of the paper (§II-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Exact recovery from periodic disk checkpoints; restart + recompute.
+    CheckpointRestart,
+    /// Near-exact recovery: duplicate diagonal grids are copied, lower
+    /// diagonals resampled from the finer diagonal above them.
+    ResamplingCopying,
+    /// Approximate recovery: recompute combination coefficients over the
+    /// survivors (robust combination with two extra layers) and sample the
+    /// combined solution as the lost grid's data.
+    AlternateCombination,
+    /// **Extension (not in the paper):** diskless *buddy* checkpointing —
+    /// each sub-grid periodically ships its state to a partner group's
+    /// root, which keeps it in memory; recovery restores from the buddy
+    /// copy (falling back to an initial-condition restart if the buddy's
+    /// root died too) and recomputes, exactly like Checkpoint/Restart but
+    /// without touching the disk.
+    BuddyCheckpoint,
+}
+
+impl Technique {
+    /// The grid-system layout this technique runs with (paper Fig. 1).
+    pub fn layout(&self) -> Layout {
+        match self {
+            Technique::CheckpointRestart | Technique::BuddyCheckpoint => Layout::Plain,
+            Technique::ResamplingCopying => Layout::Duplicates,
+            Technique::AlternateCombination => Layout::ExtraLayers,
+        }
+    }
+
+    /// Does this technique run periodic protection points (checkpoints /
+    /// buddy exchanges) with mid-run failure detection?
+    pub fn has_periodic_protection(&self) -> bool {
+        matches!(self, Technique::CheckpointRestart | Technique::BuddyCheckpoint)
+    }
+
+    /// Short label used in experiment tables ("CR", "RC", "AC").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::CheckpointRestart => "CR",
+            Technique::ResamplingCopying => "RC",
+            Technique::AlternateCombination => "AC",
+            Technique::BuddyCheckpoint => "BC",
+        }
+    }
+
+    /// All three, in the paper's reporting order.
+    pub fn all() -> [Technique; 3] {
+        [
+            Technique::ResamplingCopying,
+            Technique::AlternateCombination,
+            Technique::CheckpointRestart,
+        ]
+    }
+}
+
+/// Full configuration of one application run.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Full grid size `n` (the paper uses 13; defaults here are smaller so
+    /// runs stay laptop-scale — see EXPERIMENTS.md).
+    pub n: u32,
+    /// Combination level `l ≥ 2` (the paper uses 4).
+    pub l: u32,
+    /// Process-count scale `s`: `2s` processes per diagonal (and
+    /// duplicate) grid, `s` per lower diagonal, `⌈s/2⌉` / `⌈s/4⌉` per
+    /// extra-layer grid — the paper's Fig. 9 caption is `s = 4`
+    /// (8/4/2/1).
+    pub scale: usize,
+    /// The recovery technique under test.
+    pub technique: Technique,
+    /// Solve for `2^log2_steps` timesteps (the paper runs `2^13`).
+    pub log2_steps: u32,
+    /// The failure schedule (solver-step indexed; `step == steps` means
+    /// "just before the final detection point").
+    pub plan: FaultPlan,
+    /// Number of checkpoints `C` for Checkpoint/Restart — the paper's
+    /// Eq. 2: `C = T / T_IO` with `T` the MTBF (half the run time in
+    /// their setup).
+    pub checkpoints: u32,
+    /// Directory for checkpoint files (a per-run temp dir by default).
+    pub ckpt_dir: PathBuf,
+    /// The PDE being solved.
+    pub problem: AdvectionProblem,
+    /// *Simulated* grid losses (the paper's Figs. 9 and 10 use non-real,
+    /// simulated failures): at the final detection point, the data
+    /// recovery path runs for these grids as if each had lost a process,
+    /// without killing anyone and without communicator reconstruction.
+    pub simulated_lost_grids: Vec<usize>,
+    /// Where replacement processes go (the paper's same-host placement,
+    /// or the §V future-work spare-node policy).
+    pub respawn_policy: RespawnPolicy,
+    /// If set, the controller writes the combined solution here as
+    /// `<prefix>.csv` and `<prefix>.pgm` after the final combination.
+    pub output_prefix: Option<PathBuf>,
+}
+
+impl AppConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn small(technique: Technique) -> Self {
+        AppConfig {
+            n: 6,
+            l: 3,
+            scale: 1,
+            technique,
+            log2_steps: 5,
+            plan: FaultPlan::none(),
+            checkpoints: 2,
+            ckpt_dir: default_ckpt_dir(),
+            problem: AdvectionProblem::standard(),
+            simulated_lost_grids: Vec::new(),
+            respawn_policy: RespawnPolicy::SameHost,
+            output_prefix: None,
+        }
+    }
+
+    /// The paper's structural configuration (`l = 4`) at a reduced grid
+    /// size `n` and step count — the shape-preserving substitution
+    /// documented in DESIGN.md §2.
+    pub fn paper_shaped(technique: Technique, n: u32, scale: usize, log2_steps: u32) -> Self {
+        AppConfig {
+            n,
+            l: 4,
+            scale,
+            technique,
+            log2_steps,
+            plan: FaultPlan::none(),
+            checkpoints: 4,
+            ckpt_dir: default_ckpt_dir(),
+            problem: AdvectionProblem::standard(),
+            simulated_lost_grids: Vec::new(),
+            respawn_policy: RespawnPolicy::SameHost,
+            output_prefix: None,
+        }
+    }
+
+    /// Write the combined solution to `<prefix>.csv` / `<prefix>.pgm`.
+    pub fn with_output_prefix(mut self, prefix: impl Into<PathBuf>) -> Self {
+        self.output_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Replace the respawn policy (spare-node recovery, paper §V).
+    pub fn with_respawn_policy(mut self, policy: RespawnPolicy) -> Self {
+        self.respawn_policy = policy;
+        self
+    }
+
+    /// Replace the simulated-loss list (paper Figs. 9 and 10).
+    pub fn with_simulated_losses(mut self, grids: Vec<usize>) -> Self {
+        self.simulated_lost_grids = grids;
+        self
+    }
+
+    /// Replace the failure plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replace the checkpoint count (Eq. 2 output).
+    pub fn with_checkpoints(mut self, c: u32) -> Self {
+        self.checkpoints = c;
+        self
+    }
+
+    /// Number of solver timesteps.
+    pub fn steps(&self) -> u64 {
+        1u64 << self.log2_steps
+    }
+
+    /// Checkpoint period in steps (CR only): the run is divided into
+    /// `C + 1` segments with a checkpoint after each of the first `C`.
+    pub fn ckpt_period(&self) -> u64 {
+        (self.steps() / (self.checkpoints as u64 + 1)).max(1)
+    }
+
+    /// The optimal checkpoint count of the paper's Eq. 2, given a
+    /// predicted run time `t_app` and per-checkpoint write time `t_io`
+    /// (both seconds): `C = T / T_IO` with MTBF `T = t_app / 2`.
+    pub fn optimal_checkpoints(t_app: f64, t_io: f64) -> u32 {
+        ((t_app / 2.0) / t_io).floor().max(1.0) as u32
+    }
+}
+
+/// A per-process-unique checkpoint directory under the system temp dir.
+pub fn default_ckpt_dir() -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ftsg-ckpt-{}-{}", std::process::id(), seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_layouts() {
+        assert_eq!(Technique::CheckpointRestart.layout(), Layout::Plain);
+        assert_eq!(Technique::ResamplingCopying.layout(), Layout::Duplicates);
+        assert_eq!(Technique::AlternateCombination.layout(), Layout::ExtraLayers);
+        assert_eq!(Technique::CheckpointRestart.label(), "CR");
+    }
+
+    #[test]
+    fn steps_and_period() {
+        let cfg = AppConfig::small(Technique::CheckpointRestart);
+        assert_eq!(cfg.steps(), 32);
+        assert_eq!(cfg.ckpt_period(), 10); // 32 / 3
+        let cfg = cfg.with_checkpoints(100);
+        assert_eq!(cfg.ckpt_period(), 1); // clamped
+    }
+
+    #[test]
+    fn eq2_optimal_checkpoints() {
+        // Paper numbers: app ~ 200 s on OPL (T_IO = 3.52) → C = 28.
+        assert_eq!(AppConfig::optimal_checkpoints(200.0, 3.52), 28);
+        // Raijin's tiny T_IO gives a huge C.
+        assert!(AppConfig::optimal_checkpoints(200.0, 0.03) > 3000);
+        // Never zero.
+        assert_eq!(AppConfig::optimal_checkpoints(0.1, 100.0), 1);
+    }
+
+    #[test]
+    fn ckpt_dirs_are_unique() {
+        assert_ne!(default_ckpt_dir(), default_ckpt_dir());
+    }
+}

@@ -1,0 +1,72 @@
+//! Failure detection and the globally consistent failed-rank list — the
+//! paper's Figs. 4 and 6.
+
+use ulfm_sim::group::GroupCompare;
+use ulfm_sim::{Comm, Ctx};
+
+/// Port of the paper's Fig. 4 (`mpiErrorHandler`): on a communicator
+/// error, acknowledge the locally observed failures so the subsequent
+/// `agree` can return uniformly. (The paper notes a ≥ 10 ms delay is
+/// sometimes needed here; the runtime's cost model charges it inside
+/// `failure_ack`.)
+pub fn mpi_error_handler(ctx: &Ctx, comm: &Comm) {
+    comm.failure_ack(ctx);
+    let _failed_group = comm.failure_get_acked();
+}
+
+/// Port of the paper's Fig. 6 (`failedProcsList`): derive the ranks (in
+/// `broken`) of the processes that are missing from `shrinked`, via
+/// `MPI_Group_compare` / `MPI_Group_difference` /
+/// `MPI_Group_translate_ranks`.
+pub fn failed_procs_list(broken: &Comm, shrinked: &Comm) -> Vec<usize> {
+    let old_group = broken.group();
+    let shrink_group = shrinked.group();
+    if old_group.compare(&shrink_group) == GroupCompare::Ident {
+        return Vec::new();
+    }
+    let failed_group = old_group.difference(&shrink_group);
+    let temp_ranks: Vec<usize> = (0..failed_group.size()).collect();
+    failed_group.translate_ranks(&temp_ranks, &old_group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulfm_sim::{run, Error, RunConfig};
+
+    #[test]
+    fn failed_list_identifies_paper_example() {
+        // The paper's running example (its Fig. 2): ranks 3 and 5 of a
+        // 7-process communicator fail.
+        let report = run(RunConfig::local(7), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if w.rank() == 3 || w.rank() == 5 {
+                ctx.die();
+            }
+            match w.barrier(ctx) {
+                Err(Error::ProcFailed { .. }) => {
+                    mpi_error_handler(ctx, &w);
+                    let shrinked = w.shrink(ctx).unwrap();
+                    let failed = failed_procs_list(&w, &shrinked);
+                    assert_eq!(failed, vec![3, 5]);
+                    ctx.report_add("ok", 1.0);
+                }
+                other => panic!("expected failure, got {other:?}"),
+            }
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("ok"), Some(5.0));
+    }
+
+    #[test]
+    fn no_failures_gives_empty_list() {
+        let report = run(RunConfig::local(4), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            let s = w.shrink(ctx).unwrap();
+            assert!(failed_procs_list(&w, &s).is_empty());
+            ctx.report_add("ok", 1.0);
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("ok"), Some(4.0));
+    }
+}

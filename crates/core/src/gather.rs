@@ -1,0 +1,230 @@
+//! Gather–scatter between distributed blocks and whole sub-grids.
+//!
+//! "The solutions are combined in parallel using a gather–scatter
+//! approach" (§II-A): each group's root gathers the member blocks into a
+//! full [`Grid2`], the roots exchange grids (for combination or data
+//! recovery), and recovered grids are scattered back into member blocks.
+
+use sparsegrid::{Grid2, LevelPair};
+use ulfm_sim::{Comm, Ctx, Error, Result};
+
+use crate::layout::GroupInfo;
+use crate::psolve::block_range;
+
+/// Assemble a full periodic grid (with its duplicated seam row/column)
+/// from per-member fundamental-domain blocks, ordered by group rank.
+pub fn assemble_grid(level: LevelPair, info: &GroupInfo, blocks: &[Vec<f64>]) -> Result<Grid2> {
+    let nxg = 1usize << level.i;
+    let nyg = 1usize << level.j;
+    if blocks.len() != info.size {
+        return Err(Error::InvalidArg(format!(
+            "assemble_grid: {} blocks for group of {}",
+            blocks.len(),
+            info.size
+        )));
+    }
+    let mut grid = Grid2::zeros(level);
+    for (local, block) in blocks.iter().enumerate() {
+        let pi = local % info.px;
+        let pj = local / info.px;
+        let (x0, lnx) = block_range(nxg, info.px, pi);
+        let (y0, lny) = block_range(nyg, info.py, pj);
+        if block.len() != lnx * lny {
+            return Err(Error::InvalidArg(format!(
+                "assemble_grid: block {local} has {} values, expected {}",
+                block.len(),
+                lnx * lny
+            )));
+        }
+        for m in 0..lny {
+            for k in 0..lnx {
+                *grid.at_mut(x0 + k, y0 + m) = block[m * lnx + k];
+            }
+        }
+    }
+    // Periodic seam: node 2^i duplicates node 0.
+    for m in 0..nyg {
+        let v = grid.at(0, m);
+        *grid.at_mut(nxg, m) = v;
+    }
+    for k in 0..=nxg {
+        let v = grid.at(k, 0);
+        *grid.at_mut(k, nyg) = v;
+    }
+    Ok(grid)
+}
+
+/// Cut a full grid into the per-member blocks of a group (inverse of
+/// [`assemble_grid`]; the seam is dropped).
+pub fn split_grid(grid: &Grid2, info: &GroupInfo) -> Vec<Vec<f64>> {
+    let level = grid.level();
+    let nxg = 1usize << level.i;
+    let nyg = 1usize << level.j;
+    let mut out = Vec::with_capacity(info.size);
+    for local in 0..info.size {
+        let pi = local % info.px;
+        let pj = local / info.px;
+        let (x0, lnx) = block_range(nxg, info.px, pi);
+        let (y0, lny) = block_range(nyg, info.py, pj);
+        let mut block = Vec::with_capacity(lnx * lny);
+        for m in 0..lny {
+            for k in 0..lnx {
+                block.push(grid.at(x0 + k, y0 + m));
+            }
+        }
+        out.push(block);
+    }
+    out
+}
+
+/// Collective over the group: gather member blocks to the group root.
+/// Returns `Some(grid)` on the root, `None` elsewhere.
+pub fn gather_grid(
+    ctx: &Ctx,
+    group: &Comm,
+    info: &GroupInfo,
+    level: LevelPair,
+    my_block: &[f64],
+) -> Result<Option<Grid2>> {
+    match group.gather(ctx, 0, my_block)? {
+        Some(blocks) => Ok(Some(assemble_grid(level, info, &blocks)?)),
+        None => Ok(None),
+    }
+}
+
+/// Collective over the group: the root splits `grid` and scatters; every
+/// member receives its block.
+pub fn scatter_grid(
+    ctx: &Ctx,
+    group: &Comm,
+    info: &GroupInfo,
+    grid: Option<&Grid2>,
+) -> Result<Vec<f64>> {
+    let parts = grid.map(|g| split_grid(g, info));
+    group.scatter(ctx, 0, parts.as_deref())
+}
+
+/// Send a whole grid over a communicator as two messages (level header +
+/// payload). Pairs with [`recv_grid`].
+pub fn send_grid(ctx: &Ctx, comm: &Comm, dest: usize, tag: i32, grid: &Grid2) -> Result<()> {
+    comm.send(ctx, dest, tag, &[grid.level().i as u64, grid.level().j as u64])?;
+    comm.send(ctx, dest, tag, grid.values())
+}
+
+/// Receive a whole grid sent by [`send_grid`].
+pub fn recv_grid(ctx: &Ctx, comm: &Comm, src: usize, tag: i32) -> Result<Grid2> {
+    let header: Vec<u64> = comm.recv(ctx, src, tag)?;
+    if header.len() != 2 {
+        return Err(Error::InvalidArg(format!(
+            "recv_grid: malformed header of {} values",
+            header.len()
+        )));
+    }
+    let level = LevelPair::new(header[0] as u32, header[1] as u32);
+    let values: Vec<f64> = comm.recv(ctx, src, tag)?;
+    Grid2::from_raw(level, values).map_err(Error::InvalidArg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(size: usize, px: usize, py: usize) -> GroupInfo {
+        GroupInfo { grid: 0, first: 0, size, px, py }
+    }
+
+    #[test]
+    fn assemble_split_roundtrip() {
+        let level = LevelPair::new(4, 3);
+        let original = Grid2::from_fn(level, |x, y| (x * 5.0).sin() + y);
+        // Make the grid periodic-consistent (seam equals start).
+        let mut periodic = original.clone();
+        for m in 0..periodic.ny() {
+            let v = periodic.at(0, m);
+            *periodic.at_mut(periodic.nx() - 1, m) = v;
+        }
+        let (nx, ny) = (periodic.nx(), periodic.ny());
+        for k in 0..nx {
+            let v = periodic.at(k, 0);
+            *periodic.at_mut(k, ny - 1) = v;
+        }
+        let g = info(4, 2, 2);
+        let blocks = split_grid(&periodic, &g);
+        assert_eq!(blocks.len(), 4);
+        let back = assemble_grid(level, &g, &blocks).unwrap();
+        assert_eq!(back, periodic);
+    }
+
+    #[test]
+    fn assemble_validates_shapes() {
+        let level = LevelPair::new(2, 2);
+        let g = info(2, 2, 1);
+        assert!(assemble_grid(level, &g, &[vec![0.0; 8]]).is_err()); // too few blocks
+        let bad = vec![vec![0.0; 7], vec![0.0; 8]];
+        assert!(assemble_grid(level, &g, &bad).is_err()); // wrong block size
+    }
+
+    #[test]
+    fn single_member_split_is_whole_interior() {
+        let level = LevelPair::new(2, 2);
+        let grid = Grid2::from_fn(level, |x, y| x * 10.0 + y);
+        let g = info(1, 1, 1);
+        let blocks = split_grid(&grid, &g);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), 16); // 4 × 4 fundamental nodes
+    }
+
+    #[test]
+    fn gather_scatter_over_runtime() {
+        use ulfm_sim::{run, RunConfig};
+        let level = LevelPair::new(3, 3);
+        let report = run(RunConfig::local(4), move |ctx| {
+            let w = ctx.initial_world().unwrap();
+            let g = info(4, 2, 2);
+            // Build a deterministic block per rank.
+            let (x0, lnx) = block_range(8, 2, w.rank() % 2);
+            let (y0, lny) = block_range(8, 2, w.rank() / 2);
+            let mut block = Vec::new();
+            for m in 0..lny {
+                for k in 0..lnx {
+                    block.push(((y0 + m) * 8 + (x0 + k)) as f64);
+                }
+            }
+            let gathered = gather_grid(ctx, &w, &g, level, &block).unwrap();
+            if w.rank() == 0 {
+                let grid = gathered.unwrap();
+                assert_eq!(grid.at(5, 2), (2 * 8 + 5) as f64);
+                assert_eq!(grid.at(8, 3), grid.at(0, 3)); // seam
+                // Scatter it back.
+                let mine = scatter_grid(ctx, &w, &g, Some(&grid)).unwrap();
+                assert_eq!(mine, block);
+            } else {
+                assert!(gathered.is_none());
+                let mine = scatter_grid(ctx, &w, &g, None).unwrap();
+                assert_eq!(mine, block);
+            }
+            ctx.report_add("ok", 1.0);
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("ok"), Some(4.0));
+    }
+
+    #[test]
+    fn send_recv_grid_over_runtime() {
+        use ulfm_sim::{run, RunConfig};
+        let report = run(RunConfig::local(2), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if w.rank() == 0 {
+                let g = Grid2::from_fn(LevelPair::new(3, 2), |x, y| x - y);
+                send_grid(ctx, &w, 1, 55, &g).unwrap();
+            } else {
+                let g = recv_grid(ctx, &w, 0, 55).unwrap();
+                assert_eq!(g.level(), LevelPair::new(3, 2));
+                assert!((g.eval(0.5, 0.5) - 0.0).abs() < 1e-12);
+                ctx.report_f64("ok", 1.0);
+            }
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("ok"), Some(1.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Solution output: write combined grids to simple, tool-friendly formats.
+//!
+//! The experiments only need norms, but a downstream user debugging a
+//! recovery wants to *look* at the field. Two formats:
+//!
+//! * **CSV** — `x,y,value` rows, trivially plottable
+//!   (`gnuplot`, pandas, ...);
+//! * **PGM** — a greyscale image of the field, value range mapped to
+//!   0–255, viewable everywhere.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use sparsegrid::Grid2;
+
+/// Write `x,y,value` CSV rows (with a header) for every node.
+pub fn write_csv(grid: &Grid2, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "x,y,value")?;
+    for m in 0..grid.ny() {
+        for k in 0..grid.nx() {
+            let (x, y) = grid.coords(k, m);
+            writeln!(f, "{x},{y},{}", grid.at(k, m))?;
+        }
+    }
+    f.flush()
+}
+
+/// Write a binary PGM (P5) image of the field, min→black, max→white.
+/// A constant field renders mid-grey.
+pub fn write_pgm(grid: &Grid2, path: impl AsRef<Path>) -> io::Result<()> {
+    let (lo, hi) = grid
+        .values()
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = hi - lo;
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P5")?;
+    writeln!(f, "{} {}", grid.nx(), grid.ny())?;
+    writeln!(f, "255")?;
+    let mut row = Vec::with_capacity(grid.nx());
+    // Image convention: top row = y max.
+    for m in (0..grid.ny()).rev() {
+        row.clear();
+        for k in 0..grid.nx() {
+            let v = grid.at(k, m);
+            let byte = if span > 0.0 {
+                (((v - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8
+            } else {
+                128
+            };
+            row.push(byte);
+        }
+        f.write_all(&row)?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsegrid::LevelPair;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ftsg-output-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn csv_has_header_and_all_nodes() {
+        let g = Grid2::from_fn(LevelPair::new(2, 2), |x, y| x + y);
+        let path = tmp("grid.csv");
+        write_csv(&g, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "x,y,value");
+        assert_eq!(lines.len(), 1 + 25);
+        assert!(lines[1].starts_with("0,0,"));
+        // Last node is (1, 1) with value 2.
+        assert_eq!(lines.last().unwrap(), &"1,1,2");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let g = Grid2::from_fn(LevelPair::new(3, 2), |x, _| x);
+        let path = tmp("grid.pgm");
+        write_pgm(&g, &path).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        let text = String::from_utf8_lossy(&raw[..20]);
+        assert!(text.starts_with("P5\n9 5\n255\n"));
+        // Payload: 9 × 5 bytes after the header.
+        let header_len = "P5\n9 5\n255\n".len();
+        assert_eq!(raw.len(), header_len + 45);
+        // Leftmost column is the minimum (black), rightmost the max.
+        assert_eq!(raw[header_len], 0);
+        assert_eq!(raw[header_len + 8], 255);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn pgm_constant_field_is_grey() {
+        let g = Grid2::from_fn(LevelPair::new(1, 1), |_, _| 3.5);
+        let path = tmp("flat.pgm");
+        write_pgm(&g, &path).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(raw[raw.len() - 9..].iter().all(|&b| b == 128));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,276 @@
+//! The distributed Lax–Wendroff solver: one process group per sub-grid,
+//! 2D block domain decomposition, halo exchange over the simulated MPI
+//! runtime.
+//!
+//! The periodic fundamental domain of sub-grid `(i, j)` has `2^i × 2^j`
+//! distinct nodes (node `2^i` duplicates node 0). Each group member owns a
+//! contiguous block and keeps it inside a one-cell halo-padded buffer; a
+//! step is a two-phase halo exchange (y edges first, then x edges carrying
+//! the freshly filled y-halos so corners arrive for the cross term) and
+//! one stencil application via [`advect2d::laxwendroff::lax_wendroff_kernel`].
+
+use advect2d::laxwendroff::{lax_wendroff_kernel, LwCoef};
+use advect2d::AdvectionProblem;
+use sparsegrid::LevelPair;
+use ulfm_sim::{Comm, Ctx, Result};
+
+use crate::layout::GroupInfo;
+
+/// Halo-exchange message tags (runtime-reserved range is negative, so any
+/// positive values work; these only need to be distinct per direction).
+const TAG_N: i32 = 101;
+const TAG_S: i32 = 102;
+const TAG_E: i32 = 103;
+const TAG_W: i32 = 104;
+
+/// The contiguous index range owned by block `b` of `parts` over `n`
+/// items: standard balanced split.
+pub fn block_range(n: usize, parts: usize, b: usize) -> (usize, usize) {
+    debug_assert!(b < parts);
+    let start = b * n / parts;
+    let end = (b + 1) * n / parts;
+    (start, end - start)
+}
+
+/// One rank's share of a distributed sub-grid solve.
+#[derive(Debug, Clone)]
+pub struct DistributedSolver {
+    problem: AdvectionProblem,
+    level: LevelPair,
+    dt: f64,
+    coef: LwCoef,
+    px: usize,
+    py: usize,
+    pi: usize,
+    pj: usize,
+    x0: usize,
+    y0: usize,
+    lnx: usize,
+    lny: usize,
+    padded: Vec<f64>,
+    scratch: Vec<f64>,
+    steps_done: u64,
+}
+
+impl DistributedSolver {
+    /// Initialize this rank's block from the problem's initial condition.
+    pub fn new(
+        problem: AdvectionProblem,
+        level: LevelPair,
+        dt: f64,
+        info: &GroupInfo,
+        local_rank: usize,
+    ) -> Self {
+        assert!(local_rank < info.size);
+        let nx_glob = 1usize << level.i;
+        let ny_glob = 1usize << level.j;
+        let pi = local_rank % info.px;
+        let pj = local_rank / info.px;
+        let (x0, lnx) = block_range(nx_glob, info.px, pi);
+        let (y0, lny) = block_range(ny_glob, info.py, pj);
+        assert!(lnx >= 1 && lny >= 1, "empty block: {info:?} rank {local_rank}");
+        let hx = 1.0 / nx_glob as f64;
+        let hy = 1.0 / ny_glob as f64;
+        let coef = LwCoef::new(&problem, hx, hy, dt);
+        let mut s = DistributedSolver {
+            problem,
+            level,
+            dt,
+            coef,
+            px: info.px,
+            py: info.py,
+            pi,
+            pj,
+            x0,
+            y0,
+            lnx,
+            lny,
+            padded: vec![0.0; (lnx + 2) * (lny + 2)],
+            scratch: vec![0.0; lnx * lny],
+            steps_done: 0,
+        };
+        s.reset_to_initial();
+        s
+    }
+
+    /// Refill the block from the initial condition and rewind the step
+    /// counter.
+    pub fn reset_to_initial(&mut self) {
+        let nx_glob = (1usize << self.level.i) as f64;
+        let ny_glob = (1usize << self.level.j) as f64;
+        let ic = self.problem.initial();
+        for m in 0..self.lny {
+            let y = (self.y0 + m) as f64 / ny_glob;
+            for k in 0..self.lnx {
+                let x = (self.x0 + k) as f64 / nx_glob;
+                self.padded[(m + 1) * (self.lnx + 2) + k + 1] = ic(x, y);
+            }
+        }
+        self.steps_done = 0;
+    }
+
+    /// Group rank of the process-grid neighbour at offset `(dx, dy)`,
+    /// wrapping periodically (domain periodicity = process-grid wrap,
+    /// since the blocks tile the fundamental domain).
+    fn neighbor(&self, dx: isize, dy: isize) -> usize {
+        let ni = (self.pi as isize + dx).rem_euclid(self.px as isize) as usize;
+        let nj = (self.pj as isize + dy).rem_euclid(self.py as isize) as usize;
+        nj * self.px + ni
+    }
+
+    /// Two-phase halo exchange over the group communicator.
+    fn halo_exchange(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
+        let pnx = self.lnx + 2;
+        // Phase 1: y direction (interior rows only).
+        let top: Vec<f64> = (0..self.lnx)
+            .map(|k| self.padded[self.lny * pnx + k + 1])
+            .collect();
+        let bottom: Vec<f64> = (0..self.lnx).map(|k| self.padded[pnx + k + 1]).collect();
+        let north = self.neighbor(0, 1);
+        let south = self.neighbor(0, -1);
+        // Send up, receive from below (both tagged N for the northward
+        // stream), and vice versa.
+        let from_south = group.sendrecv(ctx, north, TAG_N, &top, south, TAG_N)?;
+        let from_north = group.sendrecv(ctx, south, TAG_S, &bottom, north, TAG_S)?;
+        for k in 0..self.lnx {
+            self.padded[k + 1] = from_south[k];
+            self.padded[(self.lny + 1) * pnx + k + 1] = from_north[k];
+        }
+        // Phase 2: x direction, full padded height so corners propagate.
+        let right: Vec<f64> = (0..self.lny + 2).map(|m| self.padded[m * pnx + self.lnx]).collect();
+        let left: Vec<f64> = (0..self.lny + 2).map(|m| self.padded[m * pnx + 1]).collect();
+        let east = self.neighbor(1, 0);
+        let west = self.neighbor(-1, 0);
+        let from_west = group.sendrecv(ctx, east, TAG_E, &right, west, TAG_E)?;
+        let from_east = group.sendrecv(ctx, west, TAG_W, &left, east, TAG_W)?;
+        for m in 0..self.lny + 2 {
+            self.padded[m * pnx] = from_west[m];
+            self.padded[m * pnx + self.lnx + 1] = from_east[m];
+        }
+        Ok(())
+    }
+
+    /// Advance one timestep (halo exchange + stencil). Errors with
+    /// `ProcFailed` if a halo partner has died — the group is then
+    /// *broken* and must be data-recovered as a whole (§II-D).
+    pub fn step(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
+        self.halo_exchange(ctx, group)?;
+        lax_wendroff_kernel(&self.padded, self.lnx, self.lny, &self.coef, &mut self.scratch);
+        let pnx = self.lnx + 2;
+        for m in 0..self.lny {
+            let row = &self.scratch[m * self.lnx..(m + 1) * self.lnx];
+            self.padded[(m + 1) * pnx + 1..(m + 1) * pnx + 1 + self.lnx].copy_from_slice(row);
+        }
+        ctx.compute_step_cells((self.lnx * self.lny) as u64);
+        self.steps_done += 1;
+        Ok(())
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, ctx: &Ctx, group: &Comm, n: u64) -> Result<()> {
+        for _ in 0..n {
+            self.step(ctx, group)?;
+        }
+        Ok(())
+    }
+
+    /// The owned interior block, row-major `lnx × lny`.
+    pub fn local_block(&self) -> Vec<f64> {
+        let pnx = self.lnx + 2;
+        let mut out = Vec::with_capacity(self.lnx * self.lny);
+        for m in 0..self.lny {
+            out.extend_from_slice(&self.padded[(m + 1) * pnx + 1..(m + 1) * pnx + 1 + self.lnx]);
+        }
+        out
+    }
+
+    /// Overwrite the owned block (data recovery path) and set the step
+    /// counter to `steps_done`.
+    pub fn load_block(&mut self, values: &[f64], steps_done: u64) {
+        assert_eq!(values.len(), self.lnx * self.lny, "block size mismatch");
+        let pnx = self.lnx + 2;
+        for m in 0..self.lny {
+            self.padded[(m + 1) * pnx + 1..(m + 1) * pnx + 1 + self.lnx]
+                .copy_from_slice(&values[m * self.lnx..(m + 1) * self.lnx]);
+        }
+        self.steps_done = steps_done;
+    }
+
+    /// Block geometry: `(x0, y0, lnx, lny)` in fundamental-domain nodes.
+    pub fn block_geometry(&self) -> (usize, usize, usize, usize) {
+        (self.x0, self.y0, self.lnx, self.lny)
+    }
+
+    /// Steps taken so far.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// The sub-grid level.
+    pub fn level(&self) -> LevelPair {
+        self.level
+    }
+
+    /// The fixed timestep.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The PDE.
+    pub fn problem(&self) -> &AdvectionProblem {
+        &self.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for (n, parts) in [(16, 4), (17, 4), (8, 3), (1024, 8), (5, 5)] {
+            let mut total = 0;
+            let mut next = 0;
+            for b in 0..parts {
+                let (s, len) = block_range(n, parts, b);
+                assert_eq!(s, next);
+                assert!(len >= 1, "empty block n={n} parts={parts} b={b}");
+                next = s + len;
+                total += len;
+            }
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn local_block_roundtrip() {
+        let info = GroupInfo { grid: 0, first: 0, size: 1, px: 1, py: 1 };
+        let p = AdvectionProblem::standard();
+        let mut s = DistributedSolver::new(p, LevelPair::new(3, 3), 0.01, &info, 0);
+        let block = s.local_block();
+        assert_eq!(block.len(), 64);
+        let mut modified = block.clone();
+        modified[10] = 99.0;
+        s.load_block(&modified, 7);
+        assert_eq!(s.local_block()[10], 99.0);
+        assert_eq!(s.steps_done(), 7);
+    }
+
+    #[test]
+    fn initial_block_matches_ic() {
+        let info = GroupInfo { grid: 0, first: 0, size: 4, px: 2, py: 2 };
+        let p = AdvectionProblem::standard();
+        let s = DistributedSolver::new(p, LevelPair::new(4, 4), 0.01, &info, 3);
+        let (x0, y0, lnx, lny) = s.block_geometry();
+        assert_eq!((x0, y0), (8, 8)); // rank 3 = (pi=1, pj=1)
+        let block = s.local_block();
+        let ic = p.initial();
+        for m in 0..lny {
+            for k in 0..lnx {
+                let x = (x0 + k) as f64 / 16.0;
+                let y = (y0 + m) as f64 / 16.0;
+                assert!((block[m * lnx + k] - ic(x, y)).abs() < 1e-15);
+            }
+        }
+    }
+}

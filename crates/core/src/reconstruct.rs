@@ -1,0 +1,340 @@
+//! Communicator reconstruction — ports of the paper's Fig. 3
+//! (`communicatorReconstruct`), Fig. 5 (`repairComm`) and Fig. 7
+//! (`selectRankKey`).
+//!
+//! The recovery restores the communicator to its **original size and rank
+//! distribution**: failed ranks are re-spawned *on the hosts they occupied
+//! before the failure* (hostfile index `failedRank / SLOTS`), attached via
+//! `MPI_Intercomm_merge`, told their old ranks over `MERGE_TAG`, and the
+//! final `MPI_Comm_split` with carefully chosen keys (Fig. 7) re-orders
+//! everyone so ranks match the pre-failure communicator (the paper's
+//! Fig. 2 walk-through).
+//!
+//! One documented deviation: the paper's listings have the parents merge
+//! *before* agreeing (Fig. 5 lines 14–15) while the children agree
+//! *before* merging (Fig. 3 lines 21–22). That opposite interleaving
+//! relies on Open MPI's internal progress engine; our rendezvous-based
+//! collectives require a consistent order, so both sides merge first and
+//! agree second.
+
+use ulfm_sim::{comm_spawn_multiple, Comm, Ctx, Error, InterComm, Result, SpawnSpec};
+
+use crate::detect::{failed_procs_list, mpi_error_handler};
+
+/// Tag used to hand each child its pre-failure rank (the paper's
+/// `MERGE_TAG`).
+pub const MERGE_TAG: i32 = 999;
+
+/// Where replacement processes are placed.
+///
+/// [`RespawnPolicy::SameHost`] is the paper's published approach: each
+/// failed rank comes back on the hostfile line `failedRank / SLOTS`.
+/// [`RespawnPolicy::SpareNode`] implements the paper's §V *future work*:
+/// "the use of spare nodes in the case of node failure, in which case all
+/// the processes on that node will fail and be restarted on the new node.
+/// This will have the same load balancing characteristics as our current
+/// approach." Individual (non-node) failures still respawn on the same
+/// host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RespawnPolicy {
+    /// Respawn every failed rank on the node it occupied (paper §II-C).
+    #[default]
+    SameHost,
+    /// If *every* rank of a node failed (node failure), respawn that
+    /// node's ranks together on an unused spare node; isolated failures
+    /// still go back to their original host.
+    SpareNode,
+    /// Naive placement: dump every replacement on the hostfile's first
+    /// node, like a launcher that ignores placement. Oversubscribes that
+    /// node and destroys the load balance — the ablation baseline that
+    /// motivates the paper's same-host policy.
+    FirstHost,
+}
+
+/// Compute the spawn placement for the failed ranks under a policy.
+///
+/// Deterministic across survivors: it depends only on the failed-rank
+/// list, the hostfile, and the broken communicator's membership (used to
+/// find spare nodes that currently host none of its processes).
+pub fn respawn_specs(
+    ctx: &Ctx,
+    broken: &Comm,
+    failed_ranks: &[usize],
+    policy: RespawnPolicy,
+) -> Vec<SpawnSpec> {
+    let hostfile = ctx.hostfile();
+    let slots = ctx.profile().slots_per_host;
+    let same_host =
+        |rank: usize| SpawnSpec::on_host(hostfile.hosts()[rank / slots].name.clone());
+    match policy {
+        RespawnPolicy::SameHost => failed_ranks.iter().map(|&r| same_host(r)).collect(),
+        RespawnPolicy::FirstHost => failed_ranks
+            .iter()
+            .map(|_| SpawnSpec::on_host(hostfile.hosts()[0].name.clone()))
+            .collect(),
+        RespawnPolicy::SpareNode => {
+            let total = broken.size();
+            // Hosts whose entire rank block failed.
+            let mut dead_hosts: Vec<usize> = Vec::new();
+            for &r in failed_ranks {
+                let host = r / slots;
+                let block = (host * slots)..(((host + 1) * slots).min(total));
+                if block.clone().all(|q| failed_ranks.contains(&q))
+                    && !dead_hosts.contains(&host)
+                {
+                    dead_hosts.push(host);
+                }
+            }
+            dead_hosts.sort_unstable();
+            // Spare nodes: beyond the original allocation and not hosting
+            // any current member of the broken communicator.
+            let first_beyond = total.div_ceil(slots.max(1));
+            let occupied: Vec<usize> =
+                (0..total).filter_map(|r| broken.host_index_of(r)).collect();
+            let mut spares: Vec<usize> = (first_beyond..hostfile.len())
+                .filter(|h| !occupied.contains(h))
+                .collect();
+            let mut dead_to_spare = std::collections::HashMap::new();
+            for h in dead_hosts {
+                if let Some(spare) = spares.first().copied() {
+                    spares.remove(0);
+                    dead_to_spare.insert(h, spare);
+                }
+                // No spare left: fall through to same-host respawn.
+            }
+            failed_ranks
+                .iter()
+                .map(|&r| {
+                    let host = r / slots;
+                    match dead_to_spare.get(&host) {
+                        Some(&spare) => {
+                            SpawnSpec::on_host(hostfile.hosts()[spare].name.clone())
+                        }
+                        None => same_host(r),
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Virtual-time breakdown of one reconstruction (what Fig. 8 and Table I
+/// report).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReconstructTimings {
+    /// Creating the failed-process list: revoke + shrink + the Fig. 6
+    /// group algebra (Fig. 8a).
+    pub t_list: f64,
+    /// `OMPI_Comm_shrink` alone (Table I).
+    pub t_shrink: f64,
+    /// `MPI_Comm_spawn_multiple` (Table I).
+    pub t_spawn: f64,
+    /// `MPI_Intercomm_merge` (Table I).
+    pub t_merge: f64,
+    /// `OMPI_Comm_agree` calls, cumulative (Table I).
+    pub t_agree: f64,
+    /// The rank-reordering `MPI_Comm_split`.
+    pub t_split: f64,
+    /// The whole `communicatorReconstruct` call (Fig. 8b).
+    pub t_total: f64,
+    /// Number of do-while iterations (> 2 means failures struck during
+    /// recovery itself).
+    pub rounds: u32,
+    /// Ranks that were repaired (union over rounds, original numbering).
+    pub failed_ranks: Vec<usize>,
+}
+
+/// Port of Fig. 7 (`selectRankKey`): the split key a *survivor* uses so
+/// that, together with the children keyed by their old ranks, the split
+/// restores the original rank order. `my_rank` is the survivor's rank in
+/// the merged (unordered) intracommunicator, which equals its rank in the
+/// shrunken communicator.
+pub fn select_rank_key(
+    my_rank: usize,
+    shrinked_group_size: usize,
+    failed_ranks: &[usize],
+    total_procs: usize,
+) -> i64 {
+    // shrinkMergeList: the old ranks of the survivors, ascending.
+    let shrink_merge_list: Vec<usize> =
+        (0..total_procs).filter(|i| !failed_ranks.contains(i)).collect();
+    debug_assert_eq!(shrink_merge_list.len(), shrinked_group_size);
+    debug_assert!(my_rank < shrinked_group_size, "only survivors call selectRankKey");
+    shrink_merge_list[my_rank] as i64
+}
+
+/// Port of Fig. 5 (`repairComm`) with the paper's same-host placement.
+/// Called by the survivors; returns the repaired communicator (original
+/// size, original ranks).
+pub fn repair_comm(ctx: &Ctx, broken: &Comm, timings: &mut ReconstructTimings) -> Result<Comm> {
+    repair_comm_with(ctx, broken, RespawnPolicy::SameHost, timings)
+}
+
+/// Port of Fig. 5 (`repairComm`): revoke and shrink the broken
+/// communicator, build the failed-rank list, re-spawn the failed ranks
+/// per the [`RespawnPolicy`], merge, hand out old ranks, and re-order.
+pub fn repair_comm_with(
+    ctx: &Ctx,
+    broken: &Comm,
+    policy: RespawnPolicy,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    // --- failed-process list (timed as Fig. 8a's "creating the list"). ---
+    let t0 = ctx.now();
+    broken.revoke(ctx);
+    let t_shrink0 = ctx.now();
+    let shrinked = broken.shrink(ctx)?;
+    timings.t_shrink += ctx.now() - t_shrink0;
+    let failed_ranks = failed_procs_list(broken, &shrinked);
+    timings.t_list += ctx.now() - t0;
+    for &r in &failed_ranks {
+        if !timings.failed_ranks.contains(&r) {
+            timings.failed_ranks.push(r);
+        }
+    }
+
+    // --- spawn replacements per the placement policy. ---
+    // Paper (same-host): hostfileLineIndex ← failedRank / SLOTS; read the
+    // host name from that hostfile line and put it in the MPI_Info.
+    let specs = respawn_specs(ctx, broken, &failed_ranks, policy);
+    let t_spawn0 = ctx.now();
+    let inter: InterComm = comm_spawn_multiple(ctx, &shrinked, &specs)?;
+    timings.t_spawn += ctx.now() - t_spawn0;
+
+    // --- merge (parent part), then synchronize. ---
+    let t_merge0 = ctx.now();
+    let unordered = inter.merge(ctx, false)?;
+    timings.t_merge += ctx.now() - t_merge0;
+    let t_agree0 = ctx.now();
+    let mut flag = true;
+    inter.agree(ctx, &mut flag)?;
+    timings.t_agree += ctx.now() - t_agree0;
+
+    // --- hand every child its old rank. ---
+    let shrinked_group_size = shrinked.size();
+    let total_procs = unordered.size();
+    if unordered.rank() == 0 {
+        for (i, &fr) in failed_ranks.iter().enumerate() {
+            let child = shrinked_group_size + i;
+            unordered.send_one(ctx, child, MERGE_TAG, fr as u64)?;
+        }
+    }
+
+    // --- re-order so ranks match the pre-failure communicator. ---
+    let key = select_rank_key(unordered.rank(), shrinked_group_size, &failed_ranks, total_procs);
+    let t_split0 = ctx.now();
+    let repaired = unordered
+        .split(ctx, Some(0), key)?
+        .expect("repair split uses a single colour");
+    timings.t_split += ctx.now() - t_split0;
+    Ok(repaired)
+}
+
+/// Port of Fig. 3 (`communicatorReconstruct`): the detection/repair
+/// do-while loop. Survivors pass `Some(world)` and `None`; respawned
+/// children pass `None` and `Some(parent)` (what `MPI_Comm_get_parent`
+/// returned). Returns the reconstructed communicator, on which every rank
+/// holds its pre-failure rank and a final agree+barrier round has
+/// succeeded.
+pub fn communicator_reconstruct(
+    ctx: &Ctx,
+    my_world: Option<Comm>,
+    parent: Option<InterComm>,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    communicator_reconstruct_with(ctx, my_world, parent, RespawnPolicy::SameHost, timings)
+}
+
+/// [`communicator_reconstruct`] with an explicit [`RespawnPolicy`].
+pub fn communicator_reconstruct_with(
+    ctx: &Ctx,
+    my_world: Option<Comm>,
+    parent: Option<InterComm>,
+    policy: RespawnPolicy,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    let t_start = ctx.now();
+    let mut reconstructed = my_world;
+    let mut parent = parent;
+    loop {
+        timings.rounds += 1;
+        let mut failure = false;
+        if let Some(p) = parent.take() {
+            // ---- child part (Fig. 3 lines 19–26). ----
+            let t_merge0 = ctx.now();
+            let unordered = p.merge(ctx, true)?;
+            timings.t_merge += ctx.now() - t_merge0;
+            let t_agree0 = ctx.now();
+            let mut flag = true;
+            p.agree(ctx, &mut flag)?;
+            timings.t_agree += ctx.now() - t_agree0;
+            let old_rank: u64 = unordered.recv_one(ctx, 0, MERGE_TAG)?;
+            let t_split0 = ctx.now();
+            let ordered = unordered
+                .split(ctx, Some(0), old_rank as i64)?
+                .expect("child split uses a single colour");
+            timings.t_split += ctx.now() - t_split0;
+            reconstructed = Some(ordered);
+            // Like the paper's `returnValue ← MPI_ERR_COMM`: force another
+            // round, now on the parent path, to verify the repaired
+            // communicator with everyone.
+            failure = true;
+        } else {
+            // ---- parent part (Fig. 3 lines 6–18). ----
+            let comm = reconstructed.take().expect("parent path requires a communicator");
+            // Fig. 3 line 11: attach the Fig. 4 error handler; it
+            // acknowledges observed failures whenever an operation on
+            // this handle errors, so the subsequent agreement returns
+            // uniformly.
+            comm.set_errhandler(|ctx, comm, _err| mpi_error_handler(ctx, comm));
+            let t_agree0 = ctx.now();
+            let mut flag = true;
+            let _ = comm.agree(ctx, &mut flag); // handler acks on error
+            timings.t_agree += ctx.now() - t_agree0;
+            match comm.barrier(ctx) {
+                Ok(()) => {
+                    reconstructed = Some(comm);
+                }
+                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                    let repaired = repair_comm_with(ctx, &comm, policy, timings)?;
+                    reconstructed = Some(repaired);
+                    failure = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !failure {
+            break;
+        }
+    }
+    timings.t_total += ctx.now() - t_start;
+    Ok(reconstructed.expect("loop exits with a communicator"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_rank_key_reproduces_paper_example() {
+        // 7 ranks, 3 and 5 failed (the paper's Fig. 2). Survivors (merged
+        // ranks 0..5) must be keyed 0,1,2,4,6.
+        let failed = vec![3, 5];
+        let keys: Vec<i64> = (0..5).map(|r| select_rank_key(r, 5, &failed, 7)).collect();
+        assert_eq!(keys, vec![0, 1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn select_rank_key_no_failures_is_identity() {
+        let keys: Vec<i64> = (0..4).map(|r| select_rank_key(r, 4, &[], 4)).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_rank_key_first_rank_failed() {
+        // Rank 0 failing is forbidden at app level, but the key math must
+        // still be correct.
+        let keys: Vec<i64> = (0..3).map(|r| select_rank_key(r, 3, &[1], 4)).collect();
+        assert_eq!(keys, vec![0, 2, 3]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests on the process layout and grid-system invariants across
+//! randomized configurations.
+#![allow(clippy::needless_range_loop)]
+
+use ftsg_core::{ProcLayout, Technique};
+use proptest::prelude::*;
+use sparsegrid::{GridRole, Layout};
+
+fn technique() -> impl Strategy<Value = Technique> {
+    prop_oneof![
+        Just(Technique::CheckpointRestart),
+        Just(Technique::ResamplingCopying),
+        Just(Technique::AlternateCombination),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Groups tile the world exactly: every rank in exactly one group,
+    /// root = first rank, process grid consistent with the group size.
+    #[test]
+    fn groups_tile_world(
+        l in 2u32..=6,
+        extra_n in 0u32..=5,
+        scale in 1usize..=8,
+        tech in technique(),
+    ) {
+        let n = l + extra_n;
+        let lay = ProcLayout::new(n, l, tech.layout(), scale);
+        let mut covered = vec![false; lay.world_size()];
+        for g in lay.groups() {
+            prop_assert_eq!(g.px * g.py, g.size);
+            prop_assert_eq!(lay.root_of(g.grid), g.first);
+            for r in g.first..g.first + g.size {
+                prop_assert!(!covered[r]);
+                covered[r] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Assignment is the inverse of the group ranges, and process-grid
+    /// coordinates are in range.
+    #[test]
+    fn assignment_roundtrip(
+        l in 2u32..=5,
+        extra_n in 0u32..=4,
+        scale in 1usize..=8,
+        tech in technique(),
+    ) {
+        let n = l + extra_n;
+        let lay = ProcLayout::new(n, l, tech.layout(), scale);
+        for r in 0..lay.world_size() {
+            let a = lay.assignment(r);
+            let g = lay.group(a.grid);
+            prop_assert_eq!(g.first + a.local, r);
+            prop_assert!(a.pi < g.px && a.pj < g.py);
+            prop_assert_eq!(a.pj * g.px + a.pi, a.local);
+        }
+    }
+
+    /// Load balancing: lower-diagonal groups get half the diagonal's
+    /// processes (or as close as the factorization allows), and the
+    /// process grid never exceeds the domain.
+    #[test]
+    fn load_balancing_and_domain_bounds(
+        l in 2u32..=6,
+        extra_n in 0u32..=5,
+        scale in 1usize..=8,
+    ) {
+        let n = l + extra_n;
+        let lay = ProcLayout::new(n, l, Layout::Duplicates, scale);
+        for g in lay.system().grids() {
+            let info = lay.group(g.id);
+            prop_assert!(info.px <= 1 << g.level.i);
+            prop_assert!(info.py <= 1 << g.level.j);
+            // Nominal sizes, shrunk only when the domain is too small to
+            // give every process at least one node.
+            let nominal = match g.role {
+                GridRole::Diagonal(_) | GridRole::Duplicate(_) => 2 * scale,
+                GridRole::LowerDiagonal(_) => scale,
+                GridRole::ExtraLayer { layer: 1, .. } => scale.div_ceil(2),
+                GridRole::ExtraLayer { .. } => scale.div_ceil(4),
+            };
+            prop_assert!(info.size <= nominal);
+            let min_dim = (1usize << g.level.i).min(1 << g.level.j);
+            if nominal <= min_dim {
+                prop_assert_eq!(info.size, nominal, "no shrink needed for {:?}", g.role);
+            }
+        }
+        // Duplicates mirror their originals' group size (same level, same
+        // nominal count, same shrink rule).
+        for g in lay.system().grids() {
+            if let GridRole::Duplicate(k) = g.role {
+                let orig = lay
+                    .system()
+                    .grids()
+                    .iter()
+                    .find(|o| o.role == GridRole::Diagonal(k))
+                    .unwrap();
+                prop_assert_eq!(lay.group(g.id).size, lay.group(orig.id).size);
+            }
+        }
+    }
+
+    /// Every RC recovery source dominates its target (restriction stays an
+    /// exact injection) and is never the target itself.
+    #[test]
+    fn rc_sources_dominate(
+        l in 2u32..=6,
+        extra_n in 0u32..=5,
+    ) {
+        use sparsegrid::scheme::RcSource;
+        let n = l + extra_n;
+        let lay = ProcLayout::new(n, l, Layout::Duplicates, 1);
+        let sys = lay.system();
+        for g in sys.grids() {
+            if let Some(src) = sys.rc_source(g.id) {
+                let (sid, resample) = match src {
+                    RcSource::Copy(s) => (s, false),
+                    RcSource::Resample(s) => (s, true),
+                };
+                prop_assert_ne!(sid, g.id);
+                let s_level = sys.grid(sid).level;
+                if resample {
+                    prop_assert!(g.level.leq(&s_level));
+                    prop_assert_ne!(g.level, s_level);
+                } else {
+                    prop_assert_eq!(g.level, s_level);
+                }
+            }
+        }
+    }
+
+    /// The broken-grid map inverts group membership for arbitrary victim
+    /// sets.
+    #[test]
+    fn broken_grids_match_membership(
+        l in 2u32..=5,
+        scale in 1usize..=4,
+        seed in any::<u64>(),
+        count in 1usize..6,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let n = l + 3;
+        let lay = ProcLayout::new(n, l, Layout::ExtraLayers, scale);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let victims: Vec<usize> =
+            (0..count).map(|_| rng.gen_range(0..lay.world_size())).collect();
+        let broken = lay.broken_grids(&victims);
+        // Sorted, deduped, and exactly the grids of the victims.
+        prop_assert!(broken.windows(2).all(|w| w[0] < w[1]));
+        for &v in &victims {
+            prop_assert!(broken.contains(&lay.grid_of(v)));
+        }
+        for &b in &broken {
+            prop_assert!(victims.iter().any(|&v| lay.grid_of(v) == b));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Typed message payloads.
+//!
+//! MPI transfers raw buffers described by datatypes; we keep the same spirit
+//! with a small [`MpiData`] trait that fixes a little-endian wire encoding,
+//! so payloads are plain byte buffers ([`bytes::Bytes`]) inside the runtime
+//! and typed slices at the API boundary.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::error::{Error, Result};
+
+/// A plain-old-data element with a fixed-size little-endian encoding.
+///
+/// Implemented for the numeric types the solver and the recovery protocols
+/// need. The encoding is explicit (not `transmute`) so messages are
+/// deterministic and architecture-independent.
+pub trait MpiData: Copy + Send + Sync + 'static {
+    /// Encoded size in bytes of one element.
+    const WIDTH: usize;
+    /// Append the little-endian encoding of `self` to `out`.
+    fn put(&self, out: &mut BytesMut);
+    /// Decode one element from exactly `Self::WIDTH` bytes.
+    fn get(raw: &[u8]) -> Self;
+}
+
+macro_rules! impl_mpi_data {
+    ($($t:ty),*) => {$(
+        impl MpiData for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn put(&self, out: &mut BytesMut) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn get(raw: &[u8]) -> Self {
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                buf.copy_from_slice(&raw[..Self::WIDTH]);
+                <$t>::from_le_bytes(buf)
+            }
+        }
+    )*};
+}
+
+impl_mpi_data!(f64, f32, i64, u64, i32, u32, u8, i8, u16, i16);
+
+impl MpiData for bool {
+    const WIDTH: usize = 1;
+    #[inline]
+    fn put(&self, out: &mut BytesMut) {
+        out.extend_from_slice(&[*self as u8]);
+    }
+    #[inline]
+    fn get(raw: &[u8]) -> Self {
+        raw[0] != 0
+    }
+}
+
+/// `usize` is encoded as `u64` so 32- and 64-bit builds interoperate.
+impl MpiData for usize {
+    const WIDTH: usize = 8;
+    #[inline]
+    fn put(&self, out: &mut BytesMut) {
+        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+    #[inline]
+    fn get(raw: &[u8]) -> Self {
+        u64::get(raw) as usize
+    }
+}
+
+/// Encode a typed slice into a frozen byte buffer.
+pub fn encode<T: MpiData>(data: &[T]) -> Bytes {
+    let mut out = BytesMut::with_capacity(data.len() * T::WIDTH);
+    for v in data {
+        v.put(&mut out);
+    }
+    out.freeze()
+}
+
+/// Decode a byte buffer into a typed vector.
+///
+/// Errors if the buffer length is not a multiple of the element width —
+/// which, like a datatype mismatch in MPI, indicates a protocol bug.
+pub fn decode<T: MpiData>(raw: &Bytes) -> Result<Vec<T>> {
+    if !raw.len().is_multiple_of(T::WIDTH) {
+        return Err(Error::InvalidArg(format!(
+            "payload of {} bytes is not a multiple of element width {}",
+            raw.len(),
+            T::WIDTH
+        )));
+    }
+    let n = raw.len() / T::WIDTH;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(T::get(&raw[i * T::WIDTH..]));
+    }
+    Ok(out)
+}
+
+/// Decode exactly one element.
+pub fn decode_one<T: MpiData>(raw: &Bytes) -> Result<T> {
+    let v = decode::<T>(raw)?;
+    if v.len() != 1 {
+        return Err(Error::InvalidArg(format!(
+            "expected exactly 1 element, got {}",
+            v.len()
+        )));
+    }
+    Ok(v[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let xs = [0.0f64, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        let enc = encode(&xs);
+        assert_eq!(enc.len(), xs.len() * 8);
+        let dec: Vec<f64> = decode(&enc).unwrap();
+        assert_eq!(dec, xs);
+    }
+
+    #[test]
+    fn roundtrip_mixed_ints() {
+        let a = [usize::MAX, 0, 42];
+        let dec: Vec<usize> = decode(&encode(&a)).unwrap();
+        assert_eq!(dec, a);
+
+        let b = [i32::MIN, -1, 7];
+        let dec: Vec<i32> = decode(&encode(&b)).unwrap();
+        assert_eq!(dec, b);
+
+        let c = [true, false, true];
+        let dec: Vec<bool> = decode(&encode(&c)).unwrap();
+        assert_eq!(dec, c);
+    }
+
+    #[test]
+    fn decode_rejects_misaligned_buffer() {
+        let enc = encode(&[1.0f64]);
+        let truncated = enc.slice(0..7);
+        assert!(decode::<f64>(&truncated).is_err());
+    }
+
+    #[test]
+    fn decode_one_rejects_wrong_count() {
+        let enc = encode(&[1u64, 2u64]);
+        assert!(decode_one::<u64>(&enc).is_err());
+        let enc1 = encode(&[9u64]);
+        assert_eq!(decode_one::<u64>(&enc1).unwrap(), 9);
+    }
+
+    #[test]
+    fn nan_payload_roundtrips_bitwise() {
+        let xs = [f64::NAN];
+        let dec: Vec<f64> = decode(&encode(&xs)).unwrap();
+        assert!(dec[0].is_nan());
+    }
+}

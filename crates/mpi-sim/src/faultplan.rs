@@ -1,0 +1,139 @@
+//! Failure injection plans.
+//!
+//! The paper injects faults "using a failure generator which aborts single
+//! or multiple random MPI processes together by the system call
+//! `kill(getpid(), SIGKILL)` at some point before the combination of the
+//! sub-grid solutions", with one standing constraint: *rank 0 can never be
+//! failed* (it is used for controlling purposes). A [`FaultPlan`] encodes
+//! exactly that: which ranks die, and at which solver timestep.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A deterministic schedule of fail-stop kills.
+///
+/// ```
+/// use ulfm_sim::FaultPlan;
+///
+/// let plan = FaultPlan::random(2, 16, 100, 42, &[]);
+/// assert_eq!(plan.n_failures(), 2);
+/// assert!(!plan.victim_ranks().contains(&0)); // rank 0 is protected
+/// for &(rank, step) in plan.victims() {
+///     assert!(plan.strikes(rank, step));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    victims: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> Self {
+        FaultPlan { victims: Vec::new() }
+    }
+
+    /// Explicit list of `(rank, timestep)` kills.
+    pub fn new(mut victims: Vec<(usize, u64)>) -> Self {
+        victims.sort_unstable();
+        victims.dedup();
+        assert!(
+            victims.iter().all(|&(r, _)| r != 0),
+            "rank 0 cannot be failed (controller rank, paper §III)"
+        );
+        FaultPlan { victims }
+    }
+
+    /// Kill one rank at one step.
+    pub fn single(rank: usize, step: u64) -> Self {
+        Self::new(vec![(rank, step)])
+    }
+
+    /// Choose `n` distinct random victims from `1..world` (never rank 0,
+    /// never anything in `forbidden`), all dying at `step`. Deterministic
+    /// in `seed`.
+    pub fn random(n: usize, world: usize, step: u64, seed: u64, forbidden: &[usize]) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pool: Vec<usize> =
+            (1..world).filter(|r| !forbidden.contains(r)).collect();
+        pool.shuffle(&mut rng);
+        pool.truncate(n);
+        Self::new(pool.into_iter().map(|r| (r, step)).collect())
+    }
+
+    /// Should `rank` die at `step`?
+    pub fn strikes(&self, rank: usize, step: u64) -> bool {
+        self.victims.iter().any(|&(r, s)| r == rank && s == step)
+    }
+
+    /// All victims, as `(rank, step)` pairs sorted by rank.
+    pub fn victims(&self) -> &[(usize, u64)] {
+        &self.victims
+    }
+
+    /// Victim ranks regardless of step.
+    pub fn victim_ranks(&self) -> Vec<usize> {
+        self.victims.iter().map(|&(r, _)| r).collect()
+    }
+
+    /// Total number of failures scheduled.
+    pub fn n_failures(&self) -> usize {
+        self.victims.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.victims.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strikes_matches_exact_rank_and_step() {
+        let p = FaultPlan::new(vec![(3, 100), (5, 100)]);
+        assert!(p.strikes(3, 100));
+        assert!(p.strikes(5, 100));
+        assert!(!p.strikes(3, 99));
+        assert!(!p.strikes(4, 100));
+        assert_eq!(p.n_failures(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0")]
+    fn rank_zero_is_protected() {
+        let _ = FaultPlan::single(0, 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_respects_exclusions() {
+        let a = FaultPlan::random(3, 16, 50, 42, &[7, 8]);
+        let b = FaultPlan::random(3, 16, 50, 42, &[7, 8]);
+        assert_eq!(a, b);
+        assert_eq!(a.n_failures(), 3);
+        for &(r, s) in a.victims() {
+            assert_ne!(r, 0);
+            assert!(r < 16);
+            assert!(r != 7 && r != 8);
+            assert_eq!(s, 50);
+        }
+        let c = FaultPlan::random(3, 16, 50, 43, &[]);
+        assert_ne!(a, c, "different seeds should pick different victims");
+    }
+
+    #[test]
+    fn random_caps_at_pool_size() {
+        let p = FaultPlan::random(100, 4, 1, 7, &[]);
+        assert_eq!(p.n_failures(), 3); // ranks 1, 2, 3
+    }
+
+    #[test]
+    fn dedup_and_empty() {
+        let p = FaultPlan::new(vec![(2, 5), (2, 5)]);
+        assert_eq!(p.n_failures(), 1);
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().victim_ranks(), Vec::<usize>::new());
+    }
+}

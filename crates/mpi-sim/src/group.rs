@@ -1,0 +1,169 @@
+//! MPI process groups.
+//!
+//! The paper's `failedProcsList` (its Fig. 6) computes the globally
+//! consistent list of failed ranks through group algebra:
+//! `MPI_Comm_group` on the broken and shrunken communicators,
+//! `MPI_Group_compare`, `MPI_Group_difference`, and
+//! `MPI_Group_translate_ranks`. This module reproduces those operations
+//! with the standard MPI semantics.
+
+use crate::proc::ProcId;
+
+/// Result of [`Group::compare`], mirroring `MPI_IDENT` / `MPI_SIMILAR` /
+/// `MPI_UNEQUAL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupCompare {
+    /// Same members in the same order.
+    Ident,
+    /// Same members, different order.
+    Similar,
+    /// Different membership.
+    Unequal,
+}
+
+/// An ordered set of processes; rank *r* in the group is `procs[r]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    procs: Vec<ProcId>,
+}
+
+/// Translation result for a rank with no image in the target group
+/// (`MPI_UNDEFINED`).
+pub const UNDEFINED: usize = usize::MAX;
+
+impl Group {
+    /// Group over the given processes (order = rank order).
+    pub fn new(procs: Vec<ProcId>) -> Self {
+        Group { procs }
+    }
+
+    /// Number of members (`MPI_Group_size`).
+    pub fn size(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True if empty (`MPI_GROUP_EMPTY`).
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The process at a given rank.
+    pub fn proc_at(&self, rank: usize) -> Option<ProcId> {
+        self.procs.get(rank).copied()
+    }
+
+    /// The rank of a process in this group, if a member.
+    pub fn rank_of(&self, p: ProcId) -> Option<usize> {
+        self.procs.iter().position(|&q| q == p)
+    }
+
+    /// `MPI_Group_compare`.
+    pub fn compare(&self, other: &Group) -> GroupCompare {
+        if self.procs == other.procs {
+            return GroupCompare::Ident;
+        }
+        if self.procs.len() == other.procs.len() {
+            let mut a = self.procs.clone();
+            let mut b = other.procs.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            if a == b {
+                return GroupCompare::Similar;
+            }
+        }
+        GroupCompare::Unequal
+    }
+
+    /// `MPI_Group_difference`: members of `self` not in `other`, in
+    /// `self`'s rank order.
+    pub fn difference(&self, other: &Group) -> Group {
+        let d = self
+            .procs
+            .iter()
+            .copied()
+            .filter(|p| other.rank_of(*p).is_none())
+            .collect();
+        Group { procs: d }
+    }
+
+    /// `MPI_Group_intersection`: members of both, in `self`'s rank order.
+    pub fn intersection(&self, other: &Group) -> Group {
+        let d = self
+            .procs
+            .iter()
+            .copied()
+            .filter(|p| other.rank_of(*p).is_some())
+            .collect();
+        Group { procs: d }
+    }
+
+    /// `MPI_Group_translate_ranks`: for each rank in `ranks` (relative to
+    /// `self`), the corresponding rank in `target`, or [`UNDEFINED`].
+    pub fn translate_ranks(&self, ranks: &[usize], target: &Group) -> Vec<usize> {
+        ranks
+            .iter()
+            .map(|&r| match self.proc_at(r) {
+                Some(p) => target.rank_of(p).unwrap_or(UNDEFINED),
+                None => UNDEFINED,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(ids: &[u64]) -> Group {
+        Group::new(ids.iter().map(|&i| ProcId(i)).collect())
+    }
+
+    #[test]
+    fn compare_semantics() {
+        assert_eq!(g(&[1, 2, 3]).compare(&g(&[1, 2, 3])), GroupCompare::Ident);
+        assert_eq!(g(&[1, 2, 3]).compare(&g(&[3, 1, 2])), GroupCompare::Similar);
+        assert_eq!(g(&[1, 2, 3]).compare(&g(&[1, 2])), GroupCompare::Unequal);
+        assert_eq!(g(&[1, 2, 3]).compare(&g(&[1, 2, 4])), GroupCompare::Unequal);
+    }
+
+    #[test]
+    fn difference_preserves_order() {
+        let old = g(&[10, 11, 12, 13, 14]);
+        let shrunk = g(&[10, 12, 14]);
+        let failed = old.difference(&shrunk);
+        assert_eq!(failed, g(&[11, 13]));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        assert_eq!(g(&[1, 2, 3]).intersection(&g(&[2, 3, 4])), g(&[2, 3]));
+    }
+
+    #[test]
+    fn translate_ranks_failed_list_flow() {
+        // Reproduce the paper's Fig. 6 flow: ranks of the failed group
+        // translated into the *old* (pre-failure) communicator's group.
+        let old = g(&[100, 101, 102, 103, 104, 105, 106]);
+        let shrunk = g(&[100, 101, 102, 104, 106]); // 103 and 105 died
+        let failed = old.difference(&shrunk);
+        assert_eq!(failed.size(), 2);
+        let all: Vec<usize> = (0..failed.size()).collect();
+        let failed_ranks = failed.translate_ranks(&all, &old);
+        assert_eq!(failed_ranks, vec![3, 5]); // exactly the paper's example
+    }
+
+    #[test]
+    fn translate_undefined_for_missing() {
+        let a = g(&[1, 2]);
+        let b = g(&[2]);
+        assert_eq!(a.translate_ranks(&[0, 1, 9], &b), vec![UNDEFINED, 0, UNDEFINED]);
+    }
+
+    #[test]
+    fn empty_group() {
+        let e = g(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.size(), 0);
+        assert_eq!(g(&[1]).difference(&g(&[1])), e);
+    }
+}

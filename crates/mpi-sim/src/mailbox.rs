@@ -1,0 +1,207 @@
+//! Per-process message queues with MPI-style matching.
+//!
+//! Sends are *eager*: the sender deposits an [`Envelope`] into the
+//! destination mailbox and continues (buffered send semantics — the only
+//! mode the paper's application uses). Receives match on
+//! `(communicator id, source rank, tag)` with `ANY` wildcards, in FIFO
+//! order per matching stream, exactly like MPI's non-overtaking rule.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+/// Message tag. Negative tags are reserved for the runtime's own protocols.
+pub type Tag = i32;
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Communicator (or intercommunicator) id the message was sent on.
+    pub cid: u64,
+    /// Sender's rank within that communicator.
+    pub src_rank: usize,
+    /// Application tag.
+    pub tag: Tag,
+    /// Encoded payload.
+    pub payload: Bytes,
+    /// Virtual time at which the message arrives at the receiver.
+    pub arrive: f64,
+}
+
+/// Receive matching pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct Pattern {
+    /// Communicator id (always exact).
+    pub cid: u64,
+    /// Source rank, or `None` for `MPI_ANY_SOURCE`.
+    pub src: Option<usize>,
+    /// Tag, or `None` for `MPI_ANY_TAG`.
+    pub tag: Option<Tag>,
+}
+
+impl Pattern {
+    fn matches(&self, e: &Envelope) -> bool {
+        e.cid == self.cid
+            && self.src.is_none_or(|s| s == e.src_rank)
+            && self.tag.is_none_or(|t| t == e.tag)
+    }
+}
+
+/// A process's incoming queue.
+pub struct Mailbox {
+    q: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mailbox {
+    /// Empty mailbox.
+    pub fn new() -> Self {
+        Mailbox { q: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+    }
+
+    /// Deposit a message and wake any blocked receiver.
+    pub fn push(&self, e: Envelope) {
+        self.q.lock().push_back(e);
+        self.cv.notify_all();
+    }
+
+    /// Is a message matching `pat` queued? (`MPI_Iprobe`-style peek; the
+    /// message stays in the queue.)
+    pub fn peek(&self, pat: &Pattern) -> bool {
+        self.q.lock().iter().any(|e| pat.matches(e))
+    }
+
+    /// Take the first message matching `pat`, if any.
+    pub fn try_take(&self, pat: &Pattern) -> Option<Envelope> {
+        let mut q = self.q.lock();
+        let idx = q.iter().position(|e| pat.matches(e))?;
+        q.remove(idx)
+    }
+
+    /// Block until a matching message is available or `tick` elapses;
+    /// returns the message if one arrived. Callers loop, re-checking
+    /// failure conditions between ticks — that is what keeps the runtime
+    /// deadlock-free when a peer dies mid-conversation.
+    pub fn take_timeout(&self, pat: &Pattern, tick: Duration) -> Option<Envelope> {
+        let mut q = self.q.lock();
+        if let Some(idx) = q.iter().position(|e| pat.matches(e)) {
+            return q.remove(idx);
+        }
+        // One bounded wait, then re-scan; spurious wakeups are fine.
+        self.cv.wait_for(&mut q, tick);
+        let idx = q.iter().position(|e| pat.matches(e))?;
+        q.remove(idx)
+    }
+
+    /// Wake all blocked receivers (kill/revoke notification path).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn len(&self) -> usize {
+        self.q.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(cid: u64, src: usize, tag: Tag) -> Envelope {
+        Envelope { cid, src_rank: src, tag, payload: Bytes::from_static(b"x"), arrive: 0.0 }
+    }
+
+    #[test]
+    fn exact_match_fifo_order() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 0, 5));
+        mb.push(env(1, 0, 5));
+        let p = Pattern { cid: 1, src: Some(0), tag: Some(5) };
+        assert!(mb.try_take(&p).is_some());
+        assert!(mb.try_take(&p).is_some());
+        assert!(mb.try_take(&p).is_none());
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 3, 9));
+        let any_src = Pattern { cid: 1, src: None, tag: Some(9) };
+        let e = mb.try_take(&any_src).unwrap();
+        assert_eq!(e.src_rank, 3);
+
+        mb.push(env(1, 3, 9));
+        let any_tag = Pattern { cid: 1, src: Some(3), tag: None };
+        assert!(mb.try_take(&any_tag).is_some());
+    }
+
+    #[test]
+    fn cid_isolation() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 0, 0));
+        let wrong = Pattern { cid: 2, src: Some(0), tag: Some(0) };
+        assert!(mb.try_take(&wrong).is_none());
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn non_matching_messages_left_in_place() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 0, 1));
+        mb.push(env(1, 0, 2));
+        let p2 = Pattern { cid: 1, src: Some(0), tag: Some(2) };
+        let e = mb.try_take(&p2).unwrap();
+        assert_eq!(e.tag, 2);
+        assert_eq!(mb.len(), 1); // tag-1 message untouched
+    }
+
+    #[test]
+    fn take_timeout_returns_queued_message_without_waiting() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 0, 0));
+        let p = Pattern { cid: 1, src: Some(0), tag: Some(0) };
+        let t0 = std::time::Instant::now();
+        assert!(mb.take_timeout(&p, Duration::from_secs(5)).is_some());
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn take_timeout_times_out_empty() {
+        let mb = Mailbox::new();
+        let p = Pattern { cid: 1, src: None, tag: None };
+        assert!(mb.take_timeout(&p, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        use std::sync::Arc;
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            let p = Pattern { cid: 7, src: Some(1), tag: Some(1) };
+            // Loop like the runtime does.
+            loop {
+                if let Some(e) = mb2.take_timeout(&p, Duration::from_millis(50)) {
+                    return e.src_rank;
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(env(7, 1, 1));
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

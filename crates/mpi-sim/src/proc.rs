@@ -1,0 +1,109 @@
+//! Process identity and fail-stop state.
+//!
+//! Each simulated MPI process is an OS thread plus a shared `ProcState`.
+//! A *kill* is a two-phase affair, mirroring a SIGKILL'd MPI rank:
+//!
+//! 1. `killed` is set (by the failure generator or by [`crate::Ctx::die`]);
+//!    from this instant every peer treats the process as failed,
+//! 2. the victim notices the flag at its next runtime call (or wakes from a
+//!    blocking wait) and unwinds with the `KillSignal` sentinel panic,
+//!    which the thread shim catches, after which `dead` is set.
+//!
+//! Peers never distinguish the phases: `ProcState::is_failed` is the
+//! fail-stop predicate everywhere.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::mailbox::Mailbox;
+
+/// Globally unique process identifier (stable across respawns: a respawned
+/// rank gets a *new* `ProcId`, exactly as a respawned MPI process is a new
+/// OS process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u64);
+
+/// Sentinel panic payload raised by a killed process. The thread shim in
+/// [`crate::runtime`] downcasts on it to tell fail-stop unwinds apart from
+/// genuine application panics.
+pub(crate) struct KillSignal;
+
+/// Shared, lock-free view of one simulated process.
+pub(crate) struct ProcState {
+    /// Unique id.
+    pub id: ProcId,
+    /// Index into the universe hostfile of the node this process runs on.
+    pub host: usize,
+    /// Kill requested (fail-stop begins here).
+    pub killed: AtomicBool,
+    /// Thread has actually exited.
+    pub dead: AtomicBool,
+    /// Incoming message queue.
+    pub mailbox: Mailbox,
+    /// Last world-ish rank this process held; purely diagnostic.
+    pub rank_hint: AtomicUsize,
+}
+
+impl ProcState {
+    pub fn new(id: ProcId, host: usize) -> Self {
+        ProcState {
+            id,
+            host,
+            killed: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            mailbox: Mailbox::new(),
+            rank_hint: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Fail-stop predicate: has this process failed from the point of view
+    /// of the rest of the system?
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        self.killed.load(Ordering::Acquire) || self.dead.load(Ordering::Acquire)
+    }
+
+    /// Request a fail-stop kill. Wakes the victim's mailbox so a blocked
+    /// receive notices immediately.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Release);
+        self.mailbox.notify_all();
+    }
+
+    /// Mark the thread as exited (called by the thread shim only).
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+        self.mailbox.notify_all();
+    }
+}
+
+impl std::fmt::Debug for ProcState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcState")
+            .field("id", &self.id)
+            .field("host", &self.host)
+            .field("killed", &self.killed.load(Ordering::Relaxed))
+            .field("dead", &self.dead.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_process_is_live() {
+        let p = ProcState::new(ProcId(7), 0);
+        assert!(!p.is_failed());
+    }
+
+    #[test]
+    fn kill_is_visible_before_death() {
+        let p = ProcState::new(ProcId(1), 0);
+        p.kill();
+        assert!(p.is_failed());
+        assert!(!p.dead.load(Ordering::Acquire));
+        p.mark_dead();
+        assert!(p.is_failed());
+    }
+}

@@ -1,0 +1,563 @@
+//! Deadlock-free collective matching.
+//!
+//! Every collective operation (including the ULFM ones) is executed through
+//! a per-communicator **operation table**: participants deposit a
+//! contribution under a `(sequence, kind)` key and block until the
+//! operation's outcome is available. The blocking wait is a condvar loop
+//! with a short tick that re-checks, on every iteration:
+//!
+//! * *was I killed?* → unwind with the fail-stop sentinel,
+//! * *was the communicator revoked?* → finish the op with
+//!   [`Error::Revoked`] (unless the op is revoke-immune, like `shrink`),
+//! * *did a peer die before contributing?* → fail the op with
+//!   [`Error::ProcFailed`] (or, for *tolerant* ops like `shrink`/`agree`,
+//!   complete it over the surviving contributors),
+//! * *has everyone arrived?* → the last arriver computes the outcome once
+//!   and publishes it.
+//!
+//! No failure scenario can therefore wedge a collective: the worst case is
+//! the stall-detector timeout, which converts an application-level
+//! collective-ordering bug (which would deadlock real MPI) into
+//! [`Error::CollectiveMismatch`].
+//!
+//! The outcome also carries the operation's **virtual end time**
+//! `max(contributed clocks) + cost`, which is how collectives synchronize
+//! the participants' virtual clocks.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Error, Result};
+use crate::proc::{KillSignal, ProcState};
+
+/// Collective kinds; part of the matching key so mismatched collectives
+/// surface as a mismatch instead of exchanging garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum OpKind {
+    Barrier,
+    Bcast,
+    Gather,
+    Scatter,
+    Allgather,
+    Alltoall,
+    Reduce,
+    Allreduce,
+    Split,
+    Dup,
+    Shrink,
+    Agree,
+    Merge,
+    Spawn,
+}
+
+/// Matching key: the nth collective of a given kind on a communicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct OpKey {
+    pub seq: u64,
+    pub kind: OpKind,
+}
+
+/// What a participant brings to the operation.
+#[derive(Debug, Clone)]
+pub(crate) enum OpData {
+    /// Nothing (barrier).
+    None,
+    /// Agreement flag.
+    Flag(bool),
+    /// One payload (bcast root, gather/reduce contributions).
+    Bytes(Bytes),
+    /// Per-destination payloads (scatter root, alltoall).
+    Parts(Vec<Bytes>),
+    /// Split colour (None = `MPI_UNDEFINED`) and ordering key.
+    SplitKey { color: Option<i64>, key: i64 },
+    /// Merge side and `high` flag.
+    MergeSide { high: bool },
+}
+
+/// A participant's deposit: its virtual clock and its data.
+#[derive(Debug, Clone)]
+pub(crate) struct Contribution {
+    pub clock: f64,
+    pub data: OpData,
+}
+
+/// Published outcome of an operation.
+pub(crate) struct Outcome {
+    /// Virtual time at which the operation completes for everyone.
+    pub t_end: f64,
+    /// The computed result (downcast by the calling collective), or the
+    /// uniform error the operation finished with.
+    pub result: Result<Arc<dyn Any + Send + Sync>>,
+}
+
+struct OpState {
+    contrib: BTreeMap<usize, Contribution>,
+    done: Option<Arc<Outcome>>,
+    /// Participant indices that have consumed the outcome. The entry may
+    /// only be garbage-collected once every *live* participant has
+    /// consumed — a dead participant's past consumption must never
+    /// substitute for a live one still on its way (a fast-failing rank
+    /// that consumed and then died would otherwise let the entry vanish
+    /// before a slow rank arrives, which would then re-create it and
+    /// observe a spurious failure).
+    consumed_by: std::collections::BTreeSet<usize>,
+}
+
+impl OpState {
+    fn new() -> Self {
+        OpState {
+            contrib: BTreeMap::new(),
+            done: None,
+            consumed_by: std::collections::BTreeSet::new(),
+        }
+    }
+}
+
+/// Per-communicator operation table.
+pub(crate) struct OpTable {
+    inner: Mutex<HashMap<OpKey, OpState>>,
+    cv: Condvar,
+}
+
+impl Default for OpTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How an operation reacts to failures and revocation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpSemantics {
+    /// Tolerant ops (`shrink`, `agree`, post-failure `merge`) complete over
+    /// the survivors; intolerant ops fail with `ProcFailed`.
+    pub tolerant: bool,
+    /// Whether a communicator revoke aborts the op.
+    pub revocable: bool,
+}
+
+/// Everything `run_op` needs to know about the calling participant.
+pub(crate) struct OpCtx<'a> {
+    /// This participant's index in the operation's participant space.
+    pub my_index: usize,
+    /// All participants, indexable by participant index.
+    pub participants: &'a [Arc<ProcState>],
+    /// The calling process (for self-kill checks).
+    pub me: &'a Arc<ProcState>,
+    /// The communicator's revoked flag.
+    pub revoked: &'a AtomicBool,
+    /// Failure/revocation semantics of this op.
+    pub semantics: OpSemantics,
+    /// Virtual cost charged when the op *fails* (detection cost).
+    pub fail_cost: f64,
+    /// Stall-detector timeout (collective-ordering bugs).
+    pub stall_timeout: Duration,
+}
+
+/// Condvar tick; bounds how stale a failure observation can be.
+const TICK: Duration = Duration::from_micros(500);
+
+impl OpTable {
+    pub fn new() -> Self {
+        OpTable { inner: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+
+    /// Wake all waiters (revocation / kill notification path).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Execute one collective. `finish` computes, exactly once (in whichever
+    /// thread completes the operation), the shared outcome and the
+    /// operation's virtual cost from the deposited contributions. Returns
+    /// the outcome handle; the caller is responsible for advancing its
+    /// clock to `t_end` and downcasting the result.
+    pub fn run_op<F>(
+        &self,
+        key: OpKey,
+        ctx: OpCtx<'_>,
+        contrib: Contribution,
+        finish: F,
+    ) -> Arc<Outcome>
+    where
+        F: FnOnce(&BTreeMap<usize, Contribution>) -> (Arc<dyn Any + Send + Sync>, f64),
+    {
+        let started = Instant::now();
+        let mut finish = Some(finish);
+        let mut deposited = false;
+        let mut guard = self.inner.lock();
+        loop {
+            // Re-fetch each iteration: the map may be mutated between waits.
+            let st = guard.entry(key).or_insert_with(OpState::new);
+
+            if !deposited && st.done.is_none() {
+                let prev = st.contrib.insert(ctx.my_index, contrib.clone());
+                assert!(
+                    prev.is_none(),
+                    "participant {} deposited twice into {key:?}",
+                    ctx.my_index
+                );
+                deposited = true;
+                self.cv.notify_all();
+            }
+
+            // Fail-stop takes precedence over everything, including a
+            // ready outcome: a killed process must not act on the result.
+            if ctx.me.killed.load(Ordering::Acquire) {
+                drop(guard);
+                std::panic::panic_any(KillSignal);
+            }
+
+            if let Some(done) = &st.done {
+                let out = Arc::clone(done);
+                st.consumed_by.insert(ctx.my_index);
+                // Garbage-collect once every live participant has consumed.
+                let all_live_consumed = ctx
+                    .participants
+                    .iter()
+                    .enumerate()
+                    .all(|(i, p)| p.is_failed() || st.consumed_by.contains(&i));
+                if all_live_consumed {
+                    guard.remove(&key);
+                }
+                return out;
+            }
+
+            // Fail-stop: if we were killed while blocked, unwind now; our
+            // contribution stays behind for the survivors.
+            if ctx.me.killed.load(Ordering::Acquire) {
+                drop(guard);
+                std::panic::panic_any(KillSignal);
+            }
+
+            // Revocation aborts revocable ops for every participant.
+            if ctx.semantics.revocable && ctx.revoked.load(Ordering::Acquire) {
+                let t = max_clock(&st.contrib).max(contrib.clock) + ctx.fail_cost;
+                st.done = Some(Arc::new(Outcome { t_end: t, result: Err(Error::Revoked) }));
+                self.cv.notify_all();
+                continue;
+            }
+
+            // Arrival / failure accounting.
+            let mut missing_live = 0usize;
+            let mut failed_missing: Vec<usize> = Vec::new();
+            for (idx, p) in ctx.participants.iter().enumerate() {
+                if st.contrib.contains_key(&idx) {
+                    continue;
+                }
+                if p.is_failed() {
+                    failed_missing.push(idx);
+                } else {
+                    missing_live += 1;
+                }
+            }
+
+            if missing_live == 0 {
+                if failed_missing.is_empty() || ctx.semantics.tolerant {
+                    // Complete (over the survivors, for tolerant ops).
+                    let f = finish.take().expect("finish consumed twice");
+                    let (result, cost) = f(&st.contrib);
+                    let t = max_clock(&st.contrib) + cost;
+                    st.done = Some(Arc::new(Outcome { t_end: t, result: Ok(result) }));
+                } else {
+                    let t = max_clock(&st.contrib) + ctx.fail_cost;
+                    st.done = Some(Arc::new(Outcome {
+                        t_end: t,
+                        result: Err(Error::ProcFailed { ranks: failed_missing }),
+                    }));
+                }
+                self.cv.notify_all();
+                continue;
+            }
+
+            if !failed_missing.is_empty() && !ctx.semantics.tolerant {
+                // A peer died before contributing: the op cannot complete.
+                let t = max_clock(&st.contrib) + ctx.fail_cost;
+                st.done = Some(Arc::new(Outcome {
+                    t_end: t,
+                    result: Err(Error::ProcFailed { ranks: failed_missing }),
+                }));
+                self.cv.notify_all();
+                continue;
+            }
+
+            if started.elapsed() > ctx.stall_timeout {
+                let arrived: Vec<usize> = st.contrib.keys().copied().collect();
+                let t = max_clock(&st.contrib) + ctx.fail_cost;
+                st.done = Some(Arc::new(Outcome {
+                    t_end: t,
+                    result: Err(Error::CollectiveMismatch {
+                        detail: format!(
+                            "{key:?}: only {arrived:?} of {} participants arrived within {:?}",
+                            ctx.participants.len(),
+                            ctx.stall_timeout
+                        ),
+                    }),
+                }));
+                self.cv.notify_all();
+                continue;
+            }
+
+            self.cv.wait_for(&mut guard, TICK);
+        }
+    }
+}
+
+fn max_clock(contrib: &BTreeMap<usize, Contribution>) -> f64 {
+    contrib.values().fold(0.0_f64, |m, c| m.max(c.clock))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::{ProcId, ProcState};
+    use std::sync::Arc;
+
+    fn procs(n: usize) -> Vec<Arc<ProcState>> {
+        (0..n).map(|i| Arc::new(ProcState::new(ProcId(i as u64), 0))).collect()
+    }
+
+    fn sem(tolerant: bool) -> OpSemantics {
+        OpSemantics { tolerant, revocable: true }
+    }
+
+    fn run_from_all(
+        table: Arc<OpTable>,
+        parts: Vec<Arc<ProcState>>,
+        revoked: Arc<AtomicBool>,
+        tolerant: bool,
+        clocks: Vec<f64>,
+    ) -> Vec<Arc<Outcome>> {
+        let key = OpKey { seq: 0, kind: OpKind::Barrier };
+        let mut handles = Vec::new();
+        for (i, _me) in parts.iter().cloned().enumerate() {
+            let table = Arc::clone(&table);
+            let parts = parts.clone();
+            let revoked = Arc::clone(&revoked);
+            let clock = clocks[i];
+            handles.push(std::thread::spawn(move || {
+                let ctx = OpCtx {
+                    my_index: i,
+                    participants: &parts,
+                    me: &parts[i],
+                    revoked: &revoked,
+                    semantics: sem(tolerant),
+                    fail_cost: 0.5,
+                    stall_timeout: Duration::from_secs(5),
+                };
+                table.run_op(
+                    key,
+                    ctx,
+                    Contribution { clock, data: OpData::None },
+                    |c| (Arc::new(c.len()) as Arc<dyn Any + Send + Sync>, 1.0),
+                )
+            }));
+        }
+        me_unused(&parts);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn me_unused(_: &[Arc<ProcState>]) {}
+
+    #[test]
+    fn all_arrive_single_result_and_clock_sync() {
+        let table = Arc::new(OpTable::new());
+        let parts = procs(4);
+        let outs = run_from_all(
+            table,
+            parts,
+            Arc::new(AtomicBool::new(false)),
+            false,
+            vec![1.0, 4.0, 2.0, 3.0],
+        );
+        for o in &outs {
+            assert!((o.t_end - 5.0).abs() < 1e-12); // max clock 4.0 + cost 1.0
+            let n = o.result.as_ref().unwrap().downcast_ref::<usize>().unwrap();
+            assert_eq!(*n, 4);
+        }
+    }
+
+    #[test]
+    fn dead_member_fails_intolerant_op() {
+        let table = Arc::new(OpTable::new());
+        let parts = procs(3);
+        parts[2].kill(); // dies before contributing
+        let live = [parts[0].clone(), parts[1].clone()];
+        let revoked = Arc::new(AtomicBool::new(false));
+        let key = OpKey { seq: 1, kind: OpKind::Barrier };
+        let mut handles = Vec::new();
+        for (i, _) in live.iter().enumerate() {
+            let table = Arc::clone(&table);
+            let parts = parts.clone();
+            let revoked = Arc::clone(&revoked);
+            handles.push(std::thread::spawn(move || {
+                let ctx = OpCtx {
+                    my_index: i,
+                    participants: &parts,
+                    me: &parts[i],
+                    revoked: &revoked,
+                    semantics: sem(false),
+                    fail_cost: 0.25,
+                    stall_timeout: Duration::from_secs(5),
+                };
+                table.run_op(
+                    key,
+                    ctx,
+                    Contribution { clock: 1.0, data: OpData::None },
+                    |c| (Arc::new(c.len()) as Arc<dyn Any + Send + Sync>, 1.0),
+                )
+            }));
+        }
+        for h in handles {
+            let out = h.join().unwrap();
+            match &out.result {
+                Err(Error::ProcFailed { ranks }) => assert_eq!(ranks, &vec![2]),
+                other => panic!("expected ProcFailed, got {other:?}"),
+            }
+            assert!((out.t_end - 1.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dead_member_tolerated_by_tolerant_op() {
+        let table = Arc::new(OpTable::new());
+        let parts = procs(3);
+        parts[1].kill();
+        let revoked = Arc::new(AtomicBool::new(false));
+        let key = OpKey { seq: 2, kind: OpKind::Shrink };
+        let mut handles = Vec::new();
+        for i in [0usize, 2usize] {
+            let table = Arc::clone(&table);
+            let parts = parts.clone();
+            let revoked = Arc::clone(&revoked);
+            handles.push(std::thread::spawn(move || {
+                let ctx = OpCtx {
+                    my_index: i,
+                    participants: &parts,
+                    me: &parts[i],
+                    revoked: &revoked,
+                    semantics: OpSemantics { tolerant: true, revocable: false },
+                    fail_cost: 0.0,
+                    stall_timeout: Duration::from_secs(5),
+                };
+                table.run_op(
+                    key,
+                    ctx,
+                    Contribution { clock: 0.0, data: OpData::None },
+                    |c| (Arc::new(c.keys().copied().collect::<Vec<_>>()) as _, 0.0),
+                )
+            }));
+        }
+        for h in handles {
+            let out = h.join().unwrap();
+            let survivors = out
+                .result
+                .as_ref()
+                .unwrap()
+                .downcast_ref::<Vec<usize>>()
+                .unwrap()
+                .clone();
+            assert_eq!(survivors, vec![0, 2]);
+        }
+    }
+
+    #[test]
+    fn revocation_aborts_waiting_op() {
+        let table = Arc::new(OpTable::new());
+        let parts = procs(2);
+        let revoked = Arc::new(AtomicBool::new(false));
+        let key = OpKey { seq: 3, kind: OpKind::Bcast };
+        let t_table = Arc::clone(&table);
+        let t_parts = parts.clone();
+        let t_rev = Arc::clone(&revoked);
+        let h = std::thread::spawn(move || {
+            let ctx = OpCtx {
+                my_index: 0,
+                participants: &t_parts,
+                me: &t_parts[0],
+                revoked: &t_rev,
+                semantics: sem(false),
+                fail_cost: 0.0,
+                stall_timeout: Duration::from_secs(5),
+            };
+            t_table.run_op(
+                key,
+                ctx,
+                Contribution { clock: 0.0, data: OpData::None },
+                |_| (Arc::new(()) as _, 0.0),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        revoked.store(true, Ordering::Release);
+        table.notify_all();
+        let out = h.join().unwrap();
+        assert_eq!(out.result.as_ref().err(), Some(&Error::Revoked));
+    }
+
+    #[test]
+    fn stall_detector_fires_on_missing_participant() {
+        let table = Arc::new(OpTable::new());
+        let parts = procs(2); // participant 1 never calls
+        let revoked = Arc::new(AtomicBool::new(false));
+        let key = OpKey { seq: 4, kind: OpKind::Gather };
+        let ctx = OpCtx {
+            my_index: 0,
+            participants: &parts,
+            me: &parts[0],
+            revoked: &revoked,
+            semantics: sem(false),
+            fail_cost: 0.0,
+            stall_timeout: Duration::from_millis(50),
+        };
+        let out = table.run_op(
+            key,
+            ctx,
+            Contribution { clock: 0.0, data: OpData::None },
+            |_| (Arc::new(()) as _, 0.0),
+        );
+        assert!(matches!(out.result, Err(Error::CollectiveMismatch { .. })));
+    }
+
+    #[test]
+    fn late_arrival_after_failure_consumes_same_outcome() {
+        // Participant 1 arrives only after the op already failed because
+        // participant 2 died; it must see the identical outcome.
+        let table = Arc::new(OpTable::new());
+        let parts = procs(3);
+        parts[2].kill();
+        let revoked = Arc::new(AtomicBool::new(false));
+        let key = OpKey { seq: 5, kind: OpKind::Barrier };
+
+        let run = |i: usize, table: Arc<OpTable>, parts: Vec<Arc<ProcState>>, rev: Arc<AtomicBool>| {
+            std::thread::spawn(move || {
+                let ctx = OpCtx {
+                    my_index: i,
+                    participants: &parts,
+                    me: &parts[i],
+                    revoked: &rev,
+                    semantics: sem(false),
+                    fail_cost: 0.0,
+                    stall_timeout: Duration::from_secs(5),
+                };
+                table.run_op(
+                    key,
+                    ctx,
+                    Contribution { clock: 0.0, data: OpData::None },
+                    |_| (Arc::new(()) as _, 0.0),
+                )
+            })
+        };
+        let h0 = run(0, Arc::clone(&table), parts.clone(), Arc::clone(&revoked));
+        let o0 = h0.join().unwrap();
+        assert!(o0.result.is_err());
+        // Now the late participant arrives.
+        let h1 = run(1, Arc::clone(&table), parts.clone(), Arc::clone(&revoked));
+        let o1 = h1.join().unwrap();
+        assert_eq!(o0.result.as_ref().err(), o1.result.as_ref().err());
+    }
+}

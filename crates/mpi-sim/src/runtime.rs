@@ -1,0 +1,663 @@
+//! The universe: process creation, thread shims, virtual clocks, and the
+//! run report.
+//!
+//! [`run`] plays the role of `mpirun`: it creates `world` processes (each
+//! an OS thread with a small stack), hands every one a [`Ctx`], and executes
+//! the application entry function in all of them. Processes spawned later
+//! through [`crate::spawn::comm_spawn_multiple`] re-enter the *same* entry
+//! function, with [`Ctx::parent`] returning the intercommunicator to the
+//! spawning group — exactly how an MPI application distinguishes original
+//! from respawned processes via `MPI_Comm_get_parent`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::comm::{Comm, CommShared, InterComm, InterShared};
+use crate::costmodel::{BetaUlfm, ClusterProfile, IdealUlfm, NetParams, UlfmCostModel};
+use crate::proc::{KillSignal, ProcId, ProcState};
+use crate::topology::Hostfile;
+
+/// Configuration for one simulated MPI job.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Initial world size (`mpirun -np N`).
+    pub world: usize,
+    /// The machine being emulated (interconnect, disk, node layout).
+    pub profile: ClusterProfile,
+    /// Cost model for the ULFM operations.
+    pub model: Arc<dyn UlfmCostModel>,
+    /// How long a blocked operation may starve before the runtime calls it
+    /// an application bug ([`crate::Error::CollectiveMismatch`]).
+    pub stall_timeout: Duration,
+    /// Stack size per simulated process.
+    pub stack_size: usize,
+    /// Extra empty hosts appended to the hostfile (for spare-node
+    /// recovery policies).
+    pub spare_hosts: usize,
+    /// Seed for per-process RNGs ([`Ctx::rng`]).
+    pub seed: u64,
+    /// Record a per-operation virtual-time trace (see [`Report::trace`]).
+    /// Off by default: tracing a large run allocates one event per
+    /// operation per rank.
+    pub trace: bool,
+}
+
+/// One traced operation on one rank (virtual times).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Process id (`ProcId.0`).
+    pub proc: u64,
+    /// Operation name ("barrier", "allreduce", "send", "shrink", ...).
+    pub op: &'static str,
+    /// Communicator id the operation ran on (0 for local ops).
+    pub cid: u64,
+    /// Virtual time the rank entered the operation.
+    pub t_start: f64,
+    /// Virtual time the operation completed for this rank.
+    pub t_end: f64,
+}
+
+impl RunConfig {
+    /// Small local setup for tests and examples: ideal ULFM costs, a
+    /// generic interconnect, 8 slots per host.
+    pub fn local(world: usize) -> Self {
+        let hosts = world.div_ceil(8).max(1);
+        let profile = ClusterProfile::local(hosts, 8);
+        let model: Arc<dyn UlfmCostModel> = Arc::new(IdealUlfm::new(profile.net));
+        RunConfig {
+            world,
+            profile,
+            model,
+            stall_timeout: Duration::from_secs(30),
+            stack_size: 1 << 20,
+            spare_hosts: 2,
+            seed: 0x5eed,
+            trace: false,
+        }
+    }
+
+    /// A job on a named cluster profile with the paper's beta-ULFM cost
+    /// model.
+    pub fn cluster(profile: ClusterProfile, world: usize) -> Self {
+        RunConfig {
+            world,
+            profile,
+            model: Arc::new(BetaUlfm),
+            stall_timeout: Duration::from_secs(30),
+            stack_size: 1 << 20,
+            spare_hosts: 2,
+            seed: 0x5eed,
+            trace: false,
+        }
+    }
+
+    /// Enable operation tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Replace the ULFM cost model.
+    pub fn with_model(mut self, model: Arc<dyn UlfmCostModel>) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A value deposited into the run blackboard by [`Ctx::report_f64`] etc.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Scalar.
+    F64(f64),
+    /// Text.
+    Text(String),
+    /// Series.
+    List(Vec<f64>),
+}
+
+pub(crate) type EntryFn = dyn Fn(&mut Ctx) + Send + Sync;
+
+/// Shared state of one simulated job.
+pub(crate) struct Universe {
+    pub hostfile: Hostfile,
+    pub profile: ClusterProfile,
+    pub model: Arc<dyn UlfmCostModel>,
+    pub stall_timeout: Duration,
+    pub stack_size: usize,
+    pub seed: u64,
+    pub entry: Arc<EntryFn>,
+    next_proc: AtomicU64,
+    /// Every process ever created (world + spawned).
+    pub registry: Mutex<Vec<Arc<ProcState>>>,
+    live: AtomicUsize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    done_mx: Mutex<()>,
+    done_cv: Condvar,
+    blackboard: Mutex<HashMap<String, Value>>,
+    app_errors: Mutex<Vec<String>>,
+    final_clocks: Mutex<Vec<(ProcId, f64)>>,
+    trace: Option<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Universe {
+    pub fn alloc_proc(&self, host: usize) -> Arc<ProcState> {
+        let id = ProcId(self.next_proc.fetch_add(1, Ordering::Relaxed));
+        let p = Arc::new(ProcState::new(id, host));
+        self.registry.lock().push(Arc::clone(&p));
+        p
+    }
+
+    /// Count of live (not failed, not finished... i.e. running) processes
+    /// per host — used to pick the least-loaded node for an unpinned spawn.
+    pub fn live_per_host(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.hostfile.len()];
+        for p in self.registry.lock().iter() {
+            if !p.is_failed() {
+                if let Some(c) = counts.get_mut(p.host) {
+                    *c += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Launch a process thread running the application entry.
+    pub fn launch(
+        self: &Arc<Self>,
+        me: Arc<ProcState>,
+        world: Option<(Arc<CommShared>, usize)>,
+        parent: Option<(Arc<InterShared>, usize)>,
+        clock0: f64,
+    ) {
+        self.live.fetch_add(1, Ordering::AcqRel);
+        let uni = Arc::clone(self);
+        let builder = std::thread::Builder::new()
+            .name(format!("mpi-proc-{}", me.id.0))
+            .stack_size(self.stack_size);
+        let handle = builder
+            .spawn(move || {
+                let seed = uni.seed ^ me.id.0.wrapping_mul(0x9E3779B97F4A7C15);
+                let mut ctx = Ctx {
+                    uni: Arc::clone(&uni),
+                    me: Arc::clone(&me),
+                    clock: Cell::new(clock0),
+                    world: world.map(|(s, r)| Comm::from_shared(s, r)),
+                    parent: parent.map(|(s, r)| InterComm::new(s, 1, r)),
+                    rng: RefCell::new(StdRng::seed_from_u64(seed)),
+                };
+                let entry = Arc::clone(&uni.entry);
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
+                uni.final_clocks.lock().push((me.id, ctx.clock.get()));
+                match result {
+                    Ok(()) => { /* normal completion */ }
+                    Err(payload) => {
+                        me.mark_dead();
+                        if payload.downcast_ref::<KillSignal>().is_none() {
+                            // Genuine application panic, not a fail-stop.
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            uni.app_errors
+                                .lock()
+                                .push(format!("proc {} panicked: {msg}", me.id.0));
+                        }
+                    }
+                }
+                if uni.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _g = uni.done_mx.lock();
+                    uni.done_cv.notify_all();
+                }
+            })
+            .expect("failed to spawn simulated process thread");
+        self.handles.lock().push(handle);
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Values deposited by the application via `Ctx::report_*`.
+    pub values: HashMap<String, Value>,
+    /// Panic messages from application bugs (empty on a healthy run —
+    /// fail-stop kills are *not* errors).
+    pub app_errors: Vec<String>,
+    /// Processes created over the lifetime of the job (world + spawned).
+    pub procs_created: usize,
+    /// Processes that failed (killed or panicked).
+    pub procs_failed: usize,
+    /// Maximum virtual clock over all processes: the job's virtual
+    /// makespan in seconds.
+    pub makespan: f64,
+    /// Per-operation trace, if [`RunConfig::trace`] was set (unordered;
+    /// sort by `t_start` for a timeline).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl Report {
+    /// Fetch a scalar reported by the application.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.values.get(key) {
+            Some(Value::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Fetch a series reported by the application.
+    pub fn get_list(&self, key: &str) -> Option<&[f64]> {
+        match self.values.get(key) {
+            Some(Value::List(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Fetch a text value reported by the application.
+    pub fn get_text(&self, key: &str) -> Option<&str> {
+        match self.values.get(key) {
+            Some(Value::Text(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Aggregate the trace into per-operation `(count, total virtual
+    /// seconds summed over ranks)` — the quickest view of where a run's
+    /// virtual time went.
+    pub fn op_totals(&self) -> std::collections::BTreeMap<&'static str, (usize, f64)> {
+        let mut out: std::collections::BTreeMap<&'static str, (usize, f64)> =
+            std::collections::BTreeMap::new();
+        for e in &self.trace {
+            let entry = out.entry(e.op).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += e.t_end - e.t_start;
+        }
+        out
+    }
+
+    /// Panics if any application-level panic was recorded. Tests call this
+    /// to assert a run was healthy.
+    pub fn assert_no_app_errors(&self) {
+        assert!(
+            self.app_errors.is_empty(),
+            "application errors: {:#?}",
+            self.app_errors
+        );
+    }
+}
+
+/// Per-process context: the handle through which the application talks to
+/// the runtime (the moral equivalent of the MPI library state plus
+/// `MPI_COMM_WORLD`, `MPI_Comm_get_parent`, and `MPI_Wtime`).
+pub struct Ctx {
+    pub(crate) uni: Arc<Universe>,
+    pub(crate) me: Arc<ProcState>,
+    pub(crate) clock: Cell<f64>,
+    world: Option<Comm>,
+    parent: Option<InterComm>,
+    rng: RefCell<StdRng>,
+}
+
+impl Ctx {
+    /// Take this process's initial world communicator. `Some` exactly once
+    /// for original processes; spawned children have no world of their own
+    /// beyond their spawn group (also delivered here, like the
+    /// `MPI_COMM_WORLD` of a spawned group).
+    pub fn initial_world(&mut self) -> Option<Comm> {
+        self.world.take()
+    }
+
+    /// Take the parent intercommunicator (`MPI_Comm_get_parent`): `Some`
+    /// if and only if this process was spawned by `comm_spawn_multiple`.
+    pub fn parent(&mut self) -> Option<InterComm> {
+        self.parent.take()
+    }
+
+    /// True for spawned (child) processes, without consuming the handle.
+    pub fn is_spawned(&self) -> bool {
+        self.parent.is_some()
+    }
+
+    /// Virtual time in seconds (`MPI_Wtime`).
+    pub fn now(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// Advance the virtual clock by `dt` seconds.
+    pub fn advance(&self, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative time step {dt}");
+        self.clock.set(self.clock.get() + dt);
+    }
+
+    /// Move the virtual clock forward to `t` (no-op if already past it).
+    pub fn advance_to(&self, t: f64) {
+        if t > self.clock.get() {
+            self.clock.set(t);
+        }
+    }
+
+    /// Charge `n` grid-cell updates of local compute (one-shot work:
+    /// combination, recovery interpolation, ...).
+    pub fn compute_cells(&self, n: u64) {
+        self.advance(n as f64 * self.uni.profile.cell_update_time);
+    }
+
+    /// Charge `n` grid-cell updates of *per-timestep* solver compute,
+    /// scaled by the profile's step multiplier (experiments that compress
+    /// the timestep count use it so one simulated step stands for many
+    /// emulated ones) and by the current oversubscription of this
+    /// process's node — compute slows down proportionally when more live
+    /// processes share the node than it has slots. This is what makes the
+    /// paper's load-balancing argument for same-host respawn *measurable*:
+    /// replacements dumped onto an already-full node drag the whole
+    /// bulk-synchronous application down.
+    pub fn compute_step_cells(&self, n: u64) {
+        self.advance(
+            n as f64
+                * self.uni.profile.cell_update_time
+                * self.uni.profile.step_multiplier
+                * self.oversubscription(),
+        );
+    }
+
+    /// How oversubscribed this process's node currently is: live processes
+    /// on the node divided by its slot count, never below 1.
+    pub fn oversubscription(&self) -> f64 {
+        let live = self.uni.live_per_host();
+        let slots = self.uni.profile.slots_per_host.max(1);
+        let here = live.get(self.me.host).copied().unwrap_or(0);
+        (here as f64 / slots as f64).max(1.0)
+    }
+
+    /// Charge one checkpoint-style disk write of `bytes`.
+    pub fn disk_write(&self, bytes: usize) {
+        self.advance(self.uni.profile.disk.write(bytes));
+    }
+
+    /// Charge one restart-style disk read of `bytes`.
+    pub fn disk_read(&self, bytes: usize) {
+        self.advance(self.uni.profile.disk.read(bytes));
+    }
+
+    /// Fail-stop this process *right now* — the paper's
+    /// `kill(getpid(), SIGKILL)` failure generator.
+    pub fn die(&self) -> ! {
+        self.me.kill();
+        std::panic::panic_any(KillSignal)
+    }
+
+    /// Unwind immediately if an external kill has been requested; called at
+    /// every runtime-API entry point so a killed process cannot keep
+    /// computing.
+    pub fn check_killed(&self) {
+        if self.me.killed.load(Ordering::Acquire) {
+            std::panic::panic_any(KillSignal)
+        }
+    }
+
+    /// The cluster profile being emulated.
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.uni.profile
+    }
+
+    /// The hostfile of the job.
+    pub fn hostfile(&self) -> &Hostfile {
+        &self.uni.hostfile
+    }
+
+    /// Hostfile index of the node this process runs on.
+    pub fn my_host(&self) -> usize {
+        self.me.host
+    }
+
+    /// Deterministic per-process RNG.
+    pub fn rng(&self) -> std::cell::RefMut<'_, StdRng> {
+        self.rng.borrow_mut()
+    }
+
+    /// Deposit a scalar into the run report (last write wins).
+    pub fn report_f64(&self, key: &str, v: f64) {
+        self.uni.blackboard.lock().insert(key.to_string(), Value::F64(v));
+    }
+
+    /// Deposit text into the run report.
+    pub fn report_text(&self, key: &str, v: &str) {
+        self.uni
+            .blackboard
+            .lock()
+            .insert(key.to_string(), Value::Text(v.to_string()));
+    }
+
+    /// Append to a series in the run report.
+    pub fn report_push(&self, key: &str, v: f64) {
+        let mut bb = self.uni.blackboard.lock();
+        match bb.entry(key.to_string()).or_insert_with(|| Value::List(Vec::new())) {
+            Value::List(l) => l.push(v),
+            other => *other = Value::List(vec![v]),
+        }
+    }
+
+    /// Add to a scalar accumulator in the run report.
+    pub fn report_add(&self, key: &str, v: f64) {
+        let mut bb = self.uni.blackboard.lock();
+        match bb.entry(key.to_string()).or_insert(Value::F64(0.0)) {
+            Value::F64(x) => *x += v,
+            other => *other = Value::F64(v),
+        }
+    }
+
+    pub(crate) fn me(&self) -> &Arc<ProcState> {
+        &self.me
+    }
+
+    pub(crate) fn net(&self) -> &NetParams {
+        &self.uni.profile.net
+    }
+
+    pub(crate) fn model(&self) -> &dyn UlfmCostModel {
+        &*self.uni.model
+    }
+
+    pub(crate) fn model_handle(&self) -> Arc<dyn UlfmCostModel> {
+        Arc::clone(&self.uni.model)
+    }
+
+    pub(crate) fn stall_timeout(&self) -> Duration {
+        self.uni.stall_timeout
+    }
+
+    pub(crate) fn universe(&self) -> &Arc<Universe> {
+        &self.uni
+    }
+
+    /// Record one traced operation (no-op unless tracing is enabled).
+    pub(crate) fn trace_event(&self, op: &'static str, cid: u64, t_start: f64, t_end: f64) {
+        if let Some(trace) = &self.uni.trace {
+            trace.lock().push(TraceEvent { proc: self.me.id.0, op, cid, t_start, t_end });
+        }
+    }
+}
+
+/// Run a simulated MPI job: `world` processes execute `entry` concurrently;
+/// processes spawned during recovery re-enter the same `entry`. Returns
+/// once every process (original and spawned) has terminated.
+pub fn run<F>(config: RunConfig, entry: F) -> Report
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    let needed_hosts = config.world.div_ceil(config.profile.slots_per_host.max(1));
+    let hosts = needed_hosts.max(config.profile.hosts.min(needed_hosts.max(1))) + config.spare_hosts;
+    let hostfile = Hostfile::uniform("node", hosts, config.profile.slots_per_host.max(1));
+
+    let uni = Arc::new(Universe {
+        hostfile,
+        profile: config.profile.clone(),
+        model: Arc::clone(&config.model),
+        stall_timeout: config.stall_timeout,
+        stack_size: config.stack_size,
+        seed: config.seed,
+        entry: Arc::new(entry),
+        next_proc: AtomicU64::new(0),
+        registry: Mutex::new(Vec::new()),
+        live: AtomicUsize::new(0),
+        handles: Mutex::new(Vec::new()),
+        done_mx: Mutex::new(()),
+        done_cv: Condvar::new(),
+        blackboard: Mutex::new(HashMap::new()),
+        app_errors: Mutex::new(Vec::new()),
+        final_clocks: Mutex::new(Vec::new()),
+        trace: if config.trace { Some(Mutex::new(Vec::new())) } else { None },
+    });
+
+    // Block placement of the initial world, like `mpirun --map-by slot`.
+    let mut procs = Vec::with_capacity(config.world);
+    for rank in 0..config.world {
+        let host = uni
+            .hostfile
+            .host_of_rank(rank)
+            .expect("hostfile too small for requested world");
+        let p = uni.alloc_proc(host);
+        p.rank_hint.store(rank, Ordering::Relaxed);
+        procs.push(p);
+    }
+    let world_shared = CommShared::new(procs.clone());
+    for (rank, p) in procs.into_iter().enumerate() {
+        uni.launch(p, Some((Arc::clone(&world_shared), rank)), None, 0.0);
+    }
+
+    // Wait for quiescence: no live threads left (children included).
+    {
+        let mut g = uni.done_mx.lock();
+        while uni.live.load(Ordering::Acquire) != 0 {
+            uni.done_cv.wait_for(&mut g, Duration::from_millis(50));
+        }
+    }
+    // Join every thread ever launched.
+    loop {
+        let handle = uni.handles.lock().pop();
+        match handle {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => {
+                if uni.live.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    let registry = uni.registry.lock();
+    let procs_created = registry.len();
+    let procs_failed = registry.iter().filter(|p| p.is_failed()).count();
+    drop(registry);
+    let makespan = uni
+        .final_clocks
+        .lock()
+        .iter()
+        .fold(0.0_f64, |m, &(_, c)| m.max(c));
+
+    let values = uni.blackboard.lock().clone();
+    let app_errors = uni.app_errors.lock().clone();
+    let trace = uni
+        .trace
+        .as_ref()
+        .map(|t| t.lock().clone())
+        .unwrap_or_default();
+    Report { values, app_errors, procs_created, procs_failed, makespan, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_runs_and_reports() {
+        let report = run(RunConfig::local(1), |ctx| {
+            ctx.advance(2.5);
+            ctx.report_f64("answer", 42.0);
+            ctx.report_text("who", "rank0");
+            ctx.report_push("series", 1.0);
+            ctx.report_push("series", 2.0);
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("answer"), Some(42.0));
+        assert_eq!(report.get_text("who"), Some("rank0"));
+        assert_eq!(report.get_list("series"), Some(&[1.0, 2.0][..]));
+        assert_eq!(report.procs_created, 1);
+        assert_eq!(report.procs_failed, 0);
+        assert!((report.makespan - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_add_accumulates_across_ranks() {
+        let report = run(RunConfig::local(4), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            ctx.report_add("total", (w.rank() + 1) as f64);
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("total"), Some(10.0));
+    }
+
+    #[test]
+    fn app_panics_are_recorded_not_swallowed() {
+        let report = run(RunConfig::local(2), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if w.rank() == 1 {
+                panic!("deliberate bug");
+            }
+        });
+        assert_eq!(report.app_errors.len(), 1);
+        assert!(report.app_errors[0].contains("deliberate bug"));
+        assert_eq!(report.procs_failed, 1);
+    }
+
+    #[test]
+    fn die_is_a_failure_but_not_an_app_error() {
+        let report = run(RunConfig::local(2), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if w.rank() == 1 {
+                ctx.die();
+            }
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.procs_failed, 1);
+    }
+
+    #[test]
+    fn virtual_clocks_are_per_process() {
+        let report = run(RunConfig::local(3), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            ctx.advance(w.rank() as f64);
+        });
+        assert!((report.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        use rand::Rng;
+        let roll = |seed: u64| {
+            run(RunConfig::local(1).with_seed(seed), |ctx| {
+                let v: f64 = ctx.rng().gen();
+                ctx.report_f64("v", v);
+            })
+            .get_f64("v")
+            .unwrap()
+        };
+        assert_eq!(roll(1), roll(1));
+        assert_ne!(roll(1), roll(2));
+    }
+}

@@ -1,0 +1,369 @@
+//! Cross-thread integration tests for point-to-point and collective
+//! operations of the simulated runtime.
+
+use ulfm_sim::{run, ReduceOp, RunConfig};
+
+#[test]
+fn p2p_ring_pass() {
+    let n = 8;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let r = w.rank();
+        let next = (r + 1) % n;
+        let prev = (r + n - 1) % n;
+        w.send_one(ctx, next, 1, r as u64).unwrap();
+        let got: u64 = w.recv_one(ctx, prev, 1).unwrap();
+        assert_eq!(got, prev as u64);
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn p2p_large_payload_roundtrip() {
+    let report = run(RunConfig::local(2), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        if w.rank() == 0 {
+            let data: Vec<f64> = (0..100_000).map(|i| i as f64 * 0.5).collect();
+            w.send(ctx, 1, 7, &data).unwrap();
+        } else {
+            let got: Vec<f64> = w.recv(ctx, 0, 7).unwrap();
+            assert_eq!(got.len(), 100_000);
+            assert_eq!(got[99_999], 99_999.0 * 0.5);
+            ctx.report_f64("ok", 1.0);
+        }
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(1.0));
+}
+
+#[test]
+fn p2p_message_ordering_is_fifo_per_sender() {
+    let report = run(RunConfig::local(2), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        if w.rank() == 0 {
+            for i in 0..50u64 {
+                w.send_one(ctx, 1, 3, i).unwrap();
+            }
+        } else {
+            for i in 0..50u64 {
+                let got: u64 = w.recv_one(ctx, 0, 3).unwrap();
+                assert_eq!(got, i);
+            }
+            ctx.report_f64("ok", 1.0);
+        }
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(1.0));
+}
+
+#[test]
+fn recv_any_source_collects_all() {
+    let n = 6;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        if w.rank() == 0 {
+            let mut seen = vec![false; n];
+            for _ in 1..n {
+                let (src, _tag, v) =
+                    w.recv_from::<u64>(ctx, ulfm_sim::ANY_SOURCE, Some(9)).unwrap();
+                assert_eq!(v[0] as usize, src);
+                seen[src] = true;
+            }
+            assert!(seen[1..].iter().all(|&s| s));
+            ctx.report_f64("ok", 1.0);
+        } else {
+            w.send_one(ctx, 0, 9, w.rank() as u64).unwrap();
+        }
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(1.0));
+}
+
+#[test]
+fn sendrecv_halo_style_exchange() {
+    let n = 4;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let r = w.rank();
+        let right = (r + 1) % n;
+        let left = (r + n - 1) % n;
+        let mine = vec![r as f64; 16];
+        let from_left = w.sendrecv(ctx, right, 11, &mine, left, 11).unwrap();
+        assert!(from_left.iter().all(|&v| v == left as f64));
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn bcast_from_nonzero_root() {
+    let report = run(RunConfig::local(5), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let data = if w.rank() == 3 { Some(&[1.5f64, 2.5][..]) } else { None };
+        let got = w.bcast(ctx, 3, data).unwrap();
+        assert_eq!(got, vec![1.5, 2.5]);
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(5.0));
+}
+
+#[test]
+fn gather_variable_lengths() {
+    let n = 5;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let mine: Vec<u32> = vec![w.rank() as u32; w.rank() + 1];
+        let got = w.gather(ctx, 2, &mine).unwrap();
+        if w.rank() == 2 {
+            let got = got.expect("root receives");
+            for (r, part) in got.iter().enumerate() {
+                assert_eq!(part.len(), r + 1);
+                assert!(part.iter().all(|&v| v as usize == r));
+            }
+            ctx.report_f64("ok", 1.0);
+        } else {
+            assert!(got.is_none());
+        }
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(1.0));
+}
+
+#[test]
+fn scatter_and_allgather() {
+    let n = 4;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let parts: Option<Vec<Vec<i64>>> = if w.rank() == 0 {
+            Some((0..n as i64).map(|i| vec![i * 10, i * 10 + 1]).collect())
+        } else {
+            None
+        };
+        let mine = w.scatter(ctx, 0, parts.as_deref()).unwrap();
+        assert_eq!(mine, vec![w.rank() as i64 * 10, w.rank() as i64 * 10 + 1]);
+
+        let all = w.allgather(ctx, &mine).unwrap();
+        assert_eq!(all.len(), n);
+        for (r, part) in all.iter().enumerate() {
+            assert_eq!(part[0], r as i64 * 10);
+        }
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn alltoall_transpose() {
+    let n = 3;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let r = w.rank() as u64;
+        // parts[j] = [100*me + j]
+        let parts: Vec<Vec<u64>> = (0..n as u64).map(|j| vec![100 * r + j]).collect();
+        let got = w.alltoall(ctx, &parts).unwrap();
+        for (src, v) in got.iter().enumerate() {
+            assert_eq!(v[0], 100 * src as u64 + r);
+        }
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn reduce_and_allreduce_ops() {
+    let n = 6;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let r = w.rank() as f64;
+        let summed = w.reduce(ctx, 0, ReduceOp::Sum, &[r, 2.0 * r]).unwrap();
+        if w.rank() == 0 {
+            let s = summed.unwrap();
+            assert_eq!(s[0], 15.0);
+            assert_eq!(s[1], 30.0);
+        }
+        assert_eq!(w.allreduce_max(ctx, w.rank() as u64).unwrap(), 5);
+        assert_eq!(w.allreduce_min(ctx, w.rank() as i64 - 2).unwrap(), -2);
+        assert_eq!(w.allreduce_sum(ctx, 1u64).unwrap(), n as u64);
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn split_into_even_odd() {
+    let n = 7;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let color = (w.rank() % 2) as i64;
+        let sub = w.split(ctx, Some(color), w.rank() as i64).unwrap().unwrap();
+        let expected_size = if color == 0 { 4 } else { 3 };
+        assert_eq!(sub.size(), expected_size);
+        // New ranks ordered by key = old rank.
+        assert_eq!(sub.rank(), w.rank() / 2);
+        // The sub-communicator is fully functional.
+        let s = sub.allreduce_sum(ctx, w.rank() as u64).unwrap();
+        let expect: u64 = (0..n as u64).filter(|r| r % 2 == color as u64).sum();
+        assert_eq!(s, expect);
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn split_undefined_color_gets_none() {
+    let report = run(RunConfig::local(4), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let color = if w.rank() < 2 { Some(0) } else { None };
+        let sub = w.split(ctx, color, 0).unwrap();
+        match (w.rank() < 2, &sub) {
+            (true, Some(c)) => assert_eq!(c.size(), 2),
+            (false, None) => {}
+            other => panic!("unexpected split outcome {other:?}"),
+        }
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(4.0));
+}
+
+#[test]
+fn split_reorders_ranks_by_key() {
+    // The rank-reordering mechanism the paper's Fig. 7 relies on: keys
+    // chosen as desired final rank order.
+    let n = 5;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        // Reverse the ranks.
+        let key = (n - 1 - w.rank()) as i64;
+        let sub = w.split(ctx, Some(0), key).unwrap().unwrap();
+        assert_eq!(sub.rank(), n - 1 - w.rank());
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn dup_is_independent() {
+    let report = run(RunConfig::local(3), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let d = w.dup(ctx).unwrap();
+        assert_eq!(d.size(), w.size());
+        assert_eq!(d.rank(), w.rank());
+        assert_ne!(d.cid(), w.cid());
+        // Messages on dup don't leak into world.
+        if w.rank() == 0 {
+            d.send_one(ctx, 1, 5, 77u8).unwrap();
+            w.send_one(ctx, 1, 5, 88u8).unwrap();
+        } else if w.rank() == 1 {
+            let from_world: u8 = w.recv_one(ctx, 0, 5).unwrap();
+            let from_dup: u8 = d.recv_one(ctx, 0, 5).unwrap();
+            assert_eq!(from_world, 88);
+            assert_eq!(from_dup, 77);
+        }
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(3.0));
+}
+
+#[test]
+fn barrier_synchronizes_virtual_clocks() {
+    let report = run(RunConfig::local(4), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        ctx.advance(w.rank() as f64); // ranks at t = 0,1,2,3
+        w.barrier(ctx).unwrap();
+        // Everyone must now be at least at t = 3.
+        assert!(ctx.now() >= 3.0);
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(4.0));
+    assert!(report.makespan >= 3.0);
+    assert!(report.makespan < 3.1);
+}
+
+#[test]
+fn virtual_time_charges_compute_and_disk() {
+    let report = run(RunConfig::local(1), |ctx| {
+        let t0 = ctx.now();
+        ctx.compute_cells(1_000_000);
+        let t1 = ctx.now();
+        assert!(t1 > t0);
+        ctx.disk_write(1 << 20);
+        assert!(ctx.now() > t1);
+        ctx.report_f64("t", ctx.now());
+    });
+    report.assert_no_app_errors();
+    assert!(report.get_f64("t").unwrap() > 0.0);
+}
+
+#[test]
+fn many_ranks_smoke() {
+    // 128 simulated processes on one machine.
+    let n = 128;
+    let report = run(RunConfig::local(n), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let s = w.allreduce_sum(ctx, w.rank() as u64).unwrap();
+        assert_eq!(s, (n as u64 * (n as u64 - 1)) / 2);
+        w.barrier(ctx).unwrap();
+        ctx.report_add("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(n as f64));
+}
+
+#[test]
+fn iprobe_and_nonblocking_recv() {
+    let report = run(RunConfig::local(2), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        if w.rank() == 0 {
+            // Nothing queued yet.
+            assert!(!w.iprobe(ctx, Some(1), Some(5)).unwrap());
+            let req = w.irecv::<u64>(1, 5);
+            assert!(req.test(ctx).unwrap().is_none(), "not yet sent");
+            // Tell the sender to go, then wait.
+            w.send_one(ctx, 1, 1, 0u8).unwrap();
+            let data = req.wait(ctx).unwrap();
+            assert_eq!(data, vec![77]);
+            // And iprobe now sees a second queued message before recv.
+            assert!(w.iprobe(ctx, Some(1), Some(6)).unwrap());
+            let tail: u64 = w.recv_one(ctx, 1, 6).unwrap();
+            assert_eq!(tail, 88);
+            ctx.report_f64("ok", 1.0);
+        } else {
+            let _: Vec<u8> = w.recv(ctx, 0, 1).unwrap();
+            w.send_one(ctx, 0, 5, 77u64).unwrap();
+            w.send_one(ctx, 0, 6, 88u64).unwrap();
+        }
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(1.0));
+}
+
+#[test]
+fn nonblocking_recv_from_dead_source_errors_on_test() {
+    let report = run(RunConfig::local(2), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        if w.rank() == 1 {
+            ctx.die();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let req = w.irecv::<u64>(1, 9);
+        match req.test(ctx) {
+            Err(e) => assert!(e.is_proc_failed()),
+            Ok(v) => panic!("expected failure, got {v:?}"),
+        }
+        ctx.report_f64("ok", 1.0);
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.get_f64("ok"), Some(1.0));
+}

@@ -1,0 +1,101 @@
+//! Property-based tests on the runtime's pure components.
+
+use proptest::prelude::*;
+use ulfm_sim::datatype::{decode, encode};
+use ulfm_sim::group::GroupCompare;
+use ulfm_sim::{FaultPlan, Host, Hostfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hostfile render/parse roundtrips for arbitrary host lists.
+    #[test]
+    fn hostfile_roundtrip(
+        hosts in proptest::collection::vec((1usize..100, 1usize..64), 1..20),
+    ) {
+        let hf = Hostfile::new(
+            hosts
+                .iter()
+                .enumerate()
+                .map(|(i, &(tag, slots))| Host { name: format!("host{tag}_{i}"), slots })
+                .collect(),
+        );
+        let back = Hostfile::parse(&hf.render()).unwrap();
+        prop_assert_eq!(hf, back);
+    }
+
+    /// Block placement covers every rank exactly once and in order.
+    #[test]
+    fn hostfile_rank_placement_monotone(
+        n_hosts in 1usize..16,
+        slots in 1usize..16,
+    ) {
+        let hf = Hostfile::uniform("n", n_hosts, slots);
+        let mut last = 0usize;
+        for rank in 0..hf.total_slots() {
+            let h = hf.host_of_rank(rank).unwrap();
+            prop_assert!(h >= last, "placement must be monotone");
+            prop_assert_eq!(h, rank / slots);
+            last = h;
+        }
+        prop_assert!(hf.host_of_rank(hf.total_slots()).is_err());
+    }
+
+    /// Encode/decode roundtrips for every supported integer width.
+    #[test]
+    fn typed_roundtrips(
+        a in proptest::collection::vec(any::<i32>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+        c in proptest::collection::vec(any::<u16>(), 0..64),
+        d in proptest::collection::vec(any::<i8>(), 0..64),
+    ) {
+        prop_assert_eq!(decode::<i32>(&encode(&a)).unwrap(), a);
+        prop_assert_eq!(decode::<u64>(&encode(&b)).unwrap(), b);
+        prop_assert_eq!(decode::<u16>(&encode(&c)).unwrap(), c);
+        prop_assert_eq!(decode::<i8>(&encode(&d)).unwrap(), d);
+    }
+
+    /// Group algebra: difference + intersection partition the group, and
+    /// translate_ranks is the inverse of membership.
+    #[test]
+    fn group_algebra_partition(
+        universe in proptest::collection::btree_set(0u64..64, 1..20),
+        subset_mask in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        use ulfm_sim::{Group, ProcId};
+        let all: Vec<u64> = universe.iter().copied().collect();
+        let sub: Vec<u64> = all
+            .iter()
+            .zip(subset_mask.iter().chain(std::iter::repeat(&false)))
+            .filter(|(_, &keep)| keep)
+            .map(|(&v, _)| v)
+            .collect();
+        let g_all = Group::new(all.iter().map(|&v| ProcId(v)).collect());
+        let g_sub = Group::new(sub.iter().map(|&v| ProcId(v)).collect());
+        let diff = g_all.difference(&g_sub);
+        let inter = g_all.intersection(&g_sub);
+        prop_assert_eq!(diff.size() + inter.size(), g_all.size());
+        // compare: sub ⊆ all, and equal iff same content.
+        if sub.len() == all.len() {
+            prop_assert_eq!(g_all.compare(&g_sub), GroupCompare::Ident);
+        }
+    }
+
+    /// Fault plans: deterministic, rank-0-safe, bounded.
+    #[test]
+    fn fault_plan_properties(
+        count in 0usize..8,
+        world in 2usize..128,
+        step in 0u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let p = FaultPlan::random(count, world, step, seed, &[1]);
+        prop_assert!(p.n_failures() <= count.min(world.saturating_sub(2)));
+        for &(r, s) in p.victims() {
+            prop_assert!(r != 0 && r != 1 && r < world);
+            prop_assert_eq!(s, step);
+            prop_assert!(p.strikes(r, s));
+            prop_assert!(!p.strikes(r, s + 1));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The operation trace: per-rank virtual-time records of every runtime
+//! operation, and the aggregate view.
+
+use ulfm_sim::{run, RunConfig};
+
+#[test]
+fn trace_records_collectives_and_p2p() {
+    let report = run(RunConfig::local(4).with_trace(), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        w.barrier(ctx).unwrap();
+        let _ = w.allreduce_sum(ctx, 1u64).unwrap();
+        if w.rank() == 0 {
+            w.send_one(ctx, 1, 7, 9u8).unwrap();
+        } else if w.rank() == 1 {
+            let _: u8 = w.recv_one(ctx, 0, 7).unwrap();
+        }
+    });
+    report.assert_no_app_errors();
+    let totals = report.op_totals();
+    assert_eq!(totals["barrier"].0, 4, "one barrier event per rank");
+    assert_eq!(totals["reduce"].0, 4);
+    assert_eq!(totals["send"].0, 1);
+    assert_eq!(totals["recv"].0, 1);
+    // Times are sane: start <= end, all within the makespan.
+    for e in &report.trace {
+        assert!(e.t_start <= e.t_end, "{e:?}");
+        assert!(e.t_end <= report.makespan + 1e-12, "{e:?}");
+    }
+    // The barrier's end time is identical across ranks (clock sync).
+    let barrier_ends: Vec<f64> = report
+        .trace
+        .iter()
+        .filter(|e| e.op == "barrier")
+        .map(|e| e.t_end)
+        .collect();
+    assert!(barrier_ends.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+}
+
+#[test]
+fn trace_off_by_default() {
+    let report = run(RunConfig::local(2), |ctx| {
+        let w = ctx.initial_world().unwrap();
+        w.barrier(ctx).unwrap();
+    });
+    report.assert_no_app_errors();
+    assert!(report.trace.is_empty());
+    assert!(report.op_totals().is_empty());
+}
+
+#[test]
+fn trace_covers_recovery_operations() {
+    let report = run(RunConfig::local(4).with_trace(), |ctx| {
+        if ctx.is_spawned() {
+            let p = ctx.parent().unwrap();
+            let _ = p.merge(ctx, true).unwrap();
+            return;
+        }
+        let w = ctx.initial_world().unwrap();
+        if w.rank() == 2 {
+            ctx.die();
+        }
+        let _ = w.barrier(ctx);
+        let s = w.shrink(ctx).unwrap();
+        let inter =
+            ulfm_sim::comm_spawn_multiple(ctx, &s, &[ulfm_sim::SpawnSpec::anywhere()]).unwrap();
+        let _ = inter.merge(ctx, false).unwrap();
+    });
+    report.assert_no_app_errors();
+    let totals = report.op_totals();
+    assert_eq!(totals["shrink"].0, 3);
+    assert_eq!(totals["spawn_multiple"].0, 3);
+    assert_eq!(totals["intercomm_merge"].0, 4); // 3 survivors + 1 child
+}

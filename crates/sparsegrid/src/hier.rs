@@ -1,0 +1,176 @@
+//! Hierarchical surplus transform (piecewise-linear, boundary-included).
+//!
+//! Not needed by the solver itself, but the natural analysis tool for the
+//! combination technique: the GCP coefficients are *defined* by which
+//! hierarchical subspaces they cover, and the tests here (plus the
+//! property tests in `tests/`) verify the implementation through that
+//! lens. Also handy for building synthetic functions with a prescribed
+//! hierarchical support.
+
+// Indexed row/column copies between strided 2D storage and contiguous
+// scratch are clearer than iterator zips here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::grid2::Grid2;
+
+/// In-place 1D hierarchization of `2^lev + 1` nodal values: each interior
+/// node's value is replaced by its surplus over the linear interpolant of
+/// its hierarchical parents.
+pub fn hierarchize_1d(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n >= 2 && (n - 1).is_power_of_two(), "need 2^l + 1 values, got {n}");
+    let levels = (n - 1).trailing_zeros();
+    for l in (1..=levels).rev() {
+        let stride = (n - 1) >> l;
+        let mut k = stride;
+        while k < n {
+            v[k] -= 0.5 * (v[k - stride] + v[k + stride]);
+            k += 2 * stride;
+        }
+    }
+}
+
+/// Inverse of [`hierarchize_1d`].
+pub fn dehierarchize_1d(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n >= 2 && (n - 1).is_power_of_two(), "need 2^l + 1 values, got {n}");
+    let levels = (n - 1).trailing_zeros();
+    for l in 1..=levels {
+        let stride = (n - 1) >> l;
+        let mut k = stride;
+        while k < n {
+            v[k] += 0.5 * (v[k - stride] + v[k + stride]);
+            k += 2 * stride;
+        }
+    }
+}
+
+/// 2D hierarchization: 1D transform along x for every row, then along y
+/// for every column (the transforms commute).
+pub fn hierarchize(grid: &Grid2) -> Grid2 {
+    let mut out = grid.clone();
+    let (nx, ny) = (out.nx(), out.ny());
+    let mut row = vec![0.0; nx];
+    for m in 0..ny {
+        for k in 0..nx {
+            row[k] = out.at(k, m);
+        }
+        hierarchize_1d(&mut row);
+        for k in 0..nx {
+            *out.at_mut(k, m) = row[k];
+        }
+    }
+    let mut col = vec![0.0; ny];
+    for k in 0..nx {
+        for m in 0..ny {
+            col[m] = out.at(k, m);
+        }
+        hierarchize_1d(&mut col);
+        for m in 0..ny {
+            *out.at_mut(k, m) = col[m];
+        }
+    }
+    out
+}
+
+/// Inverse of [`hierarchize`].
+pub fn dehierarchize(grid: &Grid2) -> Grid2 {
+    let mut out = grid.clone();
+    let (nx, ny) = (out.nx(), out.ny());
+    let mut col = vec![0.0; ny];
+    for k in 0..nx {
+        for m in 0..ny {
+            col[m] = out.at(k, m);
+        }
+        dehierarchize_1d(&mut col);
+        for m in 0..ny {
+            *out.at_mut(k, m) = col[m];
+        }
+    }
+    let mut row = vec![0.0; nx];
+    for m in 0..ny {
+        for k in 0..nx {
+            row[k] = out.at(k, m);
+        }
+        dehierarchize_1d(&mut row);
+        for k in 0..nx {
+            *out.at_mut(k, m) = row[k];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::LevelPair;
+
+    #[test]
+    fn linear_function_has_no_interior_surplus() {
+        let mut v: Vec<f64> = (0..=8).map(|k| 3.0 * k as f64 / 8.0 + 1.0).collect();
+        hierarchize_1d(&mut v);
+        // Boundary values stay; all interior surpluses vanish.
+        assert!((v[0] - 1.0).abs() < 1e-15);
+        assert!((v[8] - 4.0).abs() < 1e-15);
+        for k in 1..8 {
+            assert!(v[k].abs() < 1e-14, "surplus at {k} = {}", v[k]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let orig: Vec<f64> = (0..=16).map(|k| ((k * k) as f64).sin()).collect();
+        let mut v = orig.clone();
+        hierarchize_1d(&mut v);
+        dehierarchize_1d(&mut v);
+        for (a, b) in orig.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let g = Grid2::from_fn(LevelPair::new(4, 3), |x, y| (7.0 * x).sin() * (3.0 * y).cos());
+        let back = dehierarchize(&hierarchize(&g));
+        for (a, b) in g.values().iter().zip(back.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bilinear_function_surplus_is_boundary_only() {
+        let g = Grid2::from_fn(LevelPair::new(3, 3), |x, y| 1.0 + 2.0 * x * y);
+        let h = hierarchize(&g);
+        // Interior (non-boundary in both directions) surpluses vanish for
+        // a globally bilinear function... more precisely all surpluses at
+        // hierarchical level ≥ 1 in either direction vanish.
+        for m in 1..h.ny() - 1 {
+            for k in 1..h.nx() - 1 {
+                // Skip nodes that are "level 0" in a direction (none
+                // strictly interior are).
+                assert!(h.at(k, m).abs() < 1e-13, "surplus at ({k},{m})");
+            }
+        }
+    }
+
+    #[test]
+    fn surplus_decay_for_smooth_function() {
+        // |surplus| at the finest level should be much smaller than at the
+        // coarsest level for a smooth function.
+        let n = 6u32;
+        let g = Grid2::from_fn(LevelPair::new(n, 1), |x, _| (std::f64::consts::PI * x).sin());
+        let h = hierarchize(&g);
+        // x-level 1 surplus lives at k = 2^(n-1).
+        let coarse = h.at(1 << (n - 1), 0).abs();
+        // Finest-level surpluses live at odd k.
+        let fine = (1..h.nx()).step_by(2).map(|k| h.at(k, 0).abs()).fold(0.0f64, f64::max);
+        assert!(fine < coarse / 100.0, "coarse {coarse}, fine {fine}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^l + 1")]
+    fn rejects_bad_length() {
+        let mut v = vec![0.0; 6];
+        hierarchize_1d(&mut v);
+    }
+}

@@ -1,0 +1,120 @@
+//! Level pairs: the anisotropy index `(i, j)` of a component grid
+//! `(2^i + 1) × (2^j + 1)`.
+
+use std::fmt;
+
+/// The level pair of an anisotropic 2D component grid.
+///
+/// Partial order: `(i, j) ≤ (i', j')` iff `i ≤ i'` **and** `j ≤ j'`
+/// (componentwise); this is the lattice the combination coefficients live
+/// on. Note `PartialOrd` is implemented accordingly — incomparable pairs
+/// compare as `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LevelPair {
+    /// x-direction level: `2^i + 1` points.
+    pub i: u32,
+    /// y-direction level: `2^j + 1` points.
+    pub j: u32,
+}
+
+impl LevelPair {
+    /// Construct a level pair.
+    pub const fn new(i: u32, j: u32) -> Self {
+        LevelPair { i, j }
+    }
+
+    /// Sum of levels (`|level|_1`): constant along a combination diagonal.
+    pub fn sum(&self) -> u32 {
+        self.i + self.j
+    }
+
+    /// Number of points along x.
+    pub fn nx(&self) -> usize {
+        (1usize << self.i) + 1
+    }
+
+    /// Number of points along y.
+    pub fn ny(&self) -> usize {
+        (1usize << self.j) + 1
+    }
+
+    /// Total number of grid points.
+    pub fn points(&self) -> usize {
+        self.nx() * self.ny()
+    }
+
+    /// Componentwise `≤` (the lattice order).
+    pub fn leq(&self, other: &LevelPair) -> bool {
+        self.i <= other.i && self.j <= other.j
+    }
+
+    /// Componentwise minimum (lattice meet).
+    pub fn meet(&self, other: &LevelPair) -> LevelPair {
+        LevelPair::new(self.i.min(other.i), self.j.min(other.j))
+    }
+
+    /// Componentwise maximum (lattice join).
+    pub fn join(&self, other: &LevelPair) -> LevelPair {
+        LevelPair::new(self.i.max(other.i), self.j.max(other.j))
+    }
+
+    /// Offset by `(di, dj)`.
+    pub fn plus(&self, di: u32, dj: u32) -> LevelPair {
+        LevelPair::new(self.i + di, self.j + dj)
+    }
+}
+
+// Lexicographic total order for use in BTree containers; the *lattice*
+// order is `leq`.
+impl PartialOrd for LevelPair {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LevelPair {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.i, self.j).cmp(&(other.i, other.j))
+    }
+}
+
+impl fmt::Display for LevelPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.i, self.j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_counts() {
+        let l = LevelPair::new(3, 5);
+        assert_eq!(l.nx(), 9);
+        assert_eq!(l.ny(), 33);
+        assert_eq!(l.points(), 297);
+        assert_eq!(l.sum(), 8);
+    }
+
+    #[test]
+    fn lattice_order_vs_total_order() {
+        let a = LevelPair::new(2, 5);
+        let b = LevelPair::new(3, 4);
+        // Incomparable in the lattice...
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        // ...but totally ordered lexicographically for containers.
+        assert!(a < b);
+        assert!(a.leq(&a));
+        assert!(LevelPair::new(2, 4).leq(&a));
+    }
+
+    #[test]
+    fn meet_and_join() {
+        let a = LevelPair::new(2, 5);
+        let b = LevelPair::new(3, 4);
+        assert_eq!(a.meet(&b), LevelPair::new(2, 4));
+        assert_eq!(a.join(&b), LevelPair::new(3, 5));
+        assert_eq!(a.plus(1, 0), LevelPair::new(3, 5));
+    }
+}

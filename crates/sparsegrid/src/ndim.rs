@@ -1,0 +1,394 @@
+//! The combination technique in arbitrary dimension.
+//!
+//! The paper instantiates the classical *d*-dimensional combination
+//! technique (Griebel–Schneider–Zenger) at `d = 2`; this module carries
+//! the coefficient theory in general dimension, so the library can serve
+//! as a foundation for higher-dimensional solvers (the paper's §V points
+//! at "more advanced sparse grid combination techniques").
+//!
+//! Everything is a direct generalization of [`crate::coeffs`]:
+//!
+//! * level vectors `l ∈ ℕ^d` ordered componentwise,
+//! * downsets `J` of level vectors,
+//! * inclusion–exclusion coefficients
+//!   `c(a) = Σ_{z ∈ {0,1}^d} (−1)^{|z|₁} [a + z ∈ J]`,
+//! * the covering property `Σ_{a ≥ b, a ∈ J} c(a) = 1` for all `b ∈ J`,
+//! * robust coefficient recomputation after losses, with the same
+//!   best-retention surgery search.
+//!
+//! For the classical truncated-simplex downset, the coefficients reduce
+//! to the textbook formula `(−1)^q · C(d−1, q)` on the diagonal
+//! `|l|₁ = τ − q` (away from the truncation corners), which the tests
+//! verify.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A level vector in `d` dimensions. Plain `Vec<u32>` keyed containers
+/// keep the module dependency-free; dimensions are validated at set
+/// construction.
+pub type LevelVecN = Vec<u32>;
+
+/// Componentwise `≤` (the lattice order).
+pub fn leq(a: &[u32], b: &[u32]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// A finite set of level vectors of a fixed dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSetN {
+    dim: usize,
+    levels: BTreeSet<LevelVecN>,
+}
+
+impl LevelSetN {
+    /// Empty set of the given dimension.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1, "dimension must be ≥ 1");
+        LevelSetN { dim, levels: BTreeSet::new() }
+    }
+
+    /// The classical truncated simplex
+    /// `{ l : floor ≤ l_i, |l|₁ ≤ tau }` — the *d*-dimensional analogue
+    /// of the paper's Eq.-1 index set.
+    pub fn truncated_simplex(dim: usize, floor: u32, tau: u32) -> Self {
+        assert!(dim >= 1);
+        assert!(
+            tau >= floor * dim as u32,
+            "tau {tau} cannot hold the floor corner ({floor}^{dim})"
+        );
+        let mut set = LevelSetN::new(dim);
+        let mut cursor = vec![floor; dim];
+        loop {
+            if cursor.iter().sum::<u32>() <= tau {
+                set.levels.insert(cursor.clone());
+            }
+            // Odometer increment with per-digit cap tau (pruned by the
+            // simplex test above).
+            let mut i = 0;
+            loop {
+                if i == dim {
+                    return set;
+                }
+                cursor[i] += 1;
+                let partial: u32 = cursor.iter().sum();
+                if partial <= tau {
+                    break;
+                }
+                cursor[i] = floor;
+                i += 1;
+            }
+        }
+    }
+
+    /// Dimension of the member vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Membership.
+    pub fn contains(&self, l: &[u32]) -> bool {
+        debug_assert_eq!(l.len(), self.dim);
+        self.levels.contains(l)
+    }
+
+    /// Insert a level (must match the dimension).
+    pub fn insert(&mut self, l: LevelVecN) {
+        assert_eq!(l.len(), self.dim, "dimension mismatch");
+        self.levels.insert(l);
+    }
+
+    /// Remove a level and its entire upset.
+    pub fn remove_upset(&mut self, lost: &[u32]) {
+        debug_assert_eq!(lost.len(), self.dim);
+        self.levels.retain(|l| !leq(lost, l));
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Iterate in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &LevelVecN> {
+        self.levels.iter()
+    }
+}
+
+/// Inclusion–exclusion coefficients over a downset in any dimension.
+/// Levels with coefficient 0 are omitted.
+pub fn gcp_coefficients_nd(j: &LevelSetN) -> BTreeMap<LevelVecN, i64> {
+    let d = j.dim();
+    let mut out = BTreeMap::new();
+    let mut probe = vec![0u32; d];
+    for a in j.iter() {
+        let mut c: i64 = 0;
+        for z in 0..(1u32 << d) {
+            let ones = z.count_ones();
+            probe.clear();
+            probe.extend(a.iter().enumerate().map(|(i, &v)| v + ((z >> i) & 1)));
+            if j.contains(&probe) {
+                c += if ones % 2 == 0 { 1 } else { -1 };
+            }
+        }
+        if c != 0 {
+            out.insert(a.clone(), c);
+        }
+    }
+    out
+}
+
+/// The covering property `Σ_{a ≥ b} c(a) = 1` for every `b` in the
+/// downset hull of the coefficient support. Returns the first violator.
+pub fn verify_covering_nd(
+    coeffs: &BTreeMap<LevelVecN, i64>,
+    floor: u32,
+) -> Option<LevelVecN> {
+    let Some(first) = coeffs.keys().next() else {
+        return None;
+    };
+    let d = first.len();
+    // Hull: componentwise ranges floor..=max over support; enumerate and
+    // test every point dominated by some support level.
+    let mut maxes = vec![floor; d];
+    for a in coeffs.keys() {
+        for (m, &v) in maxes.iter_mut().zip(a) {
+            *m = (*m).max(v);
+        }
+    }
+    let mut cursor = vec![floor; d];
+    loop {
+        let dominated = coeffs.keys().any(|a| leq(&cursor, a));
+        if dominated {
+            let cover: i64 = coeffs
+                .iter()
+                .filter(|(a, _)| leq(&cursor, a))
+                .map(|(_, &c)| c)
+                .sum();
+            if cover != 1 {
+                return Some(cursor);
+            }
+        }
+        // Odometer over the bounding box.
+        let mut i = 0;
+        loop {
+            if i == d {
+                return None;
+            }
+            cursor[i] += 1;
+            if cursor[i] <= maxes[i] {
+                break;
+            }
+            cursor[i] = floor;
+            i += 1;
+        }
+    }
+}
+
+/// Robust coefficients after losses, in any dimension: the same
+/// best-retention surgery search as the 2D version — a bad (lost or
+/// unavailable) level with nonzero coefficient is neutralized by removing
+/// the upset of one of its `d` upper neighbours or of the level itself,
+/// searched for maximum retained downset size.
+pub fn robust_coefficients_nd(
+    j_set: &LevelSetN,
+    lost: &[LevelVecN],
+    available: &LevelSetN,
+) -> BTreeMap<LevelVecN, i64> {
+    fn search(
+        j: &LevelSetN,
+        usable: &impl Fn(&LevelVecN) -> bool,
+        best: &mut Option<(usize, BTreeMap<LevelVecN, i64>)>,
+    ) {
+        let coeffs = gcp_coefficients_nd(j);
+        let bad = coeffs.keys().find(|l| !usable(l)).cloned();
+        match bad {
+            None => {
+                let retained = j.len();
+                let better = best.as_ref().is_none_or(|(n, _)| retained > *n);
+                if better && !coeffs.is_empty() {
+                    *best = Some((retained, coeffs));
+                }
+            }
+            Some(bad) => {
+                if let Some((n, _)) = best {
+                    if j.len() <= *n {
+                        return;
+                    }
+                }
+                let d = j.dim();
+                let mut candidates: Vec<LevelVecN> = (0..d)
+                    .map(|axis| {
+                        let mut v = bad.clone();
+                        v[axis] += 1;
+                        v
+                    })
+                    .collect();
+                candidates.push(bad);
+                for cand in candidates {
+                    if !j.contains(&cand) {
+                        continue;
+                    }
+                    let mut j2 = j.clone();
+                    j2.remove_upset(&cand);
+                    if j2.len() < j.len() {
+                        search(&j2, usable, best);
+                    }
+                }
+            }
+        }
+    }
+    let usable =
+        |l: &LevelVecN| !lost.iter().any(|q| q == l) && available.contains(l);
+    let mut best = None;
+    search(j_set, &usable, &mut best);
+    best.map(|(_, c)| c).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coeffs::{gcp_coefficients, LevelSet};
+    use crate::level::LevelPair;
+
+    /// Binomial coefficient.
+    fn choose(n: u32, k: u32) -> i64 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1i64;
+        for i in 0..k {
+            r = r * (n - i) as i64 / (i + 1) as i64;
+        }
+        r
+    }
+
+    #[test]
+    fn two_dim_matches_the_specialized_module() {
+        let floor = 3;
+        let tau = 11;
+        let nd = LevelSetN::truncated_simplex(2, floor, tau);
+        let c_nd = gcp_coefficients_nd(&nd);
+
+        let set2d: LevelSet = nd
+            .iter()
+            .map(|v| LevelPair::new(v[0], v[1]))
+            .collect();
+        let c_2d = gcp_coefficients(&set2d);
+
+        assert_eq!(c_nd.len(), c_2d.len());
+        for (lv, c) in &c_2d {
+            assert_eq!(
+                c_nd.get(&vec![lv.i, lv.j]).copied(),
+                Some(*c as i64),
+                "mismatch at {lv}"
+            );
+        }
+    }
+
+    #[test]
+    fn classical_3d_coefficients_are_binomial() {
+        // The textbook d-dimensional combination: on the q-th diagonal
+        // below the top, the coefficient is (−1)^q · C(d−1, q) — away
+        // from truncation corners.
+        let d = 3u32;
+        let floor = 2;
+        let tau = 14;
+        let j = LevelSetN::truncated_simplex(d as usize, floor, tau);
+        let c = gcp_coefficients_nd(&j);
+        // Central (non-corner) representatives on each diagonal.
+        for q in 0..d {
+            let s = tau - q; // |l|1 on this diagonal
+            // Pick l = (a, a, s − 2a) with a in the middle.
+            let a = (s / 3).max(floor + 1);
+            let l = vec![a, a, s - 2 * a];
+            assert!(l.iter().all(|&x| x > floor), "pick interior point");
+            let expect = if q % 2 == 0 { choose(d - 1, q) } else { -choose(d - 1, q) };
+            assert_eq!(
+                c.get(&l).copied().unwrap_or(0),
+                expect,
+                "diagonal q={q} at {l:?}"
+            );
+        }
+        // Deeper diagonals vanish.
+        let deep = vec![3, 3, tau - 6 - 3];
+        assert_eq!(c.get(&deep).copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn covering_property_holds_in_3d_and_4d() {
+        for (d, floor, tau) in [(3usize, 1u32, 8u32), (4, 1, 9)] {
+            let j = LevelSetN::truncated_simplex(d, floor, tau);
+            let c = gcp_coefficients_nd(&j);
+            assert_eq!(c.values().sum::<i64>(), 1, "d={d}");
+            assert_eq!(verify_covering_nd(&c, floor), None, "d={d}");
+        }
+    }
+
+    #[test]
+    fn robust_3d_losses_keep_covering() {
+        let d = 3;
+        let floor = 1;
+        let tau = 8;
+        let j = LevelSetN::truncated_simplex(d, floor, tau);
+        let available = j.clone();
+        // Lose two top-diagonal grids.
+        let lost = vec![vec![2, 3, 3], vec![3, 3, 2]];
+        let c = robust_coefficients_nd(&j, &lost, &available);
+        assert!(!c.is_empty());
+        assert_eq!(c.values().sum::<i64>(), 1);
+        for l in &lost {
+            assert!(!c.contains_key(l), "coefficient on lost {l:?}");
+        }
+        assert_eq!(verify_covering_nd(&c, floor), None);
+    }
+
+    #[test]
+    fn robust_2d_agrees_with_specialized_search() {
+        // The tricky 2D case (lower-diagonal + corner loss) must solve the
+        // same way through the n-dimensional path.
+        let floor = 4;
+        let tau = 11; // the (n=7, l=4) system
+        let nd = LevelSetN::truncated_simplex(2, floor, tau);
+        let lost = vec![vec![5, 5], vec![4, 4]];
+        let c = robust_coefficients_nd(&nd, &lost, &nd.clone());
+        assert!(!c.is_empty(), "the partial surgery exists");
+        assert_eq!(c.values().sum::<i64>(), 1);
+        assert_eq!(verify_covering_nd(&c, floor), None);
+    }
+
+    #[test]
+    fn truncated_simplex_counts() {
+        // d=2, floor=1, tau=4: {(1,1),(1,2),(1,3),(2,1),(2,2),(3,1)} = 6.
+        let s = LevelSetN::truncated_simplex(2, 1, 4);
+        assert_eq!(s.len(), 6);
+        // d=3, floor=1, tau=4: only (1,1,1), (2,1,1) perms = 1 + 3 = 4.
+        let s = LevelSetN::truncated_simplex(3, 1, 4);
+        assert_eq!(s.len(), 4);
+        // Corner-only.
+        let s = LevelSetN::truncated_simplex(3, 2, 6);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_upset_nd() {
+        let mut s = LevelSetN::truncated_simplex(3, 1, 6);
+        let before = s.len();
+        s.remove_upset(&[2, 2, 1]);
+        assert!(s.len() < before);
+        assert!(!s.contains(&[2, 2, 1]));
+        assert!(!s.contains(&[2, 2, 2]));
+        assert!(s.contains(&[1, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn rejects_impossible_simplex() {
+        let _ = LevelSetN::truncated_simplex(3, 3, 8);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error norms for solution verification.
+//!
+//! The paper measures "the average of the l1-norm of the difference
+//! between the combined grid solution and exact analytical solution"; the
+//! norms here are per-point averages so values are comparable across grid
+//! resolutions.
+
+use crate::grid2::Grid2;
+
+/// Average `|u − f|` over the grid nodes (the paper's error metric).
+pub fn l1_error_vs(grid: &Grid2, f: impl Fn(f64, f64) -> f64) -> f64 {
+    let mut acc = 0.0;
+    for m in 0..grid.ny() {
+        for k in 0..grid.nx() {
+            let (x, y) = grid.coords(k, m);
+            acc += (grid.at(k, m) - f(x, y)).abs();
+        }
+    }
+    acc / (grid.nx() * grid.ny()) as f64
+}
+
+/// Root-mean-square `|u − f|` over the grid nodes.
+pub fn l2_error_vs(grid: &Grid2, f: impl Fn(f64, f64) -> f64) -> f64 {
+    let mut acc = 0.0;
+    for m in 0..grid.ny() {
+        for k in 0..grid.nx() {
+            let (x, y) = grid.coords(k, m);
+            let d = grid.at(k, m) - f(x, y);
+            acc += d * d;
+        }
+    }
+    (acc / (grid.nx() * grid.ny()) as f64).sqrt()
+}
+
+/// Maximum `|u − f|` over the grid nodes.
+pub fn linf_error_vs(grid: &Grid2, f: impl Fn(f64, f64) -> f64) -> f64 {
+    let mut acc = 0.0f64;
+    for m in 0..grid.ny() {
+        for k in 0..grid.nx() {
+            let (x, y) = grid.coords(k, m);
+            acc = acc.max((grid.at(k, m) - f(x, y)).abs());
+        }
+    }
+    acc
+}
+
+/// Average `|a − b|` between two same-level grids.
+pub fn l1_grid_diff(a: &Grid2, b: &Grid2) -> f64 {
+    assert_eq!(a.level(), b.level(), "l1_grid_diff level mismatch");
+    let n = a.values().len();
+    let acc: f64 = a
+        .values()
+        .iter()
+        .zip(b.values())
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    acc / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::LevelPair;
+
+    #[test]
+    fn exact_grid_has_zero_error() {
+        let f = |x: f64, y: f64| x * y + 1.0;
+        let g = Grid2::from_fn(LevelPair::new(3, 4), f);
+        assert_eq!(l1_error_vs(&g, f), 0.0);
+        assert_eq!(l2_error_vs(&g, f), 0.0);
+        assert_eq!(linf_error_vs(&g, f), 0.0);
+    }
+
+    #[test]
+    fn constant_offset_shows_in_all_norms() {
+        let g = Grid2::from_fn(LevelPair::new(2, 2), |_, _| 1.0);
+        let f = |_: f64, _: f64| 0.75;
+        assert!((l1_error_vs(&g, f) - 0.25).abs() < 1e-15);
+        assert!((l2_error_vs(&g, f) - 0.25).abs() < 1e-15);
+        assert!((linf_error_vs(&g, f) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_ordering_l1_le_l2_le_linf() {
+        let g = Grid2::from_fn(LevelPair::new(4, 4), |x, y| (x * 9.0).sin() * y);
+        let f = |x: f64, y: f64| (x * 9.0).sin() * y * 0.9;
+        let l1 = l1_error_vs(&g, f);
+        let l2 = l2_error_vs(&g, f);
+        let li = linf_error_vs(&g, f);
+        assert!(l1 <= l2 + 1e-15);
+        assert!(l2 <= li + 1e-15);
+        assert!(l1 > 0.0);
+    }
+
+    #[test]
+    fn grid_diff_matches_vs_function() {
+        let f1 = |x: f64, y: f64| x + y;
+        let f2 = |x: f64, y: f64| x + y + 0.5;
+        let a = Grid2::from_fn(LevelPair::new(3, 3), f1);
+        let b = Grid2::from_fn(LevelPair::new(3, 3), f2);
+        assert!((l1_grid_diff(&a, &b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "level mismatch")]
+    fn grid_diff_requires_same_level() {
+        let a = Grid2::zeros(LevelPair::new(2, 2));
+        let b = Grid2::zeros(LevelPair::new(2, 3));
+        let _ = l1_grid_diff(&a, &b);
+    }
+}

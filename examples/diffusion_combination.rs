@@ -1,0 +1,89 @@
+//! The combination technique is PDE-agnostic: run it on the 2D heat
+//! equation (the second model problem) and watch the robust/alternate
+//! combination absorb a lost grid, exactly as it does for advection.
+//!
+//! ```text
+//! cargo run --release --example diffusion_combination
+//! ```
+
+use ftsg::grid::{
+    combine_onto, l1_error_vs, robust_coefficients, CombinationTerm, Grid2, GridSystem, Layout,
+    LevelSet,
+};
+use ftsg::pde::diffusion::{DiffusionProblem, DiffusionSolver};
+
+fn main() {
+    let n = 7;
+    let l = 4;
+    let problem = DiffusionProblem::standard();
+    let sys = GridSystem::new(n, l, Layout::ExtraLayers);
+    // One Δt across all grids (the paper's discipline), set by the finest.
+    let dt = problem.stable_dt(n, 0.5);
+    let steps = 400u64;
+
+    println!(
+        "heat equation on the combination grid system: n={n}, l={l}, {} sub-grids, {} steps",
+        sys.n_grids(),
+        steps
+    );
+
+    // Solve every sub-grid.
+    let grids: Vec<Grid2> = sys
+        .grids()
+        .iter()
+        .map(|g| {
+            let mut s = DiffusionSolver::new(problem, g.level, dt);
+            s.run(steps);
+            s.grid().clone()
+        })
+        .collect();
+    let t_final = dt * steps as f64;
+
+    // Healthy classical combination.
+    let terms: Vec<CombinationTerm> = sys
+        .combination_ids()
+        .into_iter()
+        .map(|id| CombinationTerm {
+            coeff: sys.classical_coefficient(id) as f64,
+            grid: &grids[id],
+        })
+        .collect();
+    let combined = combine_onto(sys.min_level(), &terms);
+    let baseline = l1_error_vs(&combined, problem.exact_at(t_final));
+    println!("baseline combined-solution error: {baseline:.3e}");
+
+    // Lose a middle diagonal grid; recombine robustly over the survivors.
+    let lost_id = 1usize;
+    let lost = vec![sys.grid(lost_id).level];
+    let surviving: LevelSet = sys
+        .grids()
+        .iter()
+        .filter(|g| g.id != lost_id)
+        .map(|g| g.level)
+        .collect();
+    let coeffs = robust_coefficients(&sys.classical_downset(), &lost, &surviving);
+    println!(
+        "grid {lost_id} (level {}) lost -> robust coefficients over {} grids:",
+        sys.grid(lost_id).level,
+        coeffs.len()
+    );
+    for (lv, c) in &coeffs {
+        println!("  {lv}: {c:+}");
+    }
+    let terms: Vec<CombinationTerm> = sys
+        .grids()
+        .iter()
+        .filter(|g| g.id != lost_id)
+        .filter_map(|g| {
+            coeffs.get(&g.level).map(|&c| CombinationTerm {
+                coeff: c as f64,
+                grid: &grids[g.id],
+            })
+        })
+        .collect();
+    let robust = combine_onto(sys.min_level(), &terms);
+    let err = l1_error_vs(&robust, problem.exact_at(t_final));
+    println!("robust combined-solution error:   {err:.3e}  ({:.2}x baseline)", err / baseline);
+    assert!(err < 10.0 * baseline, "within the 10x robustness envelope");
+    println!("within the 10x robustness envelope ✓ — same machinery, different PDE");
+}

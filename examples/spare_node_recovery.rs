@@ -1,0 +1,53 @@
+//! Spare-node recovery (the paper's §V future work) with operation
+//! tracing: a whole node dies; its ranks are respawned *together* on a
+//! spare node, preserving load balance; the trace shows where the
+//! virtual time went.
+//!
+//! ```text
+//! cargo run --release --example spare_node_recovery
+//! ```
+
+use ftsg::app::app::keys;
+use ftsg::app::{run_app, AppConfig, ProcLayout, RespawnPolicy, Technique};
+use ftsg::mpi::{run, ClusterProfile, FaultPlan, RunConfig};
+
+fn main() {
+    let base = AppConfig::paper_shaped(Technique::AlternateCombination, 8, 2, 6)
+        .with_respawn_policy(RespawnPolicy::SpareNode);
+    let layout = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
+    let world = layout.world_size();
+    let steps = base.steps();
+
+    // Nodes of 4 slots; node 1 = world ranks 4..8 — kill all of them.
+    let mut rc = RunConfig::local(world).with_trace();
+    rc.profile = ClusterProfile::local(world.div_ceil(4), 4);
+    rc.spare_hosts = 2;
+    let victims: Vec<(usize, u64)> = (4..8).map(|r| (r, steps)).collect();
+    let cfg = base.with_plan(FaultPlan::new(victims));
+
+    println!("killing ALL ranks of node 1 (world ranks 4..8) at step {steps}");
+    let report = run(rc, move |ctx| {
+        if ctx.is_spawned() {
+            println!("  [respawned process placed on host {}]", ctx.my_host());
+        }
+        run_app(&cfg, ctx);
+    });
+    report.assert_no_app_errors();
+
+    println!("\nrecovery: {} failures repaired", report.get_f64(keys::N_FAILED).unwrap());
+    println!(
+        "solution error vs analytic: {:.3e}",
+        report.get_f64(keys::ERR_L1).unwrap()
+    );
+
+    println!("\nvirtual time by operation (top 8, summed over ranks):");
+    let mut rows: Vec<(&str, usize, f64)> = report
+        .op_totals()
+        .into_iter()
+        .map(|(op, (n, t))| (op, n, t))
+        .collect();
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    for (op, n, t) in rows.into_iter().take(8) {
+        println!("  {op:>16}  x{n:<6}  {t:>10.4} s");
+    }
+}

@@ -1,0 +1,74 @@
+//! Compare the three data recovery techniques of the paper under the same
+//! grid losses: Checkpoint/Restart (exact, disk), Resampling and Copying
+//! (near-exact, duplicate grids), and Alternate Combination (approximate,
+//! robust combination coefficients).
+//!
+//! ```text
+//! cargo run --release --example technique_comparison
+//! ```
+
+use ftsg::app::app::keys;
+use ftsg::app::{run_app, AppConfig, ProcLayout, Technique};
+use ftsg::mpi::{run, ClusterProfile, RunConfig};
+
+fn main() {
+    let n = 8;
+    let log2_steps = 6;
+    println!("technique comparison: n={n}, l=4, 2^{log2_steps} steps, losses on the OPL profile\n");
+    println!(
+        "{:<22} {:>6} {:>12} {:>14} {:>12} {:>10}",
+        "technique", "procs", "baseline", "err@2 lost", "ratio", "t_rec(s)"
+    );
+
+    for technique in [
+        Technique::CheckpointRestart,
+        Technique::ResamplingCopying,
+        Technique::AlternateCombination,
+        Technique::BuddyCheckpoint, // extension: diskless in-memory checkpoints
+    ] {
+        let base = AppConfig::paper_shaped(technique, n, 1, log2_steps);
+        let layout = ProcLayout::new(base.n, base.l, technique.layout(), base.scale);
+        let world = layout.world_size();
+
+        let launch = |cfg: AppConfig| {
+            let r = run(
+                RunConfig::cluster(ClusterProfile::opl(), world),
+                move |ctx| run_app(&cfg, ctx),
+            );
+            r.assert_no_app_errors();
+            r
+        };
+
+        let healthy = launch(base.clone());
+        let baseline = healthy.get_f64(keys::ERR_L1).unwrap();
+
+        // Simulated loss of two grids (the paper's Figs. 9/10 methodology):
+        // a corner diagonal and a middle lower-diagonal grid (asymmetric,
+        // so the techniques' different recoveries show up in the error).
+        let lost = vec![0usize, base.l as usize + 1];
+        let lossy = launch(base.clone().with_simulated_losses(lost.clone()));
+        let err = lossy.get_f64(keys::ERR_L1).unwrap();
+        let t_rec = lossy.get_f64(keys::T_RECOVERY).unwrap()
+            + if technique == Technique::CheckpointRestart {
+                lossy.get_f64(keys::T_CKPT).unwrap()
+            } else {
+                0.0
+            };
+
+        println!(
+            "{:<22} {:>6} {:>12.3e} {:>14.3e} {:>11.2}x {:>10.3}",
+            format!("{technique:?}"),
+            world,
+            baseline,
+            err,
+            err / baseline,
+            t_rec
+        );
+    }
+
+    println!(
+        "\nshapes to expect (paper §III): CR exact but with by far the largest overhead on a\n\
+         typical-disk cluster; RC near-exact; AC cheapest and — surprisingly — more accurate\n\
+         than RC when resampling is involved."
+    );
+}

@@ -1,0 +1,19 @@
+//! # ftsg — fault-tolerant sparse grid combination PDE solving
+//!
+//! Umbrella crate re-exporting the whole stack built to reproduce
+//! *"Application Level Fault Recovery: Using Fault-Tolerant Open MPI in a
+//! PDE Solver"* (IPDPSW 2014):
+//!
+//! * [`mpi`] — the simulated fault-tolerant MPI runtime (ULFM semantics).
+//! * [`grid`] — the sparse grid combination technique.
+//! * [`pde`] — the 2D advection Lax–Wendroff solver.
+//! * [`app`] — the fault-tolerant application: process layout, detection,
+//!   communicator reconstruction, and the three data recovery techniques.
+//!
+//! See `examples/` for runnable entry points and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use advect2d as pde;
+pub use ftsg_core as app;
+pub use sparsegrid as grid;
+pub use ulfm_sim as mpi;

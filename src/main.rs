@@ -1,0 +1,208 @@
+//! `ftsg` — command-line driver for the fault-tolerant sparse-grid
+//! advection solver.
+//!
+//! ```text
+//! ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]
+//!      [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]
+//!      [--spare-node] [--trace] [--trace-json FILE] [--output PREFIX] [--seed S]
+//! ```
+//!
+//! Runs one complete application: solve, (optionally) suffer real process
+//! failures, detect, reconstruct, recover, combine, and report the error
+//! against the analytic solution plus the virtual-time cost breakdown.
+
+use std::sync::Arc;
+
+use ftsg::app::app::keys;
+use ftsg::app::{run_app, AppConfig, ProcLayout, RespawnPolicy, Technique};
+use ftsg::mpi::{run, BetaUlfm, ClusterProfile, FaultPlan, RunConfig};
+
+struct Cli {
+    technique: Technique,
+    n: u32,
+    l: u32,
+    scale: usize,
+    log2_steps: u32,
+    failures: usize,
+    fail_at: Option<u64>,
+    cluster: String,
+    spare_node: bool,
+    trace: bool,
+    output: Option<String>,
+    trace_json: Option<String>,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]\n\
+         \x20           [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]\n\
+         \x20           [--spare-node] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Cli {
+    let mut cli = Cli {
+        technique: Technique::AlternateCombination,
+        n: 9,
+        l: 4,
+        scale: 1,
+        log2_steps: 6,
+        failures: 0,
+        fail_at: None,
+        cluster: "local".into(),
+        spare_node: false,
+        trace: false,
+        output: None,
+        trace_json: None,
+        seed: 2014,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--technique" => {
+                cli.technique = match take(&mut i).to_lowercase().as_str() {
+                    "cr" => Technique::CheckpointRestart,
+                    "rc" => Technique::ResamplingCopying,
+                    "ac" => Technique::AlternateCombination,
+                    "bc" => Technique::BuddyCheckpoint,
+                    _ => usage(),
+                }
+            }
+            "--n" => cli.n = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--l" => cli.l = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--scale" => cli.scale = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--steps" => cli.log2_steps = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fail" => cli.failures = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fail-at" => cli.fail_at = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--cluster" => cli.cluster = take(&mut i).to_lowercase(),
+            "--spare-node" => cli.spare_node = true,
+            "--trace" => cli.trace = true,
+            "--output" => cli.output = Some(take(&mut i)),
+            "--trace-json" => cli.trace_json = Some(take(&mut i)),
+            "--seed" => cli.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse();
+    let mut cfg = AppConfig {
+        n: cli.n,
+        l: cli.l,
+        scale: cli.scale,
+        technique: cli.technique,
+        log2_steps: cli.log2_steps,
+        plan: FaultPlan::none(),
+        checkpoints: 4,
+        ckpt_dir: ftsg::app::config::default_ckpt_dir(),
+        problem: ftsg::pde::AdvectionProblem::standard(),
+        simulated_lost_grids: Vec::new(),
+        respawn_policy: if cli.spare_node {
+            RespawnPolicy::SpareNode
+        } else {
+            RespawnPolicy::SameHost
+        },
+        output_prefix: cli.output.clone().map(Into::into),
+    };
+    let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
+    let world = layout.world_size();
+    if cli.failures > 0 {
+        let at = cli.fail_at.unwrap_or(cfg.steps());
+        cfg.plan = FaultPlan::random(cli.failures, world, at, cli.seed, &[]);
+        println!(
+            "injecting {} failure(s) at step {at}: ranks {:?}",
+            cli.failures,
+            cfg.plan.victim_ranks()
+        );
+    }
+
+    let mut rc = match cli.cluster.as_str() {
+        "local" => RunConfig::local(world).with_seed(cli.seed),
+        "opl" => RunConfig::cluster(ClusterProfile::opl(), world)
+            .with_seed(cli.seed)
+            .with_model(Arc::new(BetaUlfm)),
+        "raijin" => RunConfig::cluster(ClusterProfile::raijin(), world).with_seed(cli.seed),
+        _ => usage(),
+    };
+    if cli.trace || cli.trace_json.is_some() {
+        rc.trace = true;
+    }
+
+    println!(
+        "ftsg: {} on {} | n={} l={} scale={} -> {} grids, {} ranks, 2^{} steps",
+        cfg.technique.label(),
+        rc.profile.name,
+        cfg.n,
+        cfg.l,
+        cfg.scale,
+        layout.system().n_grids(),
+        world,
+        cfg.log2_steps
+    );
+
+    let app_cfg = cfg.clone();
+    let report = run(rc, move |ctx| run_app(&app_cfg, ctx));
+    if !report.app_errors.is_empty() {
+        eprintln!("run failed:");
+        for e in &report.app_errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+
+    println!("\n-- results ----------------------------------------------------");
+    let g = |k: &str| report.get_f64(k).unwrap_or(f64::NAN);
+    println!("combined-solution l1 error vs analytic : {:.4e}", g(keys::ERR_L1));
+    println!("virtual makespan                       : {:.4} s", g(keys::T_TOTAL));
+    println!("  solve phase                          : {:.4} s", g(keys::T_SOLVE));
+    if cfg.technique == Technique::CheckpointRestart {
+        println!("  checkpoint writes                    : {:.4} s", g(keys::T_CKPT));
+    }
+    if g(keys::N_FAILED) > 0.0 {
+        println!("failures repaired                      : {}", g(keys::N_FAILED));
+        println!("  failed-list creation                 : {:.4} s", g(keys::T_LIST));
+        println!("  communicator reconstruction          : {:.4} s", g(keys::T_RECONSTRUCT));
+        println!(
+            "    shrink {:.4} s | spawn {:.4} s | merge {:.4} s | agree {:.4} s",
+            g(keys::T_SHRINK),
+            g(keys::T_SPAWN),
+            g(keys::T_MERGE),
+            g(keys::T_AGREE)
+        );
+        println!("  data recovery                        : {:.4} s", g(keys::T_RECOVERY));
+    }
+    println!(
+        "processes: {} created, {} failed",
+        report.procs_created, report.procs_failed
+    );
+
+    if let Some(path) = &cli.trace_json {
+        match ftsg::mpi::write_chrome_trace(&report, path) {
+            Ok(()) => println!("\n[chrome trace written to {path} — open in ui.perfetto.dev]"),
+            Err(e) => eprintln!("could not write trace: {e}"),
+        }
+    }
+    if cli.trace {
+        println!("\n-- virtual-time by operation (summed over ranks) ---------------");
+        let mut rows: Vec<(&str, usize, f64)> = report
+            .op_totals()
+            .into_iter()
+            .map(|(op, (n, t))| (op, n, t))
+            .collect();
+        rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+        for (op, n, t) in rows {
+            println!("{op:>16}  x{n:<8}  {t:>12.4} s");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Whole-stack integration: the fault-tolerant application across cluster
+//! profiles, ULFM cost models, and failure modes.
+
+use std::sync::Arc;
+
+use ftsg::app::app::keys;
+use ftsg::app::{run_app, AppConfig, ProcLayout, Technique};
+use ftsg::mpi::{run, BetaUlfm, ClusterProfile, FaultPlan, IdealUlfm, RunConfig};
+
+fn launch(cfg: AppConfig, rc: RunConfig) -> ftsg::mpi::Report {
+    let report = run(rc, move |ctx| run_app(&cfg, ctx));
+    report.assert_no_app_errors();
+    report
+}
+
+#[test]
+fn runs_on_both_paper_clusters() {
+    for profile in [ClusterProfile::opl(), ClusterProfile::raijin()] {
+        let cfg = AppConfig::small(Technique::CheckpointRestart);
+        let world =
+            ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).world_size();
+        let report = launch(cfg, RunConfig::cluster(profile.clone(), world));
+        let err = report.get_f64(keys::ERR_L1).unwrap();
+        assert!(err.is_finite() && err < 0.05, "{}: err {err}", profile.name);
+        // OPL's slow disk makes the checkpointing run much longer.
+        if profile.name == "OPL" {
+            assert!(report.get_f64(keys::T_CKPT).unwrap() > 1.0);
+        }
+    }
+}
+
+#[test]
+fn beta_vs_ideal_model_reconstruction_gap() {
+    // The same double failure costs vastly more virtual time to repair
+    // under the beta model than under the ideal ablation — the paper's
+    // central performance finding, measured through the whole app.
+    let time_with = |model: Arc<dyn ftsg::mpi::UlfmCostModel>| {
+        let base = AppConfig::paper_shaped(Technique::ResamplingCopying, 7, 4, 4);
+        let steps = base.steps();
+        let layout = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
+        let v1 = layout.group(1).first;
+        let v2 = layout.group(2).first;
+        let cfg = base.with_plan(FaultPlan::new(vec![(v1, steps), (v2, steps)]));
+        let world = layout.world_size();
+        let rc = RunConfig::cluster(ClusterProfile::opl(), world).with_model(model);
+        let report = launch(cfg, rc);
+        report.get_f64(keys::T_RECONSTRUCT).unwrap()
+    };
+    let beta = time_with(Arc::new(BetaUlfm));
+    let ideal = time_with(Arc::new(IdealUlfm::new(ClusterProfile::opl().net)));
+    assert!(
+        beta > 100.0 * ideal,
+        "beta reconstruction ({beta}) must dwarf ideal ({ideal})"
+    );
+}
+
+#[test]
+fn ac_robust_final_combination_beats_double_interpolation() {
+    // With an end-of-run loss, AC's final solution is the robust
+    // combination of the survivors; its error must stay within a small
+    // multiple of the baseline.
+    let base = AppConfig::paper_shaped(Technique::AlternateCombination, 8, 1, 5);
+    let world = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale).world_size();
+    let baseline = launch(base.clone(), RunConfig::local(world))
+        .get_f64(keys::ERR_L1)
+        .unwrap();
+    let lossy = launch(
+        base.with_simulated_losses(vec![2]),
+        RunConfig::local(world),
+    )
+    .get_f64(keys::ERR_L1)
+    .unwrap();
+    assert!(
+        lossy < 10.0 * baseline,
+        "single-loss AC error {lossy} vs baseline {baseline}"
+    );
+}
+
+#[test]
+fn losses_of_redundancy_grids_are_harmless() {
+    // Losing a duplicate (RC) or an extra-layer grid (AC) must not change
+    // the combined solution at all.
+    for (technique, redundant_grid) in [
+        (Technique::ResamplingCopying, 7usize), // duplicate of diagonal 0
+        (Technique::AlternateCombination, 7),   // first extra-layer grid
+    ] {
+        let base = AppConfig::paper_shaped(technique, 7, 1, 4);
+        let world =
+            ProcLayout::new(base.n, base.l, technique.layout(), base.scale).world_size();
+        let baseline = launch(base.clone(), RunConfig::local(world))
+            .get_f64(keys::ERR_L1)
+            .unwrap();
+        let lossy = launch(
+            base.with_simulated_losses(vec![redundant_grid]),
+            RunConfig::local(world),
+        )
+        .get_f64(keys::ERR_L1)
+        .unwrap();
+        assert!(
+            (lossy - baseline).abs() < 1e-15,
+            "{technique:?}: redundancy-grid loss changed the error ({baseline} -> {lossy})"
+        );
+    }
+}
+
+#[test]
+fn failure_at_larger_scale_with_multirank_groups() {
+    // Kill two ranks of the *same* group at scale 4 — the whole sub-grid
+    // is recovered, including the surviving members' stale data.
+    let base = AppConfig::paper_shaped(Technique::ResamplingCopying, 7, 4, 4);
+    let steps = base.steps();
+    let layout = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
+    let g2 = layout.group(2);
+    assert!(g2.size >= 4);
+    let cfg = base.with_plan(FaultPlan::new(vec![
+        (g2.first + 1, steps),
+        (g2.first + 3, steps),
+    ]));
+    let report = launch(cfg, RunConfig::local(layout.world_size()));
+    assert_eq!(report.get_f64(keys::N_FAILED), Some(2.0));
+    let err = report.get_f64(keys::ERR_L1).unwrap();
+    assert!(err < 0.05);
+}
+
+#[test]
+fn midrun_kill_breaks_group_then_recovers() {
+    // A mid-run kill (not at a detection point) leaves the group broken
+    // until the end-of-run detection; recovery still works.
+    let base = AppConfig::paper_shaped(Technique::AlternateCombination, 7, 2, 5);
+    let layout = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
+    let victim = layout.group(3).first + 1;
+    let baseline = launch(base.clone(), RunConfig::local(layout.world_size()))
+        .get_f64(keys::ERR_L1)
+        .unwrap();
+    let cfg = base.with_plan(FaultPlan::single(victim, 7)); // mid-run
+    let report = launch(cfg, RunConfig::local(layout.world_size()));
+    assert_eq!(report.get_f64(keys::N_FAILED), Some(1.0));
+    let err = report.get_f64(keys::ERR_L1).unwrap();
+    assert!(err < 10.0 * baseline, "err {err} vs baseline {baseline}");
+}
+
+#[test]
+fn report_exposes_all_contracted_keys() {
+    let cfg = AppConfig::small(Technique::CheckpointRestart);
+    let world = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).world_size();
+    let report = launch(cfg, RunConfig::local(world));
+    for key in [
+        keys::T_TOTAL,
+        keys::T_RECOVERY,
+        keys::T_CKPT,
+        keys::T_SOLVE,
+        keys::ERR_L1,
+        keys::T_LIST,
+        keys::T_RECONSTRUCT,
+        keys::T_SHRINK,
+        keys::T_SPAWN,
+        keys::T_MERGE,
+        keys::T_AGREE,
+        keys::N_FAILED,
+        keys::WORLD,
+    ] {
+        assert!(report.get_f64(key).is_some(), "missing report key {key}");
+    }
+    // Sanity: the reported total is the pre-teardown makespan; the final
+    // reporting collectives may nudge the true makespan slightly past it.
+    let t = report.get_f64(keys::T_TOTAL).unwrap();
+    assert!(t <= report.makespan + 1e-12);
+    assert!(report.makespan - t < 0.1, "teardown cost {}", report.makespan - t);
+}
