@@ -13,6 +13,8 @@
 
 use sparsegrid::Grid2;
 
+use crate::stepper::PaddedField;
+
 /// The 2D diffusion problem on the periodic unit square.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiffusionProblem {
@@ -40,9 +42,7 @@ impl DiffusionProblem {
     pub fn exact(&self, x: f64, y: f64, t: f64) -> f64 {
         use std::f64::consts::TAU;
         let lambda = self.nu * (TAU * TAU) * (self.kx * self.kx + self.ky * self.ky) as f64;
-        (-lambda * t).exp()
-            * (TAU * self.kx as f64 * x).sin()
-            * (TAU * self.ky as f64 * y).sin()
+        (-lambda * t).exp() * (TAU * self.kx as f64 * x).sin() * (TAU * self.ky as f64 * y).sin()
     }
 
     /// The exact solution at a fixed time as a closure of `(x, y)`.
@@ -59,20 +59,34 @@ impl DiffusionProblem {
     }
 }
 
-/// One periodic FTCS step on a whole grid (single owner).
-pub fn ftcs_step(
-    problem: &DiffusionProblem,
-    grid: &mut Grid2,
-    dt: f64,
-    scratch: &mut Vec<f64>,
-) {
+/// One FTCS update of a single output row (same row-slice contract as
+/// [`crate::laxwendroff::lax_wendroff_row`], 5-point stencil).
+#[inline]
+pub fn ftcs_row(south: &[f64], center: &[f64], north: &[f64], rx: f64, ry: f64, out: &mut [f64]) {
+    let nx = out.len();
+    let south = &south[..nx + 2];
+    let center = &center[..nx + 2];
+    let north = &north[..nx + 2];
+    for k in 0..nx {
+        let c = center[k + 1];
+        let w = center[k];
+        let e = center[k + 2];
+        let s = south[k + 1];
+        let n_ = north[k + 1];
+        out[k] = c + rx * (e - 2.0 * c + w) + ry * (n_ - 2.0 * c + s);
+    }
+}
+
+/// One periodic FTCS step on a whole grid (single owner): the
+/// rebuild-everything reference path, kept for the bitwise-equivalence
+/// tests against the double-buffered [`DiffusionSolver`].
+pub fn ftcs_step(problem: &DiffusionProblem, grid: &mut Grid2, dt: f64, scratch: &mut Vec<f64>) {
     let nx = grid.nx() - 1;
     let ny = grid.ny() - 1;
     let (hx, hy) = grid.spacing();
     let rx = problem.nu * dt / (hx * hx);
     let ry = problem.nu * dt / (hy * hy);
-    scratch.clear();
-    scratch.resize(nx * ny, 0.0);
+    sparsegrid::ensure_len(scratch, nx * ny);
     let wrap = |k: isize, n: usize| -> usize { k.rem_euclid(n as isize) as usize };
     for m in 0..ny {
         for k in 0..nx {
@@ -108,31 +122,39 @@ pub struct DiffusionSolver {
     grid: Grid2,
     dt: f64,
     steps_done: u64,
-    scratch: Vec<f64>,
+    field: PaddedField,
 }
 
 impl DiffusionSolver {
     /// Initialize from the sine initial condition.
     pub fn new(problem: DiffusionProblem, level: sparsegrid::LevelPair, dt: f64) -> Self {
         let grid = Grid2::from_fn(level, problem.initial());
-        DiffusionSolver { problem, grid, dt, steps_done: 0, scratch: Vec::new() }
+        let field = PaddedField::new(grid.nx() - 1, grid.ny() - 1);
+        DiffusionSolver { problem, grid, dt, steps_done: 0, field }
     }
 
     /// Advance one timestep.
     pub fn step(&mut self) {
-        let p = self.problem;
-        let dt = self.dt;
-        let mut scratch = std::mem::take(&mut self.scratch);
-        ftcs_step(&p, &mut self.grid, dt, &mut scratch);
-        self.scratch = scratch;
-        self.steps_done += 1;
+        self.run(1);
     }
 
-    /// Advance `n` timesteps.
+    /// Advance `n` timesteps through the double-buffered padded field
+    /// (one grid load/store per call, no per-step allocation); bitwise
+    /// identical to `n` calls of [`ftcs_step`].
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        if n == 0 {
+            return;
         }
+        let (hx, hy) = self.grid.spacing();
+        let rx = self.problem.nu * self.dt / (hx * hx);
+        let ry = self.problem.nu * self.dt / (hy * hy);
+        self.field.load(&self.grid);
+        for _ in 0..n {
+            self.field.refresh_periodic_halo();
+            self.field.step(|s, c, nn, out| ftcs_row(s, c, nn, rx, ry, out));
+        }
+        self.field.store(&mut self.grid);
+        self.steps_done += n;
     }
 
     /// Simulated time reached.

@@ -16,6 +16,7 @@
 use sparsegrid::Grid2;
 
 use crate::problem::AdvectionProblem;
+use crate::stepper::PaddedField;
 
 /// Precomputed stencil coefficients for one `(Δt, hx, hy, a)` combination.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +51,45 @@ impl LwCoef {
     }
 }
 
+/// Apply one Lax–Wendroff update to a single output row.
+///
+/// `south`, `center`, `north` are three consecutive padded rows (each
+/// `nx + 2` wide, where `nx = out.len()`); `out` receives the updated
+/// interior row. Binding the three input rows and the output row to
+/// slices of known relative length lets the compiler hoist every bounds
+/// check out of the k-loop — this is the hot inner loop of the whole
+/// solver.
+#[inline]
+pub fn lax_wendroff_row(
+    south: &[f64],
+    center: &[f64],
+    north: &[f64],
+    coef: &LwCoef,
+    out: &mut [f64],
+) {
+    let nx = out.len();
+    let south = &south[..nx + 2];
+    let center = &center[..nx + 2];
+    let north = &north[..nx + 2];
+    for k in 0..nx {
+        let c = center[k + 1];
+        let w = center[k];
+        let e = center[k + 2];
+        let s = south[k + 1];
+        let n = north[k + 1];
+        let sw = south[k];
+        let se = south[k + 2];
+        let nw = north[k];
+        let ne = north[k + 2];
+        out[k] = c
+            + coef.cx * (e - w)
+            + coef.cy * (n - s)
+            + coef.cxx * (e - 2.0 * c + w)
+            + coef.cyy * (n - 2.0 * c + s)
+            + coef.cxy * (ne - nw - se + sw);
+    }
+}
+
 /// Apply one Lax–Wendroff update to a halo-padded block.
 ///
 /// `padded` has `(nx + 2) × (ny + 2)` values, row-major with x fastest;
@@ -60,26 +100,10 @@ pub fn lax_wendroff_kernel(padded: &[f64], nx: usize, ny: usize, coef: &LwCoef, 
     debug_assert_eq!(padded.len(), pnx * (ny + 2));
     debug_assert_eq!(out.len(), nx * ny);
     for m in 0..ny {
-        let row_s = (m) * pnx; // south padded row
-        let row_c = (m + 1) * pnx;
-        let row_n = (m + 2) * pnx;
-        for k in 0..nx {
-            let c = padded[row_c + k + 1];
-            let w = padded[row_c + k];
-            let e = padded[row_c + k + 2];
-            let s = padded[row_s + k + 1];
-            let n = padded[row_n + k + 1];
-            let sw = padded[row_s + k];
-            let se = padded[row_s + k + 2];
-            let nw = padded[row_n + k];
-            let ne = padded[row_n + k + 2];
-            out[m * nx + k] = c
-                + coef.cx * (e - w)
-                + coef.cy * (n - s)
-                + coef.cxx * (e - 2.0 * c + w)
-                + coef.cyy * (n - 2.0 * c + s)
-                + coef.cxy * (ne - nw - se + sw);
-        }
+        let south = &padded[m * pnx..][..pnx];
+        let center = &padded[(m + 1) * pnx..][..pnx];
+        let north = &padded[(m + 2) * pnx..][..pnx];
+        lax_wendroff_row(south, center, north, coef, &mut out[m * nx..][..nx]);
     }
 }
 
@@ -87,14 +111,24 @@ pub fn lax_wendroff_kernel(padded: &[f64], nx: usize, ny: usize, coef: &LwCoef, 
 /// domain decomposition): fills a padded copy by periodic wrap and runs
 /// the kernel. Nodes `0` and `N` are identified (periodic), and both are
 /// stored for interoperability with the combination code.
-pub fn lax_wendroff_step(grid: &mut Grid2, coef: &LwCoef, padded: &mut Vec<f64>, out: &mut Vec<f64>) {
+///
+/// This is the straightforward rebuild-everything formulation, kept as
+/// the bitwise reference for the double-buffered fast path used by
+/// [`LocalSolver`] (see the `equivalence` tests and
+/// `DESIGN.md`, "Hot-path memory discipline"); new code should step
+/// through [`LocalSolver`] or [`crate::stepper::PaddedField`] instead.
+pub fn lax_wendroff_step(
+    grid: &mut Grid2,
+    coef: &LwCoef,
+    padded: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
     // Interior is the fundamental domain [0, N) × [0, M): node N duplicates
     // node 0.
     let nx = grid.nx() - 1;
     let ny = grid.ny() - 1;
     let pnx = nx + 2;
-    padded.clear();
-    padded.resize(pnx * (ny + 2), 0.0);
+    sparsegrid::ensure_len(padded, pnx * (ny + 2));
     let wrapx = |k: isize| -> usize { (k.rem_euclid(nx as isize)) as usize };
     let wrapy = |m: isize| -> usize { (m.rem_euclid(ny as isize)) as usize };
     for pm in 0..ny + 2 {
@@ -104,8 +138,7 @@ pub fn lax_wendroff_step(grid: &mut Grid2, coef: &LwCoef, padded: &mut Vec<f64>,
             padded[pm * pnx + pk] = grid.at(gk, gm);
         }
     }
-    out.clear();
-    out.resize(nx * ny, 0.0);
+    sparsegrid::ensure_len(out, nx * ny);
     lax_wendroff_kernel(padded, nx, ny, coef, out);
     for m in 0..ny {
         for k in 0..nx {
@@ -146,8 +179,7 @@ pub struct LocalSolver {
     coef: LwCoef,
     dt: f64,
     steps_done: u64,
-    padded: Vec<f64>,
-    scratch: Vec<f64>,
+    field: PaddedField,
 }
 
 impl LocalSolver {
@@ -157,21 +189,34 @@ impl LocalSolver {
         let grid = Grid2::from_fn(level, problem.initial());
         let (hx, hy) = grid.spacing();
         let coef = LwCoef::new(&problem, hx, hy, dt);
-        LocalSolver { problem, grid, coef, dt, steps_done: 0, padded: Vec::new(), scratch: Vec::new() }
+        let field = PaddedField::new(grid.nx() - 1, grid.ny() - 1);
+        LocalSolver { problem, grid, coef, dt, steps_done: 0, field }
     }
 
     /// Advance one timestep.
     pub fn step(&mut self) {
-        let coef = self.coef;
-        lax_wendroff_step(&mut self.grid, &coef, &mut self.padded, &mut self.scratch);
-        self.steps_done += 1;
+        self.run(1);
     }
 
     /// Advance `n` timesteps.
+    ///
+    /// The grid is loaded into the double-buffered padded field once,
+    /// stepped `n` times (per step: an `O(perimeter)` halo refresh, the
+    /// stencil, a buffer swap — no allocation, no full-field copies),
+    /// and stored back once. Bitwise identical to `n` calls of the
+    /// reference [`lax_wendroff_step`].
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        if n == 0 {
+            return;
         }
+        self.field.load(&self.grid);
+        let coef = self.coef;
+        for _ in 0..n {
+            self.field.refresh_periodic_halo();
+            self.field.step(|s, c, nn, out| lax_wendroff_row(s, c, nn, &coef, out));
+        }
+        self.field.store(&mut self.grid);
+        self.steps_done += n;
     }
 
     /// Simulated time reached.

@@ -19,8 +19,10 @@ pub mod problem;
 pub mod stepper;
 pub mod upwind;
 
-pub use diffusion::{DiffusionProblem, DiffusionSolver};
-pub use laxwendroff::{lax_wendroff_step, LocalSolver};
+pub use diffusion::{ftcs_row, ftcs_step, DiffusionProblem, DiffusionSolver};
+pub use laxwendroff::{
+    lax_wendroff_kernel, lax_wendroff_row, lax_wendroff_step, LocalSolver, LwCoef,
+};
 pub use problem::{AdvectionProblem, InitialCondition};
-pub use stepper::TimeGrid;
-pub use upwind::UpwindSolver;
+pub use stepper::{PaddedField, TimeGrid};
+pub use upwind::{upwind_kernel, upwind_row, upwind_step_naive, UpwindCoef, UpwindSolver};

@@ -30,9 +30,7 @@ impl InitialCondition {
             InitialCondition::SinProduct { kx, ky } => {
                 (TAU * kx as f64 * x).sin() * (TAU * ky as f64 * y).sin()
             }
-            InitialCondition::CosHill => {
-                0.25 * (1.0 - (TAU * x).cos()) * (1.0 - (TAU * y).cos())
-            }
+            InitialCondition::CosHill => 0.25 * (1.0 - (TAU * x).cos()) * (1.0 - (TAU * y).cos()),
             InitialCondition::Constant(c) => c,
         }
     }

@@ -1,11 +1,162 @@
-//! Timestep selection.
+//! Timestep selection and the shared stepping machinery.
 //!
 //! "As we use a fixed simulation timestep (Δt) across all grids for
 //! stability purposes" — the timestep is set once, from the *finest*
 //! resolution in the whole grid system (`h = 2⁻ⁿ`), and every component
 //! grid advances with it.
+//!
+//! [`PaddedField`] is the allocation-free stepping engine shared by the
+//! Lax–Wendroff, upwind and FTCS solvers: a persistent double-buffered
+//! halo-padded block where one timestep only refreshes the halo ring
+//! (`O(perimeter)` copies) and ping-pongs the two buffers, instead of
+//! rebuilding a padded copy of the whole field and copying the result
+//! back (`O(area)` traffic plus two `Vec` reallocations per step).
+
+use sparsegrid::Grid2;
 
 use crate::problem::AdvectionProblem;
+
+/// A persistent double-buffered halo-padded field.
+///
+/// Both buffers hold `(nx + 2) × (ny + 2)` values, row-major with x
+/// fastest; the interior `nx × ny` block is the fundamental periodic
+/// domain (node `N` of the grid duplicates node `0` and is *not*
+/// stored). A timestep reads stencil rows from the current buffer and
+/// writes each output row directly into the interior of the other
+/// buffer, then the buffers swap; nothing is allocated and nothing is
+/// copied except the halo ring.
+///
+/// The halo can be filled two ways: [`refresh_periodic_halo`] for the
+/// single-owner periodic solvers, or externally (distributed halo
+/// exchange) through [`padded_mut`].
+///
+/// [`refresh_periodic_halo`]: PaddedField::refresh_periodic_halo
+/// [`padded_mut`]: PaddedField::padded_mut
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaddedField {
+    nx: usize,
+    ny: usize,
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl PaddedField {
+    /// An all-zero field with an `nx × ny` interior.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1, "interior must be non-empty: {nx}x{ny}");
+        let len = (nx + 2) * (ny + 2);
+        PaddedField { nx, ny, cur: vec![0.0; len], next: vec![0.0; len] }
+    }
+
+    /// A field sized for `grid`'s fundamental domain, loaded from it.
+    pub fn from_grid(grid: &Grid2) -> Self {
+        let mut f = PaddedField::new(grid.nx() - 1, grid.ny() - 1);
+        f.load(grid);
+        f
+    }
+
+    /// Interior width (fundamental domain, seam excluded).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior height (fundamental domain, seam excluded).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Padded row stride.
+    #[inline]
+    pub fn pnx(&self) -> usize {
+        self.nx + 2
+    }
+
+    /// Copy `grid`'s fundamental domain into the interior. The halo is
+    /// left stale; refresh or exchange before stepping.
+    pub fn load(&mut self, grid: &Grid2) {
+        assert_eq!((grid.nx() - 1, grid.ny() - 1), (self.nx, self.ny), "grid size mismatch");
+        let pnx = self.pnx();
+        for m in 0..self.ny {
+            let dst = &mut self.cur[(m + 1) * pnx + 1..][..self.nx];
+            dst.copy_from_slice(&grid.row(m)[..self.nx]);
+        }
+    }
+
+    /// Copy the interior back into `grid`'s fundamental domain and
+    /// re-assert the periodic seam (node `N` duplicates node `0`).
+    pub fn store(&self, grid: &mut Grid2) {
+        assert_eq!((grid.nx() - 1, grid.ny() - 1), (self.nx, self.ny), "grid size mismatch");
+        let pnx = self.pnx();
+        for m in 0..self.ny {
+            let src = &self.cur[(m + 1) * pnx + 1..][..self.nx];
+            grid.row_mut(m)[..self.nx].copy_from_slice(src);
+        }
+        let (nx, ny) = (self.nx, self.ny);
+        for m in 0..ny {
+            let v = grid.at(0, m);
+            *grid.at_mut(nx, m) = v;
+        }
+        for k in 0..grid.nx() {
+            let v = grid.at(k, 0);
+            *grid.at_mut(k, ny) = v;
+        }
+    }
+
+    /// Fill the halo ring of the current buffer by periodic wrap of the
+    /// interior: `O(nx + ny)` copies, the only per-step data motion
+    /// besides the stencil itself.
+    pub fn refresh_periodic_halo(&mut self) {
+        let pnx = self.pnx();
+        let (nx, ny) = (self.nx, self.ny);
+        // Wrap columns first: west halo ← east interior column and vice
+        // versa, for every interior row.
+        for r in 1..=ny {
+            let row = &mut self.cur[r * pnx..(r + 1) * pnx];
+            row[0] = row[nx];
+            row[nx + 1] = row[1];
+        }
+        // Then whole padded rows (including the just-wrapped corners):
+        // south halo row ← top interior row, north halo row ← bottom
+        // interior row.
+        self.cur.copy_within(ny * pnx..(ny + 1) * pnx, 0);
+        self.cur.copy_within(pnx..2 * pnx, (ny + 1) * pnx);
+    }
+
+    /// The current padded buffer (halo + interior).
+    pub fn padded(&self) -> &[f64] {
+        &self.cur
+    }
+
+    /// Mutable view of the current padded buffer, for external halo
+    /// fills (distributed exchange) or direct interior edits.
+    pub fn padded_mut(&mut self) -> &mut [f64] {
+        &mut self.cur
+    }
+
+    /// Interior row `m` (of `ny`) as a slice of `nx` values.
+    #[inline]
+    pub fn interior_row(&self, m: usize) -> &[f64] {
+        debug_assert!(m < self.ny);
+        &self.cur[(m + 1) * self.pnx() + 1..][..self.nx]
+    }
+
+    /// One timestep: for each interior row `m`, `row_kernel` receives
+    /// the three padded stencil rows (south, center, north — each
+    /// `nx + 2` wide) from the current buffer and the `nx`-wide output
+    /// row in the other buffer; the buffers then swap. The halo of the
+    /// *new* current buffer is stale until the next refresh/exchange.
+    pub fn step(&mut self, mut row_kernel: impl FnMut(&[f64], &[f64], &[f64], &mut [f64])) {
+        let pnx = self.pnx();
+        for m in 0..self.ny {
+            let south = &self.cur[m * pnx..][..pnx];
+            let center = &self.cur[(m + 1) * pnx..][..pnx];
+            let north = &self.cur[(m + 2) * pnx..][..pnx];
+            let out = &mut self.next[(m + 1) * pnx + 1..][..self.nx];
+            row_kernel(south, center, north, out);
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+}
 
 /// The shared time discretization of a combination solve.
 #[derive(Debug, Clone, Copy, PartialEq)]

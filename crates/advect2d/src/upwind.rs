@@ -9,6 +9,7 @@
 use sparsegrid::Grid2;
 
 use crate::problem::AdvectionProblem;
+use crate::stepper::PaddedField;
 
 /// Precomputed upwind coefficients for one `(Δt, hx, hy, a)` combination.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +32,33 @@ impl UpwindCoef {
     }
 }
 
+/// One upwind update of a single output row (same row-slice contract as
+/// [`crate::laxwendroff::lax_wendroff_row`]).
+#[inline]
+pub fn upwind_row(
+    south: &[f64],
+    center: &[f64],
+    north: &[f64],
+    coef: &UpwindCoef,
+    out: &mut [f64],
+) {
+    let nx = out.len();
+    let south = &south[..nx + 2];
+    let center = &center[..nx + 2];
+    let north = &north[..nx + 2];
+    for k in 0..nx {
+        let c = center[k + 1];
+        let w = center[k];
+        let e = center[k + 2];
+        let s = south[k + 1];
+        let n = north[k + 1];
+        // Difference against the upwind neighbour in each direction.
+        let dx = if coef.cx >= 0.0 { c - w } else { e - c };
+        let dy = if coef.cy >= 0.0 { c - s } else { n - c };
+        out[k] = c - coef.cx * dx - coef.cy * dy;
+    }
+}
+
 /// One upwind update on a halo-padded block (same layout contract as
 /// [`crate::laxwendroff::lax_wendroff_kernel`]).
 pub fn upwind_kernel(padded: &[f64], nx: usize, ny: usize, coef: &UpwindCoef, out: &mut [f64]) {
@@ -38,20 +66,47 @@ pub fn upwind_kernel(padded: &[f64], nx: usize, ny: usize, coef: &UpwindCoef, ou
     debug_assert_eq!(padded.len(), pnx * (ny + 2));
     debug_assert_eq!(out.len(), nx * ny);
     for m in 0..ny {
-        let row_s = m * pnx;
-        let row_c = (m + 1) * pnx;
-        let row_n = (m + 2) * pnx;
-        for k in 0..nx {
-            let c = padded[row_c + k + 1];
-            let w = padded[row_c + k];
-            let e = padded[row_c + k + 2];
-            let s = padded[row_s + k + 1];
-            let n = padded[row_n + k + 1];
-            // Difference against the upwind neighbour in each direction.
-            let dx = if coef.cx >= 0.0 { c - w } else { e - c };
-            let dy = if coef.cy >= 0.0 { c - s } else { n - c };
-            out[m * nx + k] = c - coef.cx * dx - coef.cy * dy;
+        let south = &padded[m * pnx..][..pnx];
+        let center = &padded[(m + 1) * pnx..][..pnx];
+        let north = &padded[(m + 2) * pnx..][..pnx];
+        upwind_row(south, center, north, coef, &mut out[m * nx..][..nx]);
+    }
+}
+
+/// One periodic upwind step on a whole [`Grid2`]: the rebuild-everything
+/// reference path, kept for the bitwise-equivalence tests against the
+/// double-buffered [`UpwindSolver`].
+pub fn upwind_step_naive(
+    grid: &mut Grid2,
+    coef: &UpwindCoef,
+    padded: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    let nx = grid.nx() - 1;
+    let ny = grid.ny() - 1;
+    let pnx = nx + 2;
+    sparsegrid::ensure_len(padded, pnx * (ny + 2));
+    let wrapx = |k: isize| -> usize { k.rem_euclid(nx as isize) as usize };
+    let wrapy = |m: isize| -> usize { m.rem_euclid(ny as isize) as usize };
+    for pm in 0..ny + 2 {
+        let gm = wrapy(pm as isize - 1);
+        for pk in 0..pnx {
+            let gk = wrapx(pk as isize - 1);
+            padded[pm * pnx + pk] = grid.at(gk, gm);
         }
+    }
+    sparsegrid::ensure_len(out, nx * ny);
+    upwind_kernel(padded, nx, ny, coef, out);
+    for m in 0..ny {
+        grid.row_mut(m)[..nx].copy_from_slice(&out[m * nx..][..nx]);
+    }
+    for m in 0..ny {
+        let v = grid.at(0, m);
+        *grid.at_mut(nx, m) = v;
+    }
+    for k in 0..grid.nx() {
+        let v = grid.at(k, 0);
+        *grid.at_mut(k, ny) = v;
     }
 }
 
@@ -64,8 +119,7 @@ pub struct UpwindSolver {
     coef: UpwindCoef,
     dt: f64,
     steps_done: u64,
-    padded: Vec<f64>,
-    scratch: Vec<f64>,
+    field: PaddedField,
 }
 
 impl UpwindSolver {
@@ -74,57 +128,30 @@ impl UpwindSolver {
         let grid = Grid2::from_fn(level, problem.initial());
         let (hx, hy) = grid.spacing();
         let coef = UpwindCoef::new(&problem, hx, hy, dt);
-        UpwindSolver {
-            problem,
-            grid,
-            coef,
-            dt,
-            steps_done: 0,
-            padded: Vec::new(),
-            scratch: Vec::new(),
-        }
+        let field = PaddedField::new(grid.nx() - 1, grid.ny() - 1);
+        UpwindSolver { problem, grid, coef, dt, steps_done: 0, field }
     }
 
     /// Advance one timestep.
     pub fn step(&mut self) {
-        let nx = self.grid.nx() - 1;
-        let ny = self.grid.ny() - 1;
-        let pnx = nx + 2;
-        self.padded.clear();
-        self.padded.resize(pnx * (ny + 2), 0.0);
-        let wrapx = |k: isize| -> usize { k.rem_euclid(nx as isize) as usize };
-        let wrapy = |m: isize| -> usize { m.rem_euclid(ny as isize) as usize };
-        for pm in 0..ny + 2 {
-            let gm = wrapy(pm as isize - 1);
-            for pk in 0..pnx {
-                let gk = wrapx(pk as isize - 1);
-                self.padded[pm * pnx + pk] = self.grid.at(gk, gm);
-            }
-        }
-        self.scratch.clear();
-        self.scratch.resize(nx * ny, 0.0);
-        upwind_kernel(&self.padded, nx, ny, &self.coef, &mut self.scratch);
-        for m in 0..ny {
-            for k in 0..nx {
-                *self.grid.at_mut(k, m) = self.scratch[m * nx + k];
-            }
-        }
-        for m in 0..ny {
-            let v = self.grid.at(0, m);
-            *self.grid.at_mut(nx, m) = v;
-        }
-        for k in 0..self.grid.nx() {
-            let v = self.grid.at(k, 0);
-            *self.grid.at_mut(k, ny) = v;
-        }
-        self.steps_done += 1;
+        self.run(1);
     }
 
-    /// Advance `n` timesteps.
+    /// Advance `n` timesteps through the double-buffered padded field
+    /// (one grid load/store per call, no per-step allocation); bitwise
+    /// identical to `n` calls of [`upwind_step_naive`].
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        if n == 0 {
+            return;
         }
+        self.field.load(&self.grid);
+        let coef = self.coef;
+        for _ in 0..n {
+            self.field.refresh_periodic_halo();
+            self.field.step(|s, c, nn, out| upwind_row(s, c, nn, &coef, out));
+        }
+        self.field.store(&mut self.grid);
+        self.steps_done += n;
     }
 
     /// Simulated time reached.

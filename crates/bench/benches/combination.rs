@@ -2,10 +2,94 @@
 //! computation (classical and robust) and combination evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftsg_core::gather::{assemble_grid, split_grid_into};
+use ftsg_core::layout::GroupInfo;
+use ftsg_core::psolve::block_range;
 use sparsegrid::{
     combine_onto, gcp_coefficients, robust_coefficients, CombinationTerm, Grid2, GridSystem,
     Layout, LevelPair,
 };
+
+/// Seed formulation of the gather–scatter grid marshalling: per-element
+/// `at`/`at_mut` indexing (each with its own bounds check and 2-D index
+/// arithmetic), kept here as the baseline the slice-based
+/// `split_grid_into`/`assemble_grid` are measured against.
+mod seed {
+    use super::*;
+
+    pub fn split_grid(grid: &Grid2, info: &GroupInfo) -> Vec<Vec<f64>> {
+        let level = grid.level();
+        let nxg = 1usize << level.i;
+        let nyg = 1usize << level.j;
+        let mut out = Vec::with_capacity(info.size);
+        for local in 0..info.size {
+            let pi = local % info.px;
+            let pj = local / info.px;
+            let (x0, lnx) = block_range(nxg, info.px, pi);
+            let (y0, lny) = block_range(nyg, info.py, pj);
+            let mut block = Vec::with_capacity(lnx * lny);
+            for m in 0..lny {
+                for k in 0..lnx {
+                    block.push(grid.at(x0 + k, y0 + m));
+                }
+            }
+            out.push(block);
+        }
+        out
+    }
+
+    pub fn assemble_grid(level: LevelPair, info: &GroupInfo, blocks: &[Vec<f64>]) -> Grid2 {
+        let nxg = 1usize << level.i;
+        let nyg = 1usize << level.j;
+        let mut grid = Grid2::zeros(level);
+        for (local, block) in blocks.iter().enumerate() {
+            let pi = local % info.px;
+            let pj = local / info.px;
+            let (x0, lnx) = block_range(nxg, info.px, pi);
+            let (y0, lny) = block_range(nyg, info.py, pj);
+            for m in 0..lny {
+                for k in 0..lnx {
+                    *grid.at_mut(x0 + k, y0 + m) = block[m * lnx + k];
+                }
+            }
+        }
+        for m in 0..nyg {
+            let v = grid.at(0, m);
+            *grid.at_mut(nxg, m) = v;
+        }
+        for k in 0..=nxg {
+            let v = grid.at(k, 0);
+            *grid.at_mut(k, nyg) = v;
+        }
+        grid
+    }
+}
+
+/// The gather–scatter marshalling round trip on a level-9 grid with a
+/// 2×2 group: split into member blocks, assemble back into a full grid.
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather_scatter");
+    let level = LevelPair::new(9, 9);
+    let grid = Grid2::from_fn(level, |x, y| (x * 3.0).sin() * (y * 2.0).cos());
+    let info = GroupInfo { grid: 0, first: 0, size: 4, px: 2, py: 2 };
+    g.throughput(Throughput::Elements((2 * (1usize << 9) * (1usize << 9)) as u64));
+
+    g.bench_function(BenchmarkId::new("seed_per_element", "n9_2x2"), |b| {
+        b.iter(|| {
+            let blocks = seed::split_grid(&grid, &info);
+            seed::assemble_grid(level, &info, &blocks)
+        })
+    });
+
+    let mut blocks: Vec<Vec<f64>> = Vec::new();
+    g.bench_function(BenchmarkId::new("fast_row_slices", "n9_2x2"), |b| {
+        b.iter(|| {
+            split_grid_into(&grid, &info, &mut blocks);
+            assemble_grid(level, &info, &blocks).unwrap()
+        })
+    });
+    g.finish();
+}
 
 fn bench_coefficients(c: &mut Criterion) {
     let mut g = c.benchmark_group("coefficients");
@@ -42,10 +126,8 @@ fn bench_combine(c: &mut Criterion) {
                 )
             })
             .collect();
-        let terms: Vec<CombinationTerm> = grids
-            .iter()
-            .map(|(c, gr)| CombinationTerm { coeff: *c, grid: gr })
-            .collect();
+        let terms: Vec<CombinationTerm> =
+            grids.iter().map(|(c, gr)| CombinationTerm { coeff: *c, grid: gr }).collect();
         let target = sys.min_level();
         g.throughput(Throughput::Elements((terms.len() * target.points()) as u64));
         g.bench_function(BenchmarkId::new("injection_target", format!("n{n}")), |b| {
@@ -53,13 +135,12 @@ fn bench_combine(c: &mut Criterion) {
         });
         // Interpolating target (finer than some components).
         let fine = LevelPair::new(n, n);
-        g.bench_function(
-            BenchmarkId::new("interpolating_target", format!("n{n}")),
-            |b| b.iter(|| combine_onto(fine, &terms)),
-        );
+        g.bench_function(BenchmarkId::new("interpolating_target", format!("n{n}")), |b| {
+            b.iter(|| combine_onto(fine, &terms))
+        });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_coefficients, bench_combine);
+criterion_group!(benches, bench_coefficients, bench_combine, bench_gather_scatter);
 criterion_main!(benches);

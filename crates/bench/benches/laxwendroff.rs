@@ -1,10 +1,44 @@
 //! Real-time throughput of the Lax–Wendroff stencil (cells/second), the
-//! hot loop of every solve.
+//! hot loop of every solve — plus the allocation discipline check: the
+//! whole bench binary runs under a counting global allocator, and the
+//! steady-state stepping loop is asserted to allocate *nothing*.
 
-use advect2d::laxwendroff::{lax_wendroff_kernel, LwCoef};
-use advect2d::{AdvectionProblem, LocalSolver};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use advect2d::laxwendroff::{lax_wendroff_kernel, lax_wendroff_row, lax_wendroff_step, LwCoef};
+use advect2d::{AdvectionProblem, LocalSolver, PaddedField};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sparsegrid::LevelPair;
+use sparsegrid::{Grid2, LevelPair};
+
+/// A pass-through allocator that counts calls to `alloc`/`realloc`. The
+/// counter is how the bench proves "allocation-free": warm code paths
+/// are run between two reads of [`alloc_count`], and the delta must be
+/// zero.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 fn bench_kernel(c: &mut Criterion) {
     let mut g = c.benchmark_group("lw_kernel");
@@ -20,6 +54,41 @@ fn bench_kernel(c: &mut Criterion) {
             b.iter(|| lax_wendroff_kernel(&padded, nx, ny, &coef, &mut out))
         });
     }
+    g.finish();
+}
+
+/// The acceptance benchmark: one steady-state timestep of the level-9
+/// single-owner solve, seed formulation (rebuild the whole padded copy,
+/// run the kernel into a scratch grid, copy back) against the
+/// double-buffered formulation (refresh the halo ring, step, swap).
+fn bench_level9_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("level9_step");
+    let p = AdvectionProblem::standard();
+    let lev = LevelPair::new(9, 9);
+    let n = 1usize << 9;
+    let coef = LwCoef::new(&p, 1.0 / n as f64, 1.0 / n as f64, 1e-4);
+    g.throughput(Throughput::Elements((n * n) as u64));
+
+    // Seed formulation. `lax_wendroff_step` is the kept-as-reference
+    // implementation: per step it refills the entire (n+2)² padded copy
+    // from the grid (periodic rem_euclid indexing included) and copies
+    // the kernel output back node by node.
+    let mut grid = Grid2::from_fn(lev, p.initial());
+    let (mut padded, mut out) = (Vec::new(), Vec::new());
+    g.bench_function(BenchmarkId::new("seed_naive", "9x9"), |b| {
+        b.iter(|| lax_wendroff_step(&mut grid, &coef, &mut padded, &mut out))
+    });
+
+    // Double-buffered formulation: the per-step work of `LocalSolver` /
+    // `DistributedSolver` in steady state — O(perimeter) halo refresh,
+    // row-slice kernel into the other buffer, pointer swap.
+    let mut field = PaddedField::from_grid(&Grid2::from_fn(lev, p.initial()));
+    g.bench_function(BenchmarkId::new("fast_double_buffered", "9x9"), |b| {
+        b.iter(|| {
+            field.refresh_periodic_halo();
+            field.step(|s, c2, n2, out| lax_wendroff_row(s, c2, n2, &coef, out));
+        })
+    });
     g.finish();
 }
 
@@ -41,5 +110,38 @@ fn bench_local_solver(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernel, bench_local_solver);
+/// Not a timing benchmark: assert the steady-state stepping loop is
+/// allocation-free. Construction allocates (buffers, coefficients);
+/// after one warm-up run, further stepping must not touch the allocator
+/// at all.
+fn assert_alloc_free(_c: &mut Criterion) {
+    let p = AdvectionProblem::standard();
+    let mut s = LocalSolver::new(p, LevelPair::new(8, 8), 1e-4);
+    s.run(2); // warm-up: pays any one-time setup
+    let before = alloc_count();
+    s.run(64);
+    let after = alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "LocalSolver::run allocated {} times over 64 steady-state steps",
+        after - before
+    );
+
+    // The naive reference with reused scratch is also steady-state
+    // allocation-free once the scratch vectors are warm.
+    let mut grid = Grid2::from_fn(LevelPair::new(8, 8), p.initial());
+    let coef = LwCoef::new(&p, 1.0 / 256.0, 1.0 / 256.0, 1e-4);
+    let (mut padded, mut out) = (Vec::new(), Vec::new());
+    lax_wendroff_step(&mut grid, &coef, &mut padded, &mut out);
+    let before = alloc_count();
+    for _ in 0..64 {
+        lax_wendroff_step(&mut grid, &coef, &mut padded, &mut out);
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "naive step with warm scratch allocated {}", after - before);
+    println!("alloc_discipline: 0 allocations over 128 steady-state steps ... ok");
+}
+
+criterion_group!(benches, assert_alloc_free, bench_kernel, bench_level9_step, bench_local_solver);
 criterion_main!(benches);

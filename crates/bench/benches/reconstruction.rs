@@ -20,8 +20,7 @@ fn bench_reconstruct(c: &mut Criterion) {
                         if ctx.is_spawned() {
                             let parent = ctx.parent().unwrap();
                             let _ =
-                                communicator_reconstruct(ctx, None, Some(parent), &mut t)
-                                    .unwrap();
+                                communicator_reconstruct(ctx, None, Some(parent), &mut t).unwrap();
                             return;
                         }
                         let world = ctx.initial_world().unwrap();

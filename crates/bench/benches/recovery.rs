@@ -32,14 +32,10 @@ fn bench_resample(c: &mut Criterion) {
     // RC's lower-diagonal recovery: restrict a finer diagonal grid.
     let fine = Grid2::from_fn(LevelPair::new(7, 9), |x, y| (x * 4.0).sin() + y);
     g.throughput(Throughput::Elements(LevelPair::new(6, 9).points() as u64));
-    g.bench_function("restrict_7x9_to_6x9", |b| {
-        b.iter(|| fine.restrict_to(LevelPair::new(6, 9)))
-    });
+    g.bench_function("restrict_7x9_to_6x9", |b| b.iter(|| fine.restrict_to(LevelPair::new(6, 9))));
     // AC's recovered-grid materialization: bilinear sampling.
     let coarse = Grid2::from_fn(LevelPair::new(6, 6), |x, y| x - y * y);
-    g.bench_function("sample_6x6_to_7x9", |b| {
-        b.iter(|| coarse.sample_to(LevelPair::new(7, 9)))
-    });
+    g.bench_function("sample_6x6_to_7x9", |b| b.iter(|| coarse.sample_to(LevelPair::new(7, 9))));
     g.finish();
 }
 

@@ -63,12 +63,7 @@ pub fn run(opts: &Opts) -> Vec<Table> {
             if lost == 0 {
                 baseline = avg;
             }
-            t.row(vec![
-                technique.label().into(),
-                lost.to_string(),
-                sci(avg),
-                sig3(avg / baseline),
-            ]);
+            t.row(vec![technique.label().into(), lost.to_string(), sci(avg), sig3(avg / baseline)]);
         }
     }
     vec![t]

@@ -22,10 +22,7 @@ use crate::table::{sig3, Table};
 /// Run the time and efficiency sweeps.
 pub fn run(opts: &Opts) -> Vec<Table> {
     let mut t11a = Table::new(
-        format!(
-            "Fig. 11a: overall execution time (n={}, l={})",
-            opts.n, opts.l
-        ),
+        format!("Fig. 11a: overall execution time (n={}, l={})", opts.n, opts.l),
         &["technique", "failures", "cores", "t_total(s)"],
     );
     let mut t11b = Table::new(

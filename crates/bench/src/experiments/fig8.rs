@@ -36,17 +36,12 @@ pub fn run(opts: &Opts) -> Vec<Table> {
                 let mut t_list = 0.0;
                 let mut t_rec = 0.0;
                 for rep in 0..opts.reps {
-                    let seed = opts.seed
-                        ^ (s as u64) << 24
-                        ^ (failures as u64) << 16
-                        ^ rep as u64;
+                    let seed = opts.seed ^ (s as u64) << 24 ^ (failures as u64) << 16 ^ rep as u64;
                     let cfg = AppConfig::paper_shaped(technique, opts.n, s, opts.log2_steps);
                     let steps = cfg.steps();
                     let victims = random_victims(&layout, failures, true, seed);
-                    let plan =
-                        FaultPlan::new(victims.into_iter().map(|r| (r, steps)).collect());
-                    let report =
-                        launch_on(ClusterProfile::opl(), model, cfg.with_plan(plan), seed);
+                    let plan = FaultPlan::new(victims.into_iter().map(|r| (r, steps)).collect());
+                    let report = launch_on(ClusterProfile::opl(), model, cfg.with_plan(plan), seed);
                     t_list += report.get_f64(keys::T_LIST).expect("t_list reported");
                     t_rec += report.get_f64(keys::T_RECONSTRUCT).expect("t_reconstruct");
                 }

@@ -86,10 +86,9 @@ pub fn run(opts: &Opts) -> Vec<Table> {
                         technique == Technique::ResamplingCopying,
                         seed,
                     );
-                    let cfg =
-                        AppConfig::paper_shaped(technique, opts.n, SCALE, log2_steps)
-                            .with_checkpoints(checkpoints)
-                            .with_simulated_losses(grids);
+                    let cfg = AppConfig::paper_shaped(technique, opts.n, SCALE, log2_steps)
+                        .with_checkpoints(checkpoints)
+                        .with_simulated_losses(grids);
                     let report = launch_on(profile.clone(), ModelKind::Beta, cfg, seed);
                     rec += report.get_f64(keys::T_RECOVERY).unwrap();
                     ckpt += report.get_f64(keys::T_CKPT).unwrap();

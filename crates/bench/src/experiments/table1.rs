@@ -55,11 +55,13 @@ pub fn run(opts: &Opts) -> Vec<Table> {
         let victims = random_victims(&layout, 2, true, seed);
         let plan = FaultPlan::new(victims.into_iter().map(|r| (r, steps)).collect());
         let report = launch_on(ClusterProfile::opl(), ModelKind::Beta, cfg.with_plan(plan), seed);
-        let paper = PAPER
-            .iter()
-            .find(|&&(c, ..)| c == cores)
-            .copied()
-            .unwrap_or((cores, f64::NAN, f64::NAN, f64::NAN, f64::NAN));
+        let paper = PAPER.iter().find(|&&(c, ..)| c == cores).copied().unwrap_or((
+            cores,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+        ));
         t.row(vec![
             cores.to_string(),
             sig3(report.get_f64(keys::T_SPAWN).unwrap()),

@@ -120,9 +120,7 @@ pub fn random_lost_grids(
             }
         }
         if rc_constraints
-            && conflicts
-                .iter()
-                .any(|&(a, b)| grids.contains(&a) && grids.contains(&b))
+            && conflicts.iter().any(|&(a, b)| grids.contains(&a) && grids.contains(&b))
         {
             continue;
         }
@@ -133,11 +131,7 @@ pub fn random_lost_grids(
 
 fn violates_rc(layout: &ProcLayout, victims: &[usize]) -> bool {
     let broken = layout.broken_grids(victims);
-    layout
-        .system()
-        .rc_conflicts()
-        .iter()
-        .any(|&(a, b)| broken.contains(&a) && broken.contains(&b))
+    layout.system().rc_conflicts().iter().any(|&(a, b)| broken.contains(&a) && broken.contains(&b))
 }
 
 #[cfg(test)]

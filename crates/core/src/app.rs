@@ -11,7 +11,9 @@
 //! code.
 
 use advect2d::TimeGrid;
-use sparsegrid::{combine_onto, l1_error_vs, robust_coefficients, CombinationTerm, Grid2, LevelPair, LevelSet};
+use sparsegrid::{
+    combine_onto, l1_error_vs, robust_coefficients, CombinationTerm, Grid2, LevelPair, LevelSet,
+};
 use ulfm_sim::{Comm, Ctx, Error, Result};
 
 use crate::checkpoint::CheckpointStore;
@@ -119,7 +121,17 @@ fn post_recovery(
 
     let group = build_group(ctx, world, my)?;
     let stats = recovery::recover(
-        ctx, cfg, layout, world, &group, my, solver, store, buddy_store, &failed, at_step,
+        ctx,
+        cfg,
+        layout,
+        world,
+        &group,
+        my,
+        solver,
+        store,
+        buddy_store,
+        &failed,
+        at_step,
     )?;
     Ok((at_step, group, stats.t_recovery, failed))
 }
@@ -173,7 +185,13 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     if child {
         let parent = ctx.parent().expect("spawned process has a parent intercommunicator");
         world = stage(
-            communicator_reconstruct_with(ctx, None, Some(parent), cfg.respawn_policy, &mut repair_timings),
+            communicator_reconstruct_with(
+                ctx,
+                None,
+                Some(parent),
+                cfg.respawn_policy,
+                &mut repair_timings,
+            ),
             "child-reconstruct",
             ctx,
         )?;
@@ -185,8 +203,21 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             layout.group(my.grid),
             my.local,
         );
-        let (d, g, trec, failed) =
-            stage(post_recovery(ctx, cfg, &layout, &world, my, &mut solver, &store, &mut buddy_store, None), "child-post-recovery", ctx)?;
+        let (d, g, trec, failed) = stage(
+            post_recovery(
+                ctx,
+                cfg,
+                &layout,
+                &world,
+                my,
+                &mut solver,
+                &store,
+                &mut buddy_store,
+                None,
+            ),
+            "child-post-recovery",
+            ctx,
+        )?;
         group = g;
         current_step = d;
         t_rec_local += trec;
@@ -217,6 +248,9 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // ---- main loop over detection segments. ----
     let dpoints = detection_points(cfg);
     let mut group_broken = false;
+    // Reused across every gather below — the owned block is copied into
+    // this buffer instead of a fresh Vec per checkpoint/combine.
+    let mut block_buf: Vec<f64> = Vec::new();
     while current_step < steps {
         let dp = dpoints
             .iter()
@@ -269,8 +303,21 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         if repaired {
             merge_timings(&mut repair_timings, &round);
             let known = Some((dp, round.failed_ranks.clone()));
-            let (d, g, trec, failed) =
-                stage(post_recovery(ctx, cfg, &layout, &world, my, &mut solver, &store, &mut buddy_store, known), "post-recovery", ctx)?;
+            let (d, g, trec, failed) = stage(
+                post_recovery(
+                    ctx,
+                    cfg,
+                    &layout,
+                    &world,
+                    my,
+                    &mut solver,
+                    &store,
+                    &mut buddy_store,
+                    known,
+                ),
+                "post-recovery",
+                ctx,
+            )?;
             debug_assert_eq!(d, dp);
             group = g;
             t_rec_local += trec;
@@ -282,7 +329,12 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             // Healthy checkpoint write ("failure detection is tested prior
             // to initiating the checkpoint write").
             let t0 = ctx.now();
-            let full = stage(gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &solver.local_block()), "ckpt-gather", ctx)?;
+            solver.local_block_into(&mut block_buf);
+            let full = stage(
+                gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf),
+                "ckpt-gather",
+                ctx,
+            )?;
             if let Some(g) = full {
                 let bytes = store
                     .write(my.grid, current_step, &g)
@@ -295,7 +347,14 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             let t0 = ctx.now();
             stage(
                 recovery::buddy_exchange(
-                    ctx, &layout, &world, &group, my, &solver, current_step, &mut buddy_store,
+                    ctx,
+                    &layout,
+                    &world,
+                    &group,
+                    my,
+                    &solver,
+                    current_step,
+                    &mut buddy_store,
                 ),
                 "buddy-exchange",
                 ctx,
@@ -320,7 +379,17 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             .collect();
         debug_assert!(!fabricated.contains(&0), "rank 0 cannot be a (simulated) victim");
         let stats = recovery::recover(
-            ctx, cfg, &layout, &world, &group, my, &mut solver, &store, &mut buddy_store, &fabricated, steps,
+            ctx,
+            cfg,
+            &layout,
+            &world,
+            &group,
+            my,
+            &mut solver,
+            &store,
+            &mut buddy_store,
+            &fabricated,
+            steps,
         )?;
         t_rec_local += stats.t_recovery;
         for g in layout.broken_grids(&fabricated) {
@@ -338,24 +407,17 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // otherwise it is the classical Eq.-1 combination, using recovered
     // data where grids were restored.
     let sys = layout.system();
-    let use_robust =
-        cfg.technique == Technique::AlternateCombination && !final_lost.is_empty();
+    let use_robust = cfg.technique == Technique::AlternateCombination && !final_lost.is_empty();
     let (combine_ids, combine_coeffs): (Vec<usize>, Vec<f64>) = if use_robust {
-        let lost_levels: Vec<LevelPair> =
-            final_lost.iter().map(|&b| sys.grid(b).level).collect();
-        let surviving: LevelSet = sys
-            .grids()
-            .iter()
-            .filter(|g| !final_lost.contains(&g.id))
-            .map(|g| g.level)
-            .collect();
+        let lost_levels: Vec<LevelPair> = final_lost.iter().map(|&b| sys.grid(b).level).collect();
+        let surviving: LevelSet =
+            sys.grids().iter().filter(|g| !final_lost.contains(&g.id)).map(|g| g.level).collect();
         let cmap = robust_coefficients(&sys.classical_downset(), &lost_levels, &surviving);
         let ids: Vec<usize> = sys
             .grids()
             .iter()
             .filter(|g| {
-                !final_lost.contains(&g.id)
-                    && cmap.get(&g.level).copied().unwrap_or(0) != 0
+                !final_lost.contains(&g.id) && cmap.get(&g.level).copied().unwrap_or(0) != 0
             })
             .map(|g| g.id)
             .collect();
@@ -369,10 +431,19 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     let combining = combine_ids.contains(&my.grid);
     let mut my_full: Option<Grid2> = None;
     if combining {
-        my_full = stage(gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &solver.local_block()), "combine-gather", ctx)?;
+        solver.local_block_into(&mut block_buf);
+        my_full = stage(
+            gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf),
+            "combine-gather",
+            ctx,
+        )?;
         if let Some(g) = &my_full {
             if world.rank() != 0 {
-                stage(send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g), "combine-send", ctx)?;
+                stage(
+                    send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g),
+                    "combine-send",
+                    ctx,
+                )?;
             }
         }
     }
@@ -381,16 +452,20 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         let mut sources: Vec<(f64, Grid2)> = Vec::new();
         for (&gid, &coeff) in combine_ids.iter().zip(&combine_coeffs) {
             let grid = if layout.root_of(gid) == world.rank() {
-                my_full.clone().expect("controller gathered its own grid")
+                // Each grid id is combined exactly once, so the gathered
+                // grid can be moved out instead of cloned.
+                my_full.take().expect("controller gathered its own grid")
             } else {
-                stage(recv_grid(ctx, &world, layout.root_of(gid), TAG_COMBINE + gid as i32), "combine-recv", ctx)?
+                stage(
+                    recv_grid(ctx, &world, layout.root_of(gid), TAG_COMBINE + gid as i32),
+                    "combine-recv",
+                    ctx,
+                )?
             };
             sources.push((coeff, grid));
         }
-        let terms: Vec<CombinationTerm> = sources
-            .iter()
-            .map(|(c, g)| CombinationTerm { coeff: *c, grid: g })
-            .collect();
+        let terms: Vec<CombinationTerm> =
+            sources.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
         let target = sys.min_level();
         let combined = combine_onto(target, &terms);
         ctx.compute_cells((terms.len() * target.points()) as u64);

@@ -37,44 +37,47 @@ pub fn assemble_grid(level: LevelPair, info: &GroupInfo, blocks: &[Vec<f64>]) ->
             )));
         }
         for m in 0..lny {
-            for k in 0..lnx {
-                *grid.at_mut(x0 + k, y0 + m) = block[m * lnx + k];
-            }
+            grid.row_mut(y0 + m)[x0..x0 + lnx].copy_from_slice(&block[m * lnx..(m + 1) * lnx]);
         }
     }
     // Periodic seam: node 2^i duplicates node 0.
     for m in 0..nyg {
-        let v = grid.at(0, m);
-        *grid.at_mut(nxg, m) = v;
+        let row = grid.row_mut(m);
+        row[nxg] = row[0];
     }
-    for k in 0..=nxg {
-        let v = grid.at(k, 0);
-        *grid.at_mut(k, nyg) = v;
-    }
+    let row_len = nxg + 1;
+    grid.values_mut().copy_within(0..row_len, nyg * row_len);
     Ok(grid)
 }
 
 /// Cut a full grid into the per-member blocks of a group (inverse of
 /// [`assemble_grid`]; the seam is dropped).
 pub fn split_grid(grid: &Grid2, info: &GroupInfo) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    split_grid_into(grid, info, &mut out);
+    out
+}
+
+/// [`split_grid`] into reused storage: the outer vector and each inner
+/// block vector keep their allocations across calls (the periodic
+/// combine splits the same layout every interval).
+pub fn split_grid_into(grid: &Grid2, info: &GroupInfo, out: &mut Vec<Vec<f64>>) {
     let level = grid.level();
     let nxg = 1usize << level.i;
     let nyg = 1usize << level.j;
-    let mut out = Vec::with_capacity(info.size);
-    for local in 0..info.size {
+    out.resize_with(info.size, Vec::new);
+    out.truncate(info.size);
+    for (local, block) in out.iter_mut().enumerate() {
         let pi = local % info.px;
         let pj = local / info.px;
         let (x0, lnx) = block_range(nxg, info.px, pi);
         let (y0, lny) = block_range(nyg, info.py, pj);
-        let mut block = Vec::with_capacity(lnx * lny);
+        block.clear();
+        block.reserve(lnx * lny);
         for m in 0..lny {
-            for k in 0..lnx {
-                block.push(grid.at(x0 + k, y0 + m));
-            }
+            block.extend_from_slice(&grid.row(y0 + m)[x0..x0 + lnx]);
         }
-        out.push(block);
     }
-    out
 }
 
 /// Collective over the group: gather member blocks to the group root.
@@ -195,7 +198,7 @@ mod tests {
                 let grid = gathered.unwrap();
                 assert_eq!(grid.at(5, 2), (2 * 8 + 5) as f64);
                 assert_eq!(grid.at(8, 3), grid.at(0, 3)); // seam
-                // Scatter it back.
+                                                          // Scatter it back.
                 let mine = scatter_grid(ctx, &w, &g, Some(&grid)).unwrap();
                 assert_eq!(mine, block);
             } else {

@@ -36,5 +36,5 @@ pub use config::{AppConfig, Technique};
 pub use layout::{Assignment, GroupInfo, ProcLayout};
 pub use reconstruct::{
     communicator_reconstruct, communicator_reconstruct_with, repair_comm, repair_comm_with,
-    RespawnPolicy, ReconstructTimings,
+    ReconstructTimings, RespawnPolicy,
 };

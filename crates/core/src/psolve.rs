@@ -9,9 +9,10 @@
 //! the freshly filled y-halos so corners arrive for the cross term) and
 //! one stencil application via [`advect2d::laxwendroff::lax_wendroff_kernel`].
 
-use advect2d::laxwendroff::{lax_wendroff_kernel, LwCoef};
+use advect2d::laxwendroff::{lax_wendroff_row, LwCoef};
+use advect2d::stepper::PaddedField;
 use advect2d::AdvectionProblem;
-use sparsegrid::LevelPair;
+use sparsegrid::{ensure_len, LevelPair};
 use ulfm_sim::{Comm, Ctx, Result};
 
 use crate::layout::GroupInfo;
@@ -47,8 +48,9 @@ pub struct DistributedSolver {
     y0: usize,
     lnx: usize,
     lny: usize,
-    padded: Vec<f64>,
-    scratch: Vec<f64>,
+    field: PaddedField,
+    send_buf: Vec<f64>,
+    recv_buf: Vec<f64>,
     steps_done: u64,
 }
 
@@ -85,8 +87,9 @@ impl DistributedSolver {
             y0,
             lnx,
             lny,
-            padded: vec![0.0; (lnx + 2) * (lny + 2)],
-            scratch: vec![0.0; lnx * lny],
+            field: PaddedField::new(lnx, lny),
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
             steps_done: 0,
         };
         s.reset_to_initial();
@@ -99,11 +102,13 @@ impl DistributedSolver {
         let nx_glob = (1usize << self.level.i) as f64;
         let ny_glob = (1usize << self.level.j) as f64;
         let ic = self.problem.initial();
+        let pnx = self.lnx + 2;
+        let padded = self.field.padded_mut();
         for m in 0..self.lny {
             let y = (self.y0 + m) as f64 / ny_glob;
             for k in 0..self.lnx {
                 let x = (self.x0 + k) as f64 / nx_glob;
-                self.padded[(m + 1) * (self.lnx + 2) + k + 1] = ic(x, y);
+                padded[(m + 1) * pnx + k + 1] = ic(x, y);
             }
         }
         self.steps_done = 0;
@@ -119,33 +124,84 @@ impl DistributedSolver {
     }
 
     /// Two-phase halo exchange over the group communicator.
+    ///
+    /// Allocation-free: interior rows are sent straight from the padded
+    /// buffer (they are contiguous), columns are packed into a reused
+    /// scratch vector, and all four receives land in a reused buffer via
+    /// [`Comm::sendrecv_into`].
     fn halo_exchange(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
         let pnx = self.lnx + 2;
-        // Phase 1: y direction (interior rows only).
-        let top: Vec<f64> = (0..self.lnx)
-            .map(|k| self.padded[self.lny * pnx + k + 1])
-            .collect();
-        let bottom: Vec<f64> = (0..self.lnx).map(|k| self.padded[pnx + k + 1]).collect();
+        let (lnx, lny) = (self.lnx, self.lny);
+        // Phase 1: y direction (interior rows only). Rows are contiguous
+        // slices of the padded buffer — no packing needed.
         let north = self.neighbor(0, 1);
         let south = self.neighbor(0, -1);
         // Send up, receive from below (both tagged N for the northward
         // stream), and vice versa.
-        let from_south = group.sendrecv(ctx, north, TAG_N, &top, south, TAG_N)?;
-        let from_north = group.sendrecv(ctx, south, TAG_S, &bottom, north, TAG_S)?;
-        for k in 0..self.lnx {
-            self.padded[k + 1] = from_south[k];
-            self.padded[(self.lny + 1) * pnx + k + 1] = from_north[k];
-        }
+        let n = group.sendrecv_into(
+            ctx,
+            north,
+            TAG_N,
+            self.field.interior_row(lny - 1),
+            south,
+            TAG_N,
+            &mut self.recv_buf,
+        )?;
+        debug_assert_eq!(n, lnx);
+        self.field.padded_mut()[1..1 + lnx].copy_from_slice(&self.recv_buf[..lnx]);
+        let n = group.sendrecv_into(
+            ctx,
+            south,
+            TAG_S,
+            self.field.interior_row(0),
+            north,
+            TAG_S,
+            &mut self.recv_buf,
+        )?;
+        debug_assert_eq!(n, lnx);
+        self.field.padded_mut()[(lny + 1) * pnx + 1..][..lnx]
+            .copy_from_slice(&self.recv_buf[..lnx]);
         // Phase 2: x direction, full padded height so corners propagate.
-        let right: Vec<f64> = (0..self.lny + 2).map(|m| self.padded[m * pnx + self.lnx]).collect();
-        let left: Vec<f64> = (0..self.lny + 2).map(|m| self.padded[m * pnx + 1]).collect();
         let east = self.neighbor(1, 0);
         let west = self.neighbor(-1, 0);
-        let from_west = group.sendrecv(ctx, east, TAG_E, &right, west, TAG_E)?;
-        let from_east = group.sendrecv(ctx, west, TAG_W, &left, east, TAG_W)?;
-        for m in 0..self.lny + 2 {
-            self.padded[m * pnx] = from_west[m];
-            self.padded[m * pnx + self.lnx + 1] = from_east[m];
+        ensure_len(&mut self.send_buf, lny + 2);
+        for m in 0..lny + 2 {
+            self.send_buf[m] = self.field.padded()[m * pnx + lnx];
+        }
+        let n = group.sendrecv_into(
+            ctx,
+            east,
+            TAG_E,
+            &self.send_buf,
+            west,
+            TAG_E,
+            &mut self.recv_buf,
+        )?;
+        debug_assert_eq!(n, lny + 2);
+        {
+            let padded = self.field.padded_mut();
+            for m in 0..lny + 2 {
+                padded[m * pnx] = self.recv_buf[m];
+            }
+        }
+        for m in 0..lny + 2 {
+            self.send_buf[m] = self.field.padded()[m * pnx + 1];
+        }
+        let n = group.sendrecv_into(
+            ctx,
+            west,
+            TAG_W,
+            &self.send_buf,
+            east,
+            TAG_W,
+            &mut self.recv_buf,
+        )?;
+        debug_assert_eq!(n, lny + 2);
+        {
+            let padded = self.field.padded_mut();
+            for m in 0..lny + 2 {
+                padded[m * pnx + lnx + 1] = self.recv_buf[m];
+            }
         }
         Ok(())
     }
@@ -153,14 +209,15 @@ impl DistributedSolver {
     /// Advance one timestep (halo exchange + stencil). Errors with
     /// `ProcFailed` if a halo partner has died — the group is then
     /// *broken* and must be data-recovered as a whole (§II-D).
+    ///
+    /// The stencil writes each output row directly into the second
+    /// padded buffer and the buffers ping-pong — the interior copy-back
+    /// of the scratch formulation is gone, and the next exchange
+    /// refreshes the whole halo ring anyway.
     pub fn step(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
         self.halo_exchange(ctx, group)?;
-        lax_wendroff_kernel(&self.padded, self.lnx, self.lny, &self.coef, &mut self.scratch);
-        let pnx = self.lnx + 2;
-        for m in 0..self.lny {
-            let row = &self.scratch[m * self.lnx..(m + 1) * self.lnx];
-            self.padded[(m + 1) * pnx + 1..(m + 1) * pnx + 1 + self.lnx].copy_from_slice(row);
-        }
+        let coef = self.coef;
+        self.field.step(|s, c, n, out| lax_wendroff_row(s, c, n, &coef, out));
         ctx.compute_step_cells((self.lnx * self.lny) as u64);
         self.steps_done += 1;
         Ok(())
@@ -176,12 +233,21 @@ impl DistributedSolver {
 
     /// The owned interior block, row-major `lnx × lny`.
     pub fn local_block(&self) -> Vec<f64> {
-        let pnx = self.lnx + 2;
-        let mut out = Vec::with_capacity(self.lnx * self.lny);
-        for m in 0..self.lny {
-            out.extend_from_slice(&self.padded[(m + 1) * pnx + 1..(m + 1) * pnx + 1 + self.lnx]);
-        }
+        let mut out = Vec::new();
+        self.local_block_into(&mut out);
         out
+    }
+
+    /// Copy the owned interior block into a reused buffer (cleared
+    /// first) — the allocation-free form of [`local_block`].
+    ///
+    /// [`local_block`]: DistributedSolver::local_block
+    pub fn local_block_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.lnx * self.lny);
+        for m in 0..self.lny {
+            out.extend_from_slice(self.field.interior_row(m));
+        }
     }
 
     /// Overwrite the owned block (data recovery path) and set the step
@@ -189,8 +255,9 @@ impl DistributedSolver {
     pub fn load_block(&mut self, values: &[f64], steps_done: u64) {
         assert_eq!(values.len(), self.lnx * self.lny, "block size mismatch");
         let pnx = self.lnx + 2;
+        let padded = self.field.padded_mut();
         for m in 0..self.lny {
-            self.padded[(m + 1) * pnx + 1..(m + 1) * pnx + 1 + self.lnx]
+            padded[(m + 1) * pnx + 1..(m + 1) * pnx + 1 + self.lnx]
                 .copy_from_slice(&values[m * self.lnx..(m + 1) * self.lnx]);
         }
         self.steps_done = steps_done;

@@ -64,8 +64,7 @@ pub fn respawn_specs(
 ) -> Vec<SpawnSpec> {
     let hostfile = ctx.hostfile();
     let slots = ctx.profile().slots_per_host;
-    let same_host =
-        |rank: usize| SpawnSpec::on_host(hostfile.hosts()[rank / slots].name.clone());
+    let same_host = |rank: usize| SpawnSpec::on_host(hostfile.hosts()[rank / slots].name.clone());
     match policy {
         RespawnPolicy::SameHost => failed_ranks.iter().map(|&r| same_host(r)).collect(),
         RespawnPolicy::FirstHost => failed_ranks
@@ -79,9 +78,7 @@ pub fn respawn_specs(
             for &r in failed_ranks {
                 let host = r / slots;
                 let block = (host * slots)..(((host + 1) * slots).min(total));
-                if block.clone().all(|q| failed_ranks.contains(&q))
-                    && !dead_hosts.contains(&host)
-                {
+                if block.clone().all(|q| failed_ranks.contains(&q)) && !dead_hosts.contains(&host) {
                     dead_hosts.push(host);
                 }
             }
@@ -89,11 +86,9 @@ pub fn respawn_specs(
             // Spare nodes: beyond the original allocation and not hosting
             // any current member of the broken communicator.
             let first_beyond = total.div_ceil(slots.max(1));
-            let occupied: Vec<usize> =
-                (0..total).filter_map(|r| broken.host_index_of(r)).collect();
-            let mut spares: Vec<usize> = (first_beyond..hostfile.len())
-                .filter(|h| !occupied.contains(h))
-                .collect();
+            let occupied: Vec<usize> = (0..total).filter_map(|r| broken.host_index_of(r)).collect();
+            let mut spares: Vec<usize> =
+                (first_beyond..hostfile.len()).filter(|h| !occupied.contains(h)).collect();
             let mut dead_to_spare = std::collections::HashMap::new();
             for h in dead_hosts {
                 if let Some(spare) = spares.first().copied() {
@@ -107,9 +102,7 @@ pub fn respawn_specs(
                 .map(|&r| {
                     let host = r / slots;
                     match dead_to_spare.get(&host) {
-                        Some(&spare) => {
-                            SpawnSpec::on_host(hostfile.hosts()[spare].name.clone())
-                        }
+                        Some(&spare) => SpawnSpec::on_host(hostfile.hosts()[spare].name.clone()),
                         None => same_host(r),
                     }
                 })
@@ -223,9 +216,7 @@ pub fn repair_comm_with(
     // --- re-order so ranks match the pre-failure communicator. ---
     let key = select_rank_key(unordered.rank(), shrinked_group_size, &failed_ranks, total_procs);
     let t_split0 = ctx.now();
-    let repaired = unordered
-        .split(ctx, Some(0), key)?
-        .expect("repair split uses a single colour");
+    let repaired = unordered.split(ctx, Some(0), key)?.expect("repair split uses a single colour");
     timings.t_split += ctx.now() - t_split0;
     Ok(repaired)
 }

@@ -72,7 +72,8 @@ pub fn buddy_exchange(
 ) -> Result<()> {
     let ids = layout.system().combination_ids();
     // Phase 1: every group gathers and its root sends to the buddy root.
-    let full = gather_grid(ctx, group, layout.group(my.grid), solver.level(), &solver.local_block())?;
+    let full =
+        gather_grid(ctx, group, layout.group(my.grid), solver.level(), &solver.local_block())?;
     if let Some(grid) = &full {
         let buddy = buddy_of(layout, my.grid);
         send_grid(ctx, world, layout.root_of(buddy), TAG_BUDDY + my.grid as i32, grid)?;
@@ -180,8 +181,7 @@ fn recover_buddy(
                 let hdr: Vec<u64> =
                     world.recv(ctx, layout.root_of(buddy), TAG_BUDDY_HDR + b as i32)?;
                 if hdr[0] == 1 {
-                    let grid =
-                        recv_grid(ctx, world, layout.root_of(buddy), TAG_BUDDY + b as i32)?;
+                    let grid = recv_grid(ctx, world, layout.root_of(buddy), TAG_BUDDY + b as i32)?;
                     Some((hdr[1], grid))
                 } else {
                     None
@@ -231,10 +231,7 @@ fn recover_checkpoint(
     let info = layout.group(my.grid);
     // Root reads the recent checkpoint from disk.
     let payload: Option<(u64, Grid2)> = if group.rank() == 0 {
-        match store
-            .read(my.grid)
-            .map_err(|e| Error::InvalidArg(format!("checkpoint read: {e}")))?
-        {
+        match store.read(my.grid).map_err(|e| Error::InvalidArg(format!("checkpoint read: {e}")))? {
             Some((step, grid, bytes)) => {
                 ctx.disk_read(bytes);
                 Some((step, grid))
@@ -297,7 +294,13 @@ fn recover_resample_copy(
         if my.grid == src_id {
             touched = true;
             // Source group: gather and ship (restricted if resampling).
-            let full = gather_grid(ctx, group, layout.group(src_id), solver.level(), &solver.local_block())?;
+            let full = gather_grid(
+                ctx,
+                group,
+                layout.group(src_id),
+                solver.level(),
+                &solver.local_block(),
+            )?;
             if let Some(full) = full {
                 let out = if resample { full.restrict_to(b_level) } else { full };
                 send_grid(ctx, world, layout.root_of(b), TAG_RC + b as i32, &out)?;
@@ -336,12 +339,8 @@ fn recover_alt_combination(
     //        every rank computes them locally. ---
     let t_coeff0 = ctx.now();
     let lost_levels: Vec<LevelPair> = broken.iter().map(|&b| sys.grid(b).level).collect();
-    let surviving: LevelSet = sys
-        .grids()
-        .iter()
-        .filter(|g| !broken.contains(&g.id))
-        .map(|g| g.level)
-        .collect();
+    let surviving: LevelSet =
+        sys.grids().iter().filter(|g| !broken.contains(&g.id)).map(|g| g.level).collect();
     let downset = sys.classical_downset();
     let coeffs = robust_coefficients(&downset, &lost_levels, &surviving);
     // Virtual cost of solving the small coefficient problem.
@@ -361,7 +360,8 @@ fn recover_alt_combination(
         ));
     }
     if needed.contains(&my.grid) {
-        let full = gather_grid(ctx, group, layout.group(my.grid), solver.level(), &solver.local_block())?;
+        let full =
+            gather_grid(ctx, group, layout.group(my.grid), solver.level(), &solver.local_block())?;
         if let Some(full) = full {
             // Root ships to the controller (self-sends are fine).
             send_grid(ctx, world, 0, TAG_AC_GATHER + my.grid as i32, &full)?;
@@ -377,10 +377,8 @@ fn recover_alt_combination(
             let c = coeffs[&sys.grid(gid).level] as f64;
             sources.push((c, g));
         }
-        let terms: Vec<CombinationTerm> = sources
-            .iter()
-            .map(|(c, g)| CombinationTerm { coeff: *c, grid: g })
-            .collect();
+        let terms: Vec<CombinationTerm> =
+            sources.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
         for &b in broken {
             let lvl = sys.grid(b).level;
             let recovered = combine_onto(lvl, &terms);

@@ -7,8 +7,8 @@ use ftsg_core::{run_app, AppConfig, Technique};
 use ulfm_sim::{run, FaultPlan, Report, RunConfig};
 
 fn launch(cfg: AppConfig) -> Report {
-    let world = ftsg_core::ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale)
-        .world_size();
+    let world =
+        ftsg_core::ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).world_size();
     let rc = RunConfig::local(world);
     let report = run(rc, move |ctx| run_app(&cfg, ctx));
     report.assert_no_app_errors();
@@ -44,15 +44,12 @@ fn healthy_run_ac() {
 fn healthy_error_identical_across_techniques() {
     // Without failures the combined solution is technique-independent:
     // redundancy grids do not enter the classical combination.
-    let e_cr = launch(AppConfig::small(Technique::CheckpointRestart))
-        .get_f64(keys::ERR_L1)
-        .unwrap();
-    let e_rc = launch(AppConfig::small(Technique::ResamplingCopying))
-        .get_f64(keys::ERR_L1)
-        .unwrap();
-    let e_ac = launch(AppConfig::small(Technique::AlternateCombination))
-        .get_f64(keys::ERR_L1)
-        .unwrap();
+    let e_cr =
+        launch(AppConfig::small(Technique::CheckpointRestart)).get_f64(keys::ERR_L1).unwrap();
+    let e_rc =
+        launch(AppConfig::small(Technique::ResamplingCopying)).get_f64(keys::ERR_L1).unwrap();
+    let e_ac =
+        launch(AppConfig::small(Technique::AlternateCombination)).get_f64(keys::ERR_L1).unwrap();
     assert!((e_cr - e_rc).abs() < 1e-14, "CR {e_cr} vs RC {e_rc}");
     assert!((e_cr - e_ac).abs() < 1e-14, "CR {e_cr} vs AC {e_ac}");
 }
@@ -197,9 +194,8 @@ fn total_time_grows_with_failures() {
     let t0 = launch(base.clone()).get_f64(keys::T_TOTAL).unwrap();
     let layout = ftsg_core::ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
     let victim = layout.group(3).first;
-    let t1 = launch(base.with_plan(FaultPlan::single(victim, steps)))
-        .get_f64(keys::T_TOTAL)
-        .unwrap();
+    let t1 =
+        launch(base.with_plan(FaultPlan::single(victim, steps))).get_f64(keys::T_TOTAL).unwrap();
     assert!(t1 > t0, "failure run ({t1}) must cost more than healthy ({t0})");
 }
 
@@ -250,9 +246,8 @@ fn buddy_checkpoint_healthy_and_exact_recovery() {
     // failure restores from the buddy's in-memory copy and recomputes —
     // exact, like CR, but with zero disk traffic.
     let base = AppConfig::small(Technique::BuddyCheckpoint);
-    let baseline_cr = launch(AppConfig::small(Technique::CheckpointRestart))
-        .get_f64(keys::ERR_L1)
-        .unwrap();
+    let baseline_cr =
+        launch(AppConfig::small(Technique::CheckpointRestart)).get_f64(keys::ERR_L1).unwrap();
     let healthy = launch(base.clone());
     let e0 = healthy.get_f64(keys::ERR_L1).unwrap();
     assert!((e0 - baseline_cr).abs() < 1e-14, "BC healthy == CR healthy");
@@ -262,10 +257,7 @@ fn buddy_checkpoint_healthy_and_exact_recovery() {
     let report = launch(base.with_plan(FaultPlan::single(victim, 15)));
     assert_eq!(report.get_f64(keys::N_FAILED), Some(1.0));
     let err = report.get_f64(keys::ERR_L1).unwrap();
-    assert!(
-        (err - e0).abs() < 1e-12,
-        "buddy recovery must be exact: {err} vs {e0}"
-    );
+    assert!((err - e0).abs() < 1e-12, "buddy recovery must be exact: {err} vs {e0}");
     assert!(report.get_f64(keys::T_RECOVERY).unwrap() > 0.0);
 }
 
@@ -283,10 +275,7 @@ fn buddy_checkpoint_falls_back_to_ic_when_buddy_root_dies_too() {
     let report = launch(base.with_plan(FaultPlan::new(vec![(v1, 15), (v2, 15)])));
     assert_eq!(report.get_f64(keys::N_FAILED), Some(2.0));
     let err = report.get_f64(keys::ERR_L1).unwrap();
-    assert!(
-        (err - baseline).abs() < 1e-12,
-        "IC fallback still exact: {err} vs {baseline}"
-    );
+    assert!((err - baseline).abs() < 1e-12, "IC fallback still exact: {err} vs {baseline}");
 }
 
 #[test]
@@ -294,14 +283,12 @@ fn buddy_checkpoint_avoids_disk_entirely() {
     // Virtual disk accounting: BC's protection time excludes the disk
     // latency that dominates CR on a slow-disk cluster.
     use ulfm_sim::ClusterProfile;
-    let world = ftsg_core::ProcLayout::new(6, 3, Technique::BuddyCheckpoint.layout(), 1)
-        .world_size();
+    let world =
+        ftsg_core::ProcLayout::new(6, 3, Technique::BuddyCheckpoint.layout(), 1).world_size();
     let time_of = |technique: Technique| {
         let cfg = AppConfig::small(technique);
-        let report = run(
-            RunConfig::cluster(ClusterProfile::opl(), world),
-            move |ctx| run_app(&cfg, ctx),
-        );
+        let report =
+            run(RunConfig::cluster(ClusterProfile::opl(), world), move |ctx| run_app(&cfg, ctx));
         report.assert_no_app_errors();
         report.get_f64(keys::T_CKPT).unwrap()
     };

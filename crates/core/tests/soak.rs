@@ -29,13 +29,9 @@ fn random_plan(
             continue;
         }
         if technique == Technique::ResamplingCopying {
-            let mut broken: Vec<usize> =
-                victims.iter().map(|&(v, _)| layout.grid_of(v)).collect();
+            let mut broken: Vec<usize> = victims.iter().map(|&(v, _)| layout.grid_of(v)).collect();
             broken.push(layout.grid_of(r));
-            if conflicts
-                .iter()
-                .any(|&(a, b)| broken.contains(&a) && broken.contains(&b))
-            {
+            if conflicts.iter().any(|&(a, b)| broken.contains(&a) && broken.contains(&b)) {
                 continue;
             }
         }
@@ -76,20 +72,16 @@ fn soak_random_failures_all_techniques() {
         };
         let layout = ProcLayout::new(n, l, technique.layout(), scale);
         let n_failures = rng.gen_range(1usize..=3).min(layout.world_size() / 4);
-        // CR can absorb mid-run failures; RC/AC recover at the end.
-        let max_step = if technique == Technique::CheckpointRestart {
-            cfg.steps()
-        } else {
-            cfg.steps() // any step: mid-run kills break the group until the end
-        };
+        // Kills may strike at any step: CR absorbs them mid-run, RC/AC
+        // leave the group broken until end-of-run recovery.
+        let max_step = cfg.steps();
         let plan = random_plan(&layout, technique, n_failures, max_step, &mut rng);
         let expected_failures = plan.n_failures();
         let cfg = cfg.with_plan(plan);
 
         let world = layout.world_size();
-        let report = run(RunConfig::local(world).with_seed(round as u64), move |ctx| {
-            run_app(&cfg, ctx)
-        });
+        let report =
+            run(RunConfig::local(world).with_seed(round as u64), move |ctx| run_app(&cfg, ctx));
         report.assert_no_app_errors();
         assert_eq!(
             report.get_f64(keys::N_FAILED),
@@ -97,10 +89,7 @@ fn soak_random_failures_all_techniques() {
             "round {round} ({technique:?}, n={n}, l={l}, s={scale}): repairs"
         );
         let err = report.get_f64(keys::ERR_L1).unwrap();
-        assert!(
-            err.is_finite() && err < 0.5,
-            "round {round} ({technique:?}): error {err}"
-        );
+        assert!(err.is_finite() && err < 0.5, "round {round} ({technique:?}): error {err}");
         runs += 1;
         total_failures += expected_failures;
     }

@@ -21,7 +21,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use crate::datatype::{decode, decode_one, encode, MpiData};
+use crate::bufpool::BufPool;
+use crate::datatype::{decode, decode_into, decode_one, encode, encode_into, MpiData};
 use crate::error::{Error, Result};
 use crate::group::Group;
 use crate::mailbox::{Envelope, Pattern, Tag};
@@ -48,6 +49,8 @@ pub(crate) struct CommShared {
     pub members: Vec<Arc<ProcState>>,
     pub revoked: AtomicBool,
     pub ops: OpTable,
+    /// Retired payload buffers, shared by all ranks of the communicator.
+    pub pool: BufPool,
 }
 
 impl CommShared {
@@ -57,6 +60,7 @@ impl CommShared {
             members,
             revoked: AtomicBool::new(false),
             ops: OpTable::new(),
+            pool: BufPool::default(),
         })
     }
 }
@@ -204,16 +208,17 @@ impl Comm {
     /// Buffered (eager) send of a typed slice.
     pub fn send<T: MpiData>(&self, ctx: &Ctx, dest: usize, tag: Tag, data: &[T]) -> Result<()> {
         self.check_usable(ctx)?;
-        let d = self
-            .shared
-            .members
-            .get(dest)
-            .ok_or_else(|| Error::InvalidArg(format!("send to rank {dest} of {}", self.size())))?;
+        let d =
+            self.shared.members.get(dest).ok_or_else(|| {
+                Error::InvalidArg(format!("send to rank {dest} of {}", self.size()))
+            })?;
         if d.is_failed() {
             return self.handle_err(ctx, Err(Error::proc_failed(dest)));
         }
         let t0 = ctx.now();
-        let payload = encode(data);
+        let mut buf = self.shared.pool.take(std::mem::size_of_val(data));
+        encode_into(data, &mut buf);
+        let payload = buf.freeze();
         let arrive = ctx.now() + ctx.net().p2p(payload.len());
         d.mailbox.push(Envelope {
             cid: self.shared.cid,
@@ -237,6 +242,23 @@ impl Comm {
         self.recv_from(ctx, Some(src), Some(tag)).map(|(_, _, v)| v)
     }
 
+    /// Blocking receive from a specific source rank and tag into a
+    /// reused buffer (cleared first); returns the element count. The
+    /// consumed payload is recycled into the communicator's buffer pool,
+    /// so a steady-state exchange allocates nothing.
+    pub fn recv_into<T: MpiData>(
+        &self,
+        ctx: &Ctx,
+        src: usize,
+        tag: Tag,
+        out: &mut Vec<T>,
+    ) -> Result<usize> {
+        let (_, _, raw) = self.recv_raw(ctx, Some(src), Some(tag))?;
+        decode_into(&raw, out)?;
+        self.shared.pool.recycle(raw);
+        Ok(out.len())
+    }
+
     /// Receive exactly one element.
     pub fn recv_one<T: MpiData>(&self, ctx: &Ctx, src: usize, tag: Tag) -> Result<T> {
         let (_, _, e) = self.recv_raw(ctx, Some(src), Some(tag))?;
@@ -252,7 +274,9 @@ impl Comm {
         tag: Option<Tag>,
     ) -> Result<(usize, Tag, Vec<T>)> {
         let (s, t, raw) = self.recv_raw(ctx, src, tag)?;
-        Ok((s, t, decode(&raw)?))
+        let v = decode(&raw)?;
+        self.shared.pool.recycle(raw);
+        Ok((s, t, v))
     }
 
     fn recv_raw(
@@ -297,10 +321,8 @@ impl Comm {
                     ),
                 });
             }
-            if let Some(e) = ctx
-                .me()
-                .mailbox
-                .take_timeout(&pat, std::time::Duration::from_micros(500))
+            if let Some(e) =
+                ctx.me().mailbox.take_timeout(&pat, std::time::Duration::from_micros(500))
             {
                 ctx.advance_to(e.arrive);
                 ctx.trace_event("recv", self.shared.cid, t0, ctx.now());
@@ -338,6 +360,24 @@ impl Comm {
     ) -> Result<Vec<T>> {
         self.send(ctx, dest, send_tag, data)?;
         self.recv(ctx, src, recv_tag)
+    }
+
+    /// [`sendrecv`](Comm::sendrecv) into a reused receive buffer:
+    /// allocation-free in steady state. Returns the received element
+    /// count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv_into<T: MpiData>(
+        &self,
+        ctx: &Ctx,
+        dest: usize,
+        send_tag: Tag,
+        data: &[T],
+        src: usize,
+        recv_tag: Tag,
+        out: &mut Vec<T>,
+    ) -> Result<usize> {
+        self.send(ctx, dest, send_tag, data)?;
+        self.recv_into(ctx, src, recv_tag, out)
     }
 
     // ---------------------------------------------------------- collectives
@@ -388,9 +428,7 @@ impl Comm {
         ctx.check_killed();
         let t0 = ctx.now();
         if (self.rank == root) != data.is_some() {
-            return Err(Error::InvalidArg(
-                "bcast: exactly the root must supply data".into(),
-            ));
+            return Err(Error::InvalidArg("bcast: exactly the root must supply data".into()));
         }
         let p = self.size();
         let net = *ctx.net();
@@ -448,7 +486,12 @@ impl Comm {
         Ok(out)
     }
 
-    fn gather_bytes<T: MpiData>(&self, ctx: &Ctx, kind: OpKind, mine: &[T]) -> Result<Arc<Vec<Bytes>>> {
+    fn gather_bytes<T: MpiData>(
+        &self,
+        ctx: &Ctx,
+        kind: OpKind,
+        mine: &[T],
+    ) -> Result<Arc<Vec<Bytes>>> {
         ctx.check_killed();
         let t0 = ctx.now();
         let p = self.size();
@@ -786,9 +829,7 @@ impl Comm {
         let (shared, rank_map) = res
             .downcast_ref::<(Arc<CommShared>, std::collections::HashMap<usize, usize>)>()
             .expect("shrink result");
-        let new_rank = *rank_map
-            .get(&self.rank)
-            .expect("shrink: calling rank must be a survivor");
+        let new_rank = *rank_map.get(&self.rank).expect("shrink: calling rank must be a survivor");
         Ok(Comm::from_shared(Arc::clone(shared), new_rank))
     }
 
@@ -825,10 +866,7 @@ impl Comm {
         *flag = *res.downcast_ref::<bool>().expect("agree result");
         let unacked: Vec<usize> = {
             let acked = self.acked.borrow();
-            self.failed_ranks()
-                .into_iter()
-                .filter(|r| !acked.contains(r))
-                .collect()
+            self.failed_ranks().into_iter().filter(|r| !acked.contains(r)).collect()
         };
         if unacked.is_empty() {
             Ok(())
@@ -873,9 +911,7 @@ impl<T: MpiData> RecvRequest<'_, T> {
         } else {
             // A dead source with nothing queued will never deliver.
             if self.comm.shared.members[self.src].is_failed() {
-                return self
-                    .comm
-                    .handle_err(ctx, Err(Error::proc_failed(self.src)));
+                return self.comm.handle_err(ctx, Err(Error::proc_failed(self.src)));
             }
             Ok(None)
         }
@@ -990,7 +1026,7 @@ impl InterComm {
             revoked: &self.shared.revoked,
             semantics: OpSemantics { tolerant: false, revocable: true },
             fail_cost: net.barrier(p),
-        stall_timeout: ctx.stall_timeout(),
+            stall_timeout: ctx.stall_timeout(),
         };
         let members_for_finish = members.clone();
         let out = self.shared.ops.run_op(
@@ -1027,9 +1063,8 @@ impl InterComm {
         ctx.advance_to(out.t_end);
         ctx.trace_event("intercomm_merge", self.shared.cid, t0, ctx.now());
         let res = out.result.as_ref().map_err(Clone::clone)?;
-        let (shared, side0_first) = res
-            .downcast_ref::<(Arc<CommShared>, bool)>()
-            .expect("merge result");
+        let (shared, side0_first) =
+            res.downcast_ref::<(Arc<CommShared>, bool)>().expect("merge result");
         let new_rank = match (self.side, *side0_first) {
             (0, true) => self.rank,
             (1, true) => n0 + self.rank,

@@ -140,11 +140,7 @@ impl ClusterProfile {
             hosts: 36,
             slots_per_host: 12,
             net: NetParams { latency: 1.7e-6, byte_time: 3.2e-10 },
-            disk: DiskParams {
-                latency: 3.5,
-                write_byte_time: 2.0e-8,
-                read_byte_time: 4.0e-9,
-            },
+            disk: DiskParams { latency: 3.5, write_byte_time: 2.0e-8, read_byte_time: 4.0e-9 },
             cell_update_time: 2.4e-8,
             step_multiplier: 1.0,
         }
@@ -159,11 +155,7 @@ impl ClusterProfile {
             hosts: 3592,
             slots_per_host: 16,
             net: NetParams { latency: 1.3e-6, byte_time: 1.8e-10 },
-            disk: DiskParams {
-                latency: 0.028,
-                write_byte_time: 2.0e-9,
-                read_byte_time: 1.0e-9,
-            },
+            disk: DiskParams { latency: 0.028, write_byte_time: 2.0e-9, read_byte_time: 1.0e-9 },
             cell_update_time: 1.9e-8,
             step_multiplier: 1.0,
         }
@@ -177,11 +169,7 @@ impl ClusterProfile {
             hosts,
             slots_per_host: slots,
             net: NetParams { latency: 1.0e-6, byte_time: 1.0e-9 },
-            disk: DiskParams {
-                latency: 1.0e-3,
-                write_byte_time: 1.0e-9,
-                read_byte_time: 1.0e-9,
-            },
+            disk: DiskParams { latency: 1.0e-3, write_byte_time: 1.0e-9, read_byte_time: 1.0e-9 },
             cell_update_time: 1.0e-8,
             step_multiplier: 1.0,
         }
@@ -253,34 +241,14 @@ fn interp(anchors: &[(f64, f64)], x: f64) -> f64 {
 pub struct BetaUlfm;
 
 /// Table I anchors: (cores, seconds) at exactly two failed processes.
-const SPAWN_2F: &[(f64, f64)] = &[
-    (19.0, 0.01),
-    (38.0, 4.19),
-    (76.0, 60.75),
-    (152.0, 86.45),
-    (304.0, 112.61),
-];
-const SHRINK_2F: &[(f64, f64)] = &[
-    (19.0, 0.01),
-    (38.0, 2.46),
-    (76.0, 43.35),
-    (152.0, 50.80),
-    (304.0, 55.57),
-];
-const AGREE_2F: &[(f64, f64)] = &[
-    (19.0, 0.49),
-    (38.0, 0.51),
-    (76.0, 1.03),
-    (152.0, 2.36),
-    (304.0, 12.83),
-];
-const MERGE: &[(f64, f64)] = &[
-    (19.0, 0.01),
-    (38.0, 0.01),
-    (76.0, 0.02),
-    (152.0, 0.02),
-    (304.0, 0.03),
-];
+const SPAWN_2F: &[(f64, f64)] =
+    &[(19.0, 0.01), (38.0, 4.19), (76.0, 60.75), (152.0, 86.45), (304.0, 112.61)];
+const SHRINK_2F: &[(f64, f64)] =
+    &[(19.0, 0.01), (38.0, 2.46), (76.0, 43.35), (152.0, 50.80), (304.0, 55.57)];
+const AGREE_2F: &[(f64, f64)] =
+    &[(19.0, 0.49), (38.0, 0.51), (76.0, 1.03), (152.0, 2.36), (304.0, 12.83)];
+const MERGE: &[(f64, f64)] =
+    &[(19.0, 0.01), (38.0, 0.01), (76.0, 0.02), (152.0, 0.02), (304.0, 0.03)];
 
 impl UlfmCostModel for BetaUlfm {
     fn spawn_multiple(&self, p: usize, nspawned: usize, nfailed: usize) -> f64 {

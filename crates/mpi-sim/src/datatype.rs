@@ -21,6 +21,33 @@ pub trait MpiData: Copy + Send + Sync + 'static {
     fn put(&self, out: &mut BytesMut);
     /// Decode one element from exactly `Self::WIDTH` bytes.
     fn get(raw: &[u8]) -> Self;
+
+    /// Append the encoding of a whole slice to `out`.
+    ///
+    /// The default loops over [`put`](MpiData::put); the primitive
+    /// numeric types override it with a single `memcpy` on little-endian
+    /// targets, where the wire format equals the in-memory layout.
+    #[inline]
+    fn put_slice(data: &[Self], out: &mut BytesMut) {
+        out.reserve(data.len() * Self::WIDTH);
+        for v in data {
+            v.put(out);
+        }
+    }
+
+    /// Decode a whole buffer, appending the elements to `out`. `raw` must
+    /// be a multiple of `Self::WIDTH` long (checked by the callers).
+    ///
+    /// Same bulk-copy override story as [`put_slice`](MpiData::put_slice).
+    #[inline]
+    fn extend_from_raw(raw: &[u8], out: &mut Vec<Self>) {
+        debug_assert!(raw.len().is_multiple_of(Self::WIDTH));
+        let n = raw.len() / Self::WIDTH;
+        out.reserve(n);
+        for i in 0..n {
+            out.push(Self::get(&raw[i * Self::WIDTH..]));
+        }
+    }
 }
 
 macro_rules! impl_mpi_data {
@@ -36,6 +63,40 @@ macro_rules! impl_mpi_data {
                 let mut buf = [0u8; std::mem::size_of::<$t>()];
                 buf.copy_from_slice(&raw[..Self::WIDTH]);
                 <$t>::from_le_bytes(buf)
+            }
+            #[cfg(target_endian = "little")]
+            #[inline]
+            fn put_slice(data: &[Self], out: &mut BytesMut) {
+                // On little-endian targets the LE wire format is exactly
+                // the in-memory byte layout of these plain-old-data
+                // types, so the whole slice encodes as one copy. (The
+                // big-endian fallback is the default per-element loop.)
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        data.as_ptr() as *const u8,
+                        std::mem::size_of_val(data),
+                    )
+                };
+                out.extend_from_slice(bytes);
+            }
+            #[cfg(target_endian = "little")]
+            #[inline]
+            fn extend_from_raw(raw: &[u8], out: &mut Vec<Self>) {
+                debug_assert!(raw.len().is_multiple_of(Self::WIDTH));
+                let n = raw.len() / Self::WIDTH;
+                let old = out.len();
+                out.reserve(n);
+                // Fill the reserved tail bytewise, then commit the new
+                // length; no `&[Self]` view of uninitialized memory is
+                // ever formed.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        raw.as_ptr(),
+                        out.as_mut_ptr().add(old) as *mut u8,
+                        n * Self::WIDTH,
+                    );
+                    out.set_len(old + n);
+                }
             }
         }
     )*};
@@ -71,10 +132,17 @@ impl MpiData for usize {
 /// Encode a typed slice into a frozen byte buffer.
 pub fn encode<T: MpiData>(data: &[T]) -> Bytes {
     let mut out = BytesMut::with_capacity(data.len() * T::WIDTH);
-    for v in data {
-        v.put(&mut out);
-    }
+    T::put_slice(data, &mut out);
     out.freeze()
+}
+
+/// Encode a typed slice into a reused buffer (cleared first). With a
+/// pooled `BytesMut` this makes a send exactly one copy: slice → wire
+/// buffer.
+pub fn encode_into<T: MpiData>(data: &[T], out: &mut BytesMut) {
+    out.clear();
+    out.reserve(data.len() * T::WIDTH);
+    T::put_slice(data, out);
 }
 
 /// Decode a byte buffer into a typed vector.
@@ -82,29 +150,36 @@ pub fn encode<T: MpiData>(data: &[T]) -> Bytes {
 /// Errors if the buffer length is not a multiple of the element width —
 /// which, like a datatype mismatch in MPI, indicates a protocol bug.
 pub fn decode<T: MpiData>(raw: &Bytes) -> Result<Vec<T>> {
-    if !raw.len().is_multiple_of(T::WIDTH) {
+    check_width::<T>(raw.len())?;
+    let mut out = Vec::with_capacity(raw.len() / T::WIDTH);
+    T::extend_from_raw(raw, &mut out);
+    Ok(out)
+}
+
+/// Decode a byte buffer into a reused vector (cleared first), avoiding
+/// the per-receive allocation of [`decode`].
+pub fn decode_into<T: MpiData>(raw: &Bytes, out: &mut Vec<T>) -> Result<()> {
+    check_width::<T>(raw.len())?;
+    out.clear();
+    T::extend_from_raw(raw, out);
+    Ok(())
+}
+
+fn check_width<T: MpiData>(len: usize) -> Result<()> {
+    if !len.is_multiple_of(T::WIDTH) {
         return Err(Error::InvalidArg(format!(
-            "payload of {} bytes is not a multiple of element width {}",
-            raw.len(),
+            "payload of {len} bytes is not a multiple of element width {}",
             T::WIDTH
         )));
     }
-    let n = raw.len() / T::WIDTH;
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        out.push(T::get(&raw[i * T::WIDTH..]));
-    }
-    Ok(out)
+    Ok(())
 }
 
 /// Decode exactly one element.
 pub fn decode_one<T: MpiData>(raw: &Bytes) -> Result<T> {
     let v = decode::<T>(raw)?;
     if v.len() != 1 {
-        return Err(Error::InvalidArg(format!(
-            "expected exactly 1 element, got {}",
-            v.len()
-        )));
+        return Err(Error::InvalidArg(format!("expected exactly 1 element, got {}", v.len())));
     }
     Ok(v[0])
 }
@@ -157,5 +232,57 @@ mod tests {
         let xs = [f64::NAN];
         let dec: Vec<f64> = decode(&encode(&xs)).unwrap();
         assert!(dec[0].is_nan());
+    }
+
+    #[test]
+    fn bulk_encode_equals_per_element_encode() {
+        // The memcpy fast path must produce byte-for-byte the same wire
+        // format as the per-element LE encoding.
+        let xs: Vec<f64> =
+            (0..257).map(|i| (i as f64).sqrt() * if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let bulk = encode(&xs);
+        let mut per_elem = BytesMut::with_capacity(xs.len() * 8);
+        for v in &xs {
+            v.put(&mut per_elem);
+        }
+        assert_eq!(&bulk[..], &per_elem.freeze()[..]);
+    }
+
+    #[test]
+    fn encode_into_reuses_and_matches() {
+        let xs = [1.5f64, -2.25, 1e300];
+        let mut buf = BytesMut::with_capacity(64);
+        encode_into(&xs, &mut buf);
+        assert_eq!(&buf[..], &encode(&xs)[..]);
+        // Reuse with different contents: cleared, not appended.
+        let ys = [9.0f64];
+        encode_into(&ys, &mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(&buf[..], &encode(&ys)[..]);
+    }
+
+    #[test]
+    fn decode_into_reuses_and_matches() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from_bits(0x7ff8_0000_0000_0000 | i)).collect();
+        let enc = encode(&xs);
+        let mut out: Vec<f64> = vec![0.0; 3]; // stale contents must vanish
+        decode_into(&enc, &mut out).unwrap();
+        assert_eq!(out.len(), xs.len());
+        for (a, b) in out.iter().zip(&xs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Misaligned buffers still rejected.
+        assert!(decode_into::<f64>(&enc.slice(0..9), &mut out).is_err());
+    }
+
+    #[test]
+    fn bulk_decode_handles_sub_slices() {
+        // Bytes::slice produces offset views; the bulk copy must respect
+        // the view's bounds.
+        let xs = [10.0f64, 20.0, 30.0];
+        let enc = encode(&xs);
+        let mid = enc.slice(8..16);
+        let dec: Vec<f64> = decode(&mid).unwrap();
+        assert_eq!(dec, [20.0]);
     }
 }

@@ -54,8 +54,7 @@ impl FaultPlan {
     /// in `seed`.
     pub fn random(n: usize, world: usize, step: u64, seed: u64, forbidden: &[usize]) -> Self {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut pool: Vec<usize> =
-            (1..world).filter(|r| !forbidden.contains(r)).collect();
+        let mut pool: Vec<usize> = (1..world).filter(|r| !forbidden.contains(r)).collect();
         pool.shuffle(&mut rng);
         pool.truncate(n);
         Self::new(pool.into_iter().map(|r| (r, step)).collect())

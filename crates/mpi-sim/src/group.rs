@@ -77,23 +77,13 @@ impl Group {
     /// `MPI_Group_difference`: members of `self` not in `other`, in
     /// `self`'s rank order.
     pub fn difference(&self, other: &Group) -> Group {
-        let d = self
-            .procs
-            .iter()
-            .copied()
-            .filter(|p| other.rank_of(*p).is_none())
-            .collect();
+        let d = self.procs.iter().copied().filter(|p| other.rank_of(*p).is_none()).collect();
         Group { procs: d }
     }
 
     /// `MPI_Group_intersection`: members of both, in `self`'s rank order.
     pub fn intersection(&self, other: &Group) -> Group {
-        let d = self
-            .procs
-            .iter()
-            .copied()
-            .filter(|p| other.rank_of(*p).is_some())
-            .collect();
+        let d = self.procs.iter().copied().filter(|p| other.rank_of(*p).is_some()).collect();
         Group { procs: d }
     }
 

@@ -59,6 +59,7 @@
 //! assert_eq!(report.get_f64("sum"), Some(6.0));
 //! ```
 
+pub mod bufpool;
 pub mod comm;
 pub mod costmodel;
 pub mod datatype;
@@ -73,6 +74,7 @@ pub mod spawn;
 pub mod topology;
 pub mod trace_export;
 
+pub use bufpool::BufPool;
 pub use comm::{Comm, ErrHandler, InterComm, ReduceOp, ANY_SOURCE, ANY_TAG};
 pub use costmodel::{BetaUlfm, ClusterProfile, DiskParams, IdealUlfm, NetParams, UlfmCostModel};
 pub use datatype::MpiData;

@@ -49,6 +49,21 @@ impl Pattern {
     }
 }
 
+/// Remove and return the first message matching `pat`.
+///
+/// The head of the queue is checked before scanning: in the dominant
+/// receive pattern — an exact `(cid, src, tag)` triple whose message has
+/// already arrived, as in every halo-exchange `sendrecv` — the match is
+/// the front element and the `O(queue)` scan never runs. Either path
+/// takes the *first* match, preserving MPI's non-overtaking order.
+fn take_matching(q: &mut VecDeque<Envelope>, pat: &Pattern) -> Option<Envelope> {
+    if q.front().is_some_and(|e| pat.matches(e)) {
+        return q.pop_front();
+    }
+    let idx = q.iter().position(|e| pat.matches(e))?;
+    q.remove(idx)
+}
+
 /// A process's incoming queue.
 pub struct Mailbox {
     q: Mutex<VecDeque<Envelope>>,
@@ -82,8 +97,7 @@ impl Mailbox {
     /// Take the first message matching `pat`, if any.
     pub fn try_take(&self, pat: &Pattern) -> Option<Envelope> {
         let mut q = self.q.lock();
-        let idx = q.iter().position(|e| pat.matches(e))?;
-        q.remove(idx)
+        take_matching(&mut q, pat)
     }
 
     /// Block until a matching message is available or `tick` elapses;
@@ -92,13 +106,12 @@ impl Mailbox {
     /// deadlock-free when a peer dies mid-conversation.
     pub fn take_timeout(&self, pat: &Pattern, tick: Duration) -> Option<Envelope> {
         let mut q = self.q.lock();
-        if let Some(idx) = q.iter().position(|e| pat.matches(e)) {
-            return q.remove(idx);
+        if let Some(e) = take_matching(&mut q, pat) {
+            return Some(e);
         }
         // One bounded wait, then re-scan; spurious wakeups are fine.
         self.cv.wait_for(&mut q, tick);
-        let idx = q.iter().position(|e| pat.matches(e))?;
-        q.remove(idx)
+        take_matching(&mut q, pat)
     }
 
     /// Wake all blocked receivers (kill/revoke notification path).
@@ -184,6 +197,48 @@ mod tests {
         let mb = Mailbox::new();
         let p = Pattern { cid: 1, src: None, tag: None };
         assert!(mb.take_timeout(&p, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn fifo_non_overtaking_within_a_matching_stream() {
+        // MPI's non-overtaking rule: messages on the same (cid, src, tag)
+        // stream are received in send order — through both the head
+        // fast path and the scan path.
+        let seq = |cid: u64, src: usize, tag: Tag, n: u8| Envelope {
+            cid,
+            src_rank: src,
+            tag,
+            payload: Bytes::copy_from_slice(&[n]),
+            arrive: 0.0,
+        };
+        let mb = Mailbox::new();
+        // An unrelated message sits at the head so the stream of interest
+        // must be found by scanning.
+        mb.push(seq(1, 9, 77, 0));
+        for n in 1..=3 {
+            mb.push(seq(1, 0, 5, n));
+        }
+        let p = Pattern { cid: 1, src: Some(0), tag: Some(5) };
+        for expect in 1..=3u8 {
+            let e = mb.try_take(&p).unwrap();
+            assert_eq!(e.payload[0], expect, "stream overtaken");
+        }
+        assert!(mb.try_take(&p).is_none());
+        // The unrelated head message is still there and now matches fast.
+        let other = Pattern { cid: 1, src: Some(9), tag: Some(77) };
+        assert_eq!(mb.try_take(&other).unwrap().payload[0], 0);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn head_fast_path_preserves_wildcard_semantics() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 2, 4));
+        mb.push(env(1, 3, 4));
+        // Wildcard source: head matches, must take the *first* (src 2).
+        let p = Pattern { cid: 1, src: None, tag: Some(4) };
+        assert_eq!(mb.try_take(&p).unwrap().src_rank, 2);
+        assert_eq!(mb.try_take(&p).unwrap().src_rank, 3);
     }
 
     #[test]

@@ -275,30 +275,30 @@ impl OpTable {
                 continue;
             }
 
-            if !failed_missing.is_empty() && !ctx.semantics.tolerant {
-                // A peer died before contributing: the op cannot complete.
-                let t = max_clock(&st.contrib) + ctx.fail_cost;
-                st.done = Some(Arc::new(Outcome {
-                    t_end: t,
-                    result: Err(Error::ProcFailed { ranks: failed_missing }),
-                }));
-                self.cv.notify_all();
-                continue;
-            }
+            // Failures with live participants still missing: keep waiting.
+            // Finalizing here would cache a partial victim list — a second
+            // victim that has not yet reached its kill point would go
+            // unreported to every participant. The op resolves once each
+            // participant is accounted for (arrived or failed), which is
+            // the `missing_live == 0` branch above.
 
             if started.elapsed() > ctx.stall_timeout {
-                let arrived: Vec<usize> = st.contrib.keys().copied().collect();
                 let t = max_clock(&st.contrib) + ctx.fail_cost;
-                st.done = Some(Arc::new(Outcome {
-                    t_end: t,
-                    result: Err(Error::CollectiveMismatch {
+                let result = if !failed_missing.is_empty() && !ctx.semantics.tolerant {
+                    // Live peers never arrived, likely thrown off course by
+                    // the failure; report the failure, not the stall.
+                    Err(Error::ProcFailed { ranks: failed_missing })
+                } else {
+                    let arrived: Vec<usize> = st.contrib.keys().copied().collect();
+                    Err(Error::CollectiveMismatch {
                         detail: format!(
                             "{key:?}: only {arrived:?} of {} participants arrived within {:?}",
                             ctx.participants.len(),
                             ctx.stall_timeout
                         ),
-                    }),
-                }));
+                    })
+                };
+                st.done = Some(Arc::new(Outcome { t_end: t, result }));
                 self.cv.notify_all();
                 continue;
             }
@@ -350,12 +350,9 @@ mod tests {
                     fail_cost: 0.5,
                     stall_timeout: Duration::from_secs(5),
                 };
-                table.run_op(
-                    key,
-                    ctx,
-                    Contribution { clock, data: OpData::None },
-                    |c| (Arc::new(c.len()) as Arc<dyn Any + Send + Sync>, 1.0),
-                )
+                table.run_op(key, ctx, Contribution { clock, data: OpData::None }, |c| {
+                    (Arc::new(c.len()) as Arc<dyn Any + Send + Sync>, 1.0)
+                })
             }));
         }
         me_unused(&parts);
@@ -405,12 +402,9 @@ mod tests {
                     fail_cost: 0.25,
                     stall_timeout: Duration::from_secs(5),
                 };
-                table.run_op(
-                    key,
-                    ctx,
-                    Contribution { clock: 1.0, data: OpData::None },
-                    |c| (Arc::new(c.len()) as Arc<dyn Any + Send + Sync>, 1.0),
-                )
+                table.run_op(key, ctx, Contribution { clock: 1.0, data: OpData::None }, |c| {
+                    (Arc::new(c.len()) as Arc<dyn Any + Send + Sync>, 1.0)
+                })
             }));
         }
         for h in handles {
@@ -445,23 +439,15 @@ mod tests {
                     fail_cost: 0.0,
                     stall_timeout: Duration::from_secs(5),
                 };
-                table.run_op(
-                    key,
-                    ctx,
-                    Contribution { clock: 0.0, data: OpData::None },
-                    |c| (Arc::new(c.keys().copied().collect::<Vec<_>>()) as _, 0.0),
-                )
+                table.run_op(key, ctx, Contribution { clock: 0.0, data: OpData::None }, |c| {
+                    (Arc::new(c.keys().copied().collect::<Vec<_>>()) as _, 0.0)
+                })
             }));
         }
         for h in handles {
             let out = h.join().unwrap();
-            let survivors = out
-                .result
-                .as_ref()
-                .unwrap()
-                .downcast_ref::<Vec<usize>>()
-                .unwrap()
-                .clone();
+            let survivors =
+                out.result.as_ref().unwrap().downcast_ref::<Vec<usize>>().unwrap().clone();
             assert_eq!(survivors, vec![0, 2]);
         }
     }
@@ -485,12 +471,9 @@ mod tests {
                 fail_cost: 0.0,
                 stall_timeout: Duration::from_secs(5),
             };
-            t_table.run_op(
-                key,
-                ctx,
-                Contribution { clock: 0.0, data: OpData::None },
-                |_| (Arc::new(()) as _, 0.0),
-            )
+            t_table.run_op(key, ctx, Contribution { clock: 0.0, data: OpData::None }, |_| {
+                (Arc::new(()) as _, 0.0)
+            })
         });
         std::thread::sleep(Duration::from_millis(20));
         revoked.store(true, Ordering::Release);
@@ -514,12 +497,9 @@ mod tests {
             fail_cost: 0.0,
             stall_timeout: Duration::from_millis(50),
         };
-        let out = table.run_op(
-            key,
-            ctx,
-            Contribution { clock: 0.0, data: OpData::None },
-            |_| (Arc::new(()) as _, 0.0),
-        );
+        let out = table.run_op(key, ctx, Contribution { clock: 0.0, data: OpData::None }, |_| {
+            (Arc::new(()) as _, 0.0)
+        });
         assert!(matches!(out.result, Err(Error::CollectiveMismatch { .. })));
     }
 
@@ -533,25 +513,23 @@ mod tests {
         let revoked = Arc::new(AtomicBool::new(false));
         let key = OpKey { seq: 5, kind: OpKind::Barrier };
 
-        let run = |i: usize, table: Arc<OpTable>, parts: Vec<Arc<ProcState>>, rev: Arc<AtomicBool>| {
-            std::thread::spawn(move || {
-                let ctx = OpCtx {
-                    my_index: i,
-                    participants: &parts,
-                    me: &parts[i],
-                    revoked: &rev,
-                    semantics: sem(false),
-                    fail_cost: 0.0,
-                    stall_timeout: Duration::from_secs(5),
-                };
-                table.run_op(
-                    key,
-                    ctx,
-                    Contribution { clock: 0.0, data: OpData::None },
-                    |_| (Arc::new(()) as _, 0.0),
-                )
-            })
-        };
+        let run =
+            |i: usize, table: Arc<OpTable>, parts: Vec<Arc<ProcState>>, rev: Arc<AtomicBool>| {
+                std::thread::spawn(move || {
+                    let ctx = OpCtx {
+                        my_index: i,
+                        participants: &parts,
+                        me: &parts[i],
+                        revoked: &rev,
+                        semantics: sem(false),
+                        fail_cost: 0.0,
+                        stall_timeout: Duration::from_secs(5),
+                    };
+                    table.run_op(key, ctx, Contribution { clock: 0.0, data: OpData::None }, |_| {
+                        (Arc::new(()) as _, 0.0)
+                    })
+                })
+            };
         let h0 = run(0, Arc::clone(&table), parts.clone(), Arc::clone(&revoked));
         let o0 = h0.join().unwrap();
         assert!(o0.result.is_err());

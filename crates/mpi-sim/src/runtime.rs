@@ -213,9 +213,7 @@ impl Universe {
                                 .map(|s| s.to_string())
                                 .or_else(|| payload.downcast_ref::<String>().cloned())
                                 .unwrap_or_else(|| "non-string panic payload".into());
-                            uni.app_errors
-                                .lock()
-                                .push(format!("proc {} panicked: {msg}", me.id.0));
+                            uni.app_errors.lock().push(format!("proc {} panicked: {msg}", me.id.0));
                         }
                     }
                 }
@@ -291,11 +289,7 @@ impl Report {
     /// Panics if any application-level panic was recorded. Tests call this
     /// to assert a run was healthy.
     pub fn assert_no_app_errors(&self) {
-        assert!(
-            self.app_errors.is_empty(),
-            "application errors: {:#?}",
-            self.app_errors
-        );
+        assert!(self.app_errors.is_empty(), "application errors: {:#?}", self.app_errors);
     }
 }
 
@@ -435,10 +429,7 @@ impl Ctx {
 
     /// Deposit text into the run report.
     pub fn report_text(&self, key: &str, v: &str) {
-        self.uni
-            .blackboard
-            .lock()
-            .insert(key.to_string(), Value::Text(v.to_string()));
+        self.uni.blackboard.lock().insert(key.to_string(), Value::Text(v.to_string()));
     }
 
     /// Append to a series in the run report.
@@ -499,7 +490,8 @@ where
     F: Fn(&mut Ctx) + Send + Sync + 'static,
 {
     let needed_hosts = config.world.div_ceil(config.profile.slots_per_host.max(1));
-    let hosts = needed_hosts.max(config.profile.hosts.min(needed_hosts.max(1))) + config.spare_hosts;
+    let hosts =
+        needed_hosts.max(config.profile.hosts.min(needed_hosts.max(1))) + config.spare_hosts;
     let hostfile = Hostfile::uniform("node", hosts, config.profile.slots_per_host.max(1));
 
     let uni = Arc::new(Universe {
@@ -525,10 +517,7 @@ where
     // Block placement of the initial world, like `mpirun --map-by slot`.
     let mut procs = Vec::with_capacity(config.world);
     for rank in 0..config.world {
-        let host = uni
-            .hostfile
-            .host_of_rank(rank)
-            .expect("hostfile too small for requested world");
+        let host = uni.hostfile.host_of_rank(rank).expect("hostfile too small for requested world");
         let p = uni.alloc_proc(host);
         p.rank_hint.store(rank, Ordering::Relaxed);
         procs.push(p);
@@ -564,19 +553,11 @@ where
     let procs_created = registry.len();
     let procs_failed = registry.iter().filter(|p| p.is_failed()).count();
     drop(registry);
-    let makespan = uni
-        .final_clocks
-        .lock()
-        .iter()
-        .fold(0.0_f64, |m, &(_, c)| m.max(c));
+    let makespan = uni.final_clocks.lock().iter().fold(0.0_f64, |m, &(_, c)| m.max(c));
 
     let values = uni.blackboard.lock().clone();
     let app_errors = uni.app_errors.lock().clone();
-    let trace = uni
-        .trace
-        .as_ref()
-        .map(|t| t.lock().clone())
-        .unwrap_or_default();
+    let trace = uni.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default();
     Report { values, app_errors, procs_created, procs_failed, makespan, trace }
 }
 

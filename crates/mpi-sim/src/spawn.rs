@@ -82,8 +82,7 @@ pub fn comm_spawn_multiple(ctx: &Ctx, comm: &Comm, specs: &[SpawnSpec]) -> Resul
                     Some(name) => match uni.hostfile.index_of(name) {
                         Some(h) => h,
                         None => {
-                            failure =
-                                Some(Error::SpawnFailed(format!("unknown host '{name}'")));
+                            failure = Some(Error::SpawnFailed(format!("unknown host '{name}'")));
                             break;
                         }
                     },
@@ -130,9 +129,8 @@ pub fn comm_spawn_multiple(ctx: &Ctx, comm: &Comm, specs: &[SpawnSpec]) -> Resul
     ctx.advance_to(out.t_end);
     ctx.trace_event("spawn_multiple", comm.cid(), t0, ctx.now());
     let res = out.result.as_ref().map_err(Clone::clone)?;
-    let inner = res
-        .downcast_ref::<std::result::Result<Arc<InterShared>, Error>>()
-        .expect("spawn result");
+    let inner =
+        res.downcast_ref::<std::result::Result<Arc<InterShared>, Error>>().expect("spawn result");
     match inner {
         Ok(shared) => Ok(InterComm::new(Arc::clone(shared), 0, comm.rank())),
         Err(e) => Err(e.clone()),

@@ -28,12 +28,7 @@ impl Hostfile {
     /// Build a uniform hostfile of `n_hosts` nodes with `slots` slots each,
     /// named `prefix000`, `prefix001`, ...
     pub fn uniform(prefix: &str, n_hosts: usize, slots: usize) -> Self {
-        let hosts = (0..n_hosts)
-            .map(|i| Host {
-                name: format!("{prefix}{i:03}"),
-                slots,
-            })
-            .collect();
+        let hosts = (0..n_hosts).map(|i| Host { name: format!("{prefix}{i:03}"), slots }).collect();
         Hostfile { hosts }
     }
 

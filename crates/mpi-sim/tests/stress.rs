@@ -34,10 +34,7 @@ fn kill_while_blocked_in_barrier() {
     let ok = report.get_f64("ok_outcomes").unwrap_or(0.0);
     let failed = report.get_f64("failed_outcomes").unwrap_or(0.0);
     assert_eq!(ok + failed, 3.0, "every survivor returns");
-    assert!(
-        ok == 3.0 || failed == 3.0,
-        "outcome must be uniform: ok={ok}, failed={failed}"
-    );
+    assert!(ok == 3.0 || failed == 3.0, "outcome must be uniform: ok={ok}, failed={failed}");
     assert_eq!(report.procs_failed, 1);
 }
 
@@ -95,12 +92,9 @@ fn repeated_failure_repair_rounds() {
         let shrunk2 = shrunk.shrink(ctx).unwrap();
         assert_eq!(shrunk2.size(), 3);
         // Respawn both losses in one go.
-        let inter = comm_spawn_multiple(
-            ctx,
-            &shrunk2,
-            &[SpawnSpec::anywhere(), SpawnSpec::anywhere()],
-        )
-        .unwrap();
+        let inter =
+            comm_spawn_multiple(ctx, &shrunk2, &[SpawnSpec::anywhere(), SpawnSpec::anywhere()])
+                .unwrap();
         let merged = inter.merge(ctx, false).unwrap();
         assert_eq!(merged.size(), 5);
         let sum = merged.allreduce_sum(ctx, 1u64).unwrap();

@@ -27,12 +27,8 @@ fn trace_records_collectives_and_p2p() {
         assert!(e.t_end <= report.makespan + 1e-12, "{e:?}");
     }
     // The barrier's end time is identical across ranks (clock sync).
-    let barrier_ends: Vec<f64> = report
-        .trace
-        .iter()
-        .filter(|e| e.op == "barrier")
-        .map(|e| e.t_end)
-        .collect();
+    let barrier_ends: Vec<f64> =
+        report.trace.iter().filter(|e| e.op == "barrier").map(|e| e.t_end).collect();
     assert!(barrier_ends.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
 }
 

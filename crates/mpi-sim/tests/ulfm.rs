@@ -211,8 +211,7 @@ fn spawn_and_merge_low_high() {
         }
         let w = ctx.initial_world().unwrap();
         let inter =
-            comm_spawn_multiple(ctx, &w, &[SpawnSpec::anywhere(), SpawnSpec::anywhere()])
-                .unwrap();
+            comm_spawn_multiple(ctx, &w, &[SpawnSpec::anywhere(), SpawnSpec::anywhere()]).unwrap();
         assert_eq!(inter.local_size(), 3);
         assert_eq!(inter.remote_size(), 2);
         let merged = inter.merge(ctx, false).unwrap();
@@ -308,10 +307,7 @@ fn fault_plan_driven_kill_mid_computation() {
     report.assert_no_app_errors();
     assert_eq!(report.procs_failed, 2);
     // Every survivor saw both victims.
-    assert_eq!(
-        report.get_f64("detected"),
-        Some(((n - victims.len()) * victims.len()) as f64)
-    );
+    assert_eq!(report.get_f64("detected"), Some(((n - victims.len()) * victims.len()) as f64));
 }
 
 #[test]
@@ -323,28 +319,22 @@ fn ulfm_cost_model_charges_shrink_time() {
     let time_with_failures = |nfail: usize| {
         let n = 76;
         let plan = FaultPlan::random(nfail, n, 0, 7, &[]);
-        let report = run(
-            RunConfig::cluster(ulfm_sim::ClusterProfile::opl(), n),
-            move |ctx| {
-                let w = ctx.initial_world().unwrap();
-                if plan.strikes(w.rank(), 0) {
-                    ctx.die();
-                }
-                let _ = w.barrier(ctx);
-                let t0 = ctx.now();
-                let s = w.shrink(ctx).unwrap();
-                if s.rank() == 0 {
-                    ctx.report_f64("t_shrink", ctx.now() - t0);
-                }
-            },
-        );
+        let report = run(RunConfig::cluster(ulfm_sim::ClusterProfile::opl(), n), move |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if plan.strikes(w.rank(), 0) {
+                ctx.die();
+            }
+            let _ = w.barrier(ctx);
+            let t0 = ctx.now();
+            let s = w.shrink(ctx).unwrap();
+            if s.rank() == 0 {
+                ctx.report_f64("t_shrink", ctx.now() - t0);
+            }
+        });
         report.assert_no_app_errors();
         report.get_f64("t_shrink").unwrap()
     };
     let t1 = time_with_failures(1);
     let t2 = time_with_failures(2);
-    assert!(
-        t2 > 10.0 * t1,
-        "2-failure shrink ({t2}) must dwarf the 1-failure case ({t1})"
-    );
+    assert!(t2 > 10.0 * t1, "2-failure shrink ({t2}) must dwarf the 1-failure case ({t1})");
 }

@@ -218,21 +218,14 @@ pub fn robust_coefficients(
 /// This is the invariant every recovery path must preserve; applications
 /// can `debug_assert!(verify_covering(&coeffs, floor).is_none())` after
 /// recomputing coefficients.
-pub fn verify_covering(
-    coeffs: &BTreeMap<LevelPair, i32>,
-    floor: LevelPair,
-) -> Option<LevelPair> {
+pub fn verify_covering(coeffs: &BTreeMap<LevelPair, i32>, floor: LevelPair) -> Option<LevelPair> {
     let tops: Vec<LevelPair> = coeffs.keys().copied().collect();
     if tops.is_empty() {
         return None;
     }
     let hull = LevelSet::downset_hull(&tops, floor);
     for &b in hull.iter() {
-        let cover: i32 = coeffs
-            .iter()
-            .filter(|(a, _)| b.leq(a))
-            .map(|(_, &v)| v)
-            .sum();
+        let cover: i32 = coeffs.iter().filter(|(a, _)| b.leq(a)).map(|(_, &v)| v).sum();
         if cover != 1 {
             return Some(b);
         }
@@ -324,8 +317,7 @@ mod tests {
             let j = classical(n, l);
             let c = gcp_coefficients(&j);
             for &b in j.iter() {
-                let cover: i32 =
-                    c.iter().filter(|(a, _)| b.leq(a)).map(|(_, &v)| v).sum();
+                let cover: i32 = c.iter().filter(|(a, _)| b.leq(a)).map(|(_, &v)| v).sum();
                 assert_eq!(cover, 1, "subspace {b} of (n={n}, l={l})");
             }
         }

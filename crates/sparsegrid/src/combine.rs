@@ -74,10 +74,7 @@ mod tests {
             }
         }
         let set: LevelSet = levels.into_iter().collect();
-        gcp_coefficients(&set)
-            .into_iter()
-            .map(|(l, c)| (c as f64, Grid2::from_fn(l, &f)))
-            .collect()
+        gcp_coefficients(&set).into_iter().map(|(l, c)| (c as f64, Grid2::from_fn(l, &f))).collect()
     }
 
     #[test]
@@ -91,18 +88,13 @@ mod tests {
             |x, y| 3.0 - 2.0 * x + y + 4.0 * x * y,
         ] {
             let terms = classical_terms(6, 3, f);
-            let refs: Vec<CombinationTerm> = terms
-                .iter()
-                .map(|(c, g)| CombinationTerm { coeff: *c, grid: g })
-                .collect();
+            let refs: Vec<CombinationTerm> =
+                terms.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
             let combined = combine_onto(lv(4, 4), &refs);
             for m in 0..combined.ny() {
                 for k in 0..combined.nx() {
                     let (x, y) = combined.coords(k, m);
-                    assert!(
-                        (combined.at(k, m) - f(x, y)).abs() < 1e-12,
-                        "at ({x},{y})"
-                    );
+                    assert!((combined.at(k, m) - f(x, y)).abs() < 1e-12, "at ({x},{y})");
                 }
             }
         }
@@ -115,10 +107,8 @@ mod tests {
         // sums exactly.
         let f = |x: f64, y: f64| (6.3 * x).sin() + (6.3 * y).cos();
         let terms = classical_terms(6, 3, f);
-        let refs: Vec<CombinationTerm> = terms
-            .iter()
-            .map(|(c, g)| CombinationTerm { coeff: *c, grid: g })
-            .collect();
+        let refs: Vec<CombinationTerm> =
+            terms.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
         let target = lv(4, 4); // m = 6 - 3 + 1 = 4
         let combined = combine_onto(target, &refs);
         // Check one node by hand.
@@ -131,14 +121,13 @@ mod tests {
     fn combination_error_decreases_with_level() {
         // Smooth-function convergence: the sparse grid combination error
         // at fixed l must shrink as n grows.
-        let f = |x: f64, y: f64| (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+        let f =
+            |x: f64, y: f64| (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
         let err = |n: u32| {
             let l = 3;
             let terms = classical_terms(n, l, f);
-            let refs: Vec<CombinationTerm> = terms
-                .iter()
-                .map(|(c, g)| CombinationTerm { coeff: *c, grid: g })
-                .collect();
+            let refs: Vec<CombinationTerm> =
+                terms.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
             // Evaluate on the *full* grid (n, n): its off-node points (with
             // respect to the anisotropic components) expose the sparse grid
             // interpolation error; nodes shared by all components would be
@@ -155,10 +144,7 @@ mod tests {
         };
         let e5 = err(5);
         let e7 = err(7);
-        assert!(
-            e7 < e5 / 2.0,
-            "combination must converge: err(n=5)={e5}, err(n=7)={e7}"
-        );
+        assert!(e7 < e5 / 2.0, "combination must converge: err(n=5)={e5}, err(n=7)={e7}");
     }
 
     #[test]
@@ -166,10 +152,7 @@ mod tests {
         let g = Grid2::from_fn(lv(3, 3), |x, y| x * y);
         let combined = combine_onto(
             lv(2, 2),
-            &[
-                CombinationTerm { coeff: 0.0, grid: &g },
-                CombinationTerm { coeff: 1.0, grid: &g },
-            ],
+            &[CombinationTerm { coeff: 0.0, grid: &g }, CombinationTerm { coeff: 1.0, grid: &g }],
         );
         assert!((combined.eval(0.5, 0.5) - 0.25).abs() < 1e-12);
     }

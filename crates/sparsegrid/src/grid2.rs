@@ -57,11 +57,7 @@ impl Grid2 {
     pub fn from_raw(level: LevelPair, data: Vec<f64>) -> Result<Self, String> {
         let (nx, ny) = (level.nx(), level.ny());
         if data.len() != nx * ny {
-            return Err(format!(
-                "grid {level}: expected {} values, got {}",
-                nx * ny,
-                data.len()
-            ));
+            return Err(format!("grid {level}: expected {} values, got {}", nx * ny, data.len()));
         }
         Ok(Grid2 { level, nx, ny, data })
     }
@@ -98,6 +94,20 @@ impl Grid2 {
     pub fn at_mut(&mut self, k: usize, m: usize) -> &mut f64 {
         debug_assert!(k < self.nx && m < self.ny);
         &mut self.data[m * self.nx + k]
+    }
+
+    /// Row `m` as a contiguous slice of `nx` values (x fastest).
+    #[inline]
+    pub fn row(&self, m: usize) -> &[f64] {
+        debug_assert!(m < self.ny);
+        &self.data[m * self.nx..(m + 1) * self.nx]
+    }
+
+    /// Row `m` as a mutable contiguous slice of `nx` values.
+    #[inline]
+    pub fn row_mut(&mut self, m: usize) -> &mut [f64] {
+        debug_assert!(m < self.ny);
+        &mut self.data[m * self.nx..(m + 1) * self.nx]
     }
 
     /// Raw values, row-major with x fastest.

@@ -34,6 +34,7 @@ pub mod level;
 pub mod ndim;
 pub mod norms;
 pub mod scheme;
+pub mod scratch;
 
 pub use coeffs::{gcp_coefficients, robust_coefficients, verify_covering, LevelSet};
 pub use combine::{combine_onto, CombinationTerm};
@@ -41,3 +42,4 @@ pub use grid2::Grid2;
 pub use level::LevelPair;
 pub use norms::{l1_error_vs, l1_grid_diff, l2_error_vs, linf_error_vs};
 pub use scheme::{GridRole, GridSystem, Layout, SubGrid};
+pub use scratch::ensure_len;

@@ -145,13 +145,8 @@ pub fn gcp_coefficients_nd(j: &LevelSetN) -> BTreeMap<LevelVecN, i64> {
 
 /// The covering property `Σ_{a ≥ b} c(a) = 1` for every `b` in the
 /// downset hull of the coefficient support. Returns the first violator.
-pub fn verify_covering_nd(
-    coeffs: &BTreeMap<LevelVecN, i64>,
-    floor: u32,
-) -> Option<LevelVecN> {
-    let Some(first) = coeffs.keys().next() else {
-        return None;
-    };
+pub fn verify_covering_nd(coeffs: &BTreeMap<LevelVecN, i64>, floor: u32) -> Option<LevelVecN> {
+    let first = coeffs.keys().next()?;
     let d = first.len();
     // Hull: componentwise ranges floor..=max over support; enumerate and
     // test every point dominated by some support level.
@@ -165,11 +160,7 @@ pub fn verify_covering_nd(
     loop {
         let dominated = coeffs.keys().any(|a| leq(&cursor, a));
         if dominated {
-            let cover: i64 = coeffs
-                .iter()
-                .filter(|(a, _)| leq(&cursor, a))
-                .map(|(_, &c)| c)
-                .sum();
+            let cover: i64 = coeffs.iter().filter(|(a, _)| leq(&cursor, a)).map(|(_, &c)| c).sum();
             if cover != 1 {
                 return Some(cursor);
             }
@@ -243,8 +234,7 @@ pub fn robust_coefficients_nd(
             }
         }
     }
-    let usable =
-        |l: &LevelVecN| !lost.iter().any(|q| q == l) && available.contains(l);
+    let usable = |l: &LevelVecN| !lost.iter().any(|q| q == l) && available.contains(l);
     let mut best = None;
     search(j_set, &usable, &mut best);
     best.map(|(_, c)| c).unwrap_or_default()
@@ -275,19 +265,12 @@ mod tests {
         let nd = LevelSetN::truncated_simplex(2, floor, tau);
         let c_nd = gcp_coefficients_nd(&nd);
 
-        let set2d: LevelSet = nd
-            .iter()
-            .map(|v| LevelPair::new(v[0], v[1]))
-            .collect();
+        let set2d: LevelSet = nd.iter().map(|v| LevelPair::new(v[0], v[1])).collect();
         let c_2d = gcp_coefficients(&set2d);
 
         assert_eq!(c_nd.len(), c_2d.len());
         for (lv, c) in &c_2d {
-            assert_eq!(
-                c_nd.get(&vec![lv.i, lv.j]).copied(),
-                Some(*c as i64),
-                "mismatch at {lv}"
-            );
+            assert_eq!(c_nd.get(&vec![lv.i, lv.j]).copied(), Some(*c as i64), "mismatch at {lv}");
         }
     }
 
@@ -304,16 +287,12 @@ mod tests {
         // Central (non-corner) representatives on each diagonal.
         for q in 0..d {
             let s = tau - q; // |l|1 on this diagonal
-            // Pick l = (a, a, s − 2a) with a in the middle.
+                             // Pick l = (a, a, s − 2a) with a in the middle.
             let a = (s / 3).max(floor + 1);
             let l = vec![a, a, s - 2 * a];
             assert!(l.iter().all(|&x| x > floor), "pick interior point");
             let expect = if q % 2 == 0 { choose(d - 1, q) } else { -choose(d - 1, q) };
-            assert_eq!(
-                c.get(&l).copied().unwrap_or(0),
-                expect,
-                "diagonal q={q} at {l:?}"
-            );
+            assert_eq!(c.get(&l).copied().unwrap_or(0), expect, "diagonal q={q} at {l:?}");
         }
         // Deeper diagonals vanish.
         let deep = vec![3, 3, tau - 6 - 3];

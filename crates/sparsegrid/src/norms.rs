@@ -48,12 +48,7 @@ pub fn linf_error_vs(grid: &Grid2, f: impl Fn(f64, f64) -> f64) -> f64 {
 pub fn l1_grid_diff(a: &Grid2, b: &Grid2) -> f64 {
     assert_eq!(a.level(), b.level(), "l1_grid_diff level mismatch");
     let n = a.values().len();
-    let acc: f64 = a
-        .values()
-        .iter()
-        .zip(b.values())
-        .map(|(x, y)| (x - y).abs())
-        .sum();
+    let acc: f64 = a.values().iter().zip(b.values()).map(|(x, y)| (x - y).abs()).sum();
     acc / n as f64
 }
 

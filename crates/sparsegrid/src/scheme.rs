@@ -120,10 +120,7 @@ impl GridSystem {
                     for k in 0..count.max(0) as usize {
                         grids.push(SubGrid {
                             id: grids.len(),
-                            level: LevelPair::new(
-                                m + k as u32,
-                                n - 1 - layer as u32 - k as u32,
-                            ),
+                            level: LevelPair::new(m + k as u32, n - 1 - layer as u32 - k as u32),
                             role: GridRole::ExtraLayer { layer, k },
                         });
                     }
@@ -208,11 +205,7 @@ impl GridSystem {
     /// IDs of grids that participate in the classical combination
     /// (diagonal + lower diagonal).
     pub fn combination_ids(&self) -> Vec<usize> {
-        self.grids
-            .iter()
-            .filter(|g| self.classical_coefficient(g.id) != 0)
-            .map(|g| g.id)
-            .collect()
+        self.grids.iter().filter(|g| self.classical_coefficient(g.id) != 0).map(|g| g.id).collect()
     }
 
     /// The ID of the grid holding a given role, if present.
@@ -234,12 +227,8 @@ impl GridSystem {
     /// diagonals in the Plain layout, or extra-layer grids).
     pub fn rc_source(&self, id: usize) -> Option<RcSource> {
         match self.grids[id].role {
-            GridRole::Diagonal(k) => {
-                self.id_of_role(GridRole::Duplicate(k)).map(RcSource::Copy)
-            }
-            GridRole::Duplicate(k) => {
-                self.id_of_role(GridRole::Diagonal(k)).map(RcSource::Copy)
-            }
+            GridRole::Diagonal(k) => self.id_of_role(GridRole::Duplicate(k)).map(RcSource::Copy),
+            GridRole::Duplicate(k) => self.id_of_role(GridRole::Diagonal(k)).map(RcSource::Copy),
             GridRole::LowerDiagonal(k) => {
                 // (m+k, n−1−k) is a restriction of diagonal k+1 = (m+k+1, n−1−k)?
                 // No: of the diagonal with the same j, i.e. Diagonal(k+1) has

@@ -1,0 +1,40 @@
+//! Reusable-scratch helpers for hot paths.
+
+/// Make `v` exactly `n` elements long, reusing its allocation.
+///
+/// The widespread `v.clear(); v.resize(n, 0.0)` pattern zero-fills all
+/// `n` elements on *every* call even though the caller immediately
+/// overwrites them; in steady state (`v.len() == n` already) this helper
+/// touches nothing at all. Use it only when every element is written
+/// before being read.
+#[inline]
+pub fn ensure_len<T: Clone + Default>(v: &mut Vec<T>, n: usize) {
+    if v.len() != n {
+        v.clear();
+        v.resize(n, T::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_shrinks_and_reuses() {
+        let mut v: Vec<f64> = Vec::new();
+        ensure_len(&mut v, 4);
+        assert_eq!(v, [0.0; 4]);
+        v.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        // Same length: contents untouched, no reallocation.
+        let ptr = v.as_ptr();
+        ensure_len(&mut v, 4);
+        assert_eq!(v, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.as_ptr(), ptr);
+        // Shrink: fresh zeros at the new length.
+        ensure_len(&mut v, 2);
+        assert_eq!(v, [0.0, 0.0]);
+        // Grow again within capacity: still the same allocation.
+        ensure_len(&mut v, 4);
+        assert_eq!(v.as_ptr(), ptr);
+    }
+}

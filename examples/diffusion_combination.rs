@@ -43,10 +43,7 @@ fn main() {
     let terms: Vec<CombinationTerm> = sys
         .combination_ids()
         .into_iter()
-        .map(|id| CombinationTerm {
-            coeff: sys.classical_coefficient(id) as f64,
-            grid: &grids[id],
-        })
+        .map(|id| CombinationTerm { coeff: sys.classical_coefficient(id) as f64, grid: &grids[id] })
         .collect();
     let combined = combine_onto(sys.min_level(), &terms);
     let baseline = l1_error_vs(&combined, problem.exact_at(t_final));
@@ -55,12 +52,8 @@ fn main() {
     // Lose a middle diagonal grid; recombine robustly over the survivors.
     let lost_id = 1usize;
     let lost = vec![sys.grid(lost_id).level];
-    let surviving: LevelSet = sys
-        .grids()
-        .iter()
-        .filter(|g| g.id != lost_id)
-        .map(|g| g.level)
-        .collect();
+    let surviving: LevelSet =
+        sys.grids().iter().filter(|g| g.id != lost_id).map(|g| g.level).collect();
     let coeffs = robust_coefficients(&sys.classical_downset(), &lost, &surviving);
     println!(
         "grid {lost_id} (level {}) lost -> robust coefficients over {} grids:",
@@ -75,10 +68,7 @@ fn main() {
         .iter()
         .filter(|g| g.id != lost_id)
         .filter_map(|g| {
-            coeffs.get(&g.level).map(|&c| CombinationTerm {
-                coeff: c as f64,
-                grid: &grids[g.id],
-            })
+            coeffs.get(&g.level).map(|&c| CombinationTerm { coeff: c as f64, grid: &grids[g.id] })
         })
         .collect();
     let robust = combine_onto(sys.min_level(), &terms);

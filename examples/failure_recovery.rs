@@ -47,10 +47,7 @@ fn main() {
     report.assert_no_app_errors();
 
     println!("\nrecovery report:");
-    println!(
-        "  failures repaired: {}",
-        report.get_f64(keys::N_FAILED).unwrap()
-    );
+    println!("  failures repaired: {}", report.get_f64(keys::N_FAILED).unwrap());
     println!(
         "  failed-list creation: {:.4} s   communicator reconstruction: {:.4} s",
         report.get_f64(keys::T_LIST).unwrap(),

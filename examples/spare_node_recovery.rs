@@ -35,17 +35,11 @@ fn main() {
     report.assert_no_app_errors();
 
     println!("\nrecovery: {} failures repaired", report.get_f64(keys::N_FAILED).unwrap());
-    println!(
-        "solution error vs analytic: {:.3e}",
-        report.get_f64(keys::ERR_L1).unwrap()
-    );
+    println!("solution error vs analytic: {:.3e}", report.get_f64(keys::ERR_L1).unwrap());
 
     println!("\nvirtual time by operation (top 8, summed over ranks):");
-    let mut rows: Vec<(&str, usize, f64)> = report
-        .op_totals()
-        .into_iter()
-        .map(|(op, (n, t))| (op, n, t))
-        .collect();
+    let mut rows: Vec<(&str, usize, f64)> =
+        report.op_totals().into_iter().map(|(op, (n, t))| (op, n, t)).collect();
     rows.sort_by(|a, b| b.2.total_cmp(&a.2));
     for (op, n, t) in rows.into_iter().take(8) {
         println!("  {op:>16}  x{n:<6}  {t:>10.4} s");

@@ -31,10 +31,9 @@ fn main() {
         let world = layout.world_size();
 
         let launch = |cfg: AppConfig| {
-            let r = run(
-                RunConfig::cluster(ClusterProfile::opl(), world),
-                move |ctx| run_app(&cfg, ctx),
-            );
+            let r = run(RunConfig::cluster(ClusterProfile::opl(), world), move |ctx| {
+                run_app(&cfg, ctx)
+            });
             r.assert_no_app_errors();
             r
         };

@@ -42,8 +42,8 @@ fn main() {
         }
 
         // Survivors: detect + repair (the paper's Fig. 3 protocol).
-        let world = communicator_reconstruct(ctx, Some(world), None, &mut timings)
-            .expect("reconstruct");
+        let world =
+            communicator_reconstruct(ctx, Some(world), None, &mut timings).expect("reconstruct");
         assert_eq!(world.size(), 7, "communicator size must be preserved");
         assert_eq!(world.rank(), original_rank, "rank order must be preserved");
         if world.rank() == 0 {
@@ -58,10 +58,7 @@ fn main() {
         }
         let sum: u64 = world.allreduce_sum(ctx, world.rank() as u64).unwrap();
         assert_eq!(sum, 21);
-        println!(
-            "  [survivor] rank {} confirms the repaired world works",
-            world.rank()
-        );
+        println!("  [survivor] rank {} confirms the repaired world works", world.rank());
     });
     report.assert_no_app_errors();
     println!(

@@ -182,10 +182,7 @@ fn main() {
         );
         println!("  data recovery                        : {:.4} s", g(keys::T_RECOVERY));
     }
-    println!(
-        "processes: {} created, {} failed",
-        report.procs_created, report.procs_failed
-    );
+    println!("processes: {} created, {} failed", report.procs_created, report.procs_failed);
 
     if let Some(path) = &cli.trace_json {
         match ftsg::mpi::write_chrome_trace(&report, path) {
@@ -195,11 +192,8 @@ fn main() {
     }
     if cli.trace {
         println!("\n-- virtual-time by operation (summed over ranks) ---------------");
-        let mut rows: Vec<(&str, usize, f64)> = report
-            .op_totals()
-            .into_iter()
-            .map(|(op, (n, t))| (op, n, t))
-            .collect();
+        let mut rows: Vec<(&str, usize, f64)> =
+            report.op_totals().into_iter().map(|(op, (n, t))| (op, n, t)).collect();
         rows.sort_by(|a, b| b.2.total_cmp(&a.2));
         for (op, n, t) in rows {
             println!("{op:>16}  x{n:<8}  {t:>12.4} s");

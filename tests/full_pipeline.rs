@@ -17,8 +17,7 @@ fn launch(cfg: AppConfig, rc: RunConfig) -> ftsg::mpi::Report {
 fn runs_on_both_paper_clusters() {
     for profile in [ClusterProfile::opl(), ClusterProfile::raijin()] {
         let cfg = AppConfig::small(Technique::CheckpointRestart);
-        let world =
-            ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).world_size();
+        let world = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).world_size();
         let report = launch(cfg, RunConfig::cluster(profile.clone(), world));
         let err = report.get_f64(keys::ERR_L1).unwrap();
         assert!(err.is_finite() && err < 0.05, "{}: err {err}", profile.name);
@@ -48,10 +47,7 @@ fn beta_vs_ideal_model_reconstruction_gap() {
     };
     let beta = time_with(Arc::new(BetaUlfm));
     let ideal = time_with(Arc::new(IdealUlfm::new(ClusterProfile::opl().net)));
-    assert!(
-        beta > 100.0 * ideal,
-        "beta reconstruction ({beta}) must dwarf ideal ({ideal})"
-    );
+    assert!(beta > 100.0 * ideal, "beta reconstruction ({beta}) must dwarf ideal ({ideal})");
 }
 
 #[test]
@@ -61,19 +57,11 @@ fn ac_robust_final_combination_beats_double_interpolation() {
     // multiple of the baseline.
     let base = AppConfig::paper_shaped(Technique::AlternateCombination, 8, 1, 5);
     let world = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale).world_size();
-    let baseline = launch(base.clone(), RunConfig::local(world))
+    let baseline = launch(base.clone(), RunConfig::local(world)).get_f64(keys::ERR_L1).unwrap();
+    let lossy = launch(base.with_simulated_losses(vec![2]), RunConfig::local(world))
         .get_f64(keys::ERR_L1)
         .unwrap();
-    let lossy = launch(
-        base.with_simulated_losses(vec![2]),
-        RunConfig::local(world),
-    )
-    .get_f64(keys::ERR_L1)
-    .unwrap();
-    assert!(
-        lossy < 10.0 * baseline,
-        "single-loss AC error {lossy} vs baseline {baseline}"
-    );
+    assert!(lossy < 10.0 * baseline, "single-loss AC error {lossy} vs baseline {baseline}");
 }
 
 #[test]
@@ -85,17 +73,12 @@ fn losses_of_redundancy_grids_are_harmless() {
         (Technique::AlternateCombination, 7),   // first extra-layer grid
     ] {
         let base = AppConfig::paper_shaped(technique, 7, 1, 4);
-        let world =
-            ProcLayout::new(base.n, base.l, technique.layout(), base.scale).world_size();
-        let baseline = launch(base.clone(), RunConfig::local(world))
-            .get_f64(keys::ERR_L1)
-            .unwrap();
-        let lossy = launch(
-            base.with_simulated_losses(vec![redundant_grid]),
-            RunConfig::local(world),
-        )
-        .get_f64(keys::ERR_L1)
-        .unwrap();
+        let world = ProcLayout::new(base.n, base.l, technique.layout(), base.scale).world_size();
+        let baseline = launch(base.clone(), RunConfig::local(world)).get_f64(keys::ERR_L1).unwrap();
+        let lossy =
+            launch(base.with_simulated_losses(vec![redundant_grid]), RunConfig::local(world))
+                .get_f64(keys::ERR_L1)
+                .unwrap();
         assert!(
             (lossy - baseline).abs() < 1e-15,
             "{technique:?}: redundancy-grid loss changed the error ({baseline} -> {lossy})"
@@ -112,10 +95,7 @@ fn failure_at_larger_scale_with_multirank_groups() {
     let layout = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
     let g2 = layout.group(2);
     assert!(g2.size >= 4);
-    let cfg = base.with_plan(FaultPlan::new(vec![
-        (g2.first + 1, steps),
-        (g2.first + 3, steps),
-    ]));
+    let cfg = base.with_plan(FaultPlan::new(vec![(g2.first + 1, steps), (g2.first + 3, steps)]));
     let report = launch(cfg, RunConfig::local(layout.world_size()));
     assert_eq!(report.get_f64(keys::N_FAILED), Some(2.0));
     let err = report.get_f64(keys::ERR_L1).unwrap();
@@ -129,9 +109,8 @@ fn midrun_kill_breaks_group_then_recovers() {
     let base = AppConfig::paper_shaped(Technique::AlternateCombination, 7, 2, 5);
     let layout = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
     let victim = layout.group(3).first + 1;
-    let baseline = launch(base.clone(), RunConfig::local(layout.world_size()))
-        .get_f64(keys::ERR_L1)
-        .unwrap();
+    let baseline =
+        launch(base.clone(), RunConfig::local(layout.world_size())).get_f64(keys::ERR_L1).unwrap();
     let cfg = base.with_plan(FaultPlan::single(victim, 7)); // mid-run
     let report = launch(cfg, RunConfig::local(layout.world_size()));
     assert_eq!(report.get_f64(keys::N_FAILED), Some(1.0));

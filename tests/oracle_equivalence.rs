@@ -42,17 +42,12 @@ fn app_error(cfg: AppConfig) -> f64 {
 #[test]
 fn healthy_run_matches_serial_oracle() {
     let cfg = AppConfig::paper_shaped(Technique::CheckpointRestart, 7, 1, 5);
-    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale)
-        .system()
-        .clone();
+    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).system().clone();
     let grids = serial_grids(&cfg);
     let terms: Vec<CombinationTerm> = sys
         .combination_ids()
         .into_iter()
-        .map(|id| CombinationTerm {
-            coeff: sys.classical_coefficient(id) as f64,
-            grid: &grids[id],
-        })
+        .map(|id| CombinationTerm { coeff: sys.classical_coefficient(id) as f64, grid: &grids[id] })
         .collect();
     let combined = combine_onto(sys.min_level(), &terms);
     let tg = TimeGrid::for_system(&cfg.problem, cfg.n, cfg.steps(), 0.4);
@@ -73,9 +68,7 @@ fn rc_simulated_losses_match_serial_oracle() {
     let lost = vec![2usize, 4usize];
     let cfg = AppConfig::paper_shaped(Technique::ResamplingCopying, 7, 1, 5)
         .with_simulated_losses(lost.clone());
-    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale)
-        .system()
-        .clone();
+    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).system().clone();
     let grids = serial_grids(&cfg);
 
     // Apply the RC recovery rules.
@@ -83,9 +76,7 @@ fn rc_simulated_losses_match_serial_oracle() {
     for &b in &lost {
         match sys.rc_source(b).expect("RC source exists") {
             RcSource::Copy(src) => recovered[b] = grids[src].clone(),
-            RcSource::Resample(src) => {
-                recovered[b] = grids[src].restrict_to(sys.grid(b).level)
-            }
+            RcSource::Resample(src) => recovered[b] = grids[src].restrict_to(sys.grid(b).level),
         }
     }
     let terms: Vec<CombinationTerm> = sys
@@ -114,28 +105,19 @@ fn ac_simulated_losses_match_serial_oracle() {
     let lost = vec![1usize, 5usize];
     let cfg = AppConfig::paper_shaped(Technique::AlternateCombination, 7, 1, 5)
         .with_simulated_losses(lost.clone());
-    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale)
-        .system()
-        .clone();
+    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).system().clone();
     let grids = serial_grids(&cfg);
 
     let lost_levels: Vec<_> = lost.iter().map(|&b| sys.grid(b).level).collect();
-    let surviving: LevelSet = sys
-        .grids()
-        .iter()
-        .filter(|g| !lost.contains(&g.id))
-        .map(|g| g.level)
-        .collect();
+    let surviving: LevelSet =
+        sys.grids().iter().filter(|g| !lost.contains(&g.id)).map(|g| g.level).collect();
     let coeffs = robust_coefficients(&sys.classical_downset(), &lost_levels, &surviving);
     let terms: Vec<CombinationTerm> = sys
         .grids()
         .iter()
         .filter(|g| !lost.contains(&g.id))
         .filter_map(|g| {
-            coeffs.get(&g.level).map(|&c| CombinationTerm {
-                coeff: c as f64,
-                grid: &grids[g.id],
-            })
+            coeffs.get(&g.level).map(|&c| CombinationTerm { coeff: c as f64, grid: &grids[g.id] })
         })
         .filter(|t| t.coeff != 0.0)
         .collect();
@@ -156,17 +138,12 @@ fn cr_real_failure_matches_healthy_oracle() {
     // Checkpoint/Restart with a real mid-run kill is *exact*: the final
     // error must equal the healthy serial oracle.
     let cfg = AppConfig::paper_shaped(Technique::CheckpointRestart, 7, 1, 5);
-    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale)
-        .system()
-        .clone();
+    let sys = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).system().clone();
     let grids = serial_grids(&cfg);
     let terms: Vec<CombinationTerm> = sys
         .combination_ids()
         .into_iter()
-        .map(|id| CombinationTerm {
-            coeff: sys.classical_coefficient(id) as f64,
-            grid: &grids[id],
-        })
+        .map(|id| CombinationTerm { coeff: sys.classical_coefficient(id) as f64, grid: &grids[id] })
         .collect();
     let combined = combine_onto(sys.min_level(), &terms);
     let tg = TimeGrid::for_system(&cfg.problem, cfg.n, cfg.steps(), 0.4);

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `bytes` crate, providing the subset of the API
+//! this workspace uses: [`Bytes`] (a cheaply cloneable, sliceable,
+//! reference-counted byte buffer) and [`BytesMut`] (a growable builder that
+//! freezes into `Bytes`).
+//!
+//! Semantics match upstream `bytes` for the covered surface:
+//!
+//! * `Bytes::clone` is O(1) and shares the underlying allocation;
+//! * `Bytes::slice` is a zero-copy view;
+//! * `BytesMut::freeze` is zero-copy (the vector is moved, not copied);
+//! * `BytesMut::try_from(Bytes)` recovers the unique allocation for reuse
+//!   (errors when the buffer is shared), which is what the runtime's
+//!   payload pool is built on.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, reference-counted byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wrap a static byte string without copying.
+    pub fn from_static(b: &'static [u8]) -> Self {
+        // The shim backs everything with an Arc<Vec<u8>>; one copy at
+        // construction keeps the representation uniform.
+        Bytes::from(b.to_vec())
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        Bytes::from(b.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zero-copy sub-view of the buffer.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice out of range");
+        Bytes { data: Arc::clone(&self.data), off: self.off + start, len: end - start }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes { data: Arc::new(v), off: 0, len }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Default, Debug)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    /// Append bytes.
+    pub fn extend_from_slice(&mut self, b: &[u8]) {
+        self.vec.extend_from_slice(b);
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Clear contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Convert into an immutable `Bytes` without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Recover the unique allocation of a `Bytes` for reuse. Errors (returning
+/// the `Bytes` unchanged) when the buffer is shared or is a sub-slice of a
+/// larger allocation.
+impl TryFrom<Bytes> for BytesMut {
+    type Error = Bytes;
+    fn try_from(b: Bytes) -> Result<Self, Bytes> {
+        if b.off != 0 || b.len != b.data.len() {
+            return Err(b);
+        }
+        match Arc::try_unwrap(b.data) {
+            Ok(mut vec) => {
+                vec.clear();
+                Ok(BytesMut { vec })
+            }
+            Err(data) => Err(Bytes { off: b.off, len: b.len, data }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_and_slice() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(&[1, 2, 3, 4]);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn clone_is_shared() {
+        let b = Bytes::from(vec![9u8; 100]);
+        let c = b.clone();
+        assert_eq!(&b[..], &c[..]);
+    }
+
+    #[test]
+    fn try_from_unique_recovers_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let m = BytesMut::try_from(b).expect("unique");
+        assert_eq!(m.len(), 0);
+        assert!(m.capacity() >= 3);
+    }
+
+    #[test]
+    fn try_from_shared_fails() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert!(BytesMut::try_from(b).is_err());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn try_from_subslice_fails() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let s = b.slice(1..2);
+        drop(b);
+        assert!(BytesMut::try_from(s).is_err());
+    }
+}

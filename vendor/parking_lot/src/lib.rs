@@ -1,0 +1,147 @@
+//! Offline stand-in for `parking_lot`, wrapping `std::sync` primitives in
+//! the `parking_lot` API shape this workspace uses: non-poisoning
+//! [`Mutex::lock`] (returns the guard directly, not a `Result`) and
+//! [`Condvar::wait_for`] taking the guard by `&mut`.
+
+use std::sync::{self, MutexGuard as StdGuard};
+use std::time::Duration;
+
+/// A mutex whose `lock` never returns a poison error (matching
+/// `parking_lot` semantics: a panic while holding the lock simply releases
+/// it).
+#[derive(Default, Debug)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    guard: StdGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// New mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => MutexGuard { guard: g },
+            Err(p) => MutexGuard { guard: p.into_inner() },
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Did the wait end by timeout (rather than a notification)?
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with the `parking_lot` calling convention (the
+/// guard is passed by `&mut` and re-acquired in place).
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Block until notified or `timeout` elapses. Spurious wakeups are
+    /// possible, exactly as with `parking_lot`.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> WaitTimeoutResult {
+        // Temporarily move the std guard out to satisfy the wait signature;
+        // replace it with the re-acquired one. The dance relies on
+        // `wait_timeout` consuming and returning the guard.
+        unsafe {
+            let g = std::ptr::read(&guard.guard);
+            match self.inner.wait_timeout(g, timeout) {
+                Ok((g2, to)) => {
+                    std::ptr::write(&mut guard.guard, g2);
+                    WaitTimeoutResult { timed_out: to.timed_out() }
+                }
+                Err(p) => {
+                    let (g2, to) = p.into_inner();
+                    std::ptr::write(&mut guard.guard, g2);
+                    WaitTimeoutResult { timed_out: to.timed_out() }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait_for(&mut g, Duration::from_millis(100));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
+    }
+}
