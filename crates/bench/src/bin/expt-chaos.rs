@@ -1,0 +1,137 @@
+//! `expt-chaos` — deterministic fault-injection campaign with invariant
+//! oracles and failing-case minimization (see `ftsg_bench::chaos`).
+//!
+//! ```text
+//! expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage]
+//!            [--json PATH] [--repro SPEC]
+//! ```
+//!
+//! Exit code 0 when every examined case satisfies all oracles, 1 when any
+//! violation was found (the minimized repro specs are printed and, with
+//! `--json`, written alongside the full report).
+
+use std::time::Duration;
+
+use ftsg_bench::chaos::{
+    self, CampaignOpts, CaseRecord, DEFAULT_BUDGET, DEFAULT_SEED, DEFAULT_STALL_SECS,
+};
+
+struct Cli {
+    opts: CampaignOpts,
+    json: Option<String>,
+    repro: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage] \
+             [--json PATH] [--repro SPEC]"
+        );
+        std::process::exit(2);
+    };
+    let mut cli = Cli {
+        opts: CampaignOpts {
+            budget: DEFAULT_BUDGET,
+            seed: DEFAULT_SEED,
+            sabotage: false,
+            stall: Duration::from_secs(DEFAULT_STALL_SECS),
+        },
+        json: None,
+        repro: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--budget" => cli.opts.budget = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cli.opts.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--stall-secs" => {
+                cli.opts.stall =
+                    Duration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--sabotage" => cli.opts.sabotage = true,
+            "--json" => cli.json = Some(take(&mut i)),
+            "--repro" => cli.repro = Some(take(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn print_record(i: usize, r: &CaseRecord) {
+    let verdict = if r.violations.is_empty() { "ok" } else { "VIOLATION" };
+    println!(
+        "[{i:>4}] {verdict:<9} {:<4} {:<8} failed={} {}",
+        r.technique, r.kind, r.procs_failed, r.spec
+    );
+    for v in &r.violations {
+        println!("        {}: {}", v.oracle, v.detail);
+    }
+    if let Some(s) = &r.shrunk_spec {
+        println!("        minimized to {} failure(s): {s}", r.shrunk_n_failures.unwrap_or(0));
+    }
+}
+
+fn main() {
+    let cli = parse_args();
+
+    if let Some(spec) = &cli.repro {
+        match chaos::replay(spec, &cli.opts) {
+            Ok(record) => {
+                print_record(0, &record);
+                std::process::exit(if record.violations.is_empty() { 0 } else { 1 });
+            }
+            Err(e) => {
+                eprintln!("expt-chaos: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "chaos campaign: budget={} seed={} sabotage={} stall={}s",
+        cli.opts.budget,
+        cli.opts.seed,
+        cli.opts.sabotage,
+        cli.opts.stall.as_secs()
+    );
+    let report = chaos::run_campaign_with(&cli.opts, |i, r| {
+        if !r.violations.is_empty() {
+            print_record(i, r);
+        }
+    });
+
+    println!();
+    println!("coverage (technique x site kind):");
+    let cov = report.coverage();
+    let mut keys: Vec<_> = cov.keys().collect();
+    keys.sort();
+    for k in keys {
+        println!("  {:<4} {:<8} {:>4} cases", k.0, k.1, cov[k]);
+    }
+    println!(
+        "\nexamined {} cases ({} baseline runs, {} shrink runs): {} violating",
+        report.cases.len(),
+        report.baseline_runs,
+        report.shrink_runs,
+        report.n_violating()
+    );
+    for line in report.repro_lines() {
+        println!("  {line}");
+    }
+
+    if let Some(path) = &cli.json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("expt-chaos: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("report written to {path}");
+    }
+    std::process::exit(if report.n_violating() == 0 { 0 } else { 1 });
+}

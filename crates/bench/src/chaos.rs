@@ -1,0 +1,863 @@
+//! Deterministic fault-injection campaigns with invariant oracles and
+//! failing-case minimization (the `expt-chaos` engine).
+//!
+//! A *campaign* samples `budget` cases from a seeded RNG, cycling through
+//! the four techniques and the three fault-site kinds (step boundary,
+//! operation site, during recovery), runs each case **in-process** on the
+//! simulated runtime, and checks four invariant oracles against a cached
+//! no-failure baseline of the same shape:
+//!
+//! * **O1 — completion.** The run finishes with no application errors and
+//!   a reported error value. Deadlocks cannot hang the campaign: the
+//!   runtime's bounded stall watchdog turns a wedged collective into a
+//!   `CollectiveMismatch` application error, and the virtual-time budget
+//!   (O4) catches livelock.
+//! * **O2 — placement.** The final rank→host and rank→grid maps equal the
+//!   no-failure run's: reconstruction restored the original rank order
+//!   and the paper's same-host load balance.
+//! * **O3 — error envelope.** The combined-solution l1 error is within
+//!   the technique's envelope vs baseline: Checkpoint/Restart and Buddy
+//!   recomputation must be **bitwise identical**; Resampling-and-Copying
+//!   and Alternate Combination must stay within a constant factor (the
+//!   Fig. 10 robustness claim). A case whose sites never fired must match
+//!   the baseline bitwise for every technique.
+//! * **O4 — virtual-time budget.** The makespan stays within a generous
+//!   multiple of the baseline: recovery may be expensive, but never
+//!   unbounded.
+//!
+//! Failing cases are shrunk greedily — drop failures one at a time, halve
+//! the step count, reduce the combination level — re-running the oracles
+//! after each candidate reduction, and emitted as one-line repro specs
+//! (`CR/n6l3s1k5c2/3@step:16+5@op:gather:1`) that `expt-chaos --repro`
+//! replays exactly.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use ftsg_core::app::keys;
+use ftsg_core::{run_app, AppConfig, ProcLayout, Technique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ulfm_sim::{run, FaultPlan, FaultSite, OpClass, RunConfig};
+
+/// Default campaign size (`--budget`).
+pub const DEFAULT_BUDGET: usize = 200;
+/// Default campaign seed (`--seed`).
+pub const DEFAULT_SEED: u64 = 1;
+/// Default per-run stall watchdog (`--stall-secs`).
+pub const DEFAULT_STALL_SECS: u64 = 30;
+
+/// RC/AC error envelope: recovered-run l1 error must stay within this
+/// factor of the no-failure baseline (generous multi-failure version of
+/// the paper's Fig. 10 single-failure factor-10 observation).
+pub const APPROX_ENVELOPE: f64 = 64.0;
+/// O4: makespan must stay under `base * MAKESPAN_FACTOR + MAKESPAN_SLACK`
+/// virtual seconds.
+pub const MAKESPAN_FACTOR: f64 = 50.0;
+/// See [`MAKESPAN_FACTOR`].
+pub const MAKESPAN_SLACK: f64 = 1e4;
+
+/// The four techniques in campaign rotation order (the paper's three plus
+/// the Buddy Checkpoint extension).
+pub const TECHNIQUES: [Technique; 4] = [
+    Technique::CheckpointRestart,
+    Technique::ResamplingCopying,
+    Technique::AlternateCombination,
+    Technique::BuddyCheckpoint,
+];
+
+/// The three fault-site kinds in campaign rotation order.
+pub const SITE_KINDS: [&str; 3] = ["step", "op", "recovery"];
+
+/// Structural shape of a case (problem size + schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CaseShape {
+    pub n: u32,
+    pub l: u32,
+    pub scale: usize,
+    pub log2_steps: u32,
+    pub checkpoints: u32,
+}
+
+impl CaseShape {
+    /// The campaign's default laptop-scale shape.
+    pub fn small() -> Self {
+        CaseShape { n: 6, l: 3, scale: 1, log2_steps: 5, checkpoints: 2 }
+    }
+
+    /// Number of solver timesteps.
+    pub fn steps(&self) -> u64 {
+        1u64 << self.log2_steps
+    }
+
+    fn spec(&self) -> String {
+        format!("n{}l{}s{}k{}c{}", self.n, self.l, self.scale, self.log2_steps, self.checkpoints)
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        let err = || format!("bad shape spec {s:?} (want e.g. n6l3s1k5c2)");
+        let mut vals = [0u64; 5];
+        let mut rest = s;
+        for (i, tag) in ["n", "l", "s", "k", "c"].iter().enumerate() {
+            rest = rest.strip_prefix(tag).ok_or_else(err)?;
+            let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+            vals[i] = rest[..end].parse().map_err(|_| err())?;
+            rest = &rest[end..];
+        }
+        if !rest.is_empty() {
+            return Err(err());
+        }
+        Ok(CaseShape {
+            n: vals[0] as u32,
+            l: vals[1] as u32,
+            scale: vals[2] as usize,
+            log2_steps: vals[3] as u32,
+            checkpoints: vals[4] as u32,
+        })
+    }
+}
+
+/// One fault-injection case: a technique, a shape, and a victim list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosCase {
+    pub technique: Technique,
+    pub shape: CaseShape,
+    pub victims: Vec<(usize, FaultSite)>,
+}
+
+fn site_spec(site: &FaultSite) -> String {
+    match site {
+        FaultSite::Step(s) => format!("step:{s}"),
+        FaultSite::Op { kind, nth } => format!("op:{}:{}", kind.name(), nth),
+        FaultSite::DuringRecovery { nth } => format!("rec:{nth}"),
+    }
+}
+
+fn parse_site(s: &str) -> Result<FaultSite, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let bad = || format!("bad site spec {s:?}");
+    match parts.as_slice() {
+        ["step", n] => Ok(FaultSite::Step(n.parse().map_err(|_| bad())?)),
+        ["op", kind, nth] => Ok(FaultSite::Op {
+            kind: OpClass::from_name(kind).ok_or_else(bad)?,
+            nth: nth.parse().map_err(|_| bad())?,
+        }),
+        ["rec", nth] => Ok(FaultSite::DuringRecovery { nth: nth.parse().map_err(|_| bad())? }),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_technique(s: &str) -> Result<Technique, String> {
+    TECHNIQUES
+        .iter()
+        .copied()
+        .find(|t| t.label() == s)
+        .ok_or_else(|| format!("unknown technique {s:?} (want CR, RC, AC, or BC)"))
+}
+
+impl ChaosCase {
+    /// One-line repro spec, e.g. `CR/n6l3s1k5c2/3@step:16+5@op:gather:1`.
+    pub fn spec(&self) -> String {
+        let victims: Vec<String> =
+            self.victims.iter().map(|(r, s)| format!("{r}@{}", site_spec(s))).collect();
+        format!("{}/{}/{}", self.technique.label(), self.shape.spec(), victims.join("+"))
+    }
+
+    /// Parse a spec produced by [`ChaosCase::spec`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split('/').collect();
+        let [tech, shape, victims] = parts.as_slice() else {
+            return Err(format!("bad case spec {spec:?} (want TECH/SHAPE/VICTIMS)"));
+        };
+        let technique = parse_technique(tech)?;
+        let shape = CaseShape::parse(shape)?;
+        let mut vs = Vec::new();
+        for v in victims.split('+') {
+            let (rank, site) = v.split_once('@').ok_or_else(|| format!("bad victim spec {v:?}"))?;
+            let rank: usize = rank.parse().map_err(|_| format!("bad victim rank in {v:?}"))?;
+            vs.push((rank, parse_site(site)?));
+        }
+        Ok(ChaosCase { technique, shape, victims: vs })
+    }
+
+    /// The dominant site kind of this case (`recovery` > `op` > `step`),
+    /// used for coverage accounting.
+    pub fn kind(&self) -> &'static str {
+        let mut kind = "step";
+        for (_, site) in &self.victims {
+            match site {
+                FaultSite::DuringRecovery { .. } => return "recovery",
+                FaultSite::Op { kind: k, .. } => {
+                    // Shrink/spawn/merge/agree ops only happen while
+                    // repairing an earlier failure.
+                    if matches!(
+                        k,
+                        OpClass::Shrink | OpClass::Spawn | OpClass::Merge | OpClass::Agree
+                    ) {
+                        return "recovery";
+                    }
+                    kind = "op";
+                }
+                FaultSite::Step(_) => {}
+            }
+        }
+        kind
+    }
+
+    fn layout(&self) -> ProcLayout {
+        ProcLayout::new(self.shape.n, self.shape.l, self.technique.layout(), self.shape.scale)
+    }
+
+    fn app_config(&self, plan: FaultPlan) -> AppConfig {
+        let mut cfg = AppConfig::small(self.technique);
+        cfg.n = self.shape.n;
+        cfg.l = self.shape.l;
+        cfg.scale = self.shape.scale;
+        cfg.log2_steps = self.shape.log2_steps;
+        cfg.checkpoints = self.shape.checkpoints;
+        cfg.plan = plan;
+        cfg
+    }
+
+    /// Are the victims admissible for this shape? (In range, not rank 0,
+    /// distinct, and not breaking the RC conflict constraint.)
+    pub fn victims_valid(&self) -> bool {
+        let layout = self.layout();
+        let world = layout.world_size();
+        let ranks: Vec<usize> = self.victims.iter().map(|&(r, _)| r).collect();
+        let distinct = ranks.iter().collect::<std::collections::BTreeSet<_>>().len() == ranks.len();
+        distinct
+            && ranks.iter().all(|&r| r != 0 && r < world)
+            && !(self.technique == Technique::ResamplingCopying && violates_rc(&layout, &ranks))
+    }
+}
+
+fn violates_rc(layout: &ProcLayout, victims: &[usize]) -> bool {
+    let broken = layout.broken_grids(victims);
+    layout.system().rc_conflicts().iter().any(|&(a, b)| broken.contains(&a) && broken.contains(&b))
+}
+
+/// What one run produced, as the oracles see it.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    pub app_errors: Vec<String>,
+    pub err: Option<f64>,
+    pub n_failed: Option<f64>,
+    pub procs_failed: usize,
+    pub makespan: f64,
+    pub rank_hosts: Vec<f64>,
+    pub rank_grids: Vec<f64>,
+}
+
+/// Run one case (or, with [`FaultPlan::none`], its baseline) in-process.
+pub fn run_case(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -> CaseResult {
+    let cfg = case.app_config(plan);
+    let world = case.layout().world_size();
+    let mut rc = RunConfig::local(world).with_seed(seed);
+    rc.stall_timeout = stall;
+    let report = run(rc, move |ctx| run_app(&cfg, ctx));
+    CaseResult {
+        app_errors: report.app_errors.clone(),
+        err: report.get_f64(keys::ERR_L1),
+        n_failed: report.get_f64(keys::N_FAILED),
+        procs_failed: report.procs_failed,
+        makespan: report.makespan,
+        rank_hosts: report.get_list(keys::RANK_HOSTS).unwrap_or_default().to_vec(),
+        rank_grids: report.get_list(keys::RANK_GRIDS).unwrap_or_default().to_vec(),
+    }
+}
+
+/// No-failure reference run for one `(technique, shape)`.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    pub err: f64,
+    pub makespan: f64,
+    pub rank_hosts: Vec<f64>,
+    pub rank_grids: Vec<f64>,
+}
+
+/// Memoized baselines: shrinking re-runs cases at reduced shapes, so each
+/// `(technique, shape)` baseline is computed once per campaign.
+pub struct BaselineCache {
+    seed: u64,
+    stall: Duration,
+    map: HashMap<(&'static str, CaseShape), Baseline>,
+    /// Baseline runs performed (for the campaign report).
+    pub runs: usize,
+}
+
+impl BaselineCache {
+    pub fn new(seed: u64, stall: Duration) -> Self {
+        BaselineCache { seed, stall, map: HashMap::new(), runs: 0 }
+    }
+
+    pub fn get(&mut self, case: &ChaosCase) -> &Baseline {
+        let key = (case.technique.label(), case.shape);
+        if !self.map.contains_key(&key) {
+            let res = run_case(case, FaultPlan::none(), self.seed, self.stall);
+            assert!(
+                res.app_errors.is_empty(),
+                "baseline run {}/{} must be healthy: {:?}",
+                key.0,
+                case.shape.spec(),
+                res.app_errors
+            );
+            let base = Baseline {
+                err: res.err.expect("healthy baseline reports err_l1"),
+                makespan: res.makespan,
+                rank_hosts: res.rank_hosts,
+                rank_grids: res.rank_grids,
+            };
+            self.runs += 1;
+            self.map.insert(key, base);
+        }
+        &self.map[&key]
+    }
+}
+
+/// One oracle violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub oracle: &'static str,
+    pub detail: String,
+}
+
+/// Check the four invariant oracles for one case result. `sabotage`
+/// deliberately tightens O3 to bitwise equality for the approximate
+/// techniques — a knob that *must* produce violations, used to prove the
+/// detection + shrinking pipeline works end to end.
+pub fn check_oracles(
+    case: &ChaosCase,
+    res: &CaseResult,
+    base: &Baseline,
+    sabotage: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // O1: the run completed cleanly. Everything else is meaningless if
+    // it did not, so report and stop.
+    if !res.app_errors.is_empty() {
+        out.push(Violation {
+            oracle: "O1-completion",
+            detail: format!("application errors: {:?}", res.app_errors),
+        });
+        return out;
+    }
+    let Some(err) = res.err else {
+        out.push(Violation {
+            oracle: "O1-completion",
+            detail: "no err_l1 reported (controller never reached the combination)".into(),
+        });
+        return out;
+    };
+    if !err.is_finite() {
+        out.push(Violation { oracle: "O3-error", detail: format!("non-finite l1 error {err}") });
+    }
+    // O2: recovery restored the paper's rank order and host placement.
+    if res.rank_hosts != base.rank_hosts {
+        out.push(Violation {
+            oracle: "O2-placement",
+            detail: format!(
+                "rank→host map diverged: {:?} vs baseline {:?}",
+                res.rank_hosts, base.rank_hosts
+            ),
+        });
+    }
+    if res.rank_grids != base.rank_grids {
+        out.push(Violation {
+            oracle: "O2-placement",
+            detail: format!(
+                "rank→grid map diverged: {:?} vs baseline {:?}",
+                res.rank_grids, base.rank_grids
+            ),
+        });
+    }
+    // O3: per-technique error envelope vs the no-failure baseline.
+    let bitwise = err.to_bits() == base.err.to_bits();
+    if res.procs_failed == 0 {
+        // No site fired (vacuous case): the run *is* the baseline.
+        if !bitwise {
+            out.push(Violation {
+                oracle: "O3-error",
+                detail: format!("no process failed, yet err {err} != baseline {}", base.err),
+            });
+        }
+        if res.n_failed != Some(0.0) {
+            out.push(Violation {
+                oracle: "O3-error",
+                detail: format!("no process failed, yet n_failed = {:?}", res.n_failed),
+            });
+        }
+    } else {
+        let exact =
+            matches!(case.technique, Technique::CheckpointRestart | Technique::BuddyCheckpoint);
+        if exact || sabotage {
+            if !bitwise {
+                out.push(Violation {
+                    oracle: "O3-error",
+                    detail: format!(
+                        "{} recomputation must be bitwise-exact: err {err:e} vs baseline {:e}",
+                        case.technique.label(),
+                        base.err
+                    ),
+                });
+            }
+        } else if err > APPROX_ENVELOPE * base.err {
+            out.push(Violation {
+                oracle: "O3-error",
+                detail: format!(
+                    "{} error {err:e} exceeds {APPROX_ENVELOPE}x baseline {:e}",
+                    case.technique.label(),
+                    base.err
+                ),
+            });
+        }
+    }
+    // O4: bounded virtual time (livelock watchdog).
+    let cap = base.makespan * MAKESPAN_FACTOR + MAKESPAN_SLACK;
+    if res.makespan > cap {
+        out.push(Violation {
+            oracle: "O4-time",
+            detail: format!(
+                "virtual makespan {:.1}s exceeds budget {:.1}s (baseline {:.1}s)",
+                res.makespan, cap, base.makespan
+            ),
+        });
+    }
+    out
+}
+
+/// Campaign options.
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    pub budget: usize,
+    pub seed: u64,
+    pub sabotage: bool,
+    pub stall: Duration,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        CampaignOpts {
+            budget: DEFAULT_BUDGET,
+            seed: DEFAULT_SEED,
+            sabotage: false,
+            stall: Duration::from_secs(DEFAULT_STALL_SECS),
+        }
+    }
+}
+
+/// One examined case in the campaign report.
+#[derive(Debug, Clone)]
+pub struct CaseRecord {
+    pub spec: String,
+    pub technique: &'static str,
+    pub kind: &'static str,
+    pub procs_failed: usize,
+    pub violations: Vec<Violation>,
+    /// Minimized failing spec (only when `violations` is non-empty).
+    pub shrunk_spec: Option<String>,
+    pub shrunk_n_failures: Option<usize>,
+}
+
+/// Whole-campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    pub seed: u64,
+    pub budget: usize,
+    pub sabotage: bool,
+    pub cases: Vec<CaseRecord>,
+    pub baseline_runs: usize,
+    pub shrink_runs: usize,
+}
+
+impl CampaignReport {
+    pub fn n_violating(&self) -> usize {
+        self.cases.iter().filter(|c| !c.violations.is_empty()).count()
+    }
+
+    /// `(technique label, kind) -> examined case count`.
+    pub fn coverage(&self) -> HashMap<(&'static str, &'static str), usize> {
+        let mut m = HashMap::new();
+        for c in &self.cases {
+            *m.entry((c.technique, c.kind)).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// One-line repro commands for every violating case (minimized spec).
+    pub fn repro_lines(&self) -> Vec<String> {
+        self.cases
+            .iter()
+            .filter(|c| !c.violations.is_empty())
+            .map(|c| {
+                format!(
+                    "cargo run -p ftsg-bench --bin expt-chaos -- --repro '{}'  # {}",
+                    c.shrunk_spec.as_deref().unwrap_or(&c.spec),
+                    c.violations[0].oracle
+                )
+            })
+            .collect()
+    }
+
+    /// Hand-rolled JSON serialization (the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        }
+        let mut cases = Vec::new();
+        for c in &self.cases {
+            let viols: Vec<String> = c
+                .violations
+                .iter()
+                .map(|v| {
+                    format!(r#"{{"oracle":"{}","detail":"{}"}}"#, esc(v.oracle), esc(&v.detail))
+                })
+                .collect();
+            let shrunk = match &c.shrunk_spec {
+                Some(s) => format!(r#""{}""#, esc(s)),
+                None => "null".into(),
+            };
+            cases.push(format!(
+                r#"{{"spec":"{}","technique":"{}","kind":"{}","procs_failed":{},"violations":[{}],"shrunk_spec":{},"shrunk_n_failures":{}}}"#,
+                esc(&c.spec),
+                c.technique,
+                c.kind,
+                c.procs_failed,
+                viols.join(","),
+                shrunk,
+                c.shrunk_n_failures.map_or("null".into(), |n| n.to_string()),
+            ));
+        }
+        format!(
+            r#"{{"seed":{},"budget":{},"sabotage":{},"examined":{},"violating":{},"baseline_runs":{},"shrink_runs":{},"cases":[{}]}}"#,
+            self.seed,
+            self.budget,
+            self.sabotage,
+            self.cases.len(),
+            self.n_violating(),
+            self.baseline_runs,
+            self.shrink_runs,
+            cases.join(",")
+        )
+    }
+}
+
+/// Sample distinct victim ranks (never 0), respecting RC conflicts.
+fn sample_ranks(
+    rng: &mut StdRng,
+    layout: &ProcLayout,
+    technique: Technique,
+    count: usize,
+) -> Vec<usize> {
+    let world = layout.world_size();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut guard = 0;
+    while chosen.len() < count {
+        guard += 1;
+        assert!(guard < 10_000, "could not sample {count} victims in world {world}");
+        let r = rng.gen_range(1..world);
+        if chosen.contains(&r) {
+            continue;
+        }
+        if technique == Technique::ResamplingCopying {
+            let mut attempt = chosen.clone();
+            attempt.push(r);
+            if violates_rc(layout, &attempt) {
+                continue;
+            }
+        }
+        chosen.push(r);
+    }
+    chosen
+}
+
+/// Sample one case of the requested site kind.
+pub fn sample_case(
+    rng: &mut StdRng,
+    technique: Technique,
+    kind: &str,
+    shape: CaseShape,
+) -> ChaosCase {
+    let mut case = ChaosCase { technique, shape, victims: Vec::new() };
+    let layout = case.layout();
+    let steps = shape.steps();
+    let step_site = |rng: &mut StdRng| FaultSite::Step(rng.gen_range(1..=steps));
+    match kind {
+        "step" => {
+            // 1–3 plain step-boundary kills.
+            let n = 1 + rng.gen_range(0..3usize);
+            let ranks = sample_ranks(rng, &layout, technique, n);
+            case.victims = ranks.into_iter().map(|r| (r, step_site(rng))).collect();
+        }
+        "op" => {
+            // One mid-operation kill, sometimes with a step kill alongside.
+            let extra = rng.gen_bool(0.5);
+            let ranks = sample_ranks(rng, &layout, technique, 1 + extra as usize);
+            let site = if technique == Technique::CheckpointRestart && rng.gen_bool(0.25) {
+                // Mid-checkpoint-write kill: only group roots write, so
+                // redirect the victim to a non-controller root.
+                FaultSite::Op { kind: OpClass::CkptWrite, nth: rng.gen_range(0..2) }
+            } else {
+                let (class, max_nth) = match rng.gen_range(0..3) {
+                    0 => {
+                        (OpClass::Barrier, if technique.has_periodic_protection() { 3 } else { 1 })
+                    }
+                    1 => (OpClass::Gather, if technique.has_periodic_protection() { 3 } else { 1 }),
+                    _ => (OpClass::Allreduce, 4),
+                };
+                FaultSite::Op { kind: class, nth: rng.gen_range(0..max_nth) }
+            };
+            let victim = if matches!(site, FaultSite::Op { kind: OpClass::CkptWrite, .. }) {
+                // A root other than rank 0 (grid 0's root is the
+                // controller, which never dies).
+                let g = rng.gen_range(1..layout.system().n_grids());
+                layout.root_of(g)
+            } else {
+                ranks[0]
+            };
+            case.victims.push((victim, site));
+            if extra && ranks[1] != victim {
+                case.victims.push((ranks[1], step_site(rng)));
+            }
+        }
+        "recovery" => {
+            // A primary step kill plus a second failure striking *during
+            // the recovery of the first* — mid-shrink, mid-spawn, or at
+            // the Nth runtime operation inside the recovery scope.
+            let ranks = sample_ranks(rng, &layout, technique, 2);
+            case.victims.push((ranks[0], step_site(rng)));
+            let site = match rng.gen_range(0..4) {
+                0 => FaultSite::Op { kind: OpClass::Shrink, nth: 0 },
+                1 => FaultSite::Op { kind: OpClass::Spawn, nth: 0 },
+                _ => FaultSite::DuringRecovery { nth: rng.gen_range(0..3) },
+            };
+            case.victims.push((ranks[1], site));
+        }
+        other => panic!("unknown site kind {other:?}"),
+    }
+    debug_assert!(case.victims_valid(), "sampled inadmissible case {}", case.spec());
+    case
+}
+
+/// Greedily minimize a failing case: drop victims one at a time, then
+/// reduce the step count, then the combination level, keeping each
+/// reduction only if the shrunk case still violates an oracle. Bounded by
+/// `max_runs` re-executions.
+pub fn shrink_case(
+    case: &ChaosCase,
+    opts: &CampaignOpts,
+    cache: &mut BaselineCache,
+    max_runs: usize,
+) -> (ChaosCase, usize) {
+    let mut best = case.clone();
+    let mut runs = 0;
+    let mut still_fails = |c: &ChaosCase, runs: &mut usize| -> bool {
+        *runs += 1;
+        let plan = FaultPlan::new_sites(c.victims.clone());
+        let res = run_case(c, plan, opts.seed, opts.stall);
+        let base = cache.get(c).clone();
+        !check_oracles(c, &res, &base, opts.sabotage).is_empty()
+    };
+    'outer: while runs < max_runs {
+        // 1. Drop each victim.
+        if best.victims.len() > 1 {
+            for i in 0..best.victims.len() {
+                let mut cand = best.clone();
+                cand.victims.remove(i);
+                if runs >= max_runs {
+                    break 'outer;
+                }
+                if still_fails(&cand, &mut runs) {
+                    best = cand;
+                    continue 'outer;
+                }
+            }
+        }
+        // 2. Halve the run length (clamping step sites into range).
+        if best.shape.log2_steps > 3 {
+            let mut cand = best.clone();
+            cand.shape.log2_steps -= 1;
+            let steps = cand.shape.steps();
+            for (_, site) in cand.victims.iter_mut() {
+                if let FaultSite::Step(s) = site {
+                    *s = (*s).min(steps);
+                }
+            }
+            if still_fails(&cand, &mut runs) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        // 3. Reduce the combination level (fewer grids, smaller world).
+        if best.shape.l > 2 {
+            let mut cand = best.clone();
+            cand.shape.l -= 1;
+            if cand.victims_valid() && still_fails(&cand, &mut runs) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, runs)
+}
+
+/// Run a full campaign: sample, execute, check, shrink. Deterministic in
+/// `opts.seed` — the same seed reproduces the same cases and verdicts.
+pub fn run_campaign(opts: &CampaignOpts) -> CampaignReport {
+    run_campaign_with(opts, |_, _| {})
+}
+
+/// [`run_campaign`] with a progress callback `(index, record)`.
+pub fn run_campaign_with(
+    opts: &CampaignOpts,
+    mut progress: impl FnMut(usize, &CaseRecord),
+) -> CampaignReport {
+    let mut cache = BaselineCache::new(opts.seed, opts.stall);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut report = CampaignReport {
+        seed: opts.seed,
+        budget: opts.budget,
+        sabotage: opts.sabotage,
+        ..Default::default()
+    };
+    let shape = CaseShape::small();
+    for i in 0..opts.budget {
+        let technique = TECHNIQUES[i % TECHNIQUES.len()];
+        let kind = SITE_KINDS[i % SITE_KINDS.len()];
+        let case = sample_case(&mut rng, technique, kind, shape);
+        let plan = FaultPlan::new_sites(case.victims.clone());
+        let res = run_case(&case, plan, opts.seed, opts.stall);
+        let base = cache.get(&case).clone();
+        let violations = check_oracles(&case, &res, &base, opts.sabotage);
+        let mut record = CaseRecord {
+            spec: case.spec(),
+            technique: technique.label(),
+            kind: case.kind(),
+            procs_failed: res.procs_failed,
+            violations,
+            shrunk_spec: None,
+            shrunk_n_failures: None,
+        };
+        if !record.violations.is_empty() {
+            let (shrunk, runs) = shrink_case(&case, opts, &mut cache, 40);
+            report.shrink_runs += runs;
+            record.shrunk_spec = Some(shrunk.spec());
+            record.shrunk_n_failures = Some(shrunk.victims.len());
+        }
+        progress(i, &record);
+        report.cases.push(record);
+    }
+    report.baseline_runs = cache.runs;
+    report
+}
+
+/// Replay one spec (the `--repro` path): returns the record after running
+/// the case once against its baseline.
+pub fn replay(spec: &str, opts: &CampaignOpts) -> Result<CaseRecord, String> {
+    let case = ChaosCase::parse(spec)?;
+    if !case.victims_valid() {
+        return Err(format!("inadmissible victims in {spec:?}"));
+    }
+    let mut cache = BaselineCache::new(opts.seed, opts.stall);
+    let plan = FaultPlan::new_sites(case.victims.clone());
+    let res = run_case(&case, plan, opts.seed, opts.stall);
+    let base = cache.get(&case).clone();
+    let violations = check_oracles(&case, &res, &base, opts.sabotage);
+    Ok(CaseRecord {
+        spec: case.spec(),
+        technique: case.technique.label(),
+        kind: case.kind(),
+        procs_failed: res.procs_failed,
+        violations,
+        shrunk_spec: None,
+        shrunk_n_failures: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip() {
+        let case = ChaosCase {
+            technique: Technique::CheckpointRestart,
+            shape: CaseShape::small(),
+            victims: vec![
+                (3, FaultSite::Step(16)),
+                (5, FaultSite::Op { kind: OpClass::Gather, nth: 1 }),
+                (7, FaultSite::DuringRecovery { nth: 2 }),
+            ],
+        };
+        let spec = case.spec();
+        assert_eq!(spec, "CR/n6l3s1k5c2/3@step:16+5@op:gather:1+7@rec:2");
+        assert_eq!(ChaosCase::parse(&spec).unwrap(), case);
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(ChaosCase::parse("XX/n6l3s1k5c2/3@step:16").is_err());
+        assert!(ChaosCase::parse("CR/n6l3/3@step:16").is_err());
+        assert!(ChaosCase::parse("CR/n6l3s1k5c2/0@banana").is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_valid() {
+        let shape = CaseShape::small();
+        for kind in SITE_KINDS {
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for tech in TECHNIQUES {
+                let ca = sample_case(&mut a, tech, kind, shape);
+                let cb = sample_case(&mut b, tech, kind, shape);
+                assert_eq!(ca, cb, "sampling must be deterministic");
+                assert!(ca.victims_valid(), "{}", ca.spec());
+                assert!(!ca.victims.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn case_kind_classification() {
+        let mk = |victims| ChaosCase {
+            technique: Technique::BuddyCheckpoint,
+            shape: CaseShape::small(),
+            victims,
+        };
+        assert_eq!(mk(vec![(1, FaultSite::Step(4))]).kind(), "step");
+        assert_eq!(mk(vec![(1, FaultSite::Op { kind: OpClass::Barrier, nth: 0 })]).kind(), "op");
+        assert_eq!(
+            mk(vec![(1, FaultSite::Step(4)), (2, FaultSite::Op { kind: OpClass::Shrink, nth: 0 })])
+                .kind(),
+            "recovery"
+        );
+        assert_eq!(
+            mk(vec![(1, FaultSite::Step(4)), (2, FaultSite::DuringRecovery { nth: 1 })]).kind(),
+            "recovery"
+        );
+    }
+
+    #[test]
+    fn json_report_is_wellformed_enough() {
+        let report = CampaignReport {
+            seed: 1,
+            budget: 0,
+            sabotage: false,
+            cases: vec![CaseRecord {
+                spec: "BC/n6l3s1k5c2/3@step:4".into(),
+                technique: "BC",
+                kind: "step",
+                procs_failed: 1,
+                violations: vec![Violation { oracle: "O3-error", detail: "x \"y\"".into() }],
+                shrunk_spec: Some("BC/n6l3s1k5c2/3@step:4".into()),
+                shrunk_n_failures: Some(1),
+            }],
+            baseline_runs: 1,
+            shrink_runs: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains(r#""violating":1"#));
+        assert!(json.contains(r#"\"y\""#), "quotes must be escaped: {json}");
+    }
+}

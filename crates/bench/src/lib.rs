@@ -16,6 +16,7 @@
 //! (absolute cluster wall-clock cannot be reproduced on a laptop); errors
 //! are real numerics. See EXPERIMENTS.md for paper-vs-measured tables.
 
+pub mod chaos;
 pub mod experiments;
 pub mod opts;
 pub mod runner;

@@ -56,6 +56,12 @@ pub mod keys {
     pub const WORLD: &str = "world";
     /// Solve-phase time (max over ranks), excluding recovery/combination.
     pub const T_SOLVE: &str = "t_solve";
+    /// Final rank→host map (hostfile index per world rank, in rank
+    /// order) — the chaos oracles compare it against the no-failure run to
+    /// prove recovery restored the paper's load balance.
+    pub const RANK_HOSTS: &str = "rank_hosts";
+    /// Final rank→grid map (grid id per world rank, in rank order).
+    pub const RANK_GRIDS: &str = "rank_grids";
 }
 
 /// Marker type documenting the report-key contract of [`run_app`]: results
@@ -87,61 +93,117 @@ fn build_group(ctx: &Ctx, world: &Comm, my: Assignment) -> Result<Comm> {
         .ok_or_else(|| Error::InvalidArg("every rank belongs to a grid group".into()))
 }
 
-/// Post-reconstruction phase, collective over the (repaired) world:
-/// broadcast the failure metadata, rebuild the per-grid group
-/// communicators, and run the technique's data recovery. Returns the
-/// detection step, the new group communicator, and this rank's recovery
-/// time.
+/// Post-reconstruction phase with a **commit protocol** that survives
+/// failures striking *during the data recovery itself*. One attempt is:
+/// broadcast the failure metadata (rank 0 never fails, by the paper's
+/// constraint), rebuild the per-grid group communicators, and run the
+/// technique's data recovery. The attempt's outcome is then put to a
+/// fault-tolerant `OMPI_Comm_agree` vote; any rank that observed a
+/// recoverable error revokes the world (and its attempt group, releasing
+/// peers blocked in group collectives or cross-group point-to-point) and
+/// votes no, in which case the world is reconstructed again — absorbing
+/// the new casualty — and the recovery is retried from the top with the
+/// enlarged failed-rank list. Recovery (restore + recompute) is
+/// idempotent, so re-running it is safe.
+///
+/// Returns the (possibly re-reconstructed) world, the detection step, the
+/// new group communicator, this rank's recovery time, and the bcast
+/// failed-rank list the recovery actually used.
 #[allow(clippy::too_many_arguments)]
-fn post_recovery(
+fn recover_with_commit(
     ctx: &Ctx,
     cfg: &AppConfig,
     layout: &ProcLayout,
-    world: &Comm,
+    mut world: Comm,
     my: Assignment,
     solver: &mut DistributedSolver,
     store: &CheckpointStore,
     buddy_store: &mut recovery::BuddyStore,
-    known: Option<(u64, Vec<usize>)>,
-) -> Result<(u64, Comm, f64, Vec<usize>)> {
-    // Rank 0 (never failed, by the paper's constraint) broadcasts the
-    // detection step and the failed-rank list so respawned children learn
-    // the global state.
-    let meta: Option<Vec<u64>> = if world.rank() == 0 {
-        let (d, failed) = known.expect("rank 0 survived and knows the failure metadata");
-        let mut v = vec![d];
-        v.extend(failed.iter().map(|&r| r as u64));
-        Some(v)
-    } else {
-        None
-    };
-    let meta = world.bcast(ctx, 0, meta.as_deref())?;
-    let at_step = meta[0];
-    let failed: Vec<usize> = meta[1..].iter().map(|&r| r as usize).collect();
-
-    let group = build_group(ctx, world, my)?;
-    let stats = recovery::recover(
-        ctx,
-        cfg,
-        layout,
-        world,
-        &group,
-        my,
-        solver,
-        store,
-        buddy_store,
-        &failed,
-        at_step,
-    )?;
-    Ok((at_step, group, stats.t_recovery, failed))
+    mut known: Option<(u64, Vec<usize>)>,
+    repair_timings: &mut ReconstructTimings,
+) -> Result<(Comm, u64, Comm, f64, Vec<usize>)> {
+    loop {
+        let _scope = ctx.recovery_scope();
+        let mut group_attempt: Option<Comm> = None;
+        let attempt: Result<(u64, f64, Vec<usize>)> = (|| {
+            let meta: Option<Vec<u64>> = if world.rank() == 0 {
+                let (d, failed) =
+                    known.clone().expect("rank 0 survived and knows the failure metadata");
+                let mut v = vec![d];
+                v.extend(failed.iter().map(|&r| r as u64));
+                Some(v)
+            } else {
+                None
+            };
+            let meta = world.bcast(ctx, 0, meta.as_deref())?;
+            let at_step = meta[0];
+            let failed: Vec<usize> = meta[1..].iter().map(|&r| r as usize).collect();
+            let group = &*group_attempt.insert(build_group(ctx, &world, my)?);
+            let stats = recovery::recover(
+                ctx,
+                cfg,
+                layout,
+                &world,
+                group,
+                my,
+                solver,
+                store,
+                buddy_store,
+                &failed,
+                at_step,
+            )?;
+            Ok((at_step, stats.t_recovery, failed))
+        })();
+        let ok = match &attempt {
+            Ok(_) => true,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => false,
+            Err(e) => return Err(e.clone()),
+        };
+        if !ok {
+            // Release every peer still blocked in this attempt's
+            // collectives or cross-group transfers, then vote no.
+            world.revoke(ctx);
+            if let Some(g) = &group_attempt {
+                g.revoke(ctx);
+            }
+        }
+        world.failure_ack(ctx);
+        let mut flag = ok;
+        let _ = world.agree(ctx, &mut flag); // fault-tolerant; flag = AND
+        if flag {
+            let (at_step, trec, failed) = attempt.expect("uniform agreement implies local success");
+            let group = group_attempt.expect("successful attempt built its group");
+            return Ok((world, at_step, group, trec, failed));
+        }
+        // Someone failed mid-recovery: repair the world, fold the new
+        // casualties into the metadata, and retry.
+        let mut round = ReconstructTimings::default();
+        world =
+            communicator_reconstruct_with(ctx, Some(world), None, cfg.respawn_policy, &mut round)?;
+        if let Some((_, failed)) = known.as_mut() {
+            for &r in &round.failed_ranks {
+                if !failed.contains(&r) {
+                    failed.push(r);
+                }
+            }
+            failed.sort_unstable();
+        }
+        merge_timings(repair_timings, &round);
+    }
 }
 
 /// Execute the fault-tolerant application on this rank. Panics (recording
 /// an app error in the run report) on unrecoverable protocol failures;
 /// deposits results under [`keys`] via the rank-0 controller.
 pub fn run_app(cfg: &AppConfig, ctx: &mut Ctx) {
-    if let Err(e) = run_app_inner(cfg, ctx) {
-        panic!("ftsg application failed: {e}");
+    match run_app_inner(cfg, ctx) {
+        Ok(()) => {}
+        // A respawned child whose repair round was abandoned by a further
+        // failure: its successor is already being spawned by the
+        // survivors' restarted recovery loop; exiting quietly is the
+        // correct behaviour, not an error.
+        Err(Error::Orphaned) => {}
+        Err(e) => panic!("ftsg application failed: {e}"),
     }
 }
 
@@ -171,6 +233,11 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // survivors ("all the surviving sub-grids, including those on the
     // extra layers, are assigned new coefficients for the combination").
     let mut final_lost: Vec<usize> = Vec::new();
+    // Ranks that failed at the *final* detection step (or later, during
+    // the combination), accumulated across recovery rounds: rank 0 folds
+    // them into the metadata broadcast of every subsequent recovery so
+    // that late-spawned children derive the same `final_lost` set.
+    let mut end_failed: Vec<usize> = Vec::new();
     let mut t_rec_local = 0.0_f64;
     let mut t_ckpt_local = 0.0_f64;
     let mut t_solve_local = 0.0_f64;
@@ -184,17 +251,21 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
 
     if child {
         let parent = ctx.parent().expect("spawned process has a parent intercommunicator");
-        world = stage(
-            communicator_reconstruct_with(
-                ctx,
-                None,
-                Some(parent),
-                cfg.respawn_policy,
-                &mut repair_timings,
-            ),
-            "child-reconstruct",
+        // NOTE: children never arm fault sites — a replacement re-arming
+        // its predecessor's operation counters would strike again at the
+        // same index, killing every successive replacement forever.
+        world = match communicator_reconstruct_with(
             ctx,
-        )?;
+            None,
+            Some(parent),
+            cfg.respawn_policy,
+            &mut repair_timings,
+        ) {
+            Ok(w) => w,
+            // Our repair round was abandoned mid-flight; exit cleanly.
+            Err(Error::Orphaned) => return Err(Error::Orphaned),
+            Err(e) => return Err(Error::InvalidArg(format!("[child-reconstruct] {e}"))),
+        };
         my = layout.assignment(world.rank());
         solver = DistributedSolver::new(
             cfg.problem,
@@ -203,26 +274,29 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             layout.group(my.grid),
             my.local,
         );
-        let (d, g, trec, failed) = stage(
-            post_recovery(
+        let (w, d, g, trec, failed) = stage(
+            recover_with_commit(
                 ctx,
                 cfg,
                 &layout,
-                &world,
+                world,
                 my,
                 &mut solver,
                 &store,
                 &mut buddy_store,
                 None,
+                &mut repair_timings,
             ),
             "child-post-recovery",
             ctx,
         )?;
+        world = w;
         group = g;
         current_step = d;
         t_rec_local += trec;
         if d == steps {
-            final_lost = layout.broken_grids(&failed);
+            extend_lost(&mut final_lost, &layout, &failed);
+            end_failed = failed;
         }
     } else {
         world = ctx.initial_world().expect("original process has a world");
@@ -234,6 +308,10 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             )));
         }
         my = layout.assignment(world.rank());
+        // Arm this rank's operation-site and during-recovery fault
+        // triggers (step-boundary strikes stay polled in the main loop).
+        // Only original ranks arm — see the child branch.
+        ctx.arm_fault_sites(&cfg.plan, world.rank());
         solver = DistributedSolver::new(
             cfg.problem,
             layout.system().grid(my.grid).level,
@@ -302,63 +380,100 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         let repaired = !round.failed_ranks.is_empty();
         if repaired {
             merge_timings(&mut repair_timings, &round);
-            let known = Some((dp, round.failed_ranks.clone()));
-            let (d, g, trec, failed) = stage(
-                post_recovery(
+            let mut known_failed = round.failed_ranks.clone();
+            if world.rank() == 0 && dp == steps {
+                // End-of-run failures accumulate across recovery rounds so
+                // late-spawned children compute the same lost-grid set as
+                // the survivors.
+                for &r in &end_failed {
+                    if !known_failed.contains(&r) {
+                        known_failed.push(r);
+                    }
+                }
+                known_failed.sort_unstable();
+            }
+            let known = Some((dp, known_failed));
+            let (w, d, g, trec, failed) = stage(
+                recover_with_commit(
                     ctx,
                     cfg,
                     &layout,
-                    &world,
+                    world,
                     my,
                     &mut solver,
                     &store,
                     &mut buddy_store,
                     known,
+                    &mut repair_timings,
                 ),
                 "post-recovery",
                 ctx,
             )?;
             debug_assert_eq!(d, dp);
+            world = w;
             group = g;
             t_rec_local += trec;
             group_broken = false;
             if d == steps {
-                final_lost = layout.broken_grids(&failed);
+                extend_lost(&mut final_lost, &layout, &failed);
+                end_failed = failed;
             }
         } else if cfg.technique == Technique::CheckpointRestart && dp < steps {
             // Healthy checkpoint write ("failure detection is tested prior
             // to initiating the checkpoint write").
             let t0 = ctx.now();
             solver.local_block_into(&mut block_buf);
-            let full = stage(
-                gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf),
-                "ckpt-gather",
-                ctx,
-            )?;
-            if let Some(g) = full {
-                let bytes = store
-                    .write(my.grid, current_step, &g)
-                    .map_err(|e| Error::InvalidArg(format!("checkpoint write: {e}")))?;
-                ctx.disk_write(bytes);
+            match gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf) {
+                Ok(full) => {
+                    if let Some(g) = full {
+                        let bytes = store
+                            .write(my.grid, current_step, &g)
+                            .map_err(|e| Error::InvalidArg(format!("checkpoint write: {e}")))?;
+                        ctx.disk_write(bytes);
+                    }
+                }
+                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                    // A group member died mid-checkpoint. This checkpoint
+                    // is lost (recovery will fall back to an older one and
+                    // recompute further); mark the group broken and let
+                    // the next detection point repair.
+                    group.revoke(ctx);
+                    world.revoke(ctx);
+                    group_broken = true;
+                }
+                Err(e) => return Err(e),
             }
             t_ckpt_local += ctx.now() - t0;
         } else if cfg.technique == Technique::BuddyCheckpoint && dp < steps {
             // Healthy buddy exchange: the in-memory, diskless analogue.
             let t0 = ctx.now();
-            stage(
-                recovery::buddy_exchange(
-                    ctx,
-                    &layout,
-                    &world,
-                    &group,
-                    my,
-                    &solver,
-                    current_step,
-                    &mut buddy_store,
-                ),
-                "buddy-exchange",
+            match recovery::buddy_exchange(
                 ctx,
-            )?;
+                &layout,
+                &world,
+                &group,
+                my,
+                &solver,
+                current_step,
+                &mut buddy_store,
+            ) {
+                Ok(()) => {}
+                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                    // Release any peer blocked on the dead/errored ranks.
+                    world.revoke(ctx);
+                    if !group.failed_ranks().is_empty() || group.is_revoked() {
+                        // Our own group lost someone: sit the next segment
+                        // out and let the detection point repair us.
+                        group.revoke(ctx);
+                        group_broken = true;
+                    }
+                    // Otherwise a *cross-group* buddy failed mid-exchange:
+                    // our grid is intact, so skip this protection round
+                    // (the buddy store keeps its previous copy) and keep
+                    // stepping.
+                }
+                Err(e) => return Err(e),
+            }
             t_ckpt_local += ctx.now() - t0;
         }
     }
@@ -406,85 +521,153 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // "compulsory stage" whose sample also served as recovered data);
     // otherwise it is the classical Eq.-1 combination, using recovered
     // data where grids were restored.
+    //
+    // The whole phase runs inside a retry loop: a failure striking during
+    // the combination or the final reductions revokes the comms, repairs
+    // the world, re-runs data recovery for the new casualties, and
+    // restarts the phase from scratch on the fresh communicators (the
+    // combination is pure, so re-running it is safe).
+    // (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids)
+    type CombineOutcome = (f64, f64, f64, f64, f64, Vec<f64>, Vec<f64>);
     let sys = layout.system();
-    let use_robust = cfg.technique == Technique::AlternateCombination && !final_lost.is_empty();
-    let (combine_ids, combine_coeffs): (Vec<usize>, Vec<f64>) = if use_robust {
-        let lost_levels: Vec<LevelPair> = final_lost.iter().map(|&b| sys.grid(b).level).collect();
-        let surviving: LevelSet =
-            sys.grids().iter().filter(|g| !final_lost.contains(&g.id)).map(|g| g.level).collect();
-        let cmap = robust_coefficients(&sys.classical_downset(), &lost_levels, &surviving);
-        let ids: Vec<usize> = sys
-            .grids()
-            .iter()
-            .filter(|g| {
-                !final_lost.contains(&g.id) && cmap.get(&g.level).copied().unwrap_or(0) != 0
-            })
-            .map(|g| g.id)
-            .collect();
-        let coeffs = ids.iter().map(|&i| cmap[&sys.grid(i).level] as f64).collect();
-        (ids, coeffs)
-    } else {
-        let ids = sys.combination_ids();
-        let coeffs = ids.iter().map(|&i| sys.classical_coefficient(i) as f64).collect();
-        (ids, coeffs)
-    };
-    let combining = combine_ids.contains(&my.grid);
-    let mut my_full: Option<Grid2> = None;
-    if combining {
-        solver.local_block_into(&mut block_buf);
-        my_full = stage(
-            gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf),
-            "combine-gather",
-            ctx,
-        )?;
-        if let Some(g) = &my_full {
-            if world.rank() != 0 {
-                stage(
-                    send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g),
-                    "combine-send",
+    let (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids) = loop {
+        let attempt: Result<CombineOutcome> = (|| {
+            let use_robust =
+                cfg.technique == Technique::AlternateCombination && !final_lost.is_empty();
+            let (combine_ids, combine_coeffs): (Vec<usize>, Vec<f64>) = if use_robust {
+                let lost_levels: Vec<LevelPair> =
+                    final_lost.iter().map(|&b| sys.grid(b).level).collect();
+                let surviving: LevelSet = sys
+                    .grids()
+                    .iter()
+                    .filter(|g| !final_lost.contains(&g.id))
+                    .map(|g| g.level)
+                    .collect();
+                let cmap = robust_coefficients(&sys.classical_downset(), &lost_levels, &surviving);
+                let ids: Vec<usize> = sys
+                    .grids()
+                    .iter()
+                    .filter(|g| {
+                        !final_lost.contains(&g.id) && cmap.get(&g.level).copied().unwrap_or(0) != 0
+                    })
+                    .map(|g| g.id)
+                    .collect();
+                let coeffs = ids.iter().map(|&i| cmap[&sys.grid(i).level] as f64).collect();
+                (ids, coeffs)
+            } else {
+                let ids = sys.combination_ids();
+                let coeffs = ids.iter().map(|&i| sys.classical_coefficient(i) as f64).collect();
+                (ids, coeffs)
+            };
+            let combining = combine_ids.contains(&my.grid);
+            let mut my_full: Option<Grid2> = None;
+            if combining {
+                solver.local_block_into(&mut block_buf);
+                my_full =
+                    gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf)?;
+                if let Some(g) = &my_full {
+                    if world.rank() != 0 {
+                        send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g)?;
+                    }
+                }
+            }
+            let mut err = f64::NAN;
+            if world.rank() == 0 {
+                let mut sources: Vec<(f64, Grid2)> = Vec::new();
+                for (&gid, &coeff) in combine_ids.iter().zip(&combine_coeffs) {
+                    let grid = if layout.root_of(gid) == world.rank() {
+                        // Each grid id is combined exactly once, so the
+                        // gathered grid can be moved out instead of cloned.
+                        my_full.take().expect("controller gathered its own grid")
+                    } else {
+                        recv_grid(ctx, &world, layout.root_of(gid), TAG_COMBINE + gid as i32)?
+                    };
+                    sources.push((coeff, grid));
+                }
+                let terms: Vec<CombinationTerm> =
+                    sources.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
+                let target = sys.min_level();
+                let combined = combine_onto(target, &terms);
+                ctx.compute_cells((terms.len() * target.points()) as u64);
+                let t_final = tg.dt * steps as f64;
+                err = l1_error_vs(&combined, cfg.problem.exact_at(t_final));
+                if let Some(prefix) = &cfg.output_prefix {
+                    let base = prefix.display();
+                    crate::output::write_csv(&combined, format!("{base}.csv"))
+                        .map_err(|e| Error::InvalidArg(format!("solution csv: {e}")))?;
+                    crate::output::write_pgm(&combined, format!("{base}.pgm"))
+                        .map_err(|e| Error::InvalidArg(format!("solution pgm: {e}")))?;
+                }
+            }
+            let t_rec_max = world.allreduce_max(ctx, t_rec_local)?;
+            let t_ckpt_max = world.allreduce_max(ctx, t_ckpt_local)?;
+            let t_solve_max = world.allreduce_max(ctx, t_solve_local)?;
+            let t_end = world.allreduce_max(ctx, ctx.now())?;
+            // Final rank→host and rank→grid maps, gathered over the live
+            // world so the chaos oracles can compare them with the
+            // no-failure run's.
+            let flatten = |o: Option<Vec<Vec<f64>>>| -> Vec<f64> {
+                o.map(|v| v.into_iter().flatten().collect()).unwrap_or_default()
+            };
+            let hosts = flatten(world.gather(ctx, 0, &[ctx.my_host() as f64])?);
+            let grids = flatten(world.gather(ctx, 0, &[my.grid as f64])?);
+            Ok((err, t_rec_max, t_ckpt_max, t_solve_max, t_end, hosts, grids))
+        })();
+        match attempt {
+            Ok(v) => break v,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                // Release peers still blocked in this attempt, repair,
+                // recover the new casualties, and go again.
+                world.revoke(ctx);
+                group.revoke(ctx);
+                let mut round = ReconstructTimings::default();
+                world = stage(
+                    communicator_reconstruct_with(
+                        ctx,
+                        Some(world),
+                        None,
+                        cfg.respawn_policy,
+                        &mut round,
+                    ),
+                    "combine-reconstruct",
                     ctx,
                 )?;
-            }
-        }
-    }
-    let mut err = f64::NAN;
-    if world.rank() == 0 {
-        let mut sources: Vec<(f64, Grid2)> = Vec::new();
-        for (&gid, &coeff) in combine_ids.iter().zip(&combine_coeffs) {
-            let grid = if layout.root_of(gid) == world.rank() {
-                // Each grid id is combined exactly once, so the gathered
-                // grid can be moved out instead of cloned.
-                my_full.take().expect("controller gathered its own grid")
-            } else {
-                stage(
-                    recv_grid(ctx, &world, layout.root_of(gid), TAG_COMBINE + gid as i32),
-                    "combine-recv",
+                merge_timings(&mut repair_timings, &round);
+                let mut known_failed = round.failed_ranks.clone();
+                for &r in &end_failed {
+                    if !known_failed.contains(&r) {
+                        known_failed.push(r);
+                    }
+                }
+                known_failed.sort_unstable();
+                let (w, d, g, trec, failed) = stage(
+                    recover_with_commit(
+                        ctx,
+                        cfg,
+                        &layout,
+                        world,
+                        my,
+                        &mut solver,
+                        &store,
+                        &mut buddy_store,
+                        Some((steps, known_failed)),
+                        &mut repair_timings,
+                    ),
+                    "combine-recovery",
                     ctx,
-                )?
-            };
-            sources.push((coeff, grid));
+                )?;
+                debug_assert_eq!(d, steps);
+                world = w;
+                group = g;
+                t_rec_local += trec;
+                extend_lost(&mut final_lost, &layout, &failed);
+                end_failed = failed;
+            }
+            Err(e) => return Err(e),
         }
-        let terms: Vec<CombinationTerm> =
-            sources.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
-        let target = sys.min_level();
-        let combined = combine_onto(target, &terms);
-        ctx.compute_cells((terms.len() * target.points()) as u64);
-        let t_final = tg.dt * steps as f64;
-        err = l1_error_vs(&combined, cfg.problem.exact_at(t_final));
-        if let Some(prefix) = &cfg.output_prefix {
-            let base = prefix.display();
-            crate::output::write_csv(&combined, format!("{base}.csv"))
-                .map_err(|e| Error::InvalidArg(format!("solution csv: {e}")))?;
-            crate::output::write_pgm(&combined, format!("{base}.pgm"))
-                .map_err(|e| Error::InvalidArg(format!("solution pgm: {e}")))?;
-        }
-    }
+    };
 
-    // ---- aggregate and report (controller writes the blackboard). ----
-    let t_rec_max = stage(world.allreduce_max(ctx, t_rec_local), "final-allreduce", ctx)?;
-    let t_ckpt_max = stage(world.allreduce_max(ctx, t_ckpt_local), "allreduce-ckpt", ctx)?;
-    let t_solve_max = stage(world.allreduce_max(ctx, t_solve_local), "allreduce-solve", ctx)?;
-    let t_end = stage(world.allreduce_max(ctx, ctx.now()), "allreduce-end", ctx)?;
+    // ---- report (controller writes the blackboard). ----
     if world.rank() == 0 {
         ctx.report_f64(keys::T_TOTAL, t_end);
         ctx.report_f64(keys::T_RECOVERY, t_rec_max);
@@ -499,10 +682,22 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         ctx.report_f64(keys::T_AGREE, repair_timings.t_agree);
         ctx.report_f64(keys::N_FAILED, repair_timings.failed_ranks.len() as f64);
         ctx.report_f64(keys::WORLD, world.size() as f64);
+        ctx.report_list(keys::RANK_HOSTS, &rank_hosts);
+        ctx.report_list(keys::RANK_GRIDS, &rank_grids);
         // Best-effort cleanup of the checkpoint directory.
         let _ = store.clear();
     }
     Ok(())
+}
+
+/// Fold the grids broken by `failed` into the end-of-run lost-grid set.
+fn extend_lost(final_lost: &mut Vec<usize>, layout: &ProcLayout, failed: &[usize]) {
+    for g in layout.broken_grids(failed) {
+        if !final_lost.contains(&g) {
+            final_lost.push(g);
+        }
+    }
+    final_lost.sort_unstable();
 }
 
 fn merge_timings(acc: &mut ReconstructTimings, round: &ReconstructTimings) {

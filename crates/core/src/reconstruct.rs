@@ -166,59 +166,141 @@ pub fn repair_comm(ctx: &Ctx, broken: &Comm, timings: &mut ReconstructTimings) -
 /// Port of Fig. 5 (`repairComm`): revoke and shrink the broken
 /// communicator, build the failed-rank list, re-spawn the failed ranks
 /// per the [`RespawnPolicy`], merge, hand out old ranks, and re-order.
+///
+/// Nested failures are survived here, not just in the caller's do-while:
+/// if a *further* rank dies while the survivors are mid-`spawn_multiple`,
+/// mid-`merge`, or mid-`split`, the failing round is abandoned (its
+/// children — if any were created — observe the same uniform error and
+/// exit as [`Error::Orphaned`]), the shrunken communicator is re-shrunk to
+/// drop the new casualty, and the spawn/merge/split protocol restarts with
+/// the enlarged failed-rank list. The whole call runs inside a
+/// [`Ctx::recovery_scope`], so `DuringRecovery` fault sites can strike any
+/// of these operations.
 pub fn repair_comm_with(
     ctx: &Ctx,
     broken: &Comm,
     policy: RespawnPolicy,
     timings: &mut ReconstructTimings,
 ) -> Result<Comm> {
+    let _scope = ctx.recovery_scope();
     // --- failed-process list (timed as Fig. 8a's "creating the list"). ---
     let t0 = ctx.now();
     broken.revoke(ctx);
     let t_shrink0 = ctx.now();
-    let shrinked = broken.shrink(ctx)?;
+    let mut shrinked = broken.shrink(ctx)?;
     timings.t_shrink += ctx.now() - t_shrink0;
-    let failed_ranks = failed_procs_list(broken, &shrinked);
+    let mut failed_ranks = failed_procs_list(broken, &shrinked);
     timings.t_list += ctx.now() - t0;
-    for &r in &failed_ranks {
-        if !timings.failed_ranks.contains(&r) {
-            timings.failed_ranks.push(r);
-        }
+
+    // Drop the current round's survivors communicator and re-shrink after
+    // a mid-repair casualty. The failed list is rebuilt by comparing the
+    // *original* broken group against the latest shrink, so it is
+    // cumulative across rounds.
+    macro_rules! reshrink {
+        () => {{
+            timings.rounds += 1;
+            let t = ctx.now();
+            shrinked = shrinked.shrink(ctx)?;
+            timings.t_shrink += ctx.now() - t;
+            failed_ranks = failed_procs_list(broken, &shrinked);
+        }};
     }
 
-    // --- spawn replacements per the placement policy. ---
-    // Paper (same-host): hostfileLineIndex ← failedRank / SLOTS; read the
-    // host name from that hostfile line and put it in the MPI_Info.
-    let specs = respawn_specs(ctx, broken, &failed_ranks, policy);
-    let t_spawn0 = ctx.now();
-    let inter: InterComm = comm_spawn_multiple(ctx, &shrinked, &specs)?;
-    timings.t_spawn += ctx.now() - t_spawn0;
+    loop {
+        for &r in &failed_ranks {
+            if !timings.failed_ranks.contains(&r) {
+                timings.failed_ranks.push(r);
+            }
+        }
+        // A revoked-but-intact communicator (collateral revocation, no
+        // deaths) needs no respawn; hand back the full-membership shrink.
+        if failed_ranks.is_empty() {
+            return Ok(shrinked);
+        }
 
-    // --- merge (parent part), then synchronize. ---
-    let t_merge0 = ctx.now();
-    let unordered = inter.merge(ctx, false)?;
-    timings.t_merge += ctx.now() - t_merge0;
-    let t_agree0 = ctx.now();
-    let mut flag = true;
-    inter.agree(ctx, &mut flag)?;
-    timings.t_agree += ctx.now() - t_agree0;
+        // --- spawn replacements per the placement policy. ---
+        // Paper (same-host): hostfileLineIndex ← failedRank / SLOTS; read
+        // the host name from that hostfile line and put it in the MPI_Info.
+        let specs = respawn_specs(ctx, broken, &failed_ranks, policy);
+        let t_spawn0 = ctx.now();
+        let inter: InterComm = match comm_spawn_multiple(ctx, &shrinked, &specs) {
+            Ok(i) => i,
+            // A survivor died at the spawn rendezvous: no children were
+            // created; enlarge the failed list and retry.
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                reshrink!();
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        timings.t_spawn += ctx.now() - t_spawn0;
 
-    // --- hand every child its old rank. ---
-    let shrinked_group_size = shrinked.size();
-    let total_procs = unordered.size();
-    if unordered.rank() == 0 {
-        for (i, &fr) in failed_ranks.iter().enumerate() {
-            let child = shrinked_group_size + i;
-            unordered.send_one(ctx, child, MERGE_TAG, fr as u64)?;
+        // --- merge (parent part), then synchronize. ---
+        let t_merge0 = ctx.now();
+        let unordered = match inter.merge(ctx, false) {
+            Ok(u) => u,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                // This round's children saw the same uniform merge error
+                // and exit orphaned; make the abandonment explicit on the
+                // intercomm and retry without them.
+                inter.revoke(ctx);
+                reshrink!();
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        timings.t_merge += ctx.now() - t_merge0;
+        let t_agree0 = ctx.now();
+        let mut flag = true;
+        // Fault-tolerant agreement: completes over survivors either way;
+        // a casualty between merge and split is caught by the split below.
+        let _ = inter.agree(ctx, &mut flag);
+        timings.t_agree += ctx.now() - t_agree0;
+
+        // --- hand every child its old rank. ---
+        // Rank 0 never fails (application invariant), so when the merge
+        // succeeded the children are always told their old ranks before
+        // entering the split.
+        let shrinked_group_size = shrinked.size();
+        let total_procs = unordered.size();
+        if unordered.rank() == 0 {
+            let mut send_failed = false;
+            for (i, &fr) in failed_ranks.iter().enumerate() {
+                let child = shrinked_group_size + i;
+                if unordered.send_one(ctx, child, MERGE_TAG, fr as u64).is_err() {
+                    send_failed = true;
+                    break;
+                }
+            }
+            if send_failed {
+                unordered.revoke(ctx);
+                inter.revoke(ctx);
+                reshrink!();
+                continue;
+            }
+        }
+
+        // --- re-order so ranks match the pre-failure communicator. ---
+        let key =
+            select_rank_key(unordered.rank(), shrinked_group_size, &failed_ranks, total_procs);
+        let t_split0 = ctx.now();
+        match unordered.split(ctx, Some(0), key) {
+            Ok(repaired) => {
+                timings.t_split += ctx.now() - t_split0;
+                return Ok(repaired.expect("repair split uses a single colour"));
+            }
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                timings.t_split += ctx.now() - t_split0;
+                // A casualty inside the final reorder: abandon this round's
+                // children (they saw the same split error) and restart.
+                unordered.revoke(ctx);
+                inter.revoke(ctx);
+                reshrink!();
+                continue;
+            }
+            Err(e) => return Err(e),
         }
     }
-
-    // --- re-order so ranks match the pre-failure communicator. ---
-    let key = select_rank_key(unordered.rank(), shrinked_group_size, &failed_ranks, total_procs);
-    let t_split0 = ctx.now();
-    let repaired = unordered.split(ctx, Some(0), key)?.expect("repair split uses a single colour");
-    timings.t_split += ctx.now() - t_split0;
-    Ok(repaired)
 }
 
 /// Port of Fig. 3 (`communicatorReconstruct`): the detection/repair
@@ -252,17 +334,27 @@ pub fn communicator_reconstruct_with(
         let mut failure = false;
         if let Some(p) = parent.take() {
             // ---- child part (Fig. 3 lines 19–26). ----
+            // Any recoverable error here means a *further* failure struck
+            // while the survivors were attaching us: they abandon this
+            // round, re-shrink, and spawn fresh replacements. We hold no
+            // usable communicator, so we exit as orphaned — a clean
+            // termination, not an application error.
+            let orphan = |e: Error| match e {
+                Error::ProcFailed { .. } | Error::Revoked => Error::Orphaned,
+                other => other,
+            };
             let t_merge0 = ctx.now();
-            let unordered = p.merge(ctx, true)?;
+            let unordered = p.merge(ctx, true).map_err(orphan)?;
             timings.t_merge += ctx.now() - t_merge0;
             let t_agree0 = ctx.now();
             let mut flag = true;
-            p.agree(ctx, &mut flag)?;
+            let _ = p.agree(ctx, &mut flag); // fault-tolerant; advisory
             timings.t_agree += ctx.now() - t_agree0;
-            let old_rank: u64 = unordered.recv_one(ctx, 0, MERGE_TAG)?;
+            let old_rank: u64 = unordered.recv_one(ctx, 0, MERGE_TAG).map_err(orphan)?;
             let t_split0 = ctx.now();
             let ordered = unordered
-                .split(ctx, Some(0), old_rank as i64)?
+                .split(ctx, Some(0), old_rank as i64)
+                .map_err(orphan)?
                 .expect("child split uses a single colour");
             timings.t_split += ctx.now() - t_split0;
             reconstructed = Some(ordered);

@@ -24,6 +24,7 @@ use bytes::Bytes;
 use crate::bufpool::BufPool;
 use crate::datatype::{decode, decode_into, decode_one, encode, encode_into, MpiData};
 use crate::error::{Error, Result};
+use crate::faultplan::OpClass;
 use crate::group::Group;
 use crate::mailbox::{Envelope, Pattern, Tag};
 use crate::proc::ProcState;
@@ -110,6 +111,13 @@ pub struct Comm {
     pub(crate) shared: Arc<CommShared>,
     pub(crate) rank: usize,
     op_seq: Cell<u64>,
+    /// Separate sequence domain for the ULFM recovery operations
+    /// (`shrink`/`agree`): real ULFM runs them on out-of-band channels, so
+    /// they must rendezvous even when the ranks' *regular* collective
+    /// counters have diverged (ranks abort a failing protocol at different
+    /// points). `OpKind::Shrink`/`OpKind::Agree` keys are only ever minted
+    /// from this counter, so the two domains cannot collide.
+    recovery_seq: Cell<u64>,
     acked: RefCell<Vec<usize>>,
     errhandler: RefCell<Option<ErrHandler>>,
 }
@@ -120,6 +128,7 @@ impl Comm {
             shared,
             rank,
             op_seq: Cell::new(0),
+            recovery_seq: Cell::new(0),
             acked: RefCell::new(Vec::new()),
             errhandler: RefCell::new(None),
         }
@@ -388,6 +397,12 @@ impl Comm {
         OpKey { seq, kind }
     }
 
+    fn next_recovery_key(&self, kind: OpKind) -> OpKey {
+        let seq = self.recovery_seq.get();
+        self.recovery_seq.set(seq + 1);
+        OpKey { seq, kind }
+    }
+
     fn op_ctx<'a>(&'a self, ctx: &'a Ctx, semantics: OpSemantics, fail_cost: f64) -> OpCtx<'a> {
         OpCtx {
             my_index: self.rank,
@@ -407,7 +422,7 @@ impl Comm {
     /// `MPI_Barrier`. The paper uses a barrier's error return as its
     /// failure detector (its Fig. 3, line 13).
     pub fn barrier(&self, ctx: &Ctx) -> Result<()> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Barrier);
         let t0 = ctx.now();
         let p = self.size();
         let cost = ctx.net().barrier(p);
@@ -425,7 +440,7 @@ impl Comm {
 
     /// `MPI_Bcast`: `root` supplies `Some(data)`, everyone gets the data.
     pub fn bcast<T: MpiData>(&self, ctx: &Ctx, root: usize, data: Option<&[T]>) -> Result<Vec<T>> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Bcast);
         let t0 = ctx.now();
         if (self.rank == root) != data.is_some() {
             return Err(Error::InvalidArg("bcast: exactly the root must supply data".into()));
@@ -492,7 +507,7 @@ impl Comm {
         kind: OpKind,
         mine: &[T],
     ) -> Result<Arc<Vec<Bytes>>> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Gather);
         let t0 = ctx.now();
         let p = self.size();
         let net = *ctx.net();
@@ -532,7 +547,7 @@ impl Comm {
         root: usize,
         parts: Option<&[Vec<T>]>,
     ) -> Result<Vec<T>> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Scatter);
         let t0 = ctx.now();
         let p = self.size();
         if let Some(parts) = parts {
@@ -580,7 +595,7 @@ impl Comm {
     /// `MPI_Alltoallv`: rank *i*'s `parts[j]` ends up as element *i* of
     /// rank *j*'s result.
     pub fn alltoall<T: MpiData>(&self, ctx: &Ctx, parts: &[Vec<T>]) -> Result<Vec<Vec<T>>> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Alltoall);
         let t0 = ctx.now();
         let p = self.size();
         if parts.len() != p {
@@ -667,7 +682,7 @@ impl Comm {
         mine: &[T],
         tree_factor: f64,
     ) -> Result<Vec<T>> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Allreduce);
         let t0 = ctx.now();
         let p = self.size();
         let net = *ctx.net();
@@ -711,7 +726,7 @@ impl Comm {
     /// by `(key, old rank)` — the mechanism the paper uses to restore the
     /// original rank order after recovery (its Fig. 7).
     pub fn split(&self, ctx: &Ctx, color: Option<i64>, key: i64) -> Result<Option<Comm>> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Split);
         let t0 = ctx.now();
         let p = self.size();
         let net = *ctx.net();
@@ -759,7 +774,7 @@ impl Comm {
 
     /// `MPI_Comm_dup`.
     pub fn dup(&self, ctx: &Ctx) -> Result<Comm> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Dup);
         let t0 = ctx.now();
         let p = self.size();
         let net = *ctx.net();
@@ -799,12 +814,12 @@ impl Comm {
     /// `OMPI_Comm_shrink`: build a new communicator over the survivors,
     /// preserving relative rank order. Works on revoked communicators.
     pub fn shrink(&self, ctx: &Ctx) -> Result<Comm> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Shrink);
         let t0 = ctx.now();
         let p = self.size();
         let members = self.shared.members.clone();
         let model = ctx.model_handle();
-        let key = self.next_key(OpKind::Shrink);
+        let key = self.next_recovery_key(OpKind::Shrink);
         let out = self.shared.ops.run_op(
             key,
             self.op_ctx(ctx, OpSemantics { tolerant: true, revocable: false }, 0.0),
@@ -839,12 +854,12 @@ impl Comm {
     /// failures it has not yet acknowledged with [`Comm::failure_ack`]
     /// (ULFM's uniform-return rule). Works on revoked communicators.
     pub fn agree(&self, ctx: &Ctx, flag: &mut bool) -> Result<()> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Agree);
         let t0 = ctx.now();
         let p = self.size();
         let model = ctx.model_handle();
         let nfailed_now = self.failed_ranks().len();
-        let key = self.next_key(OpKind::Agree);
+        let key = self.next_recovery_key(OpKind::Agree);
         let out = self.shared.ops.run_op(
             key,
             self.op_ctx(ctx, OpSemantics { tolerant: true, revocable: false }, 0.0),
@@ -1011,7 +1026,7 @@ impl InterComm {
     /// (the paper has children pass `true` so they land on the top ranks,
     /// its Fig. 2).
     pub fn merge(&self, ctx: &Ctx, high: bool) -> Result<Comm> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Merge);
         let t0 = ctx.now();
         let members = self.all_members();
         let p = members.len();
@@ -1079,7 +1094,7 @@ impl InterComm {
     /// paper calls this on the parent intercommunicator to synchronize
     /// parents and children during recovery).
     pub fn agree(&self, ctx: &Ctx, flag: &mut bool) -> Result<()> {
-        ctx.check_killed();
+        ctx.fault_op(OpClass::Agree);
         let t0 = ctx.now();
         let members = self.all_members();
         let p = members.len();

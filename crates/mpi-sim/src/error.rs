@@ -31,6 +31,11 @@ pub enum Error {
     InvalidArg(String),
     /// The spawn operation could not allocate the requested hosts/slots.
     SpawnFailed(String),
+    /// This (respawned) process's repair round was abandoned by the
+    /// survivors because a further failure struck mid-reconstruction; the
+    /// process holds no usable communicator and must exit cleanly so the
+    /// survivors' restarted recovery loop can spawn its successor.
+    Orphaned,
 }
 
 impl Error {
@@ -63,6 +68,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidArg(s) => write!(f, "invalid argument: {s}"),
             Error::SpawnFailed(s) => write!(f, "spawn failed: {s}"),
+            Error::Orphaned => {
+                write!(f, "orphaned: repair round abandoned by a further failure")
+            }
         }
     }
 }

@@ -79,10 +79,10 @@ pub use comm::{Comm, ErrHandler, InterComm, ReduceOp, ANY_SOURCE, ANY_TAG};
 pub use costmodel::{BetaUlfm, ClusterProfile, DiskParams, IdealUlfm, NetParams, UlfmCostModel};
 pub use datatype::MpiData;
 pub use error::{Error, Result};
-pub use faultplan::FaultPlan;
+pub use faultplan::{FaultPlan, FaultSite, OpClass};
 pub use group::Group;
 pub use proc::ProcId;
-pub use runtime::{run, Ctx, Report, RunConfig, TraceEvent, Value};
+pub use runtime::{run, Ctx, RecoveryScope, Report, RunConfig, TraceEvent, Value};
 pub use spawn::{comm_spawn_multiple, SpawnSpec};
 pub use topology::{Host, Hostfile};
 pub use trace_export::{to_chrome_trace, write_chrome_trace};

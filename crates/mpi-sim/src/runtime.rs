@@ -22,6 +22,7 @@ use rand::SeedableRng;
 
 use crate::comm::{Comm, CommShared, InterComm, InterShared};
 use crate::costmodel::{BetaUlfm, ClusterProfile, IdealUlfm, NetParams, UlfmCostModel};
+use crate::faultplan::{FaultPlan, FaultSite, OpClass};
 use crate::proc::{KillSignal, ProcId, ProcState};
 use crate::topology::Hostfile;
 
@@ -198,6 +199,8 @@ impl Universe {
                     world: world.map(|(s, r)| Comm::from_shared(s, r)),
                     parent: parent.map(|(s, r)| InterComm::new(s, 1, r)),
                     rng: RefCell::new(StdRng::seed_from_u64(seed)),
+                    faults: RefCell::new(None),
+                    recovery_depth: Cell::new(0),
                 };
                 let entry = Arc::clone(&uni.entry);
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
@@ -303,6 +306,31 @@ pub struct Ctx {
     world: Option<Comm>,
     parent: Option<InterComm>,
     rng: RefCell<StdRng>,
+    /// Armed operation-site kills for this rank ([`Ctx::arm_fault_sites`]).
+    faults: RefCell<Option<FaultArm>>,
+    /// Nesting depth of recovery scopes ([`Ctx::recovery_scope`]); while
+    /// positive, runtime ops also advance the `DuringRecovery` counter.
+    recovery_depth: Cell<u32>,
+}
+
+/// Per-rank state of armed non-step fault sites.
+struct FaultArm {
+    sites: Vec<FaultSite>,
+    op_counts: HashMap<OpClass, u64>,
+    recovery_ops: u64,
+}
+
+/// RAII marker for "recovery of a previous failure is in progress" on this
+/// rank; see [`Ctx::recovery_scope`].
+pub struct RecoveryScope<'a> {
+    ctx: &'a Ctx,
+}
+
+impl Drop for RecoveryScope<'_> {
+    fn drop(&mut self) {
+        let d = self.ctx.recovery_depth.get();
+        self.ctx.recovery_depth.set(d.saturating_sub(1));
+    }
 }
 
 impl Ctx {
@@ -376,8 +404,11 @@ impl Ctx {
         (here as f64 / slots as f64).max(1.0)
     }
 
-    /// Charge one checkpoint-style disk write of `bytes`.
+    /// Charge one checkpoint-style disk write of `bytes`. A fault-site
+    /// hook: a victim armed at a [`OpClass::CkptWrite`] site dies here,
+    /// before the write lands.
     pub fn disk_write(&self, bytes: usize) {
+        self.fault_op(OpClass::CkptWrite);
         self.advance(self.uni.profile.disk.write(bytes));
     }
 
@@ -399,6 +430,72 @@ impl Ctx {
     pub fn check_killed(&self) {
         if self.me.killed.load(Ordering::Acquire) {
             std::panic::panic_any(KillSignal)
+        }
+    }
+
+    /// Arm this rank's non-step fault sites from `plan`. Called once by
+    /// the application after learning its rank; respawned replacements must
+    /// NOT re-arm (their fresh operation counters would strike again at the
+    /// same index, killing every replacement in an endless loop).
+    pub fn arm_fault_sites(&self, plan: &FaultPlan, rank: usize) {
+        let sites = plan.sites_for(rank);
+        *self.faults.borrow_mut() = if sites.is_empty() {
+            None
+        } else {
+            Some(FaultArm { sites, op_counts: HashMap::new(), recovery_ops: 0 })
+        };
+    }
+
+    /// Enter a "recovery in progress" region; prefer the RAII form — the
+    /// guard exits the region when dropped, including on unwind.
+    pub fn recovery_scope(&self) -> RecoveryScope<'_> {
+        self.enter_recovery();
+        RecoveryScope { ctx: self }
+    }
+
+    /// Mark the start of recovery handling on this rank (counted, nestable).
+    pub fn enter_recovery(&self) {
+        self.recovery_depth.set(self.recovery_depth.get() + 1);
+    }
+
+    /// Mark the end of recovery handling on this rank.
+    pub fn exit_recovery(&self) {
+        self.recovery_depth.set(self.recovery_depth.get().saturating_sub(1));
+    }
+
+    /// True while this rank is inside a recovery scope.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery_depth.get() > 0
+    }
+
+    /// The kill hook at the top of every runtime operation: honours an
+    /// external kill first, then advances this rank's per-class (and, in a
+    /// recovery scope, in-recovery) operation counters and fail-stops if an
+    /// armed [`FaultSite`] matches. Public so applications can extend the
+    /// taxonomy to their own operation sites.
+    pub fn fault_op(&self, kind: OpClass) {
+        self.check_killed();
+        let mut guard = self.faults.borrow_mut();
+        let Some(arm) = guard.as_mut() else { return };
+        let mut fire = false;
+        if self.recovery_depth.get() > 0 {
+            let idx = arm.recovery_ops;
+            arm.recovery_ops += 1;
+            fire |= arm
+                .sites
+                .iter()
+                .any(|s| matches!(s, FaultSite::DuringRecovery { nth } if *nth == idx));
+        }
+        let count = arm.op_counts.entry(kind).or_insert(0);
+        let idx = *count;
+        *count += 1;
+        fire |= arm
+            .sites
+            .iter()
+            .any(|s| matches!(s, FaultSite::Op { kind: k, nth } if *k == kind && *nth == idx));
+        drop(guard);
+        if fire {
+            self.die();
         }
     }
 
@@ -430,6 +527,13 @@ impl Ctx {
     /// Deposit text into the run report.
     pub fn report_text(&self, key: &str, v: &str) {
         self.uni.blackboard.lock().insert(key.to_string(), Value::Text(v.to_string()));
+    }
+
+    /// Deposit a whole series into the run report (last write wins —
+    /// unlike [`Ctx::report_push`], retried phases don't accumulate
+    /// duplicates).
+    pub fn report_list(&self, key: &str, v: &[f64]) {
+        self.uni.blackboard.lock().insert(key.to_string(), Value::List(v.to_vec()));
     }
 
     /// Append to a series in the run report.
@@ -489,6 +593,19 @@ pub fn run<F>(config: RunConfig, entry: F) -> Report
 where
     F: Fn(&mut Ctx) + Send + Sync + 'static,
 {
+    // Fail-stop kills unwind via `panic_any(KillSignal)` and are caught at
+    // the thread boundary; keep the default panic hook from spraying a
+    // backtrace for each one (they are simulated failures, not bugs).
+    static QUIET_KILLS: std::sync::Once = std::sync::Once::new();
+    QUIET_KILLS.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<KillSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+
     let needed_hosts = config.world.div_ceil(config.profile.slots_per_host.max(1));
     let hosts =
         needed_hosts.max(config.profile.hosts.min(needed_hosts.max(1))) + config.spare_hosts;

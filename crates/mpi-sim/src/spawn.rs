@@ -47,7 +47,7 @@ impl SpawnSpec {
 /// [`crate::Ctx::parent`] set and their own spawn-group communicator as
 /// their initial world.
 pub fn comm_spawn_multiple(ctx: &Ctx, comm: &Comm, specs: &[SpawnSpec]) -> Result<InterComm> {
-    ctx.check_killed();
+    ctx.fault_op(crate::faultplan::OpClass::Spawn);
     let t0 = ctx.now();
     if specs.is_empty() {
         return Err(Error::InvalidArg("spawn of zero processes".into()));

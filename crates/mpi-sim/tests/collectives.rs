@@ -334,7 +334,12 @@ fn iprobe_and_nonblocking_recv() {
             w.send_one(ctx, 1, 1, 0u8).unwrap();
             let data = req.wait(ctx).unwrap();
             assert_eq!(data, vec![77]);
-            // And iprobe now sees a second queued message before recv.
+            // And iprobe sees a second queued message before recv consumes
+            // it. The sender's second push races with our wait, so spin
+            // until it lands — iprobe itself must never consume.
+            while !w.iprobe(ctx, Some(1), Some(6)).unwrap() {
+                std::thread::yield_now();
+            }
             assert!(w.iprobe(ctx, Some(1), Some(6)).unwrap());
             let tail: u64 = w.recv_one(ctx, 1, 6).unwrap();
             assert_eq!(tail, 88);
