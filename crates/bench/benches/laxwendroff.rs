@@ -9,7 +9,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use advect2d::laxwendroff::{lax_wendroff_kernel, lax_wendroff_row, lax_wendroff_step, LwCoef};
 use advect2d::{AdvectionProblem, LocalSolver, PaddedField};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sparsegrid::{Grid2, LevelPair};
+use sparsegrid::{
+    combine_onto_into, gcp_coefficients, CombinationTerm, Grid2, GridSystem, Layout as GridLayout,
+    LevelPair,
+};
 
 /// A pass-through allocator that counts calls to `alloc`/`realloc`. The
 /// counter is how the bench proves "allocation-free": warm code paths
@@ -140,7 +143,51 @@ fn assert_alloc_free(_c: &mut Criterion) {
     }
     let after = alloc_count();
     assert_eq!(after - before, 0, "naive step with warm scratch allocated {}", after - before);
-    println!("alloc_discipline: 0 allocations over 128 steady-state steps ... ok");
+
+    // A full combine round over warm storage must also be allocation-free:
+    // each term is re-materialized into its preallocated partial
+    // (`combine_onto_into`), then the partials are merged with the
+    // binomial-tree association via in-place `axpy` — the same
+    // materialize + pairwise-merge work every leader performs per round
+    // in the distributed tree combination.
+    let sys = GridSystem::new(6, 3, GridLayout::Plain);
+    let coeffs = gcp_coefficients(&sys.classical_downset());
+    let grids: Vec<(f64, Grid2)> = coeffs
+        .iter()
+        .filter(|(_, &c)| c != 0)
+        .map(|(&lv, &c)| (c as f64, Grid2::from_fn(lv, |x, y| (5.0 * x).sin() + 2.0 * y)))
+        .collect();
+    let target = sys.min_level();
+    let mut parts: Vec<Grid2> = grids.iter().map(|_| Grid2::zeros(target)).collect();
+    let combine_round = |parts: &mut Vec<Grid2>| {
+        for ((c, g), part) in grids.iter().zip(parts.iter_mut()) {
+            combine_onto_into(part, &[CombinationTerm { coeff: *c, grid: g }]);
+        }
+        let mut stride = 1;
+        while stride < parts.len() {
+            let mut i = 0;
+            while i + stride < parts.len() {
+                let (head, tail) = parts.split_at_mut(i + stride);
+                head[i].axpy(1.0, &tail[0]);
+                i += 2 * stride;
+            }
+            stride *= 2;
+        }
+    };
+    combine_round(&mut parts); // warm-up
+    let before = alloc_count();
+    for _ in 0..8 {
+        combine_round(&mut parts);
+    }
+    let after = alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "combine round over warm partials allocated {} times",
+        after - before
+    );
+    assert!(parts[0].values().iter().all(|v| v.is_finite()));
+    println!("alloc_discipline: 0 allocations over 128 steps + 8 combine rounds ... ok");
 }
 
 criterion_group!(benches, assert_alloc_free, bench_kernel, bench_level9_step, bench_local_solver);

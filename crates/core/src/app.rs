@@ -17,8 +17,8 @@ use sparsegrid::{
 use ulfm_sim::{Comm, Ctx, Error, Result};
 
 use crate::checkpoint::CheckpointStore;
-use crate::config::{AppConfig, Technique};
-use crate::gather::{gather_grid, recv_grid, send_grid};
+use crate::config::{AppConfig, CombineMode, Technique};
+use crate::gather::{binomial_combine, gather_grid, recv_grid_into, send_grid, GridScratch};
 use crate::layout::{Assignment, ProcLayout};
 use crate::psolve::DistributedSolver;
 use crate::reconstruct::{communicator_reconstruct_with, ReconstructTimings};
@@ -26,6 +26,9 @@ use crate::recovery;
 
 /// World tag base for shipping combining grids to the controller.
 const TAG_COMBINE: i32 = 9000;
+
+/// World tag for the binomial reduction tree's hop payloads.
+const TAG_TREE: i32 = 9500;
 
 /// Report keys the application deposits (see [`AppOutcome`]).
 pub mod keys {
@@ -85,6 +88,23 @@ fn detection_points(cfg: &AppConfig) -> Vec<u64> {
     }
     v.push(steps);
     v
+}
+
+/// Gather this rank's sub-grid to its group root: the owned block is
+/// staged through the shared `block_buf` (no per-call allocation), then
+/// group-gathered. One helper serves the periodic checkpoint write and
+/// the final combination identically. Returns `Some(grid)` on the group
+/// root, `None` elsewhere.
+fn gather_own_grid(
+    ctx: &Ctx,
+    group: &Comm,
+    layout: &ProcLayout,
+    my: Assignment,
+    solver: &DistributedSolver,
+    block_buf: &mut Vec<f64>,
+) -> Result<Option<Grid2>> {
+    solver.local_block_into(block_buf);
+    gather_grid(ctx, group, layout.group(my.grid), solver.level(), block_buf)
 }
 
 fn build_group(ctx: &Ctx, world: &Comm, my: Assignment) -> Result<Comm> {
@@ -422,8 +442,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             // Healthy checkpoint write ("failure detection is tested prior
             // to initiating the checkpoint write").
             let t0 = ctx.now();
-            solver.local_block_into(&mut block_buf);
-            match gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf) {
+            match gather_own_grid(ctx, &group, &layout, my, &solver, &mut block_buf) {
                 Ok(full) => {
                     if let Some(g) = full {
                         let bytes = store
@@ -562,33 +581,84 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             let combining = combine_ids.contains(&my.grid);
             let mut my_full: Option<Grid2> = None;
             if combining {
-                solver.local_block_into(&mut block_buf);
-                my_full =
-                    gather_grid(ctx, &group, layout.group(my.grid), solver.level(), &block_buf)?;
-                if let Some(g) = &my_full {
-                    if world.rank() != 0 {
-                        send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g)?;
+                my_full = gather_own_grid(ctx, &group, &layout, my, &solver, &mut block_buf)?;
+            }
+            let target = sys.min_level();
+            let combined: Option<Grid2> = match cfg.combine_mode {
+                CombineMode::Central => {
+                    // Reference path: every leader ships its whole grid to
+                    // the controller, which left-folds the combination.
+                    if let Some(g) = &my_full {
+                        if world.rank() != 0 {
+                            send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g)?;
+                        }
+                    }
+                    if world.rank() == 0 {
+                        let mut scratch = GridScratch::default();
+                        let mut sources: Vec<(f64, Grid2)> = Vec::new();
+                        for (&gid, &coeff) in combine_ids.iter().zip(&combine_coeffs) {
+                            let grid = if layout.root_of(gid) == world.rank() {
+                                // Each grid id is combined exactly once, so
+                                // the gathered grid can be moved, not cloned.
+                                my_full.take().expect("controller gathered its own grid")
+                            } else {
+                                recv_grid_into(
+                                    ctx,
+                                    &world,
+                                    layout.root_of(gid),
+                                    TAG_COMBINE + gid as i32,
+                                    &mut scratch,
+                                )?
+                            };
+                            sources.push((coeff, grid));
+                        }
+                        let terms: Vec<CombinationTerm> = sources
+                            .iter()
+                            .map(|(c, g)| CombinationTerm { coeff: *c, grid: g })
+                            .collect();
+                        let combined = combine_onto(target, &terms);
+                        ctx.compute_cells((terms.len() * target.points()) as u64);
+                        Some(combined)
+                    } else {
+                        None
                     }
                 }
-            }
+                CombineMode::Tree => {
+                    // Binomial reduction tree over the group leaders, in
+                    // combination-term order: each leader materializes its
+                    // own term on the target level, then partially combined
+                    // grids flow down a log-depth tree (bitwise equal to
+                    // `combine_binomial` of the same ordered term list).
+                    let leaders: Vec<usize> =
+                        combine_ids.iter().map(|&gid| layout.root_of(gid)).collect();
+                    let part = match my_full.take() {
+                        Some(g) => {
+                            let k = combine_ids
+                                .iter()
+                                .position(|&gid| gid == my.grid)
+                                .expect("leader's grid is a combination term");
+                            let term = CombinationTerm { coeff: combine_coeffs[k], grid: &g };
+                            let p = combine_onto(target, std::slice::from_ref(&term));
+                            ctx.compute_cells(target.points() as u64);
+                            Some(p)
+                        }
+                        None => None,
+                    };
+                    binomial_combine(
+                        ctx,
+                        &world,
+                        &leaders,
+                        0,
+                        target,
+                        part,
+                        &mut block_buf,
+                        TAG_TREE,
+                    )?
+                }
+            };
             let mut err = f64::NAN;
             if world.rank() == 0 {
-                let mut sources: Vec<(f64, Grid2)> = Vec::new();
-                for (&gid, &coeff) in combine_ids.iter().zip(&combine_coeffs) {
-                    let grid = if layout.root_of(gid) == world.rank() {
-                        // Each grid id is combined exactly once, so the
-                        // gathered grid can be moved out instead of cloned.
-                        my_full.take().expect("controller gathered its own grid")
-                    } else {
-                        recv_grid(ctx, &world, layout.root_of(gid), TAG_COMBINE + gid as i32)?
-                    };
-                    sources.push((coeff, grid));
-                }
-                let terms: Vec<CombinationTerm> =
-                    sources.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
-                let target = sys.min_level();
-                let combined = combine_onto(target, &terms);
-                ctx.compute_cells((terms.len() * target.points()) as u64);
+                let combined = combined.unwrap_or_else(|| Grid2::zeros(target));
                 let t_final = tg.dt * steps as f64;
                 err = l1_error_vs(&combined, cfg.problem.exact_at(t_final));
                 if let Some(prefix) = &cfg.output_prefix {

@@ -104,6 +104,24 @@ pub struct AppConfig {
     /// If set, the controller writes the combined solution here as
     /// `<prefix>.csv` and `<prefix>.pgm` after the final combination.
     pub output_prefix: Option<PathBuf>,
+    /// Combine via the binomial reduction tree over group leaders
+    /// (default) or the centralized master gather kept in-tree as the
+    /// reference path. The tree result is bitwise equal to
+    /// `sparsegrid::combine_binomial` of the same ordered term list; the
+    /// central path reproduces the left-fold `combine_onto`.
+    pub combine_mode: CombineMode,
+}
+
+/// How the final combination is evaluated across group leaders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineMode {
+    /// Binomial reduction tree over group leaders: each hop ships a
+    /// partially combined grid, depth `⌈log₂ G⌉`.
+    #[default]
+    Tree,
+    /// Every leader ships its grid to rank 0, which evaluates the
+    /// left-fold combination serially (the pre-tree reference path).
+    Central,
 }
 
 impl AppConfig {
@@ -122,6 +140,7 @@ impl AppConfig {
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
             output_prefix: None,
+            combine_mode: CombineMode::default(),
         }
     }
 
@@ -142,6 +161,7 @@ impl AppConfig {
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
             output_prefix: None,
+            combine_mode: CombineMode::default(),
         }
     }
 
@@ -172,6 +192,12 @@ impl AppConfig {
     /// Replace the checkpoint count (Eq. 2 output).
     pub fn with_checkpoints(mut self, c: u32) -> Self {
         self.checkpoints = c;
+        self
+    }
+
+    /// Combine via the centralized master gather (the reference path).
+    pub fn with_central_combine(mut self) -> Self {
+        self.combine_mode = CombineMode::Central;
         self
     }
 

@@ -116,16 +116,123 @@ pub fn send_grid(ctx: &Ctx, comm: &Comm, dest: usize, tag: i32, grid: &Grid2) ->
 
 /// Receive a whole grid sent by [`send_grid`].
 pub fn recv_grid(ctx: &Ctx, comm: &Comm, src: usize, tag: i32) -> Result<Grid2> {
-    let header: Vec<u64> = comm.recv(ctx, src, tag)?;
-    if header.len() != 2 {
+    let mut scratch = GridScratch::default();
+    recv_grid_into(ctx, comm, src, tag, &mut scratch)
+}
+
+/// Reused receive buffers for [`recv_grid_into`]: holding them across
+/// calls keeps repeated grid receives (the combination's hop payloads,
+/// the recovery transfers) free of per-message heap allocation on the
+/// application side — the wire bytes are already pooled by the
+/// simulator's `BufPool`.
+#[derive(Debug, Default)]
+pub struct GridScratch {
+    header: Vec<u64>,
+    values: Vec<f64>,
+}
+
+/// [`recv_grid`] into reused scratch storage. The returned [`Grid2`]
+/// takes the scratch value buffer (it must own its storage); the scratch
+/// regrows on the next call from the pool-backed wire payload, so the
+/// steady state performs no allocation once the buffers reached the
+/// high-water mark of the grid sizes flowing through them.
+pub fn recv_grid_into(
+    ctx: &Ctx,
+    comm: &Comm,
+    src: usize,
+    tag: i32,
+    scratch: &mut GridScratch,
+) -> Result<Grid2> {
+    comm.recv_into(ctx, src, tag, &mut scratch.header)?;
+    if scratch.header.len() != 2 {
         return Err(Error::InvalidArg(format!(
             "recv_grid: malformed header of {} values",
-            header.len()
+            scratch.header.len()
         )));
     }
-    let level = LevelPair::new(header[0] as u32, header[1] as u32);
-    let values: Vec<f64> = comm.recv(ctx, src, tag)?;
-    Grid2::from_raw(level, values).map_err(Error::InvalidArg)
+    let level = LevelPair::new(scratch.header[0] as u32, scratch.header[1] as u32);
+    comm.recv_into(ctx, src, tag, &mut scratch.values)?;
+    Grid2::from_raw(level, std::mem::take(&mut scratch.values)).map_err(Error::InvalidArg)
+}
+
+/// Binomial-tree reduction of per-leader partial grids, ending at world
+/// rank `root` (§II-A's combination, restructured from the centralized
+/// master gather into a log-depth reduction over the group leaders).
+///
+/// `leaders[k]` is the world rank holding partial `k`; `mine` must be
+/// `Some` exactly on those ranks (every partial lives on `target`).
+/// Round `r` pairs index `i` with `i + 2^r`: the higher index ships its
+/// partial (a whole, partially-combined grid) and drops out, the lower
+/// one adds it in place. The pairing and the per-receiver addition order
+/// are exactly those of [`sparsegrid::combine_binomial`], and each hop
+/// merge is a plain elementwise `+=`, so the reduced grid is **bitwise
+/// equal** to that serial reference for the same ordered term list.
+///
+/// All hops use the nonblocking `isend`/`irecv_into`/`wait` path: a peer
+/// dying mid-tree surfaces `ProcFailed` (or `Revoked`) at the waiting
+/// rank instead of wedging it, and every hop is a fault-injection site.
+/// `scratch` is the reused hop-receive buffer. Returns the combined grid
+/// on `root` (`None` if `leaders` is empty), `None` elsewhere.
+#[allow(clippy::too_many_arguments)]
+pub fn binomial_combine(
+    ctx: &Ctx,
+    comm: &Comm,
+    leaders: &[usize],
+    root: usize,
+    target: LevelPair,
+    mine: Option<Grid2>,
+    scratch: &mut Vec<f64>,
+    tag: i32,
+) -> Result<Option<Grid2>> {
+    let me = comm.rank();
+    let my_idx = leaders.iter().position(|&r| r == me);
+    debug_assert_eq!(my_idx.is_some(), mine.is_some(), "partial iff leader");
+    let n = leaders.len();
+    let mut part = mine;
+    if let (Some(i), Some(grid)) = (my_idx, part.as_mut()) {
+        let mut stride = 1;
+        while stride < n {
+            if i % (2 * stride) == stride {
+                // Ship my partial down the tree and drop out.
+                comm.isend(ctx, leaders[i - stride], tag, grid.values())?.wait(ctx)?;
+                part = None;
+                break;
+            }
+            if i % (2 * stride) == 0 && i + stride < n {
+                comm.irecv_into(ctx, leaders[i + stride], tag, scratch)?.wait(ctx)?;
+                let vals = grid.values_mut();
+                if scratch.len() != vals.len() {
+                    return Err(Error::InvalidArg(format!(
+                        "tree combine: hop payload of {} values, expected {}",
+                        scratch.len(),
+                        vals.len()
+                    )));
+                }
+                for (a, b) in vals.iter_mut().zip(scratch.iter()) {
+                    *a += *b;
+                }
+                ctx.compute_cells(vals.len() as u64);
+            }
+            stride *= 2;
+        }
+    }
+    // The reduction ends at `leaders[0]`; ship to `root` if different.
+    if n == 0 {
+        return Ok(None);
+    }
+    if leaders[0] == root {
+        return Ok(if me == root { part } else { None });
+    }
+    if me == leaders[0] {
+        let grid = part.take().expect("reduction root holds the combined grid");
+        comm.isend(ctx, root, tag, grid.values())?.wait(ctx)?;
+        Ok(None)
+    } else if me == root {
+        comm.irecv_into(ctx, leaders[0], tag, scratch)?.wait(ctx)?;
+        Grid2::from_raw(target, std::mem::take(scratch)).map(Some).map_err(Error::InvalidArg)
+    } else {
+        Ok(None)
+    }
 }
 
 #[cfg(test)]

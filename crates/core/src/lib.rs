@@ -32,7 +32,7 @@ pub mod reconstruct;
 pub mod recovery;
 
 pub use app::{run_app, AppOutcome};
-pub use config::{AppConfig, Technique};
+pub use config::{AppConfig, CombineMode, Technique};
 pub use layout::{Assignment, GroupInfo, ProcLayout};
 pub use reconstruct::{
     communicator_reconstruct, communicator_reconstruct_with, repair_comm, repair_comm_with,

@@ -13,7 +13,7 @@ use advect2d::laxwendroff::{lax_wendroff_row, LwCoef};
 use advect2d::stepper::PaddedField;
 use advect2d::AdvectionProblem;
 use sparsegrid::{ensure_len, LevelPair};
-use ulfm_sim::{Comm, Ctx, Result};
+use ulfm_sim::{waitall, Comm, Ctx, Result};
 
 use crate::layout::GroupInfo;
 
@@ -51,6 +51,9 @@ pub struct DistributedSolver {
     field: PaddedField,
     send_buf: Vec<f64>,
     recv_buf: Vec<f64>,
+    /// Second receive buffer so both directions of a halo axis can have
+    /// nonblocking receives posted at once.
+    recv_buf2: Vec<f64>,
     steps_done: u64,
 }
 
@@ -90,6 +93,7 @@ impl DistributedSolver {
             field: PaddedField::new(lnx, lny),
             send_buf: Vec::new(),
             recv_buf: Vec::new(),
+            recv_buf2: Vec::new(),
             steps_done: 0,
         };
         s.reset_to_initial();
@@ -206,15 +210,108 @@ impl DistributedSolver {
         Ok(())
     }
 
-    /// Advance one timestep (halo exchange + stencil). Errors with
-    /// `ProcFailed` if a halo partner has died — the group is then
-    /// *broken* and must be data-recovered as a whole (§II-D).
+    /// Advance one timestep with communication–computation overlap:
+    /// post the y-direction halo ring nonblocking, compute the deep
+    /// interior (no halo dependence) while the rows fly, complete and
+    /// install them, post the x-direction ring (full padded height — the
+    /// packed columns carry the freshly installed y-halos so corners
+    /// propagate), compute the north/south boundary rows, complete, and
+    /// finish the east/west boundary columns. Every cell evaluates the
+    /// exact expression of [`step_blocking`], just in a different order of
+    /// disjoint regions, so the result is **bitwise equal** to the
+    /// blocking reference — while the halo flight time is hidden behind
+    /// the interior stencil (`max(compute, exposed_comm)` instead of
+    /// their sum on the virtual clock).
     ///
-    /// The stencil writes each output row directly into the second
-    /// padded buffer and the buffers ping-pong — the interior copy-back
-    /// of the scratch formulation is gone, and the next exchange
-    /// refreshes the whole halo ring anyway.
+    /// Errors with `ProcFailed` if a halo partner has died — all posted
+    /// requests are still driven to completion by `waitall` first, so a
+    /// mid-step death surfaces uniformly and never wedges a survivor. The
+    /// group is then *broken* and must be data-recovered as a whole
+    /// (§II-D).
+    ///
+    /// [`step_blocking`]: DistributedSolver::step_blocking
     pub fn step(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
+        let (lnx, lny) = (self.lnx, self.lny);
+        let pnx = lnx + 2;
+        let coef = self.coef;
+        let north = self.neighbor(0, 1);
+        let south = self.neighbor(0, -1);
+        let east = self.neighbor(1, 0);
+        let west = self.neighbor(-1, 0);
+        let DistributedSolver { field, send_buf, recv_buf, recv_buf2, .. } = self;
+        let kernel = |s: &[f64], c: &[f64], n: &[f64], out: &mut [f64]| {
+            lax_wendroff_row(s, c, n, &coef, out)
+        };
+
+        // Phase 1: y direction (interior rows, contiguous — no packing).
+        // Eager sends copy at post time, so the field stays free for the
+        // stencil while the requests are in flight.
+        let mut ry = [
+            group.isend(ctx, north, TAG_N, field.interior_row(lny - 1))?,
+            group.isend(ctx, south, TAG_S, field.interior_row(0))?,
+            group.irecv_into(ctx, south, TAG_N, recv_buf)?,
+            group.irecv_into(ctx, north, TAG_S, recv_buf2)?,
+        ];
+        // Deep interior: needs no halo at all.
+        field.step_region(1, lny.saturating_sub(1), 1, lnx.saturating_sub(1), kernel);
+        ctx.compute_step_cells((lny.saturating_sub(2) * lnx.saturating_sub(2)) as u64);
+        waitall(ctx, &mut ry)?;
+        debug_assert_eq!(recv_buf.len(), lnx);
+        field.padded_mut()[1..1 + lnx].copy_from_slice(&recv_buf[..lnx]);
+        field.padded_mut()[(lny + 1) * pnx + 1..][..lnx].copy_from_slice(&recv_buf2[..lnx]);
+
+        // Phase 2: x direction, full padded height so corners propagate.
+        // One scratch buffer serves both packs: the eager isend has
+        // copied the first column before the second overwrites it.
+        ensure_len(send_buf, lny + 2);
+        for (m, v) in send_buf.iter_mut().enumerate() {
+            *v = field.padded()[m * pnx + lnx];
+        }
+        let re = group.isend(ctx, east, TAG_E, send_buf)?;
+        for (m, v) in send_buf.iter_mut().enumerate() {
+            *v = field.padded()[m * pnx + 1];
+        }
+        let rw = group.isend(ctx, west, TAG_W, send_buf)?;
+        let mut rx = [
+            re,
+            rw,
+            group.irecv_into(ctx, west, TAG_E, recv_buf)?,
+            group.irecv_into(ctx, east, TAG_W, recv_buf2)?,
+        ];
+        // North/south boundary rows need only the y-halos just installed.
+        field.step_region(0, 1, 1, lnx.saturating_sub(1), kernel);
+        if lny > 1 {
+            field.step_region(lny - 1, lny, 1, lnx.saturating_sub(1), kernel);
+        }
+        let edge_rows = if lny > 1 { 2 } else { 1 };
+        ctx.compute_step_cells((edge_rows * lnx.saturating_sub(2)) as u64);
+        waitall(ctx, &mut rx)?;
+        debug_assert_eq!(recv_buf.len(), lny + 2);
+        {
+            let padded = field.padded_mut();
+            for m in 0..lny + 2 {
+                padded[m * pnx] = recv_buf[m];
+                padded[m * pnx + lnx + 1] = recv_buf2[m];
+            }
+        }
+        // East/west boundary columns complete the ring.
+        field.step_region(0, lny, 0, 1, kernel);
+        if lnx > 1 {
+            field.step_region(0, lny, lnx - 1, lnx, kernel);
+        }
+        let edge_cols = if lnx > 1 { 2 } else { 1 };
+        ctx.compute_step_cells((edge_cols * lny) as u64);
+        field.commit_step();
+        self.steps_done += 1;
+        Ok(())
+    }
+
+    /// The blocking reference step (halo exchange, then the whole
+    /// stencil): kept in-tree as the bitwise oracle for [`step`] and as
+    /// the serial baseline the overlap benchmarks compare against.
+    ///
+    /// [`step`]: DistributedSolver::step
+    pub fn step_blocking(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
         self.halo_exchange(ctx, group)?;
         let coef = self.coef;
         self.field.step(|s, c, n, out| lax_wendroff_row(s, c, n, &coef, out));

@@ -69,6 +69,7 @@ fn soak_random_failures_all_techniques() {
             simulated_lost_grids: Vec::new(),
             respawn_policy: Default::default(),
             output_prefix: None,
+            combine_mode: Default::default(),
         };
         let layout = ProcLayout::new(n, l, technique.layout(), scale);
         let n_failures = rng.gen_range(1usize..=3).min(layout.world_size() / 4);

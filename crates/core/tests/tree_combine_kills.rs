@@ -1,0 +1,119 @@
+//! Kill-inside-a-tree-combine-hop stress: victims die at the top of
+//! their Nth `isend`/`irecv`/`wait` — all of which are reduction-tree
+//! hops in this script — and the survivors' revoke → shrink → retry loop
+//! must converge to a combined grid that is **bitwise equal** to
+//! [`combine_binomial`] over the surviving terms in leader order.
+
+use ftsg_core::gather::binomial_combine;
+use sparsegrid::{combine_binomial, combine_onto, CombinationTerm, Grid2, LevelPair};
+use ulfm_sim::{run, Error, FaultPlan, FaultSite, OpClass, Report, RunConfig};
+
+const WORLD: usize = 5;
+
+/// One source grid per original rank, scaled by `v` so every term is
+/// distinguishable and the oracle can be rebuilt from gathered scalars.
+fn source(target: LevelPair, v: f64) -> Grid2 {
+    Grid2::from_fn(target, |x, y| v * (1.0 + x + 2.0 * y))
+}
+
+/// Every rank is a leader; the tree reduces to rank 0, which verifies
+/// the result bitwise against the serial reference, then a strict gather
+/// closes each attempt so survivors agree uniformly on failures.
+fn run_script(plan: FaultPlan) -> Report {
+    run(RunConfig::local(WORLD), move |ctx| {
+        let w0 = ctx.initial_world().unwrap();
+        ctx.arm_fault_sites(&plan, w0.rank());
+        let myval = (w0.rank() + 1) as f64;
+        let target = LevelPair::new(3, 3);
+        let mut comm = w0;
+        let mut attempts = 0u32;
+        let mut scratch: Vec<f64> = Vec::new();
+        loop {
+            attempts += 1;
+            assert!(attempts <= 6, "tree retry did not converge");
+            let res = (|| -> ulfm_sim::Result<()> {
+                let leaders: Vec<usize> = (0..comm.size()).collect();
+                let src = source(target, myval);
+                let term = CombinationTerm { coeff: 1.0, grid: &src };
+                let part = combine_onto(target, std::slice::from_ref(&term));
+                let combined = binomial_combine(
+                    ctx,
+                    &comm,
+                    &leaders,
+                    0,
+                    target,
+                    Some(part),
+                    &mut scratch,
+                    42,
+                )?;
+                // Strict collective: survivors uniformly observe any death.
+                let vals = comm.gather(ctx, 0, &[myval])?;
+                if let Some(vals) = vals {
+                    let flat: Vec<f64> = vals.into_iter().flatten().collect();
+                    let srcs: Vec<Grid2> = flat.iter().map(|&v| source(target, v)).collect();
+                    let terms: Vec<CombinationTerm> =
+                        srcs.iter().map(|g| CombinationTerm { coeff: 1.0, grid: g }).collect();
+                    let oracle = combine_binomial(target, &terms);
+                    let combined = combined.expect("reduction root holds the combined grid");
+                    assert_eq!(combined, oracle, "tree combine must match the serial reference");
+                    ctx.report_add("verified", 1.0);
+                }
+                Ok(())
+            })();
+            match res {
+                Ok(()) => break,
+                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                    comm.revoke(ctx);
+                    comm = comm.shrink(ctx).expect("shrink after failure");
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        ctx.report_add("done", 1.0);
+    })
+}
+
+fn check(plan: FaultPlan, expect_failed: usize) {
+    let report = run_script(plan);
+    report.assert_no_app_errors();
+    assert_eq!(report.procs_failed, expect_failed, "wrong number of deaths");
+    assert_eq!(report.get_f64("done"), Some((WORLD - expect_failed) as f64));
+    assert_eq!(report.get_f64("verified"), Some(1.0), "exactly one verified combination");
+}
+
+#[test]
+fn healthy_tree_matches_serial_reference() {
+    check(FaultPlan::none(), 0);
+}
+
+#[test]
+fn kill_inside_tree_send_hop() {
+    // With 5 leaders: round 1 pairs (0←1), (2←3); round 2 (0←2); round 3
+    // (0←4). Every non-root leader sends exactly once.
+    for victim in 1..WORLD {
+        check(FaultPlan::at_site(victim, FaultSite::Op { kind: OpClass::Isend, nth: 0 }), 1);
+    }
+}
+
+#[test]
+fn kill_inside_tree_recv_hop() {
+    // Leader 2 is the only non-root receiver (from 3 in round 1).
+    check(FaultPlan::at_site(2, FaultSite::Op { kind: OpClass::Irecv, nth: 0 }), 1);
+}
+
+#[test]
+fn kill_inside_tree_wait_hops() {
+    // Leader 2 waits twice: its recv-hop wait, then its send-hop wait.
+    for nth in 0..2 {
+        check(FaultPlan::at_site(2, FaultSite::Op { kind: OpClass::Wait, nth }), 1);
+    }
+}
+
+#[test]
+fn two_leaders_die_in_same_tree() {
+    let plan = FaultPlan::new_sites(vec![
+        (1, FaultSite::Op { kind: OpClass::Isend, nth: 0 }),
+        (3, FaultSite::Op { kind: OpClass::Wait, nth: 0 }),
+    ]);
+    check(plan, 2);
+}

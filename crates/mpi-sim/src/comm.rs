@@ -294,6 +294,20 @@ impl Comm {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> Result<(usize, Tag, Bytes)> {
+        self.recv_raw_full(ctx, src, tag).map(|(s, t, _, b)| (s, t, b))
+    }
+
+    /// The matching loop behind every receive: also returns the message's
+    /// virtual arrival time so nonblocking completion can split the flight
+    /// time into hidden and exposed shares. The stall the *caller* pays
+    /// (clock advance up to arrival) is accounted as exposed
+    /// communication here, uniformly for blocking and nonblocking paths.
+    fn recv_raw_full(
+        &self,
+        ctx: &Ctx,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(usize, Tag, f64, Bytes)> {
         if let Some(s) = src {
             if s >= self.size() {
                 return Err(Error::InvalidArg(format!("recv from rank {s} of {}", self.size())));
@@ -302,12 +316,16 @@ impl Comm {
         let pat = Pattern { cid: self.shared.cid, src, tag };
         let started = std::time::Instant::now();
         let t0 = ctx.now();
+        let complete = |e: Envelope| {
+            ctx.note_exposed(e.arrive - ctx.now());
+            ctx.advance_to(e.arrive);
+            ctx.trace_event("recv", self.shared.cid, t0, ctx.now());
+            (e.src_rank, e.tag, e.arrive, e.payload)
+        };
         loop {
             self.check_usable(ctx)?;
             if let Some(e) = ctx.me().mailbox.try_take(&pat) {
-                ctx.advance_to(e.arrive);
-                ctx.trace_event("recv", self.shared.cid, t0, ctx.now());
-                return Ok((e.src_rank, e.tag, e.payload));
+                return Ok(complete(e));
             }
             // A named source that failed without having queued a matching
             // message will never deliver one.
@@ -315,8 +333,7 @@ impl Comm {
                 if self.shared.members[s].is_failed() {
                     // One more scan to close the push-then-die race.
                     if let Some(e) = ctx.me().mailbox.try_take(&pat) {
-                        ctx.advance_to(e.arrive);
-                        return Ok((e.src_rank, e.tag, e.payload));
+                        return Ok(complete(e));
                     }
                     return self.handle_err(ctx, Err(Error::proc_failed(s)));
                 }
@@ -333,9 +350,7 @@ impl Comm {
             if let Some(e) =
                 ctx.me().mailbox.take_timeout(&pat, std::time::Duration::from_micros(500))
             {
-                ctx.advance_to(e.arrive);
-                ctx.trace_event("recv", self.shared.cid, t0, ctx.now());
-                return Ok((e.src_rank, e.tag, e.payload));
+                return Ok(complete(e));
             }
         }
     }
@@ -348,12 +363,73 @@ impl Comm {
         Ok(ctx.me().mailbox.peek(&pat))
     }
 
-    /// Post a non-blocking receive. Sends in this runtime are eager (and
-    /// therefore already "immediate"), so requests exist only on the
-    /// receive side. Complete with [`RecvRequest::test`] or
-    /// [`RecvRequest::wait`].
-    pub fn irecv<T: MpiData>(&self, src: usize, tag: Tag) -> RecvRequest<'_, T> {
-        RecvRequest { comm: self, src, tag, _elem: std::marker::PhantomData }
+    /// `MPI_Isend`: post a nonblocking send and return a [`Request`] to
+    /// complete with [`Request::wait`] / [`waitall`].
+    ///
+    /// Sends in this runtime are eager — the payload is copied into the
+    /// destination mailbox at post time, so `data` is reusable immediately
+    /// (like a buffered MPI send). The request still carries the ULFM
+    /// completion semantics: waiting on it surfaces
+    /// [`Error::ProcFailed`] if the destination has died, so a
+    /// post-compute-wait loop can never silently talk to a corpse.
+    pub fn isend<T: MpiData>(
+        &self,
+        ctx: &Ctx,
+        dest: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<Request<'_, T>> {
+        ctx.fault_op(OpClass::Isend);
+        self.check_usable(ctx)?;
+        let d =
+            self.shared.members.get(dest).ok_or_else(|| {
+                Error::InvalidArg(format!("isend to rank {dest} of {}", self.size()))
+            })?;
+        if d.is_failed() {
+            return self.handle_err(ctx, Err(Error::proc_failed(dest)));
+        }
+        let t0 = ctx.now();
+        let mut buf = self.shared.pool.take(std::mem::size_of_val(data));
+        encode_into(data, &mut buf);
+        let payload = buf.freeze();
+        let arrive = ctx.now() + ctx.net().p2p(payload.len());
+        d.mailbox.push(Envelope {
+            cid: self.shared.cid,
+            src_rank: self.rank,
+            tag,
+            payload,
+            arrive,
+        });
+        ctx.advance(ctx.net().latency); // sender-side occupancy only
+        ctx.trace_event("isend", self.shared.cid, t0, ctx.now());
+        Ok(Request { comm: self, state: ReqState::Send { dest } })
+    }
+
+    /// `MPI_Irecv`: post a nonblocking receive into a reused buffer. The
+    /// message is matched and decoded into `out` (cleared first) when the
+    /// request completes via [`Request::test`], [`Request::wait`] or
+    /// [`waitall`]; the consumed payload is recycled into the
+    /// communicator's buffer pool.
+    ///
+    /// Virtual time models overlap: the clock only advances at *wait* time,
+    /// and only up to the message's arrival — compute charged between post
+    /// and wait hides the flight time, so a step costs
+    /// `max(compute, exposed_comm)` rather than their sum. The overlapped
+    /// share is accounted to [`Ctx::comm_hidden`], the stalled remainder to
+    /// [`Ctx::comm_exposed`].
+    pub fn irecv_into<'r, T: MpiData>(
+        &'r self,
+        ctx: &Ctx,
+        src: usize,
+        tag: Tag,
+        out: &'r mut Vec<T>,
+    ) -> Result<Request<'r, T>> {
+        ctx.fault_op(OpClass::Irecv);
+        self.check_usable(ctx)?;
+        if src >= self.size() {
+            return Err(Error::InvalidArg(format!("irecv from rank {src} of {}", self.size())));
+        }
+        Ok(Request { comm: self, state: ReqState::Recv { src, tag, out, posted: ctx.now() } })
     }
 
     /// Combined send + receive (deadlock-free because sends are eager);
@@ -909,33 +985,106 @@ impl Comm {
     }
 }
 
-/// A posted non-blocking receive (see [`Comm::irecv`]).
-pub struct RecvRequest<'a, T: MpiData> {
+/// A posted nonblocking operation (see [`Comm::isend`] /
+/// [`Comm::irecv_into`]). Must be completed with [`Request::wait`],
+/// [`Request::test`] or [`waitall`]; an error consumes the request (like
+/// MPI, a failed request is not retryable — re-post instead).
+pub struct Request<'a, T: MpiData> {
     comm: &'a Comm,
-    src: usize,
-    tag: Tag,
-    _elem: std::marker::PhantomData<T>,
+    state: ReqState<'a, T>,
 }
 
-impl<T: MpiData> RecvRequest<'_, T> {
-    /// `MPI_Test`: complete the receive if a matching message is already
-    /// here; `Ok(None)` means "not yet".
-    pub fn test(&self, ctx: &Ctx) -> Result<Option<Vec<T>>> {
-        if self.comm.iprobe(ctx, Some(self.src), Some(self.tag))? {
-            self.comm.recv(ctx, self.src, self.tag).map(Some)
-        } else {
-            // A dead source with nothing queued will never deliver.
-            if self.comm.shared.members[self.src].is_failed() {
-                return self.comm.handle_err(ctx, Err(Error::proc_failed(self.src)));
+enum ReqState<'a, T: MpiData> {
+    /// An eager send: delivered at post time, but completion still checks
+    /// the destination is alive.
+    Send { dest: usize },
+    /// A posted receive waiting for its match.
+    Recv { src: usize, tag: Tag, out: &'a mut Vec<T>, posted: f64 },
+    /// Already completed (or failed).
+    Done,
+}
+
+impl<T: MpiData> Request<'_, T> {
+    /// `MPI_Wait`: complete the operation. For a receive this blocks until
+    /// the message arrives (or the source fails / the communicator is
+    /// revoked — [`Error::ProcFailed`] surfaces here, never a wedge); for
+    /// a send it verifies the destination is still alive. Waiting on an
+    /// already-completed request is a no-op, like MPI's null request.
+    pub fn wait(&mut self, ctx: &Ctx) -> Result<()> {
+        ctx.fault_op(OpClass::Wait);
+        match std::mem::replace(&mut self.state, ReqState::Done) {
+            ReqState::Done => Ok(()),
+            ReqState::Send { dest } => {
+                if self.comm.shared.members[dest].is_failed() {
+                    self.comm.handle_err(ctx, Err(Error::proc_failed(dest)))
+                } else {
+                    Ok(())
+                }
             }
-            Ok(None)
+            ReqState::Recv { src, tag, out, posted } => {
+                let t_block = ctx.now();
+                let (_, _, arrive, raw) = self.comm.recv_raw_full(ctx, Some(src), Some(tag))?;
+                decode_into(&raw, out)?;
+                self.comm.shared.pool.recycle(raw);
+                // Flight time between posting and blocking was hidden
+                // behind whatever the rank computed in the meantime; the
+                // remainder (up to arrival) was exposed stall, which
+                // recv_raw_full already accounted.
+                ctx.note_hidden(t_block.min(arrive) - posted);
+                Ok(())
+            }
         }
     }
 
-    /// `MPI_Wait`: block until the message arrives (or the source fails /
-    /// the communicator is revoked).
-    pub fn wait(self, ctx: &Ctx) -> Result<Vec<T>> {
-        self.comm.recv(ctx, self.src, self.tag)
+    /// `MPI_Test`: complete the operation if it can finish without
+    /// blocking. Returns `Ok(true)` once complete (for a receive, the data
+    /// is then in its output buffer); `Ok(false)` means "not yet". A dead
+    /// peer surfaces [`Error::ProcFailed`] immediately.
+    pub fn test(&mut self, ctx: &Ctx) -> Result<bool> {
+        match &self.state {
+            ReqState::Done | ReqState::Send { .. } => self.wait(ctx).map(|()| true),
+            ReqState::Recv { src, tag, .. } => {
+                let (src, tag) = (*src, *tag);
+                if self.comm.iprobe(ctx, Some(src), Some(tag))? {
+                    self.wait(ctx).map(|()| true)
+                } else if self.comm.shared.members[src].is_failed() {
+                    // A dead source with nothing queued will never deliver
+                    // (one more probe closes the push-then-die race).
+                    if self.comm.iprobe(ctx, Some(src), Some(tag))? {
+                        return self.wait(ctx).map(|()| true);
+                    }
+                    self.state = ReqState::Done;
+                    self.comm.handle_err(ctx, Err(Error::proc_failed(src)))
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// True once the request has been completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, ReqState::Done)
+    }
+}
+
+/// `MPI_Waitall`: complete every request. All requests are driven to
+/// completion even when some fail (so no posted receive is left dangling);
+/// the first error encountered, in request order, is returned — the
+/// uniform-failure discipline a halo exchange needs before entering
+/// recovery.
+pub fn waitall<T: MpiData>(ctx: &Ctx, reqs: &mut [Request<'_, T>]) -> Result<()> {
+    let mut first_err = None;
+    for r in reqs.iter_mut() {
+        if let Err(e) = r.wait(ctx) {
+            if first_err.is_none() {
+                first_err = Some(e);
+            }
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
     }
 }
 

@@ -63,6 +63,12 @@ pub enum OpClass {
     Spawn,
     /// A checkpoint-style disk write.
     CkptWrite,
+    /// `MPI_Isend` (posting a nonblocking send).
+    Isend,
+    /// `MPI_Irecv` (posting a nonblocking receive).
+    Irecv,
+    /// `MPI_Wait` / `MPI_Waitall` (completing a nonblocking operation).
+    Wait,
 }
 
 impl OpClass {
@@ -82,6 +88,9 @@ impl OpClass {
             OpClass::Merge => "merge",
             OpClass::Spawn => "spawn",
             OpClass::CkptWrite => "ckptwrite",
+            OpClass::Isend => "isend",
+            OpClass::Irecv => "irecv",
+            OpClass::Wait => "wait",
         }
     }
 
@@ -101,6 +110,9 @@ impl OpClass {
             "merge" => OpClass::Merge,
             "spawn" => OpClass::Spawn,
             "ckptwrite" => OpClass::CkptWrite,
+            "isend" => OpClass::Isend,
+            "irecv" => OpClass::Irecv,
+            "wait" => OpClass::Wait,
             _ => return None,
         })
     }
@@ -343,6 +355,9 @@ mod tests {
             OpClass::Merge,
             OpClass::Spawn,
             OpClass::CkptWrite,
+            OpClass::Isend,
+            OpClass::Irecv,
+            OpClass::Wait,
         ] {
             assert_eq!(OpClass::from_name(k.name()), Some(k));
         }

@@ -75,7 +75,7 @@ pub mod topology;
 pub mod trace_export;
 
 pub use bufpool::BufPool;
-pub use comm::{Comm, ErrHandler, InterComm, ReduceOp, ANY_SOURCE, ANY_TAG};
+pub use comm::{waitall, Comm, ErrHandler, InterComm, ReduceOp, Request, ANY_SOURCE, ANY_TAG};
 pub use costmodel::{BetaUlfm, ClusterProfile, DiskParams, IdealUlfm, NetParams, UlfmCostModel};
 pub use datatype::MpiData;
 pub use error::{Error, Result};

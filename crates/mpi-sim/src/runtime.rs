@@ -151,6 +151,9 @@ pub(crate) struct Universe {
     blackboard: Mutex<HashMap<String, Value>>,
     app_errors: Mutex<Vec<String>>,
     final_clocks: Mutex<Vec<(ProcId, f64)>>,
+    /// Accumulated `(hidden, exposed)` communication seconds over all
+    /// terminated processes (see [`Report::comm_hidden`]).
+    comm_time: Mutex<(f64, f64)>,
     trace: Option<Mutex<Vec<TraceEvent>>>,
 }
 
@@ -201,10 +204,17 @@ impl Universe {
                     rng: RefCell::new(StdRng::seed_from_u64(seed)),
                     faults: RefCell::new(None),
                     recovery_depth: Cell::new(0),
+                    comm_hidden: Cell::new(0.0),
+                    comm_exposed: Cell::new(0.0),
                 };
                 let entry = Arc::clone(&uni.entry);
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
                 uni.final_clocks.lock().push((me.id, ctx.clock.get()));
+                {
+                    let mut ct = uni.comm_time.lock();
+                    ct.0 += ctx.comm_hidden.get();
+                    ct.1 += ctx.comm_exposed.get();
+                }
                 match result {
                     Ok(()) => { /* normal completion */ }
                     Err(payload) => {
@@ -245,6 +255,15 @@ pub struct Report {
     /// Maximum virtual clock over all processes: the job's virtual
     /// makespan in seconds.
     pub makespan: f64,
+    /// Virtual communication seconds that were *hidden* behind local
+    /// compute (message flight time overlapped by clock progress between
+    /// posting a nonblocking operation and completing it), summed over
+    /// ranks.
+    pub comm_hidden: f64,
+    /// Virtual communication seconds ranks actually *stalled* on
+    /// (blocking receives plus the un-overlapped tail of nonblocking
+    /// ones), summed over ranks.
+    pub comm_exposed: f64,
     /// Per-operation trace, if [`RunConfig::trace`] was set (unordered;
     /// sort by `t_start` for a timeline).
     pub trace: Vec<TraceEvent>,
@@ -289,6 +308,20 @@ impl Report {
         out
     }
 
+    /// Fraction of total communication time that was hidden behind
+    /// compute: `hidden / (hidden + exposed)`, or 0 when no communication
+    /// happened. A purely blocking application reports 0; an overlapped
+    /// stepper reports the share of halo latency its interior compute
+    /// absorbed.
+    pub fn hidden_comm_fraction(&self) -> f64 {
+        let total = self.comm_hidden + self.comm_exposed;
+        if total > 0.0 {
+            self.comm_hidden / total
+        } else {
+            0.0
+        }
+    }
+
     /// Panics if any application-level panic was recorded. Tests call this
     /// to assert a run was healthy.
     pub fn assert_no_app_errors(&self) {
@@ -311,6 +344,10 @@ pub struct Ctx {
     /// Nesting depth of recovery scopes ([`Ctx::recovery_scope`]); while
     /// positive, runtime ops also advance the `DuringRecovery` counter.
     recovery_depth: Cell<u32>,
+    /// Communication time hidden behind compute on this rank (seconds).
+    pub(crate) comm_hidden: Cell<f64>,
+    /// Communication time this rank stalled on (seconds).
+    pub(crate) comm_exposed: Cell<f64>,
 }
 
 /// Per-rank state of armed non-step fault sites.
@@ -466,6 +503,31 @@ impl Ctx {
     /// True while this rank is inside a recovery scope.
     pub fn in_recovery(&self) -> bool {
         self.recovery_depth.get() > 0
+    }
+
+    /// Communication seconds this rank has hidden behind compute so far
+    /// (accumulated at nonblocking-operation completion).
+    pub fn comm_hidden(&self) -> f64 {
+        self.comm_hidden.get()
+    }
+
+    /// Communication seconds this rank has stalled on so far.
+    pub fn comm_exposed(&self) -> f64 {
+        self.comm_exposed.get()
+    }
+
+    /// Record communication time that was overlapped by local progress.
+    pub(crate) fn note_hidden(&self, dt: f64) {
+        if dt > 0.0 {
+            self.comm_hidden.set(self.comm_hidden.get() + dt);
+        }
+    }
+
+    /// Record communication time the rank actually waited out.
+    pub(crate) fn note_exposed(&self, dt: f64) {
+        if dt > 0.0 {
+            self.comm_exposed.set(self.comm_exposed.get() + dt);
+        }
     }
 
     /// The kill hook at the top of every runtime operation: honours an
@@ -628,6 +690,7 @@ where
         blackboard: Mutex::new(HashMap::new()),
         app_errors: Mutex::new(Vec::new()),
         final_clocks: Mutex::new(Vec::new()),
+        comm_time: Mutex::new((0.0, 0.0)),
         trace: if config.trace { Some(Mutex::new(Vec::new())) } else { None },
     });
 
@@ -671,11 +734,21 @@ where
     let procs_failed = registry.iter().filter(|p| p.is_failed()).count();
     drop(registry);
     let makespan = uni.final_clocks.lock().iter().fold(0.0_f64, |m, &(_, c)| m.max(c));
+    let (comm_hidden, comm_exposed) = *uni.comm_time.lock();
 
     let values = uni.blackboard.lock().clone();
     let app_errors = uni.app_errors.lock().clone();
     let trace = uni.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default();
-    Report { values, app_errors, procs_created, procs_failed, makespan, trace }
+    Report {
+        values,
+        app_errors,
+        procs_created,
+        procs_failed,
+        makespan,
+        comm_hidden,
+        comm_exposed,
+        trace,
+    }
 }
 
 #[cfg(test)]

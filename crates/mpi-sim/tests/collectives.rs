@@ -328,11 +328,12 @@ fn iprobe_and_nonblocking_recv() {
         if w.rank() == 0 {
             // Nothing queued yet.
             assert!(!w.iprobe(ctx, Some(1), Some(5)).unwrap());
-            let req = w.irecv::<u64>(1, 5);
-            assert!(req.test(ctx).unwrap().is_none(), "not yet sent");
+            let mut data: Vec<u64> = Vec::new();
+            let mut req = w.irecv_into(ctx, 1, 5, &mut data).unwrap();
+            assert!(!req.test(ctx).unwrap(), "not yet sent");
             // Tell the sender to go, then wait.
             w.send_one(ctx, 1, 1, 0u8).unwrap();
-            let data = req.wait(ctx).unwrap();
+            req.wait(ctx).unwrap();
             assert_eq!(data, vec![77]);
             // And iprobe sees a second queued message before recv consumes
             // it. The sender's second push races with our wait, so spin
@@ -362,7 +363,8 @@ fn nonblocking_recv_from_dead_source_errors_on_test() {
             ctx.die();
         }
         std::thread::sleep(std::time::Duration::from_millis(20));
-        let req = w.irecv::<u64>(1, 9);
+        let mut out: Vec<u64> = Vec::new();
+        let mut req = w.irecv_into(ctx, 1, 9, &mut out).unwrap();
         match req.test(ctx) {
             Err(e) => assert!(e.is_proc_failed()),
             Ok(v) => panic!("expected failure, got {v:?}"),

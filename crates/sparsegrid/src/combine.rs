@@ -23,6 +23,19 @@ pub struct CombinationTerm<'a> {
 /// Evaluate `Σ coeff · grid(x)` on every node of a grid at `target` level.
 pub fn combine_onto(target: LevelPair, terms: &[CombinationTerm<'_>]) -> Grid2 {
     let mut out = Grid2::zeros(target);
+    combine_onto_into(&mut out, terms);
+    out
+}
+
+/// [`combine_onto`] into reused storage: `out` (already at the target
+/// level) is zeroed and accumulated in place, so a steady-state combine
+/// round over preallocated partials performs no heap allocation. Bitwise
+/// identical to [`combine_onto`] at `out.level()`.
+pub fn combine_onto_into(out: &mut Grid2, terms: &[CombinationTerm<'_>]) {
+    let target = out.level();
+    for v in out.values_mut() {
+        *v = 0.0;
+    }
     let (hx, hy) = out.spacing();
     let (nx, ny) = (out.nx(), out.ny());
     for term in terms {
@@ -50,7 +63,37 @@ pub fn combine_onto(target: LevelPair, terms: &[CombinationTerm<'_>]) -> Grid2 {
             }
         }
     }
-    out
+}
+
+/// Evaluate the combination with **binomial-tree association**: each term
+/// is materialized on the target level individually (exactly
+/// [`combine_onto`] of a single term), then the partials are pairwise
+/// summed with doubling stride — `parts[i] += parts[i + stride]` for
+/// `stride = 1, 2, 4, …` — the association a log-depth reduction tree
+/// over term owners produces. This is the *serial reference* for the
+/// distributed tree combination: the distributed path must match it
+/// bitwise, term list for term list.
+///
+/// For ≤ 2 terms the result is bitwise equal to the left-fold
+/// [`combine_onto`]; beyond that the two differ only by floating-point
+/// re-association (well inside the combination's discretization error).
+pub fn combine_binomial(target: LevelPair, terms: &[CombinationTerm<'_>]) -> Grid2 {
+    if terms.is_empty() {
+        return Grid2::zeros(target);
+    }
+    let mut parts: Vec<Grid2> =
+        terms.iter().map(|t| combine_onto(target, std::slice::from_ref(t))).collect();
+    let mut stride = 1;
+    while stride < parts.len() {
+        let mut i = 0;
+        while i + stride < parts.len() {
+            let (head, tail) = parts.split_at_mut(i + stride);
+            head[i].axpy(1.0, &tail[0]);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    parts.swap_remove(0)
 }
 
 #[cfg(test)]
@@ -145,6 +188,35 @@ mod tests {
         let e5 = err(5);
         let e7 = err(7);
         assert!(e7 < e5 / 2.0, "combination must converge: err(n=5)={e5}, err(n=7)={e7}");
+    }
+
+    #[test]
+    fn binomial_association_matches_left_fold_up_to_reassociation() {
+        let f = |x: f64, y: f64| (7.1 * x).sin() * (3.3 * y + 0.2).cos();
+        let terms = classical_terms(6, 3, f);
+        let refs: Vec<CombinationTerm> =
+            terms.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
+        let target = lv(4, 4);
+        let fold = combine_onto(target, &refs);
+        let tree = combine_binomial(target, &refs);
+        assert_eq!(fold.level(), tree.level());
+        for m in 0..fold.ny() {
+            for k in 0..fold.nx() {
+                let d = (fold.at(k, m) - tree.at(k, m)).abs();
+                assert!(d < 1e-12, "reassociation error {d} at ({k},{m})");
+            }
+        }
+        // One and two terms: associations coincide, so equality is bitwise.
+        for n in 1..=2 {
+            let short = &refs[..n];
+            assert_eq!(combine_onto(target, short), combine_binomial(target, short));
+        }
+    }
+
+    #[test]
+    fn binomial_of_empty_terms_is_zeros() {
+        let g = combine_binomial(lv(3, 3), &[]);
+        assert!(g.values().iter().all(|&v| v == 0.0));
     }
 
     #[test]

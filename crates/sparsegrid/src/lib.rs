@@ -37,7 +37,7 @@ pub mod scheme;
 pub mod scratch;
 
 pub use coeffs::{gcp_coefficients, robust_coefficients, verify_covering, LevelSet};
-pub use combine::{combine_onto, CombinationTerm};
+pub use combine::{combine_binomial, combine_onto, combine_onto_into, CombinationTerm};
 pub use grid2::Grid2;
 pub use level::LevelPair;
 pub use norms::{l1_error_vs, l1_grid_diff, l2_error_vs, linf_error_vs};

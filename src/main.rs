@@ -4,7 +4,8 @@
 //! ```text
 //! ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]
 //!      [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]
-//!      [--spare-node] [--trace] [--trace-json FILE] [--output PREFIX] [--seed S]
+//!      [--spare-node] [--central-combine] [--trace] [--trace-json FILE]
+//!      [--output PREFIX] [--seed S]
 //! ```
 //!
 //! Runs one complete application: solve, (optionally) suffer real process
@@ -27,6 +28,7 @@ struct Cli {
     fail_at: Option<u64>,
     cluster: String,
     spare_node: bool,
+    central_combine: bool,
     trace: bool,
     output: Option<String>,
     trace_json: Option<String>,
@@ -37,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]\n\
          \x20           [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]\n\
-         \x20           [--spare-node] [--seed S]"
+         \x20           [--spare-node] [--central-combine] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -53,6 +55,7 @@ fn parse() -> Cli {
         fail_at: None,
         cluster: "local".into(),
         spare_node: false,
+        central_combine: false,
         trace: false,
         output: None,
         trace_json: None,
@@ -83,6 +86,7 @@ fn parse() -> Cli {
             "--fail-at" => cli.fail_at = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
             "--cluster" => cli.cluster = take(&mut i).to_lowercase(),
             "--spare-node" => cli.spare_node = true,
+            "--central-combine" => cli.central_combine = true,
             "--trace" => cli.trace = true,
             "--output" => cli.output = Some(take(&mut i)),
             "--trace-json" => cli.trace_json = Some(take(&mut i)),
@@ -114,6 +118,11 @@ fn main() {
             RespawnPolicy::SameHost
         },
         output_prefix: cli.output.clone().map(Into::into),
+        combine_mode: if cli.central_combine {
+            ftsg::app::CombineMode::Central
+        } else {
+            ftsg::app::CombineMode::Tree
+        },
     };
     let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
     let world = layout.world_size();

@@ -173,6 +173,83 @@ proptest! {
     }
 }
 
+/// The distributed binomial-tree combination is bitwise equal to the
+/// serial `combine_binomial` reference, across random level sets and
+/// coefficient schemes (classical and robust-after-losses).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn distributed_tree_combine_bitwise_equals_serial(
+        (n, l) in (2u32..=3).prop_flat_map(|l| (l..=l + 2, Just(l))),
+        lost_sel in 0usize..12,
+        a in -2.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        use ftsg::grid::{combine_binomial, combine_onto, CombinationTerm};
+        let sys = GridSystem::new(n, l, Layout::ExtraLayers);
+        // `lost_sel == 0` exercises the classical scheme; otherwise a
+        // grid is lost and the robust coefficients take over.
+        let coeffs: Vec<(LevelPair, i32)> = match lost_sel.checked_sub(1) {
+            None => gcp_coefficients(&sys.classical_downset()).into_iter().collect(),
+            Some(i) => {
+                let lost = vec![sys.grid(i % sys.n_grids()).level];
+                let available: LevelSet = sys
+                    .grids()
+                    .iter()
+                    .map(|g| g.level)
+                    .filter(|lv| !lost.contains(lv))
+                    .collect();
+                robust_coefficients(&sys.classical_downset(), &lost, &available)
+                    .into_iter()
+                    .collect()
+            }
+        };
+        let f = move |x: f64, y: f64| (2.5 * x + 0.3 * a).sin() * ((1.5 + a) * y).cos();
+        let term_data: Vec<(f64, Grid2)> = coeffs
+            .iter()
+            .filter(|(_, c)| *c != 0)
+            .map(|&(lv, c)| (c as f64, Grid2::from_fn(lv, f)))
+            .collect();
+        prop_assume!(!term_data.is_empty());
+        let target = sys.min_level();
+        let serial = {
+            let terms: Vec<CombinationTerm> =
+                term_data.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
+            combine_binomial(target, &terms)
+        };
+        let world = term_data.len();
+        let td = std::sync::Arc::new(term_data);
+        let sr = std::sync::Arc::new(serial);
+        let report = ftsg::mpi::run(
+            ftsg::mpi::RunConfig::local(world).with_seed(seed),
+            move |ctx| {
+                let w = ctx.initial_world().unwrap();
+                let (c, g) = &td[w.rank()];
+                let term = CombinationTerm { coeff: *c, grid: g };
+                let part = combine_onto(target, std::slice::from_ref(&term));
+                let leaders: Vec<usize> = (0..w.size()).collect();
+                let mut scratch = Vec::new();
+                let combined = ftsg::app::gather::binomial_combine(
+                    ctx, &w, &leaders, 0, target, Some(part), &mut scratch, 7,
+                )
+                .unwrap();
+                if w.rank() == 0 {
+                    let combined = combined.unwrap();
+                    let bitwise = combined.level() == sr.level()
+                        && combined
+                            .values()
+                            .iter()
+                            .zip(sr.values())
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                    ctx.report_f64("bitwise_ok", f64::from(bitwise));
+                }
+            },
+        );
+        report.assert_no_app_errors();
+        prop_assert_eq!(report.get_f64("bitwise_ok"), Some(1.0));
+    }
+}
+
 /// Block decomposition partitions exactly, for arbitrary sizes.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
