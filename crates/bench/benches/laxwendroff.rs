@@ -13,6 +13,7 @@ use sparsegrid::{
     combine_onto_into, gcp_coefficients, CombinationTerm, Grid2, GridSystem, Layout as GridLayout,
     LevelPair,
 };
+use ulfm_sim::{MetricsCell, TraceEvent, TraceRing};
 
 /// A pass-through allocator that counts calls to `alloc`/`realloc`. The
 /// counter is how the bench proves "allocation-free": warm code paths
@@ -187,7 +188,45 @@ fn assert_alloc_free(_c: &mut Criterion) {
         after - before
     );
     assert!(parts[0].values().iter().all(|v| v.is_finite()));
-    println!("alloc_discipline: 0 allocations over 128 steps + 8 combine rounds ... ok");
+
+    // Default-on tracing must stay steady-state allocation-free: the ring
+    // buffer preallocates its capacity up front and overwrites in place
+    // once full, and the per-rank metrics are plain `Cell` counters.
+    let mut ring = TraceRing::new(1024);
+    let cell = MetricsCell::new();
+    let ev = |k: usize| TraceEvent {
+        proc: 1,
+        host: 0,
+        op: "send",
+        cat: "mpi",
+        cid: 0,
+        t_start: k as f64 * 1e-6,
+        t_end: k as f64 * 1e-6 + 5e-7,
+        bytes: 64,
+    };
+    // Warm-up: fill past capacity so the ring is in overwrite mode.
+    for k in 0..2048 {
+        ring.push(ev(k));
+    }
+    let before = alloc_count();
+    for k in 0..4096 {
+        ring.push(ev(k));
+        cell.note_op("send", 5e-7);
+        cell.note_sent(64);
+        cell.note_recvd(64);
+        cell.note_recv_retry();
+    }
+    let after = alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "default-on tracing allocated {} times over 4096 warm events",
+        after - before
+    );
+    assert_eq!(ring.len(), 1024);
+    assert_eq!(ring.dropped(), 2048 + 4096 - 1024);
+
+    println!("alloc_discipline: 0 allocations over 128 steps + 8 combine rounds + 4096 trace events ... ok");
 }
 
 criterion_group!(benches, assert_alloc_free, bench_kernel, bench_level9_step, bench_local_solver);

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage]
-//!            [--json PATH] [--repro SPEC]
+//!            [--json PATH] [--repro SPEC] [--artifacts DIR]
 //! ```
 //!
 //! Exit code 0 when every examined case satisfies all oracles, 1 when any
@@ -27,7 +27,7 @@ fn parse_args() -> Cli {
     let usage = || -> ! {
         eprintln!(
             "usage: expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage] \
-             [--json PATH] [--repro SPEC]"
+             [--json PATH] [--repro SPEC] [--artifacts DIR]"
         );
         std::process::exit(2);
     };
@@ -37,6 +37,7 @@ fn parse_args() -> Cli {
             seed: DEFAULT_SEED,
             sabotage: false,
             stall: Duration::from_secs(DEFAULT_STALL_SECS),
+            artifact_dir: None,
         },
         json: None,
         repro: None,
@@ -57,6 +58,7 @@ fn parse_args() -> Cli {
             "--sabotage" => cli.opts.sabotage = true,
             "--json" => cli.json = Some(take(&mut i)),
             "--repro" => cli.repro = Some(take(&mut i)),
+            "--artifacts" => cli.opts.artifact_dir = Some(take(&mut i).into()),
             _ => usage(),
         }
         i += 1;
@@ -75,6 +77,9 @@ fn print_record(i: usize, r: &CaseRecord) {
     }
     if let Some(s) = &r.shrunk_spec {
         println!("        minimized to {} failure(s): {s}", r.shrunk_n_failures.unwrap_or(0));
+    }
+    for a in &r.artifacts {
+        println!("        artifact: {a}");
     }
 }
 

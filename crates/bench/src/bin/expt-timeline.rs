@@ -1,0 +1,104 @@
+//! `expt-timeline` — per-phase recovery timeline breakdown (the paper's
+//! Figs. 8–11 lens over one failure event), for all four techniques.
+//!
+//! ```text
+//! expt-timeline [--seed S] [--json PATH]
+//! ```
+//!
+//! For each technique (CR, RC, AC, BC) the small configuration is run
+//! with one injected failure in the controller's own grid group, and the
+//! resulting recovery timeline is broken down phase by phase: detect,
+//! ack, revoke+shrink, failed-list, spawn, merge, agree, rank reorder,
+//! data restore, and the uninstrumented residual. The table shows virtual
+//! milliseconds per phase; `--json` additionally writes the raw
+//! timelines, keyed by technique label, for plotting.
+
+use ftsg_bench::chaos::TECHNIQUES;
+use ftsg_bench::Table;
+use ftsg_core::{run_app, AppConfig, ProcLayout, PHASES};
+use ulfm_sim::{run, timelines_to_json, FaultPlan, RecoveryTimeline, RunConfig};
+
+struct Cli {
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || -> ! {
+        eprintln!("usage: expt-timeline [--seed S] [--json PATH]");
+        std::process::exit(2);
+    };
+    let mut cli = Cli { seed: 1, json: None };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--seed" => cli.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => cli.json = Some(take(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// One failure in rank 0's own group, so the rank-0 timeline shows the
+/// data-restore phase itself rather than a wait inside the agree vote.
+fn timelines_for(technique: ftsg_core::Technique, seed: u64) -> Vec<RecoveryTimeline> {
+    let base = AppConfig::small(technique);
+    let steps = base.steps();
+    let layout = ProcLayout::new(base.n, base.l, technique.layout(), base.scale);
+    let victim = layout.group(0).first + 1;
+    let when = if technique.has_periodic_protection() { steps / 2 } else { steps };
+    let cfg = base.with_plan(FaultPlan::single(victim, when));
+    let world = layout.world_size();
+    let report = run(RunConfig::local(world).with_seed(seed), move |ctx| run_app(&cfg, ctx));
+    report.assert_no_app_errors();
+    report.timelines
+}
+
+fn main() {
+    let cli = parse_args();
+    let mut headers: Vec<&str> = vec!["phase"];
+    headers.extend(TECHNIQUES.iter().map(|t| t.label()));
+    let mut table =
+        Table::new(format!("Recovery timeline breakdown (ms, seed={})", cli.seed), &headers);
+
+    let per_tech: Vec<(&'static str, Vec<RecoveryTimeline>)> =
+        TECHNIQUES.iter().map(|&t| (t.label(), timelines_for(t, cli.seed))).collect();
+    for (label, tls) in &per_tech {
+        assert!(!tls.is_empty(), "{label}: the injected failure must produce a recovery timeline");
+    }
+    for (i, phase) in PHASES.iter().enumerate() {
+        let mut row = vec![phase.to_string()];
+        for (_, tls) in &per_tech {
+            let ms: f64 = tls.iter().map(|tl| tl.phases[i].1).sum::<f64>() * 1e3;
+            row.push(format!("{ms:.3}"));
+        }
+        table.row(row);
+    }
+    let mut total_row = vec!["total".to_string()];
+    for (_, tls) in &per_tech {
+        let ms: f64 = tls.iter().map(|tl| tl.total()).sum::<f64>() * 1e3;
+        total_row.push(format!("{ms:.3}"));
+    }
+    table.row(total_row);
+    print!("{}", table.render());
+
+    if let Some(path) = &cli.json {
+        let entries: Vec<String> = per_tech
+            .iter()
+            .map(|(label, tls)| format!("\"{label}\": {}", timelines_to_json(tls)))
+            .collect();
+        let json = format!("{{\n{}\n}}\n", entries.join(",\n"));
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("expt-timeline: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("timelines written to {path}");
+    }
+}

@@ -24,21 +24,29 @@
 //! * **O4 — virtual-time budget.** The makespan stays within a generous
 //!   multiple of the baseline: recovery may be expensive, but never
 //!   unbounded.
+//! * **O5 — timeline.** Every injected failure event surfaces as a
+//!   [`RecoveryTimeline`] whose per-phase durations are non-negative and
+//!   sum (within `1e-9`) to the event's measured recovery window.
 //!
 //! Failing cases are shrunk greedily — drop failures one at a time, halve
 //! the step count, reduce the combination level — re-running the oracles
 //! after each candidate reduction, and emitted as one-line repro specs
 //! (`CR/n6l3s1k5c2/3@step:16+5@op:gather:1`) that `expt-chaos --repro`
-//! replays exactly.
+//! replays exactly. With `--artifacts DIR`, every shrunk repro is re-run
+//! once more to attach a Chrome trace and a timeline JSON to the report.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use ftsg_core::app::keys;
 use ftsg_core::{run_app, AppConfig, ProcLayout, Technique};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ulfm_sim::{run, FaultPlan, FaultSite, OpClass, RunConfig};
+use ulfm_sim::{
+    run, timelines_to_json, write_chrome_trace, FaultPlan, FaultSite, OpClass, RecoveryTimeline,
+    Report, RunConfig,
+};
 
 /// Default campaign size (`--budget`).
 pub const DEFAULT_BUDGET: usize = 200;
@@ -247,15 +255,22 @@ pub struct CaseResult {
     pub makespan: f64,
     pub rank_hosts: Vec<f64>,
     pub rank_grids: Vec<f64>,
+    pub timelines: Vec<RecoveryTimeline>,
 }
 
-/// Run one case (or, with [`FaultPlan::none`], its baseline) in-process.
-pub fn run_case(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -> CaseResult {
+/// Run one case end-to-end and return the full runtime report (the
+/// artifact path: trace + timelines for a failing repro).
+pub fn run_case_report(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -> Report {
     let cfg = case.app_config(plan);
     let world = case.layout().world_size();
     let mut rc = RunConfig::local(world).with_seed(seed);
     rc.stall_timeout = stall;
-    let report = run(rc, move |ctx| run_app(&cfg, ctx));
+    run(rc, move |ctx| run_app(&cfg, ctx))
+}
+
+/// Run one case (or, with [`FaultPlan::none`], its baseline) in-process.
+pub fn run_case(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -> CaseResult {
+    let report = run_case_report(case, plan, seed, stall);
     CaseResult {
         app_errors: report.app_errors.clone(),
         err: report.get_f64(keys::ERR_L1),
@@ -264,6 +279,7 @@ pub fn run_case(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -
         makespan: report.makespan,
         rank_hosts: report.get_list(keys::RANK_HOSTS).unwrap_or_default().to_vec(),
         rank_grids: report.get_list(keys::RANK_GRIDS).unwrap_or_default().to_vec(),
+        timelines: report.timelines,
     }
 }
 
@@ -423,6 +439,43 @@ pub fn check_oracles(
             ),
         });
     }
+    // O5: every real failure produced a recovery timeline, and every
+    // timeline is well-formed (non-negative phases summing to the window).
+    if res.procs_failed > 0 && res.timelines.is_empty() {
+        out.push(Violation {
+            oracle: "O5-timeline",
+            detail: format!(
+                "{} process(es) failed but no recovery timeline was reported",
+                res.procs_failed
+            ),
+        });
+    }
+    if res.procs_failed == 0 && !res.timelines.is_empty() {
+        out.push(Violation {
+            oracle: "O5-timeline",
+            detail: format!("no process failed, yet {} timeline(s) reported", res.timelines.len()),
+        });
+    }
+    for tl in &res.timelines {
+        for (name, dur) in &tl.phases {
+            if *dur < -1e-12 {
+                out.push(Violation {
+                    oracle: "O5-timeline",
+                    detail: format!("event {}: phase {name} has negative duration {dur}", tl.event),
+                });
+            }
+        }
+        let (sum, total) = (tl.phase_sum(), tl.total());
+        if (sum - total).abs() > 1e-9 {
+            out.push(Violation {
+                oracle: "O5-timeline",
+                detail: format!(
+                    "event {}: phases sum to {sum} but the recovery window is {total}",
+                    tl.event
+                ),
+            });
+        }
+    }
     out
 }
 
@@ -433,6 +486,9 @@ pub struct CampaignOpts {
     pub seed: u64,
     pub sabotage: bool,
     pub stall: Duration,
+    /// When set, every violating case's shrunk repro is re-run once more
+    /// and its Chrome trace + recovery-timeline JSON are written here.
+    pub artifact_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignOpts {
@@ -442,6 +498,7 @@ impl Default for CampaignOpts {
             seed: DEFAULT_SEED,
             sabotage: false,
             stall: Duration::from_secs(DEFAULT_STALL_SECS),
+            artifact_dir: None,
         }
     }
 }
@@ -457,6 +514,8 @@ pub struct CaseRecord {
     /// Minimized failing spec (only when `violations` is non-empty).
     pub shrunk_spec: Option<String>,
     pub shrunk_n_failures: Option<usize>,
+    /// Trace/timeline files written for this case (`--artifacts` only).
+    pub artifacts: Vec<String>,
 }
 
 /// Whole-campaign outcome.
@@ -517,8 +576,10 @@ impl CampaignReport {
                 Some(s) => format!(r#""{}""#, esc(s)),
                 None => "null".into(),
             };
+            let artifacts: Vec<String> =
+                c.artifacts.iter().map(|a| format!(r#""{}""#, esc(a))).collect();
             cases.push(format!(
-                r#"{{"spec":"{}","technique":"{}","kind":"{}","procs_failed":{},"violations":[{}],"shrunk_spec":{},"shrunk_n_failures":{}}}"#,
+                r#"{{"spec":"{}","technique":"{}","kind":"{}","procs_failed":{},"violations":[{}],"shrunk_spec":{},"shrunk_n_failures":{},"artifacts":[{}]}}"#,
                 esc(&c.spec),
                 c.technique,
                 c.kind,
@@ -526,6 +587,7 @@ impl CampaignReport {
                 viols.join(","),
                 shrunk,
                 c.shrunk_n_failures.map_or("null".into(), |n| n.to_string()),
+                artifacts.join(","),
             ));
         }
         format!(
@@ -709,6 +771,33 @@ pub fn shrink_case(
     (best, runs)
 }
 
+/// Re-run a (shrunk) case and write its Chrome trace and recovery
+/// timelines under `dir` as `{stem}-trace.json` / `{stem}-timeline.json`.
+/// Best-effort: an unwritable directory yields an empty path list, never
+/// a campaign abort.
+fn write_artifacts(
+    case: &ChaosCase,
+    opts: &CampaignOpts,
+    dir: &std::path::Path,
+    stem: &str,
+) -> Vec<String> {
+    if std::fs::create_dir_all(dir).is_err() {
+        return Vec::new();
+    }
+    let plan = FaultPlan::new_sites(case.victims.clone());
+    let report = run_case_report(case, plan, opts.seed, opts.stall);
+    let trace_path = dir.join(format!("{stem}-trace.json"));
+    let tl_path = dir.join(format!("{stem}-timeline.json"));
+    let mut out = Vec::new();
+    if write_chrome_trace(&report, &trace_path).is_ok() {
+        out.push(trace_path.display().to_string());
+    }
+    if std::fs::write(&tl_path, timelines_to_json(&report.timelines)).is_ok() {
+        out.push(tl_path.display().to_string());
+    }
+    out
+}
+
 /// Run a full campaign: sample, execute, check, shrink. Deterministic in
 /// `opts.seed` — the same seed reproduces the same cases and verdicts.
 pub fn run_campaign(opts: &CampaignOpts) -> CampaignReport {
@@ -745,12 +834,16 @@ pub fn run_campaign_with(
             violations,
             shrunk_spec: None,
             shrunk_n_failures: None,
+            artifacts: Vec::new(),
         };
         if !record.violations.is_empty() {
             let (shrunk, runs) = shrink_case(&case, opts, &mut cache, 40);
             report.shrink_runs += runs;
             record.shrunk_spec = Some(shrunk.spec());
             record.shrunk_n_failures = Some(shrunk.victims.len());
+            if let Some(dir) = &opts.artifact_dir {
+                record.artifacts = write_artifacts(&shrunk, opts, dir, &format!("case{i:03}"));
+            }
         }
         progress(i, &record);
         report.cases.push(record);
@@ -771,6 +864,10 @@ pub fn replay(spec: &str, opts: &CampaignOpts) -> Result<CaseRecord, String> {
     let res = run_case(&case, plan, opts.seed, opts.stall);
     let base = cache.get(&case).clone();
     let violations = check_oracles(&case, &res, &base, opts.sabotage);
+    let artifacts = match &opts.artifact_dir {
+        Some(dir) => write_artifacts(&case, opts, dir, "repro"),
+        None => Vec::new(),
+    };
     Ok(CaseRecord {
         spec: case.spec(),
         technique: case.technique.label(),
@@ -779,6 +876,7 @@ pub fn replay(spec: &str, opts: &CampaignOpts) -> Result<CaseRecord, String> {
         violations,
         shrunk_spec: None,
         shrunk_n_failures: None,
+        artifacts,
     })
 }
 
@@ -859,6 +957,7 @@ mod tests {
                 violations: vec![Violation { oracle: "O3-error", detail: "x \"y\"".into() }],
                 shrunk_spec: Some("BC/n6l3s1k5c2/3@step:4".into()),
                 shrunk_n_failures: Some(1),
+                artifacts: vec!["out/case000-trace.json".into()],
             }],
             baseline_runs: 1,
             shrink_runs: 2,
@@ -866,5 +965,6 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains(r#""violating":1"#));
         assert!(json.contains(r#"\"y\""#), "quotes must be escaped: {json}");
+        assert!(json.contains(r#""artifacts":["out/case000-trace.json"]"#));
     }
 }

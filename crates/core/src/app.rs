@@ -23,12 +23,8 @@ use crate::layout::{Assignment, ProcLayout};
 use crate::psolve::DistributedSolver;
 use crate::reconstruct::{communicator_reconstruct_with, ReconstructTimings};
 use crate::recovery;
-
-/// World tag base for shipping combining grids to the controller.
-const TAG_COMBINE: i32 = 9000;
-
-/// World tag for the binomial reduction tree's hop payloads.
-const TAG_TREE: i32 = 9500;
+use crate::tags::TagSpace;
+use crate::timeline::build_timeline;
 
 /// Report keys the application deposits (see [`AppOutcome`]).
 pub mod keys {
@@ -140,7 +136,7 @@ fn recover_with_commit(
     store: &CheckpointStore,
     buddy_store: &mut recovery::BuddyStore,
     mut known: Option<(u64, Vec<usize>)>,
-    repair_timings: &mut ReconstructTimings,
+    timings: &mut ReconstructTimings,
 ) -> Result<(Comm, u64, Comm, f64, Vec<usize>)> {
     loop {
         let _scope = ctx.recovery_scope();
@@ -159,7 +155,9 @@ fn recover_with_commit(
             let at_step = meta[0];
             let failed: Vec<usize> = meta[1..].iter().map(|&r| r as usize).collect();
             let group = &*group_attempt.insert(build_group(ctx, &world, my)?);
-            let stats = recovery::recover(
+            // Even a failed attempt spent restore time — attribute it.
+            let t_res0 = ctx.now();
+            let recovered = recovery::recover(
                 ctx,
                 cfg,
                 layout,
@@ -171,7 +169,9 @@ fn recover_with_commit(
                 buddy_store,
                 &failed,
                 at_step,
-            )?;
+            );
+            timings.t_restore += ctx.now() - t_res0;
+            let stats = recovered?;
             Ok((at_step, stats.t_recovery, failed))
         })();
         let ok = match &attempt {
@@ -187,9 +187,13 @@ fn recover_with_commit(
                 g.revoke(ctx);
             }
         }
+        let t_ack0 = ctx.now();
         world.failure_ack(ctx);
+        timings.t_ack += ctx.now() - t_ack0;
         let mut flag = ok;
+        let t_agree0 = ctx.now();
         let _ = world.agree(ctx, &mut flag); // fault-tolerant; flag = AND
+        timings.t_agree += ctx.now() - t_agree0;
         if flag {
             let (at_step, trec, failed) = attempt.expect("uniform agreement implies local success");
             let group = group_attempt.expect("successful attempt built its group");
@@ -208,7 +212,7 @@ fn recover_with_commit(
             }
             failed.sort_unstable();
         }
-        merge_timings(repair_timings, &round);
+        merge_timings(timings, &round);
     }
 }
 
@@ -346,6 +350,10 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // ---- main loop over detection segments. ----
     let dpoints = detection_points(cfg);
     let mut group_broken = false;
+    // Failure events this run repaired, as seen from rank 0 (the only
+    // rank guaranteed to survive every event end-to-end); indexes the
+    // per-event recovery timelines.
+    let mut event_idx = 0usize;
     // Reused across every gather below — the owned block is copied into
     // this buffer instead of a fresh Vec per checkpoint/combine.
     let mut block_buf: Vec<f64> = Vec::new();
@@ -391,6 +399,10 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         }
 
         // Detection + (if needed) reconstruction — the Fig. 3 protocol.
+        // `round` accumulates this event's timings only (detection,
+        // reconstruction, and the commit-protocol recovery below), so the
+        // window starting here can be broken into per-phase durations.
+        let t_event0 = ctx.now();
         let mut round = ReconstructTimings::default();
         world = stage(
             communicator_reconstruct_with(ctx, Some(world), None, cfg.respawn_policy, &mut round),
@@ -399,7 +411,6 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         )?;
         let repaired = !round.failed_ranks.is_empty();
         if repaired {
-            merge_timings(&mut repair_timings, &round);
             let mut known_failed = round.failed_ranks.clone();
             if world.rank() == 0 && dp == steps {
                 // End-of-run failures accumulate across recovery rounds so
@@ -424,7 +435,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                     &store,
                     &mut buddy_store,
                     known,
-                    &mut repair_timings,
+                    &mut round,
                 ),
                 "post-recovery",
                 ctx,
@@ -434,6 +445,11 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             group = g;
             t_rec_local += trec;
             group_broken = false;
+            if world.rank() == 0 {
+                ctx.report_timeline(build_timeline(event_idx, dp, t_event0, ctx.now(), &round));
+            }
+            event_idx += 1;
+            merge_timings(&mut repair_timings, &round);
             if d == steps {
                 extend_lost(&mut final_lost, &layout, &failed);
                 end_failed = failed;
@@ -549,6 +565,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids)
     type CombineOutcome = (f64, f64, f64, f64, f64, Vec<f64>, Vec<f64>);
     let sys = layout.system();
+    let tags = TagSpace::for_layout(&layout);
     let (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids) = loop {
         let attempt: Result<CombineOutcome> = (|| {
             let use_robust =
@@ -590,7 +607,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                     // the controller, which left-folds the combination.
                     if let Some(g) = &my_full {
                         if world.rank() != 0 {
-                            send_grid(ctx, &world, 0, TAG_COMBINE + my.grid as i32, g)?;
+                            send_grid(ctx, &world, 0, tags.combine + my.grid as i32, g)?;
                         }
                     }
                     if world.rank() == 0 {
@@ -606,7 +623,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                                     ctx,
                                     &world,
                                     layout.root_of(gid),
-                                    TAG_COMBINE + gid as i32,
+                                    tags.combine + gid as i32,
                                     &mut scratch,
                                 )?
                             };
@@ -652,7 +669,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                         target,
                         part,
                         &mut block_buf,
-                        TAG_TREE,
+                        tags.tree,
                     )?
                 }
             };
@@ -687,7 +704,9 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             Ok(v) => break v,
             Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
                 // Release peers still blocked in this attempt, repair,
-                // recover the new casualties, and go again.
+                // recover the new casualties, and go again. This is a
+                // failure event of its own: window and timings start here.
+                let t_event0 = ctx.now();
                 world.revoke(ctx);
                 group.revoke(ctx);
                 let mut round = ReconstructTimings::default();
@@ -702,7 +721,6 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                     "combine-reconstruct",
                     ctx,
                 )?;
-                merge_timings(&mut repair_timings, &round);
                 let mut known_failed = round.failed_ranks.clone();
                 for &r in &end_failed {
                     if !known_failed.contains(&r) {
@@ -721,7 +739,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                         &store,
                         &mut buddy_store,
                         Some((steps, known_failed)),
-                        &mut repair_timings,
+                        &mut round,
                     ),
                     "combine-recovery",
                     ctx,
@@ -730,6 +748,17 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 world = w;
                 group = g;
                 t_rec_local += trec;
+                if world.rank() == 0 {
+                    ctx.report_timeline(build_timeline(
+                        event_idx,
+                        steps,
+                        t_event0,
+                        ctx.now(),
+                        &round,
+                    ));
+                }
+                event_idx += 1;
+                merge_timings(&mut repair_timings, &round);
                 extend_lost(&mut final_lost, &layout, &failed);
                 end_failed = failed;
             }
@@ -772,6 +801,11 @@ fn extend_lost(final_lost: &mut Vec<usize>, layout: &ProcLayout, failed: &[usize
 
 fn merge_timings(acc: &mut ReconstructTimings, round: &ReconstructTimings) {
     acc.t_list += round.t_list;
+    acc.t_detect += round.t_detect;
+    acc.t_ack += round.t_ack;
+    acc.t_revoke += round.t_revoke;
+    acc.t_flist += round.t_flist;
+    acc.t_restore += round.t_restore;
     acc.t_shrink += round.t_shrink;
     acc.t_spawn += round.t_spawn;
     acc.t_merge += round.t_merge;

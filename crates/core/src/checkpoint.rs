@@ -11,10 +11,16 @@
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sparsegrid::{Grid2, LevelPair};
 
 const MAGIC: &[u8; 8] = b"FTSGCKP1";
+
+/// Per-writer tmp-file discriminator: two roots checkpointing the same
+/// grid id concurrently (e.g. during a repair retry) must never clobber
+/// each other's in-flight tmp file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A directory of per-grid checkpoint files.
 #[derive(Debug, Clone)]
@@ -44,14 +50,29 @@ impl CheckpointStore {
         for v in grid.values() {
             buf.extend_from_slice(&v.to_le_bytes());
         }
-        let tmp = self.dir.join(format!(".grid_{grid_id:04}.tmp"));
+        let tmp = self.dir.join(format!(
+            ".grid_{grid_id:04}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(&buf)?;
             f.sync_all()?;
         }
         fs::rename(&tmp, self.path(grid_id))?;
+        // The rename itself lives in the directory: without fsyncing it,
+        // a crash can roll the directory entry back to the *old*
+        // checkpoint-or-nothing state, breaking the durability the
+        // restart path relies on.
+        self.sync_dir()?;
         Ok(buf.len())
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        fs::File::open(&self.dir)?.sync_all()?;
+        Ok(())
     }
 
     /// Read the recent checkpoint of a grid, if one exists. Returns the
@@ -88,10 +109,30 @@ impl CheckpointStore {
         Ok(Some((step, grid, bytes)))
     }
 
-    /// Remove every checkpoint file (end-of-run cleanup).
+    /// Remove every checkpoint file (end-of-run cleanup). Only this
+    /// store's `*.ckpt` and in-flight `.*.tmp` files are removed; the
+    /// directory itself is kept so the store stays usable — a subsequent
+    /// [`CheckpointStore::write`] must not fail for want of a tmp-file
+    /// parent.
     pub fn clear(&self) -> io::Result<()> {
-        if self.dir.exists() {
-            fs::remove_dir_all(&self.dir)?;
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ours = name.ends_with(".ckpt") || (name.starts_with('.') && name.ends_with(".tmp"));
+            if ours {
+                match fs::remove_file(entry.path()) {
+                    Ok(()) => {}
+                    // Another root may have cleaned it up concurrently.
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
         }
         Ok(())
     }
@@ -158,6 +199,64 @@ mod tests {
         s.write(1, 5, &g).unwrap();
         assert!(s.read(0).unwrap().is_none());
         assert!(s.read(1).unwrap().is_some());
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn store_stays_usable_after_clear() {
+        // Regression: clear() used to remove_dir_all the store directory,
+        // so the next write failed with NotFound on the tmp file.
+        let s = store();
+        let g = Grid2::from_fn(LevelPair::new(3, 3), |x, y| x - 2.0 * y);
+        s.write(0, 1, &g).unwrap();
+        s.clear().unwrap();
+        assert!(s.dir().is_dir(), "clear must keep the directory");
+        assert!(s.read(0).unwrap().is_none(), "clear must remove the files");
+        s.write(0, 2, &g).unwrap();
+        let (step, back, _) = s.read(0).unwrap().unwrap();
+        assert_eq!(step, 2);
+        assert_eq!(back, g);
+        // Idempotent, including on a directory someone else removed.
+        s.clear().unwrap();
+        std::fs::remove_dir_all(s.dir()).unwrap();
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn clear_leaves_foreign_files_alone() {
+        let s = store();
+        let foreign = s.dir().join("notes.txt");
+        std::fs::write(&foreign, b"keep me").unwrap();
+        let g = Grid2::from_fn(LevelPair::new(2, 2), |x, _| x);
+        s.write(4, 9, &g).unwrap();
+        s.clear().unwrap();
+        assert!(foreign.is_file());
+        assert!(s.read(4).unwrap().is_none());
+        std::fs::remove_dir_all(s.dir()).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_grid_never_corrupt() {
+        // Two roots may checkpoint the same grid id concurrently during a
+        // repair retry; per-writer tmp names keep every rename atomic, so
+        // the surviving file is always one of the two complete writes.
+        let s = store();
+        let s2 = s.clone();
+        let ga = Grid2::from_fn(LevelPair::new(4, 4), |x, y| x + y);
+        let gb = Grid2::from_fn(LevelPair::new(4, 4), |x, y| x * y);
+        let (ga2, gb2) = (ga.clone(), gb.clone());
+        let t = std::thread::spawn(move || {
+            for k in 0..50 {
+                s2.write(0, 1000 + k, &gb2).unwrap();
+            }
+        });
+        for k in 0..50 {
+            s.write(0, k, &ga2).unwrap();
+        }
+        t.join().unwrap();
+        let (step, back, _) = s.read(0).unwrap().unwrap();
+        assert!(back == ga || back == gb, "file must be one complete checkpoint");
+        assert!(step < 50 || (1000..1050).contains(&step));
         s.clear().unwrap();
     }
 }

@@ -30,6 +30,8 @@ pub mod output;
 pub mod psolve;
 pub mod reconstruct;
 pub mod recovery;
+pub mod tags;
+pub mod timeline;
 
 pub use app::{run_app, AppOutcome};
 pub use config::{AppConfig, CombineMode, Technique};
@@ -38,3 +40,5 @@ pub use reconstruct::{
     communicator_reconstruct, communicator_reconstruct_with, repair_comm, repair_comm_with,
     ReconstructTimings, RespawnPolicy,
 };
+pub use tags::TagSpace;
+pub use timeline::{build_timeline, PHASES};

@@ -17,6 +17,9 @@
 //! collectives require a consistent order, so both sides merge first and
 //! agree second.
 
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
 use ulfm_sim::{comm_spawn_multiple, Comm, Ctx, Error, InterComm, Result, SpawnSpec};
 
 use crate::detect::{failed_procs_list, mpi_error_handler};
@@ -118,16 +121,32 @@ pub struct ReconstructTimings {
     /// Creating the failed-process list: revoke + shrink + the Fig. 6
     /// group algebra (Fig. 8a).
     pub t_list: f64,
+    /// The erroring detection collective (the failed barrier of Fig. 3
+    /// line 13), net of error-handler acknowledgement time.
+    pub t_detect: f64,
+    /// `OMPI_Comm_failure_ack` time, both explicit calls and those run by
+    /// the attached error handler inside other timed segments (which are
+    /// recorded net of it, keeping all phases disjoint).
+    pub t_ack: f64,
+    /// `MPI_Comm_revoke` on the broken communicator.
+    pub t_revoke: f64,
+    /// The Fig. 6 group algebra alone (subset of [`Self::t_list`]).
+    pub t_flist: f64,
     /// `OMPI_Comm_shrink` alone (Table I).
     pub t_shrink: f64,
     /// `MPI_Comm_spawn_multiple` (Table I).
     pub t_spawn: f64,
     /// `MPI_Intercomm_merge` (Table I).
     pub t_merge: f64,
-    /// `OMPI_Comm_agree` calls, cumulative (Table I).
+    /// `OMPI_Comm_agree` calls, cumulative (Table I), net of handler
+    /// acknowledgement time.
     pub t_agree: f64,
     /// The rank-reordering `MPI_Comm_split`.
     pub t_split: f64,
+    /// Technique data recovery (checkpoint read / resample / alternate
+    /// combination / buddy fetch, including any recompute), cumulative
+    /// over commit retries.
+    pub t_restore: f64,
     /// The whole `communicatorReconstruct` call (Fig. 8b).
     pub t_total: f64,
     /// Number of do-while iterations (> 2 means failures struck during
@@ -186,10 +205,15 @@ pub fn repair_comm_with(
     // --- failed-process list (timed as Fig. 8a's "creating the list"). ---
     let t0 = ctx.now();
     broken.revoke(ctx);
+    timings.t_revoke += ctx.now() - t0;
     let t_shrink0 = ctx.now();
     let mut shrinked = broken.shrink(ctx)?;
     timings.t_shrink += ctx.now() - t_shrink0;
+    ctx.trace_phase("revoke_shrink", t0);
+    let t_flist0 = ctx.now();
     let mut failed_ranks = failed_procs_list(broken, &shrinked);
+    timings.t_flist += ctx.now() - t_flist0;
+    ctx.trace_phase("failed_list", t_flist0);
     timings.t_list += ctx.now() - t0;
 
     // Drop the current round's survivors communicator and re-shrink after
@@ -202,7 +226,10 @@ pub fn repair_comm_with(
             let t = ctx.now();
             shrinked = shrinked.shrink(ctx)?;
             timings.t_shrink += ctx.now() - t;
+            ctx.trace_phase("revoke_shrink", t);
+            let tf = ctx.now();
             failed_ranks = failed_procs_list(broken, &shrinked);
+            timings.t_flist += ctx.now() - tf;
         }};
     }
 
@@ -234,6 +261,7 @@ pub fn repair_comm_with(
             Err(e) => return Err(e),
         };
         timings.t_spawn += ctx.now() - t_spawn0;
+        ctx.trace_phase("spawn", t_spawn0);
 
         // --- merge (parent part), then synchronize. ---
         let t_merge0 = ctx.now();
@@ -250,12 +278,14 @@ pub fn repair_comm_with(
             Err(e) => return Err(e),
         };
         timings.t_merge += ctx.now() - t_merge0;
+        ctx.trace_phase("merge", t_merge0);
         let t_agree0 = ctx.now();
         let mut flag = true;
         // Fault-tolerant agreement: completes over survivors either way;
         // a casualty between merge and split is caught by the split below.
         let _ = inter.agree(ctx, &mut flag);
         timings.t_agree += ctx.now() - t_agree0;
+        ctx.trace_phase("agree", t_agree0);
 
         // --- hand every child its old rank. ---
         // Rank 0 never fails (application invariant), so when the merge
@@ -287,6 +317,7 @@ pub fn repair_comm_with(
         match unordered.split(ctx, Some(0), key) {
             Ok(repaired) => {
                 timings.t_split += ctx.now() - t_split0;
+                ctx.trace_phase("rank_reorder", t_split0);
                 return Ok(repaired.expect("repair split uses a single colour"));
             }
             Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
@@ -368,17 +399,38 @@ pub fn communicator_reconstruct_with(
             // Fig. 3 line 11: attach the Fig. 4 error handler; it
             // acknowledges observed failures whenever an operation on
             // this handle errors, so the subsequent agreement returns
-            // uniformly.
-            comm.set_errhandler(|ctx, comm, _err| mpi_error_handler(ctx, comm));
+            // uniformly. The handler's acknowledgement time is
+            // accumulated separately so the agree/detect segments it
+            // runs inside can be reported net of it — keeping every
+            // timeline phase disjoint.
+            let ack_time = Arc::new(StdMutex::new(0.0f64));
+            let acc = Arc::clone(&ack_time);
+            comm.set_errhandler(move |ctx, comm, _err| {
+                let a0 = ctx.now();
+                mpi_error_handler(ctx, comm);
+                *acc.lock().unwrap() += ctx.now() - a0;
+            });
+            let ack_of = |since: f64| (*ack_time.lock().unwrap() - since).max(0.0);
+            let ack0 = *ack_time.lock().unwrap();
             let t_agree0 = ctx.now();
             let mut flag = true;
             let _ = comm.agree(ctx, &mut flag); // handler acks on error
-            timings.t_agree += ctx.now() - t_agree0;
+            let ack_in_agree = ack_of(ack0);
+            timings.t_agree += (ctx.now() - t_agree0 - ack_in_agree).max(0.0);
+            timings.t_ack += ack_in_agree;
+            let ack1 = *ack_time.lock().unwrap();
+            let t_detect0 = ctx.now();
             match comm.barrier(ctx) {
                 Ok(()) => {
                     reconstructed = Some(comm);
                 }
                 Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                    // The erroring barrier *is* the failure detector
+                    // (Fig. 3 line 13): its time is the detection phase.
+                    let ack_in_detect = ack_of(ack1);
+                    timings.t_detect += (ctx.now() - t_detect0 - ack_in_detect).max(0.0);
+                    timings.t_ack += ack_in_detect;
+                    ctx.trace_phase("detect", t_detect0);
                     let repaired = repair_comm_with(ctx, &comm, policy, timings)?;
                     reconstructed = Some(repaired);
                     failure = true;

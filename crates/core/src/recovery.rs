@@ -32,15 +32,8 @@ use crate::config::{AppConfig, Technique};
 use crate::gather::{gather_grid, recv_grid, scatter_grid, send_grid};
 use crate::layout::{Assignment, ProcLayout};
 use crate::psolve::DistributedSolver;
+use crate::tags::TagSpace;
 use sparsegrid::scheme::RcSource;
-
-/// World-communicator tag bases for recovery grid transfers (offset by
-/// grid ID so concurrent transfers never collide).
-const TAG_RC: i32 = 7000;
-const TAG_AC_GATHER: i32 = 7500;
-const TAG_AC_RESULT: i32 = 8000;
-const TAG_BUDDY: i32 = 8500;
-const TAG_BUDDY_HDR: i32 = 8700;
 
 /// In-memory buddy checkpoints held *by this rank* for partner grids:
 /// grid id → (checkpointed step, grid data). Only group roots hold
@@ -71,18 +64,19 @@ pub fn buddy_exchange(
     store: &mut BuddyStore,
 ) -> Result<()> {
     let ids = layout.system().combination_ids();
+    let tags = TagSpace::for_layout(layout);
     // Phase 1: every group gathers and its root sends to the buddy root.
     let full =
         gather_grid(ctx, group, layout.group(my.grid), solver.level(), &solver.local_block())?;
     if let Some(grid) = &full {
         let buddy = buddy_of(layout, my.grid);
-        send_grid(ctx, world, layout.root_of(buddy), TAG_BUDDY + my.grid as i32, grid)?;
+        send_grid(ctx, world, layout.root_of(buddy), tags.buddy + my.grid as i32, grid)?;
     }
     // Phase 2: buddy roots collect the copies addressed to them.
     for &g in &ids {
         let buddy = buddy_of(layout, g);
         if world.rank() == layout.root_of(buddy) {
-            let grid = recv_grid(ctx, world, layout.root_of(g), TAG_BUDDY + g as i32)?;
+            let grid = recv_grid(ctx, world, layout.root_of(g), tags.buddy + g as i32)?;
             store.insert(g, (at_step, grid));
         }
     }
@@ -126,7 +120,8 @@ pub fn recover(
     if broken.is_empty() {
         return Ok(RecoveryStats::default());
     }
-    match cfg.technique {
+    let t0 = ctx.now();
+    let stats = match cfg.technique {
         Technique::CheckpointRestart => {
             recover_checkpoint(ctx, layout, group, my, solver, store, &broken, at_step)
         }
@@ -139,7 +134,9 @@ pub fn recover(
         Technique::BuddyCheckpoint => {
             recover_buddy(ctx, layout, world, group, my, solver, buddy_store, &broken, at_step)
         }
-    }
+    }?;
+    ctx.trace_phase("data_restore", t0);
+    Ok(stats)
 }
 
 /// Buddy-checkpoint recovery: the broken grid's last in-memory copy lives
@@ -159,6 +156,7 @@ fn recover_buddy(
     at_step: u64,
 ) -> Result<RecoveryStats> {
     let t0 = ctx.now();
+    let tags = TagSpace::for_layout(layout);
     let mut touched = false;
     for &b in broken {
         let buddy = buddy_of(layout, b);
@@ -167,11 +165,16 @@ fn recover_buddy(
             touched = true;
             match store.get(&b) {
                 Some((step, grid)) => {
-                    world.send(ctx, layout.root_of(b), TAG_BUDDY_HDR + b as i32, &[1u64, *step])?;
-                    send_grid(ctx, world, layout.root_of(b), TAG_BUDDY + b as i32, grid)?;
+                    world.send(
+                        ctx,
+                        layout.root_of(b),
+                        tags.buddy_hdr + b as i32,
+                        &[1u64, *step],
+                    )?;
+                    send_grid(ctx, world, layout.root_of(b), tags.buddy + b as i32, grid)?;
                 }
                 None => {
-                    world.send(ctx, layout.root_of(b), TAG_BUDDY_HDR + b as i32, &[0u64, 0u64])?;
+                    world.send(ctx, layout.root_of(b), tags.buddy_hdr + b as i32, &[0u64, 0u64])?;
                 }
             }
         }
@@ -179,9 +182,9 @@ fn recover_buddy(
             touched = true;
             let payload: Option<(u64, Grid2)> = if group.rank() == 0 {
                 let hdr: Vec<u64> =
-                    world.recv(ctx, layout.root_of(buddy), TAG_BUDDY_HDR + b as i32)?;
+                    world.recv(ctx, layout.root_of(buddy), tags.buddy_hdr + b as i32)?;
                 if hdr[0] == 1 {
-                    let grid = recv_grid(ctx, world, layout.root_of(buddy), TAG_BUDDY + b as i32)?;
+                    let grid = recv_grid(ctx, world, layout.root_of(buddy), tags.buddy + b as i32)?;
                     Some((hdr[1], grid))
                 } else {
                     None
@@ -275,6 +278,7 @@ fn recover_resample_copy(
     at_step: u64,
 ) -> Result<RecoveryStats> {
     let sys = layout.system();
+    let tags = TagSpace::for_layout(layout);
     let t0 = ctx.now();
     let mut touched = false;
     for &b in broken {
@@ -303,13 +307,13 @@ fn recover_resample_copy(
             )?;
             if let Some(full) = full {
                 let out = if resample { full.restrict_to(b_level) } else { full };
-                send_grid(ctx, world, layout.root_of(b), TAG_RC + b as i32, &out)?;
+                send_grid(ctx, world, layout.root_of(b), tags.rc + b as i32, &out)?;
             }
         }
         if my.grid == b {
             touched = true;
             let grid: Option<Grid2> = if group.rank() == 0 {
-                Some(recv_grid(ctx, world, layout.root_of(src_id), TAG_RC + b as i32)?)
+                Some(recv_grid(ctx, world, layout.root_of(src_id), tags.rc + b as i32)?)
             } else {
                 None
             };
@@ -333,6 +337,7 @@ fn recover_alt_combination(
     at_step: u64,
 ) -> Result<RecoveryStats> {
     let sys = layout.system();
+    let tags = TagSpace::for_layout(layout);
 
     // --- 1. New combination coefficients over the survivors (this is the
     //        technique's accountable recovery cost). Deterministic, so
@@ -364,7 +369,7 @@ fn recover_alt_combination(
             gather_grid(ctx, group, layout.group(my.grid), solver.level(), &solver.local_block())?;
         if let Some(full) = full {
             // Root ships to the controller (self-sends are fine).
-            send_grid(ctx, world, 0, TAG_AC_GATHER + my.grid as i32, &full)?;
+            send_grid(ctx, world, 0, tags.ac_gather + my.grid as i32, &full)?;
         }
     }
 
@@ -373,7 +378,7 @@ fn recover_alt_combination(
     if world.rank() == 0 {
         let mut sources: Vec<(f64, Grid2)> = Vec::with_capacity(needed.len());
         for &gid in &needed {
-            let g = recv_grid(ctx, world, layout.root_of(gid), TAG_AC_GATHER + gid as i32)?;
+            let g = recv_grid(ctx, world, layout.root_of(gid), tags.ac_gather + gid as i32)?;
             let c = coeffs[&sys.grid(gid).level] as f64;
             sources.push((c, g));
         }
@@ -383,14 +388,14 @@ fn recover_alt_combination(
             let lvl = sys.grid(b).level;
             let recovered = combine_onto(lvl, &terms);
             ctx.compute_cells((terms.len() * lvl.points()) as u64);
-            send_grid(ctx, world, layout.root_of(b), TAG_AC_RESULT + b as i32, &recovered)?;
+            send_grid(ctx, world, layout.root_of(b), tags.ac_result + b as i32, &recovered)?;
         }
     }
 
     // --- 4. Broken groups load the recovered data. ---
     if broken.contains(&my.grid) {
         let grid: Option<Grid2> = if group.rank() == 0 {
-            Some(recv_grid(ctx, world, 0, TAG_AC_RESULT + my.grid as i32)?)
+            Some(recv_grid(ctx, world, 0, tags.ac_result + my.grid as i32)?)
         } else {
             None
         };

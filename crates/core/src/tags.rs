@@ -1,0 +1,94 @@
+//! Disjoint message-tag regions for recovery and combination traffic.
+//!
+//! Every recovery technique and the combination step address per-grid
+//! messages as `base + grid_id`. The bases used to be hard-coded
+//! constants with ad-hoc gaps — `TAG_BUDDY` (8500) and `TAG_BUDDY_HDR`
+//! (8700) left only 200 slots, so a level set with ≥ 200 combining grids
+//! silently collided buddy payload and header traffic. [`TagSpace`]
+//! derives one uniform stride from the layout's grid count instead, so
+//! every region is exactly wide enough by construction.
+
+use crate::layout::ProcLayout;
+
+/// First tag of the derived regions (everything below is free for
+/// fixed app tags such as [`crate::reconstruct::MERGE_TAG`]).
+pub const TAG_BASE: i32 = 7000;
+
+/// Minimum per-region width: keeps the familiar legacy tag numbers for
+/// small systems and leaves slack for sweeps over nearby sizes.
+pub const MIN_STRIDE: i32 = 500;
+
+/// Base tags of the per-grid message regions, each `stride` wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSpace {
+    /// Resampling-and-Copying grid transfers.
+    pub rc: i32,
+    /// Alternate-combination gather to the controller.
+    pub ac_gather: i32,
+    /// Alternate-combination result redistribution.
+    pub ac_result: i32,
+    /// Buddy-checkpoint grid payloads.
+    pub buddy: i32,
+    /// Buddy-checkpoint `[has, step]` headers.
+    pub buddy_hdr: i32,
+    /// Central combination gather/scatter.
+    pub combine: i32,
+    /// Tree-combination partial-grid hops.
+    pub tree: i32,
+}
+
+impl TagSpace {
+    /// Tag regions wide enough for `n_grids` combining grids.
+    pub fn for_grids(n_grids: usize) -> Self {
+        let stride = (n_grids as i32).max(MIN_STRIDE);
+        let base = |k: i32| TAG_BASE + k * stride;
+        TagSpace {
+            rc: base(0),
+            ac_gather: base(1),
+            ac_result: base(2),
+            buddy: base(3),
+            buddy_hdr: base(4),
+            combine: base(5),
+            tree: base(6),
+        }
+    }
+
+    /// Tag regions sized for a concrete process layout.
+    pub fn for_layout(layout: &ProcLayout) -> Self {
+        Self::for_grids(layout.system().n_grids())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(t: &TagSpace) -> [i32; 7] {
+        [t.rc, t.ac_gather, t.ac_result, t.buddy, t.buddy_hdr, t.combine, t.tree]
+    }
+
+    #[test]
+    fn small_systems_keep_legacy_spacing() {
+        let t = TagSpace::for_grids(12);
+        assert_eq!(regions(&t), [7000, 7500, 8000, 8500, 9000, 9500, 10000]);
+    }
+
+    #[test]
+    fn regions_stay_disjoint_for_a_thousand_grids() {
+        // The regression scenario: ≥ 200 combining grids used to make
+        // buddy payload tags run into the buddy header region.
+        let n = 1000;
+        let t = TagSpace::for_grids(n);
+        let r = regions(&t);
+        for (a, &base_a) in r.iter().enumerate() {
+            for &base_b in r.iter().skip(a + 1) {
+                let (lo_a, hi_a) = (base_a, base_a + n as i32);
+                let (lo_b, hi_b) = (base_b, base_b + n as i32);
+                assert!(
+                    hi_a <= lo_b || hi_b <= lo_a,
+                    "regions [{lo_a},{hi_a}) and [{lo_b},{hi_b}) overlap"
+                );
+            }
+        }
+    }
+}

@@ -146,6 +146,9 @@ impl Comm {
     /// Run the attached error handler (if any) and pass the error through.
     fn handle_err<T>(&self, ctx: &Ctx, r: Result<T>) -> Result<T> {
         if let Err(e) = &r {
+            if matches!(e, Error::ProcFailed { .. } | Error::Revoked) {
+                ctx.metrics.note_failure_observed();
+            }
             if let Some(h) = &*self.errhandler.borrow() {
                 h(ctx, self, e);
             }
@@ -228,7 +231,8 @@ impl Comm {
         let mut buf = self.shared.pool.take(std::mem::size_of_val(data));
         encode_into(data, &mut buf);
         let payload = buf.freeze();
-        let arrive = ctx.now() + ctx.net().p2p(payload.len());
+        let nbytes = payload.len();
+        let arrive = ctx.now() + ctx.net().p2p(nbytes);
         d.mailbox.push(Envelope {
             cid: self.shared.cid,
             src_rank: self.rank,
@@ -237,7 +241,8 @@ impl Comm {
             arrive,
         });
         ctx.advance(ctx.net().latency); // sender-side occupancy
-        ctx.trace_event("send", self.shared.cid, t0, ctx.now());
+        ctx.metrics.note_sent(nbytes);
+        ctx.trace_p2p("send", self.shared.cid, t0, nbytes);
         Ok(())
     }
 
@@ -319,7 +324,8 @@ impl Comm {
         let complete = |e: Envelope| {
             ctx.note_exposed(e.arrive - ctx.now());
             ctx.advance_to(e.arrive);
-            ctx.trace_event("recv", self.shared.cid, t0, ctx.now());
+            ctx.metrics.note_recvd(e.payload.len());
+            ctx.trace_p2p("recv", self.shared.cid, t0, e.payload.len());
             (e.src_rank, e.tag, e.arrive, e.payload)
         };
         loop {
@@ -352,6 +358,7 @@ impl Comm {
             {
                 return Ok(complete(e));
             }
+            ctx.metrics.note_recv_retry();
         }
     }
 
@@ -392,7 +399,8 @@ impl Comm {
         let mut buf = self.shared.pool.take(std::mem::size_of_val(data));
         encode_into(data, &mut buf);
         let payload = buf.freeze();
-        let arrive = ctx.now() + ctx.net().p2p(payload.len());
+        let nbytes = payload.len();
+        let arrive = ctx.now() + ctx.net().p2p(nbytes);
         d.mailbox.push(Envelope {
             cid: self.shared.cid,
             src_rank: self.rank,
@@ -401,7 +409,8 @@ impl Comm {
             arrive,
         });
         ctx.advance(ctx.net().latency); // sender-side occupancy only
-        ctx.trace_event("isend", self.shared.cid, t0, ctx.now());
+        ctx.metrics.note_sent(nbytes);
+        ctx.trace_p2p("isend", self.shared.cid, t0, nbytes);
         Ok(Request { comm: self, state: ReqState::Send { dest } })
     }
 

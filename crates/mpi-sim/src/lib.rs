@@ -67,6 +67,7 @@ pub mod error;
 pub mod faultplan;
 pub mod group;
 pub mod mailbox;
+pub mod metrics;
 pub mod proc;
 pub(crate) mod rendezvous;
 pub mod runtime;
@@ -81,6 +82,10 @@ pub use datatype::MpiData;
 pub use error::{Error, Result};
 pub use faultplan::{FaultPlan, FaultSite, OpClass};
 pub use group::Group;
+pub use metrics::{
+    timelines_to_json, MetricsCell, MetricsReport, RankMetrics, RecoveryTimeline, TraceRing,
+    DEFAULT_TRACE_CAPACITY, OP_NAMES,
+};
 pub use proc::ProcId;
 pub use runtime::{run, Ctx, RecoveryScope, Report, RunConfig, TraceEvent, Value};
 pub use spawn::{comm_spawn_multiple, SpawnSpec};

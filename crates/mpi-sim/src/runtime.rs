@@ -23,6 +23,9 @@ use rand::SeedableRng;
 use crate::comm::{Comm, CommShared, InterComm, InterShared};
 use crate::costmodel::{BetaUlfm, ClusterProfile, IdealUlfm, NetParams, UlfmCostModel};
 use crate::faultplan::{FaultPlan, FaultSite, OpClass};
+use crate::metrics::{
+    MetricsCell, MetricsReport, RankMetrics, RecoveryTimeline, TraceRing, DEFAULT_TRACE_CAPACITY,
+};
 use crate::proc::{KillSignal, ProcId, ProcState};
 use crate::topology::Hostfile;
 
@@ -45,10 +48,12 @@ pub struct RunConfig {
     pub spare_hosts: usize,
     /// Seed for per-process RNGs ([`Ctx::rng`]).
     pub seed: u64,
-    /// Record a per-operation virtual-time trace (see [`Report::trace`]).
-    /// Off by default: tracing a large run allocates one event per
-    /// operation per rank.
-    pub trace: bool,
+    /// Capacity (events) of the per-operation trace ring buffer
+    /// ([`Report::trace`]). Tracing is *on by default* with a bounded
+    /// preallocated ring ([`DEFAULT_TRACE_CAPACITY`]); when full, the
+    /// oldest events are evicted and [`Report::trace_dropped`] counts
+    /// them. Set 0 to disable recording entirely.
+    pub trace_capacity: usize,
 }
 
 /// One traced operation on one rank (virtual times).
@@ -56,14 +61,23 @@ pub struct RunConfig {
 pub struct TraceEvent {
     /// Process id (`ProcId.0`).
     pub proc: u64,
-    /// Operation name ("barrier", "allreduce", "send", "shrink", ...).
+    /// Hostfile index of the node the process ran on.
+    pub host: usize,
+    /// Operation name ("barrier", "allreduce", "send", "shrink", ...),
+    /// recovery phase ("spawn", "data_restore", ...) or "failure".
     pub op: &'static str,
+    /// Event category: "mpi" for runtime operations, "recovery" for
+    /// application phase spans, "failure" for fail-stop instants.
+    pub cat: &'static str,
     /// Communicator id the operation ran on (0 for local ops).
     pub cid: u64,
     /// Virtual time the rank entered the operation.
     pub t_start: f64,
     /// Virtual time the operation completed for this rank.
     pub t_end: f64,
+    /// Point-to-point payload bytes moved by the operation (0 for
+    /// collectives, spans and markers).
+    pub bytes: u64,
 }
 
 impl RunConfig {
@@ -81,7 +95,7 @@ impl RunConfig {
             stack_size: 1 << 20,
             spare_hosts: 2,
             seed: 0x5eed,
-            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -96,13 +110,23 @@ impl RunConfig {
             stack_size: 1 << 20,
             spare_hosts: 2,
             seed: 0x5eed,
-            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
-    /// Enable operation tracing.
+    /// Ensure operation tracing is on (kept for callers predating
+    /// default-on tracing; restores the default capacity if recording
+    /// was disabled).
     pub fn with_trace(mut self) -> Self {
-        self.trace = true;
+        if self.trace_capacity == 0 {
+            self.trace_capacity = DEFAULT_TRACE_CAPACITY;
+        }
+        self
+    }
+
+    /// Set the trace ring capacity in events (0 disables recording).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -154,7 +178,14 @@ pub(crate) struct Universe {
     /// Accumulated `(hidden, exposed)` communication seconds over all
     /// terminated processes (see [`Report::comm_hidden`]).
     comm_time: Mutex<(f64, f64)>,
-    trace: Option<Mutex<Vec<TraceEvent>>>,
+    /// Capacity mirror of `trace` so the hot path can skip the lock when
+    /// recording is disabled.
+    trace_cap: usize,
+    trace: Mutex<TraceRing>,
+    /// Final per-rank counter snapshots, pushed as each process exits.
+    metrics: Mutex<Vec<RankMetrics>>,
+    /// Per-failure-event recovery timelines ([`Ctx::report_timeline`]).
+    timelines: Mutex<Vec<RecoveryTimeline>>,
 }
 
 impl Universe {
@@ -206,10 +237,12 @@ impl Universe {
                     recovery_depth: Cell::new(0),
                     comm_hidden: Cell::new(0.0),
                     comm_exposed: Cell::new(0.0),
+                    metrics: MetricsCell::new(),
                 };
                 let entry = Arc::clone(&uni.entry);
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
                 uni.final_clocks.lock().push((me.id, ctx.clock.get()));
+                uni.metrics.lock().push(ctx.metrics.snapshot(me.id.0, me.host));
                 {
                     let mut ct = uni.comm_time.lock();
                     ct.0 += ctx.comm_hidden.get();
@@ -264,9 +297,19 @@ pub struct Report {
     /// (blocking receives plus the un-overlapped tail of nonblocking
     /// ones), summed over ranks.
     pub comm_exposed: f64,
-    /// Per-operation trace, if [`RunConfig::trace`] was set (unordered;
-    /// sort by `t_start` for a timeline).
+    /// Per-operation trace: the newest [`RunConfig::trace_capacity`]
+    /// events (unordered; sort by `t_start` for a timeline).
     pub trace: Vec<TraceEvent>,
+    /// Events evicted from the trace ring (or suppressed when recording
+    /// was disabled). Nonzero means [`Report::op_totals`] undercounts —
+    /// use [`Report::metrics`], which is always complete.
+    pub trace_dropped: u64,
+    /// Final per-rank counters: messages, bytes, retries, failures
+    /// observed, per-op durations. Always on and complete.
+    pub metrics: MetricsReport,
+    /// One [`RecoveryTimeline`] per repaired failure event, ordered by
+    /// event start time.
+    pub timelines: Vec<RecoveryTimeline>,
 }
 
 impl Report {
@@ -348,6 +391,8 @@ pub struct Ctx {
     pub(crate) comm_hidden: Cell<f64>,
     /// Communication time this rank stalled on (seconds).
     pub(crate) comm_exposed: Cell<f64>,
+    /// Live per-rank counters, snapshotted into the report on exit.
+    pub(crate) metrics: MetricsCell,
 }
 
 /// Per-rank state of armed non-step fault sites.
@@ -457,6 +502,7 @@ impl Ctx {
     /// Fail-stop this process *right now* — the paper's
     /// `kill(getpid(), SIGKILL)` failure generator.
     pub fn die(&self) -> ! {
+        self.trace_instant("failure");
         self.me.kill();
         std::panic::panic_any(KillSignal)
     }
@@ -466,6 +512,7 @@ impl Ctx {
     /// computing.
     pub fn check_killed(&self) {
         if self.me.killed.load(Ordering::Acquire) {
+            self.trace_instant("failure");
             std::panic::panic_any(KillSignal)
         }
     }
@@ -640,11 +687,82 @@ impl Ctx {
         &self.uni
     }
 
-    /// Record one traced operation (no-op unless tracing is enabled).
+    /// Record one traced runtime operation. Also feeds this rank's
+    /// per-op duration aggregates, which stay complete even when the
+    /// trace ring evicts the event.
     pub(crate) fn trace_event(&self, op: &'static str, cid: u64, t_start: f64, t_end: f64) {
-        if let Some(trace) = &self.uni.trace {
-            trace.lock().push(TraceEvent { proc: self.me.id.0, op, cid, t_start, t_end });
+        self.metrics.note_op(op, t_end - t_start);
+        self.trace_push(TraceEvent {
+            proc: self.me.id.0,
+            host: self.me.host,
+            op,
+            cat: "mpi",
+            cid,
+            t_start,
+            t_end,
+            bytes: 0,
+        });
+    }
+
+    /// Record one traced point-to-point operation carrying `bytes` of
+    /// payload, ending now.
+    pub(crate) fn trace_p2p(&self, op: &'static str, cid: u64, t_start: f64, bytes: usize) {
+        let t_end = self.now();
+        self.metrics.note_op(op, t_end - t_start);
+        self.trace_push(TraceEvent {
+            proc: self.me.id.0,
+            host: self.me.host,
+            op,
+            cat: "mpi",
+            cid,
+            t_start,
+            t_end,
+            bytes: bytes as u64,
+        });
+    }
+
+    /// Record an application-level recovery-phase span that started at
+    /// `t_start` (virtual seconds) and ends now. Shows up in the Chrome
+    /// trace under the "recovery" category.
+    pub fn trace_phase(&self, name: &'static str, t_start: f64) {
+        self.trace_push(TraceEvent {
+            proc: self.me.id.0,
+            host: self.me.host,
+            op: name,
+            cat: "recovery",
+            cid: 0,
+            t_start,
+            t_end: self.now(),
+            bytes: 0,
+        });
+    }
+
+    /// Record an instant marker (fail-stop) at the current virtual time.
+    pub(crate) fn trace_instant(&self, name: &'static str) {
+        let t = self.now();
+        self.trace_push(TraceEvent {
+            proc: self.me.id.0,
+            host: self.me.host,
+            op: name,
+            cat: "failure",
+            cid: 0,
+            t_start: t,
+            t_end: t,
+            bytes: 0,
+        });
+    }
+
+    fn trace_push(&self, ev: TraceEvent) {
+        if self.uni.trace_cap == 0 {
+            return;
         }
+        self.uni.trace.lock().push(ev);
+    }
+
+    /// Deposit one per-failure-event recovery timeline into the report
+    /// (called by the application on the post-repair rank 0).
+    pub fn report_timeline(&self, timeline: RecoveryTimeline) {
+        self.uni.timelines.lock().push(timeline);
     }
 }
 
@@ -691,7 +809,10 @@ where
         app_errors: Mutex::new(Vec::new()),
         final_clocks: Mutex::new(Vec::new()),
         comm_time: Mutex::new((0.0, 0.0)),
-        trace: if config.trace { Some(Mutex::new(Vec::new())) } else { None },
+        trace_cap: config.trace_capacity,
+        trace: Mutex::new(TraceRing::new(config.trace_capacity)),
+        metrics: Mutex::new(Vec::new()),
+        timelines: Mutex::new(Vec::new()),
     });
 
     // Block placement of the initial world, like `mpirun --map-by slot`.
@@ -738,7 +859,13 @@ where
 
     let values = uni.blackboard.lock().clone();
     let app_errors = uni.app_errors.lock().clone();
-    let trace = uni.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default();
+    let (trace, trace_dropped) = {
+        let ring = uni.trace.lock();
+        (ring.events(), ring.dropped())
+    };
+    let metrics = MetricsReport { ranks: uni.metrics.lock().clone() };
+    let mut timelines = uni.timelines.lock().clone();
+    timelines.sort_by(|a, b| a.t_start.total_cmp(&b.t_start).then(a.event.cmp(&b.event)));
     Report {
         values,
         app_errors,
@@ -748,6 +875,9 @@ where
         comm_hidden,
         comm_exposed,
         trace,
+        trace_dropped,
+        metrics,
+        timelines,
     }
 }
 

@@ -1,8 +1,11 @@
 //! Export an operation trace in the Chrome trace-event format, viewable in
-//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev): one timeline
-//! row per simulated rank, one span per runtime operation, in virtual
-//! microseconds.
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev): one process
+//! group per *host*, one timeline row per simulated rank, one span per
+//! runtime operation or recovery phase, instant markers at fail-stops, and
+//! a per-host counter track of cumulative point-to-point payload bytes —
+//! all in virtual microseconds.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -11,21 +14,57 @@ use crate::runtime::{Report, TraceEvent};
 
 /// Render the trace as a Chrome trace-event JSON array.
 ///
-/// Each [`TraceEvent`] becomes one complete (`"ph": "X"`) event: `pid` 0,
-/// `tid` = process id, timestamps in microseconds of *virtual* time, with
-/// the communicator id attached as an argument.
+/// * Operations and recovery phases become complete (`"ph": "X"`) events
+///   with their [`TraceEvent::cat`] category, `pid` = host, `tid` =
+///   process id, timestamps in microseconds of *virtual* time, and the
+///   communicator id / payload bytes attached as arguments.
+/// * Fail-stop markers (`cat == "failure"`) become globally-scoped
+///   instant (`"ph": "i"`) events.
+/// * Events moving payload feed a per-host `p2p_bytes` counter
+///   (`"ph": "C"`) track of cumulative bytes.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
-    let mut out = String::from("[\n");
-    for (i, e) in events.iter().enumerate() {
+    // Chronological order, so the counter track is monotone per host.
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+    let mut items: Vec<String> = Vec::with_capacity(sorted.len());
+    let mut cum_bytes: HashMap<usize, u64> = HashMap::new();
+    for e in sorted {
         let us = e.t_start * 1e6;
+        if e.cat == "failure" {
+            items.push(format!(
+                "  {{\"name\": \"{}\", \"cat\": \"failure\", \"ph\": \"i\", \"s\": \"g\", \
+                 \"pid\": {}, \"tid\": {}, \"ts\": {:.3}}}",
+                e.op, e.host, e.proc, us
+            ));
+            continue;
+        }
         let dur = ((e.t_end - e.t_start) * 1e6).max(0.001); // min visible width
-        let _ = write!(
-            out,
-            "  {{\"name\": \"{}\", \"cat\": \"mpi\", \"ph\": \"X\", \"pid\": 0, \
-             \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"cid\": {}}}}}",
-            e.op, e.proc, us, dur, e.cid
+        let mut item = format!(
+            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": {}, \
+             \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"cid\": {}",
+            e.op, e.cat, e.host, e.proc, us, dur, e.cid
         );
-        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+        if e.bytes > 0 {
+            let _ = write!(item, ", \"bytes\": {}", e.bytes);
+        }
+        item.push_str("}}");
+        items.push(item);
+        if e.bytes > 0 {
+            let cum = cum_bytes.entry(e.host).or_insert(0);
+            *cum += e.bytes;
+            items.push(format!(
+                "  {{\"name\": \"p2p_bytes\", \"cat\": \"mpi\", \"ph\": \"C\", \"pid\": {}, \
+                 \"ts\": {:.3}, \"args\": {{\"bytes\": {}}}}}",
+                e.host,
+                (e.t_end * 1e6).max(us),
+                cum
+            ));
+        }
+    }
+    let mut out = String::from("[\n");
+    out.push_str(&items.join(",\n"));
+    if !items.is_empty() {
+        out.push('\n');
     }
     out.push_str("]\n");
     out
@@ -43,7 +82,7 @@ mod tests {
 
     #[test]
     fn chrome_trace_is_valid_shape() {
-        let report = run(RunConfig::local(3).with_trace(), |ctx| {
+        let report = run(RunConfig::local(3), |ctx| {
             let w = ctx.initial_world().unwrap();
             w.barrier(ctx).unwrap();
             let _ = w.allreduce_sum(ctx, 1u64).unwrap();
@@ -59,8 +98,50 @@ mod tests {
         assert_eq!(json.matches("\"name\": \"barrier\"").count(), 3);
         assert!(json.contains("\"tid\": 0"));
         assert!(json.contains("\"tid\": 2"));
+        // Three ranks on one 8-slot host: every span carries pid = host 0.
+        assert!(json.contains("\"pid\": 0"));
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn p2p_spans_feed_a_cumulative_counter_track() {
+        let report = run(RunConfig::local(2), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if w.rank() == 0 {
+                w.send(ctx, 1, 5, &[1.0f64, 2.0]).unwrap();
+                w.send(ctx, 1, 5, &[3.0f64]).unwrap();
+            } else {
+                let _: Vec<f64> = w.recv(ctx, 0, 5).unwrap();
+                let _: Vec<f64> = w.recv(ctx, 0, 5).unwrap();
+            }
+        });
+        report.assert_no_app_errors();
+        let json = to_chrome_trace(&report.trace);
+        // 2 sends + 2 recvs, each moving payload -> 4 counter samples.
+        assert_eq!(json.matches("\"ph\": \"C\"").count(), 4);
+        assert_eq!(json.matches("\"name\": \"p2p_bytes\"").count(), 4);
+        // Both ranks share host 0, so the counter ends at the full
+        // send + recv volume: 2 * (16 + 8) = 48 bytes.
+        assert!(json.contains("\"args\": {\"bytes\": 48}"));
+        // The spans themselves carry their payload size.
+        assert!(json.contains("\"bytes\": 16"));
+    }
+
+    #[test]
+    fn failures_become_instant_markers() {
+        let report = run(RunConfig::local(2), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if w.rank() == 1 {
+                ctx.die();
+            }
+            let _ = w.barrier(ctx);
+        });
+        report.assert_no_app_errors();
+        let json = to_chrome_trace(&report.trace);
+        assert_eq!(json.matches("\"ph\": \"i\"").count(), 1);
+        assert!(json.contains("\"name\": \"failure\""));
+        assert!(json.contains("\"s\": \"g\""));
     }
 
     #[test]
@@ -70,7 +151,7 @@ mod tests {
 
     #[test]
     fn file_write_roundtrip() {
-        let report = run(RunConfig::local(2).with_trace(), |ctx| {
+        let report = run(RunConfig::local(2), |ctx| {
             let w = ctx.initial_world().unwrap();
             w.barrier(ctx).unwrap();
         });

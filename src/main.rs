@@ -144,8 +144,10 @@ fn main() {
         "raijin" => RunConfig::cluster(ClusterProfile::raijin(), world).with_seed(cli.seed),
         _ => usage(),
     };
+    // Tracing is on by default (bounded ring); give explicit trace
+    // requests a deeper buffer so big runs keep every event.
     if cli.trace || cli.trace_json.is_some() {
-        rc.trace = true;
+        rc = rc.with_trace_capacity(1 << 20);
     }
 
     println!(
