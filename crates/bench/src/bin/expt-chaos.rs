@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage]
-//!            [--json PATH] [--repro SPEC] [--artifacts DIR]
+//!            [--no-corrupt] [--corrupt-only] [--json PATH] [--repro SPEC]
+//!            [--artifacts DIR]
 //! ```
 //!
 //! Exit code 0 when every examined case satisfies all oracles, 1 when any
@@ -12,9 +13,7 @@
 
 use std::time::Duration;
 
-use ftsg_bench::chaos::{
-    self, CampaignOpts, CaseRecord, DEFAULT_BUDGET, DEFAULT_SEED, DEFAULT_STALL_SECS,
-};
+use ftsg_bench::chaos::{self, CampaignOpts, CaseRecord};
 
 struct Cli {
     opts: CampaignOpts,
@@ -27,21 +26,11 @@ fn parse_args() -> Cli {
     let usage = || -> ! {
         eprintln!(
             "usage: expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage] \
-             [--json PATH] [--repro SPEC] [--artifacts DIR]"
+             [--no-corrupt] [--corrupt-only] [--json PATH] [--repro SPEC] [--artifacts DIR]"
         );
         std::process::exit(2);
     };
-    let mut cli = Cli {
-        opts: CampaignOpts {
-            budget: DEFAULT_BUDGET,
-            seed: DEFAULT_SEED,
-            sabotage: false,
-            stall: Duration::from_secs(DEFAULT_STALL_SECS),
-            artifact_dir: None,
-        },
-        json: None,
-        repro: None,
-    };
+    let mut cli = Cli { opts: CampaignOpts::default(), json: None, repro: None };
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> String {
@@ -56,6 +45,8 @@ fn parse_args() -> Cli {
                     Duration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--sabotage" => cli.opts.sabotage = true,
+            "--no-corrupt" => cli.opts.corruption = false,
+            "--corrupt-only" => cli.opts.corrupt_only = true,
             "--json" => cli.json = Some(take(&mut i)),
             "--repro" => cli.repro = Some(take(&mut i)),
             "--artifacts" => cli.opts.artifact_dir = Some(take(&mut i).into()),
@@ -99,8 +90,15 @@ fn main() {
         }
     }
 
+    let corrupt_mix = if cli.opts.corrupt_only {
+        "all"
+    } else if cli.opts.corruption {
+        "1-in-5"
+    } else {
+        "off"
+    };
     println!(
-        "chaos campaign: budget={} seed={} sabotage={} stall={}s",
+        "chaos campaign: budget={} seed={} sabotage={} stall={}s corruption={corrupt_mix}",
         cli.opts.budget,
         cli.opts.seed,
         cli.opts.sabotage,

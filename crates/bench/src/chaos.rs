@@ -27,6 +27,20 @@
 //! * **O5 — timeline.** Every injected failure event surfaces as a
 //!   [`RecoveryTimeline`] whose per-phase durations are non-negative and
 //!   sum (within `1e-9`) to the event's measured recovery window.
+//! * **O6 — restart integrity.** Checkpoint-file corruption (bit flips,
+//!   torn writes, trashed headers — injected via the store's
+//!   [`CorruptionPlan`]) must never be consumed silently: when the run
+//!   reports the strike actually landed on disk (`ckpt_corrupt_applied`
+//!   — kills race failure detection in real time, so an early repair may
+//!   legitimately preempt the targeted write), a restart positioned to
+//!   read the damaged file has to report it as skipped
+//!   (`ckpt_skipped_corrupt ≥ 1`) and fall back to an older checkpoint —
+//!   O3's bitwise check then proves the restored data is right.
+//!   Conversely a run with *no* injected corruption must never report
+//!   skipped files (the store must not corrupt its own writes). Every
+//!   fifth campaign case is a corruption case (CR, one step kill landing
+//!   inside the corrupted checkpoint's live window); `--no-corrupt` and
+//!   `--corrupt-only` adjust the mix.
 //!
 //! Failing cases are shrunk greedily — drop failures one at a time, halve
 //! the step count, reduce the combination level — re-running the oracles
@@ -40,7 +54,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use ftsg_core::app::keys;
-use ftsg_core::{run_app, AppConfig, ProcLayout, Technique};
+use ftsg_core::{
+    run_app, AppConfig, CorruptKind, CorruptionPlan, CorruptionStrike, ProcLayout, Technique,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ulfm_sim::{
@@ -125,12 +141,14 @@ impl CaseShape {
     }
 }
 
-/// One fault-injection case: a technique, a shape, and a victim list.
+/// One fault-injection case: a technique, a shape, a victim list, and
+/// (for corruption cases) one checkpoint-corruption strike.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaosCase {
     pub technique: Technique,
     pub shape: CaseShape,
     pub victims: Vec<(usize, FaultSite)>,
+    pub corruption: Option<CorruptionStrike>,
 }
 
 fn site_spec(site: &FaultSite) -> String {
@@ -155,6 +173,37 @@ fn parse_site(s: &str) -> Result<FaultSite, String> {
     }
 }
 
+fn corrupt_spec(s: &CorruptionStrike) -> String {
+    let kind = match s.kind {
+        CorruptKind::BitFlip { offset, bit } => format!("flip:{offset}:{bit}"),
+        CorruptKind::Torn { keep_pct } => format!("torn:{keep_pct}"),
+        CorruptKind::GarbageHeader => "garbage".into(),
+    };
+    format!("corrupt:g{}:s{}:{kind}", s.grid_id, s.step)
+}
+
+fn parse_corrupt(s: &str) -> Result<CorruptionStrike, String> {
+    let bad = || format!("bad corruption spec {s:?} (want e.g. corrupt:g2:s10:flip:40:3)");
+    let parts: Vec<&str> = s.split(':').collect();
+    let (head, kind_parts) = parts.split_at(3.min(parts.len()));
+    let [tag, grid, step] = head else { return Err(bad()) };
+    if *tag != "corrupt" {
+        return Err(bad());
+    }
+    let grid_id: usize = grid.strip_prefix('g').ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let step: u64 = step.strip_prefix('s').ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let kind = match kind_parts {
+        ["flip", offset, bit] => CorruptKind::BitFlip {
+            offset: offset.parse().map_err(|_| bad())?,
+            bit: bit.parse().map_err(|_| bad())?,
+        },
+        ["torn", keep] => CorruptKind::Torn { keep_pct: keep.parse().map_err(|_| bad())? },
+        ["garbage"] => CorruptKind::GarbageHeader,
+        _ => return Err(bad()),
+    };
+    Ok(CorruptionStrike { grid_id, step, kind })
+}
+
 fn parse_technique(s: &str) -> Result<Technique, String> {
     TECHNIQUES
         .iter()
@@ -164,18 +213,28 @@ fn parse_technique(s: &str) -> Result<Technique, String> {
 }
 
 impl ChaosCase {
-    /// One-line repro spec, e.g. `CR/n6l3s1k5c2/3@step:16+5@op:gather:1`.
+    /// One-line repro spec, e.g. `CR/n6l3s1k5c2/3@step:16+5@op:gather:1`
+    /// (corruption cases carry a fourth segment:
+    /// `CR/n6l3s1k5c2/3@step:12/corrupt:g2:s10:flip:40:3`).
     pub fn spec(&self) -> String {
         let victims: Vec<String> =
             self.victims.iter().map(|(r, s)| format!("{r}@{}", site_spec(s))).collect();
-        format!("{}/{}/{}", self.technique.label(), self.shape.spec(), victims.join("+"))
+        let mut out =
+            format!("{}/{}/{}", self.technique.label(), self.shape.spec(), victims.join("+"));
+        if let Some(strike) = &self.corruption {
+            out.push('/');
+            out.push_str(&corrupt_spec(strike));
+        }
+        out
     }
 
     /// Parse a spec produced by [`ChaosCase::spec`].
     pub fn parse(spec: &str) -> Result<Self, String> {
         let parts: Vec<&str> = spec.split('/').collect();
-        let [tech, shape, victims] = parts.as_slice() else {
-            return Err(format!("bad case spec {spec:?} (want TECH/SHAPE/VICTIMS)"));
+        let (tech, shape, victims, corrupt) = match parts.as_slice() {
+            [t, s, v] => (t, s, v, None),
+            [t, s, v, c] => (t, s, v, Some(parse_corrupt(c)?)),
+            _ => return Err(format!("bad case spec {spec:?} (want TECH/SHAPE/VICTIMS[/CORRUPT])")),
         };
         let technique = parse_technique(tech)?;
         let shape = CaseShape::parse(shape)?;
@@ -185,12 +244,15 @@ impl ChaosCase {
             let rank: usize = rank.parse().map_err(|_| format!("bad victim rank in {v:?}"))?;
             vs.push((rank, parse_site(site)?));
         }
-        Ok(ChaosCase { technique, shape, victims: vs })
+        Ok(ChaosCase { technique, shape, victims: vs, corruption: corrupt })
     }
 
-    /// The dominant site kind of this case (`recovery` > `op` > `step`),
-    /// used for coverage accounting.
+    /// The dominant site kind of this case (`corrupt` > `recovery` > `op`
+    /// > `step`), used for coverage accounting.
     pub fn kind(&self) -> &'static str {
+        if self.corruption.is_some() {
+            return "corrupt";
+        }
         let mut kind = "step";
         for (_, site) in &self.victims {
             match site {
@@ -224,6 +286,9 @@ impl ChaosCase {
         cfg.log2_steps = self.shape.log2_steps;
         cfg.checkpoints = self.shape.checkpoints;
         cfg.plan = plan;
+        if let Some(strike) = &self.corruption {
+            cfg = cfg.with_ckpt_corruption(CorruptionPlan::one(*strike));
+        }
         cfg
     }
 
@@ -256,6 +321,13 @@ pub struct CaseResult {
     pub rank_hosts: Vec<f64>,
     pub rank_grids: Vec<f64>,
     pub timelines: Vec<RecoveryTimeline>,
+    /// Corrupt/torn checkpoint files the restart fallback skipped
+    /// (`ckpt_skipped_corrupt`; `None` when no restore ran).
+    pub ckpt_skipped: Option<f64>,
+    /// Injected corruption strikes that actually landed on disk
+    /// (`ckpt_corrupt_applied`; `None` when none did — e.g. when an
+    /// early failure detection preempted the targeted write).
+    pub ckpt_corrupt_applied: Option<f64>,
 }
 
 /// Run one case end-to-end and return the full runtime report (the
@@ -279,6 +351,8 @@ pub fn run_case(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -
         makespan: report.makespan,
         rank_hosts: report.get_list(keys::RANK_HOSTS).unwrap_or_default().to_vec(),
         rank_grids: report.get_list(keys::RANK_GRIDS).unwrap_or_default().to_vec(),
+        ckpt_skipped: report.get_f64(keys::CKPT_SKIPPED),
+        ckpt_corrupt_applied: report.get_f64(keys::CKPT_CORRUPT_APPLIED),
         timelines: report.timelines,
     }
 }
@@ -310,7 +384,12 @@ impl BaselineCache {
     pub fn get(&mut self, case: &ChaosCase) -> &Baseline {
         let key = (case.technique.label(), case.shape);
         if !self.map.contains_key(&key) {
-            let res = run_case(case, FaultPlan::none(), self.seed, self.stall);
+            // The baseline is the *healthy* run: no failures and no store
+            // corruption (a corrupted-but-never-read checkpoint must not
+            // leak into the reference either).
+            let mut clean = case.clone();
+            clean.corruption = None;
+            let res = run_case(&clean, FaultPlan::none(), self.seed, self.stall);
             assert!(
                 res.app_errors.is_empty(),
                 "baseline run {}/{} must be healthy: {:?}",
@@ -336,6 +415,48 @@ impl BaselineCache {
 pub struct Violation {
     pub oracle: &'static str,
     pub detail: String,
+}
+
+/// CR checkpoint-write steps for a shape: the detection points strictly
+/// below `steps` (the run is split into `checkpoints + 1` segments).
+pub fn write_steps(shape: &CaseShape) -> Vec<u64> {
+    let steps = shape.steps();
+    let p = (steps / (u64::from(shape.checkpoints) + 1)).max(1);
+    (1..).map(|i| i * p).take_while(|&s| s < steps).collect()
+}
+
+/// Must this case's restart consult the corrupted checkpoint file —
+/// *provided the damaged write actually landed*?
+///
+/// True when the damaged write, once on disk, is the *newest* file for
+/// the victim's grid at recovery time: technique CR, the strike lands on
+/// a real write step `cs` of the victim's own grid, and every victim is a
+/// plain step kill inside `[cs, next_write)` (or up to `steps` when `cs`
+/// is the last write) — so no newer, clean checkpoint can supersede it.
+/// For such cases O6 requires `ckpt_skipped ≥ 1` *when the run reports
+/// `ckpt_corrupt_applied ≥ 1`*: kills race failure detection in real
+/// time (like real SIGKILLs), so an early repair can legitimately
+/// preempt the targeted write — in that interleaving the corruption
+/// never reaches disk and no skip is owed.
+pub fn corrupt_read_expected(case: &ChaosCase) -> bool {
+    let Some(strike) = &case.corruption else { return false };
+    if case.technique != Technique::CheckpointRestart || case.victims.is_empty() {
+        return false;
+    }
+    let writes = write_steps(&case.shape);
+    if !writes.contains(&strike.step) {
+        return false;
+    }
+    let next = writes.iter().copied().find(|&w| w > strike.step);
+    let hi = match next {
+        Some(w) => w - 1,           // a write at `w` would supersede the corrupt file
+        None => case.shape.steps(), // last write: any later kill still reads it
+    };
+    let layout = case.layout();
+    case.victims.iter().all(|(r, site)| {
+        matches!(site, FaultSite::Step(k)
+            if layout.grid_of(*r) == strike.grid_id && *k >= strike.step && *k <= hi)
+    })
 }
 
 /// Check the four invariant oracles for one case result. `sabotage`
@@ -476,6 +597,38 @@ pub fn check_oracles(
             });
         }
     }
+    // O6: restart integrity. A store with no injected corruption must
+    // never skip files (it must not corrupt its own writes); a restart
+    // that provably reads the damaged file must skip it (O3's bitwise
+    // check above then proves the fallback restored correct data).
+    let skipped = res.ckpt_skipped.unwrap_or(0.0);
+    match &case.corruption {
+        None if skipped > 0.0 => {
+            out.push(Violation {
+                oracle: "O6-restart-integrity",
+                detail: format!(
+                    "no corruption injected, yet the restart skipped {skipped} checkpoint file(s) \
+                     — the store damaged its own writes"
+                ),
+            });
+        }
+        Some(strike)
+            if corrupt_read_expected(case)
+                && res.procs_failed > 0
+                && res.ckpt_corrupt_applied.unwrap_or(0.0) >= 1.0
+                && skipped < 1.0 =>
+        {
+            out.push(Violation {
+                oracle: "O6-restart-integrity",
+                detail: format!(
+                    "the corrupted checkpoint ({}) landed and was the newest file at restart, \
+                     yet no skip was reported — a corrupt checkpoint was consumed silently",
+                    corrupt_spec(strike)
+                ),
+            });
+        }
+        _ => {}
+    }
     out
 }
 
@@ -489,6 +642,11 @@ pub struct CampaignOpts {
     /// When set, every violating case's shrunk repro is re-run once more
     /// and its Chrome trace + recovery-timeline JSON are written here.
     pub artifact_dir: Option<PathBuf>,
+    /// Mix checkpoint-corruption cases into the campaign (every fifth
+    /// case; on by default, `--no-corrupt` clears it).
+    pub corruption: bool,
+    /// Sample *only* corruption cases (`--corrupt-only`).
+    pub corrupt_only: bool,
 }
 
 impl Default for CampaignOpts {
@@ -499,6 +657,8 @@ impl Default for CampaignOpts {
             sabotage: false,
             stall: Duration::from_secs(DEFAULT_STALL_SECS),
             artifact_dir: None,
+            corruption: true,
+            corrupt_only: false,
         }
     }
 }
@@ -510,6 +670,8 @@ pub struct CaseRecord {
     pub technique: &'static str,
     pub kind: &'static str,
     pub procs_failed: usize,
+    /// Corrupt checkpoint files the restart skipped (0 when none).
+    pub ckpt_skipped: f64,
     pub violations: Vec<Violation>,
     /// Minimized failing spec (only when `violations` is non-empty).
     pub shrunk_spec: Option<String>,
@@ -579,11 +741,12 @@ impl CampaignReport {
             let artifacts: Vec<String> =
                 c.artifacts.iter().map(|a| format!(r#""{}""#, esc(a))).collect();
             cases.push(format!(
-                r#"{{"spec":"{}","technique":"{}","kind":"{}","procs_failed":{},"violations":[{}],"shrunk_spec":{},"shrunk_n_failures":{},"artifacts":[{}]}}"#,
+                r#"{{"spec":"{}","technique":"{}","kind":"{}","procs_failed":{},"ckpt_skipped":{},"violations":[{}],"shrunk_spec":{},"shrunk_n_failures":{},"artifacts":[{}]}}"#,
                 esc(&c.spec),
                 c.technique,
                 c.kind,
                 c.procs_failed,
+                c.ckpt_skipped,
                 viols.join(","),
                 shrunk,
                 c.shrunk_n_failures.map_or("null".into(), |n| n.to_string()),
@@ -640,7 +803,7 @@ pub fn sample_case(
     kind: &str,
     shape: CaseShape,
 ) -> ChaosCase {
-    let mut case = ChaosCase { technique, shape, victims: Vec::new() };
+    let mut case = ChaosCase { technique, shape, victims: Vec::new(), corruption: None };
     let layout = case.layout();
     let steps = shape.steps();
     let step_site = |rng: &mut StdRng| FaultSite::Step(rng.gen_range(1..=steps));
@@ -708,6 +871,39 @@ pub fn sample_case(
     case
 }
 
+/// Sample one checkpoint-corruption case: CR, one victim rank, a strike
+/// damaging the victim grid's checkpoint at a random write step `cs`, and
+/// a step kill landing while that file is still the newest on disk — so
+/// the restart *must* hit the damage and O6 has teeth.
+pub fn sample_corrupt_case(rng: &mut StdRng, shape: CaseShape) -> ChaosCase {
+    let technique = Technique::CheckpointRestart;
+    let mut case = ChaosCase { technique, shape, victims: Vec::new(), corruption: None };
+    let layout = case.layout();
+    let writes = write_steps(&shape);
+    assert!(!writes.is_empty(), "shape {} has no checkpoint writes", shape.spec());
+    let wi = rng.gen_range(0..writes.len());
+    let cs = writes[wi];
+    let hi = if wi + 1 < writes.len() { writes[wi + 1] - 1 } else { shape.steps() };
+    let kill = rng.gen_range(cs..=hi);
+    let victim = sample_ranks(rng, &layout, technique, 1)[0];
+    let kind = match rng.gen_range(0..3) {
+        0 => {
+            CorruptKind::BitFlip { offset: rng.gen::<u64>() % (1 << 20), bit: rng.gen_range(0..8) }
+        }
+        1 => CorruptKind::Torn { keep_pct: rng.gen_range(1..95) },
+        _ => CorruptKind::GarbageHeader,
+    };
+    case.victims.push((victim, FaultSite::Step(kill)));
+    case.corruption = Some(CorruptionStrike { grid_id: layout.grid_of(victim), step: cs, kind });
+    debug_assert!(case.victims_valid(), "sampled inadmissible case {}", case.spec());
+    debug_assert!(
+        corrupt_read_expected(&case),
+        "sampled toothless corruption case {}",
+        case.spec()
+    );
+    case
+}
+
 /// Greedily minimize a failing case: drop victims one at a time, then
 /// reduce the step count, then the combination level, keeping each
 /// reduction only if the shrunk case still violates an oracle. Bounded by
@@ -728,6 +924,16 @@ pub fn shrink_case(
         !check_oracles(c, &res, &base, opts.sabotage).is_empty()
     };
     'outer: while runs < max_runs {
+        // 0. Drop the corruption strike (a case that still fails without
+        // it is a plain fault-injection bug, a simpler repro).
+        if best.corruption.is_some() {
+            let mut cand = best.clone();
+            cand.corruption = None;
+            if still_fails(&cand, &mut runs) {
+                best = cand;
+                continue 'outer;
+            }
+        }
         // 1. Drop each victim.
         if best.victims.len() > 1 {
             for i in 0..best.victims.len() {
@@ -819,18 +1025,23 @@ pub fn run_campaign_with(
     };
     let shape = CaseShape::small();
     for i in 0..opts.budget {
-        let technique = TECHNIQUES[i % TECHNIQUES.len()];
-        let kind = SITE_KINDS[i % SITE_KINDS.len()];
-        let case = sample_case(&mut rng, technique, kind, shape);
+        let case = if opts.corrupt_only || (opts.corruption && i % 5 == 0) {
+            sample_corrupt_case(&mut rng, shape)
+        } else {
+            let technique = TECHNIQUES[i % TECHNIQUES.len()];
+            let kind = SITE_KINDS[i % SITE_KINDS.len()];
+            sample_case(&mut rng, technique, kind, shape)
+        };
         let plan = FaultPlan::new_sites(case.victims.clone());
         let res = run_case(&case, plan, opts.seed, opts.stall);
         let base = cache.get(&case).clone();
         let violations = check_oracles(&case, &res, &base, opts.sabotage);
         let mut record = CaseRecord {
             spec: case.spec(),
-            technique: technique.label(),
+            technique: case.technique.label(),
             kind: case.kind(),
             procs_failed: res.procs_failed,
+            ckpt_skipped: res.ckpt_skipped.unwrap_or(0.0),
             violations,
             shrunk_spec: None,
             shrunk_n_failures: None,
@@ -873,6 +1084,7 @@ pub fn replay(spec: &str, opts: &CampaignOpts) -> Result<CaseRecord, String> {
         technique: case.technique.label(),
         kind: case.kind(),
         procs_failed: res.procs_failed,
+        ckpt_skipped: res.ckpt_skipped.unwrap_or(0.0),
         violations,
         shrunk_spec: None,
         shrunk_n_failures: None,
@@ -894,6 +1106,7 @@ mod tests {
                 (5, FaultSite::Op { kind: OpClass::Gather, nth: 1 }),
                 (7, FaultSite::DuringRecovery { nth: 2 }),
             ],
+            corruption: None,
         };
         let spec = case.spec();
         assert_eq!(spec, "CR/n6l3s1k5c2/3@step:16+5@op:gather:1+7@rec:2");
@@ -901,10 +1114,32 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_spec_roundtrip() {
+        for (kind, tail) in [
+            (CorruptKind::BitFlip { offset: 40, bit: 3 }, "flip:40:3"),
+            (CorruptKind::Torn { keep_pct: 60 }, "torn:60"),
+            (CorruptKind::GarbageHeader, "garbage"),
+        ] {
+            let case = ChaosCase {
+                technique: Technique::CheckpointRestart,
+                shape: CaseShape::small(),
+                victims: vec![(3, FaultSite::Step(12))],
+                corruption: Some(CorruptionStrike { grid_id: 2, step: 10, kind }),
+            };
+            let spec = case.spec();
+            assert_eq!(spec, format!("CR/n6l3s1k5c2/3@step:12/corrupt:g2:s10:{tail}"));
+            assert_eq!(ChaosCase::parse(&spec).unwrap(), case);
+        }
+    }
+
+    #[test]
     fn spec_rejects_garbage() {
         assert!(ChaosCase::parse("XX/n6l3s1k5c2/3@step:16").is_err());
         assert!(ChaosCase::parse("CR/n6l3/3@step:16").is_err());
         assert!(ChaosCase::parse("CR/n6l3s1k5c2/0@banana").is_err());
+        assert!(ChaosCase::parse("CR/n6l3s1k5c2/3@step:16/corrupt:g2").is_err());
+        assert!(ChaosCase::parse("CR/n6l3s1k5c2/3@step:16/corrupt:g2:s10:flip:1").is_err());
+        assert!(ChaosCase::parse("CR/n6l3s1k5c2/3@step:16/banana:g2:s10:garbage").is_err());
     }
 
     #[test]
@@ -924,11 +1159,118 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_sampling_is_deterministic_and_armed() {
+        let shape = CaseShape::small();
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..32 {
+            let ca = sample_corrupt_case(&mut a, shape);
+            let cb = sample_corrupt_case(&mut b, shape);
+            assert_eq!(ca, cb, "corruption sampling must be deterministic");
+            assert!(ca.victims_valid(), "{}", ca.spec());
+            assert_eq!(ca.kind(), "corrupt");
+            assert!(
+                corrupt_read_expected(&ca),
+                "every sampled corruption case must force the corrupt read: {}",
+                ca.spec()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_read_expectation_window() {
+        // small shape: 32 steps, C=2 → writes at 10, 20, 30.
+        assert_eq!(write_steps(&CaseShape::small()), vec![10, 20, 30]);
+        let layout = ProcLayout::new(6, 3, Technique::CheckpointRestart.layout(), 1);
+        let g = layout.grid_of(1);
+        let strike = |step| CorruptionStrike { grid_id: g, step, kind: CorruptKind::GarbageHeader };
+        let mk = |kill, s| ChaosCase {
+            technique: Technique::CheckpointRestart,
+            shape: CaseShape::small(),
+            victims: vec![(1, FaultSite::Step(kill))],
+            corruption: Some(strike(s)),
+        };
+        assert!(corrupt_read_expected(&mk(10, 10)), "kill on the write step reads it");
+        assert!(corrupt_read_expected(&mk(19, 10)), "kill before the next write reads it");
+        assert!(!corrupt_read_expected(&mk(20, 10)), "the write at 20 supersedes the file");
+        assert!(corrupt_read_expected(&mk(32, 30)), "nothing supersedes the last write");
+        assert!(!corrupt_read_expected(&mk(9, 10)), "kill before the write never reads it");
+        assert!(!corrupt_read_expected(&mk(12, 11)), "step 11 is not a write step");
+        let mut other_grid = mk(12, 10);
+        other_grid.corruption.as_mut().unwrap().grid_id = g + 1;
+        assert!(!corrupt_read_expected(&other_grid), "victim recovers its own grid only");
+        let mut not_cr = mk(12, 10);
+        not_cr.technique = Technique::BuddyCheckpoint;
+        assert!(!corrupt_read_expected(&not_cr), "only CR restarts read the disk store");
+    }
+
+    #[test]
+    fn o6_logic_both_directions() {
+        let healthy = |case: &ChaosCase| CaseResult {
+            app_errors: Vec::new(),
+            err: Some(0.25),
+            n_failed: Some(case.victims.len() as f64),
+            procs_failed: case.victims.len(),
+            makespan: 10.0,
+            rank_hosts: vec![0.0],
+            rank_grids: vec![0.0],
+            timelines: Vec::new(),
+            ckpt_skipped: None,
+            ckpt_corrupt_applied: Some(1.0),
+        };
+        let base =
+            Baseline { err: 0.25, makespan: 10.0, rank_hosts: vec![0.0], rank_grids: vec![0.0] };
+        // Armed corruption case (strike landed) + no skip report = silent
+        // consumption.
+        let layout = ProcLayout::new(6, 3, Technique::CheckpointRestart.layout(), 1);
+        let case = ChaosCase {
+            technique: Technique::CheckpointRestart,
+            shape: CaseShape::small(),
+            victims: vec![(1, FaultSite::Step(12))],
+            corruption: Some(CorruptionStrike {
+                grid_id: layout.grid_of(1),
+                step: 10,
+                kind: CorruptKind::Torn { keep_pct: 50 },
+            }),
+        };
+        let mut res = healthy(&case);
+        let viols = check_oracles(&case, &res, &base, false);
+        assert!(
+            viols.iter().any(|v| v.oracle == "O6-restart-integrity"),
+            "silent consumption must trip O6: {viols:?}"
+        );
+        // Same case with the skip reported: O6 is satisfied.
+        res.ckpt_skipped = Some(1.0);
+        let viols = check_oracles(&case, &res, &base, false);
+        assert!(!viols.iter().any(|v| v.oracle == "O6-restart-integrity"), "{viols:?}");
+        // Strike planned but preempted (never landed): no skip is owed —
+        // an early failure detection can legitimately cancel the write.
+        res.ckpt_skipped = None;
+        res.ckpt_corrupt_applied = None;
+        let viols = check_oracles(&case, &res, &base, false);
+        assert!(
+            !viols.iter().any(|v| v.oracle == "O6-restart-integrity"),
+            "a preempted strike must not trip O6: {viols:?}"
+        );
+        // No corruption injected but files skipped: the store lied.
+        let mut clean = case.clone();
+        clean.corruption = None;
+        let mut res = healthy(&clean);
+        res.ckpt_skipped = Some(2.0);
+        let viols = check_oracles(&clean, &res, &base, false);
+        assert!(
+            viols.iter().any(|v| v.oracle == "O6-restart-integrity"),
+            "self-corruption must trip O6: {viols:?}"
+        );
+    }
+
+    #[test]
     fn case_kind_classification() {
         let mk = |victims| ChaosCase {
             technique: Technique::BuddyCheckpoint,
             shape: CaseShape::small(),
             victims,
+            corruption: None,
         };
         assert_eq!(mk(vec![(1, FaultSite::Step(4))]).kind(), "step");
         assert_eq!(mk(vec![(1, FaultSite::Op { kind: OpClass::Barrier, nth: 0 })]).kind(), "op");
@@ -954,6 +1296,7 @@ mod tests {
                 technique: "BC",
                 kind: "step",
                 procs_failed: 1,
+                ckpt_skipped: 0.0,
                 violations: vec![Violation { oracle: "O3-error", detail: "x \"y\"".into() }],
                 shrunk_spec: Some("BC/n6l3s1k5c2/3@step:4".into()),
                 shrunk_n_failures: Some(1),

@@ -17,6 +17,7 @@ use sparsegrid::{
 use ulfm_sim::{Comm, Ctx, Error, Result};
 
 use crate::checkpoint::CheckpointStore;
+use crate::ckpt_async::AsyncCheckpointer;
 use crate::config::{AppConfig, CombineMode, Technique};
 use crate::gather::{binomial_combine, gather_grid, recv_grid_into, send_grid, GridScratch};
 use crate::layout::{Assignment, ProcLayout};
@@ -61,6 +62,17 @@ pub mod keys {
     pub const RANK_HOSTS: &str = "rank_hosts";
     /// Final rank→grid map (grid id per world rank, in rank order).
     pub const RANK_GRIDS: &str = "rank_grids";
+    /// Corrupt/torn checkpoint files skipped by restart fallback,
+    /// summed over all checkpoint restores of the run. Healthy stores
+    /// never set this key; the chaos O6 oracle checks it both ways.
+    pub const CKPT_SKIPPED: &str = "ckpt_skipped_corrupt";
+    /// Fault-injection corruption strikes that actually landed on a
+    /// completed checkpoint file, summed over ranks. Failure detection
+    /// races the planned write in real time (kills behave like real
+    /// SIGKILLs), so a planned strike may be preempted by an early
+    /// repair; the O6 oracle only demands a reported skip when this
+    /// key shows the damage truly reached the disk.
+    pub const CKPT_CORRUPT_APPLIED: &str = "ckpt_corrupt_applied";
 }
 
 /// Marker type documenting the report-key contract of [`run_app`]: results
@@ -101,6 +113,17 @@ fn gather_own_grid(
 ) -> Result<Option<Grid2>> {
     solver.local_block_into(block_buf);
     gather_grid(ctx, group, layout.group(my.grid), solver.level(), block_buf)
+}
+
+/// Drain the async checkpoint queue if this rank runs one (group roots
+/// under CR with `ckpt_async`); a no-op everywhere else. Called before
+/// every checkpoint restore and at end of run, so a restart only ever
+/// sees fully landed files and the store can be cleared safely.
+fn drain_ckpt(ctx: &Ctx, ck: &Option<AsyncCheckpointer>) -> Result<()> {
+    match ck {
+        Some(ck) => ck.drain(ctx).map_err(|e| Error::InvalidArg(format!("checkpoint drain: {e}"))),
+        None => Ok(()),
+    }
 }
 
 fn build_group(ctx: &Ctx, world: &Comm, my: Assignment) -> Result<Comm> {
@@ -245,7 +268,12 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     let steps = cfg.steps();
     let tg = TimeGrid::for_system(&cfg.problem, cfg.n, steps, 0.4);
     let store = CheckpointStore::new(&cfg.ckpt_dir)
-        .map_err(|e| Error::InvalidArg(format!("checkpoint dir: {e}")))?;
+        .map_err(|e| Error::InvalidArg(format!("checkpoint dir: {e}")))?
+        .with_corruption(cfg.ckpt_corruption.clone());
+
+    // Background checkpoint writer, created lazily by the first healthy
+    // CR checkpoint on a group root (async mode only).
+    let mut async_ckpt: Option<AsyncCheckpointer> = None;
 
     let child = ctx.is_spawned();
     let mut repair_timings = ReconstructTimings::default();
@@ -423,6 +451,12 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 }
                 known_failed.sort_unstable();
             }
+            // Recovery barrier: every in-flight async checkpoint must
+            // land before any restore reads the store (counted as
+            // checkpoint time — it is the write's exposed tail).
+            let t_drain0 = ctx.now();
+            stage(drain_ckpt(ctx, &async_ckpt), "ckpt-drain", ctx)?;
+            t_ckpt_local += ctx.now() - t_drain0;
             let known = Some((dp, known_failed));
             let (w, d, g, trec, failed) = stage(
                 recover_with_commit(
@@ -461,10 +495,20 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             match gather_own_grid(ctx, &group, &layout, my, &solver, &mut block_buf) {
                 Ok(full) => {
                     if let Some(g) = full {
-                        let bytes = store
-                            .write(my.grid, current_step, &g)
-                            .map_err(|e| Error::InvalidArg(format!("checkpoint write: {e}")))?;
-                        ctx.disk_write(bytes);
+                        if cfg.ckpt_async {
+                            // Snapshot + hand-off; T_IO is charged as
+                            // deferred cost and settled at the drains.
+                            let ck = async_ckpt
+                                .get_or_insert_with(|| AsyncCheckpointer::new(store.clone()));
+                            ck.enqueue(ctx, my.grid, current_step, &g).map_err(|e| {
+                                Error::InvalidArg(format!("checkpoint enqueue: {e}"))
+                            })?;
+                        } else {
+                            let bytes = store
+                                .write(my.grid, current_step, &g)
+                                .map_err(|e| Error::InvalidArg(format!("checkpoint write: {e}")))?;
+                            ctx.disk_write(bytes);
+                        }
                     }
                 }
                 Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
@@ -511,6 +555,22 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             }
             t_ckpt_local += ctx.now() - t0;
         }
+    }
+
+    // ---- end-of-run drain barrier: the last checkpoint may still be in
+    // flight; it must land (and its un-hidden disk time must be paid)
+    // before any simulated-loss restore reads the store and before the
+    // store is cleared. ----
+    {
+        let t_drain0 = ctx.now();
+        stage(drain_ckpt(ctx, &async_ckpt), "ckpt-drain-final", ctx)?;
+        t_ckpt_local += ctx.now() - t_drain0;
+    }
+    // Every write (and any fault-injected strike on it) has landed by
+    // now; tell the restart-integrity oracle which strikes really did.
+    let corrupt_applied = store.corruptions_applied();
+    if corrupt_applied > 0 {
+        ctx.report_add(keys::CKPT_CORRUPT_APPLIED, corrupt_applied as f64);
     }
 
     // ---- simulated grid losses (paper Figs. 9 and 10): run the data

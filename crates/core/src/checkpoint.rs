@@ -1,12 +1,39 @@
 //! On-disk checkpoints for the Checkpoint/Restart technique.
 //!
-//! Group roots write their sub-grid to a per-grid file ("taking periodic
+//! Group roots write their sub-grid to per-grid files ("taking periodic
 //! checkpoints onto disks while the computation for each sub-grid is in
 //! progress", §II-D). Writes are real file I/O — restart correctness is
 //! genuinely exercised — and go through a temp-file + rename so a failure
-//! mid-write can never corrupt the *recent* checkpoint the paper restarts
-//! from. The cluster's virtual disk cost (the paper's `T_IO`) is charged
-//! separately by the caller via `Ctx::disk_write`.
+//! mid-write can never corrupt a *completed* checkpoint. The cluster's
+//! virtual disk cost (the paper's `T_IO`) is charged separately by the
+//! caller via `Ctx::disk_write` / `Ctx::disk_write_async`.
+//!
+//! # Format v2
+//!
+//! Version 1 trusted its header and had no integrity check at all: a
+//! length-preserving bit flip in the payload passed `read()` and CR
+//! silently restarted from garbage, and a corrupt header with huge levels
+//! drove `level.points()` into shift overflow *before* any validation.
+//! Version 2 closes both holes:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"FTSGCKP2"
+//! 8       1     format version byte (2)
+//! 9       4     level i   (u32 LE, bounds-checked before any size math)
+//! 13      4     level j   (u32 LE, bounds-checked before any size math)
+//! 17      8     step      (u64 LE)
+//! 25      8*n   payload   (f64 LE, n = (2^i+1)(2^j+1))
+//! 25+8n   8     CRC-64/XZ (u64 LE, over all preceding bytes)
+//! ```
+//!
+//! Files are *versioned*: each write lands in `grid_NNNN.sSSSSSSSSSSSS.ckpt`
+//! (step-stamped, so newest = highest step) and the store retains the last
+//! `retain` checkpoints per grid. [`CheckpointStore::read_latest_valid`]
+//! walks candidates newest-first and falls back past a corrupt or torn file
+//! instead of erroring the whole restart — a restart must never consume a
+//! corrupt checkpoint, and a single bad file must not cost more than one
+//! checkpoint period of recomputation.
 
 use std::fs;
 use std::io::{self, Read, Write};
@@ -15,41 +42,296 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use sparsegrid::{Grid2, LevelPair};
 
-const MAGIC: &[u8; 8] = b"FTSGCKP1";
+const MAGIC: &[u8; 8] = b"FTSGCKP2";
+const FORMAT_VERSION: u8 = 2;
+/// Header bytes before the payload: magic + version + i + j + step.
+const HEADER_LEN: usize = 8 + 1 + 4 + 4 + 8;
+/// Fixed overhead of a v2 file: header + trailing CRC-64.
+pub const OVERHEAD: usize = HEADER_LEN + 8;
+/// Largest per-dimension level a checkpoint header may claim. `2^26 + 1`
+/// points per dimension is already far beyond anything this code runs;
+/// everything above is treated as a corrupt header, *before* any size
+/// computation can overflow.
+const MAX_LEVEL: u32 = 26;
+/// Default number of checkpoints retained per grid. Two is the minimum
+/// that lets a restart fall back past one corrupt/torn file.
+const DEFAULT_RETAIN: usize = 2;
 
 /// Per-writer tmp-file discriminator: two roots checkpointing the same
 /// grid id concurrently (e.g. during a repair retry) must never clobber
 /// each other's in-flight tmp file.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// A directory of per-grid checkpoint files.
+/// A successfully restored checkpoint: `(step, grid, bytes on disk)`.
+pub type Restored = (u64, Grid2, usize);
+
+// ---------------------------------------------------------------------------
+// CRC-64/XZ (ECMA-182 polynomial, reflected, init/xorout = !0)
+// ---------------------------------------------------------------------------
+
+const CRC64_POLY_REFLECTED: u64 = 0xC96C_5795_D787_0F42;
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut crc = n as u64;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ CRC64_POLY_REFLECTED } else { crc >> 1 };
+            k += 1;
+        }
+        table[n] = crc;
+        n += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+/// CRC-64/XZ of `data` (the widely used check is
+/// `crc64(b"123456789") == 0x995D_C9BB_DF19_39FA`).
+pub fn crc64(data: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in data {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection: deliberate corruption of just-written checkpoints
+// ---------------------------------------------------------------------------
+
+/// How to damage a checkpoint file (chaos-campaign corruption injector).
+///
+/// Real writes go through tmp + rename, so a torn `*.ckpt` cannot occur
+/// naturally here; the injector simulates a filesystem or device that lied
+/// about durability (the failure mode the CRC + fallback exist for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Flip bit `bit % 8` of byte `offset % len` — a silent media error.
+    BitFlip { offset: u64, bit: u8 },
+    /// Truncate the file to `max(1, len * keep_pct / 100)` bytes — a torn
+    /// write.
+    Torn { keep_pct: u8 },
+    /// Overwrite the first 16 bytes with `0xFF` — a trashed header with
+    /// absurd levels (exercises the bounds check, satellite bugfix).
+    GarbageHeader,
+}
+
+/// Damage the checkpoint of `grid_id` taken at `step`, once it lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionStrike {
+    pub grid_id: usize,
+    pub step: u64,
+    pub kind: CorruptKind,
+}
+
+/// A set of corruption strikes to apply as checkpoints are written.
+/// Empty by default (no corruption).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorruptionPlan {
+    pub strikes: Vec<CorruptionStrike>,
+}
+
+impl CorruptionPlan {
+    /// A plan with no strikes.
+    pub fn none() -> Self {
+        CorruptionPlan::default()
+    }
+
+    /// A plan with a single strike.
+    pub fn one(strike: CorruptionStrike) -> Self {
+        CorruptionPlan { strikes: vec![strike] }
+    }
+
+    fn matching(&self, grid_id: usize, step: u64) -> Option<&CorruptionStrike> {
+        self.strikes.iter().find(|s| s.grid_id == grid_id && s.step == step)
+    }
+}
+
+fn apply_strike(path: &Path, kind: CorruptKind) -> io::Result<()> {
+    let mut buf = fs::read(path)?;
+    if buf.is_empty() {
+        return Ok(());
+    }
+    match kind {
+        CorruptKind::BitFlip { offset, bit } => {
+            let idx = (offset % buf.len() as u64) as usize;
+            buf[idx] ^= 1 << (bit % 8);
+        }
+        CorruptKind::Torn { keep_pct } => {
+            let keep = ((buf.len() as u64 * u64::from(keep_pct.min(99)) / 100).max(1)) as usize;
+            buf.truncate(keep);
+        }
+        CorruptKind::GarbageHeader => {
+            let n = buf.len().min(16);
+            buf[..n].fill(0xFF);
+        }
+    }
+    fs::write(path, &buf)
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// A directory of per-grid, step-versioned checkpoint files.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    retain: usize,
+    corruption: CorruptionPlan,
+    /// Strikes actually applied to landed files, shared across clones
+    /// (the async writer thread holds a clone of the store). Failure
+    /// detection can preempt a planned write — kills race detection in
+    /// real time, like real SIGKILLs — so restart-integrity oracles must
+    /// key off "the corruption landed", not "a strike was planned".
+    applied: std::sync::Arc<AtomicU64>,
 }
 
 impl CheckpointStore {
     /// Open (creating if needed) a checkpoint directory.
     pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(CheckpointStore { dir: dir.as_ref().to_path_buf() })
+        Ok(CheckpointStore {
+            dir: dir.as_ref().to_path_buf(),
+            retain: DEFAULT_RETAIN,
+            corruption: CorruptionPlan::none(),
+            applied: std::sync::Arc::new(AtomicU64::new(0)),
+        })
     }
 
-    fn path(&self, grid_id: usize) -> PathBuf {
-        self.dir.join(format!("grid_{grid_id:04}.ckpt"))
+    /// How many corruption strikes have landed on completed checkpoint
+    /// files (shared across clones of this store, including the async
+    /// writer thread's).
+    pub fn corruptions_applied(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
     }
 
-    /// Write the recent checkpoint of a grid (overwrites the previous
-    /// one). Returns the byte size written, for disk-cost accounting.
-    pub fn write(&self, grid_id: usize, step: u64, grid: &Grid2) -> io::Result<usize> {
-        let mut buf = Vec::with_capacity(24 + grid.byte_size());
+    /// Keep the last `k` checkpoints per grid (minimum 1; default 2).
+    pub fn with_retention(mut self, k: usize) -> Self {
+        self.retain = k.max(1);
+        self
+    }
+
+    /// Attach a fault-injection corruption plan: each strike damages the
+    /// matching checkpoint file immediately after its write completes.
+    pub fn with_corruption(mut self, plan: CorruptionPlan) -> Self {
+        self.corruption = plan;
+        self
+    }
+
+    fn path(&self, grid_id: usize, step: u64) -> PathBuf {
+        self.dir.join(format!("grid_{grid_id:04}.s{step:012}.ckpt"))
+    }
+
+    /// Step-stamped checkpoint files of one grid, newest (highest step)
+    /// first.
+    fn candidates(&self, grid_id: usize) -> io::Result<Vec<(u64, PathBuf)>> {
+        let prefix = format!("grid_{grid_id:04}.s");
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut found = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(step) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".ckpt"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                found.push((step, entry.path()));
+            }
+        }
+        found.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        Ok(found)
+    }
+
+    /// Serialize a checkpoint into the v2 wire format.
+    pub fn encode(step: u64, level: LevelPair, values: &[f64]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(OVERHEAD + values.len() * 8);
         buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&grid.level().i.to_le_bytes());
-        buf.extend_from_slice(&grid.level().j.to_le_bytes());
+        buf.push(FORMAT_VERSION);
+        buf.extend_from_slice(&level.i.to_le_bytes());
+        buf.extend_from_slice(&level.j.to_le_bytes());
         buf.extend_from_slice(&step.to_le_bytes());
-        for v in grid.values() {
+        for v in values {
             buf.extend_from_slice(&v.to_le_bytes());
         }
+        let crc = crc64(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parse and validate a v2 checkpoint buffer. Every field is checked
+    /// *before* it is used: level bounds before any size computation (a
+    /// corrupt header must not drive `points()` into overflow), declared
+    /// size before reading the payload, CRC before trusting any of it.
+    pub fn decode(raw: &[u8]) -> Result<(u64, Grid2), String> {
+        if raw.len() < OVERHEAD {
+            return Err(format!("truncated checkpoint ({} bytes; torn write?)", raw.len()));
+        }
+        if &raw[..8] != MAGIC {
+            return Err("bad checkpoint magic".to_string());
+        }
+        if raw[8] != FORMAT_VERSION {
+            return Err(format!("unsupported checkpoint format version {}", raw[8]));
+        }
+        let i = u32::from_le_bytes(raw[9..13].try_into().unwrap());
+        let j = u32::from_le_bytes(raw[13..17].try_into().unwrap());
+        if i > MAX_LEVEL || j > MAX_LEVEL {
+            return Err(format!("absurd level pair ({i}, {j}) in checkpoint header"));
+        }
+        let step = u64::from_le_bytes(raw[17..25].try_into().unwrap());
+        // Levels are bounded, so this cannot overflow u64.
+        let points = ((1u64 << i) + 1) * ((1u64 << j) + 1);
+        let expect = OVERHEAD as u64 + 8 * points;
+        if raw.len() as u64 != expect {
+            return Err(format!(
+                "checkpoint payload size mismatch (have {}, header implies {expect})",
+                raw.len()
+            ));
+        }
+        let stored = u64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
+        let computed = crc64(&raw[..raw.len() - 8]);
+        if stored != computed {
+            return Err(format!(
+                "checkpoint checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ));
+        }
+        let level = LevelPair::new(i, j);
+        let mut values = Vec::with_capacity(points as usize);
+        for chunk in raw[HEADER_LEN..raw.len() - 8].chunks_exact(8) {
+            values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        Grid2::from_raw(level, values).map(|grid| (step, grid))
+    }
+
+    /// Write a checkpoint of a grid. Returns the byte size written, for
+    /// disk-cost accounting.
+    pub fn write(&self, grid_id: usize, step: u64, grid: &Grid2) -> io::Result<usize> {
+        self.write_raw(grid_id, step, grid.level(), grid.values())
+    }
+
+    /// Write a checkpoint from raw parts (the async writer thread hands
+    /// over a reusable snapshot buffer, not a `Grid2`). The file lands
+    /// atomically via tmp + rename, the parent directory is fsynced, any
+    /// matching corruption strike is applied, and retention pruning keeps
+    /// the newest `retain` files for the grid.
+    pub fn write_raw(
+        &self,
+        grid_id: usize,
+        step: u64,
+        level: LevelPair,
+        values: &[f64],
+    ) -> io::Result<usize> {
+        let buf = Self::encode(step, level, values);
         let tmp = self.dir.join(format!(
             ".grid_{grid_id:04}.{}.{}.tmp",
             std::process::id(),
@@ -60,13 +342,31 @@ impl CheckpointStore {
             f.write_all(&buf)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, self.path(grid_id))?;
+        let dst = self.path(grid_id, step);
+        fs::rename(&tmp, &dst)?;
         // The rename itself lives in the directory: without fsyncing it,
         // a crash can roll the directory entry back to the *old*
         // checkpoint-or-nothing state, breaking the durability the
         // restart path relies on.
         self.sync_dir()?;
+        if let Some(strike) = self.corruption.matching(grid_id, step) {
+            apply_strike(&dst, strike.kind)?;
+            self.applied.fetch_add(1, Ordering::SeqCst);
+        }
+        self.prune(grid_id)?;
         Ok(buf.len())
+    }
+
+    fn prune(&self, grid_id: usize) -> io::Result<()> {
+        for (_, path) in self.candidates(grid_id)?.into_iter().skip(self.retain) {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                // Another root may have pruned it concurrently.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     fn sync_dir(&self) -> io::Result<()> {
@@ -75,38 +375,53 @@ impl CheckpointStore {
         Ok(())
     }
 
-    /// Read the recent checkpoint of a grid, if one exists. Returns the
-    /// checkpointed step, the grid, and the byte size read.
-    pub fn read(&self, grid_id: usize) -> io::Result<Option<(u64, Grid2, usize)>> {
-        let path = self.path(grid_id);
+    fn read_file(path: &Path) -> io::Result<Vec<u8>> {
         let mut raw = Vec::new();
-        match fs::File::open(&path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut raw)?;
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        fs::File::open(path)?.read_to_end(&mut raw)?;
+        Ok(raw)
+    }
+
+    /// Strictly read the newest checkpoint of a grid, if one exists: a
+    /// corrupt newest file is an *error* here, not a fallback. Restart
+    /// paths should use [`CheckpointStore::read_latest_valid`] instead;
+    /// this is for tests and tooling that must see corruption.
+    pub fn read(&self, grid_id: usize) -> io::Result<Option<(u64, Grid2, usize)>> {
+        let candidates = self.candidates(grid_id)?;
+        let Some((_, path)) = candidates.first() else {
+            return Ok(None);
+        };
+        let raw = match Self::read_file(path) {
+            Ok(raw) => raw,
+            // Lost a race with a concurrent prune: the next-newest file
+            // is someone else's fresher write landing, not corruption.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return self.read(grid_id),
             Err(e) => return Err(e),
+        };
+        let (step, grid) =
+            Self::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(Some((step, grid, raw.len())))
+    }
+
+    /// Read the newest *valid* checkpoint of a grid, falling back past
+    /// corrupt or torn files. Returns the restored `(step, grid, bytes)`
+    /// (or `None` when no valid checkpoint survives — the restart then
+    /// recomputes from the initial condition) together with the number of
+    /// corrupt candidates skipped, for restart-integrity reporting.
+    pub fn read_latest_valid(&self, grid_id: usize) -> io::Result<(Option<Restored>, usize)> {
+        let mut skipped = 0usize;
+        for (_, path) in self.candidates(grid_id)? {
+            let raw = match Self::read_file(&path) {
+                Ok(raw) => raw,
+                // Pruned from under us by a concurrent writer; not corrupt.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            match Self::decode(&raw) {
+                Ok((step, grid)) => return Ok((Some((step, grid, raw.len())), skipped)),
+                Err(_) => skipped += 1,
+            }
         }
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-        if raw.len() < 24 || &raw[..8] != MAGIC {
-            return Err(bad("corrupt checkpoint header"));
-        }
-        let i = u32::from_le_bytes(raw[8..12].try_into().unwrap());
-        let j = u32::from_le_bytes(raw[12..16].try_into().unwrap());
-        let step = u64::from_le_bytes(raw[16..24].try_into().unwrap());
-        let level = LevelPair::new(i, j);
-        let expect = level.points() * 8;
-        if raw.len() != 24 + expect {
-            return Err(bad("checkpoint payload size mismatch"));
-        }
-        let mut values = Vec::with_capacity(level.points());
-        for chunk in raw[24..].chunks_exact(8) {
-            values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
-        }
-        let grid = Grid2::from_raw(level, values)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let bytes = raw.len();
-        Ok(Some((step, grid, bytes)))
+        Ok((None, skipped))
     }
 
     /// Remove every checkpoint file (end-of-run cleanup). Only this
@@ -152,11 +467,17 @@ mod tests {
     }
 
     #[test]
+    fn crc64_known_answer() {
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
     fn roundtrip_preserves_grid_and_step() {
         let s = store();
         let g = Grid2::from_fn(LevelPair::new(4, 3), |x, y| (x * 3.0).sin() - y);
         let wrote = s.write(2, 1234, &g).unwrap();
-        assert_eq!(wrote, 24 + g.byte_size());
+        assert_eq!(wrote, OVERHEAD + g.byte_size());
         let (step, back, read_bytes) = s.read(2).unwrap().unwrap();
         assert_eq!(step, 1234);
         assert_eq!(back, g);
@@ -168,11 +489,14 @@ mod tests {
     fn missing_checkpoint_is_none() {
         let s = store();
         assert!(s.read(7).unwrap().is_none());
+        let (restored, skipped) = s.read_latest_valid(7).unwrap();
+        assert!(restored.is_none());
+        assert_eq!(skipped, 0);
         s.clear().unwrap();
     }
 
     #[test]
-    fn overwrite_keeps_latest() {
+    fn newest_step_wins() {
         let s = store();
         let g1 = Grid2::from_fn(LevelPair::new(2, 2), |x, _| x);
         let g2 = Grid2::from_fn(LevelPair::new(2, 2), |_, y| y);
@@ -185,11 +509,131 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_is_an_error_not_garbage() {
-        let s = store();
-        std::fs::write(s.dir().join("grid_0003.ckpt"), b"not a checkpoint").unwrap();
-        assert!(s.read(3).is_err());
+    fn retention_keeps_last_k_per_grid() {
+        let s = store().with_retention(2);
+        let g = Grid2::from_fn(LevelPair::new(2, 2), |x, y| x * y);
+        for step in [5, 10, 15, 20] {
+            s.write(0, step, &g).unwrap();
+        }
+        let steps: Vec<u64> = s.candidates(0).unwrap().into_iter().map(|(st, _)| st).collect();
+        assert_eq!(steps, vec![20, 15]);
         s.clear().unwrap();
+    }
+
+    #[test]
+    fn garbage_file_is_an_error_not_garbage() {
+        let s = store();
+        std::fs::write(s.dir().join("grid_0003.s000000000007.ckpt"), b"not a checkpoint").unwrap();
+        assert!(s.read(3).is_err());
+        let (restored, skipped) = s.read_latest_valid(3).unwrap();
+        assert!(restored.is_none(), "no valid fallback exists");
+        assert_eq!(skipped, 1);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn payload_bit_flip_is_detected() {
+        // Regression for the v1 hole: a length-preserving corruption used
+        // to pass read() and CR restarted from garbage.
+        let s = store();
+        let g = Grid2::from_fn(LevelPair::new(3, 3), |x, y| x + y);
+        s.write(1, 40, &g).unwrap();
+        let path = s.path(1, 40);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[HEADER_LEN + 11] ^= 0x10; // one bit, mid-payload, length preserved
+        std::fs::write(&path, &raw).unwrap();
+        let err = s.read(1).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_detected() {
+        let s = store();
+        let g = Grid2::from_fn(LevelPair::new(3, 2), |x, y| x - y);
+        s.write(1, 8, &g).unwrap();
+        let path = s.path(1, 8);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        assert!(s.read(1).is_err());
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn absurd_header_levels_are_rejected_before_size_math() {
+        // Regression (satellite bugfix): v1 computed level.points() from
+        // the untrusted header, so i = 0xFFFFFFFF overflowed the shift.
+        // A v2 header is bounds-checked first — even with a *valid* CRC.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(FORMAT_VERSION);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        let crc = crc64(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let err = CheckpointStore::decode(&buf).unwrap_err();
+        assert!(err.contains("absurd level pair"), "got: {err}");
+
+        let s = store();
+        std::fs::write(s.dir().join("grid_0002.s000000000003.ckpt"), &buf).unwrap();
+        assert!(s.read(2).is_err(), "store read must error, not panic");
+        let (restored, skipped) = s.read_latest_valid(2).unwrap();
+        assert!(restored.is_none());
+        assert_eq!(skipped, 1);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn read_latest_valid_falls_back_past_corruption() {
+        let s = store().with_retention(3);
+        let good = Grid2::from_fn(LevelPair::new(3, 3), |x, y| x * 2.0 + y);
+        let newer = Grid2::from_fn(LevelPair::new(3, 3), |x, y| x - y);
+        s.write(0, 10, &good).unwrap();
+        s.write(0, 20, &newer).unwrap();
+        let path = s.path(0, 20);
+        let mut raw = std::fs::read(&path).unwrap();
+        let n = raw.len();
+        raw[n - 20] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        let (restored, skipped) = s.read_latest_valid(0).unwrap();
+        let (step, back, _) = restored.expect("older checkpoint must survive");
+        assert_eq!(step, 10);
+        assert_eq!(back, good);
+        assert_eq!(skipped, 1);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn corruption_plan_strikes_the_matching_write() {
+        let s = store().with_corruption(CorruptionPlan::one(CorruptionStrike {
+            grid_id: 0,
+            step: 20,
+            kind: CorruptKind::BitFlip { offset: 1000, bit: 3 },
+        }));
+        let g = Grid2::from_fn(LevelPair::new(3, 3), |x, y| x + 3.0 * y);
+        s.write(0, 10, &g).unwrap();
+        s.write(0, 20, &g).unwrap();
+        assert!(s.read(0).is_err(), "strike must corrupt the step-20 file");
+        let (restored, skipped) = s.read_latest_valid(0).unwrap();
+        assert_eq!(restored.expect("fallback").0, 10);
+        assert_eq!(skipped, 1);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn torn_and_garbage_strikes_are_detected() {
+        for kind in [CorruptKind::Torn { keep_pct: 60 }, CorruptKind::GarbageHeader] {
+            let s = store().with_corruption(CorruptionPlan::one(CorruptionStrike {
+                grid_id: 4,
+                step: 6,
+                kind,
+            }));
+            let g = Grid2::from_fn(LevelPair::new(2, 3), |x, y| x * y + 1.0);
+            s.write(4, 6, &g).unwrap();
+            assert!(s.read(4).is_err(), "{kind:?} must be detected");
+            s.clear().unwrap();
+        }
     }
 
     #[test]
@@ -239,7 +683,8 @@ mod tests {
     fn concurrent_writers_to_one_grid_never_corrupt() {
         // Two roots may checkpoint the same grid id concurrently during a
         // repair retry; per-writer tmp names keep every rename atomic, so
-        // the surviving file is always one of the two complete writes.
+        // every surviving file is a complete, checksummed write and the
+        // newest step wins.
         let s = store();
         let s2 = s.clone();
         let ga = Grid2::from_fn(LevelPair::new(4, 4), |x, y| x + y);
@@ -255,8 +700,11 @@ mod tests {
         }
         t.join().unwrap();
         let (step, back, _) = s.read(0).unwrap().unwrap();
-        assert!(back == ga || back == gb, "file must be one complete checkpoint");
-        assert!(step < 50 || (1000..1050).contains(&step));
+        assert_eq!(step, 1049, "newest step must win");
+        assert_eq!(back, gb);
+        let (restored, skipped) = s.read_latest_valid(0).unwrap();
+        assert!(restored.is_some());
+        assert_eq!(skipped, 0);
         s.clear().unwrap();
     }
 }

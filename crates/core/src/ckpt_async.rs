@@ -1,0 +1,275 @@
+//! Asynchronous checkpointing: a background writer stage that takes the
+//! checkpoint file I/O off the solver's critical path.
+//!
+//! The paper prices Checkpoint/Restart entirely by `T_IO` (Eq. 2,
+//! `C = T / T_IO`) because every periodic write stalls the group root for
+//! a full disk write. Here the root instead *snapshots* its gathered
+//! sub-grid into a reusable double buffer and hands it to a bounded queue
+//! consumed by a dedicated writer thread; the solver keeps stepping while
+//! the write is in flight. The matching virtual-disk cost is charged as
+//! deferred I/O via [`Ctx::disk_write_async`] and settled — hidden where
+//! compute covered it, exposed where it did not — at the drain barriers.
+//!
+//! Protocol invariants:
+//!
+//! * **Bounded queue, backpressure.** At most [`QUEUE_DEPTH`] snapshots
+//!   are in flight; `enqueue` blocks on buffer reuse when the writer falls
+//!   behind, so memory stays bounded and a fast solver cannot outrun a
+//!   slow disk without feeling it.
+//! * **Drain barriers.** `drain` blocks until the queue is empty and
+//!   surfaces any writer-side I/O error. The application drains before
+//!   every checkpoint *restore* (a restart must only ever see fully
+//!   landed files) and at end of run (before the store is cleared).
+//! * **Crash atomicity.** The writer reuses [`CheckpointStore::write_raw`],
+//!   so every file still lands via tmp + rename + directory fsync: a rank
+//!   killed with writes in flight leaves either a complete, checksummed
+//!   checkpoint or none — never a torn one.
+//!
+//! Fault sites: [`OpClass::CkptSnapshot`] fires before the buffer copy,
+//! [`OpClass::CkptEnqueue`] before the hand-off, [`OpClass::CkptWrite`]
+//! (inside `disk_write_async`) before the virtual write is scheduled, and
+//! [`OpClass::CkptDrain`] at the top of every drain — so chaos campaigns
+//! can kill a root at every stage of the pipeline.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use sparsegrid::{Grid2, LevelPair};
+use ulfm_sim::{Ctx, Error, OpClass, Result};
+
+use crate::checkpoint::CheckpointStore;
+
+/// Snapshots in flight at once. Two means "double buffer": one being
+/// written, one being filled.
+pub const QUEUE_DEPTH: usize = 2;
+
+/// A reusable snapshot buffer travelling between solver and writer.
+struct Snapshot {
+    grid_id: usize,
+    step: u64,
+    level: LevelPair,
+    values: Vec<f64>,
+}
+
+/// Shared solver/writer state: in-flight count and writer-side errors.
+struct Shared {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    errors: Mutex<Vec<String>>,
+}
+
+/// A background checkpoint writer bound to one [`CheckpointStore`].
+///
+/// Owned by a group root; dropped (joining the writer thread) when the
+/// rank finishes or dies. Dropping without draining is safe: the writer
+/// finishes every queued snapshot first, and file atomicity guarantees no
+/// partial state either way.
+pub struct AsyncCheckpointer {
+    job_tx: Option<SyncSender<Snapshot>>,
+    free_rx: Receiver<Snapshot>,
+    free_count: usize,
+    shared: Arc<Shared>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl AsyncCheckpointer {
+    /// Spawn the writer thread for `store`.
+    pub fn new(store: CheckpointStore) -> Self {
+        let (job_tx, job_rx) = sync_channel::<Snapshot>(QUEUE_DEPTH);
+        let (free_tx, free_rx) = sync_channel::<Snapshot>(QUEUE_DEPTH);
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            errors: Mutex::new(Vec::new()),
+        });
+        let shared2 = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("ckpt-writer".into())
+            .spawn(move || {
+                while let Ok(snap) = job_rx.recv() {
+                    if let Err(e) =
+                        store.write_raw(snap.grid_id, snap.step, snap.level, &snap.values)
+                    {
+                        shared2
+                            .errors
+                            .lock()
+                            .unwrap()
+                            .push(format!("grid {} step {}: {e}", snap.grid_id, snap.step));
+                    }
+                    {
+                        let mut n = shared2.pending.lock().unwrap();
+                        *n -= 1;
+                        if *n == 0 {
+                            shared2.all_done.notify_all();
+                        }
+                    }
+                    // Hand the buffer back for reuse; the solver may
+                    // already be gone (rank death) — that's fine.
+                    let _ = free_tx.send(snap);
+                }
+            })
+            .expect("failed to spawn checkpoint writer thread");
+        AsyncCheckpointer {
+            job_tx: Some(job_tx),
+            free_rx,
+            free_count: QUEUE_DEPTH,
+            shared,
+            writer: Some(writer),
+        }
+    }
+
+    /// Snapshot `grid` and hand it to the writer; returns the encoded
+    /// byte size (header + payload + checksum), as `write` would.
+    ///
+    /// Blocks — real backpressure, not virtual — when both snapshot
+    /// buffers are still in the writer's hands. Virtual disk cost is
+    /// charged as deferred I/O on `ctx`.
+    pub fn enqueue(&mut self, ctx: &Ctx, grid_id: usize, step: u64, grid: &Grid2) -> Result<usize> {
+        ctx.fault_op(OpClass::CkptSnapshot);
+        let mut snap = self.take_buffer()?;
+        snap.grid_id = grid_id;
+        snap.step = step;
+        snap.level = grid.level();
+        snap.values.clear();
+        snap.values.extend_from_slice(grid.values());
+        ctx.fault_op(OpClass::CkptEnqueue);
+        let bytes = crate::checkpoint::OVERHEAD + grid.byte_size();
+        ctx.disk_write_async(bytes);
+        {
+            let mut n = self.shared.pending.lock().unwrap();
+            *n += 1;
+        }
+        let sent = self.job_tx.as_ref().expect("writer already shut down").send(snap);
+        if sent.is_err() {
+            // Writer thread is gone; roll the gauge back so a later drain
+            // cannot wait forever on a job that will never complete.
+            *self.shared.pending.lock().unwrap() -= 1;
+            return Err(Error::InvalidArg("checkpoint writer thread is gone".into()));
+        }
+        Ok(bytes)
+    }
+
+    /// Obtain a snapshot buffer: one of the initial `QUEUE_DEPTH` fresh
+    /// ones, else block until the writer returns one.
+    fn take_buffer(&mut self) -> Result<Snapshot> {
+        if self.free_count > 0 {
+            self.free_count -= 1;
+            return Ok(Snapshot {
+                grid_id: 0,
+                step: 0,
+                level: LevelPair::new(1, 1),
+                values: Vec::new(),
+            });
+        }
+        self.free_rx
+            .recv()
+            .map_err(|_| Error::InvalidArg("checkpoint writer thread is gone".into()))
+    }
+
+    /// Checkpoints handed to the writer and not yet landed on disk.
+    pub fn in_flight(&self) -> usize {
+        *self.shared.pending.lock().unwrap()
+    }
+
+    /// Block until every enqueued checkpoint has landed, settle the
+    /// deferred virtual disk cost on `ctx`, and surface any writer-side
+    /// I/O error. A fault site ([`OpClass::CkptDrain`]) fires first, so a
+    /// chaos victim can die with writes still in flight.
+    pub fn drain(&self, ctx: &Ctx) -> Result<()> {
+        ctx.fault_op(OpClass::CkptDrain);
+        {
+            let mut n = self.shared.pending.lock().unwrap();
+            while *n > 0 {
+                n = self.shared.all_done.wait(n).unwrap();
+            }
+        }
+        ctx.disk_drain();
+        let errors = std::mem::take(&mut *self.shared.errors.lock().unwrap());
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::InvalidArg(format!("checkpoint write failed: {}", errors.join("; "))))
+        }
+    }
+}
+
+impl Drop for AsyncCheckpointer {
+    fn drop(&mut self) {
+        // Closing the job channel stops the writer after it finishes the
+        // queued snapshots; rename-atomicity makes whatever is still in
+        // flight land completely or not at all.
+        self.job_tx.take();
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulfm_sim::{run, RunConfig};
+
+    fn store() -> CheckpointStore {
+        CheckpointStore::new(crate::config::default_ckpt_dir()).unwrap()
+    }
+
+    #[test]
+    fn enqueued_checkpoints_land_and_validate() {
+        let s = store();
+        let dir = s.dir().to_path_buf();
+        run(RunConfig::local(1), move |ctx| {
+            let mut ck = AsyncCheckpointer::new(CheckpointStore::new(&dir).unwrap());
+            let g = Grid2::from_fn(LevelPair::new(4, 3), |x, y| x * y + 0.5);
+            for step in [10u64, 20, 30] {
+                ck.enqueue(ctx, 0, step, &g).unwrap();
+                ctx.advance(1.0);
+            }
+            ck.drain(ctx).unwrap();
+            assert_eq!(ck.in_flight(), 0);
+            assert!(ctx.io_hidden() > 0.0, "compute must hide some disk time");
+        })
+        .assert_no_app_errors();
+        let (restored, skipped) = s.read_latest_valid(0).unwrap();
+        let (step, _, _) = restored.expect("newest checkpoint");
+        assert_eq!(step, 30);
+        assert_eq!(skipped, 0);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn drop_without_drain_still_lands_queued_writes() {
+        let s = store();
+        let dir = s.dir().to_path_buf();
+        run(RunConfig::local(1), move |ctx| {
+            let mut ck = AsyncCheckpointer::new(CheckpointStore::new(&dir).unwrap());
+            let g = Grid2::from_fn(LevelPair::new(3, 3), |x, y| x - y);
+            ck.enqueue(ctx, 2, 7, &g).unwrap();
+            // Dropped here: the writer must finish the queued job first.
+        })
+        .assert_no_app_errors();
+        let (step, _, _) = s.read(2).unwrap().expect("write must have landed");
+        assert_eq!(step, 7);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn writer_errors_surface_at_drain() {
+        let s = store();
+        let dir = s.dir().to_path_buf();
+        run(RunConfig::local(1), move |ctx| {
+            let inner = CheckpointStore::new(&dir).unwrap();
+            let mut ck = AsyncCheckpointer::new(inner);
+            // Nuke the directory so the writer's tmp-file creation fails.
+            std::fs::remove_dir_all(&dir).unwrap();
+            let g = Grid2::from_fn(LevelPair::new(2, 2), |x, _| x);
+            ck.enqueue(ctx, 0, 1, &g).unwrap();
+            let err = ck.drain(ctx).unwrap_err();
+            assert!(err.to_string().contains("checkpoint write failed"), "got: {err}");
+            // A second drain reports clean — errors are consumed.
+            ck.drain(ctx).unwrap();
+        })
+        .assert_no_app_errors();
+    }
+}

@@ -6,6 +6,7 @@ use advect2d::AdvectionProblem;
 use sparsegrid::Layout;
 use ulfm_sim::FaultPlan;
 
+use crate::checkpoint::CorruptionPlan;
 use crate::reconstruct::RespawnPolicy;
 
 /// The three data recovery techniques of the paper (§II-D).
@@ -91,6 +92,14 @@ pub struct AppConfig {
     pub checkpoints: u32,
     /// Directory for checkpoint files (a per-run temp dir by default).
     pub ckpt_dir: PathBuf,
+    /// Checkpoint writes go through the background writer stage
+    /// (default); `false` restores the synchronous critical-path write
+    /// for A/B comparison. Either way the solver output is bitwise
+    /// identical — only where the `T_IO` virtual cost lands differs.
+    pub ckpt_async: bool,
+    /// Fault-injection corruption strikes applied to checkpoint files as
+    /// they land (chaos campaigns; empty by default).
+    pub ckpt_corruption: CorruptionPlan,
     /// The PDE being solved.
     pub problem: AdvectionProblem,
     /// *Simulated* grid losses (the paper's Figs. 9 and 10 use non-real,
@@ -136,6 +145,8 @@ impl AppConfig {
             plan: FaultPlan::none(),
             checkpoints: 2,
             ckpt_dir: default_ckpt_dir(),
+            ckpt_async: true,
+            ckpt_corruption: CorruptionPlan::none(),
             problem: AdvectionProblem::standard(),
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
@@ -157,6 +168,8 @@ impl AppConfig {
             plan: FaultPlan::none(),
             checkpoints: 4,
             ckpt_dir: default_ckpt_dir(),
+            ckpt_async: true,
+            ckpt_corruption: CorruptionPlan::none(),
             problem: AdvectionProblem::standard(),
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
@@ -201,6 +214,19 @@ impl AppConfig {
         self
     }
 
+    /// Checkpoint synchronously on the critical path (the pre-async
+    /// reference behavior, kept for A/B comparison).
+    pub fn with_sync_checkpoints(mut self) -> Self {
+        self.ckpt_async = false;
+        self
+    }
+
+    /// Attach a checkpoint-corruption plan (fault injection).
+    pub fn with_ckpt_corruption(mut self, plan: CorruptionPlan) -> Self {
+        self.ckpt_corruption = plan;
+        self
+    }
+
     /// Number of solver timesteps.
     pub fn steps(&self) -> u64 {
         1u64 << self.log2_steps
@@ -215,8 +241,31 @@ impl AppConfig {
     /// The optimal checkpoint count of the paper's Eq. 2, given a
     /// predicted run time `t_app` and per-checkpoint write time `t_io`
     /// (both seconds): `C = T / T_IO` with MTBF `T = t_app / 2`.
+    ///
+    /// The result is clamped to `1 ..= u32::MAX`. Degenerate inputs are
+    /// handled explicitly rather than through float-cast saturation
+    /// (`inf as u32` happens to saturate, `NaN as u32` is 0 — neither is
+    /// something to rely on):
+    ///
+    /// * `t_io <= 0`, `t_io` NaN — a free (or nonsensical) checkpoint
+    ///   write caps out at `u32::MAX` checkpoints ("checkpoint as often
+    ///   as the schedule allows"; [`AppConfig::ckpt_period`] clamps the
+    ///   period to one step anyway);
+    /// * `t_app <= 0`, `t_app` NaN or infinite — no meaningful MTBF, so
+    ///   fall back to the minimum of one checkpoint.
     pub fn optimal_checkpoints(t_app: f64, t_io: f64) -> u32 {
-        ((t_app / 2.0) / t_io).floor().max(1.0) as u32
+        if !t_app.is_finite() || t_app <= 0.0 {
+            return 1;
+        }
+        if t_io.is_nan() || t_io <= 0.0 {
+            return u32::MAX;
+        }
+        let c = (t_app / 2.0) / t_io;
+        if c >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            (c.floor() as u32).max(1)
+        }
     }
 }
 
@@ -256,6 +305,23 @@ mod tests {
         assert!(AppConfig::optimal_checkpoints(200.0, 0.03) > 3000);
         // Never zero.
         assert_eq!(AppConfig::optimal_checkpoints(0.1, 100.0), 1);
+    }
+
+    #[test]
+    fn eq2_degenerate_inputs_are_guarded() {
+        // Free writes: checkpoint as often as possible, explicitly.
+        assert_eq!(AppConfig::optimal_checkpoints(200.0, 0.0), u32::MAX);
+        assert_eq!(AppConfig::optimal_checkpoints(200.0, -1.0), u32::MAX);
+        assert_eq!(AppConfig::optimal_checkpoints(200.0, f64::NAN), u32::MAX);
+        // No meaningful MTBF: fall back to the single-checkpoint minimum.
+        assert_eq!(AppConfig::optimal_checkpoints(0.0, 3.52), 1);
+        assert_eq!(AppConfig::optimal_checkpoints(-5.0, 3.52), 1);
+        assert_eq!(AppConfig::optimal_checkpoints(f64::NAN, 3.52), 1);
+        assert_eq!(AppConfig::optimal_checkpoints(f64::INFINITY, 3.52), 1);
+        // Finite but enormous ratios saturate instead of overflowing.
+        assert_eq!(AppConfig::optimal_checkpoints(1e300, 1e-300), u32::MAX);
+        // An infinite t_io is a legal "writes never finish" → minimum.
+        assert_eq!(AppConfig::optimal_checkpoints(200.0, f64::INFINITY), 1);
     }
 
     #[test]

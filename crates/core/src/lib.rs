@@ -22,6 +22,7 @@
 
 pub mod app;
 pub mod checkpoint;
+pub mod ckpt_async;
 pub mod config;
 pub mod detect;
 pub mod gather;
@@ -34,6 +35,8 @@ pub mod tags;
 pub mod timeline;
 
 pub use app::{run_app, AppOutcome};
+pub use checkpoint::{CheckpointStore, CorruptKind, CorruptionPlan, CorruptionStrike};
+pub use ckpt_async::AsyncCheckpointer;
 pub use config::{AppConfig, CombineMode, Technique};
 pub use layout::{Assignment, GroupInfo, ProcLayout};
 pub use reconstruct::{

@@ -43,10 +43,18 @@ pub type BuddyStore = std::collections::HashMap<usize, (u64, Grid2)>;
 /// The buddy of a combining grid: the next combining grid, cyclically.
 /// Deterministic and never the grid itself (there are ≥ 3 combining
 /// grids for every `l ≥ 2`).
-pub fn buddy_of(layout: &ProcLayout, grid: usize) -> usize {
+///
+/// A grid id outside the combining set is an error, not a panic: this is
+/// called inside the recovery path with grid ids derived from the failed
+/// rank list, and a rank whose grid does not combine (e.g. a bogus
+/// simulated-loss id) must surface as a recoverable [`Error`] rather
+/// than unwind mid-recovery.
+pub fn buddy_of(layout: &ProcLayout, grid: usize) -> Result<usize> {
     let ids = layout.system().combination_ids();
-    let pos = ids.iter().position(|&g| g == grid).expect("combining grid");
-    ids[(pos + 1) % ids.len()]
+    let pos = ids.iter().position(|&g| g == grid).ok_or_else(|| {
+        Error::InvalidArg(format!("grid {grid} is not in the combining set {ids:?}"))
+    })?;
+    Ok(ids[(pos + 1) % ids.len()])
 }
 
 /// Periodic buddy exchange (the Buddy Checkpoint protection point): every
@@ -69,12 +77,12 @@ pub fn buddy_exchange(
     let full =
         gather_grid(ctx, group, layout.group(my.grid), solver.level(), &solver.local_block())?;
     if let Some(grid) = &full {
-        let buddy = buddy_of(layout, my.grid);
+        let buddy = buddy_of(layout, my.grid)?;
         send_grid(ctx, world, layout.root_of(buddy), tags.buddy + my.grid as i32, grid)?;
     }
     // Phase 2: buddy roots collect the copies addressed to them.
     for &g in &ids {
-        let buddy = buddy_of(layout, g);
+        let buddy = buddy_of(layout, g)?;
         if world.rank() == layout.root_of(buddy) {
             let grid = recv_grid(ctx, world, layout.root_of(g), tags.buddy + g as i32)?;
             store.insert(g, (at_step, grid));
@@ -159,7 +167,7 @@ fn recover_buddy(
     let tags = TagSpace::for_layout(layout);
     let mut touched = false;
     for &b in broken {
-        let buddy = buddy_of(layout, b);
+        let buddy = buddy_of(layout, b)?;
         // The buddy root answers with [has, step] and then maybe the grid.
         if world.rank() == layout.root_of(buddy) {
             touched = true;
@@ -232,9 +240,17 @@ fn recover_checkpoint(
     }
     let t0 = ctx.now();
     let info = layout.group(my.grid);
-    // Root reads the recent checkpoint from disk.
+    // Root reads the newest *valid* checkpoint from disk, falling back
+    // past corrupt or torn files (a restart must never consume a corrupt
+    // checkpoint; with none left it restarts from the initial condition).
     let payload: Option<(u64, Grid2)> = if group.rank() == 0 {
-        match store.read(my.grid).map_err(|e| Error::InvalidArg(format!("checkpoint read: {e}")))? {
+        let (restored, skipped) = store
+            .read_latest_valid(my.grid)
+            .map_err(|e| Error::InvalidArg(format!("checkpoint read: {e}")))?;
+        if skipped > 0 {
+            ctx.report_add(crate::app::keys::CKPT_SKIPPED, skipped as f64);
+        }
+        match restored {
             Some((step, grid, bytes)) => {
                 ctx.disk_read(bytes);
                 Some((step, grid))
@@ -404,4 +420,43 @@ fn recover_alt_combination(
     }
 
     Ok(RecoveryStats { t_recovery, recovered_grids: broken.to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsegrid::Layout;
+
+    #[test]
+    fn buddy_of_cycles_within_the_combining_set() {
+        let layout = ProcLayout::new(6, 3, Layout::Plain, 1);
+        let ids = layout.system().combination_ids();
+        for &g in &ids {
+            let b = buddy_of(&layout, g).unwrap();
+            assert!(ids.contains(&b));
+            assert_ne!(b, g, "a grid must never buddy itself");
+        }
+    }
+
+    #[test]
+    fn buddy_of_non_combining_grid_is_an_error_not_a_panic() {
+        // Regression: a failed rank's grid id outside the combining set
+        // used to unwind mid-recovery via `.expect("combining grid")`.
+        let layout = ProcLayout::new(6, 3, Layout::ExtraLayers, 1);
+        let ids = layout.system().combination_ids();
+        // The extra-layer grids exist in the system but take no part in
+        // the classical combination — exactly the miss the recovery path
+        // can feed in.
+        let outsider = layout
+            .system()
+            .grids()
+            .iter()
+            .map(|g| g.id)
+            .find(|id| !ids.contains(id))
+            .expect("ExtraLayers layout must have non-combining grids");
+        let err = buddy_of(&layout, outsider).unwrap_err();
+        assert!(err.to_string().contains("not in the combining set"), "got: {err}");
+        // And an id that is in no layout at all.
+        assert!(buddy_of(&layout, 9999).is_err());
+    }
 }

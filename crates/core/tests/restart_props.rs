@@ -1,0 +1,131 @@
+//! Restart-correctness properties (PR 5, satellite S4).
+//!
+//! 1. **Kill–restart determinism.** A Checkpoint/Restart run killed at an
+//!    arbitrary step and restarted from the newest valid checkpoint must
+//!    produce the *bitwise-identical* combined-solution error of the
+//!    uninterrupted run — under both synchronous and asynchronous
+//!    checkpointing (the async arm crosses the recovery drain barrier).
+//! 2. **Wire-format integrity.** The v2 checkpoint codec round-trips
+//!    exactly, and *any* single-bit flip of an encoded buffer is detected
+//!    (magic/version/bounds checks or the CRC-64 trailer) — a decode must
+//!    never silently succeed on damaged bytes.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use ftsg_core::app::keys;
+use ftsg_core::{run_app, AppConfig, CheckpointStore, ProcLayout, Technique};
+use proptest::prelude::*;
+use sparsegrid::{Grid2, LevelPair};
+use ulfm_sim::{run, FaultPlan, RunConfig};
+
+const N: u32 = 6;
+const L: u32 = 3;
+const LOG2_STEPS: u32 = 5;
+
+fn cr_config(checkpoints: u32, ckpt_async: bool) -> AppConfig {
+    let mut cfg = AppConfig::small(Technique::CheckpointRestart).with_checkpoints(checkpoints);
+    cfg.n = N;
+    cfg.l = L;
+    cfg.log2_steps = LOG2_STEPS;
+    if !ckpt_async {
+        cfg = cfg.with_sync_checkpoints();
+    }
+    cfg
+}
+
+fn err_bits(cfg: AppConfig, seed: u64) -> u64 {
+    let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
+    let world = layout.world_size();
+    let report = run(RunConfig::local(world).with_seed(seed), move |ctx| run_app(&cfg, ctx));
+    report.assert_no_app_errors();
+    report.get_f64(keys::ERR_L1).expect("healthy run reports err_l1").to_bits()
+}
+
+/// Uninterrupted-run error bits, memoized per (checkpoints, async, seed).
+fn healthy_bits(checkpoints: u32, ckpt_async: bool, seed: u64) -> u64 {
+    type Cache = Mutex<HashMap<(u32, bool, u64), u64>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&bits) = cache.lock().unwrap().get(&(checkpoints, ckpt_async, seed)) {
+        return bits;
+    }
+    let bits = err_bits(cr_config(checkpoints, ckpt_async), seed);
+    cache.lock().unwrap().insert((checkpoints, ckpt_async, seed), bits);
+    bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kill any non-controller rank at any step (including the very last):
+    /// the restarted run's combined solution equals the uninterrupted
+    /// run's, bit for bit, in both checkpointing modes.
+    #[test]
+    fn killed_and_restarted_run_is_bitwise_identical(
+        victim_ix in 0usize..64,
+        kill_step in 1u64..=(1 << LOG2_STEPS),
+        checkpoints in 1u32..=3,
+        seed in 0u64..4,
+    ) {
+        let layout = ProcLayout::new(N, L, Technique::CheckpointRestart.layout(), 1);
+        let victim = 1 + victim_ix % (layout.world_size() - 1);
+        for ckpt_async in [true, false] {
+            let reference = healthy_bits(checkpoints, ckpt_async, seed);
+            let cfg = cr_config(checkpoints, ckpt_async)
+                .with_plan(FaultPlan::new(vec![(victim, kill_step)]));
+            let killed = err_bits(cfg, seed);
+            prop_assert_eq!(
+                killed, reference,
+                "rank {} killed at step {} (C={}, async={}) diverged from the uninterrupted run",
+                victim, kill_step, checkpoints, ckpt_async
+            );
+        }
+    }
+
+    /// v2 codec round-trip: decode(encode(x)) == x, including the step
+    /// and every payload bit.
+    #[test]
+    fn v2_codec_roundtrips_exactly(
+        i in 1u32..=6,
+        j in 1u32..=6,
+        step in 0u64..1_000_000,
+        fx in -8.0f64..8.0,
+        fy in -8.0f64..8.0,
+    ) {
+        let level = LevelPair::new(i, j);
+        let grid = Grid2::from_fn(level, |x, y| (fx * x).sin() + (fy * y).cos());
+        let raw = CheckpointStore::encode(step, level, grid.values());
+        let (got_step, got) = CheckpointStore::decode(&raw).expect("pristine buffer decodes");
+        prop_assert_eq!(got_step, step);
+        prop_assert_eq!(got.level(), level);
+        let same = got
+            .values()
+            .iter()
+            .zip(grid.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(same, "payload changed across the codec round-trip");
+    }
+
+    /// Flipping any single bit anywhere in an encoded checkpoint —
+    /// header, payload, or CRC trailer — must make decode fail.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        i in 1u32..=5,
+        j in 1u32..=5,
+        step in 0u64..1_000_000,
+        flip_seed in any::<u64>(),
+    ) {
+        let level = LevelPair::new(i, j);
+        let grid = Grid2::from_fn(level, |x, y| x * 0.7 - y * 1.3);
+        let mut raw = CheckpointStore::encode(step, level, grid.values());
+        let bit = (flip_seed % (raw.len() as u64 * 8)) as usize;
+        raw[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            CheckpointStore::decode(&raw).is_err(),
+            "flipped bit {} of {} and decode still succeeded",
+            bit,
+            raw.len() * 8
+        );
+    }
+}

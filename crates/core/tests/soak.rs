@@ -65,6 +65,8 @@ fn soak_random_failures_all_techniques() {
             plan: FaultPlan::none(),
             checkpoints: rng.gen_range(1..=3),
             ckpt_dir: ftsg_core::config::default_ckpt_dir(),
+            ckpt_async: true,
+            ckpt_corruption: Default::default(),
             problem: advect2d::AdvectionProblem::standard(),
             simulated_lost_grids: Vec::new(),
             respawn_policy: Default::default(),

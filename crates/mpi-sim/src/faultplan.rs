@@ -63,6 +63,13 @@ pub enum OpClass {
     Spawn,
     /// A checkpoint-style disk write.
     CkptWrite,
+    /// Copying the sub-grid into the async checkpointer's double buffer.
+    CkptSnapshot,
+    /// Handing a snapshot to the bounded checkpoint-writer queue.
+    CkptEnqueue,
+    /// Draining the async checkpoint queue at a recovery or end-of-run
+    /// barrier.
+    CkptDrain,
     /// `MPI_Isend` (posting a nonblocking send).
     Isend,
     /// `MPI_Irecv` (posting a nonblocking receive).
@@ -88,6 +95,9 @@ impl OpClass {
             OpClass::Merge => "merge",
             OpClass::Spawn => "spawn",
             OpClass::CkptWrite => "ckptwrite",
+            OpClass::CkptSnapshot => "ckptsnapshot",
+            OpClass::CkptEnqueue => "ckptenqueue",
+            OpClass::CkptDrain => "ckptdrain",
             OpClass::Isend => "isend",
             OpClass::Irecv => "irecv",
             OpClass::Wait => "wait",
@@ -110,6 +120,9 @@ impl OpClass {
             "merge" => OpClass::Merge,
             "spawn" => OpClass::Spawn,
             "ckptwrite" => OpClass::CkptWrite,
+            "ckptsnapshot" => OpClass::CkptSnapshot,
+            "ckptenqueue" => OpClass::CkptEnqueue,
+            "ckptdrain" => OpClass::CkptDrain,
             "isend" => OpClass::Isend,
             "irecv" => OpClass::Irecv,
             "wait" => OpClass::Wait,
@@ -355,6 +368,9 @@ mod tests {
             OpClass::Merge,
             OpClass::Spawn,
             OpClass::CkptWrite,
+            OpClass::CkptSnapshot,
+            OpClass::CkptEnqueue,
+            OpClass::CkptDrain,
             OpClass::Isend,
             OpClass::Irecv,
             OpClass::Wait,

@@ -178,6 +178,9 @@ pub(crate) struct Universe {
     /// Accumulated `(hidden, exposed)` communication seconds over all
     /// terminated processes (see [`Report::comm_hidden`]).
     comm_time: Mutex<(f64, f64)>,
+    /// Accumulated `(hidden, exposed)` checkpoint-I/O seconds over all
+    /// terminated processes (see [`Report::io_hidden`]).
+    io_time: Mutex<(f64, f64)>,
     /// Capacity mirror of `trace` so the hot path can skip the lock when
     /// recording is disabled.
     trace_cap: usize,
@@ -237,6 +240,10 @@ impl Universe {
                     recovery_depth: Cell::new(0),
                     comm_hidden: Cell::new(0.0),
                     comm_exposed: Cell::new(0.0),
+                    io_hidden: Cell::new(0.0),
+                    io_exposed: Cell::new(0.0),
+                    io_pending: RefCell::new(Vec::new()),
+                    disk_free_at: Cell::new(0.0),
                     metrics: MetricsCell::new(),
                 };
                 let entry = Arc::clone(&uni.entry);
@@ -247,6 +254,20 @@ impl Universe {
                     let mut ct = uni.comm_time.lock();
                     ct.0 += ctx.comm_hidden.get();
                     ct.1 += ctx.comm_exposed.get();
+                }
+                {
+                    // Async writes still in flight when the process exits
+                    // (or dies): the portion of their disk time this rank's
+                    // lifetime already covered counts as hidden; the rest
+                    // was never waited on by anyone and is dropped.
+                    let now = ctx.clock.get();
+                    for &(start, cost) in ctx.io_pending.borrow().iter() {
+                        let covered = (now - start).clamp(0.0, cost);
+                        ctx.io_hidden.set(ctx.io_hidden.get() + covered);
+                    }
+                    let mut io = uni.io_time.lock();
+                    io.0 += ctx.io_hidden.get();
+                    io.1 += ctx.io_exposed.get();
                 }
                 match result {
                     Ok(()) => { /* normal completion */ }
@@ -297,6 +318,14 @@ pub struct Report {
     /// (blocking receives plus the un-overlapped tail of nonblocking
     /// ones), summed over ranks.
     pub comm_exposed: f64,
+    /// Virtual checkpoint-I/O seconds *hidden* behind compute (disk time
+    /// of asynchronously enqueued writes that completed before their
+    /// drain barrier), summed over ranks.
+    pub io_hidden: f64,
+    /// Virtual checkpoint-I/O seconds ranks actually *stalled* on
+    /// (synchronous writes, restart reads, and the un-overlapped tail of
+    /// async writes paid at a drain barrier), summed over ranks.
+    pub io_exposed: f64,
     /// Per-operation trace: the newest [`RunConfig::trace_capacity`]
     /// events (unordered; sort by `t_start` for a timeline).
     pub trace: Vec<TraceEvent>,
@@ -365,6 +394,21 @@ impl Report {
         }
     }
 
+    /// Fraction of total checkpoint-I/O time that was hidden behind
+    /// compute: `hidden / (hidden + exposed)`, or 0 when no checkpoint
+    /// I/O happened. Synchronous checkpointing reports 0; the async
+    /// pipeline reports the share of `T_IO` the solver's stepping
+    /// absorbed (the paper's Eq. 2 prices CR by exactly this exposed
+    /// remainder).
+    pub fn hidden_io_fraction(&self) -> f64 {
+        let total = self.io_hidden + self.io_exposed;
+        if total > 0.0 {
+            self.io_hidden / total
+        } else {
+            0.0
+        }
+    }
+
     /// Panics if any application-level panic was recorded. Tests call this
     /// to assert a run was healthy.
     pub fn assert_no_app_errors(&self) {
@@ -391,6 +435,16 @@ pub struct Ctx {
     pub(crate) comm_hidden: Cell<f64>,
     /// Communication time this rank stalled on (seconds).
     pub(crate) comm_exposed: Cell<f64>,
+    /// Checkpoint-I/O time hidden behind compute on this rank (seconds).
+    pub(crate) io_hidden: Cell<f64>,
+    /// Checkpoint-I/O time this rank stalled on (seconds).
+    pub(crate) io_exposed: Cell<f64>,
+    /// Async disk writes in flight: `(virtual start, disk cost)` pairs,
+    /// settled opportunistically and at [`Ctx::disk_drain`].
+    pub(crate) io_pending: RefCell<Vec<(f64, f64)>>,
+    /// Virtual time at which this rank's (serial) checkpoint disk becomes
+    /// idle — back-to-back async writes queue behind each other.
+    pub(crate) disk_free_at: Cell<f64>,
     /// Live per-rank counters, snapshotted into the report on exit.
     pub(crate) metrics: MetricsCell,
 }
@@ -486,17 +540,81 @@ impl Ctx {
         (here as f64 / slots as f64).max(1.0)
     }
 
-    /// Charge one checkpoint-style disk write of `bytes`. A fault-site
-    /// hook: a victim armed at a [`OpClass::CkptWrite`] site dies here,
-    /// before the write lands.
+    /// Charge one *synchronous* checkpoint-style disk write of `bytes`:
+    /// the full disk time lands on the critical path (and is counted as
+    /// exposed I/O). A fault-site hook: a victim armed at a
+    /// [`OpClass::CkptWrite`] site dies here, before the write lands.
     pub fn disk_write(&self, bytes: usize) {
         self.fault_op(OpClass::CkptWrite);
-        self.advance(self.uni.profile.disk.write(bytes));
+        self.settle_completed_io();
+        let now = self.now();
+        let start = self.disk_free_at.get().max(now);
+        let end = start + self.uni.profile.disk.write(bytes);
+        self.disk_free_at.set(end);
+        self.io_exposed.set(self.io_exposed.get() + (end - now));
+        self.advance_to(end);
     }
 
-    /// Charge one restart-style disk read of `bytes`.
+    /// Charge one checkpoint-style disk write of `bytes` as *deferred*
+    /// cost: the write occupies the rank's serial checkpoint disk from
+    /// `max(now, disk idle)` for the usual disk time, but the clock does
+    /// not advance here. Disk time covered by subsequent compute before
+    /// the next [`Ctx::disk_drain`] is counted hidden; the rest is paid
+    /// (exposed) at the drain. Mirrors the nonblocking-communication
+    /// overlap model. Same [`OpClass::CkptWrite`] fault-site hook as the
+    /// synchronous form — a victim armed there dies before the write
+    /// lands.
+    pub fn disk_write_async(&self, bytes: usize) {
+        self.fault_op(OpClass::CkptWrite);
+        self.settle_completed_io();
+        let start = self.disk_free_at.get().max(self.now());
+        let cost = self.uni.profile.disk.write(bytes);
+        self.disk_free_at.set(start + cost);
+        self.io_pending.borrow_mut().push((start, cost));
+    }
+
+    /// Complete every in-flight async disk write: disk time already
+    /// covered by clock progress counts as hidden, the remainder is
+    /// exposed and advances the clock (the rank genuinely waits for the
+    /// writer to finish at a recovery or end-of-run barrier).
+    pub fn disk_drain(&self) {
+        let pending = std::mem::take(&mut *self.io_pending.borrow_mut());
+        for (start, cost) in pending {
+            let now = self.now();
+            let end = start + cost;
+            if end <= now {
+                self.io_hidden.set(self.io_hidden.get() + cost);
+            } else {
+                let covered = (now - start).max(0.0);
+                self.io_hidden.set(self.io_hidden.get() + covered);
+                self.io_exposed.set(self.io_exposed.get() + (end - now.max(start)));
+                self.advance_to(end);
+            }
+        }
+    }
+
+    /// Fold async writes that finished in the past into the hidden-I/O
+    /// tally, keeping the pending list bounded by queue depth.
+    fn settle_completed_io(&self) {
+        let now = self.now();
+        let mut hidden = self.io_hidden.get();
+        self.io_pending.borrow_mut().retain(|&(start, cost)| {
+            if start + cost <= now {
+                hidden += cost;
+                false
+            } else {
+                true
+            }
+        });
+        self.io_hidden.set(hidden);
+    }
+
+    /// Charge one restart-style disk read of `bytes` (always on the
+    /// critical path, counted as exposed I/O).
     pub fn disk_read(&self, bytes: usize) {
-        self.advance(self.uni.profile.disk.read(bytes));
+        let dt = self.uni.profile.disk.read(bytes);
+        self.io_exposed.set(self.io_exposed.get() + dt);
+        self.advance(dt);
     }
 
     /// Fail-stop this process *right now* — the paper's
@@ -561,6 +679,16 @@ impl Ctx {
     /// Communication seconds this rank has stalled on so far.
     pub fn comm_exposed(&self) -> f64 {
         self.comm_exposed.get()
+    }
+
+    /// Checkpoint-I/O seconds this rank has hidden behind compute so far.
+    pub fn io_hidden(&self) -> f64 {
+        self.io_hidden.get()
+    }
+
+    /// Checkpoint-I/O seconds this rank has stalled on so far.
+    pub fn io_exposed(&self) -> f64 {
+        self.io_exposed.get()
     }
 
     /// Record communication time that was overlapped by local progress.
@@ -809,6 +937,7 @@ where
         app_errors: Mutex::new(Vec::new()),
         final_clocks: Mutex::new(Vec::new()),
         comm_time: Mutex::new((0.0, 0.0)),
+        io_time: Mutex::new((0.0, 0.0)),
         trace_cap: config.trace_capacity,
         trace: Mutex::new(TraceRing::new(config.trace_capacity)),
         metrics: Mutex::new(Vec::new()),
@@ -856,6 +985,7 @@ where
     drop(registry);
     let makespan = uni.final_clocks.lock().iter().fold(0.0_f64, |m, &(_, c)| m.max(c));
     let (comm_hidden, comm_exposed) = *uni.comm_time.lock();
+    let (io_hidden, io_exposed) = *uni.io_time.lock();
 
     let values = uni.blackboard.lock().clone();
     let app_errors = uni.app_errors.lock().clone();
@@ -874,6 +1004,8 @@ where
         makespan,
         comm_hidden,
         comm_exposed,
+        io_hidden,
+        io_exposed,
         trace,
         trace_dropped,
         metrics,
@@ -960,5 +1092,94 @@ mod tests {
         };
         assert_eq!(roll(1), roll(1));
         assert_ne!(roll(1), roll(2));
+    }
+
+    /// Disk write cost of `bytes` on the `RunConfig::local` profile.
+    fn local_write_cost(bytes: usize) -> f64 {
+        ClusterProfile::local(1, 8).disk.write(bytes)
+    }
+
+    #[test]
+    fn async_write_fully_hidden_behind_compute() {
+        let report = run(RunConfig::local(1), |ctx| {
+            ctx.disk_write_async(1000);
+            ctx.advance(10.0); // far more compute than the write costs
+            let before = ctx.now();
+            ctx.disk_drain();
+            assert_eq!(ctx.now(), before, "a finished write must not stall the drain");
+        });
+        report.assert_no_app_errors();
+        assert!((report.io_hidden - local_write_cost(1000)).abs() < 1e-12);
+        assert_eq!(report.io_exposed, 0.0);
+        assert!((report.hidden_io_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_drain_exposes_the_full_write() {
+        let report = run(RunConfig::local(1), |ctx| {
+            ctx.disk_write_async(1000);
+            ctx.disk_drain();
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.io_hidden, 0.0);
+        assert!((report.io_exposed - local_write_cost(1000)).abs() < 1e-12);
+        assert_eq!(report.hidden_io_fraction(), 0.0);
+        assert!((report.makespan - local_write_cost(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_splits_hidden_and_exposed() {
+        let cost = local_write_cost(1000);
+        let covered = cost / 2.0;
+        let report = run(RunConfig::local(1), move |ctx| {
+            ctx.disk_write_async(1000);
+            ctx.advance(covered);
+            ctx.disk_drain();
+        });
+        report.assert_no_app_errors();
+        assert!((report.io_hidden - covered).abs() < 1e-12);
+        assert!((report.io_exposed - (cost - covered)).abs() < 1e-12);
+        assert!((report.makespan - cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_to_back_async_writes_queue_on_the_serial_disk() {
+        let report = run(RunConfig::local(1), |ctx| {
+            ctx.disk_write_async(1000);
+            ctx.disk_write_async(1000); // starts only when the first ends
+            ctx.disk_drain();
+        });
+        report.assert_no_app_errors();
+        let total = 2.0 * local_write_cost(1000);
+        assert!((report.makespan - total).abs() < 1e-12);
+        assert!((report.io_hidden + report.io_exposed - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_write_and_restart_read_are_exposed() {
+        let report = run(RunConfig::local(1), |ctx| {
+            let t0 = ctx.now();
+            ctx.disk_write(1000);
+            assert!(ctx.now() > t0, "a sync write must advance the clock");
+            ctx.disk_read(1000);
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.io_hidden, 0.0);
+        assert!((report.io_exposed - report.makespan).abs() < 1e-12);
+        assert_eq!(report.hidden_io_fraction(), 0.0);
+    }
+
+    #[test]
+    fn undrained_writes_count_their_covered_time_at_exit() {
+        let cost = local_write_cost(1000);
+        let report = run(RunConfig::local(1), move |ctx| {
+            ctx.disk_write_async(1000);
+            ctx.advance(cost * 2.0);
+            // Exit without draining: the whole write fits in the rank's
+            // lifetime, so it is fully hidden.
+        });
+        report.assert_no_app_errors();
+        assert!((report.io_hidden - cost).abs() < 1e-12);
+        assert_eq!(report.io_exposed, 0.0);
     }
 }

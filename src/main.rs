@@ -27,6 +27,7 @@ struct Cli {
     failures: usize,
     fail_at: Option<u64>,
     cluster: String,
+    sync_ckpt: bool,
     spare_node: bool,
     central_combine: bool,
     trace: bool,
@@ -39,7 +40,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]\n\
          \x20           [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]\n\
-         \x20           [--spare-node] [--central-combine] [--seed S]"
+         \x20           [--sync-ckpt] [--spare-node] [--central-combine] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -54,6 +55,7 @@ fn parse() -> Cli {
         failures: 0,
         fail_at: None,
         cluster: "local".into(),
+        sync_ckpt: false,
         spare_node: false,
         central_combine: false,
         trace: false,
@@ -85,6 +87,7 @@ fn parse() -> Cli {
             "--fail" => cli.failures = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--fail-at" => cli.fail_at = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
             "--cluster" => cli.cluster = take(&mut i).to_lowercase(),
+            "--sync-ckpt" => cli.sync_ckpt = true,
             "--spare-node" => cli.spare_node = true,
             "--central-combine" => cli.central_combine = true,
             "--trace" => cli.trace = true,
@@ -110,6 +113,8 @@ fn main() {
         plan: FaultPlan::none(),
         checkpoints: 4,
         ckpt_dir: ftsg::app::config::default_ckpt_dir(),
+        ckpt_async: !cli.sync_ckpt,
+        ckpt_corruption: Default::default(),
         problem: ftsg::pde::AdvectionProblem::standard(),
         simulated_lost_grids: Vec::new(),
         respawn_policy: if cli.spare_node {
