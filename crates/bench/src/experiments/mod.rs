@@ -6,4 +6,5 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig8;
 pub mod fig9;
+pub mod scale;
 pub mod table1;

@@ -17,7 +17,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 
@@ -27,7 +27,7 @@ use crate::error::{Error, Result};
 use crate::faultplan::OpClass;
 use crate::group::Group;
 use crate::mailbox::{Envelope, Pattern, Tag};
-use crate::proc::ProcState;
+use crate::proc::{failure_epoch, ProcState};
 use crate::rendezvous::{Contribution, OpCtx, OpData, OpKey, OpKind, OpSemantics, OpTable};
 use crate::runtime::Ctx;
 
@@ -52,6 +52,15 @@ pub(crate) struct CommShared {
     pub ops: OpTable,
     /// Retired payload buffers, shared by all ranks of the communicator.
     pub pool: BufPool,
+    /// `(epoch, failed ranks)` — the member failure scan, re-run only
+    /// when the global failure epoch moves. Keeps `failed_ranks` O(1)
+    /// amortized instead of O(members) per call.
+    failed_cache: parking_lot::Mutex<(u64, Vec<usize>)>,
+    /// The member list as a [`Group`], built once on first use. Shared
+    /// storage: every rank's `comm.group()` is an O(1) clone of the
+    /// same group (and shares its lazy membership index), so the
+    /// world-wide `failedProcsList` stays linear per rank.
+    group_cache: OnceLock<Group>,
 }
 
 impl CommShared {
@@ -62,7 +71,28 @@ impl CommShared {
             revoked: AtomicBool::new(false),
             ops: OpTable::new(),
             pool: BufPool::default(),
+            failed_cache: parking_lot::Mutex::new((0, Vec::new())),
+            group_cache: OnceLock::new(),
         })
+    }
+
+    fn failed_ranks_cached(&self) -> Vec<usize> {
+        let epoch = failure_epoch();
+        if epoch == 0 {
+            return Vec::new();
+        }
+        let mut c = self.failed_cache.lock();
+        if c.0 != epoch {
+            c.1 = self
+                .members
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_failed())
+                .map(|(r, _)| r)
+                .collect();
+            c.0 = epoch;
+        }
+        c.1.clone()
     }
 }
 
@@ -172,9 +202,14 @@ impl Comm {
         self.shared.cid
     }
 
-    /// The communicator's process group.
+    /// The communicator's process group. Built once per communicator
+    /// and shared: repeated calls (one per rank during recovery) are
+    /// O(1) clones.
     pub fn group(&self) -> Group {
-        Group::new(self.shared.members.iter().map(|p| p.id).collect())
+        self.shared
+            .group_cache
+            .get_or_init(|| Group::new(self.shared.members.iter().map(|p| p.id).collect()))
+            .clone()
     }
 
     /// Has some rank revoked this communicator?
@@ -182,15 +217,11 @@ impl Comm {
         self.shared.revoked.load(Ordering::Acquire)
     }
 
-    /// Ranks currently known (locally) to have failed.
+    /// Ranks currently known (locally) to have failed. Served from the
+    /// communicator's epoch cache; only the first call after a new
+    /// failure pays the member scan.
     pub fn failed_ranks(&self) -> Vec<usize> {
-        self.shared
-            .members
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.is_failed())
-            .map(|(r, _)| r)
-            .collect()
+        self.shared.failed_ranks_cached()
     }
 
     /// Hostfile index of the node a rank runs on (ground truth; the paper
@@ -240,6 +271,7 @@ impl Comm {
             payload,
             arrive,
         });
+        d.wake(); // after the push: the message is visible before the wake
         ctx.advance(ctx.net().latency); // sender-side occupancy
         ctx.metrics.note_sent(nbytes);
         ctx.trace_p2p("send", self.shared.cid, t0, nbytes);
@@ -353,12 +385,16 @@ impl Comm {
                     ),
                 });
             }
-            if let Some(e) =
-                ctx.me().mailbox.take_timeout(&pat, std::time::Duration::from_micros(500))
-            {
-                return Ok(complete(e));
+            // Park until a sender (or a kill/revoke/sweep) wakes us; the
+            // loop re-checks everything on wake. Thread mode polls at the
+            // historical 500 µs tick and counts each empty poll as a
+            // retry; fiber parks are event-driven, so no retry is
+            // charged (the metric would otherwise measure scheduler
+            // timing, not simulation behaviour).
+            crate::sched::block_wait(ctx.me());
+            if !crate::fiber::in_fiber() {
+                ctx.metrics.note_recv_retry();
             }
-            ctx.metrics.note_recv_retry();
         }
     }
 
@@ -367,7 +403,14 @@ impl Comm {
     pub fn iprobe(&self, ctx: &Ctx, src: Option<usize>, tag: Option<Tag>) -> Result<bool> {
         self.check_usable(ctx)?;
         let pat = Pattern { cid: self.shared.cid, src, tag };
-        Ok(ctx.me().mailbox.peek(&pat))
+        let found = ctx.me().mailbox.peek(&pat);
+        if !found {
+            // Cooperative point: a poll loop around a false probe must
+            // let the polled-for peer run, or a single worker would spin
+            // on it forever.
+            crate::fiber::yield_now();
+        }
+        Ok(found)
     }
 
     /// `MPI_Isend`: post a nonblocking send and return a [`Request`] to
@@ -408,6 +451,7 @@ impl Comm {
             payload,
             arrive,
         });
+        d.wake();
         ctx.advance(ctx.net().latency); // sender-side occupancy only
         ctx.metrics.note_sent(nbytes);
         ctx.trace_p2p("isend", self.shared.cid, t0, nbytes);
@@ -815,7 +859,9 @@ impl Comm {
         let t0 = ctx.now();
         let p = self.size();
         let net = *ctx.net();
-        let members = self.shared.members.clone();
+        // Capture the shared handle, not a members clone: every rank
+        // cloning the member vec made split O(p²) across the communicator.
+        let owner = Arc::clone(&self.shared);
         let opkey = self.next_key(OpKind::Split);
         let fail_cost = net.barrier(p);
         let out = self.shared.ops.run_op(
@@ -836,7 +882,7 @@ impl Comm {
                 for (_, mut list) in by_color {
                     list.sort_unstable();
                     let procs: Vec<Arc<ProcState>> =
-                        list.iter().map(|&(_, r)| members[r].clone()).collect();
+                        list.iter().map(|&(_, r)| owner.members[r].clone()).collect();
                     let shared = CommShared::new(procs);
                     for (new_rank, &(_, old_rank)) in list.iter().enumerate() {
                         result.insert(old_rank, (Arc::clone(&shared), new_rank));
@@ -863,7 +909,7 @@ impl Comm {
         let t0 = ctx.now();
         let p = self.size();
         let net = *ctx.net();
-        let members = self.shared.members.clone();
+        let owner = Arc::clone(&self.shared);
         let key = self.next_key(OpKind::Dup);
         let fail_cost = net.barrier(p);
         let out = self.shared.ops.run_op(
@@ -871,7 +917,7 @@ impl Comm {
             self.op_ctx(ctx, Self::strict(), fail_cost),
             Contribution { clock: ctx.now(), data: OpData::None },
             move |_| {
-                let shared = CommShared::new(members.clone());
+                let shared = CommShared::new(owner.members.clone());
                 (Arc::new(shared) as _, net.tree(p, 16))
             },
         );
@@ -889,9 +935,10 @@ impl Comm {
     pub fn revoke(&self, ctx: &Ctx) {
         ctx.check_killed();
         self.shared.revoked.store(true, Ordering::Release);
-        self.shared.ops.notify_all();
+        // Wake every member: blocked receives and collectives re-check
+        // the revoked flag on wake.
         for m in &self.shared.members {
-            m.mailbox.notify_all();
+            m.wake();
         }
         ctx.advance(ctx.model().revoke(self.size()));
     }
@@ -902,7 +949,7 @@ impl Comm {
         ctx.fault_op(OpClass::Shrink);
         let t0 = ctx.now();
         let p = self.size();
-        let members = self.shared.members.clone();
+        let owner = Arc::clone(&self.shared);
         let model = ctx.model_handle();
         let key = self.next_recovery_key(OpKind::Shrink);
         let out = self.shared.ops.run_op(
@@ -913,7 +960,7 @@ impl Comm {
                 let survivors: Vec<usize> = c.keys().copied().collect();
                 let nfailed = p - survivors.len();
                 let procs: Vec<Arc<ProcState>> =
-                    survivors.iter().map(|&r| members[r].clone()).collect();
+                    survivors.iter().map(|&r| owner.members[r].clone()).collect();
                 let shared = CommShared::new(procs);
                 let mut rank_map = std::collections::HashMap::new();
                 for (new_rank, &old_rank) in survivors.iter().enumerate() {
@@ -1118,8 +1165,42 @@ pub(crate) struct InterShared {
     /// `groups[0]` = the group that initiated the spawn (parents);
     /// `groups[1]` = the spawned group (children).
     pub groups: [Vec<Arc<ProcState>>; 2],
+    /// Both groups concatenated (side 0 then side 1): the participant
+    /// space of every inter-collective, built once at construction
+    /// instead of per call per rank.
+    pub all: Vec<Arc<ProcState>>,
     pub revoked: AtomicBool,
     pub ops: OpTable,
+    /// `(epoch, failed count)` over `all`; see `CommShared::failed_cache`.
+    failed_count: parking_lot::Mutex<(u64, usize)>,
+}
+
+impl InterShared {
+    pub fn new(groups: [Vec<Arc<ProcState>>; 2]) -> Arc<Self> {
+        let mut all = groups[0].clone();
+        all.extend(groups[1].iter().cloned());
+        Arc::new(InterShared {
+            cid: alloc_cid(),
+            groups,
+            all,
+            revoked: AtomicBool::new(false),
+            ops: OpTable::new(),
+            failed_count: parking_lot::Mutex::new((0, 0)),
+        })
+    }
+
+    fn failed_count_cached(&self) -> usize {
+        let epoch = failure_epoch();
+        if epoch == 0 {
+            return 0;
+        }
+        let mut c = self.failed_count.lock();
+        if c.0 != epoch {
+            c.1 = self.all.iter().filter(|m| m.is_failed()).count();
+            c.0 = epoch;
+        }
+        c.1
+    }
 }
 
 /// A rank's handle onto an intercommunicator, as produced by
@@ -1159,12 +1240,6 @@ impl InterComm {
         self.side == 1
     }
 
-    fn all_members(&self) -> Vec<Arc<ProcState>> {
-        let mut v = self.shared.groups[0].clone();
-        v.extend(self.shared.groups[1].iter().cloned());
-        v
-    }
-
     fn my_index(&self) -> usize {
         if self.side == 0 {
             self.rank
@@ -1186,22 +1261,21 @@ impl InterComm {
     pub fn merge(&self, ctx: &Ctx, high: bool) -> Result<Comm> {
         ctx.fault_op(OpClass::Merge);
         let t0 = ctx.now();
-        let members = self.all_members();
-        let p = members.len();
+        let p = self.shared.all.len();
         let n0 = self.shared.groups[0].len();
         let model = ctx.model_handle();
         let net = *ctx.net();
         let key = self.next_key(OpKind::Merge);
         let opctx = OpCtx {
             my_index: self.my_index(),
-            participants: &members,
+            participants: &self.shared.all,
             me: ctx.me(),
             revoked: &self.shared.revoked,
             semantics: OpSemantics { tolerant: false, revocable: true },
             fail_cost: net.barrier(p),
             stall_timeout: ctx.stall_timeout(),
         };
-        let members_for_finish = members.clone();
+        let owner = Arc::clone(&self.shared);
         let out = self.shared.ops.run_op(
             key,
             opctx,
@@ -1223,9 +1297,9 @@ impl InterComm {
                 // order implementation-defined in that case).
                 let side0_first = !side0_high || side1_high == side0_high;
                 let (first, second) = if side0_first {
-                    (&members_for_finish[..n0], &members_for_finish[n0..])
+                    (&owner.all[..n0], &owner.all[n0..])
                 } else {
-                    (&members_for_finish[n0..], &members_for_finish[..n0])
+                    (&owner.all[n0..], &owner.all[..n0])
                 };
                 let mut procs = first.to_vec();
                 procs.extend_from_slice(second);
@@ -1254,14 +1328,13 @@ impl InterComm {
     pub fn agree(&self, ctx: &Ctx, flag: &mut bool) -> Result<()> {
         ctx.fault_op(OpClass::Agree);
         let t0 = ctx.now();
-        let members = self.all_members();
-        let p = members.len();
+        let p = self.shared.all.len();
         let model = ctx.model_handle();
-        let nfailed = members.iter().filter(|m| m.is_failed()).count();
+        let nfailed = self.shared.failed_count_cached();
         let key = self.next_key(OpKind::Agree);
         let opctx = OpCtx {
             my_index: self.my_index(),
-            participants: &members,
+            participants: &self.shared.all,
             me: ctx.me(),
             revoked: &self.shared.revoked,
             semantics: OpSemantics { tolerant: true, revocable: false },
@@ -1293,13 +1366,10 @@ impl InterComm {
     pub fn revoke(&self, ctx: &Ctx) {
         ctx.check_killed();
         self.shared.revoked.store(true, Ordering::Release);
-        self.shared.ops.notify_all();
-        for g in &self.shared.groups {
-            for m in g {
-                m.mailbox.notify_all();
-            }
+        for m in &self.shared.all {
+            m.wake();
         }
-        let p = self.shared.groups[0].len() + self.shared.groups[1].len();
+        let p = self.shared.all.len();
         ctx.advance(ctx.model().revoke(p));
     }
 }

@@ -7,6 +7,9 @@
 //! `MPI_Group_translate_ranks`. This module reproduces those operations
 //! with the standard MPI semantics.
 
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
 use crate::proc::ProcId;
 
 /// Result of [`Group::compare`], mirroring `MPI_IDENT` / `MPI_SIMILAR` /
@@ -22,9 +25,34 @@ pub enum GroupCompare {
 }
 
 /// An ordered set of processes; rank *r* in the group is `procs[r]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Membership storage is shared (`Arc`), so cloning a group — e.g. the
+/// cached per-communicator group that every rank of a 100k-world
+/// fetches during `failedProcsList` — is O(1), and the lazily built
+/// membership index is built once and shared by every clone.
+#[derive(Clone)]
 pub struct Group {
-    procs: Vec<ProcId>,
+    procs: Arc<Vec<ProcId>>,
+    /// `proc → rank` map, built on the first [`Group::rank_of`] miss of
+    /// the linear-scan threshold and shared across clones.
+    index: Arc<OnceLock<HashMap<ProcId, usize>>>,
+}
+
+/// Below this size a linear scan beats building and probing a hash map.
+const INDEX_THRESHOLD: usize = 64;
+
+impl PartialEq for Group {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.procs, &other.procs) || self.procs == other.procs
+    }
+}
+
+impl Eq for Group {}
+
+impl std::fmt::Debug for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Group").field("procs", &self.procs).finish()
+    }
 }
 
 /// Translation result for a rank with no image in the target group
@@ -34,7 +62,7 @@ pub const UNDEFINED: usize = usize::MAX;
 impl Group {
     /// Group over the given processes (order = rank order).
     pub fn new(procs: Vec<ProcId>) -> Self {
-        Group { procs }
+        Group { procs: Arc::new(procs), index: Arc::new(OnceLock::new()) }
     }
 
     /// Number of members (`MPI_Group_size`).
@@ -52,19 +80,27 @@ impl Group {
         self.procs.get(rank).copied()
     }
 
-    /// The rank of a process in this group, if a member.
+    /// The rank of a process in this group, if a member. O(1) after the
+    /// first call on a large group (a shared `proc → rank` index is
+    /// built lazily); small groups use a plain scan.
     pub fn rank_of(&self, p: ProcId) -> Option<usize> {
-        self.procs.iter().position(|&q| q == p)
+        if self.procs.len() < INDEX_THRESHOLD {
+            return self.procs.iter().position(|&q| q == p);
+        }
+        let idx = self
+            .index
+            .get_or_init(|| self.procs.iter().enumerate().map(|(i, &q)| (q, i)).collect());
+        idx.get(&p).copied()
     }
 
     /// `MPI_Group_compare`.
     pub fn compare(&self, other: &Group) -> GroupCompare {
-        if self.procs == other.procs {
+        if Arc::ptr_eq(&self.procs, &other.procs) || self.procs == other.procs {
             return GroupCompare::Ident;
         }
         if self.procs.len() == other.procs.len() {
-            let mut a = self.procs.clone();
-            let mut b = other.procs.clone();
+            let mut a = (*self.procs).clone();
+            let mut b = (*other.procs).clone();
             a.sort_unstable();
             b.sort_unstable();
             if a == b {
@@ -76,15 +112,44 @@ impl Group {
 
     /// `MPI_Group_difference`: members of `self` not in `other`, in
     /// `self`'s rank order.
+    ///
+    /// The dominant caller is `failedProcsList` (old group vs shrunken
+    /// group), where `other` is an order-preserving subset of `self`;
+    /// the cursor keeps that case one linear merge pass, and anything
+    /// out of order falls back to the indexed membership probe.
     pub fn difference(&self, other: &Group) -> Group {
-        let d = self.procs.iter().copied().filter(|p| other.rank_of(*p).is_none()).collect();
-        Group { procs: d }
+        let mut cursor = 0usize;
+        let d = self
+            .procs
+            .iter()
+            .copied()
+            .filter(|&p| {
+                if other.procs.get(cursor) == Some(&p) {
+                    cursor += 1;
+                    return false;
+                }
+                other.rank_of(p).is_none()
+            })
+            .collect();
+        Group::new(d)
     }
 
     /// `MPI_Group_intersection`: members of both, in `self`'s rank order.
     pub fn intersection(&self, other: &Group) -> Group {
-        let d = self.procs.iter().copied().filter(|p| other.rank_of(*p).is_some()).collect();
-        Group { procs: d }
+        let mut cursor = 0usize;
+        let d = self
+            .procs
+            .iter()
+            .copied()
+            .filter(|&p| {
+                if other.procs.get(cursor) == Some(&p) {
+                    cursor += 1;
+                    return true;
+                }
+                other.rank_of(p).is_some()
+            })
+            .collect();
+        Group::new(d)
     }
 
     /// `MPI_Group_translate_ranks`: for each rank in `ranks` (relative to

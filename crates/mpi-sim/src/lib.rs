@@ -65,12 +65,14 @@ pub mod costmodel;
 pub mod datatype;
 pub mod error;
 pub mod faultplan;
+pub(crate) mod fiber;
 pub mod group;
 pub mod mailbox;
 pub mod metrics;
 pub mod proc;
 pub(crate) mod rendezvous;
 pub mod runtime;
+pub(crate) mod sched;
 pub mod spawn;
 pub mod topology;
 pub mod trace_export;
@@ -87,7 +89,7 @@ pub use metrics::{
     DEFAULT_TRACE_CAPACITY, OP_NAMES,
 };
 pub use proc::ProcId;
-pub use runtime::{run, Ctx, RecoveryScope, Report, RunConfig, TraceEvent, Value};
+pub use runtime::{run, Ctx, RecoveryScope, Report, RunConfig, SchedMode, TraceEvent, Value};
 pub use spawn::{comm_spawn_multiple, SpawnSpec};
 pub use topology::{Host, Hostfile};
 pub use trace_export::{to_chrome_trace, write_chrome_trace};

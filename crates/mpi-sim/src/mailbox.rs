@@ -7,10 +7,9 @@
 //! order per matching stream, exactly like MPI's non-overtaking rule.
 
 use std::collections::VecDeque;
-use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 /// Message tag. Negative tags are reserved for the runtime's own protocols.
 pub type Tag = i32;
@@ -65,9 +64,13 @@ fn take_matching(q: &mut VecDeque<Envelope>, pat: &Pattern) -> Option<Envelope> 
 }
 
 /// A process's incoming queue.
+///
+/// The mailbox itself is a pure data structure: blocking and wakeup live
+/// in the owner's [`crate::sched::Parker`]. A sender deposits with
+/// [`Mailbox::push`] and then wakes the destination's parker; a blocked
+/// receiver loops `try_take` → park.
 pub struct Mailbox {
     q: Mutex<VecDeque<Envelope>>,
-    cv: Condvar,
 }
 
 impl Default for Mailbox {
@@ -79,13 +82,13 @@ impl Default for Mailbox {
 impl Mailbox {
     /// Empty mailbox.
     pub fn new() -> Self {
-        Mailbox { q: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+        Mailbox { q: Mutex::new(VecDeque::new()) }
     }
 
-    /// Deposit a message and wake any blocked receiver.
+    /// Deposit a message. The caller is responsible for waking the
+    /// destination process afterwards.
     pub fn push(&self, e: Envelope) {
         self.q.lock().push_back(e);
-        self.cv.notify_all();
     }
 
     /// Is a message matching `pat` queued? (`MPI_Iprobe`-style peek; the
@@ -98,25 +101,6 @@ impl Mailbox {
     pub fn try_take(&self, pat: &Pattern) -> Option<Envelope> {
         let mut q = self.q.lock();
         take_matching(&mut q, pat)
-    }
-
-    /// Block until a matching message is available or `tick` elapses;
-    /// returns the message if one arrived. Callers loop, re-checking
-    /// failure conditions between ticks — that is what keeps the runtime
-    /// deadlock-free when a peer dies mid-conversation.
-    pub fn take_timeout(&self, pat: &Pattern, tick: Duration) -> Option<Envelope> {
-        let mut q = self.q.lock();
-        if let Some(e) = take_matching(&mut q, pat) {
-            return Some(e);
-        }
-        // One bounded wait, then re-scan; spurious wakeups are fine.
-        self.cv.wait_for(&mut q, tick);
-        take_matching(&mut q, pat)
-    }
-
-    /// Wake all blocked receivers (kill/revoke notification path).
-    pub fn notify_all(&self) {
-        self.cv.notify_all();
     }
 
     /// Number of queued messages (diagnostics).
@@ -183,23 +167,6 @@ mod tests {
     }
 
     #[test]
-    fn take_timeout_returns_queued_message_without_waiting() {
-        let mb = Mailbox::new();
-        mb.push(env(1, 0, 0));
-        let p = Pattern { cid: 1, src: Some(0), tag: Some(0) };
-        let t0 = std::time::Instant::now();
-        assert!(mb.take_timeout(&p, Duration::from_secs(5)).is_some());
-        assert!(t0.elapsed() < Duration::from_secs(1));
-    }
-
-    #[test]
-    fn take_timeout_times_out_empty() {
-        let mb = Mailbox::new();
-        let p = Pattern { cid: 1, src: None, tag: None };
-        assert!(mb.take_timeout(&p, Duration::from_millis(10)).is_none());
-    }
-
-    #[test]
     fn fifo_non_overtaking_within_a_matching_stream() {
         // MPI's non-overtaking rule: messages on the same (cid, src, tag)
         // stream are received in send order — through both the head
@@ -242,21 +209,25 @@ mod tests {
     }
 
     #[test]
-    fn cross_thread_wakeup() {
+    fn cross_thread_wakeup_via_parker() {
+        // The runtime's receive loop: try_take, park, re-check. The
+        // parker token protocol must make the pushed message visible.
+        use crate::proc::{ProcId, ProcState};
         use std::sync::Arc;
-        let mb = Arc::new(Mailbox::new());
-        let mb2 = mb.clone();
+        let me = Arc::new(ProcState::new(ProcId(42), 0));
+        let me2 = Arc::clone(&me);
         let h = std::thread::spawn(move || {
             let p = Pattern { cid: 7, src: Some(1), tag: Some(1) };
-            // Loop like the runtime does.
             loop {
-                if let Some(e) = mb2.take_timeout(&p, Duration::from_millis(50)) {
+                if let Some(e) = me2.mailbox.try_take(&p) {
                     return e.src_rank;
                 }
+                crate::sched::block_wait(&me2);
             }
         });
-        std::thread::sleep(Duration::from_millis(20));
-        mb.push(env(7, 1, 1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        me.mailbox.push(env(7, 1, 1));
+        me.wake();
         assert_eq!(h.join().unwrap(), 1);
     }
 }

@@ -231,7 +231,8 @@ pub struct RankMetrics {
 /// All per-rank metric snapshots of a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsReport {
-    /// One snapshot per process that ran (ordered by exit time).
+    /// One snapshot per process that ran (ordered by `ProcId`, i.e.
+    /// launch order — independent of scheduling).
     pub ranks: Vec<RankMetrics>,
 }
 

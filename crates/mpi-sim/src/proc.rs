@@ -1,20 +1,33 @@
 //! Process identity and fail-stop state.
 //!
-//! Each simulated MPI process is an OS thread plus a shared `ProcState`.
-//! A *kill* is a two-phase affair, mirroring a SIGKILL'd MPI rank:
+//! Each simulated MPI process is a fiber (pooled scheduler) or an OS
+//! thread (escape hatch) plus a shared `ProcState`. A *kill* is a
+//! two-phase affair, mirroring a SIGKILL'd MPI rank:
 //!
 //! 1. `killed` is set (by the failure generator or by [`crate::Ctx::die`]);
 //!    from this instant every peer treats the process as failed,
 //! 2. the victim notices the flag at its next runtime call (or wakes from a
 //!    blocking wait) and unwinds with the `KillSignal` sentinel panic,
-//!    which the thread shim catches, after which `dead` is set.
+//!    which the proc-body shim catches, after which `dead` is set.
 //!
 //! Peers never distinguish the phases: `ProcState::is_failed` is the
 //! fail-stop predicate everywhere.
+//!
+//! The *first* transition into the failed state (whichever phase gets
+//! there first) additionally bumps the global [`failure_epoch`] and the
+//! per-host live counter. While the epoch is unchanged, every
+//! failed-participant scan in the runtime is served from a cache — at
+//! 100k ranks that turns the per-collective cost from O(p²) into
+//! O(p log p).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
+use parking_lot::Mutex;
+
+use crate::fiber::Fiber;
 use crate::mailbox::Mailbox;
+use crate::sched::{Hub, Parker};
 
 /// Globally unique process identifier (stable across respawns: a respawned
 /// rank gets a *new* `ProcId`, exactly as a respawned MPI process is a new
@@ -22,12 +35,24 @@ use crate::mailbox::Mailbox;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcId(pub u64);
 
-/// Sentinel panic payload raised by a killed process. The thread shim in
-/// [`crate::runtime`] downcasts on it to tell fail-stop unwinds apart from
-/// genuine application panics.
+/// Sentinel panic payload raised by a killed process. The proc-body shim
+/// in [`crate::runtime`] downcasts on it to tell fail-stop unwinds apart
+/// from genuine application panics.
 pub(crate) struct KillSignal;
 
-/// Shared, lock-free view of one simulated process.
+/// Monotonic count of process failures, program-wide. 0 means "no
+/// process has ever failed in this address space": the common case for
+/// healthy runs, where every failure scan short-circuits. Caches keyed
+/// on the epoch *value* stay correct across concurrent runs — they
+/// re-scan whenever any run's failure moves the counter.
+static FAILURE_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn failure_epoch() -> u64 {
+    FAILURE_EPOCH.load(Ordering::Acquire)
+}
+
+/// Shared view of one simulated process.
 pub(crate) struct ProcState {
     /// Unique id.
     pub id: ProcId,
@@ -35,12 +60,23 @@ pub(crate) struct ProcState {
     pub host: usize,
     /// Kill requested (fail-stop begins here).
     pub killed: AtomicBool,
-    /// Thread has actually exited.
+    /// Fiber/thread has actually exited.
     pub dead: AtomicBool,
     /// Incoming message queue.
     pub mailbox: Mailbox,
     /// Last world-ish rank this process held; purely diagnostic.
     pub rank_hint: AtomicUsize,
+    /// Park/wake synchronizer for every blocking runtime op.
+    pub(crate) parker: Parker,
+    /// The rank's suspended continuation while parked or queued
+    /// (pooled mode only).
+    fiber_slot: Mutex<Option<Box<Fiber>>>,
+    /// Scheduler of the owning run; unset for standalone test procs.
+    hub: OnceLock<Weak<Hub>>,
+    /// Self-reference so `wake` can hand an `Arc` to the ready queue.
+    self_ref: OnceLock<Weak<ProcState>>,
+    /// First-failure latch guarding epoch bump + host-live decrement.
+    counted_failed: AtomicBool,
 }
 
 impl ProcState {
@@ -52,7 +88,24 @@ impl ProcState {
             dead: AtomicBool::new(false),
             mailbox: Mailbox::new(),
             rank_hint: AtomicUsize::new(usize::MAX),
+            parker: Parker::default(),
+            fiber_slot: Mutex::new(None),
+            hub: OnceLock::new(),
+            self_ref: OnceLock::new(),
+            counted_failed: AtomicBool::new(false),
         }
+    }
+
+    /// Wire this process to its run's scheduler. Done once at
+    /// allocation; standalone unit-test processes skip it and all hub
+    /// interactions degrade to no-ops.
+    pub(crate) fn attach_hub(self: &Arc<Self>, hub: &Arc<Hub>) {
+        assert!(self.hub.set(Arc::downgrade(hub)).is_ok(), "hub attached twice");
+        assert!(self.self_ref.set(Arc::downgrade(self)).is_ok(), "self_ref set twice");
+    }
+
+    fn hub(&self) -> Option<Arc<Hub>> {
+        self.hub.get().and_then(Weak::upgrade)
     }
 
     /// Fail-stop predicate: has this process failed from the point of view
@@ -62,17 +115,63 @@ impl ProcState {
         self.killed.load(Ordering::Acquire) || self.dead.load(Ordering::Acquire)
     }
 
-    /// Request a fail-stop kill. Wakes the victim's mailbox so a blocked
-    /// receive notices immediately.
-    pub fn kill(&self) {
-        self.killed.store(true, Ordering::Release);
-        self.mailbox.notify_all();
+    /// Wake this process if it is blocked in a runtime op: hand it to
+    /// the ready queue (fiber mode, exactly once per park) or signal its
+    /// timed wait (thread mode). Redundant wakes are cheap and safe.
+    pub(crate) fn wake(&self) {
+        if self.parker.notify() {
+            // We won the PARKED→runnable transition; requeue the fiber.
+            if let (Some(hub), Some(me)) = (self.hub(), self.self_ref.get().and_then(Weak::upgrade))
+            {
+                hub.enqueue(me);
+            }
+        }
     }
 
-    /// Mark the thread as exited (called by the thread shim only).
+    /// Stow the suspended continuation (worker/launcher side).
+    pub(crate) fn store_fiber(&self, f: Box<Fiber>) {
+        let prev = self.fiber_slot.lock().replace(f);
+        debug_assert!(prev.is_none(), "fiber slot already occupied");
+    }
+
+    /// Take the continuation to run it (worker side).
+    pub(crate) fn take_fiber(&self) -> Box<Fiber> {
+        self.fiber_slot.lock().take().expect("runnable proc has no fiber")
+    }
+
+    /// First-failure bookkeeping, exactly once per process regardless of
+    /// which phase (kill or death) gets here first.
+    fn note_failed_once(&self) {
+        if self
+            .counted_failed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            FAILURE_EPOCH.fetch_add(1, Ordering::AcqRel);
+            if let Some(hub) = self.hub() {
+                hub.note_first_failure(self.host);
+                // Peers blocked on this process have no targeted wake
+                // coming (the victim won't send); let everyone re-check
+                // its failure predicates. Rare and O(live parked).
+                hub.wake_all_parked();
+            }
+        }
+    }
+
+    /// Request a fail-stop kill. Wakes the victim so a blocked receive
+    /// notices immediately, and all parked peers so collectives observe
+    /// the failure.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::Release);
+        self.wake();
+        self.note_failed_once();
+    }
+
+    /// Mark the process as exited (called by the proc-body shim only,
+    /// on the fail-stop unwind path).
     pub fn mark_dead(&self) {
         self.dead.store(true, Ordering::Release);
-        self.mailbox.notify_all();
+        self.note_failed_once();
     }
 }
 
@@ -105,5 +204,15 @@ mod tests {
         assert!(!p.dead.load(Ordering::Acquire));
         p.mark_dead();
         assert!(p.is_failed());
+    }
+
+    #[test]
+    fn failure_epoch_bumps_once_per_process() {
+        let p = ProcState::new(ProcId(2), 0);
+        let e0 = failure_epoch();
+        p.kill();
+        p.kill();
+        p.mark_dead();
+        assert_eq!(failure_epoch(), e0 + 1);
     }
 }

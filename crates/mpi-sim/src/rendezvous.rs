@@ -3,8 +3,8 @@
 //! Every collective operation (including the ULFM ones) is executed through
 //! a per-communicator **operation table**: participants deposit a
 //! contribution under a `(sequence, kind)` key and block until the
-//! operation's outcome is available. The blocking wait is a condvar loop
-//! with a short tick that re-checks, on every iteration:
+//! operation's outcome is available. The blocking wait is a park/recheck
+//! loop (see [`crate::sched`]) that re-checks, on every wake:
 //!
 //! * *was I killed?* → unwind with the fail-stop sentinel,
 //! * *was the communicator revoked?* → finish the op with
@@ -15,10 +15,17 @@
 //! * *has everyone arrived?* → the last arriver computes the outcome once
 //!   and publishes it.
 //!
-//! No failure scenario can therefore wedge a collective: the worst case is
-//! the stall-detector timeout, which converts an application-level
-//! collective-ordering bug (which would deadlock real MPI) into
-//! [`Error::CollectiveMismatch`].
+//! No failure scenario can therefore wedge a collective: whoever resolves
+//! the op wakes every blocked participant, kills wake everyone, and the
+//! scheduler's idle sweep re-runs the checks whenever the system goes
+//! quiet — the worst case is the stall-detector timeout, which converts
+//! an application-level collective-ordering bug (which would deadlock
+//! real MPI) into [`Error::CollectiveMismatch`].
+//!
+//! Failure scans are cached per op against the global
+//! [`crate::proc::failure_epoch`]: while no new process fails, arrival
+//! accounting is O(contributions) instead of O(participants) per wake,
+//! which is what keeps 100k-rank collectives from going quadratic.
 //!
 //! The outcome also carries the operation's **virtual end time**
 //! `max(contributed clocks) + cost`, which is how collectives synchronize
@@ -31,10 +38,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
-use crate::proc::{KillSignal, ProcState};
+use crate::proc::{failure_epoch, KillSignal, ProcState};
 
 /// Collective kinds; part of the matching key so mismatched collectives
 /// surface as a mismatch instead of exchanging garbage.
@@ -107,6 +114,11 @@ struct OpState {
     /// before a slow rank arrives, which would then re-create it and
     /// observe a spurious failure).
     consumed_by: std::collections::BTreeSet<usize>,
+    /// Participant indices observed failed, valid as of `scan_epoch`.
+    /// Re-scanned only when the global failure epoch moves, so healthy
+    /// ops never pay the O(participants) scan after the first one.
+    failed_cache: Vec<usize>,
+    scan_epoch: u64,
 }
 
 impl OpState {
@@ -115,14 +127,30 @@ impl OpState {
             contrib: BTreeMap::new(),
             done: None,
             consumed_by: std::collections::BTreeSet::new(),
+            failed_cache: Vec::new(),
+            scan_epoch: 0, // matches the no-failures-ever epoch: cache is validly empty
         }
+    }
+
+    /// Bring `failed_cache` up to date with the global failure epoch.
+    fn refresh_failed(&mut self, participants: &[Arc<ProcState>]) {
+        let epoch = failure_epoch();
+        if self.scan_epoch == epoch {
+            return;
+        }
+        self.failed_cache = participants
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_failed())
+            .map(|(i, _)| i)
+            .collect();
+        self.scan_epoch = epoch;
     }
 }
 
 /// Per-communicator operation table.
 pub(crate) struct OpTable {
     inner: Mutex<HashMap<OpKey, OpState>>,
-    cv: Condvar,
 }
 
 impl Default for OpTable {
@@ -159,17 +187,9 @@ pub(crate) struct OpCtx<'a> {
     pub stall_timeout: Duration,
 }
 
-/// Condvar tick; bounds how stale a failure observation can be.
-const TICK: Duration = Duration::from_micros(500);
-
 impl OpTable {
     pub fn new() -> Self {
-        OpTable { inner: Mutex::new(HashMap::new()), cv: Condvar::new() }
-    }
-
-    /// Wake all waiters (revocation / kill notification path).
-    pub fn notify_all(&self) {
-        self.cv.notify_all();
+        OpTable { inner: Mutex::new(HashMap::new()) }
     }
 
     /// Execute one collective. `finish` computes, exactly once (in whichever
@@ -190,6 +210,16 @@ impl OpTable {
         let started = Instant::now();
         let mut finish = Some(finish);
         let mut deposited = false;
+        // Wake every blocked peer once the outcome is published. Waking
+        // under the table lock is fine (parker and ready-queue locks are
+        // leaves); only the resolving participant pays the O(p) sweep.
+        let wake_peers = |ctx: &OpCtx<'_>| {
+            for (i, p) in ctx.participants.iter().enumerate() {
+                if i != ctx.my_index {
+                    p.wake();
+                }
+            }
+        };
         let mut guard = self.inner.lock();
         loop {
             // Re-fetch each iteration: the map may be mutated between waits.
@@ -203,7 +233,9 @@ impl OpTable {
                     ctx.my_index
                 );
                 deposited = true;
-                self.cv.notify_all();
+                // No wake here: arrivals alone never unblock anyone — the
+                // last arriver resolves the op in its own loop below and
+                // wakes the others then.
             }
 
             // Fail-stop takes precedence over everything, including a
@@ -216,12 +248,17 @@ impl OpTable {
             if let Some(done) = &st.done {
                 let out = Arc::clone(done);
                 st.consumed_by.insert(ctx.my_index);
-                // Garbage-collect once every live participant has consumed.
-                let all_live_consumed = ctx
-                    .participants
-                    .iter()
-                    .enumerate()
-                    .all(|(i, p)| p.is_failed() || st.consumed_by.contains(&i));
+                // Garbage-collect once every live participant has
+                // consumed, i.e. every non-consumer is failed. The failed
+                // set comes from the epoch cache, so a full consume cycle
+                // is O(p log p), not O(p²).
+                st.refresh_failed(ctx.participants);
+                let n = ctx.participants.len();
+                let all_live_consumed = st.consumed_by.len() == n || {
+                    let failed_not_consumed =
+                        st.failed_cache.iter().filter(|i| !st.consumed_by.contains(i)).count();
+                    st.consumed_by.len() + failed_not_consumed == n
+                };
                 if all_live_consumed {
                     guard.remove(&key);
                 }
@@ -239,23 +276,16 @@ impl OpTable {
             if ctx.semantics.revocable && ctx.revoked.load(Ordering::Acquire) {
                 let t = max_clock(&st.contrib).max(contrib.clock) + ctx.fail_cost;
                 st.done = Some(Arc::new(Outcome { t_end: t, result: Err(Error::Revoked) }));
-                self.cv.notify_all();
+                wake_peers(&ctx);
                 continue;
             }
 
-            // Arrival / failure accounting.
-            let mut missing_live = 0usize;
-            let mut failed_missing: Vec<usize> = Vec::new();
-            for (idx, p) in ctx.participants.iter().enumerate() {
-                if st.contrib.contains_key(&idx) {
-                    continue;
-                }
-                if p.is_failed() {
-                    failed_missing.push(idx);
-                } else {
-                    missing_live += 1;
-                }
-            }
+            // Arrival / failure accounting, O(contributions + known
+            // failures) per wake thanks to the epoch cache.
+            st.refresh_failed(ctx.participants);
+            let failed_missing: Vec<usize> =
+                st.failed_cache.iter().filter(|i| !st.contrib.contains_key(i)).copied().collect();
+            let missing_live = ctx.participants.len() - st.contrib.len() - failed_missing.len();
 
             if missing_live == 0 {
                 if failed_missing.is_empty() || ctx.semantics.tolerant {
@@ -271,7 +301,7 @@ impl OpTable {
                         result: Err(Error::ProcFailed { ranks: failed_missing }),
                     }));
                 }
-                self.cv.notify_all();
+                wake_peers(&ctx);
                 continue;
             }
 
@@ -299,11 +329,15 @@ impl OpTable {
                     })
                 };
                 st.done = Some(Arc::new(Outcome { t_end: t, result }));
-                self.cv.notify_all();
+                wake_peers(&ctx);
                 continue;
             }
 
-            self.cv.wait_for(&mut guard, TICK);
+            // Park until a peer resolves the op, a kill lands, or the
+            // idle sweep fires (which is what drives the stall detector).
+            drop(guard);
+            crate::sched::block_wait(ctx.me);
+            guard = self.inner.lock();
         }
     }
 }
@@ -477,7 +511,7 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(20));
         revoked.store(true, Ordering::Release);
-        table.notify_all();
+        parts[0].wake();
         let out = h.join().unwrap();
         assert_eq!(out.result.as_ref().err(), Some(&Error::Revoked));
     }

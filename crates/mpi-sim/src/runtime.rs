@@ -1,13 +1,24 @@
-//! The universe: process creation, thread shims, virtual clocks, and the
-//! run report.
+//! The universe: process creation, the scheduler front-end, virtual
+//! clocks, and the run report.
 //!
-//! [`run`] plays the role of `mpirun`: it creates `world` processes (each
-//! an OS thread with a small stack), hands every one a [`Ctx`], and executes
-//! the application entry function in all of them. Processes spawned later
-//! through [`crate::spawn::comm_spawn_multiple`] re-enter the *same* entry
+//! [`run`] plays the role of `mpirun`: it creates `world` processes,
+//! hands every one a [`Ctx`], and executes the application entry function
+//! in all of them. Processes spawned later through
+//! [`crate::spawn::comm_spawn_multiple`] re-enter the *same* entry
 //! function, with [`Ctx::parent`] returning the intercommunicator to the
 //! spawning group — exactly how an MPI application distinguishes original
 //! from respawned processes via `MPI_Comm_get_parent`.
+//!
+//! Each simulated process is, by default, a stackful fiber cooperatively
+//! scheduled on a bounded worker pool ([`SchedMode::Pooled`]): it runs
+//! until it blocks in a runtime op, parks its continuation, and yields
+//! its worker to the next runnable rank. That is what lets one machine
+//! host 100k ranks. The legacy one-OS-thread-per-rank model survives as
+//! [`SchedMode::ThreadPerRank`] (and as the automatic fallback on
+//! targets without fiber support). Report assembly is deterministic by
+//! construction — every per-rank contribution is buffered and folded in
+//! `ProcId` order — so the same seed produces an identical [`Report`] at
+//! any worker count.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -27,7 +38,40 @@ use crate::metrics::{
     MetricsCell, MetricsReport, RankMetrics, RecoveryTimeline, TraceRing, DEFAULT_TRACE_CAPACITY,
 };
 use crate::proc::{KillSignal, ProcId, ProcState};
+use crate::sched::Hub;
 use crate::topology::Hostfile;
+
+/// Execution substrate for simulated ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Cooperative scheduling: every rank is a stackful fiber, run to its
+    /// next blocking point by a bounded pool of worker threads. The
+    /// default. Falls back to [`SchedMode::ThreadPerRank`] on targets
+    /// without fiber support.
+    Pooled {
+        /// Worker threads; 0 means "available parallelism".
+        workers: usize,
+    },
+    /// Legacy escape hatch: one OS thread per simulated rank. Kept until
+    /// pooled parity is beyond doubt; chokes on thread-spawn overhead
+    /// near a few thousand ranks.
+    ThreadPerRank,
+}
+
+impl SchedMode {
+    /// Resolve the default mode from the environment: `ULFM_SCHED=threads`
+    /// selects the escape hatch, `ULFM_WORKERS=N` sizes the pool.
+    fn from_env() -> SchedMode {
+        match std::env::var("ULFM_SCHED").as_deref() {
+            Ok("threads") | Ok("thread") | Ok("thread-per-rank") => SchedMode::ThreadPerRank,
+            _ => {
+                let workers =
+                    std::env::var("ULFM_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+                SchedMode::Pooled { workers }
+            }
+        }
+    }
+}
 
 /// Configuration for one simulated MPI job.
 #[derive(Clone)]
@@ -54,6 +98,8 @@ pub struct RunConfig {
     /// oldest events are evicted and [`Report::trace_dropped`] counts
     /// them. Set 0 to disable recording entirely.
     pub trace_capacity: usize,
+    /// How ranks execute: pooled fibers (default) or one OS thread each.
+    pub sched: SchedMode,
 }
 
 /// One traced operation on one rank (virtual times).
@@ -96,6 +142,7 @@ impl RunConfig {
             spare_hosts: 2,
             seed: 0x5eed,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            sched: SchedMode::from_env(),
         }
     }
 
@@ -111,6 +158,7 @@ impl RunConfig {
             spare_hosts: 2,
             seed: 0x5eed,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            sched: SchedMode::from_env(),
         }
     }
 
@@ -141,6 +189,19 @@ impl RunConfig {
         self.seed = seed;
         self
     }
+
+    /// Use the pooled scheduler with an explicit worker count (0 means
+    /// "available parallelism").
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.sched = SchedMode::Pooled { workers };
+        self
+    }
+
+    /// Use the legacy thread-per-rank execution model.
+    pub fn with_thread_per_rank(mut self) -> Self {
+        self.sched = SchedMode::ThreadPerRank;
+        self
+    }
 }
 
 /// A value deposited into the run blackboard by [`Ctx::report_f64`] etc.
@@ -156,6 +217,34 @@ pub enum Value {
 
 pub(crate) type EntryFn = dyn Fn(&mut Ctx) + Send + Sync;
 
+/// A deferred blackboard mutation. `Ctx::report_*` buffers these per
+/// rank; assembly replays them in `ProcId` order, so last-write-wins
+/// results and float accumulation are identical at any worker count.
+#[derive(Debug, Clone)]
+pub(crate) enum BbOp {
+    /// Overwrite the key (`report_f64` / `report_text` / `report_list`).
+    Set(Value),
+    /// Append to a series (`report_push`).
+    Push(f64),
+    /// Add to a scalar accumulator (`report_add`).
+    Add(f64),
+}
+
+/// Everything one terminated process contributes to the report.
+struct ExitRecord {
+    proc: ProcId,
+    /// Final virtual clock.
+    clock: f64,
+    /// `(hidden, exposed)` communication seconds.
+    comm: (f64, f64),
+    /// `(hidden, exposed)` checkpoint-I/O seconds.
+    io: (f64, f64),
+    /// Final per-rank counter snapshot.
+    metrics: RankMetrics,
+    /// Buffered blackboard mutations, in program order.
+    bb: Vec<(String, BbOp)>,
+}
+
 /// Shared state of one simulated job.
 pub(crate) struct Universe {
     pub hostfile: Hostfile,
@@ -166,27 +255,25 @@ pub(crate) struct Universe {
     pub seed: u64,
     pub entry: Arc<EntryFn>,
     next_proc: AtomicU64,
-    /// Every process ever created (world + spawned).
-    pub registry: Mutex<Vec<Arc<ProcState>>>,
+    /// Scheduler, sharded registry and per-host live counters. Also
+    /// built in thread-per-rank mode, where only the bookkeeping half is
+    /// used (no workers ever start).
+    pub(crate) hub: Arc<Hub>,
+    /// Fiber mode? Decided once in [`run`] (config + target support).
+    pooled: bool,
     live: AtomicUsize,
+    /// Thread-mode only: per-rank join handles. The pool has no per-rank
+    /// handles — workers are joined instead.
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     done_mx: Mutex<()>,
     done_cv: Condvar,
-    blackboard: Mutex<HashMap<String, Value>>,
+    /// Per-process exit records; sorted by id at assembly.
+    exits: Mutex<Vec<ExitRecord>>,
     app_errors: Mutex<Vec<String>>,
-    final_clocks: Mutex<Vec<(ProcId, f64)>>,
-    /// Accumulated `(hidden, exposed)` communication seconds over all
-    /// terminated processes (see [`Report::comm_hidden`]).
-    comm_time: Mutex<(f64, f64)>,
-    /// Accumulated `(hidden, exposed)` checkpoint-I/O seconds over all
-    /// terminated processes (see [`Report::io_hidden`]).
-    io_time: Mutex<(f64, f64)>,
     /// Capacity mirror of `trace` so the hot path can skip the lock when
     /// recording is disabled.
     trace_cap: usize,
     trace: Mutex<TraceRing>,
-    /// Final per-rank counter snapshots, pushed as each process exits.
-    metrics: Mutex<Vec<RankMetrics>>,
     /// Per-failure-event recovery timelines ([`Ctx::report_timeline`]).
     timelines: Mutex<Vec<RecoveryTimeline>>,
 }
@@ -195,25 +282,20 @@ impl Universe {
     pub fn alloc_proc(&self, host: usize) -> Arc<ProcState> {
         let id = ProcId(self.next_proc.fetch_add(1, Ordering::Relaxed));
         let p = Arc::new(ProcState::new(id, host));
-        self.registry.lock().push(Arc::clone(&p));
+        p.attach_hub(&self.hub);
+        self.hub.register(Arc::clone(&p));
         p
     }
 
-    /// Count of live (not failed, not finished... i.e. running) processes
-    /// per host — used to pick the least-loaded node for an unpinned spawn.
+    /// Count of live (never-failed) processes per host — used to pick the
+    /// least-loaded node for an unpinned spawn. Served from the hub's
+    /// incremental counters, O(hosts).
     pub fn live_per_host(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.hostfile.len()];
-        for p in self.registry.lock().iter() {
-            if !p.is_failed() {
-                if let Some(c) = counts.get_mut(p.host) {
-                    *c += 1;
-                }
-            }
-        }
-        counts
+        self.hub.live_per_host()
     }
 
-    /// Launch a process thread running the application entry.
+    /// Launch a process running the application entry: enqueue a fiber on
+    /// the pool, or spawn a dedicated OS thread in escape-hatch mode.
     pub fn launch(
         self: &Arc<Self>,
         me: Arc<ProcState>,
@@ -223,74 +305,95 @@ impl Universe {
     ) {
         self.live.fetch_add(1, Ordering::AcqRel);
         let uni = Arc::clone(self);
-        let builder = std::thread::Builder::new()
-            .name(format!("mpi-proc-{}", me.id.0))
-            .stack_size(self.stack_size);
-        let handle = builder
-            .spawn(move || {
-                let seed = uni.seed ^ me.id.0.wrapping_mul(0x9E3779B97F4A7C15);
-                let mut ctx = Ctx {
-                    uni: Arc::clone(&uni),
-                    me: Arc::clone(&me),
-                    clock: Cell::new(clock0),
-                    world: world.map(|(s, r)| Comm::from_shared(s, r)),
-                    parent: parent.map(|(s, r)| InterComm::new(s, 1, r)),
-                    rng: RefCell::new(StdRng::seed_from_u64(seed)),
-                    faults: RefCell::new(None),
-                    recovery_depth: Cell::new(0),
-                    comm_hidden: Cell::new(0.0),
-                    comm_exposed: Cell::new(0.0),
-                    io_hidden: Cell::new(0.0),
-                    io_exposed: Cell::new(0.0),
-                    io_pending: RefCell::new(Vec::new()),
-                    disk_free_at: Cell::new(0.0),
-                    metrics: MetricsCell::new(),
-                };
-                let entry = Arc::clone(&uni.entry);
-                let result = std::panic::catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
-                uni.final_clocks.lock().push((me.id, ctx.clock.get()));
-                uni.metrics.lock().push(ctx.metrics.snapshot(me.id.0, me.host));
-                {
-                    let mut ct = uni.comm_time.lock();
-                    ct.0 += ctx.comm_hidden.get();
-                    ct.1 += ctx.comm_exposed.get();
-                }
-                {
-                    // Async writes still in flight when the process exits
-                    // (or dies): the portion of their disk time this rank's
-                    // lifetime already covered counts as hidden; the rest
-                    // was never waited on by anyone and is dropped.
-                    let now = ctx.clock.get();
-                    for &(start, cost) in ctx.io_pending.borrow().iter() {
-                        let covered = (now - start).clamp(0.0, cost);
-                        ctx.io_hidden.set(ctx.io_hidden.get() + covered);
-                    }
-                    let mut io = uni.io_time.lock();
-                    io.0 += ctx.io_hidden.get();
-                    io.1 += ctx.io_exposed.get();
-                }
-                match result {
-                    Ok(()) => { /* normal completion */ }
-                    Err(payload) => {
-                        me.mark_dead();
-                        if payload.downcast_ref::<KillSignal>().is_none() {
-                            // Genuine application panic, not a fail-stop.
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".into());
-                            uni.app_errors.lock().push(format!("proc {} panicked: {msg}", me.id.0));
-                        }
-                    }
-                }
-                if uni.live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let _g = uni.done_mx.lock();
-                    uni.done_cv.notify_all();
-                }
-            })
-            .expect("failed to spawn simulated process thread");
-        self.handles.lock().push(handle);
+        if self.pooled {
+            let body_me = Arc::clone(&me);
+            let fiber = crate::fiber::Fiber::new(
+                self.stack_size,
+                Box::new(move || proc_body(&uni, &body_me, world, parent, clock0)),
+            );
+            me.store_fiber(fiber);
+            self.hub.enqueue(me);
+        } else {
+            let handle = std::thread::Builder::new()
+                .stack_size(self.stack_size)
+                .spawn(move || proc_body(&uni, &me, world, parent, clock0))
+                .expect("failed to spawn simulated process thread");
+            self.handles.lock().push(handle);
+        }
+    }
+}
+
+/// The body of one simulated process, shared by both execution
+/// substrates: build the [`Ctx`], run the application entry under
+/// `catch_unwind`, then fold this rank's contribution into the universe.
+fn proc_body(
+    uni: &Arc<Universe>,
+    me: &Arc<ProcState>,
+    world: Option<(Arc<CommShared>, usize)>,
+    parent: Option<(Arc<InterShared>, usize)>,
+    clock0: f64,
+) {
+    let seed = uni.seed ^ me.id.0.wrapping_mul(0x9E3779B97F4A7C15);
+    let mut ctx = Ctx {
+        uni: Arc::clone(uni),
+        me: Arc::clone(me),
+        clock: Cell::new(clock0),
+        world: world.map(|(s, r)| Comm::from_shared(s, r)),
+        parent: parent.map(|(s, r)| InterComm::new(s, 1, r)),
+        rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        faults: RefCell::new(None),
+        recovery_depth: Cell::new(0),
+        comm_hidden: Cell::new(0.0),
+        comm_exposed: Cell::new(0.0),
+        io_hidden: Cell::new(0.0),
+        io_exposed: Cell::new(0.0),
+        io_pending: RefCell::new(Vec::new()),
+        disk_free_at: Cell::new(0.0),
+        metrics: MetricsCell::new(),
+        bb: RefCell::new(Vec::new()),
+    };
+    let entry = Arc::clone(&uni.entry);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| entry(&mut ctx)));
+    {
+        // Async writes still in flight when the process exits (or dies):
+        // the portion of their disk time this rank's lifetime already
+        // covered counts as hidden; the rest was never waited on by
+        // anyone and is dropped.
+        let now = ctx.clock.get();
+        for &(start, cost) in ctx.io_pending.borrow().iter() {
+            let covered = (now - start).clamp(0.0, cost);
+            ctx.io_hidden.set(ctx.io_hidden.get() + covered);
+        }
+    }
+    uni.exits.lock().push(ExitRecord {
+        proc: me.id,
+        clock: ctx.clock.get(),
+        comm: (ctx.comm_hidden.get(), ctx.comm_exposed.get()),
+        io: (ctx.io_hidden.get(), ctx.io_exposed.get()),
+        metrics: ctx.metrics.snapshot(me.id.0, me.host),
+        bb: ctx.bb.take(),
+    });
+    match result {
+        Ok(()) => { /* normal completion */ }
+        Err(payload) => {
+            me.mark_dead();
+            if payload.downcast_ref::<KillSignal>().is_none() {
+                // Genuine application panic, not a fail-stop.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                uni.app_errors.lock().push(format!("proc {} panicked: {msg}", me.id.0));
+            }
+        }
+    }
+    if uni.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last process out: stop the pool and release a thread-mode
+        // `run` from its quiescence wait.
+        uni.hub.shutdown();
+        let _g = uni.done_mx.lock();
+        uni.done_cv.notify_all();
     }
 }
 
@@ -327,7 +430,8 @@ pub struct Report {
     /// async writes paid at a drain barrier), summed over ranks.
     pub io_exposed: f64,
     /// Per-operation trace: the newest [`RunConfig::trace_capacity`]
-    /// events (unordered; sort by `t_start` for a timeline).
+    /// events, sorted by `(proc, t_start)` (re-sort by `t_start` alone
+    /// for a global timeline).
     pub trace: Vec<TraceEvent>,
     /// Events evicted from the trace ring (or suppressed when recording
     /// was disabled). Nonzero means [`Report::op_totals`] undercounts —
@@ -447,6 +551,9 @@ pub struct Ctx {
     pub(crate) disk_free_at: Cell<f64>,
     /// Live per-rank counters, snapshotted into the report on exit.
     pub(crate) metrics: MetricsCell,
+    /// Buffered blackboard mutations (`report_*`), folded into the run
+    /// report in `ProcId` order at assembly.
+    pub(crate) bb: RefCell<Vec<(String, BbOp)>>,
 }
 
 /// Per-rank state of armed non-step fault sites.
@@ -532,11 +639,11 @@ impl Ctx {
     }
 
     /// How oversubscribed this process's node currently is: live processes
-    /// on the node divided by its slot count, never below 1.
+    /// on the node divided by its slot count, never below 1. O(1) via the
+    /// hub's per-host counters — this runs on every solver step.
     pub fn oversubscription(&self) -> f64 {
-        let live = self.uni.live_per_host();
         let slots = self.uni.profile.slots_per_host.max(1);
-        let here = live.get(self.me.host).copied().unwrap_or(0);
+        let here = self.uni.hub.live_on_host(self.me.host);
         (here as f64 / slots as f64).max(1.0)
     }
 
@@ -756,39 +863,52 @@ impl Ctx {
         self.rng.borrow_mut()
     }
 
-    /// Deposit a scalar into the run report (last write wins).
+    /// Let other ranks run for at least `dur` of *real* time without
+    /// advancing this rank's virtual clock. `std::thread::sleep` is wrong
+    /// under the pooled scheduler — it blocks a worker without yielding,
+    /// so the ranks being waited for may never get scheduled. This form
+    /// yields the fiber in a deadline loop (and degrades to a plain sleep
+    /// in thread mode). Test/demo aid for wall-clock cross-rank
+    /// coordination; simulated time uses [`Ctx::advance`].
+    pub fn sleep_real(&self, dur: Duration) {
+        let deadline = std::time::Instant::now() + dur;
+        if crate::fiber::in_fiber() {
+            while std::time::Instant::now() < deadline {
+                crate::fiber::yield_now();
+            }
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+
+    /// Deposit a scalar into the run report (last write wins, ties
+    /// broken by `ProcId` — reports are buffered per rank and replayed
+    /// in id order at assembly, so the outcome is scheduling-independent).
     pub fn report_f64(&self, key: &str, v: f64) {
-        self.uni.blackboard.lock().insert(key.to_string(), Value::F64(v));
+        self.bb.borrow_mut().push((key.to_string(), BbOp::Set(Value::F64(v))));
     }
 
     /// Deposit text into the run report.
     pub fn report_text(&self, key: &str, v: &str) {
-        self.uni.blackboard.lock().insert(key.to_string(), Value::Text(v.to_string()));
+        self.bb.borrow_mut().push((key.to_string(), BbOp::Set(Value::Text(v.to_string()))));
     }
 
     /// Deposit a whole series into the run report (last write wins —
     /// unlike [`Ctx::report_push`], retried phases don't accumulate
     /// duplicates).
     pub fn report_list(&self, key: &str, v: &[f64]) {
-        self.uni.blackboard.lock().insert(key.to_string(), Value::List(v.to_vec()));
+        self.bb.borrow_mut().push((key.to_string(), BbOp::Set(Value::List(v.to_vec()))));
     }
 
-    /// Append to a series in the run report.
+    /// Append to a series in the run report. Cross-rank appends land
+    /// grouped by rank, in `ProcId` order.
     pub fn report_push(&self, key: &str, v: f64) {
-        let mut bb = self.uni.blackboard.lock();
-        match bb.entry(key.to_string()).or_insert_with(|| Value::List(Vec::new())) {
-            Value::List(l) => l.push(v),
-            other => *other = Value::List(vec![v]),
-        }
+        self.bb.borrow_mut().push((key.to_string(), BbOp::Push(v)));
     }
 
     /// Add to a scalar accumulator in the run report.
     pub fn report_add(&self, key: &str, v: f64) {
-        let mut bb = self.uni.blackboard.lock();
-        match bb.entry(key.to_string()).or_insert(Value::F64(0.0)) {
-            Value::F64(x) => *x += v,
-            other => *other = Value::F64(v),
-        }
+        self.bb.borrow_mut().push((key.to_string(), BbOp::Add(v)));
     }
 
     pub(crate) fn me(&self) -> &Arc<ProcState> {
@@ -919,6 +1039,19 @@ where
         needed_hosts.max(config.profile.hosts.min(needed_hosts.max(1))) + config.spare_hosts;
     let hostfile = Hostfile::uniform("node", hosts, config.profile.slots_per_host.max(1));
 
+    let pooled = match config.sched {
+        SchedMode::Pooled { .. } => crate::fiber::SUPPORTED,
+        SchedMode::ThreadPerRank => false,
+    };
+    let workers = match config.sched {
+        SchedMode::Pooled { workers: 0 } => {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+        SchedMode::Pooled { workers } => workers,
+        SchedMode::ThreadPerRank => 0,
+    };
+
+    let hub = Hub::new(hostfile.len());
     let uni = Arc::new(Universe {
         hostfile,
         profile: config.profile.clone(),
@@ -928,23 +1061,23 @@ where
         seed: config.seed,
         entry: Arc::new(entry),
         next_proc: AtomicU64::new(0),
-        registry: Mutex::new(Vec::new()),
+        hub: Arc::clone(&hub),
+        pooled,
         live: AtomicUsize::new(0),
         handles: Mutex::new(Vec::new()),
         done_mx: Mutex::new(()),
         done_cv: Condvar::new(),
-        blackboard: Mutex::new(HashMap::new()),
+        exits: Mutex::new(Vec::new()),
         app_errors: Mutex::new(Vec::new()),
-        final_clocks: Mutex::new(Vec::new()),
-        comm_time: Mutex::new((0.0, 0.0)),
-        io_time: Mutex::new((0.0, 0.0)),
         trace_cap: config.trace_capacity,
         trace: Mutex::new(TraceRing::new(config.trace_capacity)),
-        metrics: Mutex::new(Vec::new()),
         timelines: Mutex::new(Vec::new()),
     });
 
     // Block placement of the initial world, like `mpirun --map-by slot`.
+    // Every world rank is launched before the first worker starts: `live`
+    // must reach `world` before any rank can exit, or a fast-finishing
+    // prefix could drive it to 0 and shut the pool down mid-launch.
     let mut procs = Vec::with_capacity(config.world);
     for rank in 0..config.world {
         let host = uni.hostfile.host_of_rank(rank).expect("hostfile too small for requested world");
@@ -957,44 +1090,90 @@ where
         uni.launch(p, Some((Arc::clone(&world_shared), rank)), None, 0.0);
     }
 
-    // Wait for quiescence: no live threads left (children included).
-    {
-        let mut g = uni.done_mx.lock();
-        while uni.live.load(Ordering::Acquire) != 0 {
-            uni.done_cv.wait_for(&mut g, Duration::from_millis(50));
+    if pooled {
+        if config.world == 0 {
+            hub.shutdown(); // nothing will ever run; don't strand workers
         }
-    }
-    // Join every thread ever launched.
-    loop {
-        let handle = uni.handles.lock().pop();
-        match handle {
-            Some(h) => {
-                let _ = h.join();
+        // Workers exit when the last process flips the shutdown flag.
+        for h in hub.start_workers(workers) {
+            let _ = h.join();
+        }
+    } else {
+        // Wait for quiescence: no live threads left (children included).
+        {
+            let mut g = uni.done_mx.lock();
+            while uni.live.load(Ordering::Acquire) != 0 {
+                uni.done_cv.wait_for(&mut g, Duration::from_millis(50));
             }
-            None => {
-                if uni.live.load(Ordering::Acquire) == 0 {
-                    break;
+        }
+        // Join every thread ever launched.
+        loop {
+            let handle = uni.handles.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => {
+                    if uni.live.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
                 }
             }
         }
     }
 
-    let registry = uni.registry.lock();
-    let procs_created = registry.len();
-    let procs_failed = registry.iter().filter(|p| p.is_failed()).count();
-    drop(registry);
-    let makespan = uni.final_clocks.lock().iter().fold(0.0_f64, |m, &(_, c)| m.max(c));
-    let (comm_hidden, comm_exposed) = *uni.comm_time.lock();
-    let (io_hidden, io_exposed) = *uni.io_time.lock();
+    let procs_created = hub.procs_created();
+    let procs_failed = hub.procs_failed();
 
-    let values = uni.blackboard.lock().clone();
-    let app_errors = uni.app_errors.lock().clone();
-    let (trace, trace_dropped) = {
+    // Deterministic assembly: every per-rank contribution is folded in
+    // `ProcId` order, whatever order the scheduler retired the ranks in.
+    let mut exits = std::mem::take(&mut *uni.exits.lock());
+    exits.sort_by_key(|e| e.proc);
+    let makespan = exits.iter().fold(0.0_f64, |m, e| m.max(e.clock));
+    let (mut comm_hidden, mut comm_exposed) = (0.0_f64, 0.0_f64);
+    let (mut io_hidden, mut io_exposed) = (0.0_f64, 0.0_f64);
+    let mut values: HashMap<String, Value> = HashMap::new();
+    for e in &exits {
+        comm_hidden += e.comm.0;
+        comm_exposed += e.comm.1;
+        io_hidden += e.io.0;
+        io_exposed += e.io.1;
+        for (key, op) in &e.bb {
+            match op {
+                BbOp::Set(v) => {
+                    values.insert(key.clone(), v.clone());
+                }
+                BbOp::Push(x) => {
+                    match values.entry(key.clone()).or_insert_with(|| Value::List(Vec::new())) {
+                        Value::List(l) => l.push(*x),
+                        other => *other = Value::List(vec![*x]),
+                    }
+                }
+                BbOp::Add(x) => match values.entry(key.clone()).or_insert(Value::F64(0.0)) {
+                    Value::F64(v) => *v += *x,
+                    other => *other = Value::F64(*x),
+                },
+            }
+        }
+    }
+    let metrics = MetricsReport { ranks: exits.iter().map(|e| e.metrics.clone()).collect() };
+
+    let mut app_errors = std::mem::take(&mut *uni.app_errors.lock());
+    app_errors.sort();
+    let (mut trace, trace_dropped) = {
         let ring = uni.trace.lock();
         (ring.events(), ring.dropped())
     };
-    let metrics = MetricsReport { ranks: uni.metrics.lock().clone() };
-    let mut timelines = uni.timelines.lock().clone();
+    trace.sort_by(|a, b| {
+        a.proc
+            .cmp(&b.proc)
+            .then(a.t_start.total_cmp(&b.t_start))
+            .then(a.t_end.total_cmp(&b.t_end))
+            .then(a.op.cmp(b.op))
+            .then(a.cid.cmp(&b.cid))
+            .then(a.bytes.cmp(&b.bytes))
+    });
+    let mut timelines = std::mem::take(&mut *uni.timelines.lock());
     timelines.sort_by(|a, b| a.t_start.total_cmp(&b.t_start).then(a.event.cmp(&b.event)));
     Report {
         values,

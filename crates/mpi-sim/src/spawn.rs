@@ -56,7 +56,9 @@ pub fn comm_spawn_multiple(ctx: &Ctx, comm: &Comm, specs: &[SpawnSpec]) -> Resul
     let uni = Arc::clone(ctx.universe());
     let specs = specs.to_vec();
     let model = ctx.model_handle();
-    let parents = comm.members().to_vec();
+    // Capture the communicator's shared handle instead of cloning the
+    // member vec in every rank (that clone made spawn O(p²) overall).
+    let parents = Arc::clone(comm_shared(comm));
     let key = comm.next_key(OpKind::Spawn);
     let opctx = OpCtx {
         my_index: comm.rank(),
@@ -107,12 +109,7 @@ pub fn comm_spawn_multiple(ctx: &Ctx, comm: &Comm, specs: &[SpawnSpec]) -> Resul
             // Create the children and their spawn-group world.
             let children: Vec<_> = placements.iter().map(|&h| uni.alloc_proc(h)).collect();
             let child_world = crate::comm::CommShared::new(children.clone());
-            let inter = Arc::new(InterShared {
-                cid: crate::comm::alloc_cid(),
-                groups: [parents.clone(), children.clone()],
-                revoked: AtomicBool::new(false),
-                ops: crate::rendezvous::OpTable::new(),
-            });
+            let inter = InterShared::new([parents.members.clone(), children.clone()]);
             // Children start their clocks at the spawn's completion time.
             let t_birth = contrib.values().fold(0.0_f64, |m, c| m.max(c.clock)) + cost;
             for (i, child) in children.into_iter().enumerate() {
@@ -141,6 +138,10 @@ pub fn comm_spawn_multiple(ctx: &Ctx, comm: &Comm, specs: &[SpawnSpec]) -> Resul
 // of its field layout.
 fn comm_ops(comm: &Comm) -> &crate::rendezvous::OpTable {
     &comm.shared.ops
+}
+
+fn comm_shared(comm: &Comm) -> &Arc<crate::comm::CommShared> {
+    &comm.shared
 }
 
 fn comm_revoked_flag(comm: &Comm) -> &AtomicBool {

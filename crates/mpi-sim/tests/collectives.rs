@@ -362,7 +362,7 @@ fn nonblocking_recv_from_dead_source_errors_on_test() {
         if w.rank() == 1 {
             ctx.die();
         }
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        ctx.sleep_real(std::time::Duration::from_millis(20));
         let mut out: Vec<u64> = Vec::new();
         let mut req = w.irecv_into(ctx, 1, 9, &mut out).unwrap();
         match req.test(ctx) {

@@ -18,7 +18,7 @@ fn kill_while_blocked_in_barrier() {
         let w = ctx.initial_world().unwrap();
         if w.rank() == 0 {
             // Give rank 3 time to block in the barrier, then kill it.
-            std::thread::sleep(Duration::from_millis(30));
+            ctx.sleep_real(Duration::from_millis(30));
             w.inject_kill(3);
         }
         match w.barrier(ctx) {
@@ -44,7 +44,7 @@ fn kill_while_blocked_in_recv() {
         let w = ctx.initial_world().unwrap();
         match w.rank() {
             0 => {
-                std::thread::sleep(Duration::from_millis(30));
+                ctx.sleep_real(Duration::from_millis(30));
                 w.inject_kill(2);
                 // 2 was waiting for this message; it must never compute on it.
                 let _ = w.send_one(ctx, 2, 1, 42u8);
@@ -233,7 +233,7 @@ fn revoke_releases_blocked_receiver() {
                 }
             }
             0 => {
-                std::thread::sleep(Duration::from_millis(30));
+                ctx.sleep_real(Duration::from_millis(30));
                 w.revoke(ctx);
             }
             _ => {
@@ -257,7 +257,7 @@ fn failed_rank_set_is_consistent_across_survivors() {
             let w = ctx.initial_world().unwrap();
             if plan.strikes(w.rank(), 0) {
                 // Stagger deaths to randomize observation order.
-                std::thread::sleep(Duration::from_millis((w.rank() % 3) as u64 * 7));
+                ctx.sleep_real(Duration::from_millis((w.rank() % 3) as u64 * 7));
                 ctx.die();
             }
             let _ = w.barrier(ctx);

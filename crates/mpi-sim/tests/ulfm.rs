@@ -12,7 +12,7 @@ fn send_to_failed_rank_errors() {
             2 => ctx.die(),
             0 => {
                 // Give the victim a moment to die, then observe the failure.
-                std::thread::sleep(std::time::Duration::from_millis(20));
+                ctx.sleep_real(std::time::Duration::from_millis(20));
                 let e = w.send_one(ctx, 2, 1, 1u8).unwrap_err();
                 assert!(e.is_proc_failed());
                 ctx.report_f64("observed", 1.0);
@@ -136,7 +136,7 @@ fn shrink_works_on_revoked_comm_but_collectives_do_not() {
             loop {
                 match w.send_one(ctx, 3, 1, 0u8) {
                     Err(Error::Revoked) => break,
-                    Ok(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                    Ok(_) => ctx.sleep_real(std::time::Duration::from_millis(1)),
                     Err(e) => panic!("unexpected {e}"),
                 }
             }
