@@ -2,10 +2,15 @@
 //! oracles and failing-case minimization (see `ftsg_bench::chaos`).
 //!
 //! ```text
-//! expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage]
-//!            [--no-corrupt] [--corrupt-only] [--json PATH] [--repro SPEC]
-//!            [--artifacts DIR]
+//! expt-chaos [--budget N] [--seed S] [--policy P] [--stall-secs T]
+//!            [--sabotage] [--no-corrupt] [--corrupt-only] [--json PATH]
+//!            [--repro SPEC] [--artifacts DIR]
 //! ```
+//!
+//! `--policy` runs every sampled case under the given recovery policy
+//! (`respawn` (default), `shrink`, `substitute`, `defer`); sampling is
+//! policy-independent, so campaigns with the same seed examine the same
+//! fault sites under each policy.
 //!
 //! Exit code 0 when every examined case satisfies all oracles, 1 when any
 //! violation was found (the minimized repro specs are printed and, with
@@ -14,6 +19,7 @@
 use std::time::Duration;
 
 use ftsg_bench::chaos::{self, CampaignOpts, CaseRecord};
+use ftsg_core::RecoveryPolicy;
 
 struct Cli {
     opts: CampaignOpts,
@@ -25,8 +31,9 @@ fn parse_args() -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || -> ! {
         eprintln!(
-            "usage: expt-chaos [--budget N] [--seed S] [--stall-secs T] [--sabotage] \
-             [--no-corrupt] [--corrupt-only] [--json PATH] [--repro SPEC] [--artifacts DIR]"
+            "usage: expt-chaos [--budget N] [--seed S] [--policy respawn|shrink|substitute|defer] \
+             [--stall-secs T] [--sabotage] [--no-corrupt] [--corrupt-only] [--json PATH] \
+             [--repro SPEC] [--artifacts DIR]"
         );
         std::process::exit(2);
     };
@@ -40,6 +47,10 @@ fn parse_args() -> Cli {
         match args[i].as_str() {
             "--budget" => cli.opts.budget = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => cli.opts.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                cli.opts.policy =
+                    RecoveryPolicy::from_label(&take(&mut i)).unwrap_or_else(|| usage())
+            }
             "--stall-secs" => {
                 cli.opts.stall =
                     Duration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage()))
@@ -98,9 +109,10 @@ fn main() {
         "off"
     };
     println!(
-        "chaos campaign: budget={} seed={} sabotage={} stall={}s corruption={corrupt_mix}",
+        "chaos campaign: budget={} seed={} policy={} sabotage={} stall={}s corruption={corrupt_mix}",
         cli.opts.budget,
         cli.opts.seed,
+        cli.opts.policy.label(),
         cli.opts.sabotage,
         cli.opts.stall.as_secs()
     );

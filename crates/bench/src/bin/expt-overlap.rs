@@ -7,77 +7,12 @@
 //! points at an NDJSON file produced by the criterion shim, those entries
 //! are merged into the `results` array.
 
-use std::sync::Arc;
-
 use advect2d::AdvectionProblem;
-use ftsg_core::gather::{binomial_combine, recv_grid_into, send_grid, GridScratch};
+use ftsg_bench::experiments::overlap::combine_makespan;
 use ftsg_core::layout::GroupInfo;
 use ftsg_core::psolve::DistributedSolver;
-use sparsegrid::{
-    combine_onto, gcp_coefficients, CombinationTerm, Grid2, GridSystem, Layout, LevelPair,
-};
+use sparsegrid::LevelPair;
 use ulfm_sim::{run, Report, RunConfig};
-
-/// The classical (n, l = 4) combination terms, one per group leader.
-fn classical_terms(n: u32) -> (LevelPair, Vec<(f64, Grid2)>) {
-    let sys = GridSystem::new(n, 4, Layout::Plain);
-    let coeffs = gcp_coefficients(&sys.classical_downset());
-    let terms = coeffs
-        .iter()
-        .filter(|(_, &c)| c != 0)
-        .map(|(&lv, &c)| (c as f64, Grid2::from_fn(lv, |x, y| (4.7 * x).sin() * (2.9 * y).cos())))
-        .collect();
-    (sys.min_level(), terms)
-}
-
-/// One combination phase over a world of G leaders, replicating the cost
-/// accounting of `run_app`'s combine phase for the chosen mode. Returns
-/// the virtual makespan.
-fn combine_makespan(n: u32, central: bool) -> f64 {
-    let (target, data) = classical_terms(n);
-    let world = data.len();
-    let td = Arc::new(data);
-    let report = run(RunConfig::local(world), move |ctx| {
-        let w = ctx.initial_world().unwrap();
-        let me = w.rank();
-        let (coeff, grid) = &td[me];
-        if central {
-            // Reference path: leaders ship whole component grids to the
-            // controller, which left-folds the combination serially.
-            if me != 0 {
-                send_grid(ctx, &w, 0, 9000 + me as i32, grid).unwrap();
-            } else {
-                let mut scratch = GridScratch::default();
-                let mut sources: Vec<(f64, Grid2)> = vec![(*coeff, grid.clone())];
-                for src in 1..w.size() {
-                    let g = recv_grid_into(ctx, &w, src, 9000 + src as i32, &mut scratch).unwrap();
-                    sources.push((td[src].0, g));
-                }
-                let terms: Vec<CombinationTerm> =
-                    sources.iter().map(|(c, g)| CombinationTerm { coeff: *c, grid: g }).collect();
-                let combined = combine_onto(target, &terms);
-                ctx.compute_cells((terms.len() * target.points()) as u64);
-                assert!(combined.values()[1].is_finite());
-            }
-        } else {
-            // Tree path: every leader materializes its own term, then the
-            // partials flow down the binomial tree.
-            let term = CombinationTerm { coeff: *coeff, grid };
-            let part = combine_onto(target, std::slice::from_ref(&term));
-            ctx.compute_cells(target.points() as u64);
-            let leaders: Vec<usize> = (0..w.size()).collect();
-            let mut scratch = Vec::new();
-            let combined =
-                binomial_combine(ctx, &w, &leaders, 0, target, Some(part), &mut scratch, 9500)
-                    .unwrap();
-            if me == 0 {
-                assert!(combined.unwrap().values()[1].is_finite());
-            }
-        }
-    });
-    report.assert_no_app_errors();
-    report.makespan
-}
 
 /// A 2×2 distributed solve, overlapped or blocking stepper.
 fn step_report(level: LevelPair, steps: u64, overlapped: bool) -> Report {
@@ -98,23 +33,7 @@ fn step_report(level: LevelPair, steps: u64, overlapped: bool) -> Report {
     report
 }
 
-/// UTC date (YYYY-MM-DD) from the system clock, no external crates.
-fn utc_today() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = yoe + era * 400 + i64::from(m <= 2);
-    format!("{y:04}-{m:02}-{d:02}")
-}
+use ftsg_bench::table::utc_today;
 
 fn main() {
     let mut virt = Vec::new();

@@ -1,0 +1,68 @@
+//! `expt-regress` — bench-regression gate: re-measure the level-9 step
+//! speedup, the n9 combine-tree speedup and the ~1k-rank pooled scale
+//! wall, and fail (exit 1) if any slips more than 15% against the
+//! committed `BENCH_pr1.json` / `BENCH_pr3.json` / `BENCH_pr6.json`
+//! baselines (see `ftsg_bench::experiments::regress`).
+//!
+//! ```text
+//! expt-regress [--dir PATH] [--iters K]
+//! ```
+//!
+//! `--dir` points at the directory holding the committed baselines
+//! (default `.`, the repo root); `--iters` sets the timed repetitions per
+//! wall-clock measurement (default 30, median taken).
+
+use ftsg_bench::experiments::regress;
+
+fn usage() -> ! {
+    eprintln!("usage: expt-regress [--dir PATH] [--iters K]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = ".".to_string();
+    let mut iters = 30usize;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--dir" => dir = take(&mut i),
+            "--iters" => iters = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match regress::run(&dir, iters) {
+        Ok(report) => {
+            report.table().emit("results/regress.csv");
+            if report.all_pass() {
+                println!(
+                    "regression gate: PASS ({} gates within {:.0}%)",
+                    report.gates.len(),
+                    report.tolerance * 100.0
+                );
+            } else {
+                for g in report.gates.iter().filter(|g| !g.pass) {
+                    eprintln!(
+                        "regression gate: {} regressed beyond {:.0}%: baseline {:.4} vs fresh \
+                         {:.4} ({})",
+                        g.name,
+                        report.tolerance * 100.0,
+                        g.baseline,
+                        g.fresh,
+                        g.source
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("expt-regress: {e}");
+            std::process::exit(2);
+        }
+    }
+}

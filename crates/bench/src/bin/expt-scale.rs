@@ -17,12 +17,13 @@
 use std::time::Duration;
 
 use ftsg_bench::experiments::scale::{orchestrate, run_child, ChildSpec, ScaleOpts};
+use ftsg_core::RecoveryPolicy;
 
 fn usage() -> ! {
     eprintln!(
         "usage: expt-scale [--smoke] [--threads-per-rank] [--scales a,b,c] [--n N] \
          [--steps LOG2] [--failures F] [--seed S] [--workers W] [--stack-kb K] \
-         [--timeout-secs T] [--out PATH]"
+         [--policy respawn|shrink|substitute|defer] [--timeout-secs T] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -37,6 +38,7 @@ fn child_main(args: &[String]) -> ! {
         threads: false,
         workers: 0,
         stack_kb: 1024,
+        policy: RecoveryPolicy::Respawn,
     };
     let mut i = 0;
     while i < args.len() {
@@ -54,6 +56,9 @@ fn child_main(args: &[String]) -> ! {
             "--mode" => spec.threads = take(&mut i) == "threads",
             "--workers" => spec.workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--stack-kb" => spec.stack_kb = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                spec.policy = RecoveryPolicy::from_label(&take(&mut i)).unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
         i += 1;
@@ -88,6 +93,9 @@ fn main() {
             "--seed" => o.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--workers" => o.workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--stack-kb" => o.stack_kb = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                o.policy = RecoveryPolicy::from_label(&take(&mut i)).unwrap_or_else(|| usage())
+            }
             "--timeout-secs" => {
                 o.timeout = Duration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage()))
             }

@@ -55,7 +55,8 @@ use std::time::Duration;
 
 use ftsg_core::app::keys;
 use ftsg_core::{
-    run_app, AppConfig, CorruptKind, CorruptionPlan, CorruptionStrike, ProcLayout, Technique,
+    run_app, AppConfig, CorruptKind, CorruptionPlan, CorruptionStrike, ProcLayout, RecoveryPolicy,
+    Technique,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -75,6 +76,17 @@ pub const DEFAULT_STALL_SECS: u64 = 30;
 /// factor of the no-failure baseline (generous multi-failure version of
 /// the paper's Fig. 10 single-failure factor-10 observation).
 pub const APPROX_ENVELOPE: f64 = 64.0;
+/// O3 envelope for `ShrinkRedistribute`: the run continues *without* the
+/// dropped grids, so the combined solution degrades with every loss —
+/// the robust combination must still keep the absolute l1 error under
+/// this cap (campaigns with up to 3 victims on the small shape measure
+/// ≤ ~0.11; the cap leaves generous headroom while still catching a
+/// blown combination, whose error is O(1)).
+pub const SHRINK_ERR_CAP: f64 = 0.5;
+/// Spares provisioned for every `SpareSubstitute` chaos case. Campaign
+/// cases inject at most 3 failures, so promotion never runs out and the
+/// spawn fallback stays a deliberate (separately tested) path.
+pub const CHAOS_SPARES: usize = 4;
 /// O4: makespan must stay under `base * MAKESPAN_FACTOR + MAKESPAN_SLACK`
 /// virtual seconds.
 pub const MAKESPAN_FACTOR: f64 = 50.0;
@@ -141,11 +153,13 @@ impl CaseShape {
     }
 }
 
-/// One fault-injection case: a technique, a shape, a victim list, and
-/// (for corruption cases) one checkpoint-corruption strike.
+/// One fault-injection case: a technique, a recovery policy, a shape, a
+/// victim list, and (for corruption cases) one checkpoint-corruption
+/// strike.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaosCase {
     pub technique: Technique,
+    pub policy: RecoveryPolicy,
     pub shape: CaseShape,
     pub victims: Vec<(usize, FaultSite)>,
     pub corruption: Option<CorruptionStrike>,
@@ -212,15 +226,32 @@ fn parse_technique(s: &str) -> Result<Technique, String> {
         .ok_or_else(|| format!("unknown technique {s:?} (want CR, RC, AC, or BC)"))
 }
 
+/// Parse the leading `TECH[+policy]` spec segment (`CR`, `CR+shrink`, …).
+/// A bare technique means the default `Respawn` policy.
+fn parse_tech_policy(s: &str) -> Result<(Technique, RecoveryPolicy), String> {
+    match s.split_once('+') {
+        None => Ok((parse_technique(s)?, RecoveryPolicy::Respawn)),
+        Some((t, p)) => Ok((
+            parse_technique(t)?,
+            RecoveryPolicy::from_label(p)
+                .ok_or_else(|| format!("unknown recovery policy {p:?} in {s:?}"))?,
+        )),
+    }
+}
+
 impl ChaosCase {
     /// One-line repro spec, e.g. `CR/n6l3s1k5c2/3@step:16+5@op:gather:1`
     /// (corruption cases carry a fourth segment:
-    /// `CR/n6l3s1k5c2/3@step:12/corrupt:g2:s10:flip:40:3`).
+    /// `CR/n6l3s1k5c2/3@step:12/corrupt:g2:s10:flip:40:3`). A non-default
+    /// recovery policy rides on the technique: `CR+shrink/…`.
     pub fn spec(&self) -> String {
         let victims: Vec<String> =
             self.victims.iter().map(|(r, s)| format!("{r}@{}", site_spec(s))).collect();
-        let mut out =
-            format!("{}/{}/{}", self.technique.label(), self.shape.spec(), victims.join("+"));
+        let tech = match self.policy {
+            RecoveryPolicy::Respawn => self.technique.label().to_string(),
+            p => format!("{}+{}", self.technique.label(), p.label()),
+        };
+        let mut out = format!("{}/{}/{}", tech, self.shape.spec(), victims.join("+"));
         if let Some(strike) = &self.corruption {
             out.push('/');
             out.push_str(&corrupt_spec(strike));
@@ -236,7 +267,7 @@ impl ChaosCase {
             [t, s, v, c] => (t, s, v, Some(parse_corrupt(c)?)),
             _ => return Err(format!("bad case spec {spec:?} (want TECH/SHAPE/VICTIMS[/CORRUPT])")),
         };
-        let technique = parse_technique(tech)?;
+        let (technique, policy) = parse_tech_policy(tech)?;
         let shape = CaseShape::parse(shape)?;
         let mut vs = Vec::new();
         for v in victims.split('+') {
@@ -244,7 +275,7 @@ impl ChaosCase {
             let rank: usize = rank.parse().map_err(|_| format!("bad victim rank in {v:?}"))?;
             vs.push((rank, parse_site(site)?));
         }
-        Ok(ChaosCase { technique, shape, victims: vs, corruption: corrupt })
+        Ok(ChaosCase { technique, policy, shape, victims: vs, corruption: corrupt })
     }
 
     /// The dominant site kind of this case (`corrupt` > `recovery` > `op`
@@ -279,7 +310,10 @@ impl ChaosCase {
     }
 
     fn app_config(&self, plan: FaultPlan) -> AppConfig {
-        let mut cfg = AppConfig::small(self.technique);
+        let mut cfg = AppConfig::small(self.technique).with_recovery_policy(self.policy);
+        if self.policy == RecoveryPolicy::SpareSubstitute {
+            cfg = cfg.with_spares(CHAOS_SPARES);
+        }
         cfg.n = self.shape.n;
         cfg.l = self.shape.l;
         cfg.scale = self.shape.scale;
@@ -320,6 +354,14 @@ pub struct CaseResult {
     pub makespan: f64,
     pub rank_hosts: Vec<f64>,
     pub rank_grids: Vec<f64>,
+    /// Final communicator size (`world`; `None` if the controller never
+    /// reported it).
+    pub world: Option<f64>,
+    /// Current-rank → original-rank map (gathered only under the shrink
+    /// and substitute policies; empty otherwise).
+    pub rank_orig: Vec<f64>,
+    /// Grids dropped by `ShrinkRedistribute` (empty for other policies).
+    pub dropped_grids: Vec<f64>,
     pub timelines: Vec<RecoveryTimeline>,
     /// Corrupt/torn checkpoint files the restart fallback skipped
     /// (`ckpt_skipped_corrupt`; `None` when no restore ran).
@@ -334,7 +376,7 @@ pub struct CaseResult {
 /// artifact path: trace + timelines for a failing repro).
 pub fn run_case_report(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -> Report {
     let cfg = case.app_config(plan);
-    let world = case.layout().world_size();
+    let world = cfg.world_size(case.layout().world_size());
     let mut rc = RunConfig::local(world).with_seed(seed);
     rc.stall_timeout = stall;
     run(rc, move |ctx| run_app(&cfg, ctx))
@@ -351,27 +393,45 @@ pub fn run_case(case: &ChaosCase, plan: FaultPlan, seed: u64, stall: Duration) -
         makespan: report.makespan,
         rank_hosts: report.get_list(keys::RANK_HOSTS).unwrap_or_default().to_vec(),
         rank_grids: report.get_list(keys::RANK_GRIDS).unwrap_or_default().to_vec(),
+        world: report.get_f64(keys::WORLD),
+        rank_orig: report.get_list(keys::RANK_ORIG).unwrap_or_default().to_vec(),
+        dropped_grids: report.get_list(keys::DROPPED_GRIDS).unwrap_or_default().to_vec(),
         ckpt_skipped: report.get_f64(keys::CKPT_SKIPPED),
         ckpt_corrupt_applied: report.get_f64(keys::CKPT_CORRUPT_APPLIED),
         timelines: report.timelines,
     }
 }
 
-/// No-failure reference run for one `(technique, shape)`.
+/// No-failure reference run for one `(technique, policy class, shape)`.
 #[derive(Debug, Clone)]
 pub struct Baseline {
     pub err: f64,
     pub makespan: f64,
     pub rank_hosts: Vec<f64>,
     pub rank_grids: Vec<f64>,
+    pub world: usize,
+}
+
+/// The baseline-sharing class of a policy. `Respawn` and `DeferRepair`
+/// take bitwise-identical healthy runs (defer adds no operation until a
+/// failure happens), so they share one baseline; shrink changes the
+/// end-of-run gathers and substitute the world size, so each gets its
+/// own.
+fn policy_class(policy: RecoveryPolicy) -> &'static str {
+    match policy {
+        RecoveryPolicy::Respawn | RecoveryPolicy::DeferRepair => "std",
+        RecoveryPolicy::ShrinkRedistribute => "shrink",
+        RecoveryPolicy::SpareSubstitute => "sub",
+    }
 }
 
 /// Memoized baselines: shrinking re-runs cases at reduced shapes, so each
-/// `(technique, shape)` baseline is computed once per campaign.
+/// `(technique, policy class, shape)` baseline is computed once per
+/// campaign.
 pub struct BaselineCache {
     seed: u64,
     stall: Duration,
-    map: HashMap<(&'static str, CaseShape), Baseline>,
+    map: HashMap<(&'static str, &'static str, CaseShape), Baseline>,
     /// Baseline runs performed (for the campaign report).
     pub runs: usize,
 }
@@ -382,24 +442,30 @@ impl BaselineCache {
     }
 
     pub fn get(&mut self, case: &ChaosCase) -> &Baseline {
-        let key = (case.technique.label(), case.shape);
+        let key = (case.technique.label(), policy_class(case.policy), case.shape);
         if !self.map.contains_key(&key) {
             // The baseline is the *healthy* run: no failures and no store
             // corruption (a corrupted-but-never-read checkpoint must not
-            // leak into the reference either).
+            // leak into the reference either). Defer shares the respawn
+            // baseline, so normalize its policy.
             let mut clean = case.clone();
             clean.corruption = None;
+            if clean.policy == RecoveryPolicy::DeferRepair {
+                clean.policy = RecoveryPolicy::Respawn;
+            }
             let res = run_case(&clean, FaultPlan::none(), self.seed, self.stall);
             assert!(
                 res.app_errors.is_empty(),
-                "baseline run {}/{} must be healthy: {:?}",
+                "baseline run {}/{}/{} must be healthy: {:?}",
                 key.0,
+                key.1,
                 case.shape.spec(),
                 res.app_errors
             );
             let base = Baseline {
                 err: res.err.expect("healthy baseline reports err_l1"),
                 makespan: res.makespan,
+                world: res.world.expect("healthy baseline reports world") as usize,
                 rank_hosts: res.rank_hosts,
                 rank_grids: res.rank_grids,
             };
@@ -443,6 +509,14 @@ pub fn corrupt_read_expected(case: &ChaosCase) -> bool {
     if case.technique != Technique::CheckpointRestart || case.victims.is_empty() {
         return false;
     }
+    // Shrink never restarts: the victim's grid is dropped, nobody reads
+    // its checkpoint, so no skip is ever owed. (Respawn and substitute
+    // restore the victim immediately; defer restores at the repair epoch
+    // — in all three the damaged file is still the newest for the grid,
+    // because a dead grid writes no further checkpoints.)
+    if case.policy == RecoveryPolicy::ShrinkRedistribute {
+        return false;
+    }
     let writes = write_steps(&case.shape);
     if !writes.contains(&strike.step) {
         return false;
@@ -457,6 +531,119 @@ pub fn corrupt_read_expected(case: &ChaosCase) -> bool {
         matches!(site, FaultSite::Step(k)
             if layout.grid_of(*r) == strike.grid_id && *k >= strike.step && *k <= hi)
     })
+}
+
+/// O7 — policy-invariant oracle: the final communicator size, the
+/// current→original rank map, and the grid coverage must match the
+/// active policy's contract (see `RecoveryPolicy`'s module docs).
+fn check_policy_contract(case: &ChaosCase, res: &CaseResult, base: &Baseline) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fail = |detail: String| out.push(Violation { oracle: "O7-policy", detail });
+    let w = case.layout().world_size();
+    let Some(world) = res.world.map(|x| x as usize) else {
+        fail("no final world size reported".into());
+        return out;
+    };
+    let orig: Vec<usize> = res.rank_orig.iter().map(|&o| o as usize).collect();
+    match case.policy {
+        RecoveryPolicy::Respawn | RecoveryPolicy::DeferRepair => {
+            // Full restoration: the baseline's world, and no membership
+            // map is gathered (its absence is what keeps the no-failure
+            // path bitwise-identical).
+            if world != base.world {
+                fail(format!("world {world} != restored baseline world {}", base.world));
+            }
+            if !orig.is_empty() {
+                fail(format!("{} gathered a rank_orig map: {orig:?}", case.policy));
+            }
+        }
+        RecoveryPolicy::ShrinkRedistribute => {
+            if world != w - res.procs_failed {
+                fail(format!("world {world} != {w} - {} dead after shrink", res.procs_failed));
+            }
+            if orig.len() != world {
+                fail(format!("rank_orig has {} entries for world {world}", orig.len()));
+                return out;
+            }
+            let ok_membership = orig.windows(2).all(|p| p[0] < p[1])
+                && orig.first() == Some(&0)
+                && orig.iter().all(|&o| o < w);
+            if !ok_membership {
+                fail(format!(
+                    "survivors must be a strictly increasing subset of 0..{w} containing \
+                     the controller: {orig:?}"
+                ));
+                return out;
+            }
+            let layout = case.layout();
+            for (i, &o) in orig.iter().enumerate() {
+                if res.rank_grids.get(i).copied() != Some(layout.grid_of(o) as f64) {
+                    fail(format!(
+                        "current rank {i} (orig {o}) reports grid {:?}, expected {}",
+                        res.rank_grids.get(i),
+                        layout.grid_of(o)
+                    ));
+                }
+                if res.rank_hosts.get(i).copied() != base.rank_hosts.get(o).copied() {
+                    fail(format!(
+                        "current rank {i} (orig {o}) moved host: {:?} vs baseline {:?}",
+                        res.rank_hosts.get(i),
+                        base.rank_hosts.get(o)
+                    ));
+                }
+            }
+            let dead: Vec<usize> = (0..w).filter(|r| !orig.contains(r)).collect();
+            let dropped: Vec<usize> = res.dropped_grids.iter().map(|&g| g as usize).collect();
+            if dropped != layout.broken_grids(&dead) {
+                fail(format!(
+                    "dropped grids {dropped:?} != broken grids {:?} of the dead set {dead:?}",
+                    layout.broken_grids(&dead)
+                ));
+            }
+        }
+        RecoveryPolicy::SpareSubstitute => {
+            if orig.len() != world {
+                fail(format!("rank_orig has {} entries for world {world}", orig.len()));
+                return out;
+            }
+            let layout = case.layout();
+            let mut promoted = 0;
+            for (i, &o) in orig.iter().enumerate().take(w) {
+                if o != i {
+                    if o < w {
+                        fail(format!(
+                            "active slot {i} held by another active's rank {o} — substitution \
+                             must fill slots with spares or respawned children"
+                        ));
+                    }
+                    promoted += 1;
+                }
+                if res.rank_grids.get(i).copied() != Some(layout.grid_of(i) as f64) {
+                    fail(format!(
+                        "active slot {i} reports grid {:?}, expected {}",
+                        res.rank_grids.get(i),
+                        layout.grid_of(i)
+                    ));
+                }
+            }
+            // Each promotion consumes one spare; the spawn fallback
+            // consumes none. Everything past the active slots idles.
+            if world != w + CHAOS_SPARES - promoted {
+                fail(format!(
+                    "world {world} != {w} actives + {CHAOS_SPARES} spares - {promoted} promoted"
+                ));
+            }
+            for (i, &o) in orig.iter().enumerate().skip(w) {
+                if res.rank_grids.get(i).copied() != Some(-1.0) {
+                    fail(format!(
+                        "tail rank {i} (orig {o}) must idle, reports grid {:?}",
+                        res.rank_grids.get(i)
+                    ));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Check the four invariant oracles for one case result. `sabotage`
@@ -490,24 +677,31 @@ pub fn check_oracles(
         out.push(Violation { oracle: "O3-error", detail: format!("non-finite l1 error {err}") });
     }
     // O2: recovery restored the paper's rank order and host placement.
-    if res.rank_hosts != base.rank_hosts {
-        out.push(Violation {
-            oracle: "O2-placement",
-            detail: format!(
-                "rank→host map diverged: {:?} vs baseline {:?}",
-                res.rank_hosts, base.rank_hosts
-            ),
-        });
+    // Only the full-restoration policies promise this; shrink and
+    // substitute promise the O7 membership contracts instead.
+    if case.policy.restores_full_placement() {
+        if res.rank_hosts != base.rank_hosts {
+            out.push(Violation {
+                oracle: "O2-placement",
+                detail: format!(
+                    "rank→host map diverged: {:?} vs baseline {:?}",
+                    res.rank_hosts, base.rank_hosts
+                ),
+            });
+        }
+        if res.rank_grids != base.rank_grids {
+            out.push(Violation {
+                oracle: "O2-placement",
+                detail: format!(
+                    "rank→grid map diverged: {:?} vs baseline {:?}",
+                    res.rank_grids, base.rank_grids
+                ),
+            });
+        }
     }
-    if res.rank_grids != base.rank_grids {
-        out.push(Violation {
-            oracle: "O2-placement",
-            detail: format!(
-                "rank→grid map diverged: {:?} vs baseline {:?}",
-                res.rank_grids, base.rank_grids
-            ),
-        });
-    }
+    // O7: the post-recovery communicator size, membership, and grid
+    // coverage match the active policy's contract.
+    out.extend(check_policy_contract(case, res, base));
     // O3: per-technique error envelope vs the no-failure baseline.
     let bitwise = err.to_bits() == base.err.to_bits();
     if res.procs_failed == 0 {
@@ -522,6 +716,20 @@ pub fn check_oracles(
             out.push(Violation {
                 oracle: "O3-error",
                 detail: format!("no process failed, yet n_failed = {:?}", res.n_failed),
+            });
+        }
+    } else if case.policy == RecoveryPolicy::ShrinkRedistribute {
+        // Shrink continues *without* the dropped grids: no recovery class
+        // is bitwise and the combination degrades with every loss, so the
+        // envelope is an absolute cap on the robust-combined error.
+        if err > SHRINK_ERR_CAP {
+            out.push(Violation {
+                oracle: "O3-error",
+                detail: format!(
+                    "shrink robust combination error {err:e} exceeds the {SHRINK_ERR_CAP} cap \
+                     (baseline {:e}, dropped grids {:?})",
+                    base.err, res.dropped_grids
+                ),
             });
         }
     } else {
@@ -638,6 +846,10 @@ pub struct CampaignOpts {
     pub budget: usize,
     pub seed: u64,
     pub sabotage: bool,
+    /// Recovery policy every sampled case runs under (`--policy`). The
+    /// victim sampling is policy-independent, so campaigns with the same
+    /// seed examine the same fault sites under each policy.
+    pub policy: RecoveryPolicy,
     pub stall: Duration,
     /// When set, every violating case's shrunk repro is re-run once more
     /// and its Chrome trace + recovery-timeline JSON are written here.
@@ -655,6 +867,7 @@ impl Default for CampaignOpts {
             budget: DEFAULT_BUDGET,
             seed: DEFAULT_SEED,
             sabotage: false,
+            policy: RecoveryPolicy::Respawn,
             stall: Duration::from_secs(DEFAULT_STALL_SECS),
             artifact_dir: None,
             corruption: true,
@@ -686,6 +899,8 @@ pub struct CampaignReport {
     pub seed: u64,
     pub budget: usize,
     pub sabotage: bool,
+    /// Label of the recovery policy the campaign ran under.
+    pub policy: &'static str,
     pub cases: Vec<CaseRecord>,
     pub baseline_runs: usize,
     pub shrink_runs: usize,
@@ -754,10 +969,11 @@ impl CampaignReport {
             ));
         }
         format!(
-            r#"{{"seed":{},"budget":{},"sabotage":{},"examined":{},"violating":{},"baseline_runs":{},"shrink_runs":{},"cases":[{}]}}"#,
+            r#"{{"seed":{},"budget":{},"sabotage":{},"policy":"{}","examined":{},"violating":{},"baseline_runs":{},"shrink_runs":{},"cases":[{}]}}"#,
             self.seed,
             self.budget,
             self.sabotage,
+            esc(self.policy),
             self.cases.len(),
             self.n_violating(),
             self.baseline_runs,
@@ -803,7 +1019,13 @@ pub fn sample_case(
     kind: &str,
     shape: CaseShape,
 ) -> ChaosCase {
-    let mut case = ChaosCase { technique, shape, victims: Vec::new(), corruption: None };
+    let mut case = ChaosCase {
+        technique,
+        policy: RecoveryPolicy::Respawn,
+        shape,
+        victims: Vec::new(),
+        corruption: None,
+    };
     let layout = case.layout();
     let steps = shape.steps();
     let step_site = |rng: &mut StdRng| FaultSite::Step(rng.gen_range(1..=steps));
@@ -877,7 +1099,13 @@ pub fn sample_case(
 /// the restart *must* hit the damage and O6 has teeth.
 pub fn sample_corrupt_case(rng: &mut StdRng, shape: CaseShape) -> ChaosCase {
     let technique = Technique::CheckpointRestart;
-    let mut case = ChaosCase { technique, shape, victims: Vec::new(), corruption: None };
+    let mut case = ChaosCase {
+        technique,
+        policy: RecoveryPolicy::Respawn,
+        shape,
+        victims: Vec::new(),
+        corruption: None,
+    };
     let layout = case.layout();
     let writes = write_steps(&shape);
     assert!(!writes.is_empty(), "shape {} has no checkpoint writes", shape.spec());
@@ -1021,17 +1249,22 @@ pub fn run_campaign_with(
         seed: opts.seed,
         budget: opts.budget,
         sabotage: opts.sabotage,
+        policy: opts.policy.label(),
         ..Default::default()
     };
     let shape = CaseShape::small();
     for i in 0..opts.budget {
-        let case = if opts.corrupt_only || (opts.corruption && i % 5 == 0) {
+        // Sampling is policy-independent (the policy is stamped after),
+        // so the same seed examines the same fault sites under every
+        // policy — the matrix lanes are directly comparable.
+        let mut case = if opts.corrupt_only || (opts.corruption && i % 5 == 0) {
             sample_corrupt_case(&mut rng, shape)
         } else {
             let technique = TECHNIQUES[i % TECHNIQUES.len()];
             let kind = SITE_KINDS[i % SITE_KINDS.len()];
             sample_case(&mut rng, technique, kind, shape)
         };
+        case.policy = opts.policy;
         let plan = FaultPlan::new_sites(case.victims.clone());
         let res = run_case(&case, plan, opts.seed, opts.stall);
         let base = cache.get(&case).clone();
@@ -1100,6 +1333,7 @@ mod tests {
     fn spec_roundtrip() {
         let case = ChaosCase {
             technique: Technique::CheckpointRestart,
+            policy: RecoveryPolicy::Respawn,
             shape: CaseShape::small(),
             victims: vec![
                 (3, FaultSite::Step(16)),
@@ -1114,6 +1348,27 @@ mod tests {
     }
 
     #[test]
+    fn spec_roundtrip_with_policy() {
+        for policy in RecoveryPolicy::all() {
+            let case = ChaosCase {
+                technique: Technique::AlternateCombination,
+                policy,
+                shape: CaseShape::small(),
+                victims: vec![(3, FaultSite::Step(16))],
+                corruption: None,
+            };
+            let spec = case.spec();
+            if policy == RecoveryPolicy::Respawn {
+                assert_eq!(spec, "AC/n6l3s1k5c2/3@step:16", "default policy stays implicit");
+            } else {
+                assert_eq!(spec, format!("AC+{}/n6l3s1k5c2/3@step:16", policy.label()));
+            }
+            assert_eq!(ChaosCase::parse(&spec).unwrap(), case);
+        }
+        assert!(ChaosCase::parse("AC+banana/n6l3s1k5c2/3@step:16").is_err());
+    }
+
+    #[test]
     fn corrupt_spec_roundtrip() {
         for (kind, tail) in [
             (CorruptKind::BitFlip { offset: 40, bit: 3 }, "flip:40:3"),
@@ -1122,6 +1377,7 @@ mod tests {
         ] {
             let case = ChaosCase {
                 technique: Technique::CheckpointRestart,
+                policy: RecoveryPolicy::Respawn,
                 shape: CaseShape::small(),
                 victims: vec![(3, FaultSite::Step(12))],
                 corruption: Some(CorruptionStrike { grid_id: 2, step: 10, kind }),
@@ -1186,6 +1442,7 @@ mod tests {
         let strike = |step| CorruptionStrike { grid_id: g, step, kind: CorruptKind::GarbageHeader };
         let mk = |kill, s| ChaosCase {
             technique: Technique::CheckpointRestart,
+            policy: RecoveryPolicy::Respawn,
             shape: CaseShape::small(),
             victims: vec![(1, FaultSite::Step(kill))],
             corruption: Some(strike(s)),
@@ -1202,6 +1459,14 @@ mod tests {
         let mut not_cr = mk(12, 10);
         not_cr.technique = Technique::BuddyCheckpoint;
         assert!(!corrupt_read_expected(&not_cr), "only CR restarts read the disk store");
+        let mut shrink = mk(12, 10);
+        shrink.policy = RecoveryPolicy::ShrinkRedistribute;
+        assert!(!corrupt_read_expected(&shrink), "shrink drops the grid, nothing restarts");
+        for policy in [RecoveryPolicy::SpareSubstitute, RecoveryPolicy::DeferRepair] {
+            let mut c = mk(12, 10);
+            c.policy = policy;
+            assert!(corrupt_read_expected(&c), "{policy} still restores from the store");
+        }
     }
 
     #[test]
@@ -1214,17 +1479,26 @@ mod tests {
             makespan: 10.0,
             rank_hosts: vec![0.0],
             rank_grids: vec![0.0],
+            world: Some(1.0),
+            rank_orig: Vec::new(),
+            dropped_grids: Vec::new(),
             timelines: Vec::new(),
             ckpt_skipped: None,
             ckpt_corrupt_applied: Some(1.0),
         };
-        let base =
-            Baseline { err: 0.25, makespan: 10.0, rank_hosts: vec![0.0], rank_grids: vec![0.0] };
+        let base = Baseline {
+            err: 0.25,
+            makespan: 10.0,
+            rank_hosts: vec![0.0],
+            rank_grids: vec![0.0],
+            world: 1,
+        };
         // Armed corruption case (strike landed) + no skip report = silent
         // consumption.
         let layout = ProcLayout::new(6, 3, Technique::CheckpointRestart.layout(), 1);
         let case = ChaosCase {
             technique: Technique::CheckpointRestart,
+            policy: RecoveryPolicy::Respawn,
             shape: CaseShape::small(),
             victims: vec![(1, FaultSite::Step(12))],
             corruption: Some(CorruptionStrike {
@@ -1265,9 +1539,68 @@ mod tests {
     }
 
     #[test]
+    fn o7_contract_has_teeth() {
+        // A shrink case whose result claims the full world survived, with
+        // an identity membership map: O7 must flag the world-size lie.
+        let case = ChaosCase {
+            technique: Technique::CheckpointRestart,
+            policy: RecoveryPolicy::ShrinkRedistribute,
+            shape: CaseShape::small(),
+            victims: vec![(3, FaultSite::Step(12))],
+            corruption: None,
+        };
+        let layout = case.layout();
+        let w = layout.world_size();
+        let res = CaseResult {
+            app_errors: Vec::new(),
+            err: Some(0.01),
+            n_failed: Some(1.0),
+            procs_failed: 1,
+            makespan: 10.0,
+            rank_hosts: (0..w).map(|_| 0.0).collect(),
+            rank_grids: (0..w).map(|r| layout.grid_of(r) as f64).collect(),
+            world: Some(w as f64),
+            rank_orig: (0..w).map(|r| r as f64).collect(),
+            dropped_grids: Vec::new(),
+            timelines: Vec::new(),
+            ckpt_skipped: None,
+            ckpt_corrupt_applied: None,
+        };
+        let base = Baseline {
+            err: 0.01,
+            makespan: 10.0,
+            rank_hosts: (0..w).map(|_| 0.0).collect(),
+            rank_grids: res.rank_grids.clone(),
+            world: w,
+        };
+        let viols = check_policy_contract(&case, &res, &base);
+        assert!(
+            viols.iter().any(|v| v.detail.contains("dead after shrink")),
+            "a full-size world after a shrink death must trip O7: {viols:?}"
+        );
+        // A substitute result that claims an active slot was filled by
+        // another active's rank must also trip it.
+        let mut sub_case = case.clone();
+        sub_case.policy = RecoveryPolicy::SpareSubstitute;
+        let mut sub_res = res.clone();
+        sub_res.world = Some((w + CHAOS_SPARES - 1) as f64);
+        sub_res.rank_orig = (0..w + CHAOS_SPARES - 1).map(|r| r as f64).collect();
+        sub_res.rank_orig[3] = 5.0; // active 5 "took over" slot 3
+        sub_res.rank_grids = (0..w + CHAOS_SPARES - 1)
+            .map(|r| if r < w { layout.grid_of(r) as f64 } else { -1.0 })
+            .collect();
+        let viols = check_policy_contract(&sub_case, &sub_res, &base);
+        assert!(
+            viols.iter().any(|v| v.detail.contains("another active")),
+            "an active stealing a slot must trip O7: {viols:?}"
+        );
+    }
+
+    #[test]
     fn case_kind_classification() {
         let mk = |victims| ChaosCase {
             technique: Technique::BuddyCheckpoint,
+            policy: RecoveryPolicy::Respawn,
             shape: CaseShape::small(),
             victims,
             corruption: None,
@@ -1291,6 +1624,7 @@ mod tests {
             seed: 1,
             budget: 0,
             sabotage: false,
+            policy: "respawn",
             cases: vec![CaseRecord {
                 spec: "BC/n6l3s1k5c2/3@step:4".into(),
                 technique: "BC",

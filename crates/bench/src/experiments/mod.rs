@@ -6,5 +6,8 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig8;
 pub mod fig9;
+pub mod overlap;
+pub mod policy;
+pub mod regress;
 pub mod scale;
 pub mod table1;

@@ -1,0 +1,282 @@
+//! `expt-regress` — the bench-regression gate: re-measure the three
+//! load-bearing performance claims in this repo and compare each against
+//! the committed `BENCH_*.json` baseline, failing on a regression beyond
+//! [`TOLERANCE`].
+//!
+//! The gated quantities, chosen because each one guards a different layer:
+//!
+//! 1. **`level9_step_speedup`** (wall clock) — the double-buffered
+//!    Lax–Wendroff step vs the seed formulation at level 9, vs
+//!    `BENCH_pr1.json` `acceptance.level9_single_owner_step_speedup`.
+//!    Guards the numerics hot loop.
+//! 2. **`combine_tree_speedup_n9`** (virtual time, deterministic) — the
+//!    binomial-tree combination vs the centralized master gather, vs
+//!    `BENCH_pr3.json` `acceptance.combine_virtual_makespan_speedup_level9`.
+//!    Guards the communication schedule and the cost models.
+//! 3. **`scale_1k_wall_per_step_ms`** (wall clock, lower is better) — the
+//!    ~1k-rank pooled-scheduler failure run, vs the first ok pooled row of
+//!    `BENCH_pr6.json`. Guards the simulator runtime itself.
+//!
+//! Wall-clock gates are inherently machine-relative, so CI runs this lane
+//! advisory (`continue-on-error`); locally a nonzero exit means "look
+//! before you merge".
+
+use std::time::Instant;
+
+use advect2d::laxwendroff::{lax_wendroff_row, lax_wendroff_step, LwCoef};
+use advect2d::{AdvectionProblem, PaddedField};
+use ftsg_core::RecoveryPolicy;
+use sparsegrid::{Grid2, LevelPair};
+
+use crate::experiments::overlap::combine_makespan;
+use crate::experiments::scale::{json_num, json_str, run_child, ChildSpec};
+use crate::table::{sig3, Table};
+
+/// Allowed relative slip against a committed baseline before the gate
+/// fails (0.15 = 15%).
+pub const TOLERANCE: f64 = 0.15;
+
+/// One gated quantity: baseline, fresh measurement, verdict.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    pub name: &'static str,
+    /// Committed file the baseline was read from.
+    pub source: &'static str,
+    pub baseline: f64,
+    pub fresh: f64,
+    /// Whether larger values are better (speedups) or worse (walls).
+    pub higher_is_better: bool,
+    pub pass: bool,
+}
+
+impl GateResult {
+    fn new(
+        name: &'static str,
+        source: &'static str,
+        baseline: f64,
+        fresh: f64,
+        higher_is_better: bool,
+    ) -> Self {
+        let pass = passes(baseline, fresh, higher_is_better, TOLERANCE);
+        GateResult { name, source, baseline, fresh, higher_is_better, pass }
+    }
+}
+
+/// The whole gate run.
+#[derive(Debug, Clone)]
+pub struct RegressReport {
+    pub gates: Vec<GateResult>,
+    pub tolerance: f64,
+}
+
+impl RegressReport {
+    pub fn all_pass(&self) -> bool {
+        self.gates.iter().all(|g| g.pass)
+    }
+
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Bench-regression gate (tolerance {:.0}%)", self.tolerance * 100.0),
+            &["gate", "baseline", "fresh", "direction", "verdict", "source"],
+        );
+        for g in &self.gates {
+            t.row(vec![
+                g.name.into(),
+                sig3(g.baseline),
+                sig3(g.fresh),
+                if g.higher_is_better { "higher-better".into() } else { "lower-better".into() },
+                if g.pass { "ok".into() } else { "REGRESSED".into() },
+                g.source.into(),
+            ]);
+        }
+        t
+    }
+}
+
+/// The pass rule: a speedup may slip to `baseline * (1 - tol)`, a wall
+/// time may grow to `baseline * (1 + tol)`. Improvements always pass.
+fn passes(baseline: f64, fresh: f64, higher_is_better: bool, tol: f64) -> bool {
+    if !baseline.is_finite() || !fresh.is_finite() {
+        return false;
+    }
+    if higher_is_better {
+        fresh >= baseline * (1.0 - tol)
+    } else {
+        fresh <= baseline * (1.0 + tol)
+    }
+}
+
+fn read_baseline(dir: &str, file: &'static str) -> Result<String, String> {
+    let path = format!("{dir}/{file}");
+    std::fs::read_to_string(&path).map_err(|e| format!("cannot read baseline {path}: {e}"))
+}
+
+/// First numeric occurrence of `key` in `text` (our BENCH files put the
+/// `config`/`acceptance` blocks before the result rows, so "first" is the
+/// config/acceptance value).
+fn num_field(text: &str, key: &str, file: &str) -> Result<f64, String> {
+    json_num(text, key).ok_or_else(|| format!("{file}: no numeric field \"{key}\""))
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Wall-clock speedup of the double-buffered level-9 step over the seed
+/// formulation (the same two code paths `cargo bench` measures, sized
+/// down to `iters` timed runs each).
+fn measure_step_speedup(iters: usize) -> f64 {
+    let p = AdvectionProblem::standard();
+    let lev = LevelPair::new(9, 9);
+    let n = 1usize << 9;
+    let coef = LwCoef::new(&p, 1.0 / n as f64, 1.0 / n as f64, 1e-4);
+
+    // Seed formulation: rebuild the whole padded copy per step.
+    let mut grid = Grid2::from_fn(lev, p.initial());
+    let (mut padded, mut out) = (Vec::new(), Vec::new());
+    lax_wendroff_step(&mut grid, &coef, &mut padded, &mut out); // warm scratch
+    let naive = median(
+        (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                lax_wendroff_step(&mut grid, &coef, &mut padded, &mut out);
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+
+    // Double-buffered formulation: halo refresh + row kernel + swap.
+    let mut field = PaddedField::from_grid(&Grid2::from_fn(lev, p.initial()));
+    field.refresh_periodic_halo();
+    field.step(|s, c2, n2, out| lax_wendroff_row(s, c2, n2, &coef, out));
+    let fast = median(
+        (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                field.refresh_periodic_halo();
+                field.step(|s, c2, n2, out| lax_wendroff_row(s, c2, n2, &coef, out));
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    naive / fast
+}
+
+/// Re-run the smallest-scale pooled configuration from the committed
+/// `BENCH_pr6.json` config block in-process and return its
+/// `wall_per_step_ms`.
+fn measure_scale_wall(pr6: &str) -> Result<f64, String> {
+    let spec = ChildSpec {
+        n: num_field(pr6, "n", "BENCH_pr6.json")? as u32,
+        s: 53,
+        log2_steps: num_field(pr6, "log2_steps", "BENCH_pr6.json")? as u32,
+        failures: num_field(pr6, "failures", "BENCH_pr6.json")? as usize,
+        seed: num_field(pr6, "seed", "BENCH_pr6.json")? as u64,
+        threads: false,
+        workers: 0,
+        stack_kb: 1024,
+        policy: RecoveryPolicy::Respawn,
+    };
+    let row = run_child(&spec);
+    json_num(&row, "wall_per_step_ms").ok_or_else(|| format!("scale re-run emitted no wall: {row}"))
+}
+
+/// First ok pooled row's `wall_per_step_ms` from the committed scale
+/// report (the sweep emits one row per line).
+fn baseline_scale_wall(pr6: &str) -> Result<f64, String> {
+    pr6.lines()
+        .filter(|l| {
+            json_str(l, "status").as_deref() == Some("ok")
+                && json_str(l, "mode").as_deref() == Some("pooled")
+        })
+        .find_map(|l| json_num(l, "wall_per_step_ms"))
+        .ok_or_else(|| "BENCH_pr6.json: no ok pooled row with wall_per_step_ms".into())
+}
+
+/// Run all three gates against the baselines committed in `dir`.
+pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
+    let iters = iters.max(3);
+
+    let pr1 = read_baseline(dir, "BENCH_pr1.json")?;
+    let step_base = num_field(&pr1, "level9_single_owner_step_speedup", "BENCH_pr1.json")?;
+    let step_fresh = measure_step_speedup(iters);
+
+    let pr3 = read_baseline(dir, "BENCH_pr3.json")?;
+    let combine_base =
+        num_field(&pr3, "combine_virtual_makespan_speedup_level9", "BENCH_pr3.json")?;
+    let combine_fresh = combine_makespan(9, true) / combine_makespan(9, false);
+
+    let pr6 = read_baseline(dir, "BENCH_pr6.json")?;
+    let scale_base = baseline_scale_wall(&pr6)?;
+    let scale_fresh = measure_scale_wall(&pr6)?;
+
+    Ok(RegressReport {
+        gates: vec![
+            GateResult::new("level9_step_speedup", "BENCH_pr1.json", step_base, step_fresh, true),
+            GateResult::new(
+                "combine_tree_speedup_n9",
+                "BENCH_pr3.json",
+                combine_base,
+                combine_fresh,
+                true,
+            ),
+            GateResult::new(
+                "scale_1k_wall_per_step_ms",
+                "BENCH_pr6.json",
+                scale_base,
+                scale_fresh,
+                false,
+            ),
+        ],
+        tolerance: TOLERANCE,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_rule_is_directional() {
+        // Speedup: 15% slip allowed, 16% is a regression, faster passes.
+        assert!(passes(2.0, 1.71, true, 0.15));
+        assert!(!passes(2.0, 1.69, true, 0.15));
+        assert!(passes(2.0, 3.0, true, 0.15));
+        // Wall: 15% growth allowed, more is a regression, faster passes.
+        assert!(passes(10.0, 11.4, false, 0.15));
+        assert!(!passes(10.0, 11.6, false, 0.15));
+        assert!(passes(10.0, 5.0, false, 0.15));
+        // Non-finite measurements never pass.
+        assert!(!passes(f64::NAN, 1.0, true, 0.15));
+        assert!(!passes(1.0, f64::INFINITY, false, 0.15));
+    }
+
+    #[test]
+    fn baseline_scale_wall_takes_first_ok_pooled_row() {
+        let pr6 = concat!(
+            "{\"schema\":\"scale-row-v1\",\"status\":\"dnf\",\"mode\":\"pooled\"}\n",
+            "{\"schema\":\"scale-row-v1\",\"status\":\"ok\",\"mode\":\"threads\",",
+            "\"wall_per_step_ms\":99.0}\n",
+            "{\"schema\":\"scale-row-v1\",\"status\":\"ok\",\"mode\":\"pooled\",",
+            "\"wall_per_step_ms\":10.5}\n",
+        );
+        assert_eq!(baseline_scale_wall(pr6).unwrap(), 10.5);
+        assert!(baseline_scale_wall("{}").is_err());
+    }
+
+    #[test]
+    fn report_table_flags_regressions() {
+        let report = RegressReport {
+            gates: vec![
+                GateResult::new("a", "x.json", 2.0, 2.1, true),
+                GateResult::new("b", "y.json", 10.0, 20.0, false),
+            ],
+            tolerance: TOLERANCE,
+        };
+        assert!(!report.all_pass());
+        let rendered = report.table().render();
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.contains("ok"));
+    }
+}

@@ -23,9 +23,10 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use ftsg_core::app::keys;
-use ftsg_core::{run_app, AppConfig, ProcLayout, Technique};
+use ftsg_core::{run_app, AppConfig, ProcLayout, RecoveryPolicy, Technique};
 use ulfm_sim::{run, ClusterProfile, FaultPlan, RunConfig};
 
+use crate::chaos::CHAOS_SPARES;
 use crate::runner::random_victims;
 use crate::table::{sig3, Table};
 
@@ -56,6 +57,8 @@ pub struct ScaleOpts {
     pub workers: usize,
     /// Fiber/thread stack size in KiB.
     pub stack_kb: usize,
+    /// Recovery policy applied by the app on every injected failure.
+    pub policy: RecoveryPolicy,
     /// Output path for the machine-readable benchmark report.
     pub out: String,
 }
@@ -73,6 +76,7 @@ impl Default for ScaleOpts {
             smoke: false,
             workers: 0,
             stack_kb: 1024,
+            policy: RecoveryPolicy::Respawn,
             out: "BENCH_pr6.json".into(),
         }
     }
@@ -99,6 +103,7 @@ pub struct ChildSpec {
     pub threads: bool,
     pub workers: usize,
     pub stack_kb: usize,
+    pub policy: RecoveryPolicy,
 }
 
 impl ChildSpec {
@@ -121,6 +126,8 @@ impl ChildSpec {
             self.workers.to_string(),
             "--stack-kb".into(),
             self.stack_kb.to_string(),
+            "--policy".into(),
+            self.policy.label().into(),
         ]
     }
 
@@ -129,6 +136,20 @@ impl ChildSpec {
             "threads"
         } else {
             "pooled"
+        }
+    }
+
+    /// Worker count this configuration actually runs with: the world size
+    /// under thread-per-rank, the machine's available parallelism when the
+    /// pooled count was left at 0. Shared by the child's result row and
+    /// the parent's DNF synthesizer so both echo the same number.
+    fn resolved_workers(&self, world: usize) -> usize {
+        if self.threads {
+            world
+        } else if self.workers == 0 {
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        } else {
+            self.workers
         }
     }
 }
@@ -158,8 +179,13 @@ fn json_opt(v: Option<f64>) -> String {
 pub fn run_child(spec: &ChildSpec) -> String {
     let technique = Technique::ResamplingCopying;
     let layout = ProcLayout::new(spec.n, 4, technique.layout(), spec.s);
-    let world = layout.world_size();
-    let cfg = AppConfig::paper_shaped(technique, spec.n, spec.s, spec.log2_steps);
+    let mut cfg = AppConfig::paper_shaped(technique, spec.n, spec.s, spec.log2_steps)
+        .with_recovery_policy(spec.policy);
+    if spec.policy == RecoveryPolicy::SpareSubstitute {
+        cfg = cfg.with_spares(CHAOS_SPARES);
+    }
+    // Spare ranks (substitute only) sit after the layout's active slots.
+    let world = cfg.world_size(layout.world_size());
     let steps = cfg.steps();
     let victims = random_victims(&layout, spec.failures, true, spec.seed);
     let plan = FaultPlan::new(victims.into_iter().map(|r| (r, steps)).collect());
@@ -170,13 +196,7 @@ pub fn run_child(spec: &ChildSpec) -> String {
     rc.stack_size = spec.stack_kb << 10;
     rc = if spec.threads { rc.with_thread_per_rank() } else { rc.with_workers(spec.workers) };
 
-    let workers = if spec.threads {
-        world
-    } else if spec.workers == 0 {
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
-    } else {
-        spec.workers
-    };
+    let workers = spec.resolved_workers(world);
 
     let t0 = Instant::now();
     let report = run(rc, move |ctx| run_app(&cfg, ctx));
@@ -185,13 +205,15 @@ pub fn run_child(spec: &ChildSpec) -> String {
 
     format!(
         concat!(
-            r#"{{"schema":"scale-row-v1","status":"ok","mode":"{mode}","ranks":{ranks},"#,
-            r#""workers":{workers},"n":{n},"s":{s},"steps":{steps},"failures":{failures},"#,
-            r#""seed":{seed},"wall_s":{wall:.6},"wall_per_step_ms":{wps:.6},"#,
+            r#"{{"schema":"scale-row-v2","status":"ok","mode":"{mode}","policy":"{policy}","#,
+            r#""ranks":{ranks},"workers":{workers},"n":{n},"s":{s},"steps":{steps},"#,
+            r#""failures":{failures},"seed":{seed},"stack_kb":{stack_kb},"#,
+            r#""wall_s":{wall:.6},"wall_per_step_ms":{wps:.6},"#,
             r#""peak_rss_mb":{rss},"sim_makespan_s":{mk:.6},"#,
             r#""t_list_s":{tl},"t_reconstruct_s":{tr},"t_recovery_s":{tv}}}"#
         ),
         mode = spec.mode(),
+        policy = spec.policy.label(),
         ranks = world,
         workers = workers,
         n = spec.n,
@@ -199,6 +221,7 @@ pub fn run_child(spec: &ChildSpec) -> String {
         steps = steps,
         failures = spec.failures,
         seed = spec.seed,
+        stack_kb = spec.stack_kb,
         wall = wall,
         wps = wall * 1e3 / steps as f64,
         rss = json_opt(peak_rss_kb().map(|kb| kb as f64 / 1024.0)),
@@ -211,7 +234,7 @@ pub fn run_child(spec: &ChildSpec) -> String {
 
 /// Extract a numeric field from one of our own flat JSON rows. Good
 /// enough because every value we emit is a bare number or `null`.
-fn json_num(obj: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_num(obj: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let i = obj.find(&pat)? + pat.len();
     let rest = obj[i..].trim_start();
@@ -219,7 +242,7 @@ fn json_num(obj: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-fn json_str(obj: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str(obj: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let i = obj.find(&pat)? + pat.len();
     let rest = &obj[i..];
@@ -230,19 +253,28 @@ fn json_str(obj: &str, key: &str) -> Option<String> {
 /// result row (a DNF/failed row is synthesized when the child dies or
 /// overruns).
 fn run_one(exe: &std::path::Path, spec: &ChildSpec, ranks: usize, timeout: Duration) -> String {
+    // A DNF/failed row echoes the *full* child configuration — mode,
+    // workers, steps, stack size, recovery policy — so a sweep that only
+    // produced DNFs at some scale is still attributable from the JSON
+    // alone (the nightly matrix relies on this).
     let dnf = |status: &str| {
         format!(
             concat!(
-                r#"{{"schema":"scale-row-v1","status":"{status}","mode":"{mode}","#,
-                r#""ranks":{ranks},"n":{n},"s":{s},"failures":{failures},"seed":{seed}}}"#
+                r#"{{"schema":"scale-row-v2","status":"{status}","mode":"{mode}","#,
+                r#""policy":"{policy}","ranks":{ranks},"workers":{workers},"n":{n},"s":{s},"#,
+                r#""steps":{steps},"failures":{failures},"seed":{seed},"stack_kb":{stack_kb}}}"#
             ),
             status = status,
             mode = spec.mode(),
+            policy = spec.policy.label(),
             ranks = ranks,
+            workers = spec.resolved_workers(ranks),
             n = spec.n,
             s = spec.s,
+            steps = 1u64 << spec.log2_steps,
             failures = spec.failures,
             seed = spec.seed,
+            stack_kb = spec.stack_kb,
         )
     };
     let child =
@@ -291,7 +323,7 @@ fn run_one(exe: &std::path::Path, spec: &ChildSpec, ranks: usize, timeout: Durat
         return dnf(&format!("failed_exit_{}", status.code().unwrap_or(-1)));
     }
     out.lines()
-        .find(|l| l.trim_start().starts_with(r#"{"schema":"scale-row-v1""#))
+        .find(|l| l.trim_start().starts_with(r#"{"schema":"scale-row-v2""#))
         .map(|l| l.trim().to_string())
         .unwrap_or_else(|| dnf("failed_no_output"))
 }
@@ -317,6 +349,7 @@ pub fn orchestrate(o: &ScaleOpts) -> i32 {
             threads: false,
             workers: o.workers,
             stack_kb: o.stack_kb,
+            policy: o.policy,
         };
         if !o.threads_only {
             specs.push(base);
@@ -328,8 +361,8 @@ pub fn orchestrate(o: &ScaleOpts) -> i32 {
 
     let mut table = Table::new(
         format!(
-            "Scale sweep: pooled vs thread-per-rank (n={}, 2^{} steps, {} failure(s))",
-            o.n, o.log2_steps, o.failures
+            "Scale sweep: pooled vs thread-per-rank (n={}, 2^{} steps, {} failure(s), policy={})",
+            o.n, o.log2_steps, o.failures, o.policy
         ),
         &[
             "mode",
@@ -399,7 +432,8 @@ pub fn orchestrate(o: &ScaleOpts) -> i32 {
             "  \"bench\": \"BENCH_pr6\",\n",
             "  \"experiment\": \"expt-scale\",\n",
             "  \"config\": {{\"n\": {n}, \"log2_steps\": {k}, \"failures\": {f}, ",
-            "\"seed\": {seed}, \"timeout_s\": {to}, \"smoke\": {smoke}}},\n",
+            "\"seed\": {seed}, \"timeout_s\": {to}, \"smoke\": {smoke}, ",
+            "\"policy\": \"{policy}\", \"workers\": {workers}, \"stack_kb\": {stack_kb}}},\n",
             "  \"rows\": [\n    {rows}\n  ],\n",
             "  \"summary\": {{\n",
             "    \"max_ok_ranks_pooled\": {mp},\n",
@@ -419,6 +453,9 @@ pub fn orchestrate(o: &ScaleOpts) -> i32 {
         seed = o.seed,
         to = o.timeout.as_secs(),
         smoke = o.smoke,
+        policy = o.policy.label(),
+        workers = o.workers,
+        stack_kb = o.stack_kb,
         rows = rows.join(",\n    "),
         mp = mp,
         mt = mt,
@@ -468,15 +505,17 @@ mod tests {
             threads: true,
             workers: 0,
             stack_kb: 1024,
+            policy: RecoveryPolicy::ShrinkRedistribute,
         };
         let argv = spec.argv();
         assert!(argv.contains(&"--child".to_string()));
         assert!(argv.windows(2).any(|w| w == ["--mode", "threads"]));
+        assert!(argv.windows(2).any(|w| w == ["--policy", "shrink"]));
     }
 
     #[test]
     fn json_helpers_parse_own_rows() {
-        let row = r#"{"schema":"scale-row-v1","status":"ok","mode":"pooled","ranks":1007,"wall_s":1.5,"peak_rss_mb":null}"#;
+        let row = r#"{"schema":"scale-row-v2","status":"ok","mode":"pooled","ranks":1007,"wall_s":1.5,"peak_rss_mb":null}"#;
         assert_eq!(json_num(row, "ranks"), Some(1007.0));
         assert_eq!(json_num(row, "wall_s"), Some(1.5));
         assert_eq!(json_num(row, "peak_rss_mb"), None);
@@ -505,11 +544,36 @@ mod tests {
             threads: false,
             workers: 1,
             stack_kb: 1024,
+            policy: RecoveryPolicy::Respawn,
         };
         let row = run_child(&spec);
         assert_eq!(json_str(&row, "status").as_deref(), Some("ok"));
         assert_eq!(json_num(&row, "ranks"), Some(38.0));
+        assert_eq!(json_str(&row, "policy").as_deref(), Some("respawn"));
+        assert_eq!(json_num(&row, "stack_kb"), Some(1024.0));
         assert!(json_num(&row, "t_list_s").is_some(), "row: {row}");
         assert!(json_num(&row, "t_reconstruct_s").is_some(), "row: {row}");
+    }
+
+    /// The shrink policy survives the orchestrated child path: the world
+    /// shrinks by the failure count and the row still echoes the full
+    /// configuration (the nightly matrix runs exactly this shape).
+    #[test]
+    fn tiny_child_run_honors_shrink_policy() {
+        let spec = ChildSpec {
+            n: 7,
+            s: 2,
+            log2_steps: 2,
+            failures: 1,
+            seed: 2014,
+            threads: false,
+            workers: 1,
+            stack_kb: 1024,
+            policy: RecoveryPolicy::ShrinkRedistribute,
+        };
+        let row = run_child(&spec);
+        assert_eq!(json_str(&row, "status").as_deref(), Some("ok"), "row: {row}");
+        assert_eq!(json_str(&row, "policy").as_deref(), Some("shrink"));
+        assert_eq!(json_num(&row, "ranks"), Some(38.0));
     }
 }

@@ -19,10 +19,16 @@ use ulfm_sim::{Comm, Ctx, Error, Result};
 use crate::checkpoint::CheckpointStore;
 use crate::ckpt_async::AsyncCheckpointer;
 use crate::config::{AppConfig, CombineMode, Technique};
-use crate::gather::{binomial_combine, gather_grid, recv_grid_into, send_grid, GridScratch};
+use crate::gather::{
+    binomial_combine, current_rank_of, gather_grid, recv_grid_into, send_grid, GridScratch,
+};
 use crate::layout::{Assignment, ProcLayout};
+use crate::policy::RecoveryPolicy;
 use crate::psolve::DistributedSolver;
-use crate::reconstruct::{communicator_reconstruct_with, ReconstructTimings};
+use crate::reconstruct::{
+    communicator_reconstruct_shrink, communicator_reconstruct_substitute,
+    communicator_reconstruct_with, deferred_epoch_repair, detect_and_repair, ReconstructTimings,
+};
 use crate::recovery;
 use crate::tags::TagSpace;
 use crate::timeline::build_timeline;
@@ -73,6 +79,16 @@ pub mod keys {
     /// repair; the O6 oracle only demands a reported skip when this
     /// key shows the damage truly reached the disk.
     pub const CKPT_CORRUPT_APPLIED: &str = "ckpt_corrupt_applied";
+    /// Original rank per final world rank, gathered only under the
+    /// `ShrinkRedistribute` and `SpareSubstitute` policies (the O7
+    /// policy-invariant oracle checks the membership contract with it;
+    /// the respawn-family policies restore the identity map and skip the
+    /// gather to keep the no-failure path bitwise-identical).
+    pub const RANK_ORIG: &str = "rank_orig";
+    /// Grid ids dropped for good under `ShrinkRedistribute` (rank-0
+    /// list; the final combination excluded them via robust
+    /// coefficients).
+    pub const DROPPED_GRIDS: &str = "dropped_grids";
 }
 
 /// Marker type documenting the report-key contract of [`run_app`]: results
@@ -126,10 +142,49 @@ fn drain_ckpt(ctx: &Ctx, ck: &Option<AsyncCheckpointer>) -> Result<()> {
     }
 }
 
-fn build_group(ctx: &Ctx, world: &Comm, my: Assignment) -> Result<Comm> {
+/// Split the world into per-grid groups. Idle spare ranks (`my` is
+/// `None`, `SpareSubstitute` only) take the colour one past the last grid
+/// so they land in a group of their own and the split stays collective.
+fn build_group(ctx: &Ctx, world: &Comm, my: Option<Assignment>, n_grids: usize) -> Result<Comm> {
+    let color = my.map_or(n_grids as i64, |m| m.grid as i64);
     world
-        .split(ctx, Some(my.grid as i64), world.rank() as i64)?
+        .split(ctx, Some(color), world.rank() as i64)?
         .ok_or_else(|| Error::InvalidArg("every rank belongs to a grid group".into()))
+}
+
+/// After a `SpareSubstitute` repair, the promote split may have moved this
+/// rank into a grid slot it did not own before (a spare taking over a
+/// failed active slot, or — on the spawn fallback — back to its own).
+/// Re-derive the assignment from the *current* world rank and rebuild the
+/// solver if the owned block changed; the subsequent data recovery
+/// restores its state. Other policies never move a surviving rank, so
+/// this is a no-op for them.
+fn refresh_slot(
+    ctx: &Ctx,
+    cfg: &AppConfig,
+    layout: &ProcLayout,
+    world: &Comm,
+    dt: f64,
+    my: &mut Option<Assignment>,
+    solver: &mut Option<DistributedSolver>,
+) {
+    if cfg.recovery_policy != RecoveryPolicy::SpareSubstitute {
+        return;
+    }
+    let _ = ctx;
+    let new = layout.try_assignment(world.rank());
+    if new != *my {
+        *my = new;
+        *solver = new.map(|m| {
+            DistributedSolver::new(
+                cfg.problem,
+                layout.system().grid(m.grid).level,
+                dt,
+                layout.group(m.grid),
+                m.local,
+            )
+        });
+    }
 }
 
 /// Post-reconstruction phase with a **commit protocol** that survives
@@ -154,13 +209,15 @@ fn recover_with_commit(
     cfg: &AppConfig,
     layout: &ProcLayout,
     mut world: Comm,
-    my: Assignment,
-    solver: &mut DistributedSolver,
+    my: &mut Option<Assignment>,
+    solver: &mut Option<DistributedSolver>,
+    dt: f64,
     store: &CheckpointStore,
     buddy_store: &mut recovery::BuddyStore,
     mut known: Option<(u64, Vec<usize>)>,
     timings: &mut ReconstructTimings,
 ) -> Result<(Comm, u64, Comm, f64, Vec<usize>)> {
+    let n_grids = layout.system().grids().len();
     loop {
         let _scope = ctx.recovery_scope();
         let mut group_attempt: Option<Comm> = None;
@@ -177,22 +234,29 @@ fn recover_with_commit(
             let meta = world.bcast(ctx, 0, meta.as_deref())?;
             let at_step = meta[0];
             let failed: Vec<usize> = meta[1..].iter().map(|&r| r as usize).collect();
-            let group = &*group_attempt.insert(build_group(ctx, &world, my)?);
+            let group = &*group_attempt.insert(build_group(ctx, &world, *my, n_grids)?);
             // Even a failed attempt spent restore time — attribute it.
+            // Idle spares hold no grid data; they skip the technique's
+            // recovery (which is group collectives plus point-to-point
+            // between grid owners) and just keep the world collectives
+            // above/below company.
             let t_res0 = ctx.now();
-            let recovered = recovery::recover(
-                ctx,
-                cfg,
-                layout,
-                &world,
-                group,
-                my,
-                solver,
-                store,
-                buddy_store,
-                &failed,
-                at_step,
-            );
+            let recovered = match (*my, solver.as_mut()) {
+                (Some(m), Some(sv)) => recovery::recover(
+                    ctx,
+                    cfg,
+                    layout,
+                    &world,
+                    group,
+                    m,
+                    sv,
+                    store,
+                    buddy_store,
+                    &failed,
+                    at_step,
+                ),
+                _ => Ok(recovery::RecoveryStats::default()),
+            };
             timings.t_restore += ctx.now() - t_res0;
             let stats = recovered?;
             Ok((at_step, stats.t_recovery, failed))
@@ -223,10 +287,29 @@ fn recover_with_commit(
             return Ok((world, at_step, group, trec, failed));
         }
         // Someone failed mid-recovery: repair the world, fold the new
-        // casualties into the metadata, and retry.
+        // casualties into the metadata, and retry. Only the respawn-family
+        // repairs apply here — `ShrinkRedistribute` never reaches this
+        // function, and a `DeferRepair` epoch has already restored the
+        // original numbering, so its mid-recovery casualties are repaired
+        // by the ordinary respawn protocol.
         let mut round = ReconstructTimings::default();
-        world =
-            communicator_reconstruct_with(ctx, Some(world), None, cfg.respawn_policy, &mut round)?;
+        world = match cfg.recovery_policy {
+            RecoveryPolicy::SpareSubstitute => communicator_reconstruct_substitute(
+                ctx,
+                world,
+                layout.world_size(),
+                cfg.respawn_policy,
+                &mut round,
+            )?,
+            _ => communicator_reconstruct_with(
+                ctx,
+                Some(world),
+                None,
+                cfg.respawn_policy,
+                &mut round,
+            )?,
+        };
+        refresh_slot(ctx, cfg, layout, &world, dt, my, solver);
         if let Some((_, failed)) = known.as_mut() {
             for &r in &round.failed_ranks {
                 if !failed.contains(&r) {
@@ -294,11 +377,26 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     let mut t_ckpt_local = 0.0_f64;
     let mut t_solve_local = 0.0_f64;
 
+    // ---- policy state. ----
+    let pol = cfg.recovery_policy;
+    // Grid-owning world prefix `W`; ranks `>= active_slots` are idle
+    // spares (`SpareSubstitute` only).
+    let active_slots = layout.world_size();
+    let n_grids = layout.system().grids().len();
+    // Current world rank → original rank. `None` means the identity (the
+    // world was never shrunk); set only by the shrink-family repairs.
+    let mut members: Option<Vec<usize>> = None;
+    // Cumulative dead under the shrink-family policies, original ranks.
+    let mut deferred: Vec<usize> = Vec::new();
+    // Grids dropped for good under `ShrinkRedistribute` (= the grids
+    // broken by `deferred`).
+    let mut dropped: Vec<usize> = Vec::new();
+
     // ---- world acquisition (original vs respawned child). ----
     let mut world: Comm;
     let mut current_step: u64;
-    let my: Assignment;
-    let mut solver: DistributedSolver;
+    let mut my: Option<Assignment>;
+    let mut solver: Option<DistributedSolver>;
     let mut group: Comm;
 
     if child {
@@ -318,22 +416,27 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             Err(Error::Orphaned) => return Err(Error::Orphaned),
             Err(e) => return Err(Error::InvalidArg(format!("[child-reconstruct] {e}"))),
         };
-        my = layout.assignment(world.rank());
-        solver = DistributedSolver::new(
-            cfg.problem,
-            layout.system().grid(my.grid).level,
-            tg.dt,
-            layout.group(my.grid),
-            my.local,
-        );
+        // Children are only spawned into grid slots (respawn, the defer
+        // epoch batch, or the substitute fallback) — never as spares.
+        my = Some(layout.assignment(world.rank()));
+        solver = my.map(|m| {
+            DistributedSolver::new(
+                cfg.problem,
+                layout.system().grid(m.grid).level,
+                tg.dt,
+                layout.group(m.grid),
+                m.local,
+            )
+        });
         let (w, d, g, trec, failed) = stage(
             recover_with_commit(
                 ctx,
                 cfg,
                 &layout,
                 world,
-                my,
+                &mut my,
                 &mut solver,
+                tg.dt,
                 &store,
                 &mut buddy_store,
                 None,
@@ -352,28 +455,38 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         }
     } else {
         world = ctx.initial_world().expect("original process has a world");
-        if world.size() != layout.world_size() {
+        let expected = cfg.world_size(layout.world_size());
+        if world.size() != expected {
             return Err(Error::InvalidArg(format!(
-                "world size {} does not match layout size {}",
+                "world size {} does not match layout size {} (+ {} spares)",
                 world.size(),
-                layout.world_size()
+                layout.world_size(),
+                cfg.spares
             )));
         }
-        my = layout.assignment(world.rank());
+        // `None` on the idle spare tail under `SpareSubstitute`.
+        my = layout.try_assignment(world.rank());
         // Arm this rank's operation-site and during-recovery fault
         // triggers (step-boundary strikes stay polled in the main loop).
         // Only original ranks arm — see the child branch.
         ctx.arm_fault_sites(&cfg.plan, world.rank());
-        solver = DistributedSolver::new(
-            cfg.problem,
-            layout.system().grid(my.grid).level,
-            tg.dt,
-            layout.group(my.grid),
-            my.local,
-        );
-        group = stage(build_group(ctx, &world, my), "initial-split", ctx)?;
+        solver = my.map(|m| {
+            DistributedSolver::new(
+                cfg.problem,
+                layout.system().grid(m.grid).level,
+                tg.dt,
+                layout.group(m.grid),
+                m.local,
+            )
+        });
+        group = stage(build_group(ctx, &world, my, n_grids), "initial-split", ctx)?;
         current_step = 0;
     }
+
+    // This rank's original identity: fixed for the whole run, used for
+    // step-strike polling (world ranks shift under the shrink-family
+    // policies; under respawn it equals the world rank throughout).
+    let orig_rank = world.rank();
 
     // ---- main loop over detection segments. ----
     let dpoints = detection_points(cfg);
@@ -393,18 +506,24 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             .expect("detection points end at `steps`");
 
         // Solve this segment. A broken group sits the stepping out (its
-        // data will be recovered wholesale), but the failure generator
-        // keeps firing: a planned kill strikes at its step regardless of
-        // what the rank is doing, like a real SIGKILL.
+        // data will be recovered wholesale — or, under the shrink-family
+        // policies, its grid is already dropped), but the failure
+        // generator keeps firing: a planned kill strikes at its step
+        // regardless of what the rank is doing, like a real SIGKILL.
+        // Strikes are planned by *original* rank — world ranks shift
+        // under the shrink-family policies.
         let t_solve0 = ctx.now();
         for s in current_step..dp {
-            if cfg.plan.strikes(world.rank(), s) {
+            if cfg.plan.strikes(orig_rank, s) {
                 ctx.die();
             }
             if group_broken {
                 continue;
             }
-            match solver.step(ctx, &group) {
+            let Some(sv) = solver.as_mut() else {
+                continue; // idle spare
+            };
+            match sv.step(ctx, &group) {
                 Ok(()) => {}
                 Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
                     // Propagate the failure to the rest of the group:
@@ -422,23 +541,52 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         current_step = dp;
         // Failures injected "at some point before the combination": a plan
         // entry at `steps` strikes right before the final detection.
-        if dp == steps && cfg.plan.strikes(world.rank(), steps) {
+        if dp == steps && cfg.plan.strikes(orig_rank, steps) {
             ctx.die();
         }
 
-        // Detection + (if needed) reconstruction — the Fig. 3 protocol.
+        // Detection + (if needed) reconstruction — the Fig. 3 protocol,
+        // with the repair action chosen by the recovery policy.
         // `round` accumulates this event's timings only (detection,
         // reconstruction, and the commit-protocol recovery below), so the
         // window starting here can be broken into per-phase durations.
         let t_event0 = ctx.now();
         let mut round = ReconstructTimings::default();
         world = stage(
-            communicator_reconstruct_with(ctx, Some(world), None, cfg.respawn_policy, &mut round),
+            detect_and_repair(
+                ctx,
+                world,
+                pol,
+                cfg.respawn_policy,
+                active_slots,
+                &mut members,
+                &mut round,
+            ),
             "detect-reconstruct",
             ctx,
         )?;
         let repaired = !round.failed_ranks.is_empty();
-        if repaired {
+        if repaired && pol.shrinks_mid_run() {
+            // Shrink-family mid-run repair: nothing was spawned. Fold the
+            // new dead (original numbering) into the cumulative set, drop
+            // their grids, and keep going on the survivors. Survivors of
+            // a broken grid sit out — for good under shrink, until the
+            // epoch batch under defer. Healthy groups keep their old
+            // group communicator (its membership is untouched).
+            for &r in &round.failed_ranks {
+                if !deferred.contains(&r) {
+                    deferred.push(r);
+                }
+            }
+            deferred.sort_unstable();
+            dropped = layout.broken_grids(&deferred);
+            group_broken = my.is_some_and(|m| dropped.contains(&m.grid));
+            if world.rank() == 0 {
+                ctx.report_timeline(build_timeline(event_idx, dp, t_event0, ctx.now(), &round));
+            }
+            event_idx += 1;
+            merge_timings(&mut repair_timings, &round);
+        } else if repaired {
             let mut known_failed = round.failed_ranks.clone();
             if world.rank() == 0 && dp == steps {
                 // End-of-run failures accumulate across recovery rounds so
@@ -457,6 +605,8 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             let t_drain0 = ctx.now();
             stage(drain_ckpt(ctx, &async_ckpt), "ckpt-drain", ctx)?;
             t_ckpt_local += ctx.now() - t_drain0;
+            // A promote split may have moved this rank into a failed slot.
+            refresh_slot(ctx, cfg, &layout, &world, tg.dt, &mut my, &mut solver);
             let known = Some((dp, known_failed));
             let (w, d, g, trec, failed) = stage(
                 recover_with_commit(
@@ -464,8 +614,9 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                     cfg,
                     &layout,
                     world,
-                    my,
+                    &mut my,
                     &mut solver,
+                    tg.dt,
                     &store,
                     &mut buddy_store,
                     known,
@@ -488,72 +639,146 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 extend_lost(&mut final_lost, &layout, &failed);
                 end_failed = failed;
             }
-        } else if cfg.technique == Technique::CheckpointRestart && dp < steps {
+        } else if cfg.technique == Technique::CheckpointRestart && dp < steps && !group_broken {
             // Healthy checkpoint write ("failure detection is tested prior
-            // to initiating the checkpoint write").
-            let t0 = ctx.now();
-            match gather_own_grid(ctx, &group, &layout, my, &solver, &mut block_buf) {
-                Ok(full) => {
-                    if let Some(g) = full {
-                        if cfg.ckpt_async {
-                            // Snapshot + hand-off; T_IO is charged as
-                            // deferred cost and settled at the drains.
-                            let ck = async_ckpt
-                                .get_or_insert_with(|| AsyncCheckpointer::new(store.clone()));
-                            ck.enqueue(ctx, my.grid, current_step, &g).map_err(|e| {
-                                Error::InvalidArg(format!("checkpoint enqueue: {e}"))
-                            })?;
-                        } else {
-                            let bytes = store
-                                .write(my.grid, current_step, &g)
-                                .map_err(|e| Error::InvalidArg(format!("checkpoint write: {e}")))?;
-                            ctx.disk_write(bytes);
+            // to initiating the checkpoint write"). A rank sitting out
+            // (broken grid under a shrink-family policy) and the idle
+            // spares skip the write.
+            if let (Some(m), Some(sv)) = (my, solver.as_ref()) {
+                let t0 = ctx.now();
+                match gather_own_grid(ctx, &group, &layout, m, sv, &mut block_buf) {
+                    Ok(full) => {
+                        if let Some(g) = full {
+                            if cfg.ckpt_async {
+                                // Snapshot + hand-off; T_IO is charged as
+                                // deferred cost and settled at the drains.
+                                let ck = async_ckpt
+                                    .get_or_insert_with(|| AsyncCheckpointer::new(store.clone()));
+                                ck.enqueue(ctx, m.grid, current_step, &g).map_err(|e| {
+                                    Error::InvalidArg(format!("checkpoint enqueue: {e}"))
+                                })?;
+                            } else {
+                                let bytes = store.write(m.grid, current_step, &g).map_err(|e| {
+                                    Error::InvalidArg(format!("checkpoint write: {e}"))
+                                })?;
+                                ctx.disk_write(bytes);
+                            }
                         }
                     }
-                }
-                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
-                    // A group member died mid-checkpoint. This checkpoint
-                    // is lost (recovery will fall back to an older one and
-                    // recompute further); mark the group broken and let
-                    // the next detection point repair.
-                    group.revoke(ctx);
-                    world.revoke(ctx);
-                    group_broken = true;
-                }
-                Err(e) => return Err(e),
-            }
-            t_ckpt_local += ctx.now() - t0;
-        } else if cfg.technique == Technique::BuddyCheckpoint && dp < steps {
-            // Healthy buddy exchange: the in-memory, diskless analogue.
-            let t0 = ctx.now();
-            match recovery::buddy_exchange(
-                ctx,
-                &layout,
-                &world,
-                &group,
-                my,
-                &solver,
-                current_step,
-                &mut buddy_store,
-            ) {
-                Ok(()) => {}
-                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
-                    // Release any peer blocked on the dead/errored ranks.
-                    world.revoke(ctx);
-                    if !group.failed_ranks().is_empty() || group.is_revoked() {
-                        // Our own group lost someone: sit the next segment
-                        // out and let the detection point repair us.
+                    Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                        // A group member died mid-checkpoint. This checkpoint
+                        // is lost (recovery will fall back to an older one and
+                        // recompute further); mark the group broken and let
+                        // the next detection point repair.
                         group.revoke(ctx);
+                        world.revoke(ctx);
                         group_broken = true;
                     }
-                    // Otherwise a *cross-group* buddy failed mid-exchange:
-                    // our grid is intact, so skip this protection round
-                    // (the buddy store keeps its previous copy) and keep
-                    // stepping.
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
+                t_ckpt_local += ctx.now() - t0;
             }
-            t_ckpt_local += ctx.now() - t0;
+        } else if cfg.technique == Technique::BuddyCheckpoint && dp < steps && members.is_none() {
+            // Healthy buddy exchange: the in-memory, diskless analogue.
+            // Suspended for the rest of the run once a shrink-family
+            // repair removed ranks (`members` set): the exchange is a
+            // world-wide protocol keyed by original roots, and a dropped
+            // grid's root may simply be gone. `members` flips identically
+            // on every survivor, so the suspension is collective.
+            if !group_broken {
+                if let (Some(m), Some(sv)) = (my, solver.as_ref()) {
+                    let t0 = ctx.now();
+                    match recovery::buddy_exchange(
+                        ctx,
+                        &layout,
+                        &world,
+                        &group,
+                        m,
+                        sv,
+                        current_step,
+                        &mut buddy_store,
+                    ) {
+                        Ok(()) => {}
+                        Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                            // Release any peer blocked on the dead/errored ranks.
+                            world.revoke(ctx);
+                            if !group.failed_ranks().is_empty() || group.is_revoked() {
+                                // Our own group lost someone: sit the next segment
+                                // out and let the detection point repair us.
+                                group.revoke(ctx);
+                                group_broken = true;
+                            }
+                            // Otherwise a *cross-group* buddy failed mid-exchange:
+                            // our grid is intact, so skip this protection round
+                            // (the buddy store keeps its previous copy) and keep
+                            // stepping.
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    t_ckpt_local += ctx.now() - t0;
+                }
+            }
+        }
+
+        // ---- the `DeferRepair` lazy batch: at the combination epoch,
+        // respawn every accumulated dead in one round and run the
+        // technique's data recovery with the full failed set. From here
+        // on the run is indistinguishable from `Respawn`. ----
+        if pol == RecoveryPolicy::DeferRepair && dp == steps && !deferred.is_empty() {
+            let t_event0 = ctx.now();
+            let mut round = ReconstructTimings::default();
+            let t_drain0 = ctx.now();
+            stage(drain_ckpt(ctx, &async_ckpt), "ckpt-drain", ctx)?;
+            t_ckpt_local += ctx.now() - t_drain0;
+            let m = members.take().unwrap_or_else(|| (0..world.size()).collect());
+            world = stage(
+                deferred_epoch_repair(ctx, world, m, &mut deferred, cfg.respawn_policy, &mut round),
+                "defer-epoch-repair",
+                ctx,
+            )?;
+            // Everyone repaired this epoch: the deferred set plus any
+            // casualty of the batch itself, plus earlier end-of-run
+            // rounds — children must derive the same lost-grid set.
+            let mut known_failed = round.failed_ranks.clone();
+            if world.rank() == 0 {
+                for &r in &end_failed {
+                    if !known_failed.contains(&r) {
+                        known_failed.push(r);
+                    }
+                }
+                known_failed.sort_unstable();
+            }
+            let (w, d, g, trec, failed) = stage(
+                recover_with_commit(
+                    ctx,
+                    cfg,
+                    &layout,
+                    world,
+                    &mut my,
+                    &mut solver,
+                    tg.dt,
+                    &store,
+                    &mut buddy_store,
+                    Some((steps, known_failed)),
+                    &mut round,
+                ),
+                "defer-epoch-recovery",
+                ctx,
+            )?;
+            debug_assert_eq!(d, steps);
+            world = w;
+            group = g;
+            t_rec_local += trec;
+            group_broken = false;
+            deferred.clear();
+            dropped.clear();
+            if world.rank() == 0 {
+                ctx.report_timeline(build_timeline(event_idx, steps, t_event0, ctx.now(), &round));
+            }
+            event_idx += 1;
+            merge_timings(&mut repair_timings, &round);
+            extend_lost(&mut final_lost, &layout, &failed);
+            end_failed = failed;
         }
     }
 
@@ -588,20 +813,24 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             })
             .collect();
         debug_assert!(!fabricated.contains(&0), "rank 0 cannot be a (simulated) victim");
-        let stats = recovery::recover(
-            ctx,
-            cfg,
-            &layout,
-            &world,
-            &group,
-            my,
-            &mut solver,
-            &store,
-            &mut buddy_store,
-            &fabricated,
-            steps,
-        )?;
-        t_rec_local += stats.t_recovery;
+        // The recovery protocol is group collectives plus point-to-point
+        // between grid owners; idle spares have nothing to do.
+        if let (Some(m), Some(sv)) = (my, solver.as_mut()) {
+            let stats = recovery::recover(
+                ctx,
+                cfg,
+                &layout,
+                &world,
+                &group,
+                m,
+                sv,
+                &store,
+                &mut buddy_store,
+                &fabricated,
+                steps,
+            )?;
+            t_rec_local += stats.t_recovery;
+        }
         for g in layout.broken_grids(&fabricated) {
             if !final_lost.contains(&g) {
                 final_lost.push(g);
@@ -622,32 +851,65 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // the world, re-runs data recovery for the new casualties, and
     // restarts the phase from scratch on the fresh communicators (the
     // combination is pure, so re-running it is safe).
-    // (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids)
-    type CombineOutcome = (f64, f64, f64, f64, f64, Vec<f64>, Vec<f64>);
+    // (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids, rank_orig)
+    type CombineOutcome = (f64, f64, f64, f64, f64, Vec<f64>, Vec<f64>, Vec<f64>);
+    // Under `ShrinkRedistribute` the dropped grids are lost for good:
+    // fold them into the final lost set so the combination recomputes its
+    // coefficients over the survivors (for *every* technique — there is
+    // no restored data to combine classically).
+    if pol == RecoveryPolicy::ShrinkRedistribute {
+        for &g in &dropped {
+            if !final_lost.contains(&g) {
+                final_lost.push(g);
+            }
+        }
+        final_lost.sort_unstable();
+    }
     let sys = layout.system();
     let tags = TagSpace::for_layout(&layout);
-    let (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids) = loop {
+    let (err, t_rec_max, t_ckpt_max, t_solve_max, t_end, rank_hosts, rank_grids, rank_orig) = loop {
         let attempt: Result<CombineOutcome> = (|| {
-            let use_robust =
-                cfg.technique == Technique::AlternateCombination && !final_lost.is_empty();
+            let use_robust = match pol {
+                // Dropped grids were never repaired: robust coefficients
+                // are the only way to a solution, whatever the technique.
+                RecoveryPolicy::ShrinkRedistribute => !final_lost.is_empty(),
+                // Repaired-slot policies restored exact (CR/BC) or
+                // near-exact (RC) data; only Alternate Combination's
+                // end-of-run losses combine robustly.
+                _ => cfg.technique == Technique::AlternateCombination && !final_lost.is_empty(),
+            };
             let (combine_ids, combine_coeffs): (Vec<usize>, Vec<f64>) = if use_robust {
-                let lost_levels: Vec<LevelPair> =
-                    final_lost.iter().map(|&b| sys.grid(b).level).collect();
+                // A level only counts as lost when *no* surviving grid
+                // holds it: under the Duplicates layout a dropped
+                // diagonal whose duplicate survives is still covered.
                 let surviving: LevelSet = sys
                     .grids()
                     .iter()
                     .filter(|g| !final_lost.contains(&g.id))
                     .map(|g| g.level)
                     .collect();
-                let cmap = robust_coefficients(&sys.classical_downset(), &lost_levels, &surviving);
-                let ids: Vec<usize> = sys
-                    .grids()
+                let lost_levels: Vec<LevelPair> = final_lost
                     .iter()
-                    .filter(|g| {
-                        !final_lost.contains(&g.id) && cmap.get(&g.level).copied().unwrap_or(0) != 0
-                    })
-                    .map(|g| g.id)
+                    .map(|&b| sys.grid(b).level)
+                    .filter(|lv| !surviving.contains(lv))
                     .collect();
+                let cmap = robust_coefficients(&sys.classical_downset(), &lost_levels, &surviving);
+                // One combining grid per level, in grid-id order (the
+                // diagonal precedes its duplicate, so the duplicate only
+                // stands in when the diagonal is gone) — a duplicate pair
+                // must not be double-counted.
+                let mut ids: Vec<usize> = Vec::new();
+                let mut covered: Vec<LevelPair> = Vec::new();
+                for g in sys.grids() {
+                    if final_lost.contains(&g.id)
+                        || cmap.get(&g.level).copied().unwrap_or(0) == 0
+                        || covered.contains(&g.level)
+                    {
+                        continue;
+                    }
+                    covered.push(g.level);
+                    ids.push(g.id);
+                }
                 let coeffs = ids.iter().map(|&i| cmap[&sys.grid(i).level] as f64).collect();
                 (ids, coeffs)
             } else {
@@ -655,26 +917,44 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 let coeffs = ids.iter().map(|&i| sys.classical_coefficient(i) as f64).collect();
                 (ids, coeffs)
             };
-            let combining = combine_ids.contains(&my.grid);
+            // A dropped grid never combines (it is in `final_lost`), so a
+            // sitting-out survivor is excluded via `combine_ids` already;
+            // `group_broken` and the spare guard make the exclusion
+            // explicit.
+            let combining = !group_broken && my.is_some_and(|m| combine_ids.contains(&m.grid));
             let mut my_full: Option<Grid2> = None;
             if combining {
-                my_full = gather_own_grid(ctx, &group, &layout, my, &solver, &mut block_buf)?;
+                let m = my.expect("combining rank owns a grid");
+                let sv = solver.as_ref().expect("combining rank runs a solver");
+                my_full = gather_own_grid(ctx, &group, &layout, m, sv, &mut block_buf)?;
             }
             let target = sys.min_level();
             let combined: Option<Grid2> = match cfg.combine_mode {
                 CombineMode::Central => {
                     // Reference path: every leader ships its whole grid to
                     // the controller, which left-folds the combination.
+                    // (Rank 0 is always original rank 0 — the members map
+                    // never drops it.)
                     if let Some(g) = &my_full {
                         if world.rank() != 0 {
-                            send_grid(ctx, &world, 0, tags.combine + my.grid as i32, g)?;
+                            let gid = my.expect("combining rank owns a grid").grid;
+                            send_grid(ctx, &world, 0, tags.combine + gid as i32, g)?;
                         }
                     }
                     if world.rank() == 0 {
                         let mut scratch = GridScratch::default();
                         let mut sources: Vec<(f64, Grid2)> = Vec::new();
                         for (&gid, &coeff) in combine_ids.iter().zip(&combine_coeffs) {
-                            let grid = if layout.root_of(gid) == world.rank() {
+                            // Layout roots are original ranks; translate to
+                            // the current world (a surviving grid's root is
+                            // alive, or the grid would be in the lost set).
+                            let src = current_rank_of(layout.root_of(gid), members.as_deref())
+                                .ok_or_else(|| {
+                                    Error::InvalidArg(format!(
+                                        "combining grid {gid}'s root is not in the shrunken world"
+                                    ))
+                                })?;
+                            let grid = if src == world.rank() {
                                 // Each grid id is combined exactly once, so
                                 // the gathered grid can be moved, not cloned.
                                 my_full.take().expect("controller gathered its own grid")
@@ -682,7 +962,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                                 recv_grid_into(
                                     ctx,
                                     &world,
-                                    layout.root_of(gid),
+                                    src,
                                     tags.combine + gid as i32,
                                     &mut scratch,
                                 )?
@@ -706,13 +986,26 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                     // own term on the target level, then partially combined
                     // grids flow down a log-depth tree (bitwise equal to
                     // `combine_binomial` of the same ordered term list).
-                    let leaders: Vec<usize> =
-                        combine_ids.iter().map(|&gid| layout.root_of(gid)).collect();
+                    // Layout roots are original ranks; translate each to
+                    // the current (possibly shrunken) world.
+                    let leaders: Vec<usize> = combine_ids
+                        .iter()
+                        .map(|&gid| {
+                            current_rank_of(layout.root_of(gid), members.as_deref()).ok_or_else(
+                                || {
+                                    Error::InvalidArg(format!(
+                                        "combining grid {gid}'s leader is not in the shrunken world"
+                                    ))
+                                },
+                            )
+                        })
+                        .collect::<Result<_>>()?;
                     let part = match my_full.take() {
                         Some(g) => {
+                            let mg = my.expect("combining rank owns a grid").grid;
                             let k = combine_ids
                                 .iter()
-                                .position(|&gid| gid == my.grid)
+                                .position(|&gid| gid == mg)
                                 .expect("leader's grid is a combination term");
                             let term = CombinationTerm { coeff: combine_coeffs[k], grid: &g };
                             let p = combine_onto(target, std::slice::from_ref(&term));
@@ -757,11 +1050,67 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 o.map(|v| v.into_iter().flatten().collect()).unwrap_or_default()
             };
             let hosts = flatten(world.gather(ctx, 0, &[ctx.my_host() as f64])?);
-            let grids = flatten(world.gather(ctx, 0, &[my.grid as f64])?);
-            Ok((err, t_rec_max, t_ckpt_max, t_solve_max, t_end, hosts, grids))
+            // Idle spares report grid −1.
+            let grids = flatten(world.gather(ctx, 0, &[my.map_or(-1.0, |m| m.grid as f64)])?);
+            // The membership map, only under the policies whose contract
+            // O7 checks through it — the respawn-family policies skip the
+            // extra gather so their no-failure path stays bitwise
+            // identical to the pre-policy code.
+            let origs = if matches!(
+                pol,
+                RecoveryPolicy::ShrinkRedistribute | RecoveryPolicy::SpareSubstitute
+            ) {
+                flatten(world.gather(ctx, 0, &[orig_rank as f64])?)
+            } else {
+                Vec::new()
+            };
+            Ok((err, t_rec_max, t_ckpt_max, t_solve_max, t_end, hosts, grids, origs))
         })();
         match attempt {
             Ok(v) => break v,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked)
+                if pol == RecoveryPolicy::ShrinkRedistribute =>
+            {
+                // A casualty mid-combination under shrink: drop the new
+                // dead and their grids and retry over the smaller
+                // survivor set — no repair, no data recovery. Healthy
+                // groups keep their comms (their membership is intact;
+                // the world revoke releases any rank blocked on a dead
+                // peer's point-to-point).
+                let t_event0 = ctx.now();
+                world.revoke(ctx);
+                let mut round = ReconstructTimings::default();
+                world = stage(
+                    communicator_reconstruct_shrink(ctx, world, &mut members, &mut round),
+                    "combine-shrink",
+                    ctx,
+                )?;
+                for &r in &round.failed_ranks {
+                    if !deferred.contains(&r) {
+                        deferred.push(r);
+                    }
+                }
+                deferred.sort_unstable();
+                dropped = layout.broken_grids(&deferred);
+                for &g in &dropped {
+                    if !final_lost.contains(&g) {
+                        final_lost.push(g);
+                    }
+                }
+                final_lost.sort_unstable();
+                group_broken = my.is_some_and(|m| dropped.contains(&m.grid));
+                if world.rank() == 0 {
+                    ctx.report_timeline(build_timeline(
+                        event_idx,
+                        steps,
+                        t_event0,
+                        ctx.now(),
+                        &round,
+                    ));
+                }
+                event_idx += 1;
+                merge_timings(&mut repair_timings, &round);
+            }
             Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
                 // Release peers still blocked in this attempt, repair,
                 // recover the new casualties, and go again. This is a
@@ -771,16 +1120,26 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 group.revoke(ctx);
                 let mut round = ReconstructTimings::default();
                 world = stage(
-                    communicator_reconstruct_with(
-                        ctx,
-                        Some(world),
-                        None,
-                        cfg.respawn_policy,
-                        &mut round,
-                    ),
+                    match pol {
+                        RecoveryPolicy::SpareSubstitute => communicator_reconstruct_substitute(
+                            ctx,
+                            world,
+                            active_slots,
+                            cfg.respawn_policy,
+                            &mut round,
+                        ),
+                        _ => communicator_reconstruct_with(
+                            ctx,
+                            Some(world),
+                            None,
+                            cfg.respawn_policy,
+                            &mut round,
+                        ),
+                    },
                     "combine-reconstruct",
                     ctx,
                 )?;
+                refresh_slot(ctx, cfg, &layout, &world, tg.dt, &mut my, &mut solver);
                 let mut known_failed = round.failed_ranks.clone();
                 for &r in &end_failed {
                     if !known_failed.contains(&r) {
@@ -794,8 +1153,9 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                         cfg,
                         &layout,
                         world,
-                        my,
+                        &mut my,
                         &mut solver,
+                        tg.dt,
                         &store,
                         &mut buddy_store,
                         Some((steps, known_failed)),
@@ -843,6 +1203,13 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         ctx.report_f64(keys::WORLD, world.size() as f64);
         ctx.report_list(keys::RANK_HOSTS, &rank_hosts);
         ctx.report_list(keys::RANK_GRIDS, &rank_grids);
+        if !rank_orig.is_empty() {
+            ctx.report_list(keys::RANK_ORIG, &rank_orig);
+        }
+        if pol == RecoveryPolicy::ShrinkRedistribute {
+            let d: Vec<f64> = dropped.iter().map(|&g| g as f64).collect();
+            ctx.report_list(keys::DROPPED_GRIDS, &d);
+        }
         // Best-effort cleanup of the checkpoint directory.
         let _ = store.clear();
     }

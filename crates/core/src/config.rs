@@ -7,6 +7,7 @@ use sparsegrid::Layout;
 use ulfm_sim::FaultPlan;
 
 use crate::checkpoint::CorruptionPlan;
+use crate::policy::RecoveryPolicy;
 use crate::reconstruct::RespawnPolicy;
 
 /// The three data recovery techniques of the paper (§II-D).
@@ -110,6 +111,14 @@ pub struct AppConfig {
     /// Where replacement processes go (the paper's same-host placement,
     /// or the §V future-work spare-node policy).
     pub respawn_policy: RespawnPolicy,
+    /// What "repair" means: respawn to full size (paper), shrink and
+    /// continue degraded, promote spares, or defer to the combination
+    /// epoch. See [`RecoveryPolicy`].
+    pub recovery_policy: RecoveryPolicy,
+    /// Idle spare ranks provisioned after the active slots
+    /// (`SpareSubstitute` only; the launch world is
+    /// `layout.world_size() + spares`). Ignored by the other policies.
+    pub spares: usize,
     /// If set, the controller writes the combined solution here as
     /// `<prefix>.csv` and `<prefix>.pgm` after the final combination.
     pub output_prefix: Option<PathBuf>,
@@ -150,6 +159,8 @@ impl AppConfig {
             problem: AdvectionProblem::standard(),
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
+            recovery_policy: RecoveryPolicy::Respawn,
+            spares: 0,
             output_prefix: None,
             combine_mode: CombineMode::default(),
         }
@@ -173,6 +184,8 @@ impl AppConfig {
             problem: AdvectionProblem::standard(),
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
+            recovery_policy: RecoveryPolicy::Respawn,
+            spares: 0,
             output_prefix: None,
             combine_mode: CombineMode::default(),
         }
@@ -188,6 +201,30 @@ impl AppConfig {
     pub fn with_respawn_policy(mut self, policy: RespawnPolicy) -> Self {
         self.respawn_policy = policy;
         self
+    }
+
+    /// Replace the recovery policy (shrink / substitute / defer).
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery_policy = policy;
+        self
+    }
+
+    /// Provision `k` idle spare ranks after the active slots
+    /// (`SpareSubstitute`). The caller must launch
+    /// `layout.world_size() + k` processes; see [`AppConfig::world_size`].
+    pub fn with_spares(mut self, k: usize) -> Self {
+        self.spares = k;
+        self
+    }
+
+    /// The world size this configuration must be launched with: the
+    /// layout's active slots, plus the spare tail under
+    /// [`RecoveryPolicy::SpareSubstitute`].
+    pub fn world_size(&self, layout_world: usize) -> usize {
+        match self.recovery_policy {
+            RecoveryPolicy::SpareSubstitute => layout_world + self.spares,
+            _ => layout_world,
+        }
     }
 
     /// Replace the simulated-loss list (paper Figs. 9 and 10).

@@ -107,6 +107,22 @@ pub fn scatter_grid(
     group.scatter(ctx, 0, parts.as_deref())
 }
 
+/// Translate an *original* world rank into the current (possibly
+/// shrunken) world. `members[i]` is the original rank of current rank `i`
+/// (ascending — the shrink preserves relative order); `None` means the
+/// world was never shrunk, so ranks are original. Returns `None` when the
+/// original rank is dead under the current membership.
+///
+/// The combination under `ShrinkRedistribute` routes every grid exchange
+/// through this: group leaders and the central root are recorded in the
+/// layout by original rank, but live at their compacted rank.
+pub fn current_rank_of(orig: usize, members: Option<&[usize]>) -> Option<usize> {
+    match members {
+        None => Some(orig),
+        Some(m) => m.binary_search(&orig).ok(),
+    }
+}
+
 /// Send a whole grid over a communicator as two messages (level header +
 /// payload). Pairs with [`recv_grid`].
 pub fn send_grid(ctx: &Ctx, comm: &Comm, dest: usize, tag: i32, grid: &Grid2) -> Result<()> {

@@ -155,6 +155,17 @@ impl ProcLayout {
         Assignment { grid: g.grid, local, pi: local % g.px, pj: local / g.px }
     }
 
+    /// The assignment of a world rank, or `None` beyond the layout —
+    /// spare ranks under `SpareSubstitute` sit past `world_size()` and
+    /// own no sub-grid.
+    pub fn try_assignment(&self, world_rank: usize) -> Option<Assignment> {
+        if world_rank < self.total {
+            Some(self.assignment(world_rank))
+        } else {
+            None
+        }
+    }
+
     /// Which sub-grid a world rank works on.
     pub fn grid_of(&self, world_rank: usize) -> usize {
         self.assignment(world_rank).grid
@@ -171,6 +182,26 @@ impl ProcLayout {
         grids.sort_unstable();
         grids.dedup();
         grids
+    }
+
+    /// The shrink-and-redistribute re-layout: given the cumulative dead
+    /// set (original numbering), the surviving world is the original
+    /// ranks minus the dead, in ascending order — `members[i]` is the
+    /// original rank of post-shrink world rank `i` (ULFM's
+    /// `MPI_Comm_shrink` preserves relative rank order, so this *is* the
+    /// compaction the runtime performs). A pure function of the dead set
+    /// alone: the chaos O7 oracle and the determinism proptest both
+    /// recompute it independently of the run.
+    pub fn shrink_members(total: usize, dead: &[usize]) -> Vec<usize> {
+        (0..total).filter(|r| !dead.contains(r)).collect()
+    }
+
+    /// The grids dropped by shrink-and-redistribute for a cumulative dead
+    /// set: every grid that lost at least one member. Survivors of a
+    /// dropped grid keep their ranks but sit out stepping and the final
+    /// combination (their group communicator died with the grid).
+    pub fn dropped_grids(&self, dead: &[usize]) -> Vec<usize> {
+        self.broken_grids(dead)
     }
 
     /// World ranks whose failure would violate the Resampling-and-Copying

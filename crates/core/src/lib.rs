@@ -28,6 +28,7 @@ pub mod detect;
 pub mod gather;
 pub mod layout;
 pub mod output;
+pub mod policy;
 pub mod psolve;
 pub mod reconstruct;
 pub mod recovery;
@@ -39,9 +40,10 @@ pub use checkpoint::{CheckpointStore, CorruptKind, CorruptionPlan, CorruptionStr
 pub use ckpt_async::AsyncCheckpointer;
 pub use config::{AppConfig, CombineMode, Technique};
 pub use layout::{Assignment, GroupInfo, ProcLayout};
+pub use policy::RecoveryPolicy;
 pub use reconstruct::{
-    communicator_reconstruct, communicator_reconstruct_with, repair_comm, repair_comm_with,
-    ReconstructTimings, RespawnPolicy,
+    communicator_reconstruct, communicator_reconstruct_with, deferred_epoch_repair,
+    detect_and_repair, repair_comm, repair_comm_with, ReconstructTimings, RespawnPolicy,
 };
 pub use tags::TagSpace;
 pub use timeline::{build_timeline, PHASES};

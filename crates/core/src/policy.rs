@@ -1,0 +1,131 @@
+//! Recovery policies: what "repair" means when processes die.
+//!
+//! The paper always restores the world to its original size by respawning
+//! replacements on their old hosts (here: [`RecoveryPolicy::Respawn`]).
+//! The policy engine adds the alternatives studied in *Shrink or
+//! Substitute* (Ashraf et al., arXiv 1801.04523) and *To Repair or Not to
+//! Repair* (Rocco et al., arXiv 2410.08647):
+//!
+//! * [`RecoveryPolicy::ShrinkRedistribute`] — survivors shrink the world
+//!   and continue at reduced size. Grids that lost a member are dropped
+//!   for good; the final combination recomputes its coefficients over the
+//!   surviving grid set (the FTCT robust-combination update), so the run
+//!   still produces a solution — a degraded-accuracy one — with **zero**
+//!   spawn/merge cost per failure.
+//! * [`RecoveryPolicy::SpareSubstitute`] — the launch provisions
+//!   `AppConfig::spares` extra idle ranks after the active slots. A repair
+//!   is revoke → shrink → one rank-reordering split that promotes spares
+//!   into the failed slots: no spawn round-trip, no intercommunicator
+//!   merge. If a failure burst exhausts the remaining spares the repair
+//!   falls back to the respawn protocol (the invariant "world rank `< W`
+//!   ⇔ grid slot" is restored either way).
+//! * [`RecoveryPolicy::DeferRepair`] — mid-run detections only shrink
+//!   (like `ShrinkRedistribute`); broken grids sit out and nothing is
+//!   spawned while the survivors keep stepping. At the combination epoch
+//!   the accumulated dead are respawned in one batch, data recovery runs
+//!   with the full failed set, and the final state matches `Respawn`
+//!   (exactly — bitwise for the checkpointed techniques, since restore +
+//!   deterministic recompute commutes with when the repair happens).
+//!
+//! Contracts (enforced by the chaos engine's O7 oracle):
+//!
+//! | policy     | final world size       | final grid coverage            |
+//! |------------|------------------------|--------------------------------|
+//! | respawn    | `W`                    | identical to the healthy run   |
+//! | shrink     | `W − dead`             | survivors keep their grids; broken grids reported as dropped |
+//! | substitute | `W + spares − promoted`| slots `0..W` full; tail ranks idle |
+//! | defer      | `W`                    | identical to the healthy run   |
+
+/// How the application repairs the world communicator after failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecoveryPolicy {
+    /// The paper's protocol: respawn every failed rank, restore the
+    /// original size and rank order (Figs. 3/5/7).
+    #[default]
+    Respawn,
+    /// Shrink-and-redistribute: continue on the survivors at reduced
+    /// size; never spawn. Broken grids are dropped and the final
+    /// combination uses robust coefficients over the surviving grid set.
+    ShrinkRedistribute,
+    /// Promote pre-provisioned spare ranks into the failed grid slots
+    /// with a single split — no spawn round-trip.
+    SpareSubstitute,
+    /// Continue degraded (shrink-only) until the combination epoch, then
+    /// respawn the accumulated dead in one batch and recover.
+    DeferRepair,
+}
+
+impl RecoveryPolicy {
+    /// Stable lowercase name, used in chaos specs (`CR+shrink/...`),
+    /// CLI flags and CI matrix lanes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Respawn => "respawn",
+            RecoveryPolicy::ShrinkRedistribute => "shrink",
+            RecoveryPolicy::SpareSubstitute => "substitute",
+            RecoveryPolicy::DeferRepair => "defer",
+        }
+    }
+
+    /// Parse a [`Self::label`] (case-insensitive).
+    pub fn from_label(s: &str) -> Option<RecoveryPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "respawn" => Some(RecoveryPolicy::Respawn),
+            "shrink" => Some(RecoveryPolicy::ShrinkRedistribute),
+            "substitute" | "sub" => Some(RecoveryPolicy::SpareSubstitute),
+            "defer" | "norepair" => Some(RecoveryPolicy::DeferRepair),
+            _ => None,
+        }
+    }
+
+    /// All four, in reporting order.
+    pub fn all() -> [RecoveryPolicy; 4] {
+        [
+            RecoveryPolicy::Respawn,
+            RecoveryPolicy::ShrinkRedistribute,
+            RecoveryPolicy::SpareSubstitute,
+            RecoveryPolicy::DeferRepair,
+        ]
+    }
+
+    /// Does a mid-run detection under this policy repair by shrinking
+    /// only (no spawn, world gets smaller)?
+    pub fn shrinks_mid_run(&self) -> bool {
+        matches!(self, RecoveryPolicy::ShrinkRedistribute | RecoveryPolicy::DeferRepair)
+    }
+
+    /// Does the final state restore the healthy run's placement exactly
+    /// (world size `W`, every slot on its original grid and host)?
+    pub fn restores_full_placement(&self) -> bool {
+        matches!(self, RecoveryPolicy::Respawn | RecoveryPolicy::DeferRepair)
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for p in RecoveryPolicy::all() {
+            assert_eq!(RecoveryPolicy::from_label(p.label()), Some(p));
+            assert_eq!(RecoveryPolicy::from_label(&p.label().to_uppercase()), Some(p));
+        }
+        assert_eq!(RecoveryPolicy::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn default_is_respawn() {
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Respawn);
+        assert!(RecoveryPolicy::Respawn.restores_full_placement());
+        assert!(RecoveryPolicy::DeferRepair.restores_full_placement());
+        assert!(RecoveryPolicy::ShrinkRedistribute.shrinks_mid_run());
+        assert!(!RecoveryPolicy::SpareSubstitute.shrinks_mid_run());
+    }
+}

@@ -23,6 +23,7 @@ use std::sync::Mutex as StdMutex;
 use ulfm_sim::{comm_spawn_multiple, Comm, Ctx, Error, InterComm, Result, SpawnSpec};
 
 use crate::detect::{failed_procs_list, mpi_error_handler};
+use crate::policy::RecoveryPolicy;
 
 /// Tag used to hand each child its pre-failure rank (the paper's
 /// `MERGE_TAG`).
@@ -444,6 +445,431 @@ pub fn communicator_reconstruct_with(
     }
     timings.t_total += ctx.now() - t_start;
     Ok(reconstructed.expect("loop exits with a communicator"))
+}
+
+/// Shrink-only repair (`ShrinkRedistribute` / `DeferRepair` mid-run): the
+/// survivors revoke + shrink and simply continue smaller — no spawn, no
+/// merge, no reorder split (the shrink preserves relative rank order).
+///
+/// `members` maps each *current* world rank to its original rank; it is
+/// lazily initialised to the identity on the first failure and compacted
+/// here, identically on every survivor (the failed list is deterministic),
+/// so no communication is needed to keep it consistent. Failed ranks are
+/// recorded in `timings.failed_ranks` in **original** numbering.
+pub fn repair_shrink(
+    ctx: &Ctx,
+    broken: &Comm,
+    members: &mut Option<Vec<usize>>,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    let _scope = ctx.recovery_scope();
+    let m = members.get_or_insert_with(|| (0..broken.size()).collect());
+    debug_assert_eq!(m.len(), broken.size(), "members map tracks the current world");
+    let t0 = ctx.now();
+    broken.revoke(ctx);
+    timings.t_revoke += ctx.now() - t0;
+    let t_shrink0 = ctx.now();
+    let shrinked = broken.shrink(ctx)?;
+    timings.t_shrink += ctx.now() - t_shrink0;
+    ctx.trace_phase("revoke_shrink", t0);
+    let t_flist0 = ctx.now();
+    let failed = failed_procs_list(broken, &shrinked);
+    timings.t_flist += ctx.now() - t_flist0;
+    ctx.trace_phase("failed_list", t_flist0);
+    timings.t_list += ctx.now() - t0;
+    for &r in &failed {
+        let orig = m[r];
+        if !timings.failed_ranks.contains(&orig) {
+            timings.failed_ranks.push(orig);
+        }
+    }
+    let mut idx = 0usize;
+    m.retain(|_| {
+        let keep = !failed.contains(&idx);
+        idx += 1;
+        keep
+    });
+    debug_assert_eq!(m.len(), shrinked.size());
+    Ok(shrinked)
+}
+
+/// The Fig. 3 detection do-while specialised to shrink-only repair:
+/// agree + barrier detect the failure, [`repair_shrink`] drops the dead,
+/// and another round verifies the survivors. There is never a child path —
+/// nothing is spawned.
+pub fn communicator_reconstruct_shrink(
+    ctx: &Ctx,
+    my_world: Comm,
+    members: &mut Option<Vec<usize>>,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    let t_start = ctx.now();
+    let mut comm = my_world;
+    loop {
+        timings.rounds += 1;
+        let ack_time = Arc::new(StdMutex::new(0.0f64));
+        let acc = Arc::clone(&ack_time);
+        comm.set_errhandler(move |ctx, comm, _err| {
+            let a0 = ctx.now();
+            mpi_error_handler(ctx, comm);
+            *acc.lock().unwrap() += ctx.now() - a0;
+        });
+        let ack_of = |since: f64| (*ack_time.lock().unwrap() - since).max(0.0);
+        let ack0 = *ack_time.lock().unwrap();
+        let t_agree0 = ctx.now();
+        let mut flag = true;
+        let _ = comm.agree(ctx, &mut flag);
+        let ack_in_agree = ack_of(ack0);
+        timings.t_agree += (ctx.now() - t_agree0 - ack_in_agree).max(0.0);
+        timings.t_ack += ack_in_agree;
+        let ack1 = *ack_time.lock().unwrap();
+        let t_detect0 = ctx.now();
+        match comm.barrier(ctx) {
+            Ok(()) => break,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                let ack_in_detect = ack_of(ack1);
+                timings.t_detect += (ctx.now() - t_detect0 - ack_in_detect).max(0.0);
+                timings.t_ack += ack_in_detect;
+                ctx.trace_phase("detect", t_detect0);
+                comm = repair_shrink(ctx, &comm, members, timings)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    timings.t_total += ctx.now() - t_start;
+    Ok(comm)
+}
+
+/// Spare-substitution repair: revoke + shrink, then — if enough idle
+/// spares survive — a single rank-reordering split that promotes spares
+/// into the failed grid slots. No spawn round-trip, no intercomm merge:
+/// the repair cost is one shrink plus one split.
+///
+/// `active_slots` is the grid-owning world prefix `W`; ranks `>= W` are
+/// idle spares. Survivor keys come from [`select_rank_key`] (their
+/// pre-failure rank); a surviving spare additionally *takes over* the
+/// j-th failed active slot if it is the j-th surviving spare. Keys stay
+/// unique (promoted spares use dead slots, everyone else keeps their own
+/// old rank), so after the split world rank `i < W` owns grid slot `i`
+/// again and the remaining spares sit at the tail.
+///
+/// If a burst kills more actives than there are surviving spares, the
+/// repair falls back to the full respawn protocol
+/// ([`repair_comm_with`]), which restores the *entire* pre-failure world
+/// — failed actives and failed spares alike — so the slot invariant holds
+/// on that path too.
+pub fn repair_substitute(
+    ctx: &Ctx,
+    broken: &Comm,
+    active_slots: usize,
+    respawn: RespawnPolicy,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    let _scope = ctx.recovery_scope();
+    let t0 = ctx.now();
+    broken.revoke(ctx);
+    timings.t_revoke += ctx.now() - t0;
+    let t_shrink0 = ctx.now();
+    let mut shrinked = broken.shrink(ctx)?;
+    timings.t_shrink += ctx.now() - t_shrink0;
+    ctx.trace_phase("revoke_shrink", t0);
+    let t_flist0 = ctx.now();
+    let mut failed = failed_procs_list(broken, &shrinked);
+    timings.t_flist += ctx.now() - t_flist0;
+    ctx.trace_phase("failed_list", t_flist0);
+    timings.t_list += ctx.now() - t0;
+
+    let total_procs = broken.size();
+    loop {
+        failed.sort_unstable();
+        for &r in &failed {
+            if !timings.failed_ranks.contains(&r) {
+                timings.failed_ranks.push(r);
+            }
+        }
+        if failed.is_empty() {
+            return Ok(shrinked);
+        }
+        let dead_active: Vec<usize> =
+            failed.iter().copied().filter(|&r| r < active_slots).collect();
+        let surviving_spares = shrinked.size() - (active_slots - dead_active.len());
+        if dead_active.len() > surviving_spares {
+            // Spares exhausted: restore everything (actives and spares)
+            // via the spawn protocol. `repair_comm_with` re-revokes and
+            // re-shrinks the broken communicator, which is idempotent.
+            return repair_comm_with(ctx, broken, respawn, timings);
+        }
+
+        // --- single promote split over the survivors. ---
+        let old_rank = select_rank_key(shrinked.rank(), shrinked.size(), &failed, total_procs);
+        let key = if (old_rank as usize) < active_slots {
+            old_rank // surviving active keeps its slot
+        } else {
+            // My position among the surviving spares, by old rank.
+            let j = (active_slots..old_rank as usize).filter(|r| !failed.contains(r)).count();
+            if j < dead_active.len() {
+                dead_active[j] as i64 // promoted into the j-th failed slot
+            } else {
+                old_rank // stay at the tail
+            }
+        };
+        let t_split0 = ctx.now();
+        match shrinked.split(ctx, Some(0), key) {
+            Ok(repaired) => {
+                timings.t_split += ctx.now() - t_split0;
+                ctx.trace_phase("rank_reorder", t_split0);
+                return Ok(repaired.expect("promote split uses a single colour"));
+            }
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                timings.t_split += ctx.now() - t_split0;
+                // A further casualty mid-promote: re-shrink and retry with
+                // the enlarged failed list (cumulative vs the original
+                // broken membership).
+                timings.rounds += 1;
+                let t = ctx.now();
+                shrinked = shrinked.shrink(ctx)?;
+                timings.t_shrink += ctx.now() - t;
+                ctx.trace_phase("revoke_shrink", t);
+                let tf = ctx.now();
+                failed = failed_procs_list(broken, &shrinked);
+                timings.t_flist += ctx.now() - tf;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The Fig. 3 detection do-while specialised to spare substitution. The
+/// parent path is identical to [`communicator_reconstruct_with`]; repair
+/// promotes spares via [`repair_substitute`]. Only when a burst exhausts
+/// the spares does the fallback spawn children — those children join
+/// through the ordinary child path of [`communicator_reconstruct_with`]
+/// and meet the survivors in this loop's verification round.
+pub fn communicator_reconstruct_substitute(
+    ctx: &Ctx,
+    my_world: Comm,
+    active_slots: usize,
+    respawn: RespawnPolicy,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    let t_start = ctx.now();
+    let mut comm = my_world;
+    loop {
+        timings.rounds += 1;
+        let ack_time = Arc::new(StdMutex::new(0.0f64));
+        let acc = Arc::clone(&ack_time);
+        comm.set_errhandler(move |ctx, comm, _err| {
+            let a0 = ctx.now();
+            mpi_error_handler(ctx, comm);
+            *acc.lock().unwrap() += ctx.now() - a0;
+        });
+        let ack_of = |since: f64| (*ack_time.lock().unwrap() - since).max(0.0);
+        let ack0 = *ack_time.lock().unwrap();
+        let t_agree0 = ctx.now();
+        let mut flag = true;
+        let _ = comm.agree(ctx, &mut flag);
+        let ack_in_agree = ack_of(ack0);
+        timings.t_agree += (ctx.now() - t_agree0 - ack_in_agree).max(0.0);
+        timings.t_ack += ack_in_agree;
+        let ack1 = *ack_time.lock().unwrap();
+        let t_detect0 = ctx.now();
+        match comm.barrier(ctx) {
+            Ok(()) => break,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                let ack_in_detect = ack_of(ack1);
+                timings.t_detect += (ctx.now() - t_detect0 - ack_in_detect).max(0.0);
+                timings.t_ack += ack_in_detect;
+                ctx.trace_phase("detect", t_detect0);
+                comm = repair_substitute(ctx, &comm, active_slots, respawn, timings)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    timings.t_total += ctx.now() - t_start;
+    Ok(comm)
+}
+
+/// The `DeferRepair` epoch repair: respawn **all** accumulated dead (in
+/// original numbering) in one batch, restoring the original world size and
+/// rank order, then verify with a standard detection round (which also
+/// repairs any casualty that strikes during the batch itself, via the
+/// ordinary respawn protocol — at this point the numbering is original
+/// again).
+///
+/// `alive` is the shrunken survivor world, `members` its current→original
+/// rank map, `deferred` the accumulated dead (original ranks). On success
+/// the returned communicator has the original size with every rank at its
+/// original position; all repaired ranks (deferred plus any epoch
+/// casualties) are recorded in `timings.failed_ranks`.
+pub fn deferred_epoch_repair(
+    ctx: &Ctx,
+    alive: Comm,
+    members: Vec<usize>,
+    deferred: &mut Vec<usize>,
+    respawn: RespawnPolicy,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    let repaired = repair_deferred(ctx, alive, members, deferred, respawn, timings)?;
+    // Verification round with the children; epoch casualties are repaired
+    // by the standard Fig. 3/5 protocol.
+    communicator_reconstruct_with(ctx, Some(repaired), None, respawn, timings)
+}
+
+/// The spawn/merge/split batch of [`deferred_epoch_repair`]: like
+/// [`repair_comm_with`] but the failed list is the *accumulated* deferred
+/// set rather than one derived from a revoke+shrink (the survivor world is
+/// already shrunken and healthy), and survivor split keys come from the
+/// `members` map instead of Fig. 7 (which assumes the dead were members of
+/// the broken communicator being repaired).
+fn repair_deferred(
+    ctx: &Ctx,
+    alive: Comm,
+    mut members: Vec<usize>,
+    deferred: &mut Vec<usize>,
+    respawn: RespawnPolicy,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    let _scope = ctx.recovery_scope();
+    debug_assert_eq!(members.len(), alive.size());
+    let mut cur = alive;
+
+    // A casualty during the batch: shrink the survivor world, move the new
+    // dead (translated to original numbering) into the deferred set, and
+    // restart the batch.
+    macro_rules! reshrink_deferred {
+        () => {{
+            timings.rounds += 1;
+            let t = ctx.now();
+            let shr = cur.shrink(ctx)?;
+            timings.t_shrink += ctx.now() - t;
+            ctx.trace_phase("revoke_shrink", t);
+            let tf = ctx.now();
+            let newly = failed_procs_list(&cur, &shr);
+            timings.t_flist += ctx.now() - tf;
+            for &r in &newly {
+                let orig = members[r];
+                if !deferred.contains(&orig) {
+                    deferred.push(orig);
+                }
+            }
+            let mut idx = 0usize;
+            members.retain(|_| {
+                let keep = !newly.contains(&idx);
+                idx += 1;
+                keep
+            });
+            cur = shr;
+        }};
+    }
+
+    loop {
+        deferred.sort_unstable();
+        for &r in deferred.iter() {
+            if !timings.failed_ranks.contains(&r) {
+                timings.failed_ranks.push(r);
+            }
+        }
+        if deferred.is_empty() {
+            return Ok(cur);
+        }
+
+        let specs = respawn_specs(ctx, &cur, deferred, respawn);
+        let t_spawn0 = ctx.now();
+        let inter: InterComm = match comm_spawn_multiple(ctx, &cur, &specs) {
+            Ok(i) => i,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                reshrink_deferred!();
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        timings.t_spawn += ctx.now() - t_spawn0;
+        ctx.trace_phase("spawn", t_spawn0);
+
+        let t_merge0 = ctx.now();
+        let unordered = match inter.merge(ctx, false) {
+            Ok(u) => u,
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                inter.revoke(ctx);
+                reshrink_deferred!();
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        timings.t_merge += ctx.now() - t_merge0;
+        ctx.trace_phase("merge", t_merge0);
+        let t_agree0 = ctx.now();
+        let mut flag = true;
+        let _ = inter.agree(ctx, &mut flag);
+        timings.t_agree += ctx.now() - t_agree0;
+        ctx.trace_phase("agree", t_agree0);
+
+        // Hand each child its original rank (rank 0 never fails, and it is
+        // always original rank 0 — the members map never drops it).
+        let alive_count = cur.size();
+        if unordered.rank() == 0 {
+            let mut send_failed = false;
+            for (i, &fr) in deferred.iter().enumerate() {
+                if unordered.send_one(ctx, alive_count + i, MERGE_TAG, fr as u64).is_err() {
+                    send_failed = true;
+                    break;
+                }
+            }
+            if send_failed {
+                unordered.revoke(ctx);
+                inter.revoke(ctx);
+                reshrink_deferred!();
+                continue;
+            }
+        }
+
+        // Survivors key by their original rank; children key by the rank
+        // they were just handed. Together that restores original order.
+        let key = members[unordered.rank()] as i64;
+        let t_split0 = ctx.now();
+        match unordered.split(ctx, Some(0), key) {
+            Ok(repaired) => {
+                timings.t_split += ctx.now() - t_split0;
+                ctx.trace_phase("rank_reorder", t_split0);
+                return Ok(repaired.expect("deferred repair split uses a single colour"));
+            }
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+                timings.t_split += ctx.now() - t_split0;
+                unordered.revoke(ctx);
+                inter.revoke(ctx);
+                reshrink_deferred!();
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Policy dispatcher for the mid-run detection/repair round. `Respawn`
+/// takes the paper's Fig. 3 protocol; `ShrinkRedistribute` and
+/// `DeferRepair` shrink only (updating the `members` current→original
+/// map); `SpareSubstitute` promotes spares (`active_slots` = grid-owning
+/// prefix `W`).
+pub fn detect_and_repair(
+    ctx: &Ctx,
+    world: Comm,
+    policy: RecoveryPolicy,
+    respawn: RespawnPolicy,
+    active_slots: usize,
+    members: &mut Option<Vec<usize>>,
+    timings: &mut ReconstructTimings,
+) -> Result<Comm> {
+    match policy {
+        RecoveryPolicy::Respawn => {
+            communicator_reconstruct_with(ctx, Some(world), None, respawn, timings)
+        }
+        RecoveryPolicy::ShrinkRedistribute | RecoveryPolicy::DeferRepair => {
+            communicator_reconstruct_shrink(ctx, world, members, timings)
+        }
+        RecoveryPolicy::SpareSubstitute => {
+            communicator_reconstruct_substitute(ctx, world, active_slots, respawn, timings)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,11 @@ pub struct RecoveryStats {
 /// Collective over the world (every rank calls it; ranks not involved in
 /// a given transfer fall through). `at_step` is the detection point; all
 /// broken grids come back with their state at `at_step`.
+///
+/// Policy note: data recovery presumes the failed slots were *refilled*
+/// (respawn, spare substitution, or the deferred epoch batch).
+/// `ShrinkRedistribute` never calls this — its broken grids are dropped
+/// and the final combination handles them with robust coefficients.
 #[allow(clippy::too_many_arguments)]
 pub fn recover(
     ctx: &Ctx,

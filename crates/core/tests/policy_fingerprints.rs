@@ -1,0 +1,105 @@
+//! Bitwise fingerprints of the healthy (no-failure) application run.
+//!
+//! The recovery-policy engine's contract is that the no-failure path under
+//! the default `Respawn` policy is **bitwise-identical** to the pre-policy
+//! code: same `err_l1` bits, same virtual makespan bits, for every
+//! technique. These constants were captured from the tree *before* the
+//! policy engine landed; any drift in them means the healthy path gained
+//! or lost an operation.
+//!
+//! `DeferRepair` adds no operations until a failure occurs, so its healthy
+//! run must match `Respawn` exactly too. `ShrinkRedistribute` and
+//! `SpareSubstitute` change the end-of-run gathers / world size (so their
+//! makespans legitimately differ), but the *numerics* — the combined
+//! solution error — must still be bit-equal on a healthy run.
+
+use ftsg_core::app::keys;
+use ftsg_core::{run_app, AppConfig, ProcLayout, RecoveryPolicy, Technique};
+use ulfm_sim::{run, Report, RunConfig};
+
+fn healthy_report(cfg: AppConfig) -> Report {
+    let layout_world =
+        ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale).world_size();
+    let world = cfg.world_size(layout_world);
+    let report = run(RunConfig::local(world).with_seed(1), move |ctx| run_app(&cfg, ctx));
+    report.assert_no_app_errors();
+    report
+}
+
+fn fingerprint(technique: Technique) -> (u64, u64) {
+    let report = healthy_report(AppConfig::small(technique));
+    let err = report.get_f64(keys::ERR_L1).expect("controller reports err_l1");
+    (err.to_bits(), report.makespan.to_bits())
+}
+
+/// (technique, err_l1 bits, makespan bits) under `AppConfig::small`,
+/// seed 1, captured pre-policy-engine.
+const PINNED: &[(Technique, u64, u64)] = &[
+    (Technique::CheckpointRestart, 0x3f41f1f292e93597, 0x3f6a2f8709d29a4a),
+    (Technique::ResamplingCopying, 0x3f41f1f292e93597, 0x3f38acd2b9ff4857),
+    (Technique::AlternateCombination, 0x3f41f1f292e93597, 0x3f38ab7b2111254d),
+    (Technique::BuddyCheckpoint, 0x3f41f1f292e93597, 0x3f3dfc953c67ba5c),
+];
+
+#[test]
+fn healthy_run_is_bitwise_stable_per_technique() {
+    let actual: Vec<(Technique, u64, u64)> = PINNED
+        .iter()
+        .map(|&(t, _, _)| {
+            let (e, m) = fingerprint(t);
+            (t, e, m)
+        })
+        .collect();
+    for (t, e, m) in &actual {
+        println!("    ({:?}, {:#018x}, {:#018x}),", t, e, m);
+    }
+    for (&(t, err_bits, mk_bits), &(_, e, m)) in PINNED.iter().zip(&actual) {
+        assert_eq!(e, err_bits, "{} err_l1 bits drifted", t.label());
+        assert_eq!(m, mk_bits, "{} makespan bits drifted", t.label());
+    }
+}
+
+/// `DeferRepair` adds no operation until a failure happens: its healthy
+/// run must be bitwise-identical to `Respawn` — makespan included.
+#[test]
+fn healthy_defer_is_bitwise_identical_to_respawn() {
+    for &(t, err_bits, mk_bits) in PINNED {
+        let report =
+            healthy_report(AppConfig::small(t).with_recovery_policy(RecoveryPolicy::DeferRepair));
+        let err = report.get_f64(keys::ERR_L1).expect("err_l1");
+        assert_eq!(err.to_bits(), err_bits, "{} defer err bits", t.label());
+        assert_eq!(report.makespan.to_bits(), mk_bits, "{} defer makespan bits", t.label());
+    }
+}
+
+/// `ShrinkRedistribute` and `SpareSubstitute` change the end-of-run
+/// gathers (and, for substitute, the world size), so their makespans
+/// legitimately differ — but with no failure the *numerics* take exactly
+/// the same path: the combined-solution error must be bit-equal.
+#[test]
+fn healthy_shrink_and_substitute_keep_error_bits() {
+    for &(t, err_bits, _) in PINNED {
+        for (policy, spares) in
+            [(RecoveryPolicy::ShrinkRedistribute, 0usize), (RecoveryPolicy::SpareSubstitute, 2)]
+        {
+            let report = healthy_report(
+                AppConfig::small(t).with_recovery_policy(policy).with_spares(spares),
+            );
+            let err = report.get_f64(keys::ERR_L1).expect("err_l1");
+            assert_eq!(err.to_bits(), err_bits, "{} {} err bits", t.label(), policy);
+            // Contract bookkeeping on the healthy run.
+            let world = report.get_f64(keys::WORLD).unwrap() as usize;
+            let orig = report.get_list(keys::RANK_ORIG).expect("policy gathers rank_orig");
+            assert_eq!(orig.len(), world);
+            for (i, &o) in orig.iter().enumerate() {
+                assert_eq!(o as usize, i, "healthy {} run is the identity map", policy);
+            }
+            if policy == RecoveryPolicy::ShrinkRedistribute {
+                assert_eq!(
+                    report.get_list(keys::DROPPED_GRIDS).unwrap_or_default(),
+                    Vec::<f64>::new()
+                );
+            }
+        }
+    }
+}

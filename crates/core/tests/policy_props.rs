@@ -1,0 +1,94 @@
+//! Property tests for the shrink-and-redistribute re-layout.
+//!
+//! The policy engine's determinism contract: the survivor membership map,
+//! the grids dropped, and the combined solution under
+//! `ShrinkRedistribute` are a function of the *victim set* only — never
+//! of how many workers the cooperative scheduler pools ranks onto, and
+//! never of whether the run uses pooled fibers or a thread per rank.
+
+use ftsg_core::app::keys;
+use ftsg_core::{run_app, AppConfig, ProcLayout, RecoveryPolicy, Technique};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use ulfm_sim::{run, FaultPlan, Report, RunConfig};
+
+// The re-layout is pure arithmetic on (total, dead): order-preserving,
+// complete, and independent of the order the dead set is presented in.
+proptest! {
+    #[test]
+    fn shrink_members_is_the_ordered_complement(
+        total in 2usize..64,
+        dead_raw in proptest::collection::vec(0usize..64, 0..8),
+    ) {
+        let dead: Vec<usize> = dead_raw.into_iter().filter(|&r| r < total).collect();
+        let members = ProcLayout::shrink_members(total, &dead);
+        // Ordered, duplicate-free, and disjoint from the dead set.
+        prop_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(members.iter().all(|r| !dead.contains(r)));
+        // Complete: every survivor appears.
+        let mut n_dead: Vec<usize> = dead.clone();
+        n_dead.sort_unstable();
+        n_dead.dedup();
+        prop_assert_eq!(members.len(), total - n_dead.len());
+        // Presentation order of the dead set is irrelevant.
+        let mut reversed = dead.clone();
+        reversed.reverse();
+        prop_assert_eq!(ProcLayout::shrink_members(total, &reversed), members);
+    }
+}
+
+fn shrink_outcome(
+    cfg: &AppConfig,
+    world: usize,
+    config: RunConfig,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, u64) {
+    let cfg = cfg.clone();
+    let report: Report = run(config, move |ctx| run_app(&cfg, ctx));
+    report.assert_no_app_errors();
+    let orig = report.get_list(keys::RANK_ORIG).expect("rank_orig").to_vec();
+    let grids = report.get_list(keys::RANK_GRIDS).expect("rank_grids").to_vec();
+    let dropped = report.get_list(keys::DROPPED_GRIDS).map(<[f64]>::to_vec).unwrap_or_default();
+    let err = report.get_f64(keys::ERR_L1).expect("err_l1");
+    assert_eq!(orig.len(), world, "shrunken world size");
+    (orig, grids, dropped, err.to_bits())
+}
+
+// Full-run determinism: identical membership, grid assignment, dropped
+// set, and error *bits* across worker counts and both scheduler modes.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6 })]
+    #[test]
+    fn shrink_relayout_is_scheduler_invariant(
+        victim_set in btree_set(1usize..13, 1..=2),
+        step in 3u64..30,
+    ) {
+        let base = AppConfig::small(Technique::CheckpointRestart)
+            .with_recovery_policy(RecoveryPolicy::ShrinkRedistribute);
+        let layout = ProcLayout::new(base.n, base.l, base.technique.layout(), base.scale);
+        let w = layout.world_size();
+        let victims: Vec<usize> = victim_set.into_iter().filter(|&r| r < w).collect();
+        prop_assume!(!victims.is_empty());
+        let plan = FaultPlan::new(victims.iter().map(|&r| (r, step)).collect());
+        let cfg = base.with_plan(plan);
+        let survivors = w - victims.len();
+
+        let reference = shrink_outcome(&cfg, survivors, RunConfig::local(w).with_seed(1).with_workers(2));
+        for config in [
+            RunConfig::local(w).with_seed(1).with_workers(8),
+            RunConfig::local(w).with_seed(1).with_thread_per_rank(),
+        ] {
+            let other = shrink_outcome(&cfg, survivors, config);
+            prop_assert_eq!(&other.0, &reference.0, "rank_orig differs for victims {:?}", &victims);
+            prop_assert_eq!(&other.1, &reference.1, "rank_grids differs for victims {:?}", &victims);
+            prop_assert_eq!(&other.2, &reference.2, "dropped_grids differs for victims {:?}", &victims);
+            prop_assert_eq!(other.3, reference.3, "err bits differ for victims {:?}", &victims);
+        }
+        // And the membership is exactly the re-layout arithmetic predicts.
+        let expected: Vec<f64> =
+            ProcLayout::shrink_members(w, &victims).into_iter().map(|r| r as f64).collect();
+        prop_assert_eq!(&reference.0, &expected);
+        let dropped_expected: Vec<f64> =
+            layout.broken_grids(&victims).into_iter().map(|g| g as f64).collect();
+        prop_assert_eq!(&reference.2, &dropped_expected);
+    }
+}

@@ -1,0 +1,227 @@
+//! Functional matrix for the recovery-policy engine: real mid-run and
+//! end-of-run kills under every `RecoveryPolicy`, checking each policy's
+//! membership contract (what O7 enforces in the chaos harness) and the
+//! cross-policy numerics equivalences:
+//!
+//! * `DeferRepair` ends in the same state as `Respawn` — identical error
+//!   bits for every technique (restore + deterministic recompute commutes
+//!   with *when* the batch repair runs).
+//! * `SpareSubstitute` promotes a spare into the failed slot and recovers
+//!   the same data a respawned child would — identical error bits.
+//! * `ShrinkRedistribute` drops the broken grids and combines robustly
+//!   over the survivors: degraded accuracy, but a finite solution, a
+//!   `W − dead` world, and exact bookkeeping of who survived.
+
+use ftsg_core::app::keys;
+use ftsg_core::{run_app, AppConfig, ProcLayout, RecoveryPolicy, Technique};
+use ulfm_sim::{run, FaultPlan, Report, RunConfig};
+
+const TECHNIQUES: [Technique; 4] = [
+    Technique::CheckpointRestart,
+    Technique::ResamplingCopying,
+    Technique::AlternateCombination,
+    Technique::BuddyCheckpoint,
+];
+
+fn layout_of(cfg: &AppConfig) -> ProcLayout {
+    ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale)
+}
+
+fn run_cfg(cfg: AppConfig) -> Report {
+    let world = cfg.world_size(layout_of(&cfg).world_size());
+    let report = run(RunConfig::local(world).with_seed(1), move |ctx| run_app(&cfg, ctx));
+    report.assert_no_app_errors();
+    report
+}
+
+/// A victim that is never rank 0 and never shares a grid with rank 0.
+fn victim(layout: &ProcLayout) -> usize {
+    layout.world_size() - 1
+}
+
+#[test]
+fn respawn_and_defer_agree_bitwise_after_failures() {
+    for t in TECHNIQUES {
+        let base = AppConfig::small(t);
+        let layout = layout_of(&base);
+        let v1 = victim(&layout);
+        let v2 = layout.group(layout.assignment(v1).grid).first - 1;
+        assert!(v2 != 0 && v2 != v1, "test needs two distinct non-zero victims");
+        // One kill mid-run, one right before the final combination.
+        let plan = FaultPlan::new(vec![(v1, 7), (v2, base.steps())]);
+        let respawn = run_cfg(base.clone().with_plan(plan.clone()));
+        let defer =
+            run_cfg(base.clone().with_plan(plan).with_recovery_policy(RecoveryPolicy::DeferRepair));
+        for rep in [&respawn, &defer] {
+            assert_eq!(rep.get_f64(keys::WORLD), Some(layout.world_size() as f64), "{t:?}");
+            assert_eq!(rep.get_f64(keys::N_FAILED), Some(2.0), "{t:?}");
+            // Full placement restored: every rank back on its grid.
+            let grids = rep.get_list(keys::RANK_GRIDS).expect("rank_grids");
+            for (i, &g) in grids.iter().enumerate() {
+                assert_eq!(g as usize, layout.assignment(i).grid, "{t:?} rank {i}");
+            }
+        }
+        let e_respawn = respawn.get_f64(keys::ERR_L1).unwrap();
+        let e_defer = defer.get_f64(keys::ERR_L1).unwrap();
+        assert_eq!(
+            e_respawn.to_bits(),
+            e_defer.to_bits(),
+            "{t:?}: defer must end bit-identical to respawn ({e_respawn} vs {e_defer})"
+        );
+    }
+}
+
+#[test]
+fn shrink_drops_the_broken_grids_and_still_combines() {
+    for t in TECHNIQUES {
+        let base = AppConfig::small(t);
+        let layout = layout_of(&base);
+        let v = victim(&layout);
+        let w = layout.world_size();
+        let report = run_cfg(
+            base.clone()
+                .with_plan(FaultPlan::new(vec![(v, 7)]))
+                .with_recovery_policy(RecoveryPolicy::ShrinkRedistribute),
+        );
+        assert_eq!(report.get_f64(keys::WORLD), Some((w - 1) as f64), "{t:?}: shrunken world");
+        assert_eq!(report.get_f64(keys::N_FAILED), Some(1.0), "{t:?}");
+        // Membership: original ranks minus the victim, in order.
+        let orig: Vec<usize> = report
+            .get_list(keys::RANK_ORIG)
+            .expect("rank_orig")
+            .iter()
+            .map(|&o| o as usize)
+            .collect();
+        let expected: Vec<usize> = (0..w).filter(|&r| r != v).collect();
+        assert_eq!(orig, expected, "{t:?}: survivors keep relative order");
+        // Survivors keep their original grids.
+        let grids = report.get_list(keys::RANK_GRIDS).expect("rank_grids");
+        for (i, &g) in grids.iter().enumerate() {
+            assert_eq!(g as usize, layout.assignment(orig[i]).grid, "{t:?} current rank {i}");
+        }
+        // The victim's grid — and only it — is dropped.
+        let dropped: Vec<usize> = report
+            .get_list(keys::DROPPED_GRIDS)
+            .expect("dropped_grids")
+            .iter()
+            .map(|&g| g as usize)
+            .collect();
+        assert_eq!(dropped, layout.broken_grids(&[v]), "{t:?}");
+        // Degraded but real solution.
+        let err = report.get_f64(keys::ERR_L1).unwrap();
+        assert!(err.is_finite() && err < 1.0, "{t:?}: robust-combined error {err}");
+    }
+}
+
+#[test]
+fn substitute_promotes_a_spare_and_matches_respawn_numerics() {
+    for t in TECHNIQUES {
+        let base = AppConfig::small(t);
+        let layout = layout_of(&base);
+        let v = victim(&layout);
+        let w = layout.world_size();
+        let plan = FaultPlan::new(vec![(v, 7)]);
+        let respawn = run_cfg(base.clone().with_plan(plan.clone()));
+        let sub = run_cfg(
+            base.clone()
+                .with_plan(plan)
+                .with_recovery_policy(RecoveryPolicy::SpareSubstitute)
+                .with_spares(2),
+        );
+        // One spare was promoted: W + 2 − 1 ranks remain.
+        assert_eq!(sub.get_f64(keys::WORLD), Some((w + 1) as f64), "{t:?}");
+        assert_eq!(sub.get_f64(keys::N_FAILED), Some(1.0), "{t:?}");
+        let orig: Vec<usize> =
+            sub.get_list(keys::RANK_ORIG).expect("rank_orig").iter().map(|&o| o as usize).collect();
+        assert_eq!(orig.len(), w + 1);
+        let grids = sub.get_list(keys::RANK_GRIDS).expect("rank_grids");
+        let mut promoted = 0;
+        for i in 0..w {
+            // Every grid slot is filled — by its original owner or a spare.
+            assert_eq!(grids[i] as usize, layout.assignment(i).grid, "{t:?} slot {i}");
+            if orig[i] != i {
+                assert!(orig[i] >= w, "{t:?}: slot {i} filled by spare, got orig {}", orig[i]);
+                promoted += 1;
+            }
+        }
+        assert_eq!(promoted, 1, "{t:?}: exactly one spare promoted");
+        // Remaining tail ranks are idle spares.
+        for (i, &g) in grids.iter().enumerate().take(orig.len()).skip(w) {
+            assert_eq!(g, -1.0, "{t:?}: tail rank {i} idles");
+        }
+        // The promoted spare recovered the same data a respawned child
+        // would have: identical solution bits.
+        let e_respawn = respawn.get_f64(keys::ERR_L1).unwrap();
+        let e_sub = sub.get_f64(keys::ERR_L1).unwrap();
+        assert_eq!(
+            e_respawn.to_bits(),
+            e_sub.to_bits(),
+            "{t:?}: substitute must match respawn numerics ({e_respawn} vs {e_sub})"
+        );
+    }
+}
+
+#[test]
+fn substitute_falls_back_to_respawn_when_spares_run_out() {
+    // Two actives die at once with a single spare provisioned: the
+    // promote is impossible, so the repair takes the spawn protocol and
+    // restores the full W + 1 world.
+    let t = Technique::CheckpointRestart;
+    let base = AppConfig::small(t);
+    let layout = layout_of(&base);
+    let w = layout.world_size();
+    // Two victims from different groups (never rank 0).
+    let v1 = w - 1;
+    let v2 = layout.group(layout.assignment(v1).grid).first - 1;
+    assert!(v2 != 0 && v2 != v1, "test needs two distinct non-zero victims");
+    let plan = FaultPlan::new(vec![(v1, 7), (v2, 7)]);
+    let respawn = run_cfg(base.clone().with_plan(plan.clone()));
+    let sub = run_cfg(
+        base.clone()
+            .with_plan(plan)
+            .with_recovery_policy(RecoveryPolicy::SpareSubstitute)
+            .with_spares(1),
+    );
+    assert_eq!(sub.get_f64(keys::WORLD), Some((w + 1) as f64), "full world restored");
+    assert_eq!(sub.get_f64(keys::N_FAILED), Some(2.0));
+    let orig: Vec<usize> =
+        sub.get_list(keys::RANK_ORIG).expect("rank_orig").iter().map(|&o| o as usize).collect();
+    let grids = sub.get_list(keys::RANK_GRIDS).expect("rank_grids");
+    for i in 0..w {
+        assert_eq!(orig[i], i, "respawned children take their own slots");
+        assert_eq!(grids[i] as usize, layout.assignment(i).grid);
+    }
+    assert_eq!(grids[w], -1.0, "the idle spare survives at the tail");
+    let e_respawn = respawn.get_f64(keys::ERR_L1).unwrap();
+    let e_sub = sub.get_f64(keys::ERR_L1).unwrap();
+    assert_eq!(e_respawn.to_bits(), e_sub.to_bits(), "fallback matches respawn numerics");
+}
+
+#[test]
+fn shrink_survives_an_end_of_run_burst() {
+    // Kill two ranks right before the combination under shrink: both
+    // grids drop, the combination retries over the survivors.
+    for t in [Technique::CheckpointRestart, Technique::AlternateCombination] {
+        let base = AppConfig::small(t);
+        let layout = layout_of(&base);
+        let w = layout.world_size();
+        let v1 = w - 1;
+        let v2 = layout.group(layout.assignment(v1).grid).first - 1;
+        let steps = base.steps();
+        let report = run_cfg(
+            base.clone()
+                .with_plan(FaultPlan::new(vec![(v1, steps), (v2, steps)]))
+                .with_recovery_policy(RecoveryPolicy::ShrinkRedistribute),
+        );
+        assert_eq!(report.get_f64(keys::WORLD), Some((w - 2) as f64), "{t:?}");
+        let dropped: Vec<usize> = report
+            .get_list(keys::DROPPED_GRIDS)
+            .expect("dropped_grids")
+            .iter()
+            .map(|&g| g as usize)
+            .collect();
+        assert_eq!(dropped, layout.broken_grids(&[v2, v1]), "{t:?}");
+        let err = report.get_f64(keys::ERR_L1).unwrap();
+        assert!(err.is_finite() && err < 1.0, "{t:?}: error {err}");
+    }
+}

@@ -70,6 +70,8 @@ fn soak_random_failures_all_techniques() {
             problem: advect2d::AdvectionProblem::standard(),
             simulated_lost_grids: Vec::new(),
             respawn_policy: Default::default(),
+            recovery_policy: Default::default(),
+            spares: 0,
             output_prefix: None,
             combine_mode: Default::default(),
         };

@@ -4,6 +4,7 @@
 //! ```text
 //! ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]
 //!      [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]
+//!      [--policy respawn|shrink|substitute|defer] [--spares N]
 //!      [--spare-node] [--central-combine] [--trace] [--trace-json FILE]
 //!      [--output PREFIX] [--seed S]
 //! ```
@@ -15,7 +16,7 @@
 use std::sync::Arc;
 
 use ftsg::app::app::keys;
-use ftsg::app::{run_app, AppConfig, ProcLayout, RespawnPolicy, Technique};
+use ftsg::app::{run_app, AppConfig, ProcLayout, RecoveryPolicy, RespawnPolicy, Technique};
 use ftsg::mpi::{run, BetaUlfm, ClusterProfile, FaultPlan, RunConfig};
 
 struct Cli {
@@ -27,6 +28,8 @@ struct Cli {
     failures: usize,
     fail_at: Option<u64>,
     cluster: String,
+    policy: RecoveryPolicy,
+    spares: usize,
     sync_ckpt: bool,
     spare_node: bool,
     central_combine: bool,
@@ -40,6 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]\n\
          \x20           [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]\n\
+         \x20           [--policy respawn|shrink|substitute|defer] [--spares N]\n\
          \x20           [--sync-ckpt] [--spare-node] [--central-combine] [--seed S]"
     );
     std::process::exit(2);
@@ -55,6 +59,8 @@ fn parse() -> Cli {
         failures: 0,
         fail_at: None,
         cluster: "local".into(),
+        policy: RecoveryPolicy::Respawn,
+        spares: 4,
         sync_ckpt: false,
         spare_node: false,
         central_combine: false,
@@ -87,6 +93,10 @@ fn parse() -> Cli {
             "--fail" => cli.failures = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--fail-at" => cli.fail_at = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
             "--cluster" => cli.cluster = take(&mut i).to_lowercase(),
+            "--policy" => {
+                cli.policy = RecoveryPolicy::from_label(&take(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--spares" => cli.spares = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--sync-ckpt" => cli.sync_ckpt = true,
             "--spare-node" => cli.spare_node = true,
             "--central-combine" => cli.central_combine = true,
@@ -117,6 +127,8 @@ fn main() {
         ckpt_corruption: Default::default(),
         problem: ftsg::pde::AdvectionProblem::standard(),
         simulated_lost_grids: Vec::new(),
+        recovery_policy: cli.policy,
+        spares: cli.spares,
         respawn_policy: if cli.spare_node {
             RespawnPolicy::SpareNode
         } else {
@@ -130,10 +142,12 @@ fn main() {
         },
     };
     let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
-    let world = layout.world_size();
+    // Spare ranks (substitute policy only) sit after the active slots;
+    // victims are always drawn from the active slots.
+    let world = cfg.world_size(layout.world_size());
     if cli.failures > 0 {
         let at = cli.fail_at.unwrap_or(cfg.steps());
-        cfg.plan = FaultPlan::random(cli.failures, world, at, cli.seed, &[]);
+        cfg.plan = FaultPlan::random(cli.failures, layout.world_size(), at, cli.seed, &[]);
         println!(
             "injecting {} failure(s) at step {at}: ranks {:?}",
             cli.failures,
