@@ -1,0 +1,331 @@
+//! Intra-rank row-band parallelism: a small reusable worker pool that
+//! steps disjoint row bands of one sub-grid concurrently.
+//!
+//! ## Determinism argument
+//!
+//! A banded step partitions the interior rows into contiguous, disjoint
+//! bands ([`band_range`]). Every band evaluates the *same row kernel*
+//! over the *same input buffer* (the read buffer is immutable for the
+//! whole step) and writes only its own rows of the write buffer. Each
+//! output point is therefore computed exactly once, by the same
+//! expression in the same per-point operation order as the monolithic
+//! step — scheduling only changes *when* a band runs, never *what* it
+//! computes. Hence a banded step is bitwise-identical to a monolithic
+//! one for **any** band count, worker count, or interleaving, which is
+//! what keeps recompute-based fault recovery bit-reproducible with the
+//! pool active (pinned by `tests/kernel_props.rs` and the banded CI
+//! lanes).
+//!
+//! ## Allocation discipline
+//!
+//! Dispatching a job publishes one lifetime-erased fat pointer and bumps
+//! two atomics; workers park on a `Condvar` (futex-backed on Linux).
+//! Nothing is allocated per step, so the counting-allocator asserts in
+//! `crates/bench` stay at zero with the pool active.
+//!
+//! The pool is **off by default**; see [`crate::simd::KernelConfig`] for
+//! the `FTSG_BANDS` / `FTSG_BAND_MIN_CELLS` knobs that enable it for
+//! sub-grids above a size threshold.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Balanced contiguous split of `n` rows into `parts` bands: band `b`
+/// gets `n / parts` rows plus one of the `n % parts` leftovers, lowest
+/// bands first (the same convention as the distributed block split).
+pub fn band_range(n: usize, parts: usize, b: usize) -> (usize, usize) {
+    debug_assert!(parts >= 1 && b < parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let start = b * base + b.min(rem);
+    let len = base + usize::from(b < rem);
+    (start, start + len)
+}
+
+/// The claim word packs the job generation (high bits) and the next
+/// unclaimed band (low [`BAND_BITS`] bits) into one atomic, so a CAS
+/// claim by a straggler from a previous job fails on the generation
+/// mismatch instead of corrupting the new job's band accounting.
+const BAND_BITS: u32 = 24;
+const BAND_MASK: u64 = (1 << BAND_BITS) - 1;
+/// Largest band count a single job may carry (far above anything
+/// `KernelConfig::bands_for` produces — bands are clamped to row counts).
+pub const MAX_BANDS: usize = (BAND_MASK as usize) - 1;
+
+/// A lifetime-erased band job: `f` is valid until the dispatching
+/// [`BandPool::run`] call returns, which it only does once every band has
+/// executed.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    bands: usize,
+    generation: u64,
+}
+
+// SAFETY: the raw fat pointer is only dereferenced by workers while the
+// dispatching `run` call blocks (the referent is a live `Sync` closure on
+// the caller's stack), and `bands`/`generation` are plain integers.
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// `generation << BAND_BITS | next_band` — see [`BAND_BITS`].
+    claim: AtomicU64,
+    /// Bands finished for the current generation.
+    done: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A small persistent worker pool for row-band stepping.
+///
+/// Workers are spawned once and reused for every step; a dispatch hands
+/// them a borrowed band closure and blocks until all bands ran. The
+/// *caller participates* in claiming bands, so the pool makes progress
+/// even with zero workers (or workers that are slow to wake), and
+/// `run` degenerates to an inline loop when `bands <= 1`.
+///
+/// Dispatches are serialized by an internal lock; the pool is not
+/// re-entrant (a band closure must not call back into the same pool —
+/// it would deadlock on that lock).
+pub struct BandPool {
+    shared: Arc<Shared>,
+    /// Serializes dispatches; also makes generation bumps race-free.
+    run_lock: Mutex<u64>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl BandPool {
+    /// A pool with `workers` dedicated worker threads (0 is fine: the
+    /// caller then executes every band inline, same results).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            claim: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ftsg-band-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn band worker")
+            })
+            .collect();
+        BandPool { shared, run_lock: Mutex::new(0), handles }
+    }
+
+    /// Number of dedicated worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The process-wide pool, created on first use. Sized from
+    /// `FTSG_BAND_WORKERS` if set, else `available_parallelism - 1`
+    /// (at least 1 so the pool code path is exercised even on one CPU).
+    pub fn global() -> &'static BandPool {
+        static POOL: OnceLock<BandPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let workers = std::env::var("FTSG_BAND_WORKERS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) - 1
+                })
+                .max(1);
+            BandPool::new(workers)
+        })
+    }
+
+    /// Execute `f(0) .. f(bands - 1)`, each exactly once, distributed
+    /// over the workers and the calling thread; returns when all bands
+    /// ran. Bands receive disjoint work by construction of the caller
+    /// (disjoint output rows), so any execution order is equivalent.
+    pub fn run(&self, bands: usize, f: &(dyn Fn(usize) + Sync)) {
+        if bands <= 1 {
+            if bands == 1 {
+                f(0);
+            }
+            return;
+        }
+        assert!(bands <= MAX_BANDS, "band count {bands} exceeds MAX_BANDS");
+        let mut gen_guard = self.run_lock.lock().unwrap();
+        *gen_guard += 1;
+        let generation = *gen_guard;
+        // SAFETY: lifetime erasure only — `run` does not return until all
+        // bands executed, so workers never see `f` after it dies.
+        let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Job { f: f_erased as *const _, bands, generation };
+        self.shared.done.store(0, Ordering::Relaxed);
+        self.shared.claim.store(generation << BAND_BITS, Ordering::Release);
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = Some(job);
+            self.shared.work_cv.notify_all();
+        }
+        // Participate: claim bands alongside the workers.
+        run_job(&self.shared, &job);
+        // Wait for stragglers still executing their claimed bands.
+        let mut st = self.shared.state.lock().unwrap();
+        while self.shared.done.load(Ordering::Acquire) < bands as u64 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        drop(st);
+        drop(gen_guard);
+    }
+}
+
+impl Drop for BandPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _st = self.shared.state.lock().unwrap();
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim and execute bands of `job` until none are left. A claim CAS
+/// carries the generation, so it can only succeed while `job` is the
+/// current one — a straggler observing a newer generation backs off
+/// without touching the new job's accounting.
+fn run_job(shared: &Shared, job: &Job) {
+    // SAFETY: per the `Job` contract the closure outlives the dispatch,
+    // and `run` does not return before `done` reaches `bands`.
+    let f = unsafe { &*job.f };
+    loop {
+        let cur = shared.claim.load(Ordering::Acquire);
+        if cur >> BAND_BITS != job.generation {
+            return; // a newer job took over; nothing left for us here
+        }
+        let band = (cur & BAND_MASK) as usize;
+        if band >= job.bands {
+            return;
+        }
+        if shared
+            .claim
+            .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        f(band);
+        let done = shared.done.fetch_add(1, Ordering::AcqRel) + 1;
+        if done == job.bands as u64 {
+            // Lock-then-notify so the dispatcher can't miss the wakeup
+            // between its predicate check and its wait.
+            let _st = shared.state.lock().unwrap();
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match st.job {
+                    Some(job) if job.generation != seen => {
+                        seen = job.generation;
+                        break job;
+                    }
+                    _ => st = shared.work_cv.wait(st).unwrap(),
+                }
+            }
+        };
+        run_job(shared, &job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn band_range_is_a_balanced_partition() {
+        for n in [1usize, 2, 7, 9, 64, 100] {
+            for parts in 1..=9usize.min(n) {
+                let mut next = 0;
+                let mut sizes = Vec::new();
+                for b in 0..parts {
+                    let (s, e) = band_range(n, parts, b);
+                    assert_eq!(s, next, "contiguous n={n} parts={parts} b={b}");
+                    assert!(e > s, "non-empty n={n} parts={parts} b={b}");
+                    sizes.push(e - s);
+                    next = e;
+                }
+                assert_eq!(next, n, "covers n={n} parts={parts}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced n={n} parts={parts}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_every_band_exactly_once() {
+        let pool = BandPool::new(2);
+        for bands in [1usize, 2, 3, 5, 16, 33] {
+            let hits: Vec<AtomicUsize> = (0..bands).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(bands, &|b| {
+                hits[b].fetch_add(1, Ordering::Relaxed);
+            });
+            for (b, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "bands={bands} band {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reusable_across_many_dispatches_and_zero_workers() {
+        let pool = BandPool::new(0);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(4, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn bands_see_disjoint_rows_and_results_match_inline() {
+        let pool = BandPool::new(3);
+        let n = 103usize;
+        let mut expect = vec![0.0f64; n];
+        for (i, v) in expect.iter_mut().enumerate() {
+            *v = (i as f64).sqrt();
+        }
+        for bands in [2usize, 3, 7] {
+            let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run(bands, &|b| {
+                let (s, e) = band_range(n, bands, b);
+                for (i, slot) in out.iter().enumerate().take(e).skip(s) {
+                    slot.store((i as f64).sqrt().to_bits(), Ordering::Relaxed);
+                }
+            });
+            for i in 0..n {
+                assert_eq!(out[i].load(Ordering::Relaxed), expect[i].to_bits(), "bands={bands}");
+            }
+        }
+    }
+}

@@ -13,6 +13,8 @@
 
 use sparsegrid::Grid2;
 
+use crate::bands::BandPool;
+use crate::simd::{KernelConfig, KernelKind};
 use crate::stepper::PaddedField;
 
 /// The 2D diffusion problem on the periodic unit square.
@@ -77,6 +79,33 @@ pub fn ftcs_row(south: &[f64], center: &[f64], north: &[f64], rx: f64, ry: f64, 
     }
 }
 
+/// An FTCS row kernel: `(south, center, north, rx, ry, out)`.
+pub type FtcsRowFn = fn(&[f64], &[f64], &[f64], f64, f64, &mut [f64]);
+
+/// The row function implementing `kind` (see
+/// [`crate::laxwendroff::lw_row_fn`]).
+pub fn ftcs_row_fn(kind: KernelKind) -> FtcsRowFn {
+    match kind {
+        KernelKind::Scalar => ftcs_row,
+        KernelKind::Simd => crate::simd::ftcs_row_simd,
+    }
+}
+
+/// One FTCS update on a halo-padded block (same layout contract as
+/// [`crate::laxwendroff::lax_wendroff_kernel`]; extents asserted in
+/// release too, since the stride is implicit in `nx`).
+pub fn ftcs_kernel(padded: &[f64], nx: usize, ny: usize, rx: f64, ry: f64, out: &mut [f64]) {
+    let pnx = nx + 2;
+    assert_eq!(padded.len(), pnx * (ny + 2), "padded extent mismatch for {nx}x{ny}");
+    assert_eq!(out.len(), nx * ny, "output extent mismatch for {nx}x{ny}");
+    for m in 0..ny {
+        let south = &padded[m * pnx..][..pnx];
+        let center = &padded[(m + 1) * pnx..][..pnx];
+        let north = &padded[(m + 2) * pnx..][..pnx];
+        ftcs_row(south, center, north, rx, ry, &mut out[m * nx..][..nx]);
+    }
+}
+
 /// One periodic FTCS step on a whole grid (single owner): the
 /// rebuild-everything reference path, kept for the bitwise-equivalence
 /// tests against the double-buffered [`DiffusionSolver`].
@@ -123,6 +152,7 @@ pub struct DiffusionSolver {
     dt: f64,
     steps_done: u64,
     field: PaddedField,
+    kernel: KernelConfig,
 }
 
 impl DiffusionSolver {
@@ -130,7 +160,13 @@ impl DiffusionSolver {
     pub fn new(problem: DiffusionProblem, level: sparsegrid::LevelPair, dt: f64) -> Self {
         let grid = Grid2::from_fn(level, problem.initial());
         let field = PaddedField::new(grid.nx() - 1, grid.ny() - 1);
-        DiffusionSolver { problem, grid, dt, steps_done: 0, field }
+        DiffusionSolver { problem, grid, dt, steps_done: 0, field, kernel: KernelConfig::global() }
+    }
+
+    /// Replace the kernel configuration (formulation + banding).
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Advance one timestep.
@@ -149,9 +185,18 @@ impl DiffusionSolver {
         let rx = self.problem.nu * self.dt / (hx * hx);
         let ry = self.problem.nu * self.dt / (hy * hy);
         self.field.load(&self.grid);
+        let row = ftcs_row_fn(self.kernel.kind);
+        let (nx, ny) = (self.field.nx(), self.field.ny());
+        let bands = self.kernel.bands_for(nx * ny, ny);
         for _ in 0..n {
             self.field.refresh_periodic_halo();
-            self.field.step(|s, c, nn, out| ftcs_row(s, c, nn, rx, ry, out));
+            if bands > 1 {
+                self.field.step_banded(BandPool::global(), bands, |s, c, nn, out| {
+                    row(s, c, nn, rx, ry, out)
+                });
+            } else {
+                self.field.step(|s, c, nn, out| row(s, c, nn, rx, ry, out));
+            }
         }
         self.field.store(&mut self.grid);
         self.steps_done += n;

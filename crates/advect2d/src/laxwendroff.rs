@@ -15,7 +15,9 @@
 
 use sparsegrid::Grid2;
 
+use crate::bands::BandPool;
 use crate::problem::AdvectionProblem;
+use crate::simd::{KernelConfig, KernelKind};
 use crate::stepper::PaddedField;
 
 /// Precomputed stencil coefficients for one `(Δt, hx, hy, a)` combination.
@@ -90,15 +92,30 @@ pub fn lax_wendroff_row(
     }
 }
 
+/// A Lax–Wendroff row kernel: `(south, center, north, coef, out)`.
+pub type LwRowFn = fn(&[f64], &[f64], &[f64], &LwCoef, &mut [f64]);
+
+/// The row function implementing `kind`: the scalar reference or the
+/// vectorized rows of [`crate::simd`] — bitwise-identical by
+/// construction, so the choice only affects speed.
+pub fn lw_row_fn(kind: KernelKind) -> LwRowFn {
+    match kind {
+        KernelKind::Scalar => lax_wendroff_row,
+        KernelKind::Simd => crate::simd::lax_wendroff_row_simd,
+    }
+}
+
 /// Apply one Lax–Wendroff update to a halo-padded block.
 ///
-/// `padded` has `(nx + 2) × (ny + 2)` values, row-major with x fastest;
-/// the halo (first/last row/column) must already contain the neighbour
-/// values. `out` receives the `nx × ny` interior update.
+/// `padded` has exactly `(nx + 2) × (ny + 2)` values, row-major with x
+/// fastest; the halo (first/last row/column) must already contain the
+/// neighbour values. `out` receives the `nx × ny` interior update.
+/// Extents are asserted (in release too): the stride is implicit in
+/// `nx`, so a mis-sized block would silently read stale halo data.
 pub fn lax_wendroff_kernel(padded: &[f64], nx: usize, ny: usize, coef: &LwCoef, out: &mut [f64]) {
     let pnx = nx + 2;
-    debug_assert_eq!(padded.len(), pnx * (ny + 2));
-    debug_assert_eq!(out.len(), nx * ny);
+    assert_eq!(padded.len(), pnx * (ny + 2), "padded extent mismatch for {nx}x{ny}");
+    assert_eq!(out.len(), nx * ny, "output extent mismatch for {nx}x{ny}");
     for m in 0..ny {
         let south = &padded[m * pnx..][..pnx];
         let center = &padded[(m + 1) * pnx..][..pnx];
@@ -180,17 +197,35 @@ pub struct LocalSolver {
     dt: f64,
     steps_done: u64,
     field: PaddedField,
+    kernel: KernelConfig,
 }
 
 impl LocalSolver {
     /// Initialize the solver on a grid level with a fixed timestep (the
     /// paper uses one `Δt` across all component grids for stability).
+    /// The kernel configuration defaults to the process-wide
+    /// [`KernelConfig::global`]; override with [`Self::with_kernel`].
     pub fn new(problem: AdvectionProblem, level: sparsegrid::LevelPair, dt: f64) -> Self {
         let grid = Grid2::from_fn(level, problem.initial());
         let (hx, hy) = grid.spacing();
         let coef = LwCoef::new(&problem, hx, hy, dt);
         let field = PaddedField::new(grid.nx() - 1, grid.ny() - 1);
-        LocalSolver { problem, grid, coef, dt, steps_done: 0, field }
+        LocalSolver {
+            problem,
+            grid,
+            coef,
+            dt,
+            steps_done: 0,
+            field,
+            kernel: KernelConfig::global(),
+        }
+    }
+
+    /// Replace the kernel configuration (formulation + banding). All
+    /// configurations produce bitwise-identical grids.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Advance one timestep.
@@ -211,9 +246,18 @@ impl LocalSolver {
         }
         self.field.load(&self.grid);
         let coef = self.coef;
+        let row = lw_row_fn(self.kernel.kind);
+        let (nx, ny) = (self.field.nx(), self.field.ny());
+        let bands = self.kernel.bands_for(nx * ny, ny);
         for _ in 0..n {
             self.field.refresh_periodic_halo();
-            self.field.step(|s, c, nn, out| lax_wendroff_row(s, c, nn, &coef, out));
+            if bands > 1 {
+                self.field.step_banded(BandPool::global(), bands, |s, c, nn, out| {
+                    row(s, c, nn, &coef, out)
+                });
+            } else {
+                self.field.step(|s, c, nn, out| row(s, c, nn, &coef, out));
+            }
         }
         self.field.store(&mut self.grid);
         self.steps_done += n;

@@ -13,16 +13,26 @@
 //! calculated for advection from the initial conditions" — that is the
 //! reference all error measurements compare against.
 
+pub mod bands;
 pub mod diffusion;
 pub mod laxwendroff;
 pub mod problem;
+pub mod simd;
 pub mod stepper;
 pub mod upwind;
 
-pub use diffusion::{ftcs_row, ftcs_step, DiffusionProblem, DiffusionSolver};
+pub use bands::{band_range, BandPool};
+pub use diffusion::{
+    ftcs_kernel, ftcs_row, ftcs_row_fn, ftcs_step, DiffusionProblem, DiffusionSolver,
+};
 pub use laxwendroff::{
-    lax_wendroff_kernel, lax_wendroff_row, lax_wendroff_step, LocalSolver, LwCoef,
+    lax_wendroff_kernel, lax_wendroff_row, lax_wendroff_step, lw_row_fn, LocalSolver, LwCoef,
 };
 pub use problem::{AdvectionProblem, InitialCondition};
+pub use simd::{
+    ftcs_row_simd, lax_wendroff_row_simd, simd_isa_label, upwind_row_simd, KernelConfig, KernelKind,
+};
 pub use stepper::{PaddedField, TimeGrid};
-pub use upwind::{upwind_kernel, upwind_row, upwind_step_naive, UpwindCoef, UpwindSolver};
+pub use upwind::{
+    upwind_kernel, upwind_row, upwind_row_fn, upwind_step_naive, UpwindCoef, UpwindSolver,
+};

@@ -1,0 +1,714 @@
+//! Explicitly vectorized row kernels, bitwise-pinned to the scalar
+//! references, plus the kernel-selection knobs.
+//!
+//! ## Why operation order is preserved
+//!
+//! The fault-recovery machinery recomputes lost state from checkpoints or
+//! initial conditions and relies on the solvers being **deterministic to
+//! the bit** (see `tests/equivalence.rs` and DESIGN.md §13). IEEE-754
+//! arithmetic is not associative, so a vectorized kernel is only admissible
+//! if every output point evaluates *the same expression in the same
+//! order* as the scalar reference. The kernels here satisfy that by
+//! construction:
+//!
+//! * each SIMD lane evaluates the identical chain of `+`/`-`/`*` the
+//!   scalar loop evaluates for that point — lanes are element-wise, no
+//!   horizontal operations, no reassociation;
+//! * **no FMA**: a fused multiply-add rounds once where `mul` + `add`
+//!   round twice, which would change low bits, so the code never uses
+//!   fused intrinsics and the portable lane type sticks to `*` and `+`
+//!   (Rust never contracts float expressions implicitly);
+//! * the scalar tail (widths not divisible by the lane count) runs the
+//!   very same expression, so a row may be split between vector body and
+//!   tail at any point without changing a single bit.
+//!
+//! Because of this, *any* mix of scalar and SIMD stepping — including a
+//! recompute after a failure on a machine that selected a different ISA
+//! backend — produces bit-identical grids. The proptests in
+//! `tests/kernel_props.rs` pin this across random sizes, coefficients
+//! and ragged widths for all three stencils.
+//!
+//! ## Backends
+//!
+//! One generic lane-parallel body per stencil, instantiated over:
+//!
+//! * [`F64x4`] — a portable `[f64; 4]` element-wise lane type the
+//!   compiler auto-vectorizes (SSE2 pairs at baseline, `ymm` inside the
+//!   AVX2-enabled wrapper);
+//! * `F64x8` — eight `f64` lanes over AVX-512 intrinsics (x86-64 only).
+//!
+//! The backend is picked once per process by runtime feature detection,
+//! overridable with `FTSG_SIMD=portable|avx2|avx512` for A/B testing;
+//! `FTSG_KERNEL=scalar` bypasses SIMD entirely and forces the reference
+//! rows (the default is the fast path — it is bitwise-identical anyway).
+
+use std::ops::{Add, Mul, Sub};
+use std::sync::OnceLock;
+
+use crate::laxwendroff::LwCoef;
+use crate::upwind::UpwindCoef;
+
+// ---------------------------------------------------------------------
+// Lane types
+// ---------------------------------------------------------------------
+
+/// Element-wise `f64` lane bundle: exactly the scalar `+`/`-`/`*` per
+/// lane, nothing cross-lane, nothing fused.
+pub(crate) trait Lanes:
+    Copy + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self>
+{
+    /// Lane count.
+    const N: usize;
+    /// All lanes set to `v`.
+    fn splat(v: f64) -> Self;
+    /// Unaligned load of `Self::N` consecutive values.
+    ///
+    /// # Safety
+    /// `p` must be valid for reads of `Self::N` `f64`s.
+    unsafe fn load(p: *const f64) -> Self;
+    /// Unaligned store of `Self::N` consecutive values.
+    ///
+    /// # Safety
+    /// `p` must be valid for writes of `Self::N` `f64`s.
+    unsafe fn store(self, p: *mut f64);
+}
+
+/// Portable four-lane bundle. Plain array arithmetic: LLVM lowers it to
+/// SSE2 pairs at the x86-64 baseline and to 256-bit `ymm` ops inside the
+/// `#[target_feature(enable = "avx2")]` wrappers below; on other
+/// architectures it lowers to whatever vector ISA is available.
+#[derive(Clone, Copy)]
+pub(crate) struct F64x4([f64; 4]);
+
+macro_rules! elementwise_op {
+    ($t:ident, $n:expr, $trait:ident, $m:ident, $op:tt) => {
+        impl $trait for $t {
+            type Output = $t;
+            #[inline(always)]
+            fn $m(self, o: $t) -> $t {
+                let mut r = [0.0; $n];
+                let mut i = 0;
+                while i < $n {
+                    r[i] = self.0[i] $op o.0[i];
+                    i += 1;
+                }
+                $t(r)
+            }
+        }
+    };
+}
+elementwise_op!(F64x4, 4, Add, add, +);
+elementwise_op!(F64x4, 4, Sub, sub, -);
+elementwise_op!(F64x4, 4, Mul, mul, *);
+
+impl Lanes for F64x4 {
+    const N: usize = 4;
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        F64x4([v; 4])
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        // SAFETY: caller guarantees 4 readable f64s at `p`.
+        F64x4(unsafe { (p as *const [f64; 4]).read_unaligned() })
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        // SAFETY: caller guarantees 4 writable f64s at `p`.
+        unsafe { (p as *mut [f64; 4]).write_unaligned(self.0) }
+    }
+}
+
+/// Eight-lane AVX-512 bundle. Every operation is a single per-lane IEEE
+/// instruction (`vaddpd`/`vsubpd`/`vmulpd` on `zmm`), so results are
+/// bit-identical to the scalar loop; deliberately **no** `vfmadd`.
+///
+/// # Safety contract
+/// `F64x8` values are only ever created and operated on inside the
+/// `#[target_feature(enable = "avx512f")]` wrappers, reached through the
+/// runtime-detected [`isa`] dispatch — executing these intrinsics
+/// without AVX-512F would be UB (illegal instruction), so the type is
+/// crate-private and must not escape that call tree.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+pub(crate) struct F64x8(std::arch::x86_64::__m512d);
+
+#[cfg(target_arch = "x86_64")]
+macro_rules! avx512_op {
+    ($trait:ident, $m:ident, $intr:ident) => {
+        impl $trait for F64x8 {
+            type Output = F64x8;
+            #[inline(always)]
+            fn $m(self, o: F64x8) -> F64x8 {
+                // SAFETY: see the F64x8 safety contract — only executed
+                // under the avx512f-guarded dispatch path.
+                F64x8(unsafe { std::arch::x86_64::$intr(self.0, o.0) })
+            }
+        }
+    };
+}
+#[cfg(target_arch = "x86_64")]
+avx512_op!(Add, add, _mm512_add_pd);
+#[cfg(target_arch = "x86_64")]
+avx512_op!(Sub, sub, _mm512_sub_pd);
+#[cfg(target_arch = "x86_64")]
+avx512_op!(Mul, mul, _mm512_mul_pd);
+
+#[cfg(target_arch = "x86_64")]
+impl Lanes for F64x8 {
+    const N: usize = 8;
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        // SAFETY: see the F64x8 safety contract.
+        F64x8(unsafe { std::arch::x86_64::_mm512_set1_pd(v) })
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        // SAFETY: caller guarantees 8 readable f64s; avx512f per contract.
+        F64x8(unsafe { std::arch::x86_64::_mm512_loadu_pd(p) })
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        // SAFETY: caller guarantees 8 writable f64s; avx512f per contract.
+        unsafe { std::arch::x86_64::_mm512_storeu_pd(p, self.0) }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ISA selection
+// ---------------------------------------------------------------------
+
+/// The instruction-set backend the SIMD rows dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Isa {
+    Portable,
+    Avx2,
+    Avx512,
+}
+
+fn detect_isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let want = std::env::var("FTSG_SIMD").unwrap_or_default();
+        let best = if is_x86_feature_detected!("avx512f") {
+            Isa::Avx512
+        } else if is_x86_feature_detected!("avx2") {
+            Isa::Avx2
+        } else {
+            Isa::Portable
+        };
+        // Env override is clamped to what the CPU can actually run.
+        match want.as_str() {
+            "portable" => Isa::Portable,
+            "avx2" if best != Isa::Portable => Isa::Avx2,
+            "avx512" if best == Isa::Avx512 => Isa::Avx512,
+            _ => best,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Isa::Portable
+    }
+}
+
+fn isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(detect_isa)
+}
+
+/// Label of the SIMD backend the process resolved to
+/// (`"avx512"` / `"avx2"` / `"portable"`), for benchmark reports.
+pub fn simd_isa_label() -> &'static str {
+    match isa() {
+        Isa::Avx512 => "avx512",
+        Isa::Avx2 => "avx2",
+        Isa::Portable => "portable",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lax–Wendroff
+// ---------------------------------------------------------------------
+
+/// Generic lane-parallel Lax–Wendroff body; the expression per point is
+/// **identical, in evaluation order, to [`crate::laxwendroff::lax_wendroff_row`]**.
+#[inline(always)]
+fn lw_body<V: Lanes>(south: &[f64], center: &[f64], north: &[f64], coef: &LwCoef, out: &mut [f64]) {
+    let nx = out.len();
+    let south = &south[..nx + 2];
+    let center = &center[..nx + 2];
+    let north = &north[..nx + 2];
+    let cx = V::splat(coef.cx);
+    let cy = V::splat(coef.cy);
+    let cxx = V::splat(coef.cxx);
+    let cyy = V::splat(coef.cyy);
+    let cxy = V::splat(coef.cxy);
+    let two = V::splat(2.0);
+    let sp = south.as_ptr();
+    let cp = center.as_ptr();
+    let np = north.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut k = 0;
+    while k + V::N <= nx {
+        // SAFETY: k + V::N <= nx, and the input rows hold nx + 2 values,
+        // so every load of N values starting at offset <= k + 2 is in
+        // bounds; the store writes out[k .. k + N] <= nx.
+        unsafe {
+            let c = V::load(cp.add(k + 1));
+            let w = V::load(cp.add(k));
+            let e = V::load(cp.add(k + 2));
+            let s = V::load(sp.add(k + 1));
+            let n = V::load(np.add(k + 1));
+            let sw = V::load(sp.add(k));
+            let se = V::load(sp.add(k + 2));
+            let nw = V::load(np.add(k));
+            let ne = V::load(np.add(k + 2));
+            let r = c
+                + cx * (e - w)
+                + cy * (n - s)
+                + cxx * (e - two * c + w)
+                + cyy * (n - two * c + s)
+                + cxy * (ne - nw - se + sw);
+            r.store(op.add(k));
+        }
+        k += V::N;
+    }
+    // Scalar tail: the reference expression verbatim.
+    while k < nx {
+        let c = center[k + 1];
+        let w = center[k];
+        let e = center[k + 2];
+        let s = south[k + 1];
+        let n = north[k + 1];
+        let sw = south[k];
+        let se = south[k + 2];
+        let nw = north[k];
+        let ne = north[k + 2];
+        out[k] = c
+            + coef.cx * (e - w)
+            + coef.cy * (n - s)
+            + coef.cxx * (e - 2.0 * c + w)
+            + coef.cyy * (n - 2.0 * c + s)
+            + coef.cxy * (ne - nw - se + sw);
+        k += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn lw_avx2(south: &[f64], center: &[f64], north: &[f64], coef: &LwCoef, out: &mut [f64]) {
+    lw_body::<F64x4>(south, center, north, coef, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn lw_avx512(south: &[f64], center: &[f64], north: &[f64], coef: &LwCoef, out: &mut [f64]) {
+    lw_body::<F64x8>(south, center, north, coef, out)
+}
+
+/// Vectorized Lax–Wendroff row update: same contract and **bit-identical
+/// results** as [`crate::laxwendroff::lax_wendroff_row`].
+#[inline]
+pub fn lax_wendroff_row_simd(
+    south: &[f64],
+    center: &[f64],
+    north: &[f64],
+    coef: &LwCoef,
+    out: &mut [f64],
+) {
+    match isa() {
+        // SAFETY: isa() returned Avx512/Avx2 only after runtime detection.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { lw_avx512(south, center, north, coef, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { lw_avx2(south, center, north, coef, out) },
+        _ => lw_body::<F64x4>(south, center, north, coef, out),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Upwind
+// ---------------------------------------------------------------------
+
+/// Generic lane-parallel upwind body. The scalar reference branches per
+/// point on `coef.cx >= 0.0` / `coef.cy >= 0.0`; both are row constants,
+/// so hoisting them to const generics evaluates the exact same selected
+/// expression per point (matching [`crate::upwind::upwind_row`]).
+#[inline(always)]
+fn upwind_body<V: Lanes, const XUP: bool, const YUP: bool>(
+    south: &[f64],
+    center: &[f64],
+    north: &[f64],
+    coef: &UpwindCoef,
+    out: &mut [f64],
+) {
+    let nx = out.len();
+    let south = &south[..nx + 2];
+    let center = &center[..nx + 2];
+    let north = &north[..nx + 2];
+    let cx = V::splat(coef.cx);
+    let cy = V::splat(coef.cy);
+    let sp = south.as_ptr();
+    let cp = center.as_ptr();
+    let np = north.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut k = 0;
+    while k + V::N <= nx {
+        // SAFETY: same bounds argument as `lw_body`.
+        unsafe {
+            let c = V::load(cp.add(k + 1));
+            let w = V::load(cp.add(k));
+            let e = V::load(cp.add(k + 2));
+            let s = V::load(sp.add(k + 1));
+            let n = V::load(np.add(k + 1));
+            let dx = if XUP { c - w } else { e - c };
+            let dy = if YUP { c - s } else { n - c };
+            let r = c - cx * dx - cy * dy;
+            r.store(op.add(k));
+        }
+        k += V::N;
+    }
+    while k < nx {
+        let c = center[k + 1];
+        let w = center[k];
+        let e = center[k + 2];
+        let s = south[k + 1];
+        let n = north[k + 1];
+        let dx = if XUP { c - w } else { e - c };
+        let dy = if YUP { c - s } else { n - c };
+        out[k] = c - coef.cx * dx - coef.cy * dy;
+        k += 1;
+    }
+}
+
+macro_rules! upwind_signs {
+    ($V:ty, $s:expr, $c:expr, $n:expr, $coef:expr, $out:expr) => {
+        match ($coef.cx >= 0.0, $coef.cy >= 0.0) {
+            (true, true) => upwind_body::<$V, true, true>($s, $c, $n, $coef, $out),
+            (true, false) => upwind_body::<$V, true, false>($s, $c, $n, $coef, $out),
+            (false, true) => upwind_body::<$V, false, true>($s, $c, $n, $coef, $out),
+            (false, false) => upwind_body::<$V, false, false>($s, $c, $n, $coef, $out),
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn upwind_avx2(south: &[f64], center: &[f64], north: &[f64], coef: &UpwindCoef, out: &mut [f64]) {
+    upwind_signs!(F64x4, south, center, north, coef, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn upwind_avx512(south: &[f64], center: &[f64], north: &[f64], coef: &UpwindCoef, out: &mut [f64]) {
+    upwind_signs!(F64x8, south, center, north, coef, out)
+}
+
+/// Vectorized upwind row update: same contract and **bit-identical
+/// results** as [`crate::upwind::upwind_row`].
+#[inline]
+pub fn upwind_row_simd(
+    south: &[f64],
+    center: &[f64],
+    north: &[f64],
+    coef: &UpwindCoef,
+    out: &mut [f64],
+) {
+    match isa() {
+        // SAFETY: isa() returned Avx512/Avx2 only after runtime detection.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { upwind_avx512(south, center, north, coef, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { upwind_avx2(south, center, north, coef, out) },
+        _ => upwind_signs!(F64x4, south, center, north, coef, out),
+    }
+}
+
+// ---------------------------------------------------------------------
+// FTCS (diffusion)
+// ---------------------------------------------------------------------
+
+/// Generic lane-parallel FTCS body; per-point expression identical to
+/// [`crate::diffusion::ftcs_row`].
+#[inline(always)]
+fn ftcs_body<V: Lanes>(
+    south: &[f64],
+    center: &[f64],
+    north: &[f64],
+    rx: f64,
+    ry: f64,
+    out: &mut [f64],
+) {
+    let nx = out.len();
+    let south = &south[..nx + 2];
+    let center = &center[..nx + 2];
+    let north = &north[..nx + 2];
+    let vrx = V::splat(rx);
+    let vry = V::splat(ry);
+    let two = V::splat(2.0);
+    let sp = south.as_ptr();
+    let cp = center.as_ptr();
+    let np = north.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut k = 0;
+    while k + V::N <= nx {
+        // SAFETY: same bounds argument as `lw_body`.
+        unsafe {
+            let c = V::load(cp.add(k + 1));
+            let w = V::load(cp.add(k));
+            let e = V::load(cp.add(k + 2));
+            let s = V::load(sp.add(k + 1));
+            let n = V::load(np.add(k + 1));
+            let r = c + vrx * (e - two * c + w) + vry * (n - two * c + s);
+            r.store(op.add(k));
+        }
+        k += V::N;
+    }
+    while k < nx {
+        let c = center[k + 1];
+        let w = center[k];
+        let e = center[k + 2];
+        let s = south[k + 1];
+        let n_ = north[k + 1];
+        out[k] = c + rx * (e - 2.0 * c + w) + ry * (n_ - 2.0 * c + s);
+        k += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn ftcs_avx2(south: &[f64], center: &[f64], north: &[f64], rx: f64, ry: f64, out: &mut [f64]) {
+    ftcs_body::<F64x4>(south, center, north, rx, ry, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn ftcs_avx512(south: &[f64], center: &[f64], north: &[f64], rx: f64, ry: f64, out: &mut [f64]) {
+    ftcs_body::<F64x8>(south, center, north, rx, ry, out)
+}
+
+/// Vectorized FTCS row update: same contract and **bit-identical
+/// results** as [`crate::diffusion::ftcs_row`].
+#[inline]
+pub fn ftcs_row_simd(
+    south: &[f64],
+    center: &[f64],
+    north: &[f64],
+    rx: f64,
+    ry: f64,
+    out: &mut [f64],
+) {
+    match isa() {
+        // SAFETY: isa() returned Avx512/Avx2 only after runtime detection.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { ftcs_avx512(south, center, north, rx, ry, out) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { ftcs_avx2(south, center, north, rx, ry, out) },
+        _ => ftcs_body::<F64x4>(south, center, north, rx, ry, out),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel selection knobs
+// ---------------------------------------------------------------------
+
+/// Which row-kernel formulation the solvers step with. Both produce
+/// bit-identical grids; the choice only affects speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// The scalar reference rows kept from PR 1.
+    Scalar,
+    /// The vectorized rows in this module (default).
+    #[default]
+    Simd,
+}
+
+impl KernelKind {
+    /// Short label ("scalar" / "simd") for reports and CI lanes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Simd => "simd",
+        }
+    }
+
+    /// Both kinds, for mode-matrix tests.
+    pub fn all() -> [KernelKind; 2] {
+        [KernelKind::Scalar, KernelKind::Simd]
+    }
+}
+
+/// Per-solver kernel configuration: formulation plus optional intra-rank
+/// row-band parallelism (see [`crate::bands::BandPool`]).
+///
+/// Environment knobs (read by [`KernelConfig::from_env`] /
+/// [`KernelConfig::global`], which [`AppConfig`]-level plumbing and the
+/// solver constructors default to):
+///
+/// * `FTSG_KERNEL=scalar|simd` — formulation (default `simd`);
+/// * `FTSG_BANDS=N` — split big sub-grids into `N` row bands stepped by
+///   a shared worker pool (default `0` = off);
+/// * `FTSG_BAND_MIN_CELLS=C` — only band sub-grids with at least `C`
+///   interior cells (default `65536`), so tiny distributed blocks never
+///   pay dispatch overhead.
+///
+/// `AppConfig`: `ftsg_core::AppConfig`
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Scalar reference or vectorized rows.
+    pub kind: KernelKind,
+    /// Number of row bands a large interior is split into (`0`/`1` =
+    /// step monolithically on the calling thread).
+    pub bands: usize,
+    /// Minimum interior cell count before banding kicks in.
+    pub band_min_cells: usize,
+}
+
+/// Default banding threshold: a 256×256 interior.
+pub const DEFAULT_BAND_MIN_CELLS: usize = 65536;
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            kind: KernelKind::default(),
+            bands: 0,
+            band_min_cells: DEFAULT_BAND_MIN_CELLS,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Scalar reference rows, no banding (the PR 1 behavior).
+    pub fn scalar() -> Self {
+        KernelConfig { kind: KernelKind::Scalar, ..KernelConfig::default() }
+    }
+
+    /// Vectorized rows, no banding.
+    pub fn simd() -> Self {
+        KernelConfig { kind: KernelKind::Simd, ..KernelConfig::default() }
+    }
+
+    /// Replace the band count (applies above [`Self::band_min_cells`]).
+    pub fn with_bands(mut self, bands: usize) -> Self {
+        self.bands = bands;
+        self
+    }
+
+    /// Replace the banding size threshold.
+    pub fn with_band_min_cells(mut self, cells: usize) -> Self {
+        self.band_min_cells = cells;
+        self
+    }
+
+    /// Read the `FTSG_KERNEL` / `FTSG_BANDS` / `FTSG_BAND_MIN_CELLS`
+    /// environment knobs (unset or unparsable values fall back to the
+    /// defaults).
+    pub fn from_env() -> Self {
+        let mut cfg = KernelConfig::default();
+        match std::env::var("FTSG_KERNEL").as_deref() {
+            Ok("scalar") => cfg.kind = KernelKind::Scalar,
+            Ok("simd") => cfg.kind = KernelKind::Simd,
+            _ => {}
+        }
+        if let Ok(v) = std::env::var("FTSG_BANDS") {
+            if let Ok(b) = v.parse::<usize>() {
+                cfg.bands = b;
+            }
+        }
+        if let Ok(v) = std::env::var("FTSG_BAND_MIN_CELLS") {
+            if let Ok(c) = v.parse::<usize>() {
+                cfg.band_min_cells = c;
+            }
+        }
+        cfg
+    }
+
+    /// The process-wide configuration, resolved from the environment once
+    /// (solver constructors default to this).
+    pub fn global() -> Self {
+        static CFG: OnceLock<KernelConfig> = OnceLock::new();
+        *CFG.get_or_init(KernelConfig::from_env)
+    }
+
+    /// How many bands to step an `cells`-cell interior of `rows` rows
+    /// with: `1` (monolithic) unless banding is enabled and the interior
+    /// is big enough; never more bands than rows.
+    pub fn bands_for(&self, cells: usize, rows: usize) -> usize {
+        if self.bands < 2 || cells < self.band_min_cells {
+            1
+        } else {
+            self.bands.min(rows).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arithmetic_is_elementwise() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4([0.5, 0.25, -1.0, 2.0]);
+        let r = (a + b) * b - a;
+        for i in 0..4 {
+            let expect = (a.0[i] + b.0[i]) * b.0[i] - a.0[i];
+            assert_eq!(r.0[i].to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_rows_match_scalar_on_a_ragged_row() {
+        // One direct row-level check per stencil (the broad sweep lives
+        // in tests/kernel_props.rs); nx = 13 exercises body + tail.
+        let nx = 13;
+        let row: Vec<f64> = (0..3 * (nx + 2)).map(|k| (k as f64 * 0.37).sin()).collect();
+        let (s, rest) = row.split_at(nx + 2);
+        let (c, n) = rest.split_at(nx + 2);
+
+        let lw = LwCoef { cx: 0.1, cy: -0.2, cxx: 0.01, cyy: 0.02, cxy: -0.005 };
+        let mut a = vec![0.0; nx];
+        let mut b = vec![0.0; nx];
+        crate::laxwendroff::lax_wendroff_row(s, c, n, &lw, &mut a);
+        lax_wendroff_row_simd(s, c, n, &lw, &mut b);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        for (cx, cy) in [(0.3, 0.4), (-0.3, 0.4), (0.3, -0.4), (-0.3, -0.4)] {
+            let up = UpwindCoef { cx, cy };
+            crate::upwind::upwind_row(s, c, n, &up, &mut a);
+            upwind_row_simd(s, c, n, &up, &mut b);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "upwind cx={cx} cy={cy}"
+            );
+        }
+
+        crate::diffusion::ftcs_row(s, c, n, 0.21, 0.17, &mut a);
+        ftcs_row_simd(s, c, n, 0.21, 0.17, &mut b);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn kernel_config_bands_for_respects_threshold_and_rows() {
+        let cfg = KernelConfig::simd().with_bands(4).with_band_min_cells(100);
+        assert_eq!(cfg.bands_for(99, 50), 1, "below threshold");
+        assert_eq!(cfg.bands_for(100, 50), 4);
+        assert_eq!(cfg.bands_for(100, 3), 3, "never more bands than rows");
+        let off = KernelConfig::simd();
+        assert_eq!(off.bands_for(1 << 20, 1024), 1, "bands default off");
+    }
+
+    #[test]
+    fn isa_label_is_stable() {
+        let l = simd_isa_label();
+        assert!(["avx512", "avx2", "portable"].contains(&l), "{l}");
+        assert_eq!(l, simd_isa_label());
+    }
+}

@@ -8,7 +8,9 @@
 
 use sparsegrid::Grid2;
 
+use crate::bands::BandPool;
 use crate::problem::AdvectionProblem;
+use crate::simd::{KernelConfig, KernelKind};
 use crate::stepper::PaddedField;
 
 /// Precomputed upwind coefficients for one `(Δt, hx, hy, a)` combination.
@@ -59,12 +61,25 @@ pub fn upwind_row(
     }
 }
 
+/// An upwind row kernel: `(south, center, north, coef, out)`.
+pub type UpwindRowFn = fn(&[f64], &[f64], &[f64], &UpwindCoef, &mut [f64]);
+
+/// The row function implementing `kind` (see
+/// [`crate::laxwendroff::lw_row_fn`]).
+pub fn upwind_row_fn(kind: KernelKind) -> UpwindRowFn {
+    match kind {
+        KernelKind::Scalar => upwind_row,
+        KernelKind::Simd => crate::simd::upwind_row_simd,
+    }
+}
+
 /// One upwind update on a halo-padded block (same layout contract as
-/// [`crate::laxwendroff::lax_wendroff_kernel`]).
+/// [`crate::laxwendroff::lax_wendroff_kernel`]; extents asserted in
+/// release too, since the stride is implicit in `nx`).
 pub fn upwind_kernel(padded: &[f64], nx: usize, ny: usize, coef: &UpwindCoef, out: &mut [f64]) {
     let pnx = nx + 2;
-    debug_assert_eq!(padded.len(), pnx * (ny + 2));
-    debug_assert_eq!(out.len(), nx * ny);
+    assert_eq!(padded.len(), pnx * (ny + 2), "padded extent mismatch for {nx}x{ny}");
+    assert_eq!(out.len(), nx * ny, "output extent mismatch for {nx}x{ny}");
     for m in 0..ny {
         let south = &padded[m * pnx..][..pnx];
         let center = &padded[(m + 1) * pnx..][..pnx];
@@ -120,6 +135,7 @@ pub struct UpwindSolver {
     dt: f64,
     steps_done: u64,
     field: PaddedField,
+    kernel: KernelConfig,
 }
 
 impl UpwindSolver {
@@ -129,7 +145,21 @@ impl UpwindSolver {
         let (hx, hy) = grid.spacing();
         let coef = UpwindCoef::new(&problem, hx, hy, dt);
         let field = PaddedField::new(grid.nx() - 1, grid.ny() - 1);
-        UpwindSolver { problem, grid, coef, dt, steps_done: 0, field }
+        UpwindSolver {
+            problem,
+            grid,
+            coef,
+            dt,
+            steps_done: 0,
+            field,
+            kernel: KernelConfig::global(),
+        }
+    }
+
+    /// Replace the kernel configuration (formulation + banding).
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Advance one timestep.
@@ -146,9 +176,18 @@ impl UpwindSolver {
         }
         self.field.load(&self.grid);
         let coef = self.coef;
+        let row = upwind_row_fn(self.kernel.kind);
+        let (nx, ny) = (self.field.nx(), self.field.ny());
+        let bands = self.kernel.bands_for(nx * ny, ny);
         for _ in 0..n {
             self.field.refresh_periodic_halo();
-            self.field.step(|s, c, nn, out| upwind_row(s, c, nn, &coef, out));
+            if bands > 1 {
+                self.field.step_banded(BandPool::global(), bands, |s, c, nn, out| {
+                    row(s, c, nn, &coef, out)
+                });
+            } else {
+                self.field.step(|s, c, nn, out| row(s, c, nn, &coef, out));
+            }
         }
         self.field.store(&mut self.grid);
         self.steps_done += n;

@@ -12,8 +12,8 @@
 use advect2d::laxwendroff::{lax_wendroff_step, LwCoef};
 use advect2d::upwind::{upwind_step_naive, UpwindCoef};
 use advect2d::{
-    ftcs_step, AdvectionProblem, DiffusionProblem, DiffusionSolver, InitialCondition, LocalSolver,
-    UpwindSolver,
+    ftcs_step, AdvectionProblem, DiffusionProblem, DiffusionSolver, InitialCondition, KernelConfig,
+    LocalSolver, UpwindSolver,
 };
 use sparsegrid::{Grid2, LevelPair};
 
@@ -39,6 +39,20 @@ fn assert_seam_bits(g: &Grid2, what: &str) {
 
 const LEVELS: &[(u32, u32)] = &[(4, 4), (6, 6), (6, 3), (3, 6), (7, 2), (2, 7)];
 
+/// Every kernel configuration under test: the scalar reference, the
+/// vectorized rows, and banded stepping (threshold forced to 1 so even
+/// tiny grids exercise the pool) in both formulations. All must produce
+/// the same bits as the rebuild-everything naive references.
+fn kernel_configs() -> [(KernelConfig, &'static str); 5] {
+    [
+        (KernelConfig::scalar(), "scalar"),
+        (KernelConfig::simd(), "simd"),
+        (KernelConfig::simd().with_bands(2).with_band_min_cells(1), "simd+2bands"),
+        (KernelConfig::simd().with_bands(5).with_band_min_cells(1), "simd+5bands"),
+        (KernelConfig::scalar().with_bands(3).with_band_min_cells(1), "scalar+3bands"),
+    ]
+}
+
 #[test]
 fn lax_wendroff_fast_path_is_bitwise_identical() {
     let p = AdvectionProblem::standard();
@@ -46,9 +60,6 @@ fn lax_wendroff_fast_path_is_bitwise_identical() {
         let lev = LevelPair::new(i, j);
         let dt = 0.2 / (1u64 << i.max(j)) as f64;
         let steps = 17;
-
-        let mut fast = LocalSolver::new(p, lev, dt);
-        fast.run(steps);
 
         let mut naive = Grid2::from_fn(lev, p.initial());
         let (hx, hy) = naive.spacing();
@@ -58,8 +69,12 @@ fn lax_wendroff_fast_path_is_bitwise_identical() {
             lax_wendroff_step(&mut naive, &coef, &mut padded, &mut out);
         }
 
-        assert_bits_equal(fast.grid(), &naive, &format!("LW level ({i},{j})"));
-        assert_seam_bits(fast.grid(), &format!("LW level ({i},{j})"));
+        for (kcfg, label) in kernel_configs() {
+            let mut fast = LocalSolver::new(p, lev, dt).with_kernel(kcfg);
+            fast.run(steps);
+            assert_bits_equal(fast.grid(), &naive, &format!("LW level ({i},{j}) {label}"));
+            assert_seam_bits(fast.grid(), &format!("LW level ({i},{j}) {label}"));
+        }
     }
 }
 
@@ -88,9 +103,6 @@ fn upwind_fast_path_is_bitwise_identical() {
         let dt = 0.2 / (1u64 << i.max(j)) as f64;
         let steps = 17;
 
-        let mut fast = UpwindSolver::new(p, lev, dt);
-        fast.run(steps);
-
         let mut naive = Grid2::from_fn(lev, p.initial());
         let (hx, hy) = naive.spacing();
         let coef = UpwindCoef::new(&p, hx, hy, dt);
@@ -99,8 +111,12 @@ fn upwind_fast_path_is_bitwise_identical() {
             upwind_step_naive(&mut naive, &coef, &mut padded, &mut out);
         }
 
-        assert_bits_equal(fast.grid(), &naive, &format!("upwind level ({i},{j})"));
-        assert_seam_bits(fast.grid(), &format!("upwind level ({i},{j})"));
+        for (kcfg, label) in kernel_configs() {
+            let mut fast = UpwindSolver::new(p, lev, dt).with_kernel(kcfg);
+            fast.run(steps);
+            assert_bits_equal(fast.grid(), &naive, &format!("upwind level ({i},{j}) {label}"));
+            assert_seam_bits(fast.grid(), &format!("upwind level ({i},{j}) {label}"));
+        }
     }
 }
 
@@ -112,16 +128,17 @@ fn ftcs_fast_path_is_bitwise_identical() {
         let dt = p.stable_dt(i.max(j), 0.5);
         let steps = 17;
 
-        let mut fast = DiffusionSolver::new(p, lev, dt);
-        fast.run(steps);
-
         let mut naive = Grid2::from_fn(lev, p.initial());
         let mut scratch = Vec::new();
         for _ in 0..steps {
             ftcs_step(&p, &mut naive, dt, &mut scratch);
         }
 
-        assert_bits_equal(fast.grid(), &naive, &format!("FTCS level ({i},{j})"));
-        assert_seam_bits(fast.grid(), &format!("FTCS level ({i},{j})"));
+        for (kcfg, label) in kernel_configs() {
+            let mut fast = DiffusionSolver::new(p, lev, dt).with_kernel(kcfg);
+            fast.run(steps);
+            assert_bits_equal(fast.grid(), &naive, &format!("FTCS level ({i},{j}) {label}"));
+            assert_seam_bits(fast.grid(), &format!("FTCS level ({i},{j}) {label}"));
+        }
     }
 }

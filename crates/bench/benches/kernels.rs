@@ -1,0 +1,91 @@
+//! Per-kernel throughput: scalar reference rows vs the vectorized rows
+//! for all three stencils (Lax–Wendroff, first-order upwind, FTCS
+//! diffusion), plus the banded full-field step. The scalar rows are the
+//! bitwise-pinned references; this bench is where the SIMD speedup is
+//! measured in isolation from halo/stepping overhead.
+
+use advect2d::{
+    ftcs_row, ftcs_row_simd, lax_wendroff_row, lax_wendroff_row_simd, simd_isa_label, upwind_row,
+    upwind_row_simd, BandPool, LwCoef, PaddedField, UpwindCoef,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Three padded stencil rows plus an output row, deterministically
+/// filled — the inputs every row kernel consumes.
+fn rows(nx: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let f = |k: usize, phase: f64| ((k as f64) * 0.37 + phase).sin();
+    let s: Vec<f64> = (0..nx + 2).map(|k| f(k, 0.0)).collect();
+    let c: Vec<f64> = (0..nx + 2).map(|k| f(k, 1.0)).collect();
+    let n: Vec<f64> = (0..nx + 2).map(|k| f(k, 2.0)).collect();
+    (s, c, n, vec![0.0; nx])
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let lw = LwCoef { cx: 0.2, cy: 0.15, cxx: 0.02, cyy: 0.01, cxy: 0.015 };
+    let up = UpwindCoef { cx: 0.2, cy: 0.15 };
+    let (rx, ry) = (0.2, 0.25);
+
+    let mut g = c.benchmark_group(format!("row_kernels_{}", simd_isa_label()));
+    for &nx in &[64usize, 512, 4096] {
+        let (s, cc, n, mut out) = rows(nx);
+        g.throughput(Throughput::Elements(nx as u64));
+        g.bench_function(BenchmarkId::new("lw_scalar", nx), |b| {
+            b.iter(|| lax_wendroff_row(&s, &cc, &n, &lw, &mut out))
+        });
+        g.bench_function(BenchmarkId::new("lw_simd", nx), |b| {
+            b.iter(|| lax_wendroff_row_simd(&s, &cc, &n, &lw, &mut out))
+        });
+        g.bench_function(BenchmarkId::new("upwind_scalar", nx), |b| {
+            b.iter(|| upwind_row(&s, &cc, &n, &up, &mut out))
+        });
+        g.bench_function(BenchmarkId::new("upwind_simd", nx), |b| {
+            b.iter(|| upwind_row_simd(&s, &cc, &n, &up, &mut out))
+        });
+        g.bench_function(BenchmarkId::new("ftcs_scalar", nx), |b| {
+            b.iter(|| ftcs_row(&s, &cc, &n, rx, ry, &mut out))
+        });
+        g.bench_function(BenchmarkId::new("ftcs_simd", nx), |b| {
+            b.iter(|| ftcs_row_simd(&s, &cc, &n, rx, ry, &mut out))
+        });
+    }
+    g.finish();
+}
+
+/// Full-field step (level 8) per stencil: scalar, SIMD, SIMD + 2 bands.
+/// Steady-state discipline: halo refresh + row kernels + buffer swap.
+fn bench_field_step(c: &mut Criterion) {
+    let lw = LwCoef { cx: 0.2, cy: 0.15, cxx: 0.02, cyy: 0.01, cxy: 0.015 };
+    let n = 1usize << 8;
+    let mut g = c.benchmark_group("field_step");
+    g.throughput(Throughput::Elements((n * n) as u64));
+
+    let mut field = PaddedField::new(n, n);
+    for (k, v) in field.padded_mut().iter_mut().enumerate() {
+        *v = ((k as f64) * 0.11).sin();
+    }
+    let variants: [(&str, bool, usize); 3] =
+        [("scalar", false, 1), ("simd", true, 1), ("simd_bands2", true, 2)];
+    for (label, simd, bands) in variants {
+        g.bench_function(BenchmarkId::new(label, format!("{n}x{n}")), |b| {
+            b.iter(|| {
+                field.refresh_periodic_halo();
+                let kernel = |s: &[f64], c2: &[f64], n2: &[f64], out: &mut [f64]| {
+                    if simd {
+                        lax_wendroff_row_simd(s, c2, n2, &lw, out)
+                    } else {
+                        lax_wendroff_row(s, c2, n2, &lw, out)
+                    }
+                };
+                if bands > 1 {
+                    field.step_banded(BandPool::global(), bands, kernel);
+                } else {
+                    field.step(kernel);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(kernels, bench_rows, bench_field_step);
+criterion_main!(kernels);

@@ -7,7 +7,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use advect2d::laxwendroff::{lax_wendroff_kernel, lax_wendroff_row, lax_wendroff_step, LwCoef};
-use advect2d::{AdvectionProblem, LocalSolver, PaddedField};
+use advect2d::{
+    lax_wendroff_row_simd, AdvectionProblem, BandPool, KernelConfig, LocalSolver, PaddedField,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sparsegrid::{
     combine_onto_into, gcp_coefficients, CombinationTerm, Grid2, GridSystem, Layout as GridLayout,
@@ -93,6 +95,29 @@ fn bench_level9_step(c: &mut Criterion) {
             field.step(|s, c2, n2, out| lax_wendroff_row(s, c2, n2, &coef, out));
         })
     });
+
+    // Same stepping discipline, vectorized rows (bitwise-identical; see
+    // advect2d::simd and the equivalence suites).
+    let mut field = PaddedField::from_grid(&Grid2::from_fn(lev, p.initial()));
+    g.bench_function(BenchmarkId::new("fast_simd", "9x9"), |b| {
+        b.iter(|| {
+            field.refresh_periodic_halo();
+            field.step(|s, c2, n2, out| lax_wendroff_row_simd(s, c2, n2, &coef, out));
+        })
+    });
+
+    // Vectorized rows + the intra-rank row-band pool (2 bands). Only a
+    // speedup on multi-core hosts; benchmarked honestly either way.
+    let mut field = PaddedField::from_grid(&Grid2::from_fn(lev, p.initial()));
+    let pool = BandPool::global();
+    g.bench_function(BenchmarkId::new("fast_simd_bands", "9x9"), |b| {
+        b.iter(|| {
+            field.refresh_periodic_halo();
+            field.step_banded(pool, 2, |s, c2, n2, out| {
+                lax_wendroff_row_simd(s, c2, n2, &coef, out)
+            });
+        })
+    });
     g.finish();
 }
 
@@ -129,6 +154,23 @@ fn assert_alloc_free(_c: &mut Criterion) {
         after - before,
         0,
         "LocalSolver::run allocated {} times over 64 steady-state steps",
+        after - before
+    );
+
+    // The same discipline must hold with the vectorized kernel and the
+    // band pool active: the pool is created once (warm-up pays for the
+    // worker threads), and every subsequent banded dispatch reuses it
+    // without touching the allocator.
+    let mut s = LocalSolver::new(p, LevelPair::new(8, 8), 1e-4)
+        .with_kernel(KernelConfig::simd().with_bands(2).with_band_min_cells(1));
+    s.run(2); // warm-up: creates the global BandPool on first banded step
+    let before = alloc_count();
+    s.run(64);
+    let after = alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "banded LocalSolver::run allocated {} times over 64 steady-state steps",
         after - before
     );
 
@@ -226,7 +268,7 @@ fn assert_alloc_free(_c: &mut Criterion) {
     assert_eq!(ring.len(), 1024);
     assert_eq!(ring.dropped(), 2048 + 4096 - 1024);
 
-    println!("alloc_discipline: 0 allocations over 128 steps + 8 combine rounds + 4096 trace events ... ok");
+    println!("alloc_discipline: 0 allocations over 192 steps (incl. banded) + 8 combine rounds + 4096 trace events ... ok");
 }
 
 criterion_group!(benches, assert_alloc_free, bench_kernel, bench_level9_step, bench_local_solver);

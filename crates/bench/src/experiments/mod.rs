@@ -6,6 +6,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig8;
 pub mod fig9;
+pub mod kernel;
 pub mod overlap;
 pub mod policy;
 pub mod regress;

@@ -1,4 +1,4 @@
-//! `expt-regress` — the bench-regression gate: re-measure the three
+//! `expt-regress` — the bench-regression gate: re-measure the
 //! load-bearing performance claims in this repo and compare each against
 //! the committed `BENCH_*.json` baseline, failing on a regression beyond
 //! [`TOLERANCE`].
@@ -16,6 +16,12 @@
 //! 3. **`scale_1k_wall_per_step_ms`** (wall clock, lower is better) — the
 //!    ~1k-rank pooled-scheduler failure run, vs the first ok pooled row of
 //!    `BENCH_pr6.json`. Guards the simulator runtime itself.
+//! 4. **`level9_simd_speedup`** (wall clock, ratio of two same-machine
+//!    measurements) — the vectorized level-9 step vs the scalar reference
+//!    step, vs `BENCH_pr8.json`
+//!    `acceptance.level9_simd_speedup_vs_scalar`. Guards the SIMD
+//!    kernels: a build or dispatch change that silently falls back to
+//!    scalar collapses this ratio to ~1.
 //!
 //! Wall-clock gates are inherently machine-relative, so CI runs this lane
 //! advisory (`continue-on-error`); locally a nonzero exit means "look
@@ -194,7 +200,7 @@ fn baseline_scale_wall(pr6: &str) -> Result<f64, String> {
         .ok_or_else(|| "BENCH_pr6.json: no ok pooled row with wall_per_step_ms".into())
 }
 
-/// Run all three gates against the baselines committed in `dir`.
+/// Run every gate against the baselines committed in `dir`.
 pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
     let iters = iters.max(3);
 
@@ -210,6 +216,10 @@ pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
     let pr6 = read_baseline(dir, "BENCH_pr6.json")?;
     let scale_base = baseline_scale_wall(&pr6)?;
     let scale_fresh = measure_scale_wall(&pr6)?;
+
+    let pr8 = read_baseline(dir, "BENCH_pr8.json")?;
+    let simd_base = num_field(&pr8, "level9_simd_speedup_vs_scalar", "BENCH_pr8.json")?;
+    let simd_fresh = crate::experiments::kernel::measure_simd_step_speedup(iters);
 
     Ok(RegressReport {
         gates: vec![
@@ -228,6 +238,7 @@ pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
                 scale_fresh,
                 false,
             ),
+            GateResult::new("level9_simd_speedup", "BENCH_pr8.json", simd_base, simd_fresh, true),
         ],
         tolerance: TOLERANCE,
     })

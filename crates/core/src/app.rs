@@ -183,6 +183,7 @@ fn refresh_slot(
                 layout.group(m.grid),
                 m.local,
             )
+            .with_kernel(cfg.kernel)
         });
     }
 }
@@ -427,6 +428,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 layout.group(m.grid),
                 m.local,
             )
+            .with_kernel(cfg.kernel)
         });
         let (w, d, g, trec, failed) = stage(
             recover_with_commit(
@@ -478,6 +480,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 layout.group(m.grid),
                 m.local,
             )
+            .with_kernel(cfg.kernel)
         });
         group = stage(build_group(ctx, &world, my, n_grids), "initial-split", ctx)?;
         current_step = 0;

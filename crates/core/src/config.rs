@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use advect2d::AdvectionProblem;
+use advect2d::{AdvectionProblem, KernelConfig};
 use sparsegrid::Layout;
 use ulfm_sim::FaultPlan;
 
@@ -128,6 +128,12 @@ pub struct AppConfig {
     /// `sparsegrid::combine_binomial` of the same ordered term list; the
     /// central path reproduces the left-fold `combine_onto`.
     pub combine_mode: CombineMode,
+    /// Stencil-kernel configuration for every distributed solver this
+    /// run creates: scalar reference vs vectorized rows, plus optional
+    /// intra-rank row-band parallelism. All settings are
+    /// bitwise-identical (see `advect2d::simd`); defaults come from the
+    /// `FTSG_KERNEL` / `FTSG_BANDS` / `FTSG_BAND_MIN_CELLS` env knobs.
+    pub kernel: KernelConfig,
 }
 
 /// How the final combination is evaluated across group leaders.
@@ -163,6 +169,7 @@ impl AppConfig {
             spares: 0,
             output_prefix: None,
             combine_mode: CombineMode::default(),
+            kernel: KernelConfig::global(),
         }
     }
 
@@ -188,7 +195,14 @@ impl AppConfig {
             spares: 0,
             output_prefix: None,
             combine_mode: CombineMode::default(),
+            kernel: KernelConfig::global(),
         }
+    }
+
+    /// Replace the stencil-kernel configuration (formulation + banding).
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Write the combined solution to `<prefix>.csv` / `<prefix>.pgm`.

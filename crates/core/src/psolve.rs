@@ -9,9 +9,9 @@
 //! the freshly filled y-halos so corners arrive for the cross term) and
 //! one stencil application via [`advect2d::laxwendroff::lax_wendroff_kernel`].
 
-use advect2d::laxwendroff::{lax_wendroff_row, LwCoef};
+use advect2d::laxwendroff::{lax_wendroff_row, lw_row_fn, LwCoef};
 use advect2d::stepper::PaddedField;
-use advect2d::AdvectionProblem;
+use advect2d::{AdvectionProblem, BandPool, KernelConfig};
 use sparsegrid::{ensure_len, LevelPair};
 use ulfm_sim::{waitall, Comm, Ctx, Result};
 
@@ -55,6 +55,9 @@ pub struct DistributedSolver {
     /// nonblocking receives posted at once.
     recv_buf2: Vec<f64>,
     steps_done: u64,
+    /// Kernel formulation + banding for the stencil sweeps. All
+    /// configurations are bitwise-identical; see `advect2d::simd`.
+    kernel: KernelConfig,
 }
 
 impl DistributedSolver {
@@ -95,9 +98,17 @@ impl DistributedSolver {
             recv_buf: Vec::new(),
             recv_buf2: Vec::new(),
             steps_done: 0,
+            kernel: KernelConfig::global(),
         };
         s.reset_to_initial();
         s
+    }
+
+    /// Replace the kernel configuration (formulation + banding); results
+    /// are bitwise-identical in every configuration, only speed changes.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Refill the block from the initial condition and rewind the step
@@ -238,10 +249,11 @@ impl DistributedSolver {
         let south = self.neighbor(0, -1);
         let east = self.neighbor(1, 0);
         let west = self.neighbor(-1, 0);
+        let kcfg = self.kernel;
+        let row = lw_row_fn(kcfg.kind);
         let DistributedSolver { field, send_buf, recv_buf, recv_buf2, .. } = self;
-        let kernel = |s: &[f64], c: &[f64], n: &[f64], out: &mut [f64]| {
-            lax_wendroff_row(s, c, n, &coef, out)
-        };
+        let kernel =
+            move |s: &[f64], c: &[f64], n: &[f64], out: &mut [f64]| row(s, c, n, &coef, out);
 
         // Phase 1: y direction (interior rows, contiguous — no packing).
         // Eager sends copy at post time, so the field stays free for the
@@ -252,8 +264,23 @@ impl DistributedSolver {
             group.irecv_into(ctx, south, TAG_N, recv_buf)?,
             group.irecv_into(ctx, north, TAG_S, recv_buf2)?,
         ];
-        // Deep interior: needs no halo at all.
-        field.step_region(1, lny.saturating_sub(1), 1, lnx.saturating_sub(1), kernel);
+        // Deep interior: needs no halo at all. This is the bulk of the
+        // compute that hides the halo flight time, so it is also where
+        // the optional row-band pool splits the work.
+        let bands = kcfg.bands_for(lnx * lny, lny.saturating_sub(2).max(1));
+        if bands > 1 {
+            field.step_region_banded(
+                BandPool::global(),
+                bands,
+                1,
+                lny.saturating_sub(1),
+                1,
+                lnx.saturating_sub(1),
+                kernel,
+            );
+        } else {
+            field.step_region(1, lny.saturating_sub(1), 1, lnx.saturating_sub(1), kernel);
+        }
         ctx.compute_step_cells((lny.saturating_sub(2) * lnx.saturating_sub(2)) as u64);
         waitall(ctx, &mut ry)?;
         debug_assert_eq!(recv_buf.len(), lnx);

@@ -74,6 +74,7 @@ fn soak_random_failures_all_techniques() {
             spares: 0,
             output_prefix: None,
             combine_mode: Default::default(),
+            kernel: advect2d::KernelConfig::global(),
         };
         let layout = ProcLayout::new(n, l, technique.layout(), scale);
         let n_failures = rng.gen_range(1usize..=3).min(layout.world_size() / 4);

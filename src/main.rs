@@ -140,6 +140,7 @@ fn main() {
         } else {
             ftsg::app::CombineMode::Tree
         },
+        kernel: ftsg::pde::KernelConfig::global(),
     };
     let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
     // Spare ranks (substitute policy only) sit after the active slots;
