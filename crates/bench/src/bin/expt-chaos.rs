@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! expt-chaos [--budget N] [--seed S] [--policy P] [--stall-secs T]
-//!            [--sabotage] [--no-corrupt] [--corrupt-only] [--json PATH]
-//!            [--repro SPEC] [--artifacts DIR]
+//!            [--fanout-workers W] [--sabotage] [--no-corrupt] [--corrupt-only]
+//!            [--json PATH] [--repro SPEC] [--artifacts DIR]
 //! ```
 //!
 //! `--policy` runs every sampled case under the given recovery policy
@@ -32,8 +32,8 @@ fn parse_args() -> Cli {
     let usage = || -> ! {
         eprintln!(
             "usage: expt-chaos [--budget N] [--seed S] [--policy respawn|shrink|substitute|defer] \
-             [--stall-secs T] [--sabotage] [--no-corrupt] [--corrupt-only] [--json PATH] \
-             [--repro SPEC] [--artifacts DIR]"
+             [--stall-secs T] [--fanout-workers W] [--sabotage] [--no-corrupt] [--corrupt-only] \
+             [--json PATH] [--repro SPEC] [--artifacts DIR]"
         );
         std::process::exit(2);
     };
@@ -54,6 +54,9 @@ fn parse_args() -> Cli {
             "--stall-secs" => {
                 cli.opts.stall =
                     Duration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--fanout-workers" => {
+                cli.opts.fanout_workers = take(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--sabotage" => cli.opts.sabotage = true,
             "--no-corrupt" => cli.opts.corruption = false,

@@ -1,0 +1,50 @@
+//! `expt-serve` — throughput sweep, 10k-job soak with seeded panic
+//! injection, and the regression-gate measurement of the multi-tenant
+//! campaign service. Emits `BENCH_pr9.json`.
+//!
+//! ```text
+//! expt-serve [--smoke] [--workers a,b,c] [--sweep-jobs N] [--soak-jobs N]
+//!            [--soak-workers W] [--sabotage K] [--seed S] [--out PATH]
+//! ```
+
+use ftsg_bench::experiments::serve::{run, ServeOpts};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: expt-serve [--smoke] [--workers a,b,c] [--sweep-jobs N] [--soak-jobs N] \
+         [--soak-workers W] [--sabotage K] [--seed S] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut o = ServeOpts::default();
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                o.workers_sweep =
+                    take(&mut i).split(',').map(|s| s.parse().unwrap_or_else(|_| usage())).collect()
+            }
+            "--sweep-jobs" => o.sweep_jobs = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--soak-jobs" => o.soak_jobs = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--soak-workers" => o.soak_workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--sabotage" => o.sabotage = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => o.out = take(&mut i),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if smoke {
+        o.apply_smoke();
+    }
+    std::process::exit(run(&o));
+}

@@ -1,0 +1,154 @@
+//! `ftsg-serve` — CLI front of the campaign service: submit solver jobs
+//! written in the chaos spec grammar, stream their lifecycle as JSONL.
+//!
+//! ```text
+//! ftsg-serve [--workers N] [--queue-depth D] [--seed S] [--stall-secs T]
+//!            [--jobs FILE] [--jsonl PATH] [SPEC ...]
+//! ```
+//!
+//! Each `SPEC` is a chaos case spec (`CR/n6l3s1k5c2/3@step:16`, see
+//! `expt-chaos --help` for the grammar); `--jobs FILE` reads one spec per
+//! line (`#` comments and blank lines skipped). Every spec becomes one
+//! solve job with its fault plan baked in. Events go to stdout as JSONL
+//! (or to `--jsonl PATH`); the exit code is 0 iff every job finished
+//! `Done`.
+//!
+//! ```text
+//! $ ftsg-serve --workers 4 "CR/n6l3s1k5c2/3@step:16" "RC/n6l3s1k5c2/5@step:8"
+//! {"event":"queued","job":1,"name":"CR/n6l3s1k5c2/3@step:16"}
+//! ...
+//! {"event":"done","job":1,"makespan":2.41}
+//! ```
+
+use std::time::Duration;
+
+use ftsg_bench::chaos::ChaosCase;
+use ftsg_service::sink::pump;
+use ftsg_service::{JobSpec, JobState, JobWork, Service, ServiceConfig, SolveSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftsg-serve [--workers N] [--queue-depth D] [--seed S] [--stall-secs T] \
+         [--jobs FILE] [--jsonl PATH] [SPEC ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers = 2usize;
+    let mut queue_depth = 64usize;
+    let mut seed = 1u64;
+    let mut stall = Duration::from_secs(30);
+    let mut jsonl: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--workers" => workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => queue_depth = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--stall-secs" => {
+                stall = Duration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--jsonl" => jsonl = Some(take(&mut i)),
+            "--jobs" => {
+                let path = take(&mut i);
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("ftsg-serve: cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                specs.extend(
+                    text.lines()
+                        .map(str::trim)
+                        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                        .map(String::from),
+                );
+            }
+            s if s.starts_with("--") => usage(),
+            s => specs.push(s.to_string()),
+        }
+        i += 1;
+    }
+    if specs.is_empty() {
+        eprintln!("ftsg-serve: no job specs given");
+        usage();
+    }
+
+    // Parse everything before starting workers: a typo should not launch
+    // half a campaign.
+    let mut jobs: Vec<(String, JobSpec)> = Vec::new();
+    for (idx, spec) in specs.iter().enumerate() {
+        let case = match ChaosCase::parse(spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ftsg-serve: bad spec {spec:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if !case.victims_valid() {
+            eprintln!("ftsg-serve: inadmissible victims in {spec:?}");
+            std::process::exit(2);
+        }
+        let (cfg, _world) = case.solve_config();
+        let job = JobSpec {
+            name: spec.clone(),
+            work: JobWork::Solve(Box::new(SolveSpec {
+                cfg,
+                seed: seed + idx as u64,
+                stall: Some(stall),
+                sim_workers: 1,
+            })),
+            cancel: None,
+        };
+        jobs.push((spec.clone(), job));
+    }
+
+    let (svc, rx) = Service::start(ServiceConfig { workers, queue_depth });
+    let sink = match &jsonl {
+        Some(path) => {
+            let f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("ftsg-serve: cannot create {path}: {e}");
+                std::process::exit(2);
+            });
+            std::thread::spawn(move || pump(rx, f).map(|_| ()))
+        }
+        None => std::thread::spawn(move || pump(rx, std::io::stdout().lock()).map(|_| ())),
+    };
+
+    let mut ids = Vec::new();
+    for (spec, job) in jobs {
+        match svc.submit(job) {
+            Ok(id) => ids.push((spec, id)),
+            Err(e) => {
+                eprintln!("ftsg-serve: submit failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut ok = true;
+    for (spec, id) in &ids {
+        match svc.wait(*id) {
+            Some(JobState::Done) => {}
+            Some(JobState::Failed(msg)) => {
+                eprintln!("ftsg-serve: {spec} FAILED: {msg}");
+                ok = false;
+            }
+            Some(JobState::Cancelled) => {
+                eprintln!("ftsg-serve: {spec} cancelled");
+                ok = false;
+            }
+            other => {
+                eprintln!("ftsg-serve: {spec} in unexpected state {other:?}");
+                ok = false;
+            }
+        }
+    }
+    svc.shutdown(); // closes the event stream; the pump thread ends
+    let _ = sink.join();
+    std::process::exit(if ok { 0 } else { 1 });
+}

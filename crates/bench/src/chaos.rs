@@ -58,6 +58,7 @@ use ftsg_core::{
     run_app, AppConfig, CorruptKind, CorruptionPlan, CorruptionStrike, ProcLayout, RecoveryPolicy,
     Technique,
 };
+use ftsg_service::{CustomOutput, JobId, JobOutput, JobSpec, JobState, Service, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ulfm_sim::{
@@ -324,6 +325,17 @@ impl ChaosCase {
             cfg = cfg.with_ckpt_corruption(CorruptionPlan::one(*strike));
         }
         cfg
+    }
+
+    /// The full solve configuration of this case: the `AppConfig` with
+    /// the victim fault plan (and corruption strike) baked in, plus the
+    /// world size to launch. Public for job-service clients — `ftsg-serve`
+    /// turns chaos specs into solve jobs with exactly this config.
+    pub fn solve_config(&self) -> (AppConfig, usize) {
+        let plan = FaultPlan::new_sites(self.victims.clone());
+        let cfg = self.app_config(plan);
+        let world = cfg.world_size(self.layout().world_size());
+        (cfg, world)
     }
 
     /// Are the victims admissible for this shape? (In range, not rank 0,
@@ -859,6 +871,9 @@ pub struct CampaignOpts {
     pub corruption: bool,
     /// Sample *only* corruption cases (`--corrupt-only`).
     pub corrupt_only: bool,
+    /// Worker threads of the job service the campaign fans its case runs
+    /// out over (0 = the machine's available parallelism).
+    pub fanout_workers: usize,
 }
 
 impl Default for CampaignOpts {
@@ -872,6 +887,7 @@ impl Default for CampaignOpts {
             artifact_dir: None,
             corruption: true,
             corrupt_only: false,
+            fanout_workers: 0,
         }
     }
 }
@@ -1239,6 +1255,13 @@ pub fn run_campaign(opts: &CampaignOpts) -> CampaignReport {
 }
 
 /// [`run_campaign`] with a progress callback `(index, record)`.
+///
+/// The campaign is a *client of the job service*: every case run fans
+/// out over a shared worker pool as a panic-isolated custom job, while
+/// sampling, baselines, oracle checks and shrinking stay sequential on
+/// this thread. Determinism is preserved by sampling every case up front
+/// (the exact RNG order of the old sequential loop) and consuming
+/// results in submission order.
 pub fn run_campaign_with(
     opts: &CampaignOpts,
     mut progress: impl FnMut(usize, &CaseRecord),
@@ -1253,10 +1276,13 @@ pub fn run_campaign_with(
         ..Default::default()
     };
     let shape = CaseShape::small();
+
+    // Phase 1 — sample the whole campaign. Sampling is policy-independent
+    // (the policy is stamped after), so the same seed examines the same
+    // fault sites under every policy — the matrix lanes are directly
+    // comparable.
+    let mut cases: Vec<ChaosCase> = Vec::with_capacity(opts.budget);
     for i in 0..opts.budget {
-        // Sampling is policy-independent (the policy is stamped after),
-        // so the same seed examines the same fault sites under every
-        // policy — the matrix lanes are directly comparable.
         let mut case = if opts.corrupt_only || (opts.corruption && i % 5 == 0) {
             sample_corrupt_case(&mut rng, shape)
         } else {
@@ -1265,10 +1291,67 @@ pub fn run_campaign_with(
             sample_case(&mut rng, technique, kind, shape)
         };
         case.policy = opts.policy;
-        let plan = FaultPlan::new_sites(case.victims.clone());
-        let res = run_case(&case, plan, opts.seed, opts.stall);
-        let base = cache.get(&case).clone();
-        let violations = check_oracles(&case, &res, &base, opts.sabotage);
+        cases.push(case);
+    }
+
+    // Phase 2 — submit every case run as a job. Blocking submit applies
+    // the queue's backpressure; workers never wait on this thread, so the
+    // submission loop always makes progress.
+    let workers = if opts.fanout_workers == 0 {
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    } else {
+        opts.fanout_workers
+    };
+    let (svc, _events) =
+        Service::start(ServiceConfig { workers, queue_depth: (workers * 4).max(8) });
+    let ids: Vec<JobId> = cases
+        .iter()
+        .enumerate()
+        .map(|(i, case)| {
+            let case = case.clone();
+            let (seed, stall) = (opts.seed, opts.stall);
+            svc.submit(JobSpec::custom(format!("chaos-{i}:{}", case.spec()), move |_jc| {
+                let plan = FaultPlan::new_sites(case.victims.clone());
+                Ok(Box::new(run_case(&case, plan, seed, stall)) as CustomOutput)
+            }))
+            .unwrap_or_else(|e| panic!("chaos campaign submit failed: {e}"))
+        })
+        .collect();
+
+    // Phase 3 — consume in submission order; the baseline cache and the
+    // shrink loop are deterministic because their call order is.
+    for (i, (case, id)) in cases.iter().zip(ids).enumerate() {
+        let res = match svc.take_output(id) {
+            Some(JobOutput::Custom(out)) => match out.downcast::<CaseResult>() {
+                Ok(res) => *res,
+                Err(_) => unreachable!("chaos jobs return CaseResult"),
+            },
+            // A panic inside the case run was caught at the job boundary:
+            // record it as a violation of its own instead of killing the
+            // campaign (the isolation contract at work).
+            _ => {
+                let detail = match svc.state(id) {
+                    Some(JobState::Failed(msg)) => msg,
+                    other => format!("case job ended without output ({other:?})"),
+                };
+                let record = CaseRecord {
+                    spec: case.spec(),
+                    technique: case.technique.label(),
+                    kind: case.kind(),
+                    procs_failed: 0,
+                    ckpt_skipped: 0.0,
+                    violations: vec![Violation { oracle: "job-panic", detail }],
+                    shrunk_spec: None,
+                    shrunk_n_failures: None,
+                    artifacts: Vec::new(),
+                };
+                progress(i, &record);
+                report.cases.push(record);
+                continue;
+            }
+        };
+        let base = cache.get(case).clone();
+        let violations = check_oracles(case, &res, &base, opts.sabotage);
         let mut record = CaseRecord {
             spec: case.spec(),
             technique: case.technique.label(),
@@ -1281,7 +1364,7 @@ pub fn run_campaign_with(
             artifacts: Vec::new(),
         };
         if !record.violations.is_empty() {
-            let (shrunk, runs) = shrink_case(&case, opts, &mut cache, 40);
+            let (shrunk, runs) = shrink_case(case, opts, &mut cache, 40);
             report.shrink_runs += runs;
             record.shrunk_spec = Some(shrunk.spec());
             record.shrunk_n_failures = Some(shrunk.victims.len());
@@ -1292,6 +1375,7 @@ pub fn run_campaign_with(
         progress(i, &record);
         report.cases.push(record);
     }
+    svc.shutdown();
     report.baseline_runs = cache.runs;
     report
 }

@@ -11,4 +11,5 @@ pub mod overlap;
 pub mod policy;
 pub mod regress;
 pub mod scale;
+pub mod serve;
 pub mod table1;

@@ -22,6 +22,14 @@
 //!    `acceptance.level9_simd_speedup_vs_scalar`. Guards the SIMD
 //!    kernels: a build or dispatch change that silently falls back to
 //!    scalar collapses this ratio to ~1.
+//! 5. **`serve_overlap_ratio`** (wall clock, ratio of two same-process
+//!    measurements) — the campaign service's 2-worker vs 1-worker
+//!    throughput on a fixed batch of tiny CR solves, vs `BENCH_pr9.json`
+//!    `acceptance.gate_overlap_ratio`. Guards the service layer: a
+//!    scheduling, locking or panic-boundary change that serializes the
+//!    shared pool collapses the ratio to ~1, while the ratio form
+//!    cancels host-load and process-history noise that makes absolute
+//!    jobs/sec baselines unportable.
 //!
 //! Wall-clock gates are inherently machine-relative, so CI runs this lane
 //! advisory (`continue-on-error`); locally a nonzero exit means "look
@@ -221,6 +229,10 @@ pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
     let simd_base = num_field(&pr8, "level9_simd_speedup_vs_scalar", "BENCH_pr8.json")?;
     let simd_fresh = crate::experiments::kernel::measure_simd_step_speedup(iters);
 
+    let pr9 = read_baseline(dir, "BENCH_pr9.json")?;
+    let serve_base = num_field(&pr9, "gate_overlap_ratio", "BENCH_pr9.json")?;
+    let serve_fresh = crate::experiments::serve::measure_gate_overlap_ratio();
+
     Ok(RegressReport {
         gates: vec![
             GateResult::new("level9_step_speedup", "BENCH_pr1.json", step_base, step_fresh, true),
@@ -239,6 +251,7 @@ pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
                 false,
             ),
             GateResult::new("level9_simd_speedup", "BENCH_pr8.json", simd_base, simd_fresh, true),
+            GateResult::new("serve_overlap_ratio", "BENCH_pr9.json", serve_base, serve_fresh, true),
         ],
         tolerance: TOLERANCE,
     })

@@ -1,0 +1,486 @@
+//! `expt-serve` — throughput and soak validation of the multi-tenant
+//! campaign service (`crates/service`), beyond the paper.
+//!
+//! Three phases, all against real solver jobs (each job is a complete
+//! simulated-MPI world running the fault-tolerant application):
+//!
+//! 1. **Sweep** — jobs/sec over worker counts (default 1/2/4), identical
+//!    job batch per point. The scaling target normalizes linear speedup
+//!    by the *machine's* parallelism: on a `P`-core box, `w` workers can
+//!    at best deliver `min(w, P)`× the 1-worker rate, so the acceptance
+//!    ratio is `(jps_w / jps_1) / min(w, P) ≥ 0.7`.
+//! 2. **Soak** — a 10k-job run through one service instance with seeded
+//!    panic injection (the sabotage hook): exactly the injected jobs must
+//!    land `Failed`, every sibling `Done`, the queue fully drained, and
+//!    peak RSS (`VmHWM`) bounded — the panic-isolation contract at scale.
+//! 3. **Gate** — a fixed-shape jobs/sec measurement re-run by
+//!    `expt-regress` against the committed `BENCH_pr9.json` baseline.
+//!
+//! Results land in `BENCH_pr9.json` and `results/serve.csv`.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use ftsg_core::{AppConfig, Technique};
+use ftsg_service::{JobId, JobSpec, JobState, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::experiments::scale::peak_rss_kb;
+use crate::table::{sig3, Table};
+
+/// Peak-RSS ceiling for the soak (MB). The whole point of a bounded
+/// queue + take-once outputs is that 10k jobs do not accumulate state;
+/// the ceiling is generous against the ~100 MB a healthy soak uses.
+pub const SOAK_RSS_LIMIT_MB: f64 = 2048.0;
+
+/// Fixed shape of the regression-gate measurement (shared with
+/// `expt-regress`, which re-runs it against the committed baseline).
+pub const GATE_WORKERS: usize = 2;
+/// Jobs in the gate measurement.
+pub const GATE_JOBS: usize = 120;
+/// Seed of the gate measurement.
+pub const GATE_SEED: u64 = 2014;
+
+/// Sweep/soak sizing (see `expt-serve --help`).
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Worker counts swept for the throughput curve.
+    pub workers_sweep: Vec<usize>,
+    /// Jobs per sweep point.
+    pub sweep_jobs: usize,
+    /// Jobs in the soak phase.
+    pub soak_jobs: usize,
+    /// Workers serving the soak.
+    pub soak_workers: usize,
+    /// Panic-sabotage jobs injected into the soak (seeded positions).
+    pub sabotage: usize,
+    /// Base RNG seed (job seeds and sabotage positions).
+    pub seed: u64,
+    /// CI smoke: small sweep + short soak.
+    pub smoke: bool,
+    /// Output path for the machine-readable benchmark report.
+    pub out: String,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            workers_sweep: vec![1, 2, 4],
+            sweep_jobs: 240,
+            soak_jobs: 10_000,
+            soak_workers: 4,
+            sabotage: 25,
+            seed: 2014,
+            smoke: false,
+            out: "BENCH_pr9.json".into(),
+        }
+    }
+}
+
+impl ServeOpts {
+    /// Shrink to the CI smoke shape (the full soak is a nightly lane).
+    pub fn apply_smoke(&mut self) {
+        self.workers_sweep = vec![1, 2];
+        self.sweep_jobs = 40;
+        self.soak_jobs = 400;
+        self.soak_workers = 2;
+        self.sabotage = 5;
+        self.smoke = true;
+    }
+}
+
+/// The job every throughput phase runs: the smallest config that still
+/// exercises the full CR pipeline (layout, solve, combine, async
+/// checkpoint write) so jobs/sec measures real service overhead over
+/// real work, not channel ping-pong.
+fn tiny_solve_cfg() -> AppConfig {
+    let mut cfg = AppConfig::small(Technique::CheckpointRestart);
+    cfg.n = 5;
+    cfg.log2_steps = 3;
+    cfg.checkpoints = 1;
+    cfg
+}
+
+/// Silence the panic backtraces of injected sabotage jobs (they are the
+/// test payload, not bugs); everything else goes to the previous hook.
+fn quiet_sabotage_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg: Option<&str> = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            if !msg.is_some_and(|m| m.contains("sabotage-")) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// One throughput measurement: `jobs` tiny solves through a fresh
+/// service with `workers` workers. Returns `(wall_s, jobs_per_sec)`.
+pub fn measure_point(workers: usize, jobs: usize, seed: u64) -> (f64, f64) {
+    let (svc, rx) = Service::start(ServiceConfig { workers, queue_depth: 128 });
+    // The sweep measures the job path, not the listener: drain events on
+    // a side thread so the channel never accumulates 10k buffered sends.
+    let listener = std::thread::spawn(move || rx.iter().count());
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        svc.submit(JobSpec::solve(format!("sweep-{i}"), tiny_solve_cfg(), seed + i as u64))
+            .expect("sweep submit");
+    }
+    svc.drain();
+    let wall = t0.elapsed().as_secs_f64();
+    svc.shutdown();
+    let _ = listener.join();
+    (wall, jobs as f64 / wall.max(1e-9))
+}
+
+/// The fixed-shape measurement `expt-regress` gates on: the ratio of
+/// `GATE_WORKERS`-worker to 1-worker throughput on the same job batch —
+/// the service's overlap win (while one fiber world blocks on I/O or
+/// timers, another runs). A *ratio of two same-process measurements* is
+/// the same trick as the SIMD gate: absolute jobs/sec swings 2-3x with
+/// host load and process history (allocator state, warmed pools), which
+/// would perma-fail any absolute baseline, while the ratio cancels all
+/// of that. A scheduling, locking or panic-boundary change that
+/// serializes the pool collapses the ratio to ~1 (on a 1-core host the
+/// healthy value is modest — ~1.2, pure blocked-time overlap — while
+/// multi-core hosts see close to `GATE_WORKERS`×).
+pub fn measure_gate_overlap_ratio() -> f64 {
+    quiet_sabotage_panics();
+    // One unmeasured batch first: the very first service run in a
+    // process pays allocator/page-in warmup that would bias whichever
+    // side runs first.
+    let _ = measure_point(1, GATE_JOBS, GATE_SEED);
+    // Paired back-to-back batches, median of the per-pair ratios:
+    // pairing cancels slow host-load drift, the median shrugs off a
+    // single noisy pair.
+    let mut ratios: Vec<f64> = (0..5)
+        .map(|_| {
+            let two = measure_point(GATE_WORKERS, GATE_JOBS, GATE_SEED).1;
+            let one = measure_point(1, GATE_JOBS, GATE_SEED).1;
+            two / one
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+/// Soak outcome, already checked against the isolation contract.
+pub struct SoakResult {
+    pub jobs: usize,
+    pub wall_s: f64,
+    pub jobs_per_sec: f64,
+    pub done: usize,
+    pub failed: usize,
+    pub cancelled: usize,
+    pub injected: usize,
+    /// Exactly the injected jobs failed — no collateral damage, no lost
+    /// jobs, queue fully drained.
+    pub injection_exact: bool,
+    pub peak_rss_mb: Option<f64>,
+}
+
+/// Run the soak: `jobs` jobs over `workers` workers, with `sabotage`
+/// seeded panic jobs mixed in at RNG-chosen positions.
+pub fn run_soak(workers: usize, jobs: usize, sabotage: usize, seed: u64) -> SoakResult {
+    quiet_sabotage_panics();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ab0_7a6e);
+    let mut sab_at: BTreeSet<usize> = BTreeSet::new();
+    while sab_at.len() < sabotage.min(jobs) {
+        sab_at.insert(rng.gen_range(0..jobs));
+    }
+    let (svc, rx) = Service::start(ServiceConfig { workers, queue_depth: 128 });
+    let listener = std::thread::spawn(move || rx.iter().count());
+    let mut ids: Vec<(usize, JobId)> = Vec::with_capacity(jobs);
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        let spec = if sab_at.contains(&i) {
+            JobSpec::sabotage(format!("soak-{i}"), format!("sabotage-{i}"))
+        } else {
+            JobSpec::solve(format!("soak-{i}"), tiny_solve_cfg(), seed + i as u64)
+        };
+        ids.push((i, svc.submit(spec).expect("soak submit")));
+    }
+    svc.drain();
+    let wall = t0.elapsed().as_secs_f64();
+    let drained = svc.open_jobs() == 0;
+
+    let (mut done, mut cancelled) = (0usize, 0usize);
+    let mut failed_idx: BTreeSet<usize> = BTreeSet::new();
+    let mut exact = drained;
+    for (i, id) in &ids {
+        match svc.state(*id) {
+            Some(JobState::Done) => done += 1,
+            Some(JobState::Cancelled) => cancelled += 1,
+            Some(JobState::Failed(msg)) => {
+                failed_idx.insert(*i);
+                // The failure must be the injected panic, payload intact.
+                if !msg.contains(&format!("sabotage-{i}")) {
+                    exact = false;
+                }
+            }
+            other => {
+                eprintln!("expt-serve: job {i} in non-terminal state {other:?} after drain");
+                exact = false;
+            }
+        }
+    }
+    exact = exact && failed_idx == sab_at && cancelled == 0 && done == jobs - sab_at.len();
+    svc.shutdown();
+    let _ = listener.join();
+    SoakResult {
+        jobs,
+        wall_s: wall,
+        jobs_per_sec: jobs as f64 / wall.max(1e-9),
+        done,
+        failed: failed_idx.len(),
+        cancelled,
+        injected: sab_at.len(),
+        injection_exact: exact,
+        peak_rss_mb: peak_rss_kb().map(|kb| kb as f64 / 1024.0),
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.6}"),
+        None => "null".into(),
+    }
+}
+
+/// Run sweep + soak + gate, write `BENCH_pr9.json` and the CSV table.
+/// Returns the process exit code.
+pub fn run(o: &ServeOpts) -> i32 {
+    quiet_sabotage_panics();
+    let avail = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+
+    let mut table = Table::new(
+        format!(
+            "Campaign-service throughput (sweep {} jobs/point, soak {} jobs, {} sabotage)",
+            o.sweep_jobs, o.soak_jobs, o.sabotage
+        ),
+        &["phase", "workers", "jobs", "wall(s)", "jobs/sec", "failed", "peak RSS(MB)", "status"],
+    );
+    let mut rows: Vec<String> = Vec::new();
+
+    // The fixed-shape gate ratio for expt-regress (same-process
+    // 2-worker/1-worker throughput; see measure_gate_overlap_ratio).
+    eprintln!(
+        "expt-serve: gate measurement ({GATE_JOBS} jobs, {GATE_WORKERS}w/1w ratio, best of 3) ..."
+    );
+    let gate = measure_gate_overlap_ratio();
+
+    // Phase 1 — throughput sweep. Best of 3 batches per point (the
+    // min-wall estimator): single batches on a loaded host swing enough
+    // to invert the worker ordering, the uncontended best doesn't.
+    let mut jps: Vec<(usize, f64)> = Vec::new();
+    for &w in &o.workers_sweep {
+        eprintln!("expt-serve: sweep {} jobs over {w} worker(s), best of 3 ...", o.sweep_jobs);
+        let (wall, rate) = (0..3)
+            .map(|_| measure_point(w, o.sweep_jobs, o.seed))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap();
+        jps.push((w, rate));
+        rows.push(format!(
+            concat!(
+                r#"{{"schema":"serve-row-v1","phase":"sweep","workers":{w},"jobs":{jobs},"#,
+                r#""wall_s":{wall:.6},"jobs_per_sec":{rate:.6}}}"#
+            ),
+            w = w,
+            jobs = o.sweep_jobs,
+            wall = wall,
+            rate = rate,
+        ));
+        table.row(vec![
+            "sweep".into(),
+            w.to_string(),
+            o.sweep_jobs.to_string(),
+            sig3(wall),
+            sig3(rate),
+            "0".into(),
+            "-".into(),
+            "ok".into(),
+        ]);
+    }
+
+    // Normalized scaling efficiency from 1 worker to the largest swept
+    // count: ideal speedup on this machine is min(w, cores).
+    let jps1 = jps.iter().find(|&&(w, _)| w == 1).map(|&(_, r)| r);
+    let (w_max, jps_max) = jps.iter().cloned().max_by_key(|&(w, _)| w).unwrap_or((1, f64::NAN));
+    let efficiency = jps1.map(|r1| {
+        let ideal = w_max.min(avail) as f64;
+        (jps_max / r1) / ideal
+    });
+    let scaling_ok = efficiency.map(|e| e >= 0.7).unwrap_or(false);
+
+    // Phase 2 — soak with seeded panic injection.
+    eprintln!(
+        "expt-serve: soak {} jobs over {} worker(s), {} sabotaged ...",
+        o.soak_jobs, o.soak_workers, o.sabotage
+    );
+    let soak = run_soak(o.soak_workers, o.soak_jobs, o.sabotage, o.seed);
+    let rss_ok = soak.peak_rss_mb.map(|mb| mb < SOAK_RSS_LIMIT_MB).unwrap_or(true);
+    rows.push(format!(
+        concat!(
+            r#"{{"schema":"serve-row-v1","phase":"soak","workers":{w},"jobs":{jobs},"#,
+            r#""wall_s":{wall:.6},"jobs_per_sec":{rate:.6},"done":{done},"failed":{failed},"#,
+            r#""cancelled":{cancelled},"injected":{injected},"injection_exact":{exact},"#,
+            r#""peak_rss_mb":{rss}}}"#
+        ),
+        w = o.soak_workers,
+        jobs = soak.jobs,
+        wall = soak.wall_s,
+        rate = soak.jobs_per_sec,
+        done = soak.done,
+        failed = soak.failed,
+        cancelled = soak.cancelled,
+        injected = soak.injected,
+        exact = soak.injection_exact,
+        rss = json_opt(soak.peak_rss_mb),
+    ));
+    table.row(vec![
+        "soak".into(),
+        o.soak_workers.to_string(),
+        soak.jobs.to_string(),
+        sig3(soak.wall_s),
+        sig3(soak.jobs_per_sec),
+        soak.failed.to_string(),
+        soak.peak_rss_mb.map(sig3).unwrap_or_else(|| "-".into()),
+        if soak.injection_exact { "ok".into() } else { "VIOLATED".into() },
+    ]);
+
+    // Phase 3 — report the gate ratio measured up top.
+    rows.push(format!(
+        concat!(
+            r#"{{"schema":"serve-row-v1","phase":"gate","workers":{w},"jobs":{jobs},"#,
+            r#""overlap_ratio":{rate:.6}}}"#
+        ),
+        w = GATE_WORKERS,
+        jobs = GATE_JOBS,
+        rate = gate,
+    ));
+    // The gate value is the 2w/1w throughput ratio, not a jobs/sec.
+    table.row(vec![
+        "gate 2w/1w".into(),
+        GATE_WORKERS.to_string(),
+        GATE_JOBS.to_string(),
+        "-".into(),
+        format!("{gate:.2}x"),
+        "0".into(),
+        "-".into(),
+        "ok".into(),
+    ]);
+
+    let jps_json: Vec<String> = jps.iter().map(|(w, r)| format!("\"w{w}\": {r:.6}")).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"BENCH_pr9\",\n",
+            "  \"experiment\": \"expt-serve\",\n",
+            "  \"config\": {{\"sweep_jobs\": {sj}, \"soak_jobs\": {kj}, ",
+            "\"soak_workers\": {kw}, \"sabotage\": {sab}, \"seed\": {seed}, ",
+            "\"smoke\": {smoke}, \"available_parallelism\": {avail}, ",
+            "\"gate_workers\": {gw}, \"gate_jobs\": {gj}}},\n",
+            "  \"rows\": [\n    {rows}\n  ],\n",
+            "  \"acceptance\": {{\n",
+            "    {jps},\n",
+            "    \"scaling_efficiency_normalized\": {eff},\n",
+            "    \"target_scaling_0_7x\": {s_ok},\n",
+            "    \"soak_peak_rss_mb\": {rss},\n",
+            "    \"soak_rss_limit_mb\": {rss_lim},\n",
+            "    \"soak_rss_bounded\": {rss_ok},\n",
+            "    \"panic_injection_exact\": {exact},\n",
+            "    \"gate_overlap_ratio\": {gate:.6}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        sj = o.sweep_jobs,
+        kj = o.soak_jobs,
+        kw = o.soak_workers,
+        sab = o.sabotage,
+        seed = o.seed,
+        smoke = o.smoke,
+        avail = avail,
+        gw = GATE_WORKERS,
+        gj = GATE_JOBS,
+        rows = rows.join(",\n    "),
+        jps = jps_json.join(",\n    "),
+        eff = json_opt(efficiency),
+        s_ok = scaling_ok,
+        rss = json_opt(soak.peak_rss_mb),
+        rss_lim = SOAK_RSS_LIMIT_MB,
+        rss_ok = rss_ok,
+        exact = soak.injection_exact,
+        gate = gate,
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("expt-serve: cannot write {}: {e}", o.out);
+        return 2;
+    }
+    table.emit("results/serve.csv");
+    println!("report written to {}", o.out);
+    if let Some(e) = efficiency {
+        println!(
+            "scaling 1->{w_max} workers: {:.2}x of ideal min({w_max},{avail})x ({})",
+            e,
+            if scaling_ok { "ok" } else { "BELOW 0.7" },
+        );
+    }
+    println!(
+        "soak: {} jobs in {:.1}s ({:.0} jobs/sec), {} failed (injected {}), exact={}, rss={}MB",
+        soak.jobs,
+        soak.wall_s,
+        soak.jobs_per_sec,
+        soak.failed,
+        soak.injected,
+        soak.injection_exact,
+        soak.peak_rss_mb.map(sig3).unwrap_or_else(|| "-".into()),
+    );
+
+    if soak.injection_exact && rss_ok && scaling_ok {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_cfg_is_a_real_cr_solve() {
+        let cfg = tiny_solve_cfg();
+        assert_eq!(cfg.technique, Technique::CheckpointRestart);
+        assert!(cfg.steps() >= 4);
+        assert!(cfg.checkpoints >= 1);
+    }
+
+    /// A miniature of the soak: sabotage positions are seeded, exactly
+    /// those jobs fail, siblings complete, queue drains.
+    #[test]
+    fn mini_soak_isolates_injected_panics() {
+        let soak = run_soak(2, 24, 3, 7);
+        assert_eq!(soak.injected, 3);
+        assert_eq!(soak.failed, 3);
+        assert_eq!(soak.done, 21);
+        assert_eq!(soak.cancelled, 0);
+        assert!(soak.injection_exact);
+    }
+
+    /// Same seed, same sabotage positions: the injection is reproducible.
+    #[test]
+    fn soak_injection_is_seed_deterministic() {
+        let a = run_soak(2, 16, 2, 11);
+        let b = run_soak(2, 16, 2, 11);
+        assert!(a.injection_exact && b.injection_exact);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.done, b.done);
+    }
+}

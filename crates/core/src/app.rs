@@ -18,7 +18,7 @@ use ulfm_sim::{Comm, Ctx, Error, Result};
 
 use crate::checkpoint::CheckpointStore;
 use crate::ckpt_async::AsyncCheckpointer;
-use crate::config::{AppConfig, CombineMode, Technique};
+use crate::config::{AppConfig, AppEvent, CombineMode, Technique};
 use crate::gather::{
     binomial_combine, current_rank_of, gather_grid, recv_grid_into, send_grid, GridScratch,
 };
@@ -89,6 +89,10 @@ pub mod keys {
     /// list; the final combination excluded them via robust
     /// coefficients).
     pub const DROPPED_GRIDS: &str = "dropped_grids";
+    /// Set to 1 by rank 0 when the run exited through cooperative
+    /// cancellation (the campaign service reads it to classify the job
+    /// as cancelled rather than failed).
+    pub const CANCELLED: &str = "cancelled";
 }
 
 /// Marker type documenting the report-key contract of [`run_app`]: results
@@ -224,8 +228,20 @@ fn recover_with_commit(
         let mut group_attempt: Option<Comm> = None;
         let attempt: Result<(u64, f64, Vec<usize>)> = (|| {
             let meta: Option<Vec<u64>> = if world.rank() == 0 {
-                let (d, failed) =
-                    known.clone().expect("rank 0 survived and knows the failure metadata");
+                // Cross-rank protocol assumption, not a local invariant:
+                // slot 0 holds metadata because the controller never
+                // fails (the paper's standing constraint) and children
+                // are never spawned into slot 0. If adversarial fault
+                // timing ever violates that — the exact regime the chaos
+                // engine probes — fail this rank's attempt with an error
+                // (recorded and isolated) instead of panicking: a retry
+                // cannot manufacture the missing metadata, so this is a
+                // hard error, not a vote-no.
+                let Some((d, failed)) = known.clone() else {
+                    return Err(Error::InvalidArg(
+                        "recovery metadata missing on the controller rank".into(),
+                    ));
+                };
                 let mut v = vec![d];
                 v.extend(failed.iter().map(|&r| r as u64));
                 Some(v)
@@ -283,9 +299,20 @@ fn recover_with_commit(
         let _ = world.agree(ctx, &mut flag); // fault-tolerant; flag = AND
         timings.t_agree += ctx.now() - t_agree0;
         if flag {
-            let (at_step, trec, failed) = attempt.expect("uniform agreement implies local success");
-            let group = group_attempt.expect("successful attempt built its group");
-            return Ok((world, at_step, group, trec, failed));
+            // A true vote normally implies our own attempt succeeded: the
+            // agree is the AND over the survivors and we contributed
+            // `ok`. The exception is adversarial timing — a failure
+            // disrupting the agree op itself can leave `flag` holding the
+            // local vote instead of the deposited agreement — so a
+            // commit with a locally failed attempt falls through to the
+            // repair-and-retry tail (recovery is idempotent; one more
+            // round is always safe) rather than asserting. When the
+            // attempt really did succeed its group exists by
+            // construction: the closure inserts `group_attempt` before
+            // it can return Ok.
+            if let (Ok((at_step, trec, failed)), Some(group)) = (attempt, group_attempt) {
+                return Ok((world, at_step, group, trec, failed));
+            }
         }
         // Someone failed mid-recovery: repair the world, fold the new
         // casualties into the metadata, and retry. Only the respawn-family
@@ -334,7 +361,21 @@ pub fn run_app(cfg: &AppConfig, ctx: &mut Ctx) {
         // survivors' restarted recovery loop; exiting quietly is the
         // correct behaviour, not an error.
         Err(Error::Orphaned) => {}
+        // Cooperative cancellation: every rank exits together at an epoch
+        // boundary after agreeing on the cancel flag; rank 0 has already
+        // reported `keys::CANCELLED`, so this is a quiet non-error exit.
+        Err(Error::Cancelled) => {}
         Err(e) => panic!("ftsg application failed: {e}"),
+    }
+}
+
+/// Emit a live observer event from rank 0 (a no-op on other ranks and
+/// without an observer configured).
+fn notify(cfg: &AppConfig, world: &Comm, ev: AppEvent) {
+    if world.rank() == 0 {
+        if let Some(obs) = &cfg.observer {
+            obs.emit(ev);
+        }
     }
 }
 
@@ -356,8 +397,11 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         .with_corruption(cfg.ckpt_corruption.clone());
 
     // Background checkpoint writer, created lazily by the first healthy
-    // CR checkpoint on a group root (async mode only).
+    // CR checkpoint on a group root (async mode only). If the writer
+    // stage ever becomes unusable, `ckpt_degraded` pins this rank to the
+    // synchronous write path for the rest of the run.
     let mut async_ckpt: Option<AsyncCheckpointer> = None;
+    let mut ckpt_degraded = false;
 
     let child = ctx.is_spawned();
     let mut repair_timings = ReconstructTimings::default();
@@ -502,6 +546,37 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
     // this buffer instead of a fresh Vec per checkpoint/combine.
     let mut block_buf: Vec<f64> = Vec::new();
     while current_step < steps {
+        // ---- epoch boundary: observer tick + cooperative cancellation
+        // poll. Every rank arrives here together (children join at the
+        // loop top after their post-recovery hand-off; survivors finish
+        // the repair arm of the previous iteration first), so both the
+        // poll broadcast and the agree below are collective. ----
+        notify(cfg, &world, AppEvent::Epoch { step: current_step, steps });
+        if let Some(flag) = &cfg.cancel {
+            let mine = if world.rank() == 0 {
+                Some(vec![flag.load(std::sync::atomic::Ordering::Relaxed) as u64])
+            } else {
+                None
+            };
+            // A failure can strike the poll broadcast itself; treat a
+            // disrupted poll as "no cancel seen" and let the
+            // fault-tolerant agree make the verdict uniform. The flag is
+            // monotonic, so a cancel masked by a failure this epoch is
+            // simply observed at the next one.
+            let seen = match world.bcast(ctx, 0, mine.as_deref()) {
+                Ok(v) => v[0] != 0,
+                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => false,
+                Err(e) => return Err(Error::InvalidArg(format!("[cancel-poll] {e}"))),
+            };
+            let mut cancel = seen;
+            let _ = world.agree(ctx, &mut cancel); // fault-tolerant; AND
+            if cancel {
+                if world.rank() == 0 {
+                    ctx.report_f64(keys::CANCELLED, 1.0);
+                }
+                return Err(Error::Cancelled);
+            }
+        }
         let dp = dpoints
             .iter()
             .copied()
@@ -589,6 +664,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             }
             event_idx += 1;
             merge_timings(&mut repair_timings, &round);
+            notify(cfg, &world, AppEvent::Recovered { step: dp, ranks: round.failed_ranks.len() });
         } else if repaired {
             let mut known_failed = round.failed_ranks.clone();
             if world.rank() == 0 && dp == steps {
@@ -638,6 +714,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             }
             event_idx += 1;
             merge_timings(&mut repair_timings, &round);
+            notify(cfg, &world, AppEvent::Recovered { step: dp, ranks: round.failed_ranks.len() });
             if d == steps {
                 extend_lost(&mut final_lost, &layout, &failed);
                 end_failed = failed;
@@ -652,15 +729,28 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 match gather_own_grid(ctx, &group, &layout, m, sv, &mut block_buf) {
                     Ok(full) => {
                         if let Some(g) = full {
-                            if cfg.ckpt_async {
+                            let mut queued = false;
+                            if cfg.ckpt_async && !ckpt_degraded {
                                 // Snapshot + hand-off; T_IO is charged as
                                 // deferred cost and settled at the drains.
                                 let ck = async_ckpt
                                     .get_or_insert_with(|| AsyncCheckpointer::new(store.clone()));
-                                ck.enqueue(ctx, m.grid, current_step, &g).map_err(|e| {
-                                    Error::InvalidArg(format!("checkpoint enqueue: {e}"))
-                                })?;
-                            } else {
+                                match ck.enqueue(ctx, m.grid, current_step, &g) {
+                                    Ok(_) => queued = true,
+                                    Err(_) => {
+                                        // The writer stage is unusable (its
+                                        // thread is gone). Degrade to the
+                                        // synchronous critical-path write for
+                                        // the rest of the run instead of
+                                        // failing the rank: slower, still
+                                        // correct. Dropping the checkpointer
+                                        // joins the dead thread.
+                                        ckpt_degraded = true;
+                                        async_ckpt = None;
+                                    }
+                                }
+                            }
+                            if !queued {
                                 let bytes = store.write(m.grid, current_step, &g).map_err(|e| {
                                     Error::InvalidArg(format!("checkpoint write: {e}"))
                                 })?;
@@ -780,6 +870,11 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
             }
             event_idx += 1;
             merge_timings(&mut repair_timings, &round);
+            notify(
+                cfg,
+                &world,
+                AppEvent::Recovered { step: steps, ranks: round.failed_ranks.len() },
+            );
             extend_lost(&mut final_lost, &layout, &failed);
             end_failed = failed;
         }
@@ -1113,6 +1208,11 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 }
                 event_idx += 1;
                 merge_timings(&mut repair_timings, &round);
+                notify(
+                    cfg,
+                    &world,
+                    AppEvent::Recovered { step: steps, ranks: round.failed_ranks.len() },
+                );
             }
             Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
                 // Release peers still blocked in this attempt, repair,
@@ -1182,6 +1282,11 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                 }
                 event_idx += 1;
                 merge_timings(&mut repair_timings, &round);
+                notify(
+                    cfg,
+                    &world,
+                    AppEvent::Recovered { step: steps, ranks: round.failed_ranks.len() },
+                );
                 extend_lost(&mut final_lost, &layout, &failed);
                 end_failed = failed;
             }

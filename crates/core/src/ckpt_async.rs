@@ -32,7 +32,7 @@
 //! can kill a root at every stage of the pipeline.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use sparsegrid::{Grid2, LevelPair};
@@ -57,6 +57,15 @@ struct Shared {
     pending: Mutex<usize>,
     all_done: Condvar,
     errors: Mutex<Vec<String>>,
+}
+
+/// Lock with poison recovery. The data under both mutexes (a gauge and an
+/// error list) is valid after any partial update, so a panic on either
+/// side of the pipeline must not cascade into every later lock: a
+/// poisoned checkpointer would otherwise take down a whole service worker
+/// along with every unrelated job that later touches the same rank state.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A background checkpoint writer bound to one [`CheckpointStore`].
@@ -91,14 +100,11 @@ impl AsyncCheckpointer {
                     if let Err(e) =
                         store.write_raw(snap.grid_id, snap.step, snap.level, &snap.values)
                     {
-                        shared2
-                            .errors
-                            .lock()
-                            .unwrap()
+                        lock_recover(&shared2.errors)
                             .push(format!("grid {} step {}: {e}", snap.grid_id, snap.step));
                     }
                     {
-                        let mut n = shared2.pending.lock().unwrap();
+                        let mut n = lock_recover(&shared2.pending);
                         *n -= 1;
                         if *n == 0 {
                             shared2.all_done.notify_all();
@@ -134,17 +140,23 @@ impl AsyncCheckpointer {
         snap.values.clear();
         snap.values.extend_from_slice(grid.values());
         ctx.fault_op(OpClass::CkptEnqueue);
+        // A shut-down writer stage is a recoverable condition, not a
+        // protocol bug: the caller degrades to the synchronous write path
+        // (see the CR checkpoint arm in `app`), so the error return must
+        // never panic the rank.
+        let Some(tx) = self.job_tx.as_ref() else {
+            return Err(Error::InvalidArg("checkpoint writer already shut down".into()));
+        };
         let bytes = crate::checkpoint::OVERHEAD + grid.byte_size();
         ctx.disk_write_async(bytes);
         {
-            let mut n = self.shared.pending.lock().unwrap();
+            let mut n = lock_recover(&self.shared.pending);
             *n += 1;
         }
-        let sent = self.job_tx.as_ref().expect("writer already shut down").send(snap);
-        if sent.is_err() {
+        if tx.send(snap).is_err() {
             // Writer thread is gone; roll the gauge back so a later drain
             // cannot wait forever on a job that will never complete.
-            *self.shared.pending.lock().unwrap() -= 1;
+            *lock_recover(&self.shared.pending) -= 1;
             return Err(Error::InvalidArg("checkpoint writer thread is gone".into()));
         }
         Ok(bytes)
@@ -169,7 +181,7 @@ impl AsyncCheckpointer {
 
     /// Checkpoints handed to the writer and not yet landed on disk.
     pub fn in_flight(&self) -> usize {
-        *self.shared.pending.lock().unwrap()
+        *lock_recover(&self.shared.pending)
     }
 
     /// Block until every enqueued checkpoint has landed, settle the
@@ -179,13 +191,13 @@ impl AsyncCheckpointer {
     pub fn drain(&self, ctx: &Ctx) -> Result<()> {
         ctx.fault_op(OpClass::CkptDrain);
         {
-            let mut n = self.shared.pending.lock().unwrap();
+            let mut n = lock_recover(&self.shared.pending);
             while *n > 0 {
-                n = self.shared.all_done.wait(n).unwrap();
+                n = self.shared.all_done.wait(n).unwrap_or_else(|e| e.into_inner());
             }
         }
         ctx.disk_drain();
-        let errors = std::mem::take(&mut *self.shared.errors.lock().unwrap());
+        let errors = std::mem::take(&mut *lock_recover(&self.shared.errors));
         if errors.is_empty() {
             Ok(())
         } else {
@@ -251,6 +263,65 @@ mod tests {
         .assert_no_app_errors();
         let (step, _, _) = s.read(2).unwrap().expect("write must have landed");
         assert_eq!(step, 7);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn enqueue_after_writer_shutdown_errors_instead_of_panicking() {
+        let s = store();
+        let dir = s.dir().to_path_buf();
+        run(RunConfig::local(1), move |ctx| {
+            let mut ck = AsyncCheckpointer::new(CheckpointStore::new(&dir).unwrap());
+            let g = Grid2::from_fn(LevelPair::new(3, 3), |x, y| x + y);
+            ck.enqueue(ctx, 0, 1, &g).unwrap();
+            ck.drain(ctx).unwrap();
+            // Simulate the writer stage going away mid-run (the Drop path
+            // with the checkpointer still referenced): enqueue must turn
+            // into an error the caller can degrade on, never a panic.
+            ck.job_tx.take();
+            if let Some(h) = ck.writer.take() {
+                h.join().unwrap();
+            }
+            let err = ck.enqueue(ctx, 0, 2, &g).unwrap_err();
+            assert!(err.to_string().contains("writer"), "got: {err}");
+            // The gauge was not bumped for the refused snapshot, so a
+            // later drain still returns instead of waiting forever.
+            assert_eq!(ck.in_flight(), 0);
+            ck.drain(ctx).unwrap();
+        })
+        .assert_no_app_errors();
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn poisoned_lock_leaves_enqueue_and_drain_functional() {
+        let s = store();
+        let dir = s.dir().to_path_buf();
+        run(RunConfig::local(1), move |ctx| {
+            let mut ck = AsyncCheckpointer::new(CheckpointStore::new(&dir).unwrap());
+            // Poison both shared mutexes the way a panicking write-side
+            // thread would: panic while holding each guard.
+            let shared = Arc::clone(&ck.shared);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = shared.pending.lock().unwrap();
+                panic!("simulated writer-side panic");
+            }));
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = shared.errors.lock().unwrap();
+                panic!("simulated writer-side panic");
+            }));
+            assert!(ck.shared.pending.is_poisoned());
+            // The pipeline keeps working: enqueue, observe, drain — no
+            // poison cascade into this rank (or, under the campaign
+            // service, into sibling jobs sharing the worker).
+            let g = Grid2::from_fn(LevelPair::new(4, 4), |x, y| x * y);
+            ck.enqueue(ctx, 1, 9, &g).unwrap();
+            ck.drain(ctx).unwrap();
+            assert_eq!(ck.in_flight(), 0);
+        })
+        .assert_no_app_errors();
+        let (step, _, _) = s.read(1).unwrap().expect("write landed despite poisoned locks");
+        assert_eq!(step, 9);
         s.clear().unwrap();
     }
 

@@ -134,6 +134,52 @@ pub struct AppConfig {
     /// bitwise-identical (see `advect2d::simd`); defaults come from the
     /// `FTSG_KERNEL` / `FTSG_BANDS` / `FTSG_BAND_MIN_CELLS` env knobs.
     pub kernel: KernelConfig,
+    /// Cooperative cancellation token (the campaign service sets it).
+    /// Polled at epoch (detection-segment) boundaries behind a rank-0
+    /// broadcast plus a fault-tolerant agree, so every rank leaves the
+    /// run together; `None` (the default) adds zero runtime operations —
+    /// fault-site operation counts of existing chaos specs are unchanged.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Live progress/recovery observer, called by rank 0 only (the
+    /// campaign service streams these as `JobEvent`s). `None` by default.
+    pub observer: Option<AppObserver>,
+}
+
+/// Live application events for an external observer: epoch boundaries and
+/// completed recoveries, reported by rank 0 only (so an observer sees one
+/// consistent stream, not `world` interleaved ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppEvent {
+    /// Rank 0 reached the epoch (detection-segment) boundary at `step` of
+    /// `steps` total.
+    Epoch { step: u64, steps: u64 },
+    /// A repair plus data recovery committed at detection step `step`
+    /// covering `ranks` failed ranks.
+    Recovered { step: u64, ranks: usize },
+}
+
+/// Shareable [`AppEvent`] callback (the closure is invoked on whichever
+/// thread runs rank 0's fiber — it must be cheap and must not block on
+/// the run itself).
+#[derive(Clone)]
+pub struct AppObserver(pub std::sync::Arc<dyn Fn(AppEvent) + Send + Sync>);
+
+impl AppObserver {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(AppEvent) + Send + Sync + 'static) -> Self {
+        AppObserver(std::sync::Arc::new(f))
+    }
+
+    /// Invoke the callback.
+    pub fn emit(&self, ev: AppEvent) {
+        (self.0)(ev)
+    }
+}
+
+impl std::fmt::Debug for AppObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AppObserver(..)")
+    }
 }
 
 /// How the final combination is evaluated across group leaders.
@@ -170,6 +216,8 @@ impl AppConfig {
             output_prefix: None,
             combine_mode: CombineMode::default(),
             kernel: KernelConfig::global(),
+            cancel: None,
+            observer: None,
         }
     }
 
@@ -196,7 +244,25 @@ impl AppConfig {
             output_prefix: None,
             combine_mode: CombineMode::default(),
             kernel: KernelConfig::global(),
+            cancel: None,
+            observer: None,
         }
+    }
+
+    /// Attach a cooperative cancellation token: once `flag` is set, the
+    /// run exits with [`ulfm_sim::Error::Cancelled`] at the next epoch
+    /// boundary every rank agrees on. The flag must be monotonic (set
+    /// once, never cleared) — the epoch poll is an agreement, so a flag
+    /// observed by only part of the world simply cancels one epoch later.
+    pub fn with_cancel(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Attach a live progress/recovery observer (rank 0 only).
+    pub fn with_observer(mut self, obs: AppObserver) -> Self {
+        self.observer = Some(obs);
+        self
     }
 
     /// Replace the stencil-kernel configuration (formulation + banding).

@@ -75,6 +75,8 @@ fn soak_random_failures_all_techniques() {
             output_prefix: None,
             combine_mode: Default::default(),
             kernel: advect2d::KernelConfig::global(),
+            cancel: None,
+            observer: None,
         };
         let layout = ProcLayout::new(n, l, technique.layout(), scale);
         let n_failures = rng.gen_range(1usize..=3).min(layout.world_size() / 4);

@@ -36,6 +36,11 @@ pub enum Error {
     /// process holds no usable communicator and must exit cleanly so the
     /// survivors' restarted recovery loop can spawn its successor.
     Orphaned,
+    /// The run was cancelled cooperatively: the application observed an
+    /// external cancellation request at a safe (collective) boundary and
+    /// every rank is exiting together. Not a failure — the campaign
+    /// service reports it as a cancelled job, not a failed one.
+    Cancelled,
 }
 
 impl Error {
@@ -71,6 +76,7 @@ impl fmt::Display for Error {
             Error::Orphaned => {
                 write!(f, "orphaned: repair round abandoned by a further failure")
             }
+            Error::Cancelled => write!(f, "cancelled: run stopped by cooperative cancellation"),
         }
     }
 }

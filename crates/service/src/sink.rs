@@ -1,0 +1,90 @@
+//! JSONL rendering of the [`JobEvent`](crate::JobEvent) stream.
+//!
+//! One event per line, hand-rolled like every other JSON artifact in this
+//! repo (no serde in the dependency closure). The `ftsg-serve` CLI pumps
+//! the service's receiver straight into a sink; tests parse lines back
+//! with plain string matching.
+
+use std::io::{self, Write};
+use std::sync::mpsc::Receiver;
+
+use crate::JobEvent;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one event as a single JSON object (no trailing newline).
+pub fn event_json(ev: &JobEvent) -> String {
+    match ev {
+        JobEvent::Queued { id, name } => {
+            format!(r#"{{"event":"queued","job":{},"name":"{}"}}"#, id.0, esc(name))
+        }
+        JobEvent::Started { id } => {
+            format!(r#"{{"event":"started","job":{}}}"#, id.0)
+        }
+        JobEvent::Progress { id, step, steps } => {
+            format!(r#"{{"event":"progress","job":{},"step":{step},"steps":{steps}}}"#, id.0)
+        }
+        JobEvent::Recovered { id, step, ranks } => {
+            format!(r#"{{"event":"recovered","job":{},"step":{step},"ranks":{ranks}}}"#, id.0)
+        }
+        JobEvent::Done { id, makespan } => {
+            format!(r#"{{"event":"done","job":{},"makespan":{makespan}}}"#, id.0)
+        }
+        JobEvent::Failed { id, error } => {
+            format!(r#"{{"event":"failed","job":{},"error":"{}"}}"#, id.0, esc(error))
+        }
+        JobEvent::Cancelled { id } => {
+            format!(r#"{{"event":"cancelled","job":{}}}"#, id.0)
+        }
+    }
+}
+
+/// Line-buffered JSONL writer.
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap any writer (file, stdout lock, `Vec<u8>` in tests).
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Write one event line.
+    pub fn write(&mut self, ev: &JobEvent) -> io::Result<()> {
+        writeln!(self.w, "{}", event_json(ev))
+    }
+
+    /// Unwrap the inner writer (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// Drain a receiver to the sink until the sending side closes; returns
+/// the number of events written. Run this on its own thread while the
+/// submitting thread drives the service.
+pub fn pump<W: Write>(rx: Receiver<JobEvent>, w: W) -> io::Result<usize> {
+    let mut sink = JsonlSink::new(w);
+    let mut n = 0usize;
+    for ev in rx {
+        sink.write(&ev)?;
+        n += 1;
+    }
+    Ok(n)
+}

@@ -141,6 +141,8 @@ fn main() {
             ftsg::app::CombineMode::Tree
         },
         kernel: ftsg::pde::KernelConfig::global(),
+        cancel: None,
+        observer: None,
     };
     let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
     // Spare ranks (substitute policy only) sit after the active slots;
