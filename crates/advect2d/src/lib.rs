@@ -16,6 +16,9 @@
 pub mod bands;
 pub mod diffusion;
 pub mod laxwendroff;
+pub mod ndfield;
+pub mod ndproblem;
+pub mod ndsolve;
 pub mod problem;
 pub mod simd;
 pub mod stepper;
@@ -27,6 +30,11 @@ pub use diffusion::{
 };
 pub use laxwendroff::{
     lax_wendroff_kernel, lax_wendroff_row, lax_wendroff_step, lw_row_fn, LocalSolver, LwCoef,
+};
+pub use ndfield::PaddedFieldN;
+pub use ndproblem::{ProblemN, TimeGridN};
+pub use ndsolve::{
+    jacobi_kernel, padded_rhs, upwind_diffusion_kernel, SolverN, UpwindDiffusionCoefN,
 };
 pub use problem::{AdvectionProblem, InitialCondition};
 pub use simd::{

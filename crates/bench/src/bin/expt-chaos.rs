@@ -2,7 +2,7 @@
 //! oracles and failing-case minimization (see `ftsg_bench::chaos`).
 //!
 //! ```text
-//! expt-chaos [--budget N] [--seed S] [--policy P] [--stall-secs T]
+//! expt-chaos [--budget N] [--seed S] [--policy P] [--dim D] [--stall-secs T]
 //!            [--fanout-workers W] [--sabotage] [--no-corrupt] [--corrupt-only]
 //!            [--json PATH] [--repro SPEC] [--artifacts DIR]
 //! ```
@@ -10,7 +10,8 @@
 //! `--policy` runs every sampled case under the given recovery policy
 //! (`respawn` (default), `shrink`, `substitute`, `defer`); sampling is
 //! policy-independent, so campaigns with the same seed examine the same
-//! fault sites under each policy.
+//! fault sites under each policy. `--dim 3` samples the 3D campaign shape
+//! instead of the classic 2D one (the scenario matrix's third axis).
 //!
 //! Exit code 0 when every examined case satisfies all oracles, 1 when any
 //! violation was found (the minimized repro specs are printed and, with
@@ -32,8 +33,8 @@ fn parse_args() -> Cli {
     let usage = || -> ! {
         eprintln!(
             "usage: expt-chaos [--budget N] [--seed S] [--policy respawn|shrink|substitute|defer] \
-             [--stall-secs T] [--fanout-workers W] [--sabotage] [--no-corrupt] [--corrupt-only] \
-             [--json PATH] [--repro SPEC] [--artifacts DIR]"
+             [--dim D] [--stall-secs T] [--fanout-workers W] [--sabotage] [--no-corrupt] \
+             [--corrupt-only] [--json PATH] [--repro SPEC] [--artifacts DIR]"
         );
         std::process::exit(2);
     };
@@ -50,6 +51,12 @@ fn parse_args() -> Cli {
             "--policy" => {
                 cli.opts.policy =
                     RecoveryPolicy::from_label(&take(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--dim" => {
+                cli.opts.dim = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if cli.opts.dim < 2 {
+                    usage()
+                }
             }
             "--stall-secs" => {
                 cli.opts.stall =
@@ -112,10 +119,12 @@ fn main() {
         "off"
     };
     println!(
-        "chaos campaign: budget={} seed={} policy={} sabotage={} stall={}s corruption={corrupt_mix}",
+        "chaos campaign: budget={} seed={} policy={} dim={} sabotage={} stall={}s \
+         corruption={corrupt_mix}",
         cli.opts.budget,
         cli.opts.seed,
         cli.opts.policy.label(),
+        cli.opts.dim,
         cli.opts.sabotage,
         cli.opts.stall.as_secs()
     );

@@ -55,8 +55,8 @@ use std::time::Duration;
 
 use ftsg_core::app::keys;
 use ftsg_core::{
-    run_app, AppConfig, CorruptKind, CorruptionPlan, CorruptionStrike, ProcLayout, RecoveryPolicy,
-    Technique,
+    run_app, AppConfig, CorruptKind, CorruptionPlan, CorruptionStrike, ProcLayout, ProcLayoutN,
+    RecoveryPolicy, Technique,
 };
 use ftsg_service::{CustomOutput, JobId, JobOutput, JobSpec, JobState, Service, ServiceConfig};
 use rand::rngs::StdRng;
@@ -106,7 +106,9 @@ pub const TECHNIQUES: [Technique; 4] = [
 /// The three fault-site kinds in campaign rotation order.
 pub const SITE_KINDS: [&str; 3] = ["step", "op", "recovery"];
 
-/// Structural shape of a case (problem size + schedule).
+/// Structural shape of a case (problem size + schedule). `dim` = 2 is
+/// the tuned 2D advection path; `dim` ≥ 3 routes through the
+/// d-dimensional driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CaseShape {
     pub n: u32,
@@ -114,12 +116,19 @@ pub struct CaseShape {
     pub scale: usize,
     pub log2_steps: u32,
     pub checkpoints: u32,
+    pub dim: usize,
 }
 
 impl CaseShape {
     /// The campaign's default laptop-scale shape.
     pub fn small() -> Self {
-        CaseShape { n: 6, l: 3, scale: 1, log2_steps: 5, checkpoints: 2 }
+        CaseShape { n: 6, l: 3, scale: 1, log2_steps: 5, checkpoints: 2, dim: 2 }
+    }
+
+    /// The 3D campaign shape: the chaos-scale truncated simplex
+    /// (19 combining grids at `n = 4`, `l = 4`).
+    pub fn small3() -> Self {
+        CaseShape { n: 4, l: 4, scale: 1, log2_steps: 4, checkpoints: 2, dim: 3 }
     }
 
     /// Number of solver timesteps.
@@ -128,11 +137,18 @@ impl CaseShape {
     }
 
     fn spec(&self) -> String {
-        format!("n{}l{}s{}k{}c{}", self.n, self.l, self.scale, self.log2_steps, self.checkpoints)
+        let mut s = format!(
+            "n{}l{}s{}k{}c{}",
+            self.n, self.l, self.scale, self.log2_steps, self.checkpoints
+        );
+        if self.dim != 2 {
+            s.push_str(&format!("d{}", self.dim));
+        }
+        s
     }
 
     fn parse(s: &str) -> Result<Self, String> {
-        let err = || format!("bad shape spec {s:?} (want e.g. n6l3s1k5c2)");
+        let err = || format!("bad shape spec {s:?} (want e.g. n6l3s1k5c2 or n4l4s1k4c2d3)");
         let mut vals = [0u64; 5];
         let mut rest = s;
         for (i, tag) in ["n", "l", "s", "k", "c"].iter().enumerate() {
@@ -141,16 +157,73 @@ impl CaseShape {
             vals[i] = rest[..end].parse().map_err(|_| err())?;
             rest = &rest[end..];
         }
-        if !rest.is_empty() {
-            return Err(err());
-        }
+        let dim = match rest.strip_prefix('d') {
+            None if rest.is_empty() => 2,
+            Some(d) if !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()) => {
+                d.parse().map_err(|_| err())?
+            }
+            _ => return Err(err()),
+        };
         Ok(CaseShape {
             n: vals[0] as u32,
             l: vals[1] as u32,
             scale: vals[2] as usize,
             log2_steps: vals[3] as u32,
             checkpoints: vals[4] as u32,
+            dim,
         })
+    }
+}
+
+/// Dimension-agnostic view of a case's process layout: the 2D layout for
+/// `dim` = 2, the d-dimensional one otherwise, with the handful of
+/// queries the sampler and oracles need.
+pub enum CaseLayout {
+    D2(ProcLayout),
+    Nd(ProcLayoutN),
+}
+
+impl CaseLayout {
+    pub fn world_size(&self) -> usize {
+        match self {
+            CaseLayout::D2(l) => l.world_size(),
+            CaseLayout::Nd(l) => l.world_size(),
+        }
+    }
+
+    pub fn n_grids(&self) -> usize {
+        match self {
+            CaseLayout::D2(l) => l.system().n_grids(),
+            CaseLayout::Nd(l) => l.system().n_grids(),
+        }
+    }
+
+    pub fn grid_of(&self, rank: usize) -> usize {
+        match self {
+            CaseLayout::D2(l) => l.grid_of(rank),
+            CaseLayout::Nd(l) => l.grid_of(rank),
+        }
+    }
+
+    pub fn root_of(&self, grid: usize) -> usize {
+        match self {
+            CaseLayout::D2(l) => l.root_of(grid),
+            CaseLayout::Nd(l) => l.root_of(grid),
+        }
+    }
+
+    pub fn broken_grids(&self, dead: &[usize]) -> Vec<usize> {
+        match self {
+            CaseLayout::D2(l) => l.broken_grids(dead),
+            CaseLayout::Nd(l) => l.broken_grids(dead),
+        }
+    }
+
+    pub fn rc_conflicts(&self) -> Vec<(usize, usize)> {
+        match self {
+            CaseLayout::D2(l) => l.system().rc_conflicts(),
+            CaseLayout::Nd(l) => l.system().rc_conflicts(),
+        }
     }
 }
 
@@ -306,12 +379,29 @@ impl ChaosCase {
         kind
     }
 
-    fn layout(&self) -> ProcLayout {
-        ProcLayout::new(self.shape.n, self.shape.l, self.technique.layout(), self.shape.scale)
+    fn layout(&self) -> CaseLayout {
+        if self.shape.dim >= 3 {
+            CaseLayout::Nd(ProcLayoutN::new(
+                self.shape.dim,
+                self.shape.n,
+                self.shape.l,
+                self.technique.layout(),
+                self.shape.scale,
+            ))
+        } else {
+            CaseLayout::D2(ProcLayout::new(
+                self.shape.n,
+                self.shape.l,
+                self.technique.layout(),
+                self.shape.scale,
+            ))
+        }
     }
 
     fn app_config(&self, plan: FaultPlan) -> AppConfig {
-        let mut cfg = AppConfig::small(self.technique).with_recovery_policy(self.policy);
+        let mut cfg = AppConfig::small(self.technique)
+            .with_dim(self.shape.dim)
+            .with_recovery_policy(self.policy);
         if self.policy == RecoveryPolicy::SpareSubstitute {
             cfg = cfg.with_spares(CHAOS_SPARES);
         }
@@ -351,9 +441,9 @@ impl ChaosCase {
     }
 }
 
-fn violates_rc(layout: &ProcLayout, victims: &[usize]) -> bool {
+fn violates_rc(layout: &CaseLayout, victims: &[usize]) -> bool {
     let broken = layout.broken_grids(victims);
-    layout.system().rc_conflicts().iter().any(|&(a, b)| broken.contains(&a) && broken.contains(&b))
+    layout.rc_conflicts().iter().any(|&(a, b)| broken.contains(&a) && broken.contains(&b))
 }
 
 /// What one run produced, as the oracles see it.
@@ -874,6 +964,9 @@ pub struct CampaignOpts {
     /// Worker threads of the job service the campaign fans its case runs
     /// out over (0 = the machine's available parallelism).
     pub fanout_workers: usize,
+    /// Problem dimensionality (`--dim`): 2 samples the classic 2D shape,
+    /// ≥ 3 the d-dimensional campaign shape.
+    pub dim: usize,
 }
 
 impl Default for CampaignOpts {
@@ -888,6 +981,7 @@ impl Default for CampaignOpts {
             corruption: true,
             corrupt_only: false,
             fanout_workers: 0,
+            dim: 2,
         }
     }
 }
@@ -1002,7 +1096,7 @@ impl CampaignReport {
 /// Sample distinct victim ranks (never 0), respecting RC conflicts.
 fn sample_ranks(
     rng: &mut StdRng,
-    layout: &ProcLayout,
+    layout: &CaseLayout,
     technique: Technique,
     count: usize,
 ) -> Vec<usize> {
@@ -1068,19 +1162,21 @@ pub fn sample_case(
                     1 => (OpClass::Gather, if technique.has_periodic_protection() { 3 } else { 1 }),
                     2 => (OpClass::Allreduce, 4),
                     // Nonblocking sites: every rank posts 4 isends and 4
-                    // irecvs per solver step (and fires 8 waits), plus the
-                    // reduction-tree hops at the combination, so these
-                    // indices always land inside the run.
-                    3 => (OpClass::Isend, 32),
-                    4 => (OpClass::Irecv, 32),
-                    _ => (OpClass::Wait, 64),
+                    // irecvs per solver step in 2D (and fires 8 waits) but
+                    // only 2 + 2 on the slab-decomposed nd path, plus the
+                    // reduction-tree hops at the combination. Halving the
+                    // index range for dim ≥ 3 keeps every sampled site
+                    // inside the run.
+                    3 => (OpClass::Isend, if shape.dim >= 3 { 16 } else { 32 }),
+                    4 => (OpClass::Irecv, if shape.dim >= 3 { 16 } else { 32 }),
+                    _ => (OpClass::Wait, if shape.dim >= 3 { 32 } else { 64 }),
                 };
                 FaultSite::Op { kind: class, nth: rng.gen_range(0..max_nth) }
             };
             let victim = if matches!(site, FaultSite::Op { kind: OpClass::CkptWrite, .. }) {
                 // A root other than rank 0 (grid 0's root is the
                 // controller, which never dies).
-                let g = rng.gen_range(1..layout.system().n_grids());
+                let g = rng.gen_range(1..layout.n_grids());
                 layout.root_of(g)
             } else {
                 ranks[0]
@@ -1275,7 +1371,7 @@ pub fn run_campaign_with(
         policy: opts.policy.label(),
         ..Default::default()
     };
-    let shape = CaseShape::small();
+    let shape = if opts.dim >= 3 { CaseShape::small3() } else { CaseShape::small() };
 
     // Phase 1 — sample the whole campaign. Sampling is policy-independent
     // (the policy is stamped after), so the same seed examines the same
@@ -1480,6 +1576,50 @@ mod tests {
         assert!(ChaosCase::parse("CR/n6l3s1k5c2/3@step:16/corrupt:g2").is_err());
         assert!(ChaosCase::parse("CR/n6l3s1k5c2/3@step:16/corrupt:g2:s10:flip:1").is_err());
         assert!(ChaosCase::parse("CR/n6l3s1k5c2/3@step:16/banana:g2:s10:garbage").is_err());
+        assert!(ChaosCase::parse("CR/n6l3s1k5c2d/3@step:16").is_err());
+        assert!(ChaosCase::parse("CR/n6l3s1k5c2x3/3@step:16").is_err());
+    }
+
+    #[test]
+    fn spec_roundtrip_3d() {
+        let case = ChaosCase {
+            technique: Technique::AlternateCombination,
+            policy: RecoveryPolicy::ShrinkRedistribute,
+            shape: CaseShape::small3(),
+            victims: vec![(3, FaultSite::Step(8)), (5, FaultSite::DuringRecovery { nth: 1 })],
+            corruption: None,
+        };
+        let spec = case.spec();
+        assert_eq!(spec, "AC+shrink/n4l4s1k4c2d3/3@step:8+5@rec:1");
+        assert_eq!(ChaosCase::parse(&spec).unwrap(), case);
+        // 2D specs stay exactly as before: the dim tag is only emitted
+        // when it differs from 2 (so old repro lines keep parsing, and
+        // old baselines keep their keys).
+        assert_eq!(
+            ChaosCase::parse("AC/n6l3s1k5c2/3@step:16").unwrap().shape.dim,
+            2,
+            "dim-less specs are 2D"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_valid_in_3d() {
+        let shape = CaseShape::small3();
+        for kind in SITE_KINDS {
+            let mut a = StdRng::seed_from_u64(13);
+            let mut b = StdRng::seed_from_u64(13);
+            for tech in TECHNIQUES {
+                let ca = sample_case(&mut a, tech, kind, shape);
+                let cb = sample_case(&mut b, tech, kind, shape);
+                assert_eq!(ca, cb, "3D sampling must be deterministic");
+                assert!(ca.victims_valid(), "{}", ca.spec());
+                assert!(ca.spec().contains("d3"), "{}", ca.spec());
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(13);
+        let corrupt = sample_corrupt_case(&mut rng, shape);
+        assert!(corrupt.victims_valid(), "{}", corrupt.spec());
+        assert!(corrupt_read_expected(&corrupt), "{}", corrupt.spec());
     }
 
     #[test]

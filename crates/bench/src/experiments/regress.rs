@@ -30,6 +30,12 @@
 //!    shared pool collapses the ratio to ~1, while the ratio form
 //!    cancels host-load and process-history noise that makes absolute
 //!    jobs/sec baselines unportable.
+//! 6. **`d2_level9_step_wall_ns`** (wall clock, lower is better) — the
+//!    absolute median wall time of the double-buffered d=2 level-9 step,
+//!    vs `BENCH_pr8.json` `acceptance.pr1_fast_double_buffered_median_ns`.
+//!    Guards the classic 2D hot path against the d-dimensional
+//!    generalization: the speedup gates are ratios and would hide a
+//!    change that slowed both formulations equally.
 //!
 //! Wall-clock gates are inherently machine-relative, so CI runs this lane
 //! advisory (`continue-on-error`); locally a nonzero exit means "look
@@ -137,10 +143,11 @@ fn median(mut v: Vec<f64>) -> f64 {
     v[v.len() / 2]
 }
 
-/// Wall-clock speedup of the double-buffered level-9 step over the seed
-/// formulation (the same two code paths `cargo bench` measures, sized
-/// down to `iters` timed runs each).
-fn measure_step_speedup(iters: usize) -> f64 {
+/// Median wall times `(naive, fast)` in seconds of the seed and the
+/// double-buffered level-9 step formulations (the same two code paths
+/// `cargo bench` measures, sized down to `iters` timed runs each). The
+/// ratio feeds the speedup gate; the `fast` wall also gates absolutely.
+fn measure_step_walls(iters: usize) -> (f64, f64) {
     let p = AdvectionProblem::standard();
     let lev = LevelPair::new(9, 9);
     let n = 1usize << 9;
@@ -174,7 +181,7 @@ fn measure_step_speedup(iters: usize) -> f64 {
             })
             .collect(),
     );
-    naive / fast
+    (naive, fast)
 }
 
 /// Re-run the smallest-scale pooled configuration from the committed
@@ -214,7 +221,8 @@ pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
 
     let pr1 = read_baseline(dir, "BENCH_pr1.json")?;
     let step_base = num_field(&pr1, "level9_single_owner_step_speedup", "BENCH_pr1.json")?;
-    let step_fresh = measure_step_speedup(iters);
+    let (naive_wall, fast_wall) = measure_step_walls(iters);
+    let step_fresh = naive_wall / fast_wall;
 
     let pr3 = read_baseline(dir, "BENCH_pr3.json")?;
     let combine_base =
@@ -228,6 +236,7 @@ pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
     let pr8 = read_baseline(dir, "BENCH_pr8.json")?;
     let simd_base = num_field(&pr8, "level9_simd_speedup_vs_scalar", "BENCH_pr8.json")?;
     let simd_fresh = crate::experiments::kernel::measure_simd_step_speedup(iters);
+    let step_wall_base = num_field(&pr8, "pr1_fast_double_buffered_median_ns", "BENCH_pr8.json")?;
 
     let pr9 = read_baseline(dir, "BENCH_pr9.json")?;
     let serve_base = num_field(&pr9, "gate_overlap_ratio", "BENCH_pr9.json")?;
@@ -252,6 +261,13 @@ pub fn run(dir: &str, iters: usize) -> Result<RegressReport, String> {
             ),
             GateResult::new("level9_simd_speedup", "BENCH_pr8.json", simd_base, simd_fresh, true),
             GateResult::new("serve_overlap_ratio", "BENCH_pr9.json", serve_base, serve_fresh, true),
+            GateResult::new(
+                "d2_level9_step_wall_ns",
+                "BENCH_pr8.json",
+                step_wall_base,
+                fast_wall * 1e9,
+                false,
+            ),
         ],
         tolerance: TOLERANCE,
     })

@@ -103,7 +103,7 @@ pub struct AppOutcome;
 /// Detection points: for Checkpoint/Restart, every checkpoint period and
 /// the end; otherwise just the end ("the 2D-advection solver is run for
 /// 2^13 timesteps at which point failure detection is tested", §III).
-fn detection_points(cfg: &AppConfig) -> Vec<u64> {
+pub(crate) fn detection_points(cfg: &AppConfig) -> Vec<u64> {
     let steps = cfg.steps();
     let mut v = Vec::new();
     if cfg.technique.has_periodic_protection() {
@@ -149,11 +149,21 @@ fn drain_ckpt(ctx: &Ctx, ck: &Option<AsyncCheckpointer>) -> Result<()> {
 /// Split the world into per-grid groups. Idle spare ranks (`my` is
 /// `None`, `SpareSubstitute` only) take the colour one past the last grid
 /// so they land in a group of their own and the split stays collective.
-fn build_group(ctx: &Ctx, world: &Comm, my: Option<Assignment>, n_grids: usize) -> Result<Comm> {
-    let color = my.map_or(n_grids as i64, |m| m.grid as i64);
+pub(crate) fn build_group_by_color(
+    ctx: &Ctx,
+    world: &Comm,
+    grid: Option<usize>,
+    n_grids: usize,
+) -> Result<Comm> {
+    let color = grid.map_or(n_grids as i64, |g| g as i64);
     world
         .split(ctx, Some(color), world.rank() as i64)?
         .ok_or_else(|| Error::InvalidArg("every rank belongs to a grid group".into()))
+}
+
+/// [`build_group_by_color`] keyed by the 2D assignment.
+fn build_group(ctx: &Ctx, world: &Comm, my: Option<Assignment>, n_grids: usize) -> Result<Comm> {
+    build_group_by_color(ctx, world, my.map(|m| m.grid), n_grids)
 }
 
 /// After a `SpareSubstitute` repair, the promote split may have moved this
@@ -354,6 +364,9 @@ fn recover_with_commit(
 /// an app error in the run report) on unrecoverable protocol failures;
 /// deposits results under [`keys`] via the rank-0 controller.
 pub fn run_app(cfg: &AppConfig, ctx: &mut Ctx) {
+    if cfg.dim >= 3 {
+        return crate::app_nd::run_app_nd(cfg, ctx);
+    }
     match run_app_inner(cfg, ctx) {
         Ok(()) => {}
         // A respawned child whose repair round was abandoned by a further
@@ -371,7 +384,7 @@ pub fn run_app(cfg: &AppConfig, ctx: &mut Ctx) {
 
 /// Emit a live observer event from rank 0 (a no-op on other ranks and
 /// without an observer configured).
-fn notify(cfg: &AppConfig, world: &Comm, ev: AppEvent) {
+pub(crate) fn notify(cfg: &AppConfig, world: &Comm, ev: AppEvent) {
     if world.rank() == 0 {
         if let Some(obs) = &cfg.observer {
             obs.emit(ev);
@@ -381,7 +394,7 @@ fn notify(cfg: &AppConfig, world: &Comm, ev: AppEvent) {
 
 /// Attach a protocol-stage label to an error so an unrecoverable failure
 /// reports *where* in the application flow it happened.
-fn stage<T>(r: Result<T>, which: &str, _ctx: &Ctx) -> Result<T> {
+pub(crate) fn stage<T>(r: Result<T>, which: &str, _ctx: &Ctx) -> Result<T> {
     r.map_err(|e| match e {
         Error::InvalidArg(msg) => Error::InvalidArg(format!("[{which}] {msg}")),
         other => Error::InvalidArg(format!("[{which}] {other}")),
@@ -1166,7 +1179,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
         })();
         match attempt {
             Ok(v) => break v,
-            Err(Error::ProcFailed { .. }) | Err(Error::Revoked)
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) | Err(Error::Protocol(_))
                 if pol == RecoveryPolicy::ShrinkRedistribute =>
             {
                 // A casualty mid-combination under shrink: drop the new
@@ -1214,7 +1227,7 @@ fn run_app_inner(cfg: &AppConfig, ctx: &mut Ctx) -> Result<()> {
                     AppEvent::Recovered { step: steps, ranks: round.failed_ranks.len() },
                 );
             }
-            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) => {
+            Err(Error::ProcFailed { .. }) | Err(Error::Revoked) | Err(Error::Protocol(_)) => {
                 // Release peers still blocked in this attempt, repair,
                 // recover the new casualties, and go again. This is a
                 // failure event of its own: window and timings start here.
@@ -1334,7 +1347,7 @@ fn extend_lost(final_lost: &mut Vec<usize>, layout: &ProcLayout, failed: &[usize
     final_lost.sort_unstable();
 }
 
-fn merge_timings(acc: &mut ReconstructTimings, round: &ReconstructTimings) {
+pub(crate) fn merge_timings(acc: &mut ReconstructTimings, round: &ReconstructTimings) {
     acc.t_list += round.t_list;
     acc.t_detect += round.t_detect;
     acc.t_ack += round.t_ack;

@@ -40,10 +40,19 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sparsegrid::{Grid2, LevelPair};
+use sparsegrid::{Grid2, GridN, LevelPair};
 
 const MAGIC: &[u8; 8] = b"FTSGCKP2";
 const FORMAT_VERSION: u8 = 2;
+/// Magic of the d-dimensional v3 format (see [`CheckpointStore::encode_nd`]).
+const MAGIC3: &[u8; 8] = b"FTSGCKP3";
+const FORMAT_VERSION3: u8 = 3;
+/// v3 header bytes before the level vector: magic + version + dim + step.
+const HEADER3_FIXED: usize = 8 + 1 + 4 + 8;
+/// Largest dimension a v3 header may claim — far beyond anything this
+/// code runs, and small enough that the level bound keeps the payload
+/// size math inside u64.
+const MAX_DIM: usize = 8;
 /// Header bytes before the payload: magic + version + i + j + step.
 const HEADER_LEN: usize = 8 + 1 + 4 + 4 + 8;
 /// Fixed overhead of a v2 file: header + trailing CRC-64.
@@ -64,6 +73,9 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A successfully restored checkpoint: `(step, grid, bytes on disk)`.
 pub type Restored = (u64, Grid2, usize);
+
+/// A successfully restored d-dimensional checkpoint.
+pub type RestoredN = (u64, GridN, usize);
 
 // ---------------------------------------------------------------------------
 // CRC-64/XZ (ECMA-182 polynomial, reflected, init/xorout = !0)
@@ -331,7 +343,13 @@ impl CheckpointStore {
         level: LevelPair,
         values: &[f64],
     ) -> io::Result<usize> {
-        let buf = Self::encode(step, level, values);
+        self.land(grid_id, step, Self::encode(step, level, values))
+    }
+
+    /// Land an encoded checkpoint buffer on disk: tmp + rename + dir
+    /// fsync, then corruption strikes and retention pruning. Shared by
+    /// the v2 (2D) and v3 (d-dimensional) write paths.
+    fn land(&self, grid_id: usize, step: u64, buf: Vec<u8>) -> io::Result<usize> {
         let tmp = self.dir.join(format!(
             ".grid_{grid_id:04}.{}.{}.tmp",
             std::process::id(),
@@ -417,6 +435,137 @@ impl CheckpointStore {
                 Err(e) => return Err(e),
             };
             match Self::decode(&raw) {
+                Ok((step, grid)) => return Ok((Some((step, grid, raw.len())), skipped)),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok((None, skipped))
+    }
+
+    // -----------------------------------------------------------------------
+    // Format v3: d-dimensional checkpoints
+    // -----------------------------------------------------------------------
+
+    /// Serialize a d-dimensional checkpoint into the v3 wire format:
+    ///
+    /// ```text
+    /// offset    size  field
+    /// 0         8     magic  b"FTSGCKP3"
+    /// 8         1     format version byte (3)
+    /// 9         4     dim d     (u32 LE, bounds-checked first)
+    /// 13        8     step      (u64 LE)
+    /// 21        4*d   levels    (u32 LE each, bounds-checked before size math)
+    /// 21+4d     8*n   payload   (f64 LE, n = ∏(2^l_i + 1))
+    /// ...       8     CRC-64/XZ (u64 LE, over all preceding bytes)
+    /// ```
+    ///
+    /// Same integrity discipline as v2: bounded header fields before any
+    /// size computation, exact-length check, CRC over everything.
+    pub fn encode_nd(step: u64, level: &[u32], values: &[f64]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER3_FIXED + 4 * level.len() + 8 * values.len() + 8);
+        buf.extend_from_slice(MAGIC3);
+        buf.push(FORMAT_VERSION3);
+        buf.extend_from_slice(&(level.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&step.to_le_bytes());
+        for &l in level {
+            buf.extend_from_slice(&l.to_le_bytes());
+        }
+        for v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc64(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parse and validate a v3 checkpoint buffer, with the same
+    /// check-before-use discipline as [`CheckpointStore::decode`]: the
+    /// dimension is bounded before the level vector is read, every level
+    /// is bounded before the point count is computed (`d ≤ 8` levels of
+    /// `≤ 2^26 + 1` points stay far inside `u64` via a u128 product), the
+    /// declared size must match exactly, and the CRC gates everything.
+    pub fn decode_nd(raw: &[u8]) -> Result<(u64, GridN), String> {
+        if raw.len() < HEADER3_FIXED + 4 + 8 {
+            return Err(format!("truncated checkpoint ({} bytes; torn write?)", raw.len()));
+        }
+        if &raw[..8] != MAGIC3 {
+            return Err("bad checkpoint magic (not a v3 d-dimensional file)".to_string());
+        }
+        if raw[8] != FORMAT_VERSION3 {
+            return Err(format!("unsupported checkpoint format version {}", raw[8]));
+        }
+        let dim = u32::from_le_bytes(raw[9..13].try_into().unwrap()) as usize;
+        if dim == 0 || dim > MAX_DIM {
+            return Err(format!("absurd dimension {dim} in checkpoint header"));
+        }
+        let step = u64::from_le_bytes(raw[13..21].try_into().unwrap());
+        let header_len = HEADER3_FIXED + 4 * dim;
+        if raw.len() < header_len + 8 {
+            return Err(format!("truncated checkpoint ({} bytes; torn write?)", raw.len()));
+        }
+        let mut level = Vec::with_capacity(dim);
+        let mut points = 1u128;
+        for a in 0..dim {
+            let l = u32::from_le_bytes(raw[HEADER3_FIXED + 4 * a..][..4].try_into().unwrap());
+            if l > MAX_LEVEL {
+                return Err(format!("absurd level {l} on axis {a} in checkpoint header"));
+            }
+            points *= (1u128 << l) + 1;
+            level.push(l);
+        }
+        let expect = (header_len + 8) as u128 + 8 * points;
+        if raw.len() as u128 != expect {
+            return Err(format!(
+                "checkpoint payload size mismatch (have {}, header implies {expect})",
+                raw.len()
+            ));
+        }
+        let stored = u64::from_le_bytes(raw[raw.len() - 8..].try_into().unwrap());
+        let computed = crc64(&raw[..raw.len() - 8]);
+        if stored != computed {
+            return Err(format!(
+                "checkpoint checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ));
+        }
+        let mut values = Vec::with_capacity(points as usize);
+        for chunk in raw[header_len..raw.len() - 8].chunks_exact(8) {
+            values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        GridN::from_raw(&level, values).map(|grid| (step, grid))
+    }
+
+    /// Write a d-dimensional checkpoint. Same atomicity, corruption-strike
+    /// and retention semantics as [`CheckpointStore::write`]; v2 and v3
+    /// files share the per-grid filename namespace and are told apart by
+    /// magic at decode time.
+    pub fn write_nd(&self, grid_id: usize, step: u64, grid: &GridN) -> io::Result<usize> {
+        self.write_raw_nd(grid_id, step, grid.level(), grid.values())
+    }
+
+    /// Write a d-dimensional checkpoint from raw parts.
+    pub fn write_raw_nd(
+        &self,
+        grid_id: usize,
+        step: u64,
+        level: &[u32],
+        values: &[f64],
+    ) -> io::Result<usize> {
+        self.land(grid_id, step, Self::encode_nd(step, level, values))
+    }
+
+    /// Read the newest *valid* d-dimensional checkpoint of a grid,
+    /// falling back past corrupt, torn, or wrong-format files. The v3
+    /// sibling of [`CheckpointStore::read_latest_valid`].
+    pub fn read_latest_valid_nd(&self, grid_id: usize) -> io::Result<(Option<RestoredN>, usize)> {
+        let mut skipped = 0usize;
+        for (_, path) in self.candidates(grid_id)? {
+            let raw = match Self::read_file(&path) {
+                Ok(raw) => raw,
+                // Pruned from under us by a concurrent writer; not corrupt.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            match Self::decode_nd(&raw) {
                 Ok((step, grid)) => return Ok((Some((step, grid, raw.len())), skipped)),
                 Err(_) => skipped += 1,
             }
@@ -582,6 +731,86 @@ mod tests {
         assert!(restored.is_none());
         assert_eq!(skipped, 1);
         s.clear().unwrap();
+    }
+
+    // --- v3: d-dimensional checkpoints --------------------------------------
+
+    fn grid3() -> GridN {
+        GridN::from_fn(&[3, 2, 3], |x| (x[0] * 3.0).sin() - x[1] + 0.5 * x[2])
+    }
+
+    #[test]
+    fn nd_roundtrip_preserves_grid_and_step() {
+        let s = store();
+        let g = grid3();
+        let wrote = s.write_nd(2, 1234, &g).unwrap();
+        assert_eq!(wrote, HEADER3_FIXED + 4 * 3 + 8 + g.byte_size());
+        let (restored, skipped) = s.read_latest_valid_nd(2).unwrap();
+        let (step, back, read_bytes) = restored.unwrap();
+        assert_eq!(step, 1234);
+        assert_eq!(back.level(), g.level());
+        assert_eq!(back.values(), g.values());
+        assert_eq!(read_bytes, wrote);
+        assert_eq!(skipped, 0);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn nd_bit_flip_detected_and_fallback_past_it() {
+        let s = store();
+        let g = grid3();
+        s.write_nd(1, 10, &g).unwrap();
+        s.write_nd(1, 20, &g).unwrap();
+        let path = s.path(1, 20);
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x04; // one bit, length preserved
+        std::fs::write(&path, &raw).unwrap();
+        let (restored, skipped) = s.read_latest_valid_nd(1).unwrap();
+        let (step, _, _) = restored.expect("older valid checkpoint must be found");
+        assert_eq!(step, 10, "fallback must land on the older valid file");
+        assert_eq!(skipped, 1);
+        s.clear().unwrap();
+    }
+
+    #[test]
+    fn nd_absurd_header_rejected_before_size_math() {
+        // A corrupt v3 header with a huge dim or level must be rejected
+        // before any point-count computation can overflow.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC3);
+        buf.push(FORMAT_VERSION3);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd dim
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 12]);
+        let crc = crc64(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let err = CheckpointStore::decode_nd(&buf).unwrap_err();
+        assert!(err.contains("absurd dimension"), "got: {err}");
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC3);
+        buf.push(FORMAT_VERSION3);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        for l in [2u32, u32::MAX, 2u32] {
+            buf.extend_from_slice(&l.to_le_bytes());
+        }
+        let crc = crc64(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let err = CheckpointStore::decode_nd(&buf).unwrap_err();
+        assert!(err.contains("absurd level"), "got: {err}");
+    }
+
+    #[test]
+    fn nd_and_v2_formats_are_mutually_invalid() {
+        let v2 = CheckpointStore::encode(5, LevelPair::new(2, 2), &[0.0; 25]);
+        let err = CheckpointStore::decode_nd(&v2).unwrap_err();
+        assert!(err.contains("magic"), "got: {err}");
+        let g = GridN::from_fn(&[2, 2], |x| x[0] + x[1]);
+        let v3 = CheckpointStore::encode_nd(5, g.level(), g.values());
+        let err = CheckpointStore::decode(&v3).unwrap_err();
+        assert!(err.contains("magic"), "got: {err}");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use std::path::PathBuf;
 
+use advect2d::ndproblem::ProblemN;
 use advect2d::{AdvectionProblem, KernelConfig};
-use sparsegrid::Layout;
+use sparsegrid::{GridSystemN, Layout};
 use ulfm_sim::FaultPlan;
 
 use crate::checkpoint::CorruptionPlan;
@@ -103,6 +104,12 @@ pub struct AppConfig {
     pub ckpt_corruption: CorruptionPlan,
     /// The PDE being solved.
     pub problem: AdvectionProblem,
+    /// Spatial dimension of the run (2 = the tuned 2D fast path, the
+    /// bitwise reference; ≥ 3 routes through the d-dimensional driver).
+    pub dim: usize,
+    /// The d-dimensional PDE (`dim ≥ 3` only; `None` defaults to the
+    /// standard advection–diffusion instance in `dim` dimensions).
+    pub problem_nd: Option<ProblemN>,
     /// *Simulated* grid losses (the paper's Figs. 9 and 10 use non-real,
     /// simulated failures): at the final detection point, the data
     /// recovery path runs for these grids as if each had lost a process,
@@ -209,6 +216,8 @@ impl AppConfig {
             ckpt_async: true,
             ckpt_corruption: CorruptionPlan::none(),
             problem: AdvectionProblem::standard(),
+            dim: 2,
+            problem_nd: None,
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
             recovery_policy: RecoveryPolicy::Respawn,
@@ -219,6 +228,17 @@ impl AppConfig {
             cancel: None,
             observer: None,
         }
+    }
+
+    /// A small, fast d-dimensional configuration (3D chaos shape by
+    /// default: `d = 3, n = 4, l = 4`).
+    pub fn small_nd(technique: Technique, dim: usize) -> Self {
+        let mut cfg = AppConfig::small(technique);
+        cfg.dim = dim;
+        cfg.n = 4;
+        cfg.l = 4;
+        cfg.log2_steps = 4;
+        cfg
     }
 
     /// The paper's structural configuration (`l = 4`) at a reduced grid
@@ -237,6 +257,8 @@ impl AppConfig {
             ckpt_async: true,
             ckpt_corruption: CorruptionPlan::none(),
             problem: AdvectionProblem::standard(),
+            dim: 2,
+            problem_nd: None,
             simulated_lost_grids: Vec::new(),
             respawn_policy: RespawnPolicy::SameHost,
             recovery_policy: RecoveryPolicy::Respawn,
@@ -344,6 +366,50 @@ impl AppConfig {
         self
     }
 
+    /// Set the spatial dimension (≥ 3 routes through the nd driver).
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Replace the d-dimensional PDE (`dim ≥ 3` runs only).
+    pub fn with_problem_nd(mut self, problem: ProblemN) -> Self {
+        self.problem_nd = Some(problem);
+        self
+    }
+
+    /// The d-dimensional PDE this configuration solves (`dim ≥ 3`):
+    /// the explicit [`AppConfig::problem_nd`], or the standard
+    /// advection–diffusion instance in `dim` dimensions.
+    pub fn resolved_problem_nd(&self) -> ProblemN {
+        self.problem_nd.clone().unwrap_or_else(|| ProblemN::standard_advection(self.dim))
+    }
+
+    /// Validate the configuration at the application boundary, *before*
+    /// any layout or level-set construction can panic. This is where
+    /// user-supplied `(dim, n, l)` triples that would drive
+    /// `LevelSetN::truncated_simplex` (or the `dim as u32` / coefficient
+    /// arithmetic behind it) into a panic or overflow are turned into
+    /// plain config errors instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scale < 1 {
+            return Err(format!("process scale must be ≥ 1, got {}", self.scale));
+        }
+        GridSystemN::try_new(self.dim, self.n, self.l, self.technique.layout())?;
+        if self.dim >= 3 {
+            if let Some(p) = &self.problem_nd {
+                if p.dim() != self.dim {
+                    return Err(format!(
+                        "problem dimension {} does not match configured dim {}",
+                        p.dim(),
+                        self.dim
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of solver timesteps.
     pub fn steps(&self) -> u64 {
         1u64 << self.log2_steps
@@ -444,5 +510,46 @@ mod tests {
     #[test]
     fn ckpt_dirs_are_unique() {
         assert_ne!(default_ckpt_dir(), default_ckpt_dir());
+    }
+
+    #[test]
+    fn validate_rejects_bad_simplex_parameters_without_panicking() {
+        // Regression (satellite bugfix): these parameter triples used to
+        // reach `LevelSetN::truncated_simplex` and panic (or overflow the
+        // `dim as u32` / tau arithmetic) deep inside layout construction.
+        let ok = AppConfig::small_nd(Technique::CheckpointRestart, 3);
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.l = 1; // l < 2
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.n = 2; // n < l
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.dim = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.dim = usize::MAX; // would overflow `dim as u32`
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.n = u32::MAX; // tau = n + (d-1)m overflows
+        bad.l = 4;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.scale = 0;
+        assert!(bad.validate().is_err());
+        // Problem/dim mismatch is a config error, not a solver assert.
+        let mut bad = ok;
+        bad.problem_nd = Some(advect2d::ndproblem::ProblemN::standard_advection(4));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn resolved_problem_nd_defaults_to_advection() {
+        let cfg = AppConfig::small_nd(Technique::CheckpointRestart, 3);
+        assert_eq!(cfg.resolved_problem_nd().dim(), 3);
+        assert!(!cfg.resolved_problem_nd().is_elliptic());
+        let cfg = cfg.with_problem_nd(ProblemN::standard_elliptic(3));
+        assert!(cfg.resolved_problem_nd().is_elliptic());
     }
 }

@@ -202,7 +202,10 @@ pub fn binomial_combine(
 ) -> Result<Option<Grid2>> {
     let me = comm.rank();
     let my_idx = leaders.iter().position(|&r| r == me);
-    debug_assert_eq!(my_idx.is_some(), mine.is_some(), "partial iff leader");
+    // A non-leader never carries a partial. A leader normally does, but a
+    // retried round can arrive with its partial already consumed — that
+    // surfaces as `Error::Protocol` at the ship hop below, not an abort.
+    debug_assert!(my_idx.is_some() || mine.is_none(), "partial only on a leader");
     let n = leaders.len();
     let mut part = mine;
     if let (Some(i), Some(grid)) = (my_idx, part.as_mut()) {
@@ -240,7 +243,13 @@ pub fn binomial_combine(
         return Ok(if me == root { part } else { None });
     }
     if me == leaders[0] {
-        let grid = part.take().expect("reduction root holds the combined grid");
+        // The reduction root's partial can be missing if a failure landed
+        // mid-hop and a retried round consumed it; surface that as a
+        // recoverable protocol error so the caller's combine retry loop
+        // re-runs the round instead of aborting the process.
+        let grid = part.take().ok_or_else(|| {
+            Error::Protocol("reduction root's combined grid was consumed mid-round".into())
+        })?;
         comm.isend(ctx, root, tag, grid.values())?.wait(ctx)?;
         Ok(None)
     } else if me == root {

@@ -1,0 +1,378 @@
+//! Gather–scatter between distributed slabs and whole d-dimensional
+//! sub-grids — the nd sibling of [`crate::gather`].
+//!
+//! Each group's root gathers the member slabs into a full [`GridN`], the
+//! roots exchange grids (for combination or data recovery), and recovered
+//! grids are scattered back into member slabs. The tree combination
+//! mirrors [`crate::gather::binomial_combine`] hop for hop, including the
+//! recoverable [`ulfm_sim::Error::Protocol`] surface at the final-ship
+//! hop.
+
+use sparsegrid::ndgrid::advance;
+use sparsegrid::GridN;
+use ulfm_sim::{Comm, Ctx, Error, Result};
+
+use crate::layout_nd::GroupInfoN;
+use crate::psolve::block_range;
+
+/// Assemble a full periodic grid (with its duplicated seam planes) from
+/// per-member fundamental-domain slabs, ordered by group rank.
+pub fn assemble_grid_n(level: &[u32], info: &GroupInfoN, blocks: &[Vec<f64>]) -> Result<GridN> {
+    let d = level.len();
+    let np: Vec<usize> = level.iter().map(|&l| 1usize << l).collect();
+    if blocks.len() != info.size {
+        return Err(Error::InvalidArg(format!(
+            "assemble_grid_n: {} blocks for group of {}",
+            blocks.len(),
+            info.size
+        )));
+    }
+    let plane: usize = np[..d - 1].iter().product();
+    let mut grid = GridN::zeros(level);
+    for (local, block) in blocks.iter().enumerate() {
+        let (z0, lnz) = block_range(np[d - 1], info.size, local);
+        if block.len() != plane * lnz {
+            return Err(Error::InvalidArg(format!(
+                "assemble_grid_n: block {local} has {} values, expected {}",
+                block.len(),
+                plane * lnz
+            )));
+        }
+        // Slab values are row-major over the fundamental domain; copy
+        // node by node (the grid rows carry seam nodes, so runs differ).
+        let mut shape = np.clone();
+        shape[d - 1] = lnz;
+        let mut idx = vec![0usize; d];
+        let mut src = 0usize;
+        let mut dst = vec![0usize; d];
+        loop {
+            dst.copy_from_slice(&idx);
+            dst[d - 1] += z0;
+            *grid.at_mut(&dst) = block[src];
+            src += 1;
+            if !advance(&mut idx, &shape) {
+                break;
+            }
+        }
+    }
+    // Periodic seam pass per axis, mirroring `PaddedFieldN::store`:
+    // already-seamed axes range over the full extent, later axes stay
+    // below their seam, so corners come out consistent.
+    let gshape = grid.shape().to_vec();
+    for a in 0..d {
+        let mut span = gshape.clone();
+        span[a] = 1;
+        for s in span.iter_mut().skip(a + 1) {
+            *s -= 1;
+        }
+        let mut it = vec![0usize; d];
+        loop {
+            let mut dst = it.clone();
+            dst[a] = gshape[a] - 1;
+            let mut srcv = dst.clone();
+            srcv[a] = 0;
+            *grid.at_mut(&dst) = grid.at(&srcv);
+            if !advance(&mut it, &span) {
+                break;
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// Cut a full grid into the per-member slabs of a group (inverse of
+/// [`assemble_grid_n`]; the seams are dropped).
+pub fn split_grid_n(grid: &GridN, info: &GroupInfoN) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    split_grid_n_into(grid, info, &mut out);
+    out
+}
+
+/// [`split_grid_n`] into reused storage.
+pub fn split_grid_n_into(grid: &GridN, info: &GroupInfoN, out: &mut Vec<Vec<f64>>) {
+    let level = grid.level();
+    let d = level.len();
+    let np: Vec<usize> = level.iter().map(|&l| 1usize << l).collect();
+    out.resize_with(info.size, Vec::new);
+    out.truncate(info.size);
+    for (local, block) in out.iter_mut().enumerate() {
+        let (z0, lnz) = block_range(np[d - 1], info.size, local);
+        let mut shape = np.clone();
+        shape[d - 1] = lnz;
+        block.clear();
+        block.reserve(shape.iter().product());
+        let mut idx = vec![0usize; d];
+        let mut src = vec![0usize; d];
+        loop {
+            src.copy_from_slice(&idx);
+            src[d - 1] += z0;
+            block.push(grid.at(&src));
+            if !advance(&mut idx, &shape) {
+                break;
+            }
+        }
+    }
+}
+
+/// Collective over the group: gather member slabs to the group root.
+/// Returns `Some(grid)` on the root, `None` elsewhere.
+pub fn gather_grid_n(
+    ctx: &Ctx,
+    group: &Comm,
+    info: &GroupInfoN,
+    level: &[u32],
+    my_block: &[f64],
+) -> Result<Option<GridN>> {
+    match group.gather(ctx, 0, my_block)? {
+        Some(blocks) => Ok(Some(assemble_grid_n(level, info, &blocks)?)),
+        None => Ok(None),
+    }
+}
+
+/// Collective over the group: the root splits `grid` and scatters; every
+/// member receives its slab.
+pub fn scatter_grid_n(
+    ctx: &Ctx,
+    group: &Comm,
+    info: &GroupInfoN,
+    grid: Option<&GridN>,
+) -> Result<Vec<f64>> {
+    let parts = grid.map(|g| split_grid_n(g, info));
+    group.scatter(ctx, 0, parts.as_deref())
+}
+
+/// Send a whole grid over a communicator as two messages (level-vector
+/// header + payload). The dimension travels as the header length, so the
+/// pair works for any `d`. Pairs with [`recv_grid_n`].
+pub fn send_grid_n(ctx: &Ctx, comm: &Comm, dest: usize, tag: i32, grid: &GridN) -> Result<()> {
+    let header: Vec<u64> = grid.level().iter().map(|&l| l as u64).collect();
+    comm.send(ctx, dest, tag, &header)?;
+    comm.send(ctx, dest, tag, grid.values())
+}
+
+/// Receive a whole grid sent by [`send_grid_n`].
+pub fn recv_grid_n(ctx: &Ctx, comm: &Comm, src: usize, tag: i32) -> Result<GridN> {
+    let mut scratch = GridScratchN::default();
+    recv_grid_n_into(ctx, comm, src, tag, &mut scratch)
+}
+
+/// Reused receive buffers for [`recv_grid_n_into`].
+#[derive(Debug, Default)]
+pub struct GridScratchN {
+    header: Vec<u64>,
+    values: Vec<f64>,
+}
+
+/// [`recv_grid_n`] into reused scratch storage; the returned [`GridN`]
+/// takes the scratch value buffer.
+pub fn recv_grid_n_into(
+    ctx: &Ctx,
+    comm: &Comm,
+    src: usize,
+    tag: i32,
+    scratch: &mut GridScratchN,
+) -> Result<GridN> {
+    comm.recv_into(ctx, src, tag, &mut scratch.header)?;
+    if scratch.header.is_empty() {
+        return Err(Error::InvalidArg("recv_grid_n: empty level header".into()));
+    }
+    let level: Vec<u32> = scratch.header.iter().map(|&l| l as u32).collect();
+    comm.recv_into(ctx, src, tag, &mut scratch.values)?;
+    GridN::from_raw(&level, std::mem::take(&mut scratch.values)).map_err(Error::InvalidArg)
+}
+
+/// Binomial-tree reduction of per-leader partial grids, ending at world
+/// rank `root` — the d-dimensional twin of
+/// [`crate::gather::binomial_combine`], with the identical pairing,
+/// per-receiver addition order, and recoverable `Error::Protocol` at the
+/// final-ship hop. The reduced grid is **bitwise equal** to
+/// [`sparsegrid::combine_binomial_nd`] for the same ordered term list.
+#[allow(clippy::too_many_arguments)]
+pub fn binomial_combine_n(
+    ctx: &Ctx,
+    comm: &Comm,
+    leaders: &[usize],
+    root: usize,
+    target: &[u32],
+    mine: Option<GridN>,
+    scratch: &mut Vec<f64>,
+    tag: i32,
+) -> Result<Option<GridN>> {
+    let me = comm.rank();
+    let my_idx = leaders.iter().position(|&r| r == me);
+    debug_assert!(my_idx.is_some() || mine.is_none(), "partial only on a leader");
+    let n = leaders.len();
+    let mut part = mine;
+    if let (Some(i), Some(grid)) = (my_idx, part.as_mut()) {
+        let mut stride = 1;
+        while stride < n {
+            if i % (2 * stride) == stride {
+                comm.isend(ctx, leaders[i - stride], tag, grid.values())?.wait(ctx)?;
+                part = None;
+                break;
+            }
+            if i % (2 * stride) == 0 && i + stride < n {
+                comm.irecv_into(ctx, leaders[i + stride], tag, scratch)?.wait(ctx)?;
+                let vals = grid.values_mut();
+                if scratch.len() != vals.len() {
+                    return Err(Error::InvalidArg(format!(
+                        "tree combine: hop payload of {} values, expected {}",
+                        scratch.len(),
+                        vals.len()
+                    )));
+                }
+                for (a, b) in vals.iter_mut().zip(scratch.iter()) {
+                    *a += *b;
+                }
+                ctx.compute_cells(vals.len() as u64);
+            }
+            stride *= 2;
+        }
+    }
+    if n == 0 {
+        return Ok(None);
+    }
+    if leaders[0] == root {
+        return Ok(if me == root { part } else { None });
+    }
+    if me == leaders[0] {
+        let grid = part.take().ok_or_else(|| {
+            Error::Protocol("reduction root's combined grid was consumed mid-round".into())
+        })?;
+        comm.isend(ctx, root, tag, grid.values())?.wait(ctx)?;
+        Ok(None)
+    } else if me == root {
+        comm.irecv_into(ctx, leaders[0], tag, scratch)?.wait(ctx)?;
+        GridN::from_raw(target, std::mem::take(scratch)).map(Some).map_err(Error::InvalidArg)
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsegrid::{combine_binomial_nd, combine_onto_nd, CombinationTermN};
+
+    fn info(size: usize) -> GroupInfoN {
+        GroupInfoN { grid: 0, first: 0, size }
+    }
+
+    /// A periodic-consistent grid (seams equal node 0 of each axis).
+    fn periodic_grid(level: &[u32]) -> GridN {
+        let np: Vec<usize> = level.iter().map(|&l| 1usize << l).collect();
+        GridN::from_fn(level, move |x| {
+            let mut v = 0.0;
+            for (i, &xi) in x.iter().enumerate() {
+                // Wrap the seam coordinate back to 0 so the sample is
+                // exactly periodic on the nodal lattice.
+                let w = if (xi - 1.0).abs() < 1e-12 { 0.0 } else { xi };
+                v += (w * np[i] as f64) * (i + 1) as f64;
+            }
+            (v * 0.37).sin()
+        })
+    }
+
+    #[test]
+    fn assemble_split_roundtrip() {
+        let level = [3u32, 2, 3];
+        let grid = periodic_grid(&level);
+        for size in [1, 2, 3, 5] {
+            let g = info(size);
+            let blocks = split_grid_n(&grid, &g);
+            assert_eq!(blocks.len(), size);
+            let back = assemble_grid_n(&level, &g, &blocks).unwrap();
+            assert_eq!(back, grid, "roundtrip at {size} slabs");
+        }
+    }
+
+    #[test]
+    fn assemble_validates_shapes() {
+        let level = [2u32, 2, 2];
+        let g = info(2);
+        assert!(assemble_grid_n(&level, &g, &[vec![0.0; 32]]).is_err()); // too few blocks
+        let bad = vec![vec![0.0; 31], vec![0.0; 32]];
+        assert!(assemble_grid_n(&level, &g, &bad).is_err()); // wrong block size
+    }
+
+    #[test]
+    fn gather_scatter_over_runtime() {
+        use ulfm_sim::{run, RunConfig};
+        let level = [2u32, 2, 3];
+        let grid = periodic_grid(&level);
+        let report = run(RunConfig::local(4), move |ctx| {
+            let w = ctx.initial_world().unwrap();
+            let g = info(4);
+            let block = split_grid_n(&grid, &g)[w.rank()].clone();
+            let gathered = gather_grid_n(ctx, &w, &g, &level, &block).unwrap();
+            if w.rank() == 0 {
+                let full = gathered.unwrap();
+                assert_eq!(full, grid);
+                let mine = scatter_grid_n(ctx, &w, &g, Some(&full)).unwrap();
+                assert_eq!(mine, block);
+            } else {
+                assert!(gathered.is_none());
+                let mine = scatter_grid_n(ctx, &w, &g, None).unwrap();
+                assert_eq!(mine, block);
+            }
+            ctx.report_add("ok", 1.0);
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("ok"), Some(4.0));
+    }
+
+    #[test]
+    fn send_recv_grid_over_runtime() {
+        use ulfm_sim::{run, RunConfig};
+        let report = run(RunConfig::local(2), |ctx| {
+            let w = ctx.initial_world().unwrap();
+            if w.rank() == 0 {
+                let g = GridN::from_fn(&[3, 2, 2], |x| x[0] - x[1] + 2.0 * x[2]);
+                send_grid_n(ctx, &w, 1, 55, &g).unwrap();
+            } else {
+                let g = recv_grid_n(ctx, &w, 0, 55).unwrap();
+                assert_eq!(g.level(), &[3, 2, 2]);
+                assert!((g.eval(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+                ctx.report_f64("ok", 1.0);
+            }
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("ok"), Some(1.0));
+    }
+
+    #[test]
+    fn tree_combine_matches_serial_reference_bitwise() {
+        use ulfm_sim::{run, RunConfig};
+        const WORLD: usize = 5;
+        let target = vec![2u32, 2, 2];
+        let report = run(RunConfig::local(WORLD), move |ctx| {
+            let w = ctx.initial_world().unwrap();
+            let myval = (w.rank() + 1) as f64;
+            let src = GridN::from_fn(&target, |x| myval * (1.0 + x[0] + 2.0 * x[1] - x[2]));
+            let term = CombinationTermN { coeff: 1.0, grid: &src };
+            let part = combine_onto_nd(&target, std::slice::from_ref(&term));
+            let leaders: Vec<usize> = (0..WORLD).collect();
+            let mut scratch = Vec::new();
+            let combined =
+                binomial_combine_n(ctx, &w, &leaders, 0, &target, Some(part), &mut scratch, 42)
+                    .unwrap();
+            if w.rank() == 0 {
+                let srcs: Vec<GridN> = (0..WORLD)
+                    .map(|r| {
+                        let v = (r + 1) as f64;
+                        GridN::from_fn(&target, move |x| v * (1.0 + x[0] + 2.0 * x[1] - x[2]))
+                    })
+                    .collect();
+                let terms: Vec<CombinationTermN> =
+                    srcs.iter().map(|g| CombinationTermN { coeff: 1.0, grid: g }).collect();
+                let oracle = combine_binomial_nd(&target, &terms);
+                assert_eq!(combined.unwrap(), oracle, "tree must match serial bitwise");
+                ctx.report_add("verified", 1.0);
+            } else {
+                assert!(combined.is_none());
+            }
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("verified"), Some(1.0));
+    }
+}

@@ -21,17 +21,22 @@
 //!   measure the error against the analytic solution.
 
 pub mod app;
+pub mod app_nd;
 pub mod checkpoint;
 pub mod ckpt_async;
 pub mod config;
 pub mod detect;
 pub mod gather;
+pub mod gather_nd;
 pub mod layout;
+pub mod layout_nd;
 pub mod output;
 pub mod policy;
 pub mod psolve;
+pub mod psolve_nd;
 pub mod reconstruct;
 pub mod recovery;
+pub mod recovery_nd;
 pub mod tags;
 pub mod timeline;
 
@@ -40,7 +45,9 @@ pub use checkpoint::{CheckpointStore, CorruptKind, CorruptionPlan, CorruptionStr
 pub use ckpt_async::AsyncCheckpointer;
 pub use config::{AppConfig, CombineMode, Technique};
 pub use layout::{Assignment, GroupInfo, ProcLayout};
+pub use layout_nd::{AssignmentN, GroupInfoN, ProcLayoutN};
 pub use policy::RecoveryPolicy;
+pub use psolve_nd::DistributedSolverN;
 pub use reconstruct::{
     communicator_reconstruct, communicator_reconstruct_with, deferred_epoch_repair,
     detect_and_repair, repair_comm, repair_comm_with, ReconstructTimings, RespawnPolicy,

@@ -1,0 +1,441 @@
+//! The distributed d-dimensional solver: one process group per sub-grid,
+//! slab decomposition along the last axis, plane halo exchange over the
+//! simulated MPI runtime.
+//!
+//! The periodic fundamental domain of sub-grid `l` has `∏ 2^{l_i}`
+//! distinct nodes. Each group member owns a contiguous run of hyperplanes
+//! along the last axis inside a one-cell halo-padded buffer; a step wraps
+//! the transverse axes periodically (the slab owns them entirely), then
+//! exchanges the two boundary planes with the ring neighbours — each one
+//! contiguous slice of the padded buffer — and applies the point kernel.
+//! Like the 2D [`crate::psolve::DistributedSolver`], the overlapped
+//! [`step`](DistributedSolverN::step) computes the deep interior while
+//! the planes fly and is **bitwise equal** to the blocking reference
+//! [`step_blocking`](DistributedSolverN::step_blocking), which in turn is
+//! bitwise equal to the single-owner [`advect2d::ndsolve::SolverN`].
+
+use advect2d::ndfield::PaddedFieldN;
+use advect2d::ndproblem::ProblemN;
+use advect2d::ndsolve::{jacobi_kernel, upwind_diffusion_kernel, UpwindDiffusionCoefN};
+use sparsegrid::ndgrid::advance;
+use sparsegrid::LevelVecN;
+use ulfm_sim::{waitall, Comm, Ctx, Result};
+
+use crate::layout_nd::GroupInfoN;
+use crate::psolve::block_range;
+
+/// Halo-plane message tags (distinct from the 2D solver's 101–104 only
+/// for readability; the comms never share a communicator).
+const TAG_UP: i32 = 111;
+const TAG_DOWN: i32 = 112;
+
+/// The boxed point-update kernel a slab applies at each padded offset
+/// (upwind–diffusion or Jacobi, chosen by the problem class).
+type PointKernel = Box<dyn Fn(&[f64], usize) -> f64 + Send>;
+
+/// One rank's share of a distributed d-dimensional sub-grid solve.
+pub struct DistributedSolverN {
+    problem: ProblemN,
+    level: LevelVecN,
+    dt: f64,
+    size: usize,
+    slab: usize,
+    z0: usize,
+    lnz: usize,
+    field: PaddedFieldN,
+    kernel: PointKernel,
+    recv_lo: Vec<f64>,
+    recv_hi: Vec<f64>,
+    steps_done: u64,
+}
+
+/// Sample the problem's right-hand side into the padded offset space of
+/// a slab field whose last axis starts at global plane `z0`. At `z0 = 0`
+/// with a full-extent slab this reproduces
+/// [`advect2d::ndsolve::padded_rhs`] exactly.
+fn padded_rhs_slab(problem: &ProblemN, field: &PaddedFieldN, z0: usize, np: &[usize]) -> Vec<f64> {
+    let d = field.dim();
+    let shape = field.shape().to_vec();
+    let mut rhs = vec![0.0; field.padded().len()];
+    let mut idx = vec![0usize; d];
+    loop {
+        let off: usize = idx.iter().zip(field.pstrides()).map(|(&k, &s)| (k + 1) * s).sum();
+        let x: Vec<f64> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let g = if i == d - 1 { k + z0 } else { k };
+                g as f64 / np[i] as f64
+            })
+            .collect();
+        rhs[off] = problem.rhs(&x);
+        if !advance(&mut idx, &shape) {
+            return rhs;
+        }
+    }
+}
+
+impl DistributedSolverN {
+    /// Initialize this rank's slab from the problem's initial condition.
+    pub fn new(
+        problem: ProblemN,
+        level: &[u32],
+        dt: f64,
+        info: &GroupInfoN,
+        local_rank: usize,
+    ) -> Self {
+        assert!(local_rank < info.size, "local rank {local_rank} beyond group {info:?}");
+        assert_eq!(problem.dim(), level.len(), "problem/level dimension mismatch");
+        let d = level.len();
+        let np: Vec<usize> = level.iter().map(|&l| 1usize << l).collect();
+        let (z0, lnz) = block_range(np[d - 1], info.size, local_rank);
+        assert!(lnz >= 1, "empty slab: {info:?} rank {local_rank}");
+        let mut shape = np.clone();
+        shape[d - 1] = lnz;
+        let field = PaddedFieldN::new(&shape);
+        let pstride = field.pstrides().to_vec();
+        let h: Vec<f64> = np.iter().map(|&n| 1.0 / n as f64).collect();
+        let kernel: PointKernel = if problem.is_elliptic() {
+            let inv_h2: Vec<f64> = h.iter().map(|hi| 1.0 / (hi * hi)).collect();
+            let rhs = padded_rhs_slab(&problem, &field, z0, &np);
+            Box::new(jacobi_kernel(inv_h2, pstride, rhs))
+        } else {
+            let coef = UpwindDiffusionCoefN::new(&problem, &h, dt);
+            Box::new(upwind_diffusion_kernel(coef, pstride))
+        };
+        let mut s = DistributedSolverN {
+            problem,
+            level: level.to_vec(),
+            dt,
+            size: info.size,
+            slab: local_rank,
+            z0,
+            lnz,
+            field,
+            kernel,
+            recv_lo: Vec::new(),
+            recv_hi: Vec::new(),
+            steps_done: 0,
+        };
+        s.reset_to_initial();
+        s
+    }
+
+    /// Refill the slab from the initial condition and rewind the step
+    /// counter.
+    pub fn reset_to_initial(&mut self) {
+        let d = self.level.len();
+        let np: Vec<f64> = self.level.iter().map(|&l| (1usize << l) as f64).collect();
+        let z0 = self.z0;
+        let shape = self.field.shape().to_vec();
+        let pstride = self.field.pstrides().to_vec();
+        let mut idx = vec![0usize; d];
+        let mut x = vec![0.0f64; d];
+        loop {
+            for i in 0..d {
+                let g = if i == d - 1 { idx[i] + z0 } else { idx[i] };
+                x[i] = g as f64 / np[i];
+            }
+            let off: usize = idx.iter().zip(&pstride).map(|(&k, &s)| (k + 1) * s).sum();
+            self.field.padded_mut()[off] = self.problem.initial(&x);
+            if !advance(&mut idx, &shape) {
+                break;
+            }
+        }
+        self.steps_done = 0;
+    }
+
+    /// Interior cells of one hyperplane (the transverse extent).
+    fn plane_cells(&self) -> usize {
+        self.field.shape()[..self.field.dim() - 1].iter().product()
+    }
+
+    /// Advance one timestep with communication–computation overlap: wrap
+    /// the transverse halo, post the two boundary-plane sends and halo
+    /// receives nonblocking, compute the deep interior planes while they
+    /// fly, complete and install the halo planes, then compute the two
+    /// boundary planes. Every cell evaluates the exact expression of
+    /// [`step_blocking`](Self::step_blocking) in a different order of
+    /// disjoint plane ranges, so the result is **bitwise equal**.
+    ///
+    /// Errors with `ProcFailed` if a ring partner has died — all posted
+    /// requests are driven to completion by `waitall` first, so a
+    /// mid-step death surfaces uniformly and never wedges a survivor.
+    pub fn step(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
+        let lnz = self.lnz;
+        let plane_cells = self.plane_cells();
+        let up = (self.slab + 1) % self.size;
+        let down = (self.slab + self.size - 1) % self.size;
+        self.field.wrap_transverse_halo();
+        let DistributedSolverN { field, kernel, recv_lo, recv_hi, .. } = self;
+        // Eager sends copy at post time, so the field stays free for the
+        // stencil while the requests are in flight.
+        let mut reqs = [
+            group.isend(ctx, up, TAG_UP, field.plane(lnz))?,
+            group.isend(ctx, down, TAG_DOWN, field.plane(1))?,
+            group.irecv_into(ctx, down, TAG_UP, recv_lo)?,
+            group.irecv_into(ctx, up, TAG_DOWN, recv_hi)?,
+        ];
+        // Deep interior planes need no external halo.
+        if lnz > 2 {
+            field.step_planes(1, lnz - 1, &**kernel);
+        }
+        ctx.compute_step_cells((plane_cells * lnz.saturating_sub(2)) as u64);
+        waitall(ctx, &mut reqs)?;
+        debug_assert_eq!(recv_lo.len(), field.plane_len());
+        debug_assert_eq!(recv_hi.len(), field.plane_len());
+        let lo = std::mem::take(recv_lo);
+        let hi = std::mem::take(recv_hi);
+        field.set_plane(0, &lo);
+        field.set_plane(lnz + 1, &hi);
+        *recv_lo = lo;
+        *recv_hi = hi;
+        // Boundary planes complete the cover.
+        field.step_planes(0, 1, &**kernel);
+        if lnz > 1 {
+            field.step_planes(lnz - 1, lnz, &**kernel);
+        }
+        ctx.compute_step_cells((plane_cells * lnz.min(2)) as u64);
+        field.commit_step();
+        self.steps_done += 1;
+        Ok(())
+    }
+
+    /// The blocking reference step (halo exchange, then the whole
+    /// stencil): kept in-tree as the bitwise oracle for
+    /// [`step`](Self::step).
+    pub fn step_blocking(&mut self, ctx: &Ctx, group: &Comm) -> Result<()> {
+        let lnz = self.lnz;
+        let up = (self.slab + 1) % self.size;
+        let down = (self.slab + self.size - 1) % self.size;
+        self.field.wrap_transverse_halo();
+        let DistributedSolverN { field, kernel, recv_lo, recv_hi, .. } = self;
+        let n = group.sendrecv_into(ctx, up, TAG_UP, field.plane(lnz), down, TAG_UP, recv_lo)?;
+        debug_assert_eq!(n, field.plane_len());
+        let n = group.sendrecv_into(ctx, down, TAG_DOWN, field.plane(1), up, TAG_DOWN, recv_hi)?;
+        debug_assert_eq!(n, field.plane_len());
+        let lo = std::mem::take(recv_lo);
+        let hi = std::mem::take(recv_hi);
+        field.set_plane(0, &lo);
+        field.set_plane(lnz + 1, &hi);
+        *recv_lo = lo;
+        *recv_hi = hi;
+        field.step_planes(0, lnz, &**kernel);
+        field.commit_step();
+        ctx.compute_step_cells((self.plane_cells() * lnz) as u64);
+        self.steps_done += 1;
+        Ok(())
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, ctx: &Ctx, group: &Comm, n: u64) -> Result<()> {
+        for _ in 0..n {
+            self.step(ctx, group)?;
+        }
+        Ok(())
+    }
+
+    /// The owned interior slab, row-major with axis 0 fastest.
+    pub fn local_block(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.local_block_into(&mut out);
+        out
+    }
+
+    /// Copy the owned interior slab into a reused buffer (cleared first).
+    pub fn local_block_into(&self, out: &mut Vec<f64>) {
+        let shape = self.field.shape();
+        let d = shape.len();
+        let pstride = self.field.pstrides();
+        let n0 = shape[0];
+        out.clear();
+        out.reserve(shape.iter().product());
+        // Axis-0 runs are contiguous in the padded buffer.
+        let mut rows = shape[1..].to_vec();
+        if rows.is_empty() {
+            rows.push(1);
+        }
+        let mut idx = vec![0usize; rows.len()];
+        let padded = self.field.padded();
+        loop {
+            let mut off = pstride[0]; // interior start on axis 0
+            for i in 0..idx.len().min(d - 1) {
+                off += (idx[i] + 1) * pstride[i + 1];
+            }
+            out.extend_from_slice(&padded[off..off + n0]);
+            if !advance(&mut idx, &rows) {
+                return;
+            }
+        }
+    }
+
+    /// Overwrite the owned slab (data recovery path) and set the step
+    /// counter to `steps_done`.
+    pub fn load_block(&mut self, values: &[f64], steps_done: u64) {
+        let shape = self.field.shape().to_vec();
+        let d = shape.len();
+        let total: usize = shape.iter().product();
+        assert_eq!(values.len(), total, "slab size mismatch");
+        let pstride = self.field.pstrides().to_vec();
+        let n0 = shape[0];
+        let mut rows = shape[1..].to_vec();
+        if rows.is_empty() {
+            rows.push(1);
+        }
+        let mut idx = vec![0usize; rows.len()];
+        let mut src = 0usize;
+        let padded = self.field.padded_mut();
+        loop {
+            let mut off = pstride[0];
+            for i in 0..idx.len().min(d - 1) {
+                off += (idx[i] + 1) * pstride[i + 1];
+            }
+            padded[off..off + n0].copy_from_slice(&values[src..src + n0]);
+            src += n0;
+            if !advance(&mut idx, &rows) {
+                break;
+            }
+        }
+        self.steps_done = steps_done;
+    }
+
+    /// Slab geometry: `(z0, lnz)` in fundamental-domain planes along the
+    /// last axis.
+    pub fn block_geometry(&self) -> (usize, usize) {
+        (self.z0, self.lnz)
+    }
+
+    /// Steps taken so far.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// The sub-grid level vector.
+    pub fn level(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// The fixed timestep.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The PDE.
+    pub fn problem(&self) -> &ProblemN {
+        &self.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advect2d::ndsolve::SolverN;
+    use ulfm_sim::{run, RunConfig};
+
+    /// Fundamental-domain values of a single-owner solve, row-major with
+    /// axis 0 fastest (seam nodes excluded) — the oracle layout
+    /// [`DistributedSolverN::local_block`] uses.
+    fn fundamental(s: &SolverN) -> Vec<f64> {
+        let g = s.grid();
+        let shape: Vec<usize> = g.shape().iter().map(|&n| n - 1).collect();
+        let mut out = Vec::with_capacity(shape.iter().product());
+        let mut idx = vec![0usize; shape.len()];
+        loop {
+            out.push(g.at(&idx));
+            if !advance(&mut idx, &shape) {
+                return out;
+            }
+        }
+    }
+
+    fn distributed_matches_serial(problem: ProblemN, level: Vec<u32>, world: usize, steps: u64) {
+        let report = run(RunConfig::local(world), move |ctx| {
+            let w = ctx.initial_world().unwrap();
+            let info = GroupInfoN { grid: 0, first: 0, size: world };
+            let mut ds = DistributedSolverN::new(problem.clone(), &level, 0.002, &info, w.rank());
+            ds.run(ctx, &w, steps).unwrap();
+            // Blocking reference runs beside it in the same group (tags
+            // are quiescent between steps, so reuse is safe).
+            let mut db = DistributedSolverN::new(problem.clone(), &level, 0.002, &info, w.rank());
+            for _ in 0..steps {
+                db.step_blocking(ctx, &w).unwrap();
+            }
+            assert_eq!(
+                ds.local_block(),
+                db.local_block(),
+                "overlapped step must equal the blocking reference bitwise"
+            );
+            // Serial single-owner oracle.
+            let mut serial = SolverN::new(problem.clone(), &level, 0.002);
+            serial.run(steps);
+            let all = fundamental(&serial);
+            let (z0, lnz) = ds.block_geometry();
+            let plane: usize = level[..level.len() - 1].iter().map(|&l| 1usize << l).product();
+            let want = &all[z0 * plane..(z0 + lnz) * plane];
+            assert_eq!(
+                ds.local_block(),
+                want,
+                "rank {} slab must equal the serial oracle bitwise",
+                w.rank()
+            );
+            ctx.report_add("ok", 1.0);
+        });
+        report.assert_no_app_errors();
+        assert_eq!(report.get_f64("ok"), Some(world as f64));
+    }
+
+    #[test]
+    fn single_rank_advection_matches_serial_bitwise() {
+        distributed_matches_serial(ProblemN::standard_advection(3), vec![3, 2, 3], 1, 5);
+    }
+
+    #[test]
+    fn multi_rank_advection_matches_serial_bitwise() {
+        distributed_matches_serial(ProblemN::standard_advection(3), vec![2, 2, 3], 4, 6);
+    }
+
+    #[test]
+    fn uneven_slabs_match_serial_bitwise() {
+        // nz = 8 over 3 slabs → sizes 2/3/3.
+        distributed_matches_serial(ProblemN::standard_advection(3), vec![2, 1, 3], 3, 4);
+    }
+
+    #[test]
+    fn elliptic_jacobi_matches_serial_bitwise() {
+        distributed_matches_serial(ProblemN::standard_elliptic(3), vec![2, 2, 2], 2, 8);
+    }
+
+    #[test]
+    fn local_block_roundtrip() {
+        let info = GroupInfoN { grid: 0, first: 0, size: 1 };
+        let p = ProblemN::standard_advection(3);
+        let mut s = DistributedSolverN::new(p, &[2, 2, 2], 0.01, &info, 0);
+        let block = s.local_block();
+        assert_eq!(block.len(), 64);
+        let mut modified = block.clone();
+        modified[10] = 99.0;
+        s.load_block(&modified, 7);
+        assert_eq!(s.local_block()[10], 99.0);
+        assert_eq!(s.steps_done(), 7);
+    }
+
+    #[test]
+    fn initial_slab_matches_ic() {
+        let info = GroupInfoN { grid: 0, first: 0, size: 4 };
+        let p = ProblemN::standard_advection(3);
+        let s = DistributedSolverN::new(p.clone(), &[2, 2, 4], 0.01, &info, 3);
+        let (z0, lnz) = s.block_geometry();
+        assert_eq!((z0, lnz), (12, 4));
+        let block = s.local_block();
+        let mut i = 0;
+        for z in 0..lnz {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let pt = [x as f64 / 4.0, y as f64 / 4.0, (z0 + z) as f64 / 16.0];
+                    assert!((block[i] - p.initial(&pt)).abs() < 1e-15, "at {pt:?}");
+                    i += 1;
+                }
+            }
+        }
+    }
+}

@@ -38,8 +38,24 @@ pub struct TagSpace {
 }
 
 impl TagSpace {
+    /// The largest grid count the seven regions can hold without the
+    /// last region's tags (`TAG_BASE + 6·stride + grid_id`) overflowing
+    /// `i32`. Truncated 3D simplices grow grid counts far beyond the 2D
+    /// sweeps this module was sized for, so the bound is enforced rather
+    /// than assumed: a count above it used to wrap `n_grids as i32` and
+    /// silently collide regions.
+    pub const MAX_GRIDS: usize = ((i32::MAX - TAG_BASE) / 7) as usize;
+
     /// Tag regions wide enough for `n_grids` combining grids.
+    ///
+    /// Panics (loudly, instead of colliding silently) if `n_grids`
+    /// exceeds [`TagSpace::MAX_GRIDS`].
     pub fn for_grids(n_grids: usize) -> Self {
+        assert!(
+            n_grids <= Self::MAX_GRIDS,
+            "{n_grids} grids exceed the i32 tag space ({} max)",
+            Self::MAX_GRIDS
+        );
         let stride = (n_grids as i32).max(MIN_STRIDE);
         let base = |k: i32| TAG_BASE + k * stride;
         TagSpace {
@@ -57,6 +73,11 @@ impl TagSpace {
     pub fn for_layout(layout: &ProcLayout) -> Self {
         Self::for_grids(layout.system().n_grids())
     }
+
+    /// Tag regions sized for a d-dimensional process layout.
+    pub fn for_layout_nd(layout: &crate::layout_nd::ProcLayoutN) -> Self {
+        Self::for_grids(layout.system().n_grids())
+    }
 }
 
 #[cfg(test)]
@@ -71,6 +92,45 @@ mod tests {
     fn small_systems_keep_legacy_spacing() {
         let t = TagSpace::for_grids(12);
         assert_eq!(regions(&t), [7000, 7500, 8000, 8500, 9000, 9500, 10000]);
+    }
+
+    fn assert_disjoint(t: &TagSpace, n: usize) {
+        let r = regions(t);
+        for (a, &base_a) in r.iter().enumerate() {
+            for &base_b in r.iter().skip(a + 1) {
+                let (lo_a, hi_a) = (base_a, base_a.checked_add(n as i32).unwrap());
+                let (lo_b, hi_b) = (base_b, base_b.checked_add(n as i32).unwrap());
+                assert!(
+                    hi_a <= lo_b || hi_b <= lo_a,
+                    "regions [{lo_a},{hi_a}) and [{lo_b},{hi_b}) overlap at {n} grids"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regions_stay_disjoint_at_realistic_3d_grid_counts() {
+        // Actual truncated-3D-simplex systems, not synthetic counts: the
+        // chaos shape, a paper-scale system, and a deep-combination sweep
+        // whose RC layout roughly doubles the top layer.
+        use sparsegrid::{GridSystemN, Layout};
+        for (dim, n, l) in [(3usize, 4u32, 4u32), (3, 8, 6), (3, 13, 10), (4, 9, 7)] {
+            for layout in [Layout::Plain, Layout::Duplicates, Layout::ExtraLayers] {
+                let sys = GridSystemN::new(dim, n, l, layout);
+                let count = sys.n_grids();
+                let t = TagSpace::for_grids(count);
+                assert_disjoint(&t, count);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_counts_beyond_the_tag_space_fail_loudly() {
+        // `n_grids as i32` used to wrap for gigantic counts and produce
+        // colliding (or negative) strides; now it must panic instead.
+        assert!(TagSpace::for_grids(TagSpace::MAX_GRIDS).tree > 0);
+        let huge = TagSpace::MAX_GRIDS + 1;
+        assert!(std::panic::catch_unwind(|| TagSpace::for_grids(huge)).is_err());
     }
 
     #[test]

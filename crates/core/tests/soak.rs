@@ -68,6 +68,8 @@ fn soak_random_failures_all_techniques() {
             ckpt_async: true,
             ckpt_corruption: Default::default(),
             problem: advect2d::AdvectionProblem::standard(),
+            dim: 2,
+            problem_nd: None,
             simulated_lost_grids: Vec::new(),
             respawn_policy: Default::default(),
             recovery_policy: Default::default(),

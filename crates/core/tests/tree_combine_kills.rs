@@ -117,3 +117,135 @@ fn two_leaders_die_in_same_tree() {
     ]);
     check(plan, 2);
 }
+
+/// Variant where `leaders[0] != root`: rank 0 is a pure controller and
+/// the leaders are ranks `1..size`, so every attempt exercises the
+/// final-ship hop (`leaders[0]` → root) — the hop whose missing-partial
+/// case used to abort via `expect` instead of returning a recoverable
+/// error.
+fn run_ship_script(plan: FaultPlan) -> Report {
+    run(RunConfig::local(WORLD), move |ctx| {
+        let w0 = ctx.initial_world().unwrap();
+        ctx.arm_fault_sites(&plan, w0.rank());
+        let myval = (w0.rank() + 1) as f64;
+        let target = LevelPair::new(3, 3);
+        let mut comm = w0;
+        let mut attempts = 0u32;
+        let mut scratch: Vec<f64> = Vec::new();
+        loop {
+            attempts += 1;
+            assert!(attempts <= 6, "ship retry did not converge");
+            let res = (|| -> ulfm_sim::Result<()> {
+                let leaders: Vec<usize> = (1..comm.size()).collect();
+                let part = if leaders.contains(&comm.rank()) {
+                    let src = source(target, myval);
+                    let term = CombinationTerm { coeff: 1.0, grid: &src };
+                    Some(combine_onto(target, std::slice::from_ref(&term)))
+                } else {
+                    None
+                };
+                let combined =
+                    binomial_combine(ctx, &comm, &leaders, 0, target, part, &mut scratch, 42)?;
+                let vals = comm.gather(ctx, 0, &[myval])?;
+                if let Some(vals) = vals {
+                    let flat: Vec<f64> = vals.into_iter().flatten().collect();
+                    // Terms in leader order: every rank but the controller.
+                    let srcs: Vec<Grid2> = flat[1..].iter().map(|&v| source(target, v)).collect();
+                    let terms: Vec<CombinationTerm> =
+                        srcs.iter().map(|g| CombinationTerm { coeff: 1.0, grid: g }).collect();
+                    let oracle = combine_binomial(target, &terms);
+                    let combined = combined.expect("root received the shipped grid");
+                    assert_eq!(combined, oracle, "shipped combine must match the reference");
+                    ctx.report_add("verified", 1.0);
+                }
+                Ok(())
+            })();
+            match res {
+                Ok(()) => break,
+                Err(Error::ProcFailed { .. }) | Err(Error::Revoked) | Err(Error::Protocol(_)) => {
+                    comm.revoke(ctx);
+                    comm = comm.shrink(ctx).expect("shrink after failure");
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        ctx.report_add("done", 1.0);
+    })
+}
+
+fn check_ship(plan: FaultPlan, expect_failed: usize) {
+    let report = run_ship_script(plan);
+    report.assert_no_app_errors();
+    assert_eq!(report.procs_failed, expect_failed, "wrong number of deaths");
+    assert_eq!(report.get_f64("done"), Some((WORLD - expect_failed) as f64));
+    assert_eq!(report.get_f64("verified"), Some(1.0), "exactly one verified combination");
+}
+
+#[test]
+fn healthy_ship_matches_serial_reference() {
+    check_ship(FaultPlan::none(), 0);
+}
+
+#[test]
+fn kill_final_ship_leader_at_every_send_hop() {
+    // Leaders [1,2,3,4]: rank 1 receives from 2 (round 1) and 3 (round
+    // 2), then ships to root 0 — its only isend IS the final-ship hop.
+    check_ship(FaultPlan::at_site(1, FaultSite::Op { kind: OpClass::Isend, nth: 0 }), 1);
+}
+
+#[test]
+fn kill_final_ship_leader_at_every_wait_hop() {
+    // Rank 1 waits three times: two recv-hop waits, then the ship wait.
+    for nth in 0..3 {
+        check_ship(FaultPlan::at_site(1, FaultSite::Op { kind: OpClass::Wait, nth }), 1);
+    }
+}
+
+#[test]
+fn kill_other_leaders_during_ship_rounds() {
+    for victim in 2..WORLD {
+        check_ship(FaultPlan::at_site(victim, FaultSite::Op { kind: OpClass::Isend, nth: 0 }), 1);
+    }
+}
+
+/// Direct regression for the consumed-partial state: the final-ship
+/// leader enters a retried round with its partial already gone. The old
+/// code aborted the process via `expect`; now it must surface
+/// `Error::Protocol` and succeed on the rebuilt retry while the root's
+/// posted receive is still in flight.
+#[test]
+fn consumed_partial_surfaces_protocol_error_not_abort() {
+    let report = run(RunConfig::local(2), move |ctx| {
+        let w = ctx.initial_world().unwrap();
+        let target = LevelPair::new(3, 3);
+        let mut scratch: Vec<f64> = Vec::new();
+        let leaders = vec![1usize];
+        if w.rank() == 1 {
+            // First round: the partial was consumed by a previous attempt.
+            let res = binomial_combine(ctx, &w, &leaders, 0, target, None, &mut scratch, 7);
+            match res {
+                Err(Error::Protocol(_)) => ctx.report_add("protocol_err", 1.0),
+                other => panic!("expected Error::Protocol, got {other:?}"),
+            }
+            // Retry with a rebuilt partial — the root's receive completes.
+            let src = source(target, 2.0);
+            let term = CombinationTerm { coeff: 1.0, grid: &src };
+            let part = combine_onto(target, std::slice::from_ref(&term));
+            let _ = binomial_combine(ctx, &w, &leaders, 0, target, Some(part), &mut scratch, 7)
+                .expect("retried ship succeeds");
+        } else {
+            let combined = binomial_combine(ctx, &w, &leaders, 0, target, None, &mut scratch, 7)
+                .expect("root receives the retried ship")
+                .expect("root holds the combined grid");
+            let src = source(target, 2.0);
+            let term = CombinationTerm { coeff: 1.0, grid: &src };
+            let oracle = combine_binomial(target, std::slice::from_ref(&term));
+            assert_eq!(combined, oracle, "retried ship is bitwise correct");
+            ctx.report_add("verified", 1.0);
+        }
+    });
+    report.assert_no_app_errors();
+    assert_eq!(report.procs_failed, 0);
+    assert_eq!(report.get_f64("protocol_err"), Some(1.0));
+    assert_eq!(report.get_f64("verified"), Some(1.0));
+}

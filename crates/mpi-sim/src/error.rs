@@ -41,6 +41,11 @@ pub enum Error {
     /// every rank is exiting together. Not a failure — the campaign
     /// service reports it as a cancelled job, not a failed one.
     Cancelled,
+    /// An application-level protocol invariant did not hold at this rank
+    /// (e.g. a reduction root finding its partial already consumed after
+    /// a failure landed mid-hop). Recoverable: the caller's retry loop
+    /// treats it like a transient fault instead of aborting the process.
+    Protocol(String),
 }
 
 impl Error {
@@ -77,6 +82,7 @@ impl fmt::Display for Error {
                 write!(f, "orphaned: repair round abandoned by a further failure")
             }
             Error::Cancelled => write!(f, "cancelled: run stopped by cooperative cancellation"),
+            Error::Protocol(s) => write!(f, "protocol invariant violated: {s}"),
         }
     }
 }
@@ -108,5 +114,8 @@ mod tests {
         assert!(s.contains("PROC_FAILED"));
         assert!(s.contains('1') && s.contains('4'));
         assert!(format!("{}", Error::Revoked).contains("REVOKED"));
+        let p = Error::Protocol("partial consumed".into());
+        assert!(format!("{p}").contains("protocol"));
+        assert!(!p.is_proc_failed() && !p.is_revoked());
     }
 }

@@ -31,15 +31,24 @@ pub mod combine;
 pub mod grid2;
 pub mod hier;
 pub mod level;
+pub mod ndcombine;
+pub mod ndgrid;
 pub mod ndim;
 pub mod norms;
 pub mod scheme;
+pub mod scheme_nd;
 pub mod scratch;
 
 pub use coeffs::{gcp_coefficients, robust_coefficients, verify_covering, LevelSet};
 pub use combine::{combine_binomial, combine_onto, combine_onto_into, CombinationTerm};
 pub use grid2::Grid2;
 pub use level::LevelPair;
+pub use ndcombine::{combine_binomial_nd, combine_onto_into_nd, combine_onto_nd, CombinationTermN};
+pub use ndgrid::GridN;
+pub use ndim::{
+    gcp_coefficients_nd, robust_coefficients_nd, verify_covering_nd, LevelSetN, LevelVecN,
+};
 pub use norms::{l1_error_vs, l1_grid_diff, l2_error_vs, linf_error_vs};
 pub use scheme::{GridRole, GridSystem, Layout, SubGrid};
+pub use scheme_nd::{GridRoleN, GridSystemN, RcSourceN, SubGridN};
 pub use scratch::ensure_len;

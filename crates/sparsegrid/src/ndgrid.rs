@@ -1,0 +1,351 @@
+//! Anisotropic d-dimensional component grids on the unit cube.
+//!
+//! [`GridN`] is the d-dimensional sibling of [`crate::Grid2`]: nodal
+//! values on the `(2^{l_0}+1) × … × (2^{l_{d-1}}+1)` lattice over
+//! `[0,1]^d`, stored row-major with axis 0 fastest (the same x-fastest
+//! convention as the 2D path, so a d=2 `GridN` and a `Grid2` share the
+//! exact memory layout). Evaluation anywhere in the cube is d-linear per
+//! cell — the interpolant the combination technique is defined over.
+
+use crate::ndim::LevelVecN;
+
+/// Nodal values of one d-dimensional component grid.
+///
+/// ```
+/// use sparsegrid::GridN;
+///
+/// // A 5 × 3 × 3 grid sampling f(x) = x0 + 2 x1 + 4 x2.
+/// let g = GridN::from_fn(&[2, 1, 1], |x| x[0] + 2.0 * x[1] + 4.0 * x[2]);
+/// assert_eq!(g.shape(), &[5, 3, 3]);
+/// // Trilinear evaluation reproduces trilinear functions exactly.
+/// assert!((g.eval(&[0.3, 0.7, 0.5]) - (0.3 + 1.4 + 2.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridN {
+    level: LevelVecN,
+    shape: Vec<usize>,
+    stride: Vec<usize>,
+    data: Vec<f64>,
+}
+
+/// Points per axis for a level: `2^l + 1` (both boundaries included).
+pub fn points_of(l: u32) -> usize {
+    (1usize << l) + 1
+}
+
+impl GridN {
+    /// Zero-initialized grid at the given level vector.
+    pub fn zeros(level: &[u32]) -> Self {
+        assert!(!level.is_empty(), "level vector must be non-empty");
+        let shape: Vec<usize> = level.iter().map(|&l| points_of(l)).collect();
+        let mut stride = vec![1usize; shape.len()];
+        for i in 1..shape.len() {
+            stride[i] = stride[i - 1] * shape[i - 1];
+        }
+        let total = stride.last().unwrap() * shape.last().unwrap();
+        GridN { level: level.to_vec(), shape, stride, data: vec![0.0; total] }
+    }
+
+    /// Grid sampled from a function of `x ∈ [0,1]^d`.
+    pub fn from_fn(level: &[u32], f: impl Fn(&[f64]) -> f64) -> Self {
+        let mut g = GridN::zeros(level);
+        g.fill_from(f);
+        g
+    }
+
+    /// Rebuild from raw parts (checkpoint restore, message reassembly).
+    /// Errors if the buffer length does not match the level.
+    pub fn from_raw(level: &[u32], data: Vec<f64>) -> Result<Self, String> {
+        let probe = GridN::zeros(level);
+        if data.len() != probe.data.len() {
+            return Err(format!(
+                "grid {level:?}: expected {} values, got {}",
+                probe.data.len(),
+                data.len()
+            ));
+        }
+        Ok(GridN { data, ..probe })
+    }
+
+    /// The grid's level vector.
+    pub fn level(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Points per axis.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Row-major strides (axis 0 fastest).
+    pub fn strides(&self) -> &[usize] {
+        &self.stride
+    }
+
+    /// Mesh width per axis.
+    pub fn spacing(&self) -> Vec<f64> {
+        self.shape.iter().map(|&n| 1.0 / (n - 1) as f64).collect()
+    }
+
+    /// Linear index of a multi-index.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.dim());
+        idx.iter().zip(&self.stride).map(|(&k, &s)| k * s).sum()
+    }
+
+    /// Nodal value at a multi-index.
+    #[inline]
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable nodal value at a multi-index.
+    #[inline]
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let o = self.offset(idx);
+        &mut self.data[o]
+    }
+
+    /// Raw values, row-major with axis 0 fastest.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The coordinates of a node.
+    pub fn coords(&self, idx: &[usize]) -> Vec<f64> {
+        idx.iter().zip(&self.shape).map(|(&k, &n)| k as f64 / (n - 1) as f64).collect()
+    }
+
+    /// d-linear evaluation at an arbitrary point of `[0,1]^d` (clamped).
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim());
+        let d = self.dim();
+        // Base corner + fractional offset per axis.
+        let mut base = vec![0usize; d];
+        let mut frac = vec![0.0f64; d];
+        for i in 0..d {
+            let f = x[i].clamp(0.0, 1.0) * (self.shape[i] - 1) as f64;
+            let k0 = (f.floor() as usize).min(self.shape[i] - 2);
+            base[i] = k0;
+            frac[i] = f - k0 as f64;
+        }
+        let base_off = self.offset(&base);
+        let mut acc = 0.0;
+        for corner in 0..(1usize << d) {
+            let mut w = 1.0;
+            let mut off = base_off;
+            for (i, &fr) in frac.iter().enumerate() {
+                if (corner >> i) & 1 == 1 {
+                    w *= fr;
+                    off += self.stride[i];
+                } else {
+                    w *= 1.0 - fr;
+                }
+            }
+            acc += w * self.data[off];
+        }
+        acc
+    }
+
+    /// Exact restriction (injection) onto a coarser-or-equal level: every
+    /// target node coincides with a source node. Panics if `target` is
+    /// finer than this grid along any axis.
+    pub fn restrict_to(&self, target: &[u32]) -> GridN {
+        assert_eq!(target.len(), self.dim());
+        assert!(
+            target.iter().zip(&self.level).all(|(&t, &s)| t <= s),
+            "restrict_to: target {target:?} is not ≤ source {:?}",
+            self.level
+        );
+        let steps: Vec<usize> =
+            target.iter().zip(&self.level).map(|(&t, &s)| 1usize << (s - t)).collect();
+        let mut out = GridN::zeros(target);
+        let mut idx = vec![0usize; self.dim()];
+        let mut src = vec![0usize; self.dim()];
+        loop {
+            for i in 0..idx.len() {
+                src[i] = idx[i] * steps[i];
+            }
+            let o = out.offset(&idx);
+            out.data[o] = self.at(&src);
+            if !advance(&mut idx, &out.shape) {
+                return out;
+            }
+        }
+    }
+
+    /// Sample (d-linearly) onto an arbitrary level — exact where nodes
+    /// coincide, interpolating otherwise. Used by the Alternate
+    /// Combination technique to materialize a recovered grid from the
+    /// combined solution.
+    pub fn sample_to(&self, target: &[u32]) -> GridN {
+        let mut out = GridN::zeros(target);
+        let mut idx = vec![0usize; out.dim()];
+        loop {
+            let x = out.coords(&idx);
+            let o = out.offset(&idx);
+            out.data[o] = self.eval(&x);
+            if !advance(&mut idx, &out.shape.clone()) {
+                return out;
+            }
+        }
+    }
+
+    /// `self += coeff * other`, requiring identical levels.
+    pub fn axpy(&mut self, coeff: f64, other: &GridN) {
+        assert_eq!(self.level, other.level, "axpy level mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += coeff * b;
+        }
+    }
+
+    /// Fill from a function (reusing the allocation).
+    pub fn fill_from(&mut self, f: impl Fn(&[f64]) -> f64) {
+        let shape = self.shape.clone();
+        let mut idx = vec![0usize; self.dim()];
+        loop {
+            let x = self.coords(&idx);
+            let o = self.offset(&idx);
+            self.data[o] = f(&x);
+            if !advance(&mut idx, &shape) {
+                return;
+            }
+        }
+    }
+
+    /// Mean absolute nodal difference against a reference function —
+    /// the d-dimensional analogue of the 2D L1 error norm.
+    pub fn l1_error_vs(&self, f: impl Fn(&[f64]) -> f64) -> f64 {
+        let mut idx = vec![0usize; self.dim()];
+        let mut sum = 0.0;
+        loop {
+            let x = self.coords(&idx);
+            sum += (self.at(&idx) - f(&x)).abs();
+            if !advance(&mut idx, &self.shape) {
+                return sum / self.data.len() as f64;
+            }
+        }
+    }
+
+    /// Byte size of the nodal data (checkpoint sizing).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Odometer increment over a multi-index bounded by `shape`
+/// (axis 0 fastest). Returns false once the index space is exhausted.
+#[inline]
+pub fn advance(idx: &mut [usize], shape: &[usize]) -> bool {
+    for i in 0..idx.len() {
+        idx[i] += 1;
+        if idx[i] < shape[i] {
+            return true;
+        }
+        idx[i] = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid2::Grid2;
+    use crate::level::LevelPair;
+
+    #[test]
+    fn construction_and_indexing() {
+        let g = GridN::from_fn(&[2, 1, 3], |x| x[0] + 10.0 * x[1] + 100.0 * x[2]);
+        assert_eq!(g.shape(), &[5, 3, 9]);
+        assert_eq!(g.at(&[0, 0, 0]), 0.0);
+        assert_eq!(g.at(&[4, 0, 0]), 1.0);
+        assert!((g.at(&[2, 1, 4]) - (0.5 + 5.0 + 50.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d2_layout_matches_grid2_bitwise() {
+        // The d=2 instantiation must share Grid2's exact memory layout —
+        // the nd path can hand its buffers to the tuned 2D kernels.
+        let f = |x: f64, y: f64| (x * 7.0).sin() * (y * 3.0).cos();
+        let g2 = Grid2::from_fn(LevelPair::new(3, 4), f);
+        let gn = GridN::from_fn(&[3, 4], |x| f(x[0], x[1]));
+        assert_eq!(g2.values(), gn.values());
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(GridN::from_raw(&[1, 1, 1], vec![0.0; 27]).is_ok());
+        assert!(GridN::from_raw(&[1, 1, 1], vec![0.0; 26]).is_err());
+    }
+
+    #[test]
+    fn eval_reproduces_trilinear_exactly() {
+        let f = |x: &[f64]| 2.0 + 3.0 * x[0] - x[1] + 5.0 * x[0] * x[1] * x[2];
+        let g = GridN::from_fn(&[3, 2, 2], f);
+        for p in [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [0.3, 0.7, 0.2], [0.99, 0.01, 0.5]] {
+            assert!((g.eval(&p) - f(&p)).abs() < 1e-12, "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn restriction_is_exact_injection() {
+        let fine = GridN::from_fn(&[4, 3, 3], |x| x[0] * x[0] + x[1] - x[2]);
+        let coarse = fine.restrict_to(&[2, 3, 1]);
+        assert_eq!(coarse.shape(), &[5, 9, 3]);
+        let mut idx = vec![0usize; 3];
+        loop {
+            let x = coarse.coords(&idx);
+            assert_eq!(coarse.at(&idx), fine.eval(&x));
+            if !advance(&mut idx, coarse.shape()) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "restrict_to")]
+    fn restriction_to_finer_panics() {
+        let g = GridN::zeros(&[2, 2, 2]);
+        let _ = g.restrict_to(&[3, 2, 2]);
+    }
+
+    #[test]
+    fn sample_to_finer_is_exact_on_linear() {
+        let coarse = GridN::from_fn(&[2, 2, 2], |x| x[0] + x[1] + x[2]);
+        let fine = coarse.sample_to(&[4, 3, 4]);
+        let mut idx = vec![0usize; 3];
+        loop {
+            let x = fine.coords(&idx);
+            assert!((fine.at(&idx) - (x[0] + x[1] + x[2])).abs() < 1e-13);
+            if !advance(&mut idx, fine.shape()) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = GridN::from_fn(&[2, 2], |x| x[0]);
+        let b = GridN::from_fn(&[2, 2], |x| x[1]);
+        a.axpy(-2.0, &b);
+        assert!((a.at(&[4, 4]) - (1.0 - 2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn l1_error_is_zero_on_exact_samples() {
+        let f = |x: &[f64]| x[0] * 2.0 - x[1];
+        let g = GridN::from_fn(&[3, 3], f);
+        assert_eq!(g.l1_error_vs(f), 0.0);
+    }
+}

@@ -51,12 +51,32 @@ impl LevelSetN {
     /// The classical truncated simplex
     /// `{ l : floor ≤ l_i, |l|₁ ≤ tau }` — the *d*-dimensional analogue
     /// of the paper's Eq.-1 index set.
+    ///
+    /// Panicking wrapper around [`LevelSetN::try_truncated_simplex`] for
+    /// call sites with statically valid parameters.
     pub fn truncated_simplex(dim: usize, floor: u32, tau: u32) -> Self {
-        assert!(dim >= 1);
-        assert!(
-            tau >= floor * dim as u32,
-            "tau {tau} cannot hold the floor corner ({floor}^{dim})"
-        );
+        match Self::try_truncated_simplex(dim, floor, tau) {
+            Ok(set) => set,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor for the truncated simplex: rejects degenerate
+    /// dimensions, simplices that cannot hold the floor corner, and
+    /// parameter combinations whose corner sum `floor · d` overflows
+    /// `u32` — all as errors rather than panics, so user-supplied config
+    /// can be validated at the boundary.
+    pub fn try_truncated_simplex(dim: usize, floor: u32, tau: u32) -> Result<Self, String> {
+        if dim < 1 {
+            return Err("dimension must be ≥ 1".into());
+        }
+        let d32 = u32::try_from(dim).map_err(|_| format!("dimension {dim} exceeds u32 range"))?;
+        let corner = floor
+            .checked_mul(d32)
+            .ok_or_else(|| format!("floor {floor} × dim {dim} overflows u32"))?;
+        if tau < corner {
+            return Err(format!("tau {tau} cannot hold the floor corner ({floor}^{dim})"));
+        }
         let mut set = LevelSetN::new(dim);
         let mut cursor = vec![floor; dim];
         loop {
@@ -68,7 +88,7 @@ impl LevelSetN {
             let mut i = 0;
             loop {
                 if i == dim {
-                    return set;
+                    return Ok(set);
                 }
                 cursor[i] += 1;
                 let partial: u32 = cursor.iter().sum();
@@ -124,14 +144,15 @@ impl LevelSetN {
 /// Levels with coefficient 0 are omitted.
 pub fn gcp_coefficients_nd(j: &LevelSetN) -> BTreeMap<LevelVecN, i64> {
     let d = j.dim();
+    assert!(d < 63, "coefficient enumeration over 2^d corners needs d < 63");
     let mut out = BTreeMap::new();
     let mut probe = vec![0u32; d];
     for a in j.iter() {
         let mut c: i64 = 0;
-        for z in 0..(1u32 << d) {
+        for z in 0..(1u64 << d) {
             let ones = z.count_ones();
             probe.clear();
-            probe.extend(a.iter().enumerate().map(|(i, &v)| v + ((z >> i) & 1)));
+            probe.extend(a.iter().enumerate().map(|(i, &v)| v + ((z >> i) & 1) as u32));
             if j.contains(&probe) {
                 c += if ones % 2 == 0 { 1 } else { -1 };
             }
@@ -369,5 +390,15 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn rejects_impossible_simplex() {
         let _ = LevelSetN::truncated_simplex(3, 3, 8);
+    }
+
+    #[test]
+    fn try_simplex_reports_errors_instead_of_panicking() {
+        assert!(LevelSetN::try_truncated_simplex(3, 3, 8).is_err());
+        assert!(LevelSetN::try_truncated_simplex(0, 1, 4).is_err());
+        // floor · d would overflow u32 — must be an error, not a wrap.
+        assert!(LevelSetN::try_truncated_simplex(1 << 20, u32::MAX / 2, u32::MAX).is_err());
+        let ok = LevelSetN::try_truncated_simplex(3, 1, 6).unwrap();
+        assert_eq!(ok.len(), LevelSetN::truncated_simplex(3, 1, 6).len());
     }
 }

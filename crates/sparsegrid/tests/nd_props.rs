@@ -1,0 +1,117 @@
+//! Property tests pinning the d-dimensional combination machinery to its
+//! 2D specialization, and exercising the covering verifier against
+//! fabricated non-coverings.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sparsegrid::{
+    gcp_coefficients_nd, robust_coefficients, robust_coefficients_nd, verify_covering_nd,
+    LevelPair, LevelSet, LevelSetN, LevelVecN,
+};
+
+/// A random truncated-simplex shape `(d, n, l)` plus a bitmask selecting
+/// the lost levels out of the downset (in lexicographic order).
+fn shape_2d() -> impl Strategy<Value = (u32, u32, u64)> {
+    (2u32..=4, 4u32..=7, any::<u64>()).prop_map(|(l, n, mask)| (n.max(l), l, mask))
+}
+
+fn simplex(dim: usize, n: u32, l: u32) -> (LevelSetN, u32) {
+    let floor = n - l + 1;
+    let tau = n + (dim as u32 - 1) * floor;
+    (LevelSetN::truncated_simplex(dim, floor, tau), floor)
+}
+
+/// Pick the levels whose index bit is set, never all of them (rank 0's
+/// grid always survives in the application).
+fn pick_lost(downset: &LevelSetN, mask: u64) -> Vec<LevelVecN> {
+    downset
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i + 1 < downset.len() && (mask >> (i % 64)) & 1 == 1)
+        .map(|(_, lv)| lv.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `robust_coefficients_nd` at d = 2 is the 2D robust path: identical
+    /// coefficient maps for every random loss pattern over the downset.
+    #[test]
+    fn robust_nd_at_d2_matches_the_2d_path((n, l, mask) in shape_2d()) {
+        let (downset, _floor) = simplex(2, n, l);
+        let lost_nd = pick_lost(&downset, mask);
+        let survivors_nd = {
+            let mut s = LevelSetN::new(2);
+            for lv in downset.iter().filter(|lv| !lost_nd.contains(lv)) {
+                s.insert(lv.clone());
+            }
+            s
+        };
+        let c_nd = robust_coefficients_nd(&downset, &lost_nd, &survivors_nd);
+
+        let to_pair = |v: &LevelVecN| LevelPair::new(v[0], v[1]);
+        let set2d: LevelSet = downset.iter().map(to_pair).collect();
+        let lost_2d: Vec<LevelPair> = lost_nd.iter().map(to_pair).collect();
+        let survivors_2d: LevelSet = survivors_nd.iter().map(to_pair).collect();
+        let c_2d = robust_coefficients(&set2d, &lost_2d, &survivors_2d);
+
+        let c_2d_as_nd: BTreeMap<LevelVecN, i64> =
+            c_2d.iter().map(|(p, &c)| (vec![p.i, p.j], c as i64)).collect();
+        prop_assert_eq!(c_nd, c_2d_as_nd);
+    }
+
+    /// Whatever the losses, a non-empty robust result never touches a
+    /// lost grid and always covers every hierarchical subspace once.
+    #[test]
+    fn robust_nd_result_is_a_valid_covering(
+        dim in 2usize..=4,
+        l in 2u32..=3,
+        extra in 0u32..=2,
+        mask in any::<u64>(),
+    ) {
+        let n = l + extra;
+        let (downset, floor) = simplex(dim, n, l);
+        let lost = pick_lost(&downset, mask);
+        let survivors = {
+            let mut s = LevelSetN::new(dim);
+            for lv in downset.iter().filter(|lv| !lost.contains(lv)) {
+                s.insert(lv.clone());
+            }
+            s
+        };
+        let coeffs = robust_coefficients_nd(&downset, &lost, &survivors);
+        prop_assert!(!coeffs.is_empty(), "at least the floor grid survives");
+        for lv in &lost {
+            prop_assert!(!coeffs.contains_key(lv), "lost level {lv:?} got a coefficient");
+        }
+        prop_assert_eq!(coeffs.values().sum::<i64>(), 1);
+        prop_assert_eq!(verify_covering_nd(&coeffs, floor), None);
+    }
+
+    /// `verify_covering_nd` rejects fabricated non-coverings: perturbing
+    /// any single coefficient of a valid combination breaks the covering
+    /// property at a detectable level.
+    #[test]
+    fn verifier_rejects_perturbed_coverings(
+        dim in 2usize..=4,
+        l in 2u32..=3,
+        extra in 0u32..=2,
+        idx in any::<u64>(),
+        bump in prop_oneof![Just(1i64), Just(-1), Just(2)],
+    ) {
+        let n = l + extra;
+        let (downset, floor) = simplex(dim, n, l);
+        let mut coeffs = gcp_coefficients_nd(&downset);
+        prop_assert_eq!(verify_covering_nd(&coeffs, floor), None);
+        let support: Vec<LevelVecN> = coeffs.keys().cloned().collect();
+        let victim = support[(idx % support.len() as u64) as usize].clone();
+        *coeffs.get_mut(&victim).unwrap() += bump;
+        coeffs.retain(|_, c| *c != 0);
+        prop_assert!(
+            verify_covering_nd(&coeffs, floor).is_some(),
+            "perturbing {victim:?} by {bump} must break the covering"
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //! advection solver.
 //!
 //! ```text
-//! ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]
+//! ftsg [--technique cr|rc|ac|bc] [--dim D] [--n N] [--l L] [--scale S]
+//!      [--steps LOG2] [--problem advection|elliptic]
 //!      [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]
 //!      [--policy respawn|shrink|substitute|defer] [--spares N]
 //!      [--spare-node] [--central-combine] [--trace] [--trace-json FILE]
@@ -21,6 +22,8 @@ use ftsg::mpi::{run, BetaUlfm, ClusterProfile, FaultPlan, RunConfig};
 
 struct Cli {
     technique: Technique,
+    dim: usize,
+    problem: String,
     n: u32,
     l: u32,
     scale: usize,
@@ -41,7 +44,8 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ftsg [--technique cr|rc|ac|bc] [--n N] [--l L] [--scale S] [--steps LOG2]\n\
+        "usage: ftsg [--technique cr|rc|ac|bc] [--dim D] [--n N] [--l L] [--scale S]\n\
+         \x20           [--steps LOG2] [--problem advection|elliptic]\n\
          \x20           [--fail COUNT] [--fail-at STEP] [--cluster local|opl|raijin]\n\
          \x20           [--policy respawn|shrink|substitute|defer] [--spares N]\n\
          \x20           [--sync-ckpt] [--spare-node] [--central-combine] [--seed S]"
@@ -52,6 +56,8 @@ fn usage() -> ! {
 fn parse() -> Cli {
     let mut cli = Cli {
         technique: Technique::AlternateCombination,
+        dim: 2,
+        problem: "advection".into(),
         n: 9,
         l: 4,
         scale: 1,
@@ -86,6 +92,13 @@ fn parse() -> Cli {
                     _ => usage(),
                 }
             }
+            "--dim" => {
+                cli.dim = take(&mut i).parse().unwrap_or_else(|_| usage());
+                if cli.dim < 2 {
+                    usage()
+                }
+            }
+            "--problem" => cli.problem = take(&mut i).to_lowercase(),
             "--n" => cli.n = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--l" => cli.l = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--scale" => cli.scale = take(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -114,7 +127,19 @@ fn parse() -> Cli {
 
 fn main() {
     let cli = parse();
+    // d >= 3 selects the generalized driver; the problem flag picks which
+    // nd model problem it solves (d = 2 keeps the paper's 2D advection).
+    let problem_nd = if cli.dim >= 3 {
+        Some(match cli.problem.as_str() {
+            "advection" => ftsg::pde::ndproblem::ProblemN::standard_advection(cli.dim),
+            "elliptic" => ftsg::pde::ndproblem::ProblemN::standard_elliptic(cli.dim),
+            _ => usage(),
+        })
+    } else {
+        None
+    };
     let mut cfg = AppConfig {
+        dim: cli.dim,
         n: cli.n,
         l: cli.l,
         scale: cli.scale,
@@ -126,6 +151,7 @@ fn main() {
         ckpt_async: !cli.sync_ckpt,
         ckpt_corruption: Default::default(),
         problem: ftsg::pde::AdvectionProblem::standard(),
+        problem_nd,
         simulated_lost_grids: Vec::new(),
         recovery_policy: cli.policy,
         spares: cli.spares,
@@ -144,13 +170,24 @@ fn main() {
         cancel: None,
         observer: None,
     };
-    let layout = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
+    if let Err(e) = cfg.validate() {
+        eprintln!("ftsg: invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    let (n_active, n_grids) = if cfg.dim >= 3 {
+        let l =
+            ftsg::app::ProcLayoutN::new(cfg.dim, cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
+        (l.world_size(), l.system().n_grids())
+    } else {
+        let l = ProcLayout::new(cfg.n, cfg.l, cfg.technique.layout(), cfg.scale);
+        (l.world_size(), l.system().n_grids())
+    };
     // Spare ranks (substitute policy only) sit after the active slots;
     // victims are always drawn from the active slots.
-    let world = cfg.world_size(layout.world_size());
+    let world = cfg.world_size(n_active);
     if cli.failures > 0 {
         let at = cli.fail_at.unwrap_or(cfg.steps());
-        cfg.plan = FaultPlan::random(cli.failures, layout.world_size(), at, cli.seed, &[]);
+        cfg.plan = FaultPlan::random(cli.failures, n_active, at, cli.seed, &[]);
         println!(
             "injecting {} failure(s) at step {at}: ranks {:?}",
             cli.failures,
@@ -173,13 +210,14 @@ fn main() {
     }
 
     println!(
-        "ftsg: {} on {} | n={} l={} scale={} -> {} grids, {} ranks, 2^{} steps",
+        "ftsg: {} on {} | d={} n={} l={} scale={} -> {} grids, {} ranks, 2^{} steps",
         cfg.technique.label(),
         rc.profile.name,
+        cfg.dim,
         cfg.n,
         cfg.l,
         cfg.scale,
-        layout.system().n_grids(),
+        n_grids,
         world,
         cfg.log2_steps
     );
